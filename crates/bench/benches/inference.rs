@@ -1,0 +1,103 @@
+//! Fuzzy-inference performance: the cost of one handover decision and
+//! the ablation across defuzzifiers, operator families and engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzylogic::Defuzzifier;
+use handover_bench::FLC_INPUTS;
+use handover_core::flc::{build_flc_with, build_paper_flc, build_paper_sugeno, FlcProfile};
+use std::hint::black_box;
+
+fn bench_paper_flc(c: &mut Criterion) {
+    let fis = build_paper_flc();
+    c.bench_function("inference/paper_flc_evaluate", |b| {
+        b.iter(|| {
+            for x in FLC_INPUTS {
+                black_box(fis.evaluate(&x).unwrap());
+            }
+        })
+    });
+    c.bench_function("inference/firing_strengths_only", |b| {
+        b.iter(|| {
+            for x in FLC_INPUTS {
+                black_box(fis.firing_strengths(&x).unwrap());
+            }
+        })
+    });
+    c.bench_function("inference/fuzzify_only", |b| {
+        b.iter(|| {
+            for x in FLC_INPUTS {
+                black_box(fis.fuzzify(&x).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_defuzzifiers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inference/defuzzifier");
+    for d in Defuzzifier::ALL {
+        let fis = build_flc_with(FlcProfile::Paper, d);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{d:?}")), &fis, |b, fis| {
+            b.iter(|| {
+                for x in FLC_INPUTS {
+                    black_box(fis.evaluate(&x).unwrap());
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_profiles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inference/profile");
+    for profile in [FlcProfile::Paper, FlcProfile::Product] {
+        let fis = build_flc_with(profile, Defuzzifier::Centroid);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{profile:?}")),
+            &fis,
+            |b, fis| {
+                b.iter(|| {
+                    for x in FLC_INPUTS {
+                        black_box(fis.evaluate(&x).unwrap());
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_sugeno(c: &mut Criterion) {
+    let sugeno = build_paper_sugeno();
+    c.bench_function("inference/sugeno_evaluate", |b| {
+        b.iter(|| {
+            for x in FLC_INPUTS {
+                black_box(sugeno.evaluate(&x).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_resolution(c: &mut Criterion) {
+    // Output-universe sampling resolution: the accuracy/latency dial.
+    let mut g = c.benchmark_group("inference/resolution");
+    for res in [51usize, 201, 501, 2001] {
+        let fis = build_paper_flc().with_config(fuzzylogic::EngineConfig {
+            resolution: res,
+            ..Default::default()
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(res), &fis, |b, fis| {
+            b.iter(|| black_box(fis.evaluate(&FLC_INPUTS[1]).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_paper_flc,
+    bench_defuzzifiers,
+    bench_profiles,
+    bench_sugeno,
+    bench_resolution
+);
+criterion_main!(benches);

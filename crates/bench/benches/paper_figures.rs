@@ -1,0 +1,56 @@
+//! Regeneration benches for the paper's figures.
+//!
+//! * `fig5_membership` — sample all membership functions.
+//! * `fig6_layout` — regenerate the cell layout and label map.
+//! * `fig7_walk` / `fig8_walk` — regenerate the scenario walks.
+//! * `fig9_11_rx_power` — the received-power series of the three BSs.
+//! * `fig12_13_points` — the measurement-point figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use handover_sim::experiments::{fig12_13, fig5, fig6, fig7_8, fig9_11};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_membership/data", |b| b.iter(|| black_box(fig5::data(121))));
+    c.bench_function("fig5_membership/render", |b| b.iter(|| black_box(fig5::render())));
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_layout/data", |b| b.iter(|| black_box(fig6::data())));
+    c.bench_function("fig6_layout/render", |b| b.iter(|| black_box(fig6::render())));
+}
+
+fn bench_fig7_8(c: &mut Criterion) {
+    c.bench_function("fig7_walk/data", |b| b.iter(|| black_box(fig7_8::fig7_data())));
+    c.bench_function("fig8_walk/data", |b| b.iter(|| black_box(fig7_8::fig8_data())));
+    c.bench_function("fig7_walk/render", |b| b.iter(|| black_box(fig7_8::render_fig7())));
+}
+
+fn bench_fig9_11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_11_rx_power");
+    g.sample_size(20);
+    let cells = fig9_11::plotted_cells();
+    g.bench_function("series_origin", |b| b.iter(|| black_box(fig9_11::rx_series(cells[0]))));
+    g.bench_function("render_fig9", |b| b.iter(|| black_box(fig9_11::render_fig9())));
+    g.bench_function("render_fig10", |b| b.iter(|| black_box(fig9_11::render_fig10())));
+    g.bench_function("render_fig11", |b| b.iter(|| black_box(fig9_11::render_fig11())));
+    g.finish();
+}
+
+fn bench_fig12_13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_13_points");
+    g.sample_size(10);
+    g.bench_function("fig12_data", |b| b.iter(|| black_box(fig12_13::fig12_data())));
+    g.bench_function("fig13_data", |b| b.iter(|| black_box(fig12_13::fig13_data())));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7_8,
+    bench_fig9_11,
+    bench_fig12_13
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Regeneration benches for the paper's tables.
+//!
+//! * `table1_frb` — render Table 1 (the 64-rule FRB) and O(1) rule lookup.
+//! * `table2_params` — render Table 2.
+//! * `table3_sweep` — regenerate Table 3 (scenario A speed sweep).
+//! * `table4_sweep` — regenerate Table 4 (scenario B speed sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use handover_core::flc::{frb_lookup, Cssp, Dmb, Ssn};
+use handover_sim::experiments::{table1, table2, table3_4};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_frb/render", |b| b.iter(|| black_box(table1::render())));
+    c.bench_function("table1_frb/lookup_all_64", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for cssp in Cssp::ALL {
+                for ssn in Ssn::ALL {
+                    for dmb in Dmb::ALL {
+                        acc += frb_lookup(cssp, ssn, dmb).index();
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_params/render", |b| b.iter(|| black_box(table2::render())));
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_sweep");
+    g.sample_size(10);
+    g.bench_function("data", |b| b.iter(|| black_box(table3_4::table3_data())));
+    g.bench_function("render", |b| b.iter(|| black_box(table3_4::render_table3())));
+    g.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_sweep");
+    g.sample_size(10);
+    g.bench_function("data", |b| b.iter(|| black_box(table3_4::table4_data())));
+    g.bench_function("render", |b| b.iter(|| black_box(table3_4::render_table4())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_table2, bench_table3, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Decision-latency comparison across handover policies, plus the two
+//! extension experiments (baseline comparison and design ablation) as
+//! regeneration benches.
+
+use cellgeom::Axial;
+use criterion::{criterion_group, criterion_main, Criterion};
+use handover_bench::paper_controller;
+use handover_core::baselines::{
+    DwellTimerPolicy, HysteresisPolicy, HysteresisThresholdPolicy, ThresholdPolicy,
+};
+use handover_core::{HandoverPolicy, MeasurementReport};
+use handover_sim::experiments::{ablation, baselines};
+use std::hint::black_box;
+
+fn reports() -> Vec<MeasurementReport> {
+    (0..32)
+        .map(|k| {
+            let t = k as f64 / 31.0;
+            MeasurementReport {
+                serving: Axial::ORIGIN,
+                serving_rss_dbm: -80.0 - 30.0 * t,
+                neighbor: Axial::new(1, 0),
+                neighbor_rss_dbm: -110.0 + 25.0 * t,
+                distance_to_serving_km: 0.3 + 2.4 * t,
+                distance_to_neighbor_km: 3.0 - 2.4 * t,
+            }
+        })
+        .collect()
+}
+
+fn bench_decision_latency(c: &mut Criterion) {
+    let rs = reports();
+    let mut g = c.benchmark_group("policies/decide_32_reports");
+    g.bench_function("fuzzy_paper", |b| {
+        b.iter(|| {
+            let mut p = paper_controller();
+            for r in &rs {
+                black_box(p.decide(r));
+            }
+        })
+    });
+    g.bench_function("hysteresis", |b| {
+        b.iter(|| {
+            let mut p = HysteresisPolicy::new(4.0);
+            for r in &rs {
+                black_box(p.decide(r));
+            }
+        })
+    });
+    g.bench_function("threshold", |b| {
+        b.iter(|| {
+            let mut p = ThresholdPolicy::new(-95.0);
+            for r in &rs {
+                black_box(p.decide(r));
+            }
+        })
+    });
+    g.bench_function("hysteresis_threshold", |b| {
+        b.iter(|| {
+            let mut p = HysteresisThresholdPolicy::new(-95.0, 4.0);
+            for r in &rs {
+                black_box(p.decide(r));
+            }
+        })
+    });
+    g.bench_function("dwell_timer", |b| {
+        b.iter(|| {
+            let mut p = DwellTimerPolicy::new(HysteresisPolicy::new(2.0), 2);
+            for r in &rs {
+                black_box(p.decide(r));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_extension_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    g.bench_function("baseline_comparison_data", |b| {
+        b.iter(|| black_box(baselines::data()))
+    });
+    g.bench_function("ablation_data", |b| b.iter(|| black_box(ablation::data())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_decision_latency, bench_extension_experiments);
+criterion_main!(benches);

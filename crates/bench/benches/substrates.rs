@@ -1,0 +1,95 @@
+//! Substrate micro-benchmarks: geometry, radio and mobility primitives
+//! that the measurement loop leans on.
+
+use cellgeom::{Axial, CellLayout, HexGrid, Vec2};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mobility::{MobilityModel, RandomWalk};
+use radiolink::{BsRadio, PathLoss, ShadowingConfig, ShadowingProcess};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_geometry(c: &mut Criterion) {
+    let grid = HexGrid::new(2.0);
+    let layout = CellLayout::hexagonal(2.0, 2);
+    let probes: Vec<Vec2> = (0..64)
+        .map(|k| Vec2::from_polar(0.1 * k as f64, k as f64 * 0.7))
+        .collect();
+    c.bench_function("geometry/cell_at_64_points", |b| {
+        b.iter(|| {
+            for p in &probes {
+                black_box(grid.cell_at(*p));
+            }
+        })
+    });
+    c.bench_function("geometry/nearest_cell_64_points", |b| {
+        b.iter(|| {
+            for p in &probes {
+                black_box(layout.nearest_cell(*p));
+            }
+        })
+    });
+    c.bench_function("geometry/boundary_distance_64_points", |b| {
+        b.iter(|| {
+            for p in &probes {
+                black_box(grid.boundary_distance(Axial::ORIGIN, *p));
+            }
+        })
+    });
+    c.bench_function("geometry/spiral_radius_4", |b| {
+        b.iter(|| black_box(Axial::ORIGIN.spiral(4)))
+    });
+}
+
+fn bench_radio(c: &mut Criterion) {
+    let radio = BsRadio::paper_default();
+    let positions: Vec<Vec2> = (1..65).map(|k| Vec2::new(0.1 * k as f64, 0.05 * k as f64)).collect();
+    c.bench_function("radio/received_power_64_points", |b| {
+        b.iter(|| {
+            for p in &positions {
+                black_box(radio.received_power_dbm(Vec2::ZERO, *p));
+            }
+        })
+    });
+    let mut g = c.benchmark_group("radio/path_loss_models");
+    for (name, model) in [
+        ("calibrated", PathLoss::paper_calibrated()),
+        ("field_n1.1", PathLoss::paper_field()),
+        ("free_space", PathLoss::free_space_2ghz()),
+        ("two_ray", PathLoss::TwoRay { h_bs_m: 40.0, h_ms_m: 1.5 }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for k in 1..65 {
+                    black_box(model.loss_db(0.1 * k as f64));
+                }
+            })
+        });
+    }
+    g.finish();
+    c.bench_function("radio/shadowing_advance_1000", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut p = ShadowingProcess::new(ShadowingConfig::moderate());
+            for _ in 0..1000 {
+                black_box(p.advance(0.05, &mut rng));
+            }
+        })
+    });
+}
+
+fn bench_mobility(c: &mut Criterion) {
+    c.bench_function("mobility/random_walk_10", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(RandomWalk::paper_default(10).generate(&mut rng))
+        })
+    });
+    let walk = RandomWalk::paper_default(10).generate(&mut StdRng::seed_from_u64(7));
+    c.bench_function("mobility/resample_50m", |b| {
+        b.iter(|| black_box(walk.resample(0.05)))
+    });
+}
+
+criterion_group!(benches, bench_geometry, bench_radio, bench_mobility);
+criterion_main!(benches);

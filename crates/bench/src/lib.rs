@@ -1,0 +1,42 @@
+//! Shared fixtures for the benchmark suite.
+
+#![deny(missing_docs)]
+
+use handover_core::{ControllerConfig, FuzzyHandoverController};
+use handover_sim::engine::SimConfig;
+
+/// The paper controller over the paper layout.
+pub fn paper_controller() -> FuzzyHandoverController {
+    FuzzyHandoverController::new(ControllerConfig::paper_default(
+        SimConfig::paper_default().layout.cell_radius_km(),
+    ))
+}
+
+/// A spread of representative FLC inputs: boundary, crossing, extremes.
+pub const FLC_INPUTS: [[f64; 3]; 6] = [
+    [-2.7, -93.4, 0.44], // boundary (Table 3 regime)
+    [-3.5, -89.0, 1.2],  // crossing (Table 4 regime)
+    [-9.0, -82.0, 1.3],  // clear handover corner
+    [8.0, -118.0, 0.1],  // clear stay corner
+    [0.0, -100.0, 0.75], // dead centre
+    [-5.0, -104.0, 0.9], // weak-neighbour crossing
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_valid() {
+        let ctl = paper_controller();
+        for x in FLC_INPUTS {
+            let inputs = handover_core::FlcInputs {
+                cssp_db: x[0],
+                ssn_dbm: x[1],
+                dmb_norm: x[2],
+            };
+            let hd = ctl.evaluate_hd(&inputs);
+            assert!((0.0..=1.0).contains(&hd));
+        }
+    }
+}

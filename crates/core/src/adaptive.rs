@@ -1,0 +1,165 @@
+//! Speed-adaptive extension of the paper controller.
+//!
+//! The paper models fast mobiles by degrading the neighbour reading
+//! 2 dB per 10 km/h, which makes the plain FLC increasingly reluctant to
+//! hand over exactly when a fast mobile needs the handover *earlier*.
+//! When the MS speed is known (modern terminals report it), the penalty
+//! is predictable — so this wrapper compensates the neighbour reading by
+//! `comp_db_per_10kmh × v/10` before the FLC stage, restoring the
+//! low-speed decision surface at any speed.
+//!
+//! This is an extension in the spirit of the paper's future work; the
+//! ablation in `handover-sim` compares it against the plain controller.
+
+use crate::controller::{ControllerConfig, Decision, FuzzyHandoverController, MeasurementReport};
+use crate::HandoverPolicy;
+use cellgeom::Axial;
+
+/// A [`FuzzyHandoverController`] that pre-compensates the speed-induced
+/// neighbour degradation before deciding.
+#[derive(Debug, Clone)]
+pub struct SpeedAdaptiveController {
+    inner: FuzzyHandoverController,
+    speed_kmh: f64,
+    comp_db_per_10kmh: f64,
+}
+
+impl SpeedAdaptiveController {
+    /// Wrap the paper controller for a mobile moving at `speed_kmh`,
+    /// compensating with the paper's own 2 dB / 10 km/h figure.
+    pub fn new(config: ControllerConfig, speed_kmh: f64) -> Self {
+        Self::with_compensation(config, speed_kmh, 2.0)
+    }
+
+    /// Explicit compensation slope (dB per 10 km/h, non-negative).
+    pub fn with_compensation(
+        config: ControllerConfig,
+        speed_kmh: f64,
+        comp_db_per_10kmh: f64,
+    ) -> Self {
+        assert!(speed_kmh >= 0.0, "speed must be non-negative");
+        assert!(comp_db_per_10kmh >= 0.0, "compensation must be non-negative");
+        SpeedAdaptiveController {
+            inner: FuzzyHandoverController::new(config),
+            speed_kmh,
+            comp_db_per_10kmh,
+        }
+    }
+
+    /// The compensation currently applied to neighbour readings, in dB.
+    pub fn compensation_db(&self) -> f64 {
+        self.comp_db_per_10kmh * self.speed_kmh / 10.0
+    }
+
+    /// Update the speed estimate (e.g. from the terminal's GPS).
+    pub fn set_speed(&mut self, speed_kmh: f64) {
+        assert!(speed_kmh >= 0.0, "speed must be non-negative");
+        self.speed_kmh = speed_kmh;
+    }
+}
+
+impl HandoverPolicy for SpeedAdaptiveController {
+    fn decide(&mut self, report: &MeasurementReport) -> Decision {
+        let compensated = MeasurementReport {
+            neighbor_rss_dbm: report.neighbor_rss_dbm + self.compensation_db(),
+            ..*report
+        };
+        self.inner.decide(&compensated)
+    }
+
+    fn notify_handover(&mut self, new_serving: Axial) {
+        self.inner.notify_handover(new_serving);
+    }
+
+    fn name(&self) -> &'static str {
+        "fuzzy-speed-adaptive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(serving: f64, neighbor: f64, dist: f64) -> MeasurementReport {
+        MeasurementReport {
+            serving: Axial::ORIGIN,
+            serving_rss_dbm: serving,
+            neighbor: Axial::new(1, 0),
+            neighbor_rss_dbm: neighbor,
+            distance_to_serving_km: dist,
+            distance_to_neighbor_km: (2.0 * 3.0f64.sqrt() - dist).max(0.1),
+        }
+    }
+
+    #[test]
+    fn compensation_magnitude() {
+        let c = SpeedAdaptiveController::new(ControllerConfig::paper_default(2.0), 50.0);
+        assert!((c.compensation_db() - 10.0).abs() < 1e-12, "2 dB × 5");
+        let c = SpeedAdaptiveController::with_compensation(
+            ControllerConfig::paper_default(2.0),
+            30.0,
+            1.0,
+        );
+        assert!((c.compensation_db() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_speed_matches_plain_controller() {
+        let cfg = ControllerConfig::paper_default(2.0);
+        let mut adaptive = SpeedAdaptiveController::new(cfg, 0.0);
+        let mut plain = FuzzyHandoverController::new(cfg);
+        for (s, n, d) in [(-100.0, -90.0, 2.3), (-104.0, -88.0, 2.5), (-95.0, -110.0, 1.0)] {
+            assert_eq!(adaptive.decide(&report(s, n, d)), plain.decide(&report(s, n, d)));
+        }
+    }
+
+    #[test]
+    fn compensation_restores_the_low_speed_decision() {
+        // A crossing that hands over at 0 km/h: penalised by 10 dB (as the
+        // simulator does at 50 km/h), the plain controller hesitates but
+        // the adaptive one still goes.
+        let cfg = ControllerConfig::paper_default(2.0);
+        let penalty = 10.0;
+
+        let mut plain = FuzzyHandoverController::new(cfg);
+        plain.decide(&report(-100.0, -96.0 - penalty, 2.3));
+        let plain_decision = plain.decide(&report(-104.0, -94.0 - penalty, 2.5));
+        assert!(!plain_decision.is_handover(), "plain hesitates: {plain_decision:?}");
+
+        let mut adaptive = SpeedAdaptiveController::new(cfg, 50.0);
+        adaptive.decide(&report(-100.0, -96.0 - penalty, 2.3));
+        let adaptive_decision = adaptive.decide(&report(-104.0, -94.0 - penalty, 2.5));
+        assert!(adaptive_decision.is_handover(), "adaptive goes: {adaptive_decision:?}");
+    }
+
+    #[test]
+    fn set_speed_updates_compensation() {
+        let mut c = SpeedAdaptiveController::new(ControllerConfig::paper_default(2.0), 0.0);
+        assert_eq!(c.compensation_db(), 0.0);
+        c.set_speed(40.0);
+        assert!((c.compensation_db() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn notify_resets_inner_history() {
+        let cfg = ControllerConfig::paper_default(2.0);
+        let mut c = SpeedAdaptiveController::new(cfg, 50.0);
+        c.decide(&report(-100.0, -80.0, 2.3));
+        c.notify_handover(Axial::new(1, 0));
+        // First report after a handover can never fire (fresh PRTLC).
+        let d = c.decide(&report(-104.0, -78.0, 2.5));
+        assert!(!d.is_handover());
+    }
+
+    #[test]
+    fn policy_name_distinct() {
+        let c = SpeedAdaptiveController::new(ControllerConfig::paper_default(2.0), 10.0);
+        assert_eq!(c.name(), "fuzzy-speed-adaptive");
+    }
+
+    #[test]
+    #[should_panic(expected = "speed")]
+    fn negative_speed_rejected() {
+        let _ = SpeedAdaptiveController::new(ControllerConfig::paper_default(2.0), -1.0);
+    }
+}

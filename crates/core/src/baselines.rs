@@ -1,0 +1,316 @@
+//! Conventional (non-fuzzy) handover algorithms.
+//!
+//! The paper's conclusion defers a comparison "with other non-fuzzy-based
+//! handover algorithms" to future work; these are the standard comparators
+//! from the handover literature, implemented behind the same
+//! [`HandoverPolicy`] trait as the fuzzy controller so the simulator and
+//! benchmarks can sweep all of them.
+
+use crate::controller::{Decision, MeasurementReport, StayReason};
+use crate::HandoverPolicy;
+use cellgeom::Axial;
+use serde::{Deserialize, Serialize};
+
+/// Pure hysteresis: hand over when the neighbour beats the serving BS by
+/// at least `margin_db`. The classic scheme whose small margins ping-pong
+/// under shadow fading.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HysteresisPolicy {
+    /// Required advantage of the neighbour, in dB.
+    pub margin_db: f64,
+}
+
+impl HysteresisPolicy {
+    /// Construct; the margin must be non-negative.
+    pub fn new(margin_db: f64) -> Self {
+        assert!(margin_db >= 0.0, "hysteresis margin must be non-negative");
+        HysteresisPolicy { margin_db }
+    }
+}
+
+impl HandoverPolicy for HysteresisPolicy {
+    fn decide(&mut self, report: &MeasurementReport) -> Decision {
+        if report.neighbor_rss_dbm >= report.serving_rss_dbm + self.margin_db {
+            Decision::Handover { target: report.neighbor, hd: 1.0 }
+        } else {
+            Decision::Stay(StayReason::ConditionNotMet)
+        }
+    }
+
+    fn notify_handover(&mut self, _new_serving: Axial) {}
+
+    fn name(&self) -> &'static str {
+        "rss-hysteresis"
+    }
+}
+
+/// Absolute threshold: hand over when the serving RSS falls below the
+/// threshold *and* the neighbour is stronger than the serving BS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdPolicy {
+    /// Serving-RSS threshold in dBm.
+    pub threshold_dbm: f64,
+}
+
+impl ThresholdPolicy {
+    /// Construct.
+    pub fn new(threshold_dbm: f64) -> Self {
+        ThresholdPolicy { threshold_dbm }
+    }
+}
+
+impl HandoverPolicy for ThresholdPolicy {
+    fn decide(&mut self, report: &MeasurementReport) -> Decision {
+        if report.serving_rss_dbm < self.threshold_dbm
+            && report.neighbor_rss_dbm > report.serving_rss_dbm
+        {
+            Decision::Handover { target: report.neighbor, hd: 1.0 }
+        } else {
+            Decision::Stay(StayReason::ConditionNotMet)
+        }
+    }
+
+    fn notify_handover(&mut self, _new_serving: Axial) {}
+
+    fn name(&self) -> &'static str {
+        "rss-threshold"
+    }
+}
+
+/// Hysteresis *and* threshold combined — the common commercial scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HysteresisThresholdPolicy {
+    /// Serving-RSS threshold in dBm.
+    pub threshold_dbm: f64,
+    /// Required neighbour advantage in dB.
+    pub margin_db: f64,
+}
+
+impl HysteresisThresholdPolicy {
+    /// Construct; the margin must be non-negative.
+    pub fn new(threshold_dbm: f64, margin_db: f64) -> Self {
+        assert!(margin_db >= 0.0, "hysteresis margin must be non-negative");
+        HysteresisThresholdPolicy { threshold_dbm, margin_db }
+    }
+}
+
+impl HandoverPolicy for HysteresisThresholdPolicy {
+    fn decide(&mut self, report: &MeasurementReport) -> Decision {
+        if report.serving_rss_dbm < self.threshold_dbm
+            && report.neighbor_rss_dbm >= report.serving_rss_dbm + self.margin_db
+        {
+            Decision::Handover { target: report.neighbor, hd: 1.0 }
+        } else {
+            Decision::Stay(StayReason::ConditionNotMet)
+        }
+    }
+
+    fn notify_handover(&mut self, _new_serving: Axial) {}
+
+    fn name(&self) -> &'static str {
+        "rss-hysteresis-threshold"
+    }
+}
+
+/// Distance-driven: hand over when the neighbour BS is geometrically
+/// closer by the given factor (the paper cites distance as a classic
+/// handover metric).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistancePolicy {
+    /// The neighbour must be closer than `factor × serving distance`
+    /// (factor < 1 adds hysteresis).
+    pub factor: f64,
+}
+
+impl DistancePolicy {
+    /// Construct; the factor must be in `(0, 1]`.
+    pub fn new(factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+        DistancePolicy { factor }
+    }
+}
+
+impl HandoverPolicy for DistancePolicy {
+    fn decide(&mut self, report: &MeasurementReport) -> Decision {
+        if report.distance_to_neighbor_km < self.factor * report.distance_to_serving_km {
+            Decision::Handover { target: report.neighbor, hd: 1.0 }
+        } else {
+            Decision::Stay(StayReason::ConditionNotMet)
+        }
+    }
+
+    fn notify_handover(&mut self, _new_serving: Axial) {}
+
+    fn name(&self) -> &'static str {
+        "distance"
+    }
+}
+
+/// Dwell-timer (time-to-trigger) wrapper: the inner policy must vote
+/// *handover* for `required` consecutive reports before it is executed —
+/// a common non-fuzzy ping-pong suppressor.
+#[derive(Debug, Clone)]
+pub struct DwellTimerPolicy<P> {
+    inner: P,
+    required: usize,
+    streak: usize,
+}
+
+impl<P: HandoverPolicy> DwellTimerPolicy<P> {
+    /// Wrap `inner`, requiring `required >= 1` consecutive votes.
+    pub fn new(inner: P, required: usize) -> Self {
+        assert!(required >= 1, "dwell count must be at least 1");
+        DwellTimerPolicy { inner, required, streak: 0 }
+    }
+
+    /// Current consecutive-vote streak (for tests).
+    pub fn streak(&self) -> usize {
+        self.streak
+    }
+}
+
+impl<P: HandoverPolicy> HandoverPolicy for DwellTimerPolicy<P> {
+    fn decide(&mut self, report: &MeasurementReport) -> Decision {
+        match self.inner.decide(report) {
+            Decision::Handover { target, hd } => {
+                self.streak += 1;
+                if self.streak >= self.required {
+                    self.streak = 0;
+                    Decision::Handover { target, hd }
+                } else {
+                    Decision::Stay(StayReason::ConditionNotMet)
+                }
+            }
+            stay => {
+                self.streak = 0;
+                stay
+            }
+        }
+    }
+
+    fn notify_handover(&mut self, new_serving: Axial) {
+        self.streak = 0;
+        self.inner.notify_handover(new_serving);
+    }
+
+    fn name(&self) -> &'static str {
+        "dwell-timer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(serving: f64, neighbor: f64, d_s: f64, d_n: f64) -> MeasurementReport {
+        MeasurementReport {
+            serving: Axial::ORIGIN,
+            serving_rss_dbm: serving,
+            neighbor: Axial::new(1, 0),
+            neighbor_rss_dbm: neighbor,
+            distance_to_serving_km: d_s,
+            distance_to_neighbor_km: d_n,
+        }
+    }
+
+    #[test]
+    fn hysteresis_respects_margin() {
+        let mut p = HysteresisPolicy::new(4.0);
+        assert!(!p.decide(&report(-90.0, -88.0, 1.0, 1.0)).is_handover(), "2 dB < margin");
+        assert!(p.decide(&report(-90.0, -86.0, 1.0, 1.0)).is_handover(), "4 dB = margin");
+        assert!(p.decide(&report(-90.0, -80.0, 1.0, 1.0)).is_handover());
+    }
+
+    #[test]
+    fn zero_margin_hysteresis_flip_flops() {
+        // The degenerate margin that causes ping-pong: any advantage wins.
+        let mut p = HysteresisPolicy::new(0.0);
+        assert!(p.decide(&report(-90.0, -89.9, 1.0, 1.0)).is_handover());
+        assert!(p.decide(&report(-90.0, -90.0, 1.0, 1.0)).is_handover(), "ties trigger too");
+    }
+
+    #[test]
+    fn threshold_gates_on_serving() {
+        let mut p = ThresholdPolicy::new(-95.0);
+        // Serving is fine: no matter how strong the neighbour.
+        assert!(!p.decide(&report(-90.0, -70.0, 1.0, 1.0)).is_handover());
+        // Serving is bad but the neighbour is worse: stay.
+        assert!(!p.decide(&report(-100.0, -105.0, 1.0, 1.0)).is_handover());
+        // Serving bad, neighbour better: go.
+        assert!(p.decide(&report(-100.0, -96.0, 1.0, 1.0)).is_handover());
+    }
+
+    #[test]
+    fn combined_policy_needs_both() {
+        let mut p = HysteresisThresholdPolicy::new(-95.0, 5.0);
+        assert!(!p.decide(&report(-90.0, -80.0, 1.0, 1.0)).is_handover(), "above threshold");
+        assert!(!p.decide(&report(-100.0, -97.0, 1.0, 1.0)).is_handover(), "margin unmet");
+        assert!(p.decide(&report(-100.0, -95.0, 1.0, 1.0)).is_handover());
+    }
+
+    #[test]
+    fn distance_policy() {
+        let mut p = DistancePolicy::new(0.8);
+        assert!(!p.decide(&report(-90.0, -90.0, 1.0, 0.9)).is_handover(), "0.9 > 0.8");
+        assert!(p.decide(&report(-90.0, -90.0, 1.0, 0.7)).is_handover());
+    }
+
+    #[test]
+    fn dwell_timer_requires_streak() {
+        let inner = HysteresisPolicy::new(0.0);
+        let mut p = DwellTimerPolicy::new(inner, 3);
+        let go = report(-90.0, -85.0, 1.0, 1.0);
+        let stay = report(-90.0, -95.0, 1.0, 1.0);
+        assert!(!p.decide(&go).is_handover());
+        assert!(!p.decide(&go).is_handover());
+        assert_eq!(p.streak(), 2);
+        assert!(p.decide(&go).is_handover(), "third consecutive vote fires");
+        assert_eq!(p.streak(), 0, "streak resets after firing");
+        // A stay in between resets the streak.
+        assert!(!p.decide(&go).is_handover());
+        assert!(!p.decide(&stay).is_handover());
+        assert!(!p.decide(&go).is_handover());
+        assert_eq!(p.streak(), 1);
+    }
+
+    #[test]
+    fn dwell_timer_reset_on_notify() {
+        let mut p = DwellTimerPolicy::new(HysteresisPolicy::new(0.0), 2);
+        let go = report(-90.0, -85.0, 1.0, 1.0);
+        assert!(!p.decide(&go).is_handover());
+        p.notify_handover(Axial::new(1, 0));
+        assert_eq!(p.streak(), 0);
+        assert!(!p.decide(&go).is_handover(), "streak must rebuild");
+    }
+
+    #[test]
+    fn policy_names_are_distinct() {
+        let names = [
+            HysteresisPolicy::new(1.0).name(),
+            ThresholdPolicy::new(-95.0).name(),
+            HysteresisThresholdPolicy::new(-95.0, 1.0).name(),
+            DistancePolicy::new(0.9).name(),
+            DwellTimerPolicy::new(HysteresisPolicy::new(1.0), 2).name(),
+        ];
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_margin_rejected() {
+        let _ = HysteresisPolicy::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn bad_distance_factor_rejected() {
+        let _ = DistancePolicy::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dwell")]
+    fn zero_dwell_rejected() {
+        let _ = DwellTimerPolicy::new(HysteresisPolicy::new(1.0), 0);
+    }
+}

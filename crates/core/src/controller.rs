@@ -1,0 +1,305 @@
+//! The three-stage handover controller (paper §4, Fig. 4).
+
+use crate::flc::build_paper_flc;
+use crate::inputs::FlcInputs;
+use crate::HandoverPolicy;
+use cellgeom::Axial;
+use fuzzylogic::Fis;
+use serde::{Deserialize, Serialize};
+
+/// One measurement report handed to a [`HandoverPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementReport {
+    /// The serving cell.
+    pub serving: Axial,
+    /// Serving-BS RSS in dBm.
+    pub serving_rss_dbm: f64,
+    /// Strongest neighbour cell.
+    pub neighbor: Axial,
+    /// Neighbour-BS RSS in dBm.
+    pub neighbor_rss_dbm: f64,
+    /// MS distance to the serving BS in km.
+    pub distance_to_serving_km: f64,
+    /// MS distance to the neighbour BS in km.
+    pub distance_to_neighbor_km: f64,
+}
+
+/// Why a policy decided to stay on the serving BS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StayReason {
+    /// POTLC: the serving signal is still above the quality threshold.
+    SignalStillGood,
+    /// FLC: the handover-decision output did not exceed the threshold.
+    BelowThreshold {
+        /// The defuzzified HD value.
+        hd: f64,
+    },
+    /// PRTLC: the serving signal is not degrading any more.
+    SignalRecovering {
+        /// The defuzzified HD value that had cleared the FLC stage.
+        hd: f64,
+    },
+    /// The policy's own condition did not trigger (baselines).
+    ConditionNotMet,
+}
+
+/// The outcome of one decision step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Decision {
+    /// Remain on the serving BS.
+    Stay(StayReason),
+    /// Hand the MS over to the neighbour in the report.
+    Handover {
+        /// The new serving cell.
+        target: Axial,
+        /// The defuzzified HD value (NaN-free; baselines report 1.0).
+        hd: f64,
+    },
+}
+
+impl Decision {
+    /// True for [`Decision::Handover`].
+    pub fn is_handover(&self) -> bool {
+        matches!(self, Decision::Handover { .. })
+    }
+}
+
+/// Configuration of the fuzzy controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// FLC stage: handover is considered only when HD exceeds this (the
+    /// paper: 0.7).
+    pub hd_threshold: f64,
+    /// POTLC stage: serving RSS at or above this is "still good enough",
+    /// no handover processing happens at all.
+    pub potlc_threshold_dbm: f64,
+    /// Cell radius used to normalise DMB, in km.
+    pub cell_radius_km: f64,
+}
+
+impl ControllerConfig {
+    /// The paper's configuration for a given cell radius: HD > 0.7,
+    /// POTLC quality gate at −85 dBm.
+    pub fn paper_default(cell_radius_km: f64) -> Self {
+        ControllerConfig { hd_threshold: 0.7, potlc_threshold_dbm: -85.0, cell_radius_km }
+    }
+}
+
+/// The paper's handover controller: POTLC → FLC → PRTLC.
+#[derive(Debug, Clone)]
+pub struct FuzzyHandoverController {
+    fis: Fis,
+    config: ControllerConfig,
+    prev_serving_rss: Option<f64>,
+}
+
+impl FuzzyHandoverController {
+    /// Build with the paper FLC.
+    pub fn new(config: ControllerConfig) -> Self {
+        Self::with_fis(build_paper_flc(), config)
+    }
+
+    /// Build with a custom FIS (must accept `[CSSP, SSN, DMB]` and produce
+    /// one output) — used by the ablation studies.
+    pub fn with_fis(fis: Fis, config: ControllerConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.hd_threshold),
+            "HD threshold must lie in [0, 1]"
+        );
+        assert!(config.cell_radius_km > 0.0, "cell radius must be positive");
+        assert_eq!(fis.inputs().len(), 3, "the controller FIS takes 3 inputs");
+        assert_eq!(fis.outputs().len(), 1, "the controller FIS yields 1 output");
+        FuzzyHandoverController { fis, config, prev_serving_rss: None }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// The previous serving-BS reading (PRTLC/CSSP state).
+    pub fn prev_serving_rss(&self) -> Option<f64> {
+        self.prev_serving_rss
+    }
+
+    /// Evaluate only the FLC stage for explicit inputs (used by the
+    /// Table 3/4 experiments, which tabulate raw HD values).
+    pub fn evaluate_hd(&self, inputs: &FlcInputs) -> f64 {
+        self.fis
+            .evaluate(&inputs.as_array())
+            .expect("the paper FLC fires on every input")[0]
+    }
+
+    /// Run the full three-stage pipeline on one report.
+    fn pipeline(&mut self, report: &MeasurementReport) -> Decision {
+        let prev = self.prev_serving_rss;
+        self.prev_serving_rss = Some(report.serving_rss_dbm);
+
+        // Stage 1 — POTLC: "if the signal strength is still good enough
+        // the handover is not carried out."
+        if report.serving_rss_dbm >= self.config.potlc_threshold_dbm {
+            return Decision::Stay(StayReason::SignalStillGood);
+        }
+
+        // Stage 2 — FLC: fuzzy decision on CSSP/SSN/DMB.
+        let inputs = FlcInputs::from_measurements(
+            report.serving_rss_dbm,
+            prev,
+            report.neighbor_rss_dbm,
+            report.distance_to_serving_km,
+            self.config.cell_radius_km,
+        );
+        let hd = self.evaluate_hd(&inputs);
+        if hd <= self.config.hd_threshold {
+            return Decision::Stay(StayReason::BelowThreshold { hd });
+        }
+
+        // Stage 3 — PRTLC: "when the present signal strength is lower than
+        // the strength of the previous signal, the handover procedure is
+        // carried out."
+        match prev {
+            Some(prev_rss) if report.serving_rss_dbm < prev_rss => {
+                Decision::Handover { target: report.neighbor, hd }
+            }
+            Some(_) => Decision::Stay(StayReason::SignalRecovering { hd }),
+            // No history: be conservative, require a confirmed downtrend.
+            None => Decision::Stay(StayReason::SignalRecovering { hd }),
+        }
+    }
+}
+
+impl HandoverPolicy for FuzzyHandoverController {
+    fn decide(&mut self, report: &MeasurementReport) -> Decision {
+        self.pipeline(report)
+    }
+
+    fn notify_handover(&mut self, _new_serving: Axial) {
+        // The CSSP/PRTLC history refers to the old serving BS; reset it.
+        self.prev_serving_rss = None;
+    }
+
+    fn name(&self) -> &'static str {
+        "fuzzy-potlc-flc-prtlc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(serving: f64, neighbor: f64, dist: f64) -> MeasurementReport {
+        MeasurementReport {
+            serving: Axial::ORIGIN,
+            serving_rss_dbm: serving,
+            neighbor: Axial::new(1, 0),
+            neighbor_rss_dbm: neighbor,
+            distance_to_serving_km: dist,
+            distance_to_neighbor_km: 2.0 * 3.0f64.sqrt() - dist,
+        }
+    }
+
+    fn controller() -> FuzzyHandoverController {
+        FuzzyHandoverController::new(ControllerConfig::paper_default(2.0))
+    }
+
+    #[test]
+    fn potlc_blocks_when_signal_good() {
+        let mut c = controller();
+        // −80 dBm is above the −85 dBm quality gate.
+        let d = c.decide(&report(-80.0, -85.0, 1.9));
+        assert_eq!(d, Decision::Stay(StayReason::SignalStillGood));
+    }
+
+    #[test]
+    fn flc_blocks_weak_neighbour() {
+        let mut c = controller();
+        // Prime history with a slightly better reading so CSSP is a mild
+        // drop, then present a hopeless neighbour.
+        c.decide(&report(-95.0, -118.0, 0.5));
+        let d = c.decide(&report(-96.0, -118.0, 0.5));
+        match d {
+            Decision::Stay(StayReason::BelowThreshold { hd }) => {
+                assert!(hd < 0.7, "weak neighbour must stay below threshold, hd={hd}")
+            }
+            other => panic!("expected FLC block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_pipeline_hands_over_on_crossing() {
+        let mut c = controller();
+        // Degrading serving signal (far out), strong neighbour.
+        c.decide(&report(-100.0, -90.0, 2.3));
+        let d = c.decide(&report(-104.0, -88.0, 2.5));
+        match d {
+            Decision::Handover { target, hd } => {
+                assert_eq!(target, Axial::new(1, 0));
+                assert!(hd > 0.7, "hd {hd}");
+            }
+            other => panic!("expected handover, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prtlc_blocks_recovering_signal() {
+        let mut c = controller();
+        c.decide(&report(-108.0, -84.0, 2.6));
+        // FLC says go (far out, very strong neighbour, near-zero CSSP
+        // fires the NC/ST/FA → HG rule), but the serving signal *rose*
+        // 0.5 dB — PRTLC must veto.
+        let d = c.decide(&report(-107.5, -84.0, 2.6));
+        match d {
+            Decision::Stay(StayReason::SignalRecovering { hd }) => assert!(hd > 0.7, "hd {hd}"),
+            other => panic!("expected PRTLC veto, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_report_never_hands_over() {
+        // Without history PRTLC cannot confirm a downtrend.
+        let mut c = controller();
+        let d = c.decide(&report(-104.0, -85.0, 2.5));
+        assert!(!d.is_handover(), "got {d:?}");
+    }
+
+    #[test]
+    fn notify_handover_resets_history() {
+        let mut c = controller();
+        c.decide(&report(-100.0, -90.0, 2.3));
+        assert!(c.prev_serving_rss().is_some());
+        c.notify_handover(Axial::new(1, 0));
+        assert_eq!(c.prev_serving_rss(), None);
+        // Immediately after a handover the pipeline is conservative again.
+        let d = c.decide(&report(-104.0, -88.0, 2.5));
+        assert!(!d.is_handover());
+    }
+
+    #[test]
+    fn evaluate_hd_is_pure() {
+        let c = controller();
+        let x = FlcInputs { cssp_db: -4.0, ssn_dbm: -95.0, dmb_norm: 1.1 };
+        let a = c.evaluate_hd(&x);
+        let b = c.evaluate_hd(&x);
+        assert_eq!(a, b);
+        assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn decision_is_handover_helper() {
+        assert!(Decision::Handover { target: Axial::ORIGIN, hd: 0.9 }.is_handover());
+        assert!(!Decision::Stay(StayReason::ConditionNotMet).is_handover());
+    }
+
+    #[test]
+    #[should_panic(expected = "HD threshold")]
+    fn invalid_threshold_rejected() {
+        let mut cfg = ControllerConfig::paper_default(2.0);
+        cfg.hd_threshold = 1.5;
+        let _ = FuzzyHandoverController::new(cfg);
+    }
+
+    #[test]
+    fn policy_name() {
+        assert_eq!(controller().name(), "fuzzy-potlc-flc-prtlc");
+    }
+}

@@ -1,0 +1,166 @@
+//! The paper's linguistic variables (Fig. 5).
+//!
+//! Fig. 5 prints the axis anchors (CSSP −10/0/10 dB, SSN −120/−100/−80 dB,
+//! DMB 0.25/0.4/0.75/0.8/1, HD 0.2/0.6/1) but not every vertex of every
+//! membership function. The breakpoints below form exact Ruspini
+//! partitions (memberships sum to 1 everywhere) that honour the printed
+//! anchors and were then calibrated against the *decision shape* of the
+//! paper's Tables 3 and 4: boundary-walk inputs (Table 3) must defuzzify
+//! below the 0.7 handover threshold while cell-crossing inputs (Table 4)
+//! exceed it. DESIGN.md §3 records the calibration rationale.
+//!
+//! DMB is the MS–BS distance *normalised by the cell radius* (Table 3's
+//! 0.85–1.02 km at R = 2 km ≈ 0.42–0.51, mid-universe as Fig. 5 shows).
+
+use fuzzylogic::{LinguisticVariable, Mf};
+
+/// Universe bounds of the CSSP input (dB change of the serving signal).
+pub const CSSP_RANGE: (f64, f64) = (-10.0, 10.0);
+/// Universe bounds of the SSN input (neighbour RSS, dB).
+pub const SSN_RANGE: (f64, f64) = (-120.0, -80.0);
+/// Universe bounds of the DMB input (distance / cell radius).
+pub const DMB_RANGE: (f64, f64) = (0.0, 1.5);
+/// Universe bounds of the HD output.
+pub const HD_RANGE: (f64, f64) = (0.0, 1.0);
+
+/// CSSP: Change of the Signal Strength of the Present BS, in dB per
+/// measurement interval. "Small" sits at the negative (dropping) end.
+pub fn cssp_variable() -> LinguisticVariable {
+    LinguisticVariable::new("CSSP", CSSP_RANGE.0, CSSP_RANGE.1)
+        .with_term("SM", Mf::left_shoulder(-7.0, -3.5))
+        .with_term("LC", Mf::triangular(-7.0, -3.5, 0.0))
+        .with_term("NC", Mf::triangular(-3.5, 0.0, 7.0))
+        .with_term("BG", Mf::right_shoulder(0.0, 7.0))
+}
+
+/// SSN: Signal Strength from the Neighbour BS, in dB.
+pub fn ssn_variable() -> LinguisticVariable {
+    LinguisticVariable::new("SSN", SSN_RANGE.0, SSN_RANGE.1)
+        .with_term("WK", Mf::left_shoulder(-114.0, -104.0))
+        .with_term("NSW", Mf::triangular(-114.0, -104.0, -94.0))
+        .with_term("NO", Mf::triangular(-104.0, -94.0, -84.0))
+        .with_term("ST", Mf::right_shoulder(-94.0, -84.0))
+}
+
+/// DMB: distance between MS and serving BS, normalised by cell radius.
+pub fn dmb_variable() -> LinguisticVariable {
+    LinguisticVariable::new("DMB", DMB_RANGE.0, DMB_RANGE.1)
+        .with_term("NR", Mf::left_shoulder(0.25, 0.45))
+        .with_term("NSN", Mf::triangular(0.25, 0.45, 0.65))
+        .with_term("NSF", Mf::triangular(0.45, 0.65, 0.9))
+        .with_term("FA", Mf::right_shoulder(0.65, 0.9))
+}
+
+/// HD: the crisp Handover Decision output in `[0, 1]`; the paper hands
+/// over when HD exceeds 0.7.
+pub fn hd_variable() -> LinguisticVariable {
+    LinguisticVariable::new("HD", HD_RANGE.0, HD_RANGE.1)
+        .with_term("VL", Mf::left_shoulder(0.15, 0.4))
+        .with_term("LO", Mf::triangular(0.15, 0.4, 0.65))
+        .with_term("LH", Mf::triangular(0.4, 0.65, 0.9))
+        .with_term("HG", Mf::right_shoulder(0.65, 0.9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_terms_each_in_frb_order() {
+        for (var, labels) in [
+            (cssp_variable(), ["SM", "LC", "NC", "BG"]),
+            (ssn_variable(), ["WK", "NSW", "NO", "ST"]),
+            (dmb_variable(), ["NR", "NSN", "NSF", "FA"]),
+            (hd_variable(), ["VL", "LO", "LH", "HG"]),
+        ] {
+            assert_eq!(var.term_count(), 4, "{}", var.name);
+            for (k, l) in labels.iter().enumerate() {
+                assert_eq!(var.term_index(l), Some(k), "{}:{l}", var.name);
+            }
+        }
+    }
+
+    #[test]
+    fn universes_match_figure_anchors() {
+        let cssp = cssp_variable();
+        assert_eq!((cssp.min, cssp.max), (-10.0, 10.0));
+        let ssn = ssn_variable();
+        assert_eq!((ssn.min, ssn.max), (-120.0, -80.0));
+        let hd = hd_variable();
+        assert_eq!((hd.min, hd.max), (0.0, 1.0));
+    }
+
+    #[test]
+    fn no_coverage_gaps() {
+        // Ruspini partitions never dip below 0.5 combined coverage, so
+        // every crisp input fires at least one reasonably strong rule.
+        for var in [cssp_variable(), ssn_variable(), dmb_variable(), hd_variable()] {
+            let gaps = var.coverage_gaps(0.45, 2001);
+            assert!(gaps.is_empty(), "{} has coverage gaps: {gaps:?}", var.name);
+        }
+    }
+
+    #[test]
+    fn partitions_are_exact_ruspini() {
+        // Shoulder and triangle slopes are matched so memberships sum to
+        // exactly 1 across each universe.
+        for var in [cssp_variable(), ssn_variable(), dmb_variable(), hd_variable()] {
+            let dev = var.ruspini_deviation(2001);
+            assert!(dev < 1e-9, "{} deviates {dev}", var.name);
+        }
+    }
+
+    #[test]
+    fn cssp_semantics() {
+        let v = cssp_variable();
+        // A −8 dB drop is clearly "Small" (big drop).
+        assert_eq!(v.best_term(-8.0).unwrap().0, 0);
+        // −3.5 dB is peak "Little Change".
+        assert_eq!(v.best_term(-3.5).unwrap().0, 1);
+        // 0 dB is "No Change".
+        assert_eq!(v.best_term(0.0).unwrap().0, 2);
+        // +8 dB (improving) is "Big".
+        assert_eq!(v.best_term(8.0).unwrap().0, 3);
+    }
+
+    #[test]
+    fn ssn_semantics() {
+        let v = ssn_variable();
+        assert_eq!(v.best_term(-115.0).unwrap().0, 0, "weak");
+        assert_eq!(v.best_term(-104.0).unwrap().0, 1, "not so weak");
+        assert_eq!(v.best_term(-96.0).unwrap().0, 2, "normal");
+        assert_eq!(v.best_term(-85.0).unwrap().0, 3, "strong");
+        // Table 3's boundary neighbours (≈ −93 dB) are NO-dominant, which
+        // keeps the strongest boundary rules at LH instead of HG.
+        assert_eq!(v.best_term(-93.4).unwrap().0, 2);
+        assert!(v.membership(3, -93.4) < 0.1, "ST barely fires at −93.4");
+    }
+
+    #[test]
+    fn dmb_semantics() {
+        let v = dmb_variable();
+        assert_eq!(v.best_term(0.1).unwrap().0, 0, "near");
+        assert_eq!(v.best_term(0.42).unwrap().0, 1, "not so near");
+        assert_eq!(v.best_term(0.6).unwrap().0, 2, "not so far");
+        assert_eq!(v.best_term(1.2).unwrap().0, 3, "far");
+        // Table 3 distances (0.42–0.51 normalised) are NSN-dominant…
+        assert_eq!(v.best_term(0.45).unwrap().0, 1);
+        // …while Table 4 crossings (≥ 0.9) saturate FA.
+        assert!((v.membership(3, 0.95) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hd_term_order_is_monotone() {
+        // Core midpoints of VL..HG are strictly increasing.
+        let v = hd_variable();
+        let centers: Vec<f64> = (0..4)
+            .map(|k| v.term(k).unwrap().mf.centroid_of_core(0.0, 1.0))
+            .collect();
+        for w in centers.windows(2) {
+            assert!(w[1] > w[0], "{centers:?}");
+        }
+        // HG's representative value is above the 0.7 threshold, LO's below.
+        assert!(centers[3] > 0.7);
+        assert!(centers[1] < 0.7);
+    }
+}

@@ -1,0 +1,256 @@
+//! Construction of the paper's Fuzzy Logic Controller.
+
+pub mod membership;
+pub mod rules;
+
+pub use membership::{
+    cssp_variable, dmb_variable, hd_variable, ssn_variable, CSSP_RANGE, DMB_RANGE, HD_RANGE,
+    SSN_RANGE,
+};
+pub use rules::{frb_lookup, Cssp, Dmb, FrbRule, Hd, Ssn, PAPER_FRB};
+
+use fuzzylogic::{
+    Antecedent, Connective, Consequent, Defuzzifier, Fis, FisBuilder, Rule, SugenoFis,
+    SugenoFisBuilder, SugenoOutput, SugenoRule,
+};
+
+/// Index of the CSSP input within the built FIS.
+pub const CSSP_INPUT: usize = 0;
+/// Index of the SSN input within the built FIS.
+pub const SSN_INPUT: usize = 1;
+/// Index of the DMB input within the built FIS.
+pub const DMB_INPUT: usize = 2;
+
+/// Which engine flavour to build for the paper controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlcProfile {
+    /// The paper's setup: Mamdani min/max, centroid defuzzification.
+    #[default]
+    Paper,
+    /// Mamdani with product implication / probabilistic-sum aggregation
+    /// (ablation variant).
+    Product,
+}
+
+/// Build the paper's FLC: three inputs (CSSP, SSN, DMB), one output (HD),
+/// the 64-rule FRB of Table 1, Mamdani min–max inference with centroid
+/// defuzzification.
+pub fn build_paper_flc() -> Fis {
+    build_flc_with(FlcProfile::Paper, Defuzzifier::Centroid)
+}
+
+/// Build the paper controller with an explicit profile and defuzzifier
+/// (used by the ablation benchmarks).
+pub fn build_flc_with(profile: FlcProfile, defuzz: Defuzzifier) -> Fis {
+    let mut builder = FisBuilder::new("barolli-handover-flc")
+        .input(cssp_variable())
+        .input(ssn_variable())
+        .input(dmb_variable())
+        .output(hd_variable())
+        .defuzzifier(defuzz)
+        .resolution(501);
+    builder = match profile {
+        FlcProfile::Paper => builder
+            .and(fuzzylogic::TNorm::Min)
+            .or(fuzzylogic::SNorm::Max)
+            .implication(fuzzylogic::Implication::Min)
+            .aggregation(fuzzylogic::Aggregation::Max),
+        FlcProfile::Product => builder
+            .and(fuzzylogic::TNorm::Product)
+            .or(fuzzylogic::SNorm::ProbabilisticSum)
+            .implication(fuzzylogic::Implication::Product)
+            .aggregation(fuzzylogic::Aggregation::ProbabilisticSum),
+    };
+    for rule in PAPER_FRB {
+        builder = builder.rule(Rule::new(
+            vec![
+                Antecedent::new(CSSP_INPUT, rule.cssp.index()),
+                Antecedent::new(SSN_INPUT, rule.ssn.index()),
+                Antecedent::new(DMB_INPUT, rule.dmb.index()),
+            ],
+            Connective::And,
+            vec![Consequent::new(0, rule.hd.index())],
+        ));
+    }
+    builder.build().expect("the paper FLC is statically valid")
+}
+
+/// A zero-order Sugeno variant of the paper controller: each FRB rule's
+/// consequent term is replaced by its representative crisp value (the core
+/// midpoint of the corresponding HD term). Used by the ablation study.
+pub fn build_paper_sugeno() -> SugenoFis {
+    let hd = hd_variable();
+    let constants: Vec<f64> = (0..4)
+        .map(|k| hd.term(k).expect("4 HD terms").mf.centroid_of_core(hd.min, hd.max))
+        .collect();
+    let mut builder = SugenoFisBuilder::new("barolli-handover-sugeno", 1)
+        .input(cssp_variable())
+        .input(ssn_variable())
+        .input(dmb_variable());
+    for rule in PAPER_FRB {
+        builder = builder.rule(SugenoRule::new(
+            vec![
+                Antecedent::new(CSSP_INPUT, rule.cssp.index()),
+                Antecedent::new(SSN_INPUT, rule.ssn.index()),
+                Antecedent::new(DMB_INPUT, rule.dmb.index()),
+            ],
+            Connective::And,
+            vec![SugenoOutput::Constant(constants[rule.hd.index()])],
+        ));
+    }
+    builder.build().expect("the Sugeno variant is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_expected_shape() {
+        let fis = build_paper_flc();
+        assert_eq!(fis.inputs().len(), 3);
+        assert_eq!(fis.outputs().len(), 1);
+        assert_eq!(fis.rules().len(), 64);
+        assert_eq!(fis.input_index("CSSP"), Some(CSSP_INPUT));
+        assert_eq!(fis.input_index("SSN"), Some(SSN_INPUT));
+        assert_eq!(fis.input_index("DMB"), Some(DMB_INPUT));
+        assert_eq!(fis.output_index("HD"), Some(0));
+    }
+
+    #[test]
+    fn no_conflicting_rules() {
+        let fis = build_paper_flc();
+        assert!(fis.rules().conflicting_pairs().is_empty());
+    }
+
+    #[test]
+    fn rule_base_analysis_is_clean() {
+        // The analyzer must find nothing suspicious in the paper FRB:
+        // every term referenced, no conflicts, no permanently dominated
+        // rules, and at least one rule firing ≥ 0.5 everywhere (the
+        // Ruspini partitions guarantee 0.5³ = 0.125 joint strength at the
+        // worst triple crossover).
+        let fis = build_paper_flc();
+        let report = fuzzylogic::analyze(&fis, 9).expect("analysis runs");
+        assert!(report.unused_input_terms.is_empty(), "{report:?}");
+        assert!(report.unused_output_terms.is_empty(), "{report:?}");
+        assert!(report.conflicts.is_empty(), "{report:?}");
+        assert!(report.never_dominant.is_empty(), "{report:?}");
+        assert!(report.min_best_firing >= 0.125, "{}", report.min_best_firing);
+    }
+
+    #[test]
+    fn total_coverage_every_input_fires() {
+        let fis = build_paper_flc();
+        for cssp in [-10.0, -5.0, -1.0, 0.0, 3.0, 10.0] {
+            for ssn in [-120.0, -105.0, -95.0, -80.0] {
+                for dmb in [0.0, 0.3, 0.5, 0.8, 1.5] {
+                    let firing = fis.firing_strengths(&[cssp, ssn, dmb]).unwrap();
+                    assert!(
+                        firing.iter().any(|&w| w > 0.0),
+                        "nothing fired at ({cssp}, {ssn}, {dmb})"
+                    );
+                    let hd = fis.evaluate(&[cssp, ssn, dmb]).unwrap()[0];
+                    assert!((0.0..=1.0).contains(&hd));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clear_handover_case_scores_high() {
+        // Collapsing serving signal, strong neighbour, far from BS: the
+        // SM/ST/FA corner is pure HG.
+        let fis = build_paper_flc();
+        let hd = fis.evaluate(&[-9.0, -82.0, 1.3]).unwrap()[0];
+        assert!(hd > 0.8, "clear handover scored {hd}");
+    }
+
+    #[test]
+    fn clear_stay_case_scores_low() {
+        // Improving signal, weak neighbour, near the BS: pure VL.
+        let fis = build_paper_flc();
+        let hd = fis.evaluate(&[8.0, -118.0, 0.1]).unwrap()[0];
+        assert!(hd < 0.3, "clear stay scored {hd}");
+    }
+
+    #[test]
+    fn threshold_separates_paper_scenarios() {
+        let fis = build_paper_flc();
+        // Table-3-style boundary inputs (CSSP ≈ −1…−4 dB, SSN ≈ −93…−95,
+        // distance ≈ 0.43–0.51 of the radius) stay below 0.7…
+        for (cssp, ssn, dmb) in [
+            (-2.71, -93.36, 0.443),
+            (-3.697, -92.49, 0.473),
+            (-1.289, -92.77, 0.434),
+            (0.3877, -92.77, 0.423),
+            (-1.189, -94.01, 0.468),
+            (-1.270, -95.28, 0.509),
+        ] {
+            let hd = fis.evaluate(&[cssp, ssn, dmb]).unwrap()[0];
+            assert!(hd < 0.7, "boundary point ({cssp}, {ssn}, {dmb}) scored {hd}");
+        }
+        // …while Table-4-style crossing inputs (far from the serving BS,
+        // healthy neighbour ≳ −98 dB — roughly 1 km inside the neighbour
+        // cell under the calibrated propagation, including the paper's
+        // speed penalty at 50 km/h) exceed it.
+        for (cssp, ssn, dmb) in [
+            (-3.5, -88.4, 1.23),
+            (-3.7, -90.8, 1.17),
+            (-7.97, -88.42, 1.52),
+            (-5.0, -92.0, 1.0),
+            (-3.5, -98.4, 1.23), // 50 km/h penalty applied
+            (-8.0, -98.4, 1.5),  // 50 km/h penalty applied
+        ] {
+            let hd = fis.evaluate(&[cssp, ssn, dmb]).unwrap()[0];
+            assert!(hd > 0.7, "crossing point ({cssp}, {ssn}, {dmb}) scored {hd}");
+        }
+    }
+
+    #[test]
+    fn monotone_in_neighbour_strength_numerically() {
+        let fis = build_paper_flc();
+        for &cssp in &[-6.0, -2.0, 0.0] {
+            for &dmb in &[0.3, 0.6, 1.0] {
+                let mut prev = 0.0;
+                for k in 0..=20 {
+                    let ssn = -120.0 + 2.0 * k as f64;
+                    let hd = fis.evaluate(&[cssp, ssn, dmb]).unwrap()[0];
+                    // The rule table is monotone in SSN; Mamdani centroid
+                    // clipping can still wobble a few percent where two
+                    // consequent sets exchange area, hence the tolerance.
+                    assert!(
+                        hd >= prev - 0.06,
+                        "HD not monotone in SSN at ({cssp}, {ssn}, {dmb}): {hd} < {prev}"
+                    );
+                    prev = hd;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sugeno_variant_agrees_directionally() {
+        let mamdani = build_paper_flc();
+        let sugeno = build_paper_sugeno();
+        let stay = [8.0, -118.0, 0.1];
+        let go = [-9.0, -82.0, 1.3];
+        let m_stay = mamdani.evaluate(&stay).unwrap()[0];
+        let m_go = mamdani.evaluate(&go).unwrap()[0];
+        let s_stay = sugeno.evaluate(&stay).unwrap()[0];
+        let s_go = sugeno.evaluate(&go).unwrap()[0];
+        assert!(m_go > m_stay && s_go > s_stay);
+        assert!((m_go - s_go).abs() < 0.2, "engines agree roughly: {m_go} vs {s_go}");
+    }
+
+    #[test]
+    fn product_profile_builds_and_differs() {
+        let paper = build_paper_flc();
+        let product = build_flc_with(FlcProfile::Product, Defuzzifier::Centroid);
+        let x = [-4.0, -97.0, 0.9];
+        let a = paper.evaluate(&x).unwrap()[0];
+        let b = product.evaluate(&x).unwrap()[0];
+        assert!((a - b).abs() > 1e-6, "profiles are distinct ({a} vs {b})");
+        assert!((a - b).abs() < 0.25, "but not wildly different");
+    }
+}

@@ -1,0 +1,374 @@
+//! The paper's Fuzzy Rule Base (Table 1): all 64 rules, transcribed
+//! verbatim as typed data so tests can assert the table cell by cell.
+
+use serde::{Deserialize, Serialize};
+
+/// CSSP terms: Change of the Signal Strength of the Present BS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cssp {
+    /// Small (a large *drop* — the change value is at the small end of the
+    /// universe).
+    SM,
+    /// Little Change.
+    LC,
+    /// No Change.
+    NC,
+    /// Big (the signal is improving).
+    BG,
+}
+
+/// SSN terms: Signal Strength from the Neighbour BS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ssn {
+    /// Weak.
+    WK,
+    /// Not So Weak.
+    NSW,
+    /// Normal.
+    NO,
+    /// Strong.
+    ST,
+}
+
+/// DMB terms: Distance of the MS from the BS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dmb {
+    /// Near.
+    NR,
+    /// Not So Near.
+    NSN,
+    /// Not So Far.
+    NSF,
+    /// Far.
+    FA,
+}
+
+/// HD terms: the Handover Decision output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Hd {
+    /// Very Low.
+    VL,
+    /// Low.
+    LO,
+    /// Little High.
+    LH,
+    /// High.
+    HG,
+}
+
+impl Cssp {
+    /// All terms in FRB column order.
+    pub const ALL: [Cssp; 4] = [Cssp::SM, Cssp::LC, Cssp::NC, Cssp::BG];
+    /// Term index within the CSSP linguistic variable.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+    /// Linguistic label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Cssp::SM => "SM",
+            Cssp::LC => "LC",
+            Cssp::NC => "NC",
+            Cssp::BG => "BG",
+        }
+    }
+}
+
+impl Ssn {
+    /// All terms in FRB column order.
+    pub const ALL: [Ssn; 4] = [Ssn::WK, Ssn::NSW, Ssn::NO, Ssn::ST];
+    /// Term index within the SSN linguistic variable.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+    /// Linguistic label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Ssn::WK => "WK",
+            Ssn::NSW => "NSW",
+            Ssn::NO => "NO",
+            Ssn::ST => "ST",
+        }
+    }
+}
+
+impl Dmb {
+    /// All terms in FRB column order.
+    pub const ALL: [Dmb; 4] = [Dmb::NR, Dmb::NSN, Dmb::NSF, Dmb::FA];
+    /// Term index within the DMB linguistic variable.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+    /// Linguistic label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Dmb::NR => "NR",
+            Dmb::NSN => "NSN",
+            Dmb::NSF => "NSF",
+            Dmb::FA => "FA",
+        }
+    }
+}
+
+impl Hd {
+    /// All terms in output order (VL < LO < LH < HG).
+    pub const ALL: [Hd; 4] = [Hd::VL, Hd::LO, Hd::LH, Hd::HG];
+    /// Term index within the HD linguistic variable.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+    /// Linguistic label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Hd::VL => "VL",
+            Hd::LO => "LO",
+            Hd::LH => "LH",
+            Hd::HG => "HG",
+        }
+    }
+    /// Ordinal strength of the output term (VL = 0 … HG = 3), used by the
+    /// monotonicity tests.
+    pub const fn strength(self) -> u8 {
+        self as u8
+    }
+}
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrbRule {
+    /// 1-based rule number as printed in the paper.
+    pub number: u8,
+    /// CSSP antecedent term.
+    pub cssp: Cssp,
+    /// SSN antecedent term.
+    pub ssn: Ssn,
+    /// DMB antecedent term.
+    pub dmb: Dmb,
+    /// HD consequent term.
+    pub hd: Hd,
+}
+
+macro_rules! frb {
+    ($(($n:literal, $c:ident, $s:ident, $d:ident, $h:ident)),+ $(,)?) => {
+        [$(FrbRule {
+            number: $n,
+            cssp: Cssp::$c,
+            ssn: Ssn::$s,
+            dmb: Dmb::$d,
+            hd: Hd::$h,
+        }),+]
+    };
+}
+
+/// The complete 64-rule FRB, exactly as printed in the paper's Table 1.
+pub const PAPER_FRB: [FrbRule; 64] = frb![
+    // --- CSSP = SM (rules 1–16) -----------------------------------------
+    (1, SM, WK, NR, LO),
+    (2, SM, WK, NSN, LO),
+    (3, SM, WK, NSF, LH),
+    (4, SM, WK, FA, LH),
+    (5, SM, NSW, NR, LO),
+    (6, SM, NSW, NSN, LO),
+    (7, SM, NSW, NSF, LH),
+    (8, SM, NSW, FA, LH),
+    (9, SM, NO, NR, LH),
+    (10, SM, NO, NSN, HG),
+    (11, SM, NO, NSF, HG),
+    (12, SM, NO, FA, HG),
+    (13, SM, ST, NR, HG),
+    (14, SM, ST, NSN, HG),
+    (15, SM, ST, NSF, HG),
+    (16, SM, ST, FA, HG),
+    // --- CSSP = LC (rules 17–32) ----------------------------------------
+    (17, LC, WK, NR, VL),
+    (18, LC, WK, NSN, VL),
+    (19, LC, WK, NSF, LO),
+    (20, LC, WK, FA, LO),
+    (21, LC, NSW, NR, LO),
+    (22, LC, NSW, NSN, LO),
+    (23, LC, NSW, NSF, LO),
+    (24, LC, NSW, FA, LH),
+    (25, LC, NO, NR, LH),
+    (26, LC, NO, NSN, LH),
+    (27, LC, NO, NSF, HG),
+    (28, LC, NO, FA, HG),
+    (29, LC, ST, NR, LH),
+    (30, LC, ST, NSN, HG),
+    (31, LC, ST, NSF, HG),
+    (32, LC, ST, FA, HG),
+    // --- CSSP = NC (rules 33–48) ----------------------------------------
+    (33, NC, WK, NR, VL),
+    (34, NC, WK, NSN, VL),
+    (35, NC, WK, NSF, VL),
+    (36, NC, WK, FA, LO),
+    (37, NC, NSW, NR, VL),
+    (38, NC, NSW, NSN, VL),
+    (39, NC, NSW, NSF, VL),
+    (40, NC, NSW, FA, LO),
+    (41, NC, NO, NR, VL),
+    (42, NC, NO, NSN, LO),
+    (43, NC, NO, NSF, LO),
+    (44, NC, NO, FA, LH),
+    (45, NC, ST, NR, LH),
+    (46, NC, ST, NSN, LH),
+    (47, NC, ST, NSF, HG),
+    (48, NC, ST, FA, HG),
+    // --- CSSP = BG (rules 49–64) ----------------------------------------
+    (49, BG, WK, NR, VL),
+    (50, BG, WK, NSN, VL),
+    (51, BG, WK, NSF, VL),
+    (52, BG, WK, FA, VL),
+    (53, BG, NSW, NR, VL),
+    (54, BG, NSW, NSN, VL),
+    (55, BG, NSW, NSF, VL),
+    (56, BG, NSW, FA, LO),
+    (57, BG, NO, NR, VL),
+    (58, BG, NO, NSN, VL),
+    (59, BG, NO, NSF, LO),
+    (60, BG, NO, FA, LO),
+    (61, BG, ST, NR, VL),
+    (62, BG, ST, NSN, VL),
+    (63, BG, ST, NSF, LO),
+    (64, BG, ST, FA, LO),
+];
+
+/// Look up the FRB consequent for a term combination.
+pub fn frb_lookup(cssp: Cssp, ssn: Ssn, dmb: Dmb) -> Hd {
+    // Rules are laid out in nested order: CSSP (16 each), then SSN (4
+    // each), then DMB — exploit that for O(1) lookup.
+    let idx = cssp.index() * 16 + ssn.index() * 4 + dmb.index();
+    let rule = &PAPER_FRB[idx];
+    debug_assert_eq!(rule.cssp, cssp);
+    debug_assert_eq!(rule.ssn, ssn);
+    debug_assert_eq!(rule.dmb, dmb);
+    rule.hd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixty_four_rules_numbered_in_order() {
+        assert_eq!(PAPER_FRB.len(), 64);
+        for (k, rule) in PAPER_FRB.iter().enumerate() {
+            assert_eq!(rule.number as usize, k + 1, "rule numbering");
+        }
+    }
+
+    #[test]
+    fn frb_is_total_and_consistent() {
+        // Every (CSSP, SSN, DMB) combination appears exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for rule in &PAPER_FRB {
+            assert!(
+                seen.insert((rule.cssp, rule.ssn, rule.dmb)),
+                "duplicate antecedent in rule {}",
+                rule.number
+            );
+        }
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn lookup_matches_linear_scan() {
+        for c in Cssp::ALL {
+            for s in Ssn::ALL {
+                for d in Dmb::ALL {
+                    let fast = frb_lookup(c, s, d);
+                    let slow = PAPER_FRB
+                        .iter()
+                        .find(|r| r.cssp == c && r.ssn == s && r.dmb == d)
+                        .unwrap()
+                        .hd;
+                    assert_eq!(fast, slow);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spot_check_paper_rows() {
+        // A sample of rows read straight from the printed Table 1.
+        assert_eq!(frb_lookup(Cssp::SM, Ssn::WK, Dmb::NR), Hd::LO); // rule 1
+        assert_eq!(frb_lookup(Cssp::SM, Ssn::ST, Dmb::FA), Hd::HG); // rule 16
+        assert_eq!(frb_lookup(Cssp::LC, Ssn::WK, Dmb::NR), Hd::VL); // rule 17
+        assert_eq!(frb_lookup(Cssp::LC, Ssn::NSW, Dmb::FA), Hd::LH); // rule 24
+        assert_eq!(frb_lookup(Cssp::LC, Ssn::NO, Dmb::NSF), Hd::HG); // rule 27
+        assert_eq!(frb_lookup(Cssp::NC, Ssn::NO, Dmb::FA), Hd::LH); // rule 44
+        assert_eq!(frb_lookup(Cssp::NC, Ssn::ST, Dmb::NSF), Hd::HG); // rule 47
+        assert_eq!(frb_lookup(Cssp::BG, Ssn::WK, Dmb::FA), Hd::VL); // rule 52
+        assert_eq!(frb_lookup(Cssp::BG, Ssn::ST, Dmb::FA), Hd::LO); // rule 64
+    }
+
+    #[test]
+    fn monotone_in_neighbour_strength() {
+        // For fixed CSSP and DMB, a stronger neighbour never *lowers* the
+        // handover output — a structural sanity property of Table 1.
+        for c in Cssp::ALL {
+            for d in Dmb::ALL {
+                let outs: Vec<u8> =
+                    Ssn::ALL.iter().map(|s| frb_lookup(c, *s, d).strength()).collect();
+                for w in outs.windows(2) {
+                    assert!(w[1] >= w[0], "CSSP={c:?}, DMB={d:?}: {outs:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_distance() {
+        // Farther from the serving BS never lowers the output (fixed CSSP,
+        // SSN).
+        for c in Cssp::ALL {
+            for s in Ssn::ALL {
+                let outs: Vec<u8> =
+                    Dmb::ALL.iter().map(|d| frb_lookup(c, s, *d).strength()).collect();
+                for w in outs.windows(2) {
+                    assert!(w[1] >= w[0], "CSSP={c:?}, SSN={s:?}: {outs:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn improving_signal_suppresses_handover() {
+        // The BG (signal improving) block never outputs LH or HG.
+        for s in Ssn::ALL {
+            for d in Dmb::ALL {
+                let hd = frb_lookup(Cssp::BG, s, d);
+                assert!(
+                    hd == Hd::VL || hd == Hd::LO,
+                    "BG block must stay low, got {hd:?} for ({s:?}, {d:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn big_drop_with_strong_neighbor_always_handover() {
+        // The SM+ST row is all HG: a collapsing serving signal plus a
+        // strong neighbour is the clearest handover case.
+        for d in Dmb::ALL {
+            assert_eq!(frb_lookup(Cssp::SM, Ssn::ST, d), Hd::HG);
+        }
+    }
+
+    #[test]
+    fn output_distribution_matches_table() {
+        // Counting the printed table: VL×20, LO×18, LH×12, HG×14.
+        let mut counts = [0usize; 4];
+        for rule in &PAPER_FRB {
+            counts[rule.hd.index()] += 1;
+        }
+        assert_eq!(counts, [20, 18, 12, 14], "VL/LO/LH/HG counts");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Cssp::SM.label(), "SM");
+        assert_eq!(Ssn::NSW.label(), "NSW");
+        assert_eq!(Dmb::NSF.label(), "NSF");
+        assert_eq!(Hd::HG.label(), "HG");
+    }
+}

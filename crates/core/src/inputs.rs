@@ -1,0 +1,88 @@
+//! Crisp FLC inputs and their construction from raw measurements.
+
+use serde::{Deserialize, Serialize};
+
+/// The three crisp inputs of the paper's FLC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlcInputs {
+    /// Change of the serving-BS signal strength since the previous
+    /// measurement, in dB (negative = degrading).
+    pub cssp_db: f64,
+    /// Neighbour-BS received signal strength, in dBm.
+    pub ssn_dbm: f64,
+    /// MS–serving-BS distance normalised by the cell radius.
+    pub dmb_norm: f64,
+}
+
+impl FlcInputs {
+    /// Build from raw measurements.
+    ///
+    /// * `serving_rss_dbm` / `prev_serving_rss_dbm` — consecutive serving
+    ///   readings; their difference is CSSP (zero when no history exists).
+    /// * `neighbor_rss_dbm` — the strongest neighbour reading (SSN).
+    /// * `distance_km` / `cell_radius_km` — DMB is their ratio.
+    pub fn from_measurements(
+        serving_rss_dbm: f64,
+        prev_serving_rss_dbm: Option<f64>,
+        neighbor_rss_dbm: f64,
+        distance_km: f64,
+        cell_radius_km: f64,
+    ) -> Self {
+        assert!(cell_radius_km > 0.0, "cell radius must be positive");
+        assert!(distance_km >= 0.0, "distance must be non-negative");
+        FlcInputs {
+            cssp_db: prev_serving_rss_dbm.map_or(0.0, |prev| serving_rss_dbm - prev),
+            ssn_dbm: neighbor_rss_dbm,
+            dmb_norm: distance_km / cell_radius_km,
+        }
+    }
+
+    /// As a positional slice for [`fuzzylogic::Fis::evaluate`]
+    /// (CSSP, SSN, DMB order — the order `build_paper_flc` declares).
+    pub fn as_array(&self) -> [f64; 3] {
+        [self.cssp_db, self.ssn_dbm, self.dmb_norm]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cssp_is_the_difference() {
+        let i = FlcInputs::from_measurements(-90.0, Some(-86.0), -100.0, 1.0, 2.0);
+        assert!((i.cssp_db - -4.0).abs() < 1e-12, "dropped 4 dB");
+        assert_eq!(i.ssn_dbm, -100.0);
+        assert!((i.dmb_norm - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_history_means_zero_change() {
+        let i = FlcInputs::from_measurements(-90.0, None, -100.0, 0.5, 2.0);
+        assert_eq!(i.cssp_db, 0.0);
+    }
+
+    #[test]
+    fn improving_signal_positive_cssp() {
+        let i = FlcInputs::from_measurements(-85.0, Some(-95.0), -100.0, 0.5, 2.0);
+        assert!((i.cssp_db - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn array_order_matches_flc_declaration() {
+        let i = FlcInputs { cssp_db: 1.0, ssn_dbm: 2.0, dmb_norm: 3.0 };
+        assert_eq!(i.as_array(), [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn zero_radius_rejected() {
+        let _ = FlcInputs::from_measurements(-90.0, None, -100.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_distance_rejected() {
+        let _ = FlcInputs::from_measurements(-90.0, None, -100.0, -1.0, 2.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! # handover-core
+//!
+//! The primary contribution of Barolli et al. (ICPP-W 2008): a fuzzy-logic
+//! handover decision system that avoids the ping-pong effect in hexagonal
+//! cellular networks.
+//!
+//! ## The decision pipeline (paper §4, Fig. 4)
+//!
+//! ```text
+//! measurement ──▶ POTLC ──▶ FLC ──▶ PRTLC ──▶ handover
+//!                 │          │        │
+//!                 │          │        └ present RSS still improving? stay.
+//!                 │          └ HD ≤ 0.7? stay.
+//!                 └ serving signal still good? stay.
+//! ```
+//!
+//! * **POTLC** (post test-loop controller) gates on absolute serving-BS
+//!   signal quality.
+//! * **FLC** fuzzifies three inputs — CSSP (change of serving-BS signal),
+//!   SSN (neighbour-BS signal) and DMB (MS–BS distance) — through the
+//!   64-rule FRB of the paper's Table 1 and defuzzifies a Handover
+//!   Decision value `HD ∈ [0, 1]`; a handover is considered only when
+//!   `HD > 0.7`.
+//! * **PRTLC** (pre test-loop controller) executes only if the serving
+//!   signal is still degrading.
+//!
+//! [`baselines`] adds the conventional algorithms the paper defers to
+//! future work (hysteresis, threshold, combinations, dwell timer) behind
+//! the same [`HandoverPolicy`] trait, and [`metrics`] provides the
+//! ping-pong detector used by the evaluation.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod adaptive;
+pub mod baselines;
+pub mod controller;
+pub mod flc;
+pub mod inputs;
+pub mod metrics;
+pub mod system;
+
+pub use adaptive::SpeedAdaptiveController;
+pub use controller::{
+    ControllerConfig, Decision, FuzzyHandoverController, MeasurementReport, StayReason,
+};
+pub use flc::{build_paper_flc, FlcProfile};
+pub use inputs::FlcInputs;
+pub use metrics::{EventLog, HandoverEvent, PingPongReport};
+pub use system::{NodeB, Rnc};
+
+use cellgeom::Axial;
+
+/// A handover decision policy: the fuzzy controller and every baseline
+/// implement this, so the simulator can drive them interchangeably.
+pub trait HandoverPolicy {
+    /// Inspect one measurement report and decide.
+    fn decide(&mut self, report: &MeasurementReport) -> Decision;
+
+    /// Reset internal state after the serving cell changed (the simulator
+    /// calls this right after executing a handover).
+    fn notify_handover(&mut self, new_serving: Axial);
+
+    /// Human-readable policy name (used in benchmark tables).
+    fn name(&self) -> &'static str;
+}

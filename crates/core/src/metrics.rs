@@ -1,0 +1,210 @@
+//! Handover event accounting: counts, ping-pong detection, outage.
+
+use cellgeom::Axial;
+use serde::{Deserialize, Serialize};
+
+/// One executed handover.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HandoverEvent {
+    /// Measurement index (simulation step) at which it happened.
+    pub step: usize,
+    /// Path distance from the trajectory start, in km.
+    pub at_km: f64,
+    /// Previous serving cell.
+    pub from: Axial,
+    /// New serving cell.
+    pub to: Axial,
+    /// The HD value that triggered it (baselines report 1.0).
+    pub hd: f64,
+}
+
+/// Summary of ping-pong behaviour in an event log.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PingPongReport {
+    /// Total handovers.
+    pub handovers: usize,
+    /// Handovers that returned to the immediately previous serving cell
+    /// within the detection window.
+    pub ping_pongs: usize,
+}
+
+impl PingPongReport {
+    /// Fraction of handovers that were ping-pongs (0 when none happened).
+    pub fn ping_pong_ratio(&self) -> f64 {
+        if self.handovers == 0 {
+            0.0
+        } else {
+            self.ping_pongs as f64 / self.handovers as f64
+        }
+    }
+}
+
+/// An ordered log of handover events plus signal-quality accounting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<HandoverEvent>,
+    steps: usize,
+    outage_steps: usize,
+}
+
+impl EventLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an executed handover.
+    pub fn record_handover(&mut self, event: HandoverEvent) {
+        self.events.push(event);
+    }
+
+    /// Record one measurement step; `in_outage` when the serving RSS was
+    /// below the service threshold.
+    pub fn record_step(&mut self, in_outage: bool) {
+        self.steps += 1;
+        if in_outage {
+            self.outage_steps += 1;
+        }
+    }
+
+    /// All handover events, in order.
+    pub fn events(&self) -> &[HandoverEvent] {
+        &self.events
+    }
+
+    /// Number of handovers.
+    pub fn handover_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of recorded measurement steps.
+    pub fn step_count(&self) -> usize {
+        self.steps
+    }
+
+    /// Fraction of steps spent in outage (0 when no steps recorded).
+    pub fn outage_ratio(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.outage_steps as f64 / self.steps as f64
+        }
+    }
+
+    /// Count ping-pongs: a handover whose target equals the *source* of
+    /// the previous handover, with at most `window_steps` steps between
+    /// them. `A→B` then `B→A` within the window is one ping-pong.
+    pub fn ping_pong_report(&self, window_steps: usize) -> PingPongReport {
+        let mut ping_pongs = 0;
+        for pair in self.events.windows(2) {
+            let (first, second) = (&pair[0], &pair[1]);
+            if second.to == first.from && second.step - first.step <= window_steps {
+                ping_pongs += 1;
+            }
+        }
+        PingPongReport { handovers: self.events.len(), ping_pongs }
+    }
+
+    /// The sequence of serving cells implied by the log, starting from
+    /// `initial`.
+    pub fn serving_sequence(&self, initial: Axial) -> Vec<Axial> {
+        let mut seq = vec![initial];
+        for e in &self.events {
+            seq.push(e.to);
+        }
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(step: usize, from: (i32, i32), to: (i32, i32)) -> HandoverEvent {
+        HandoverEvent {
+            step,
+            at_km: step as f64 * 0.05,
+            from: Axial::new(from.0, from.1),
+            to: Axial::new(to.0, to.1),
+            hd: 0.75,
+        }
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = EventLog::new();
+        assert_eq!(log.handover_count(), 0);
+        assert_eq!(log.outage_ratio(), 0.0);
+        let pp = log.ping_pong_report(10);
+        assert_eq!(pp.handovers, 0);
+        assert_eq!(pp.ping_pongs, 0);
+        assert_eq!(pp.ping_pong_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ping_pong_detected() {
+        let mut log = EventLog::new();
+        log.record_handover(ev(10, (0, 0), (1, 0)));
+        log.record_handover(ev(14, (1, 0), (0, 0))); // back within 4 steps
+        let pp = log.ping_pong_report(10);
+        assert_eq!(pp.handovers, 2);
+        assert_eq!(pp.ping_pongs, 1);
+        assert_eq!(pp.ping_pong_ratio(), 0.5);
+    }
+
+    #[test]
+    fn slow_return_is_not_ping_pong() {
+        let mut log = EventLog::new();
+        log.record_handover(ev(10, (0, 0), (1, 0)));
+        log.record_handover(ev(200, (1, 0), (0, 0))); // way outside window
+        let pp = log.ping_pong_report(10);
+        assert_eq!(pp.ping_pongs, 0);
+    }
+
+    #[test]
+    fn forward_progress_is_not_ping_pong() {
+        let mut log = EventLog::new();
+        log.record_handover(ev(10, (0, 0), (1, 0)));
+        log.record_handover(ev(12, (1, 0), (2, -1))); // onward, not back
+        assert_eq!(log.ping_pong_report(10).ping_pongs, 0);
+    }
+
+    #[test]
+    fn triple_flip_counts_twice() {
+        let mut log = EventLog::new();
+        log.record_handover(ev(10, (0, 0), (1, 0)));
+        log.record_handover(ev(12, (1, 0), (0, 0)));
+        log.record_handover(ev(14, (0, 0), (1, 0)));
+        let pp = log.ping_pong_report(10);
+        assert_eq!(pp.handovers, 3);
+        assert_eq!(pp.ping_pongs, 2, "A→B→A→B is two ping-pongs");
+    }
+
+    #[test]
+    fn outage_accounting() {
+        let mut log = EventLog::new();
+        for k in 0..10 {
+            log.record_step(k >= 8);
+        }
+        assert_eq!(log.step_count(), 10);
+        assert!((log.outage_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serving_sequence() {
+        let mut log = EventLog::new();
+        log.record_handover(ev(5, (0, 0), (0, 1)));
+        log.record_handover(ev(9, (0, 1), (-1, 1)));
+        let seq = log.serving_sequence(Axial::ORIGIN);
+        assert_eq!(seq, vec![Axial::ORIGIN, Axial::new(0, 1), Axial::new(-1, 1)]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut log = EventLog::new();
+        log.record_handover(ev(3, (0, 0), (1, 0)));
+        log.record_step(false);
+        let back: EventLog = serde_json::from_str(&serde_json::to_string(&log).unwrap()).unwrap();
+        assert_eq!(log, back);
+    }
+}

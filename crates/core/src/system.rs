@@ -1,0 +1,170 @@
+//! The RNS/RNC/Node-B system model (paper Fig. 4).
+//!
+//! In the paper's architecture each Node-B (the BS transceiver) feeds a
+//! controller chain POTLC → FLC → PRTLC inside the Radio Network
+//! Controller. [`Rnc`] owns one [`NodeB`] per cell plus one fuzzy
+//! controller chain per Node-B, tracks which Node-B serves the MS, and
+//! routes measurement reports to the serving chain — exactly the routing
+//! Fig. 4 draws.
+
+use crate::controller::{ControllerConfig, Decision, FuzzyHandoverController, MeasurementReport};
+use crate::HandoverPolicy;
+use cellgeom::Axial;
+
+/// One Node-B: the BS transceiver of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeB {
+    /// The cell this Node-B serves.
+    pub cell: Axial,
+}
+
+impl NodeB {
+    /// Construct.
+    pub fn new(cell: Axial) -> Self {
+        NodeB { cell }
+    }
+}
+
+/// The Radio Network Controller: per-Node-B fuzzy controller chains and
+/// the serving-cell state machine.
+#[derive(Debug)]
+pub struct Rnc {
+    node_bs: Vec<NodeB>,
+    controllers: Vec<FuzzyHandoverController>,
+    serving_idx: usize,
+}
+
+impl Rnc {
+    /// Build an RNC over the given cells, with the MS initially attached
+    /// to `initial_serving` (must be among `cells`).
+    pub fn new(
+        cells: impl IntoIterator<Item = Axial>,
+        initial_serving: Axial,
+        config: ControllerConfig,
+    ) -> Self {
+        let node_bs: Vec<NodeB> = cells.into_iter().map(NodeB::new).collect();
+        assert!(!node_bs.is_empty(), "an RNC needs at least one Node-B");
+        let serving_idx = node_bs
+            .iter()
+            .position(|n| n.cell == initial_serving)
+            .expect("initial serving cell must be managed by this RNC");
+        let controllers =
+            node_bs.iter().map(|_| FuzzyHandoverController::new(config)).collect();
+        Rnc { node_bs, controllers, serving_idx }
+    }
+
+    /// The managed Node-Bs.
+    pub fn node_bs(&self) -> &[NodeB] {
+        &self.node_bs
+    }
+
+    /// The cell currently serving the MS.
+    pub fn serving_cell(&self) -> Axial {
+        self.node_bs[self.serving_idx].cell
+    }
+
+    /// Route a measurement report to the serving Node-B's controller
+    /// chain; executes the handover internally when the chain decides so.
+    pub fn process(&mut self, report: &MeasurementReport) -> Decision {
+        assert_eq!(
+            report.serving,
+            self.serving_cell(),
+            "report must come from the serving Node-B"
+        );
+        let decision = self.controllers[self.serving_idx].decide(report);
+        if let Decision::Handover { target, .. } = decision {
+            self.execute_handover(target);
+        }
+        decision
+    }
+
+    /// Attach the MS to `target` and reset the affected controller chains.
+    fn execute_handover(&mut self, target: Axial) {
+        let new_idx = self
+            .node_bs
+            .iter()
+            .position(|n| n.cell == target)
+            .expect("handover target must be managed by this RNC");
+        self.controllers[self.serving_idx].notify_handover(target);
+        self.controllers[new_idx].notify_handover(target);
+        self.serving_idx = new_idx;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rnc() -> Rnc {
+        let cells = [Axial::ORIGIN, Axial::new(1, 0), Axial::new(0, 1)];
+        Rnc::new(cells, Axial::ORIGIN, ControllerConfig::paper_default(2.0))
+    }
+
+    fn report(serving: Axial, s_rss: f64, neighbor: Axial, n_rss: f64, d: f64) -> MeasurementReport {
+        MeasurementReport {
+            serving,
+            serving_rss_dbm: s_rss,
+            neighbor,
+            neighbor_rss_dbm: n_rss,
+            distance_to_serving_km: d,
+            distance_to_neighbor_km: (2.0 * 3.0f64.sqrt() - d).max(0.1),
+        }
+    }
+
+    #[test]
+    fn initial_attachment() {
+        let r = rnc();
+        assert_eq!(r.serving_cell(), Axial::ORIGIN);
+        assert_eq!(r.node_bs().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial serving cell")]
+    fn unknown_initial_cell_rejected() {
+        let _ = Rnc::new([Axial::ORIGIN], Axial::new(5, 5), ControllerConfig::paper_default(2.0));
+    }
+
+    #[test]
+    fn handover_moves_the_serving_cell() {
+        let mut r = rnc();
+        let east = Axial::new(1, 0);
+        // Prime, then degrade: the chain needs history to confirm a
+        // downtrend.
+        r.process(&report(Axial::ORIGIN, -100.0, east, -90.0, 2.3));
+        let d = r.process(&report(Axial::ORIGIN, -104.0, east, -88.0, 2.5));
+        assert!(d.is_handover(), "got {d:?}");
+        assert_eq!(r.serving_cell(), east);
+    }
+
+    #[test]
+    fn good_signal_keeps_attachment() {
+        let mut r = rnc();
+        let east = Axial::new(1, 0);
+        for _ in 0..5 {
+            let d = r.process(&report(Axial::ORIGIN, -70.0, east, -72.0, 0.4));
+            assert!(!d.is_handover());
+        }
+        assert_eq!(r.serving_cell(), Axial::ORIGIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "serving Node-B")]
+    fn mismatched_report_rejected() {
+        let mut r = rnc();
+        let east = Axial::new(1, 0);
+        let _ = r.process(&report(east, -90.0, Axial::ORIGIN, -95.0, 1.0));
+    }
+
+    #[test]
+    fn controller_history_resets_across_handover() {
+        let mut r = rnc();
+        let east = Axial::new(1, 0);
+        r.process(&report(Axial::ORIGIN, -100.0, east, -90.0, 2.3));
+        let d = r.process(&report(Axial::ORIGIN, -104.0, east, -88.0, 2.5));
+        assert!(d.is_handover());
+        // The first report on the new serving cell can never hand over
+        // (fresh PRTLC history), even with extreme inputs.
+        let d = r.process(&report(east, -110.0, Axial::ORIGIN, -80.0, 2.8));
+        assert!(!d.is_handover());
+    }
+}

@@ -1,0 +1,217 @@
+//! Rule-base analytics: static and numeric diagnostics for authored
+//! systems.
+//!
+//! Large hand-written rule tables (like the paper's 64 rules) accumulate
+//! authoring mistakes silently: terms nobody references, rules that can
+//! never dominate, regions of the input space where nothing fires
+//! strongly. This module surfaces them.
+
+use crate::engine::mamdani::Fis;
+use crate::error::Result;
+
+/// Static report over a system's rule base.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleBaseReport {
+    /// Input terms never referenced by any antecedent:
+    /// `(variable index, term index)`.
+    pub unused_input_terms: Vec<(usize, usize)>,
+    /// Output terms never referenced by any consequent.
+    pub unused_output_terms: Vec<(usize, usize)>,
+    /// Pairs of rules with identical antecedents but different
+    /// consequents.
+    pub conflicts: Vec<(usize, usize)>,
+    /// Rules that never reached the maximal firing strength anywhere on
+    /// the probe grid (candidates for dead weight). Indices into the rule
+    /// set.
+    pub never_dominant: Vec<usize>,
+    /// The lowest maximum firing strength observed at any probe point
+    /// (coverage floor): near zero means holes in the partition.
+    pub min_best_firing: f64,
+}
+
+/// Analyse a system: static term usage plus a numeric sweep on a uniform
+/// grid with `per_axis` points along every input universe.
+///
+/// Grid size is `per_axis ^ n_inputs`; keep `per_axis` modest for systems
+/// with many inputs.
+pub fn analyze(fis: &Fis, per_axis: usize) -> Result<RuleBaseReport> {
+    assert!(per_axis >= 2, "need at least two probe points per axis");
+
+    // --- static usage --------------------------------------------------
+    let mut input_used: Vec<Vec<bool>> =
+        fis.inputs().iter().map(|v| vec![false; v.term_count()]).collect();
+    let mut output_used: Vec<Vec<bool>> =
+        fis.outputs().iter().map(|v| vec![false; v.term_count()]).collect();
+    for rule in fis.rules().rules() {
+        for a in &rule.antecedents {
+            if let Some(slot) = input_used.get_mut(a.var).and_then(|t| t.get_mut(a.term)) {
+                *slot = true;
+            }
+        }
+        for c in &rule.consequents {
+            if let Some(slot) = output_used.get_mut(c.var).and_then(|t| t.get_mut(c.term)) {
+                *slot = true;
+            }
+        }
+    }
+    let collect_unused = |used: &[Vec<bool>]| -> Vec<(usize, usize)> {
+        used.iter()
+            .enumerate()
+            .flat_map(|(v, terms)| {
+                terms
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &u)| !u)
+                    .map(move |(t, _)| (v, t))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+
+    // --- numeric sweep --------------------------------------------------
+    let axes: Vec<Vec<f64>> =
+        fis.inputs().iter().map(|v| v.sample_universe(per_axis)).collect();
+    let n_inputs = axes.len();
+    let n_points: usize = per_axis.pow(n_inputs as u32);
+    let mut ever_dominant = vec![false; fis.rules().len()];
+    let mut min_best_firing = f64::INFINITY;
+    let mut crisp = vec![0.0; n_inputs];
+    for flat in 0..n_points {
+        let mut rem = flat;
+        for (i, axis) in axes.iter().enumerate() {
+            crisp[i] = axis[rem % per_axis];
+            rem /= per_axis;
+        }
+        let firing = fis.firing_strengths(&crisp)?;
+        let best = firing.iter().cloned().fold(0.0, f64::max);
+        min_best_firing = min_best_firing.min(best);
+        if best > 0.0 {
+            for (k, &w) in firing.iter().enumerate() {
+                if w == best {
+                    ever_dominant[k] = true;
+                }
+            }
+        }
+    }
+
+    Ok(RuleBaseReport {
+        unused_input_terms: collect_unused(&input_used),
+        unused_output_terms: collect_unused(&output_used),
+        conflicts: fis.rules().conflicting_pairs(),
+        never_dominant: ever_dominant
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| !d)
+            .map(|(k, _)| k)
+            .collect(),
+        min_best_firing,
+    })
+}
+
+impl RuleBaseReport {
+    /// True when the analysis found nothing suspicious at the given
+    /// coverage floor.
+    pub fn is_clean(&self, min_coverage: f64) -> bool {
+        self.unused_input_terms.is_empty()
+            && self.unused_output_terms.is_empty()
+            && self.conflicts.is_empty()
+            && self.min_best_firing >= min_coverage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::mamdani::FisBuilder;
+    use crate::membership::Mf;
+    use crate::variable::LinguisticVariable;
+
+    fn two_by_two(rules: &[&str]) -> Fis {
+        let x = LinguisticVariable::new("x", 0.0, 1.0)
+            .with_term("lo", Mf::left_shoulder(0.0, 1.0))
+            .with_term("hi", Mf::right_shoulder(0.0, 1.0));
+        let y = LinguisticVariable::new("y", 0.0, 1.0)
+            .with_term("a", Mf::triangular(0.0, 0.0, 1.0))
+            .with_term("b", Mf::triangular(0.0, 1.0, 1.0));
+        let mut b = FisBuilder::new("t").input(x).output(y);
+        for r in rules {
+            b = b.rule_str(r).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn clean_system_reports_clean() {
+        let fis = two_by_two(&["IF x IS lo THEN y IS a", "IF x IS hi THEN y IS b"]);
+        let report = analyze(&fis, 11).unwrap();
+        assert!(report.unused_input_terms.is_empty());
+        assert!(report.unused_output_terms.is_empty());
+        assert!(report.conflicts.is_empty());
+        assert!(report.never_dominant.is_empty());
+        assert!(report.min_best_firing >= 0.5, "{}", report.min_best_firing);
+        assert!(report.is_clean(0.45));
+    }
+
+    #[test]
+    fn unused_terms_detected() {
+        let fis = two_by_two(&["IF x IS lo THEN y IS a"]);
+        let report = analyze(&fis, 11).unwrap();
+        assert_eq!(report.unused_input_terms, vec![(0, 1)], "hi unused");
+        assert_eq!(report.unused_output_terms, vec![(0, 1)], "b unused");
+        assert!(!report.is_clean(0.0));
+    }
+
+    #[test]
+    fn coverage_hole_detected() {
+        // Narrow antecedent: most of the universe fires nothing.
+        let x = LinguisticVariable::new("x", 0.0, 1.0)
+            .with_term("spike", Mf::triangular(0.45, 0.5, 0.55));
+        let y = LinguisticVariable::new("y", 0.0, 1.0)
+            .with_term("out", Mf::triangular(0.0, 0.5, 1.0));
+        let fis = FisBuilder::new("holey")
+            .input(x)
+            .output(y)
+            .rule_str("IF x IS spike THEN y IS out")
+            .unwrap()
+            .build()
+            .unwrap();
+        let report = analyze(&fis, 21).unwrap();
+        assert_eq!(report.min_best_firing, 0.0, "holes found");
+        assert!(!report.is_clean(0.1));
+    }
+
+    #[test]
+    fn never_dominant_rule_detected() {
+        // A duplicate of rule 0 with weight 0.1 can never reach the max.
+        let x = LinguisticVariable::new("x", 0.0, 1.0)
+            .with_term("lo", Mf::left_shoulder(0.0, 1.0))
+            .with_term("hi", Mf::right_shoulder(0.0, 1.0));
+        let y = LinguisticVariable::new("y", 0.0, 1.0)
+            .with_term("a", Mf::triangular(0.0, 0.0, 1.0));
+        let weak = crate::rule::Rule::new(
+            vec![crate::rule::Antecedent::new(0, 0)],
+            crate::rule::Connective::And,
+            vec![crate::rule::Consequent::new(0, 0)],
+        )
+        .with_weight(0.1);
+        let fis = FisBuilder::new("dead")
+            .input(x)
+            .output(y)
+            .rule_str("IF x IS lo THEN y IS a")
+            .unwrap()
+            .rule_str("IF x IS hi THEN y IS a")
+            .unwrap()
+            .rule(weak)
+            .build()
+            .unwrap();
+        let report = analyze(&fis, 11).unwrap();
+        assert_eq!(report.never_dominant, vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probe points")]
+    fn tiny_grid_rejected() {
+        let fis = two_by_two(&["IF x IS lo THEN y IS a"]);
+        let _ = analyze(&fis, 1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Inference engines.
+//!
+//! * [`mamdani`] — the classic clip-and-aggregate engine used by the paper.
+//! * [`sugeno`] — Takagi–Sugeno–Kang functional-consequent engine, provided
+//!   for the ablation studies.
+
+pub mod mamdani;
+pub mod sugeno;

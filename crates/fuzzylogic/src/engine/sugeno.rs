@@ -1,0 +1,421 @@
+//! Takagi–Sugeno–Kang (TSK) inference.
+//!
+//! Sugeno consequents are crisp functions of the inputs rather than fuzzy
+//! sets; the crisp output is the firing-strength-weighted average of the
+//! rule outputs. Zero-order (constant) and first-order (affine) consequents
+//! are supported.
+
+use crate::error::{FuzzyError, Result};
+use crate::norms::{SNorm, TNorm};
+use crate::rule::{Antecedent, Connective};
+use crate::variable::LinguisticVariable;
+use serde::{Deserialize, Serialize};
+
+/// A Sugeno consequent: a crisp function of the crisp inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SugenoOutput {
+    /// Zero-order: a constant.
+    Constant(f64),
+    /// First-order: `offset + Σ coeffs[i] * x[i]`.
+    Linear {
+        /// Per-input coefficients (length must equal the input arity).
+        coeffs: Vec<f64>,
+        /// Constant offset.
+        offset: f64,
+    },
+}
+
+impl SugenoOutput {
+    /// Evaluate the consequent for the given crisp inputs.
+    pub fn eval(&self, inputs: &[f64]) -> f64 {
+        match self {
+            SugenoOutput::Constant(c) => *c,
+            SugenoOutput::Linear { coeffs, offset } => {
+                offset + coeffs.iter().zip(inputs).map(|(c, x)| c * x).sum::<f64>()
+            }
+        }
+    }
+}
+
+/// A Sugeno rule: fuzzy antecedents, functional consequent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SugenoRule {
+    /// Antecedent clauses (same shape as Mamdani rules).
+    pub antecedents: Vec<Antecedent>,
+    /// AND/OR combination.
+    pub connective: Connective,
+    /// One consequent per declared output.
+    pub outputs: Vec<SugenoOutput>,
+    /// Rule weight in `[0, 1]`.
+    pub weight: f64,
+}
+
+impl SugenoRule {
+    /// Rule with weight 1.
+    pub fn new(antecedents: Vec<Antecedent>, connective: Connective, outputs: Vec<SugenoOutput>) -> Self {
+        SugenoRule { antecedents, connective, outputs, weight: 1.0 }
+    }
+
+    /// Builder-style weight override.
+    #[must_use]
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+}
+
+/// A Takagi–Sugeno–Kang inference system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SugenoFis {
+    name: String,
+    inputs: Vec<LinguisticVariable>,
+    n_outputs: usize,
+    rules: Vec<SugenoRule>,
+    and: TNorm,
+    or: SNorm,
+}
+
+impl SugenoFis {
+    /// System name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared input variables.
+    pub fn inputs(&self) -> &[LinguisticVariable] {
+        &self.inputs
+    }
+
+    /// Number of outputs.
+    pub fn n_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    /// The rules.
+    pub fn rules(&self) -> &[SugenoRule] {
+        &self.rules
+    }
+
+    /// Evaluate crisp inputs to crisp outputs (weighted average).
+    pub fn evaluate(&self, crisp: &[f64]) -> Result<Vec<f64>> {
+        if crisp.len() != self.inputs.len() {
+            return Err(FuzzyError::InputArity { expected: self.inputs.len(), got: crisp.len() });
+        }
+        for (i, &x) in crisp.iter().enumerate() {
+            if !x.is_finite() {
+                return Err(FuzzyError::NonFiniteInput { index: i, value: x });
+            }
+        }
+        let memberships: Vec<Vec<f64>> =
+            self.inputs.iter().zip(crisp).map(|(v, &x)| v.fuzzify(x)).collect();
+
+        let mut num = vec![0.0; self.n_outputs];
+        let mut den = 0.0;
+        for rule in &self.rules {
+            let degrees = rule.antecedents.iter().map(|a| {
+                a.hedge.apply(
+                    memberships
+                        .get(a.var)
+                        .and_then(|t| t.get(a.term))
+                        .copied()
+                        .unwrap_or(0.0),
+                )
+            });
+            let w = match rule.connective {
+                Connective::And => self.and.fold(degrees),
+                Connective::Or => self.or.fold(degrees),
+            } * rule.weight;
+            if w <= 0.0 {
+                continue;
+            }
+            den += w;
+            for (o, out) in rule.outputs.iter().enumerate() {
+                num[o] += w * out.eval(crisp);
+            }
+        }
+        if den <= 0.0 {
+            return Err(FuzzyError::NoRuleFired);
+        }
+        Ok(num.into_iter().map(|n| n / den).collect())
+    }
+}
+
+/// Builder for [`SugenoFis`].
+#[derive(Debug, Clone, Default)]
+pub struct SugenoFisBuilder {
+    name: String,
+    inputs: Vec<LinguisticVariable>,
+    n_outputs: usize,
+    rules: Vec<SugenoRule>,
+    and: TNorm,
+    or: SNorm,
+}
+
+impl SugenoFisBuilder {
+    /// Start building a system with `n_outputs` crisp outputs.
+    pub fn new(name: impl Into<String>, n_outputs: usize) -> Self {
+        SugenoFisBuilder { name: name.into(), n_outputs, ..Default::default() }
+    }
+
+    /// Declare an input variable.
+    #[must_use]
+    pub fn input(mut self, var: LinguisticVariable) -> Self {
+        self.inputs.push(var);
+        self
+    }
+
+    /// Add a rule.
+    #[must_use]
+    pub fn rule(mut self, rule: SugenoRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Set the AND t-norm.
+    #[must_use]
+    pub fn and(mut self, t: TNorm) -> Self {
+        self.and = t;
+        self
+    }
+
+    /// Set the OR s-norm.
+    #[must_use]
+    pub fn or(mut self, s: SNorm) -> Self {
+        self.or = s;
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<SugenoFis> {
+        if self.inputs.is_empty() {
+            return Err(FuzzyError::EmptySystem { what: "inputs" });
+        }
+        if self.n_outputs == 0 {
+            return Err(FuzzyError::EmptySystem { what: "outputs" });
+        }
+        if self.rules.is_empty() {
+            return Err(FuzzyError::EmptyRuleSet);
+        }
+        for rule in &self.rules {
+            if !rule.weight.is_finite() || !(0.0..=1.0).contains(&rule.weight) {
+                return Err(FuzzyError::InvalidWeight { weight: rule.weight });
+            }
+            if rule.outputs.len() != self.n_outputs {
+                return Err(FuzzyError::InputArity {
+                    expected: self.n_outputs,
+                    got: rule.outputs.len(),
+                });
+            }
+            for a in &rule.antecedents {
+                let var = self.inputs.get(a.var).ok_or(FuzzyError::UnknownVariable {
+                    name: format!("input #{}", a.var),
+                })?;
+                if a.term >= var.term_count() {
+                    return Err(FuzzyError::UnknownTerm {
+                        variable: var.name.clone(),
+                        term: format!("term #{}", a.term),
+                    });
+                }
+            }
+            for out in &rule.outputs {
+                if let SugenoOutput::Linear { coeffs, .. } = out {
+                    if coeffs.len() != self.inputs.len() {
+                        return Err(FuzzyError::InputArity {
+                            expected: self.inputs.len(),
+                            got: coeffs.len(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(SugenoFis {
+            name: self.name,
+            inputs: self.inputs,
+            n_outputs: self.n_outputs,
+            rules: self.rules,
+            and: self.and,
+            or: self.or,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::membership::Mf;
+
+    fn xvar() -> LinguisticVariable {
+        LinguisticVariable::new("x", 0.0, 10.0)
+            .with_term("low", Mf::left_shoulder(0.0, 10.0))
+            .with_term("high", Mf::right_shoulder(0.0, 10.0))
+    }
+
+    #[test]
+    fn zero_order_interpolates_between_rule_constants() {
+        let fis = SugenoFisBuilder::new("s", 1)
+            .input(xvar())
+            .rule(SugenoRule::new(
+                vec![Antecedent::new(0, 0)],
+                Connective::And,
+                vec![SugenoOutput::Constant(0.0)],
+            ))
+            .rule(SugenoRule::new(
+                vec![Antecedent::new(0, 1)],
+                Connective::And,
+                vec![SugenoOutput::Constant(100.0)],
+            ))
+            .build()
+            .unwrap();
+        assert_eq!(fis.evaluate(&[0.0]).unwrap()[0], 0.0);
+        assert_eq!(fis.evaluate(&[10.0]).unwrap()[0], 100.0);
+        let mid = fis.evaluate(&[5.0]).unwrap()[0];
+        assert!((mid - 50.0).abs() < 1e-9, "linear blend, got {mid}");
+        let quarter = fis.evaluate(&[2.5]).unwrap()[0];
+        assert!((quarter - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_order_consequent() {
+        let fis = SugenoFisBuilder::new("s", 1)
+            .input(xvar())
+            .rule(SugenoRule::new(
+                vec![Antecedent::new(0, 0)],
+                Connective::And,
+                vec![SugenoOutput::Linear { coeffs: vec![2.0], offset: 1.0 }],
+            ))
+            .build()
+            .unwrap();
+        // Only one rule: output = 1 + 2x regardless of firing strength,
+        // as long as it fires at all.
+        let y = fis.evaluate(&[3.0]).unwrap()[0];
+        assert!((y - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_bias_the_average() {
+        let build = |w: f64| {
+            SugenoFisBuilder::new("s", 1)
+                .input(xvar())
+                .rule(
+                    SugenoRule::new(
+                        vec![Antecedent::new(0, 0)],
+                        Connective::And,
+                        vec![SugenoOutput::Constant(0.0)],
+                    )
+                    .with_weight(w),
+                )
+                .rule(SugenoRule::new(
+                    vec![Antecedent::new(0, 1)],
+                    Connective::And,
+                    vec![SugenoOutput::Constant(100.0)],
+                ))
+                .build()
+                .unwrap()
+        };
+        let balanced = build(1.0).evaluate(&[5.0]).unwrap()[0];
+        let damped = build(0.25).evaluate(&[5.0]).unwrap()[0];
+        assert!(damped > balanced, "down-weighting the low rule raises output");
+    }
+
+    #[test]
+    fn multi_output() {
+        let fis = SugenoFisBuilder::new("s", 2)
+            .input(xvar())
+            .rule(SugenoRule::new(
+                vec![Antecedent::new(0, 0)],
+                Connective::And,
+                vec![SugenoOutput::Constant(1.0), SugenoOutput::Constant(-1.0)],
+            ))
+            .build()
+            .unwrap();
+        let out = fis.evaluate(&[1.0]).unwrap();
+        assert_eq!(out, vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn no_rule_fired() {
+        let x = LinguisticVariable::new("x", 0.0, 10.0)
+            .with_term("edge", Mf::triangular(0.0, 0.0, 1.0));
+        let fis = SugenoFisBuilder::new("s", 1)
+            .input(x)
+            .rule(SugenoRule::new(
+                vec![Antecedent::new(0, 0)],
+                Connective::And,
+                vec![SugenoOutput::Constant(1.0)],
+            ))
+            .build()
+            .unwrap();
+        assert_eq!(fis.evaluate(&[5.0]), Err(FuzzyError::NoRuleFired));
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(SugenoFisBuilder::new("s", 1).build().is_err(), "no inputs");
+        assert!(
+            SugenoFisBuilder::new("s", 0).input(xvar()).build().is_err(),
+            "no outputs"
+        );
+        assert!(SugenoFisBuilder::new("s", 1).input(xvar()).build().is_err(), "no rules");
+        // Wrong number of consequents.
+        let err = SugenoFisBuilder::new("s", 2)
+            .input(xvar())
+            .rule(SugenoRule::new(
+                vec![Antecedent::new(0, 0)],
+                Connective::And,
+                vec![SugenoOutput::Constant(1.0)],
+            ))
+            .build();
+        assert!(err.is_err());
+        // Wrong linear arity.
+        let err = SugenoFisBuilder::new("s", 1)
+            .input(xvar())
+            .rule(SugenoRule::new(
+                vec![Antecedent::new(0, 0)],
+                Connective::And,
+                vec![SugenoOutput::Linear { coeffs: vec![1.0, 2.0], offset: 0.0 }],
+            ))
+            .build();
+        assert!(err.is_err());
+        // Bad term index.
+        let err = SugenoFisBuilder::new("s", 1)
+            .input(xvar())
+            .rule(SugenoRule::new(
+                vec![Antecedent::new(0, 9)],
+                Connective::And,
+                vec![SugenoOutput::Constant(1.0)],
+            ))
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn arity_checked_at_eval() {
+        let fis = SugenoFisBuilder::new("s", 1)
+            .input(xvar())
+            .rule(SugenoRule::new(
+                vec![Antecedent::new(0, 0)],
+                Connective::And,
+                vec![SugenoOutput::Constant(1.0)],
+            ))
+            .build()
+            .unwrap();
+        assert!(fis.evaluate(&[]).is_err());
+        assert!(fis.evaluate(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let fis = SugenoFisBuilder::new("s", 1)
+            .input(xvar())
+            .rule(SugenoRule::new(
+                vec![Antecedent::new(0, 0)],
+                Connective::And,
+                vec![SugenoOutput::Constant(2.5)],
+            ))
+            .build()
+            .unwrap();
+        let json = serde_json::to_string(&fis).unwrap();
+        let back: SugenoFis = serde_json::from_str(&json).unwrap();
+        assert_eq!(fis, back);
+    }
+}

@@ -1,0 +1,223 @@
+//! Discretised fuzzy sets over a variable's universe.
+//!
+//! The Mamdani engine aggregates fired consequents into a [`SampledSet`],
+//! which the sampling-based defuzzifiers then reduce to a crisp value.
+
+use crate::norms::Aggregation;
+use serde::{Deserialize, Serialize};
+
+/// A fuzzy set represented by membership degrees sampled on a uniform grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampledSet {
+    /// Lower bound of the sampled universe.
+    pub min: f64,
+    /// Upper bound of the sampled universe.
+    pub max: f64,
+    /// Membership degrees at `len()` evenly spaced points, endpoints
+    /// included.
+    pub mu: Vec<f64>,
+}
+
+impl SampledSet {
+    /// An all-zero (empty) set sampled at `n >= 2` points.
+    pub fn empty(min: f64, max: f64, n: usize) -> Self {
+        assert!(n >= 2, "need at least two samples");
+        assert!(min < max, "empty universe [{min}, {max}]");
+        SampledSet { min, max, mu: vec![0.0; n] }
+    }
+
+    /// Build from an arbitrary membership closure.
+    pub fn from_fn(min: f64, max: f64, n: usize, f: impl Fn(f64) -> f64) -> Self {
+        let mut s = Self::empty(min, max, n);
+        for i in 0..n {
+            s.mu[i] = f(s.x_at(i)).clamp(0.0, 1.0);
+        }
+        s
+    }
+
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.mu.len()
+    }
+
+    /// True when the set holds no samples (never constructible via public
+    /// API, but required for a well-behaved `len`).
+    pub fn is_empty(&self) -> bool {
+        self.mu.is_empty()
+    }
+
+    /// The grid coordinate of sample `i`.
+    #[inline]
+    pub fn x_at(&self, i: usize) -> f64 {
+        let n = self.mu.len();
+        self.min + (self.max - self.min) * i as f64 / (n - 1) as f64
+    }
+
+    /// Grid spacing.
+    #[inline]
+    pub fn dx(&self) -> f64 {
+        (self.max - self.min) / (self.mu.len() - 1) as f64
+    }
+
+    /// Membership at an arbitrary `x` by linear interpolation between grid
+    /// points; zero outside the universe.
+    pub fn interp(&self, x: f64) -> f64 {
+        if x < self.min || x > self.max {
+            return 0.0;
+        }
+        let t = (x - self.min) / (self.max - self.min) * (self.mu.len() - 1) as f64;
+        let i = (t.floor() as usize).min(self.mu.len() - 2);
+        let frac = t - i as f64;
+        self.mu[i] * (1.0 - frac) + self.mu[i + 1] * frac
+    }
+
+    /// Accumulate another membership closure into this set under the given
+    /// aggregation operator. Used per fired rule.
+    pub fn aggregate_fn(&mut self, agg: Aggregation, f: impl Fn(f64) -> f64) {
+        for i in 0..self.mu.len() {
+            let x = self.x_at(i);
+            self.mu[i] = agg.apply(self.mu[i], f(x).clamp(0.0, 1.0));
+        }
+    }
+
+    /// Pointwise union (max) with another set on the same grid.
+    pub fn union(&self, other: &SampledSet) -> SampledSet {
+        self.zip_with(other, f64::max)
+    }
+
+    /// Pointwise intersection (min) with another set on the same grid.
+    pub fn intersection(&self, other: &SampledSet) -> SampledSet {
+        self.zip_with(other, f64::min)
+    }
+
+    /// Pointwise complement.
+    pub fn complement(&self) -> SampledSet {
+        SampledSet {
+            min: self.min,
+            max: self.max,
+            mu: self.mu.iter().map(|&m| 1.0 - m).collect(),
+        }
+    }
+
+    fn zip_with(&self, other: &SampledSet, f: impl Fn(f64, f64) -> f64) -> SampledSet {
+        assert_eq!(self.min, other.min, "sets must share a universe");
+        assert_eq!(self.max, other.max, "sets must share a universe");
+        assert_eq!(self.len(), other.len(), "sets must share a grid");
+        SampledSet {
+            min: self.min,
+            max: self.max,
+            mu: self.mu.iter().zip(&other.mu).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Maximum membership degree (the set's *height*).
+    pub fn height(&self) -> f64 {
+        self.mu.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Trapezoidal-rule area under the sampled membership curve.
+    pub fn area(&self) -> f64 {
+        let dx = self.dx();
+        let n = self.mu.len();
+        let interior: f64 = self.mu[1..n - 1].iter().sum();
+        dx * (0.5 * (self.mu[0] + self.mu[n - 1]) + interior)
+    }
+
+    /// Trapezoidal-rule first moment `∫ x μ(x) dx`.
+    pub fn first_moment(&self) -> f64 {
+        let dx = self.dx();
+        let n = self.mu.len();
+        let ends = 0.5 * (self.mu[0] * self.x_at(0) + self.mu[n - 1] * self.x_at(n - 1));
+        let interior: f64 = (1..n - 1).map(|i| self.mu[i] * self.x_at(i)).sum();
+        dx * (ends + interior)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::membership::Mf;
+
+    #[test]
+    fn grid_coordinates() {
+        let s = SampledSet::empty(0.0, 10.0, 11);
+        assert_eq!(s.len(), 11);
+        assert_eq!(s.x_at(0), 0.0);
+        assert_eq!(s.x_at(10), 10.0);
+        assert!((s.x_at(3) - 3.0).abs() < 1e-12);
+        assert!((s.dx() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_fn_clamps() {
+        let s = SampledSet::from_fn(0.0, 1.0, 3, |x| 2.0 * x - 0.5);
+        assert_eq!(s.mu, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn interpolation() {
+        let s = SampledSet::from_fn(0.0, 2.0, 3, |x| x / 2.0);
+        assert!((s.interp(0.5) - 0.25).abs() < 1e-12);
+        assert!((s.interp(1.5) - 0.75).abs() < 1e-12);
+        assert_eq!(s.interp(-0.1), 0.0, "outside universe");
+        assert_eq!(s.interp(2.1), 0.0);
+        assert!((s.interp(2.0) - 1.0).abs() < 1e-12, "right endpoint exact");
+    }
+
+    #[test]
+    fn aggregation_max_accumulates() {
+        let tri1 = Mf::triangular(0.0, 2.0, 4.0);
+        let tri2 = Mf::triangular(2.0, 4.0, 6.0);
+        let mut s = SampledSet::empty(0.0, 6.0, 61);
+        s.aggregate_fn(Aggregation::Max, |x| tri1.eval(x));
+        s.aggregate_fn(Aggregation::Max, |x| tri2.eval(x));
+        // At the crossover x = 3 both triangles give 0.5.
+        assert!((s.interp(3.0) - 0.5).abs() < 1e-9);
+        assert!((s.interp(2.0) - 1.0).abs() < 1e-9);
+        assert!((s.interp(4.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_intersection_complement() {
+        let a = SampledSet::from_fn(0.0, 1.0, 5, |x| x);
+        let b = SampledSet::from_fn(0.0, 1.0, 5, |x| 1.0 - x);
+        let u = a.union(&b);
+        let i = a.intersection(&b);
+        for k in 0..5 {
+            assert!(u.mu[k] >= i.mu[k]);
+            assert!((u.mu[k] - a.mu[k].max(b.mu[k])).abs() < 1e-12);
+            assert!((i.mu[k] - a.mu[k].min(b.mu[k])).abs() < 1e-12);
+        }
+        let c = a.complement();
+        for k in 0..5 {
+            assert!((c.mu[k] - (1.0 - a.mu[k])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share a universe")]
+    fn mismatched_universes_panic() {
+        let a = SampledSet::empty(0.0, 1.0, 5);
+        let b = SampledSet::empty(0.0, 2.0, 5);
+        let _ = a.union(&b);
+    }
+
+    #[test]
+    fn height_area_moment() {
+        // Unit-height triangle (0, 1, 2): area 1, centroid 1.
+        let tri = Mf::triangular(0.0, 1.0, 2.0);
+        let s = SampledSet::from_fn(0.0, 2.0, 2001, |x| tri.eval(x));
+        assert!((s.height() - 1.0).abs() < 1e-9);
+        assert!((s.area() - 1.0).abs() < 1e-6);
+        assert!((s.first_moment() / s.area() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_set_has_zero_everything() {
+        let s = SampledSet::empty(0.0, 1.0, 16);
+        assert_eq!(s.height(), 0.0);
+        assert_eq!(s.area(), 0.0);
+        assert_eq!(s.first_moment(), 0.0);
+        assert!(!s.is_empty(), "has samples, just all-zero");
+    }
+}

@@ -1,0 +1,146 @@
+//! Linguistic hedges.
+//!
+//! A hedge transforms a membership degree to model adverbs such as "very"
+//! or "somewhat" in rule antecedents: `IF error IS very large ...`.
+
+use serde::{Deserialize, Serialize};
+
+/// A linguistic hedge applied to a term's membership degree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Hedge {
+    /// No transformation.
+    #[default]
+    Identity,
+    /// Concentration: `μ²` ("very").
+    Very,
+    /// Strong concentration: `μ³` ("extremely").
+    Extremely,
+    /// Dilation: `√μ` ("somewhat" / "more or less").
+    Somewhat,
+    /// Weak dilation: `μ^(1/3)` ("slightly").
+    Slightly,
+    /// Intensification: doubles contrast around μ = 0.5.
+    Intensify,
+    /// Complement: `1 - μ` ("not").
+    Not,
+}
+
+impl Hedge {
+    /// Apply the hedge to a membership degree (clamped into `[0, 1]`).
+    #[inline]
+    pub fn apply(&self, mu: f64) -> f64 {
+        let mu = mu.clamp(0.0, 1.0);
+        match self {
+            Hedge::Identity => mu,
+            Hedge::Very => mu * mu,
+            Hedge::Extremely => mu * mu * mu,
+            Hedge::Somewhat => mu.sqrt(),
+            Hedge::Slightly => mu.cbrt(),
+            Hedge::Intensify => {
+                if mu <= 0.5 {
+                    2.0 * mu * mu
+                } else {
+                    1.0 - 2.0 * (1.0 - mu) * (1.0 - mu)
+                }
+            }
+            Hedge::Not => 1.0 - mu,
+        }
+    }
+
+    /// Parse the textual form used by the rule DSL (case-insensitive).
+    pub fn from_keyword(word: &str) -> Option<Hedge> {
+        match word.to_ascii_lowercase().as_str() {
+            "very" => Some(Hedge::Very),
+            "extremely" => Some(Hedge::Extremely),
+            "somewhat" => Some(Hedge::Somewhat),
+            "slightly" => Some(Hedge::Slightly),
+            "intensify" => Some(Hedge::Intensify),
+            "not" => Some(Hedge::Not),
+            _ => None,
+        }
+    }
+
+    /// All variants, for exhaustive tests.
+    pub const ALL: [Hedge; 7] = [
+        Hedge::Identity,
+        Hedge::Very,
+        Hedge::Extremely,
+        Hedge::Somewhat,
+        Hedge::Slightly,
+        Hedge::Intensify,
+        Hedge::Not,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_preservation() {
+        // Every hedge maps {0, 1} into {0, 1}.
+        for h in Hedge::ALL {
+            let at0 = h.apply(0.0);
+            let at1 = h.apply(1.0);
+            assert!(at0 == 0.0 || at0 == 1.0, "{h:?}(0) = {at0}");
+            assert!(at1 == 0.0 || at1 == 1.0, "{h:?}(1) = {at1}");
+        }
+    }
+
+    #[test]
+    fn concentration_reduces_membership() {
+        for mu in [0.1, 0.3, 0.5, 0.9] {
+            assert!(Hedge::Very.apply(mu) < mu);
+            assert!(Hedge::Extremely.apply(mu) < Hedge::Very.apply(mu));
+        }
+    }
+
+    #[test]
+    fn dilation_increases_membership() {
+        for mu in [0.1, 0.3, 0.5, 0.9] {
+            assert!(Hedge::Somewhat.apply(mu) > mu);
+            assert!(Hedge::Slightly.apply(mu) > Hedge::Somewhat.apply(mu));
+        }
+    }
+
+    #[test]
+    fn intensify_fixed_points_and_contrast() {
+        assert_eq!(Hedge::Intensify.apply(0.0), 0.0);
+        assert!((Hedge::Intensify.apply(0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(Hedge::Intensify.apply(1.0), 1.0);
+        assert!(Hedge::Intensify.apply(0.25) < 0.25, "below 0.5 pushed down");
+        assert!(Hedge::Intensify.apply(0.75) > 0.75, "above 0.5 pushed up");
+    }
+
+    #[test]
+    fn not_is_involutive() {
+        for mu in [0.0, 0.2, 0.5, 0.8, 1.0] {
+            assert!((Hedge::Not.apply(Hedge::Not.apply(mu)) - mu).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn keyword_parsing() {
+        assert_eq!(Hedge::from_keyword("very"), Some(Hedge::Very));
+        assert_eq!(Hedge::from_keyword("VERY"), Some(Hedge::Very));
+        assert_eq!(Hedge::from_keyword("not"), Some(Hedge::Not));
+        assert_eq!(Hedge::from_keyword("quite"), None);
+    }
+
+    #[test]
+    fn outputs_stay_in_unit_interval() {
+        for h in Hedge::ALL {
+            for i in 0..=100 {
+                let mu = i as f64 / 100.0;
+                let y = h.apply(mu);
+                assert!((0.0..=1.0).contains(&y), "{h:?}({mu}) = {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range_inputs() {
+        assert_eq!(Hedge::Very.apply(1.5), 1.0);
+        assert_eq!(Hedge::Not.apply(-0.5), 1.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! # fuzzylogic
+//!
+//! A self-contained, production-quality fuzzy inference library.
+//!
+//! This crate implements everything needed to build and evaluate fuzzy
+//! inference systems (FIS) of the kind used by the fuzzy handover controller
+//! of Barolli et al. (ICPP-W 2008), but it is fully generic and reusable:
+//!
+//! * [`Mf`] — parametric membership functions (triangular, trapezoidal,
+//!   shoulders, Gaussian, generalized bell, sigmoid, singleton) with exact
+//!   piecewise-linear integration for the linear families.
+//! * [`LinguisticVariable`] / [`Term`] — named variables over a crisp
+//!   universe of discourse, partitioned into linguistic terms.
+//! * [`Rule`] / [`RuleSet`] — weighted IF/THEN rules with AND/OR
+//!   connectives, hedges and negation, plus a small text DSL
+//!   ([`parse_rule`](parser::parse_rule)).
+//! * [`Fis`] — a Mamdani-style engine with configurable conjunction,
+//!   disjunction, implication, aggregation and defuzzification.
+//! * [`SugenoFis`] — a zero/first-order Takagi–Sugeno–Kang engine.
+//! * [`Defuzzifier`] — centroid, bisector, mean/smallest/largest of maxima
+//!   and height (weighted-average) defuzzification.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fuzzylogic::prelude::*;
+//!
+//! // The classic two-input "tipper": service and food quality in [0, 10],
+//! // tip percentage in [0, 30].
+//! let service = LinguisticVariable::new("service", 0.0, 10.0)
+//!     .with_term("poor", Mf::left_shoulder(0.0, 5.0))
+//!     .with_term("good", Mf::triangular(0.0, 5.0, 10.0))
+//!     .with_term("excellent", Mf::right_shoulder(5.0, 10.0));
+//! let tip = LinguisticVariable::new("tip", 0.0, 30.0)
+//!     .with_term("cheap", Mf::triangular(0.0, 5.0, 10.0))
+//!     .with_term("average", Mf::triangular(10.0, 15.0, 20.0))
+//!     .with_term("generous", Mf::triangular(20.0, 25.0, 30.0));
+//!
+//! let fis = FisBuilder::new("tipper")
+//!     .input(service)
+//!     .output(tip)
+//!     .rule_str("IF service IS poor THEN tip IS cheap").unwrap()
+//!     .rule_str("IF service IS good THEN tip IS average").unwrap()
+//!     .rule_str("IF service IS excellent THEN tip IS generous").unwrap()
+//!     .build()
+//!     .unwrap();
+//!
+//! let out = fis.evaluate(&[9.5]).unwrap();
+//! assert!(out[0] > 20.0, "excellent service earns a generous tip");
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod analysis;
+pub mod defuzz;
+pub mod engine;
+pub mod error;
+pub mod fuzzyset;
+pub mod hedge;
+pub mod membership;
+pub mod norms;
+pub mod parser;
+pub mod rule;
+pub mod variable;
+
+pub use analysis::{analyze, RuleBaseReport};
+pub use defuzz::Defuzzifier;
+pub use engine::mamdani::{EngineConfig, Fis, FisBuilder};
+pub use engine::sugeno::{SugenoFis, SugenoFisBuilder, SugenoOutput, SugenoRule};
+pub use error::{FuzzyError, Result};
+pub use fuzzyset::SampledSet;
+pub use hedge::Hedge;
+pub use membership::Mf;
+pub use norms::{Aggregation, Implication, SNorm, TNorm};
+pub use rule::{Antecedent, Connective, Consequent, Rule, RuleSet};
+pub use variable::{LinguisticVariable, Term};
+
+/// Convenience re-exports for users who want everything in scope.
+pub mod prelude {
+    pub use crate::defuzz::Defuzzifier;
+    pub use crate::engine::mamdani::{EngineConfig, Fis, FisBuilder};
+    pub use crate::engine::sugeno::{SugenoFis, SugenoFisBuilder, SugenoOutput, SugenoRule};
+    pub use crate::error::{FuzzyError, Result};
+    pub use crate::fuzzyset::SampledSet;
+    pub use crate::hedge::Hedge;
+    pub use crate::membership::Mf;
+    pub use crate::norms::{Aggregation, Implication, SNorm, TNorm};
+    pub use crate::rule::{Antecedent, Connective, Consequent, Rule, RuleSet};
+    pub use crate::variable::{LinguisticVariable, Term};
+}

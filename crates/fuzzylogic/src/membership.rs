@@ -1,0 +1,691 @@
+//! Parametric membership functions.
+//!
+//! The paper (Fig. 3) uses triangular and trapezoidal functions "because
+//! they are suitable for real-time operation"; this module provides those
+//! plus the other families commonly found in fuzzy-control libraries.
+//!
+//! All functions map a crisp value `x` to a membership degree `μ(x) ∈ [0, 1]`.
+
+use crate::error::{FuzzyError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A parametric membership function.
+///
+/// The linear families (`Triangular`, `Trapezoidal`, `LeftShoulder`,
+/// `RightShoulder`) support *exact* area/centroid computation which the
+/// centroid defuzzifier exploits; the smooth families are integrated
+/// numerically by sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Mf {
+    /// Triangle with feet at `a` and `c` and peak at `b` (`a <= b <= c`).
+    Triangular {
+        /// Left foot (μ = 0).
+        a: f64,
+        /// Peak (μ = 1).
+        b: f64,
+        /// Right foot (μ = 0).
+        c: f64,
+    },
+    /// Trapezoid with feet at `a`, `d` and plateau `[b, c]`
+    /// (`a <= b <= c <= d`).
+    Trapezoidal {
+        /// Left foot (μ = 0).
+        a: f64,
+        /// Left plateau edge (μ = 1).
+        b: f64,
+        /// Right plateau edge (μ = 1).
+        c: f64,
+        /// Right foot (μ = 0).
+        d: f64,
+    },
+    /// Open-left shoulder: μ = 1 for `x <= a`, falling linearly to 0 at `b`.
+    LeftShoulder {
+        /// End of the unit plateau.
+        a: f64,
+        /// Foot (μ = 0).
+        b: f64,
+    },
+    /// Open-right shoulder: μ = 0 for `x <= a`, rising linearly to 1 at `b`
+    /// and staying 1 beyond.
+    RightShoulder {
+        /// Foot (μ = 0).
+        a: f64,
+        /// Start of the unit plateau.
+        b: f64,
+    },
+    /// Gaussian bell `exp(-(x-mean)^2 / (2 sigma^2))`.
+    Gaussian {
+        /// Center (μ = 1).
+        mean: f64,
+        /// Standard deviation (`> 0`).
+        sigma: f64,
+    },
+    /// Generalized bell `1 / (1 + |(x-c)/a|^(2b))`.
+    Bell {
+        /// Half-width at μ = 0.5 (`> 0`).
+        a: f64,
+        /// Slope exponent (`> 0`).
+        b: f64,
+        /// Center.
+        c: f64,
+    },
+    /// Sigmoid `1 / (1 + exp(-a (x - c)))`; `a > 0` opens right,
+    /// `a < 0` opens left.
+    Sigmoid {
+        /// Steepness (non-zero).
+        a: f64,
+        /// Inflection point (μ = 0.5).
+        c: f64,
+    },
+    /// Crisp singleton: μ = 1 at `x0` (within tolerance), 0 elsewhere.
+    Singleton {
+        /// The support point.
+        x0: f64,
+    },
+}
+
+/// Tolerance used when matching a [`Mf::Singleton`] support point.
+const SINGLETON_EPS: f64 = 1e-9;
+
+impl Mf {
+    /// Triangle constructor with validation (`a <= b <= c`, not degenerate).
+    pub fn try_triangular(a: f64, b: f64, c: f64) -> Result<Self> {
+        if !(a.is_finite() && b.is_finite() && c.is_finite()) {
+            return Err(FuzzyError::InvalidMf { reason: format!("non-finite triangle ({a}, {b}, {c})") });
+        }
+        if !(a <= b && b <= c) {
+            return Err(FuzzyError::InvalidMf {
+                reason: format!("triangle vertices must satisfy a <= b <= c, got ({a}, {b}, {c})"),
+            });
+        }
+        if a == c {
+            return Err(FuzzyError::InvalidMf {
+                reason: format!("triangle is degenerate (a == c == {a}); use Mf::singleton instead"),
+            });
+        }
+        Ok(Mf::Triangular { a, b, c })
+    }
+
+    /// Triangle with feet `a`, `c` and peak `b`. Panics on invalid ordering;
+    /// use [`Mf::try_triangular`] for fallible construction.
+    pub fn triangular(a: f64, b: f64, c: f64) -> Self {
+        Self::try_triangular(a, b, c).expect("invalid triangular membership function")
+    }
+
+    /// The paper's Fig. 3 `f(x; x0, a0, a1)` form: peak at `x0`, left width
+    /// `a0`, right width `a1`.
+    pub fn tri_center(x0: f64, a0: f64, a1: f64) -> Self {
+        Self::triangular(x0 - a0, x0, x0 + a1)
+    }
+
+    /// Trapezoid constructor with validation (`a <= b <= c <= d`).
+    pub fn try_trapezoidal(a: f64, b: f64, c: f64, d: f64) -> Result<Self> {
+        if !(a.is_finite() && b.is_finite() && c.is_finite() && d.is_finite()) {
+            return Err(FuzzyError::InvalidMf {
+                reason: format!("non-finite trapezoid ({a}, {b}, {c}, {d})"),
+            });
+        }
+        if !(a <= b && b <= c && c <= d) {
+            return Err(FuzzyError::InvalidMf {
+                reason: format!("trapezoid vertices must satisfy a <= b <= c <= d, got ({a}, {b}, {c}, {d})"),
+            });
+        }
+        if a == d {
+            return Err(FuzzyError::InvalidMf {
+                reason: format!("trapezoid is degenerate (a == d == {a}); use Mf::singleton instead"),
+            });
+        }
+        Ok(Mf::Trapezoidal { a, b, c, d })
+    }
+
+    /// Trapezoid with feet `a`, `d` and plateau `[b, c]`. Panics on invalid
+    /// ordering; use [`Mf::try_trapezoidal`] for fallible construction.
+    pub fn trapezoidal(a: f64, b: f64, c: f64, d: f64) -> Self {
+        Self::try_trapezoidal(a, b, c, d).expect("invalid trapezoidal membership function")
+    }
+
+    /// The paper's Fig. 3 `g(x; x0, x1, a0, a1)` form: plateau `[x0, x1]`,
+    /// left width `a0`, right width `a1`.
+    pub fn trap_edges(x0: f64, x1: f64, a0: f64, a1: f64) -> Self {
+        Self::trapezoidal(x0 - a0, x0, x1, x1 + a1)
+    }
+
+    /// Open-left shoulder (`a < b`): saturated at 1 for all `x <= a`.
+    pub fn left_shoulder(a: f64, b: f64) -> Self {
+        assert!(a < b, "left shoulder requires a < b, got ({a}, {b})");
+        Mf::LeftShoulder { a, b }
+    }
+
+    /// Open-right shoulder (`a < b`): saturated at 1 for all `x >= b`.
+    pub fn right_shoulder(a: f64, b: f64) -> Self {
+        assert!(a < b, "right shoulder requires a < b, got ({a}, {b})");
+        Mf::RightShoulder { a, b }
+    }
+
+    /// Gaussian with `sigma > 0`.
+    pub fn gaussian(mean: f64, sigma: f64) -> Self {
+        assert!(sigma > 0.0, "gaussian sigma must be positive, got {sigma}");
+        Mf::Gaussian { mean, sigma }
+    }
+
+    /// Generalized bell with `a > 0`, `b > 0`.
+    pub fn bell(a: f64, b: f64, c: f64) -> Self {
+        assert!(a > 0.0 && b > 0.0, "bell requires a > 0 and b > 0, got ({a}, {b})");
+        Mf::Bell { a, b, c }
+    }
+
+    /// Sigmoid with non-zero steepness.
+    pub fn sigmoid(a: f64, c: f64) -> Self {
+        assert!(a != 0.0, "sigmoid steepness must be non-zero");
+        Mf::Sigmoid { a, c }
+    }
+
+    /// Crisp singleton at `x0`.
+    pub fn singleton(x0: f64) -> Self {
+        Mf::Singleton { x0 }
+    }
+
+    /// Membership degree `μ(x) ∈ [0, 1]`.
+    ///
+    /// NaN inputs yield 0 (no membership), so the engine never propagates
+    /// NaN through an inference pass.
+    pub fn eval(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return 0.0;
+        }
+        match *self {
+            Mf::Triangular { a, b, c } => {
+                if x <= a || x >= c {
+                    // The peak itself may sit on a foot (right-angled
+                    // triangle); honour μ(b) = 1 in that case.
+                    if x == b {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else if x == b {
+                    1.0
+                } else if x < b {
+                    (x - a) / (b - a)
+                } else {
+                    (c - x) / (c - b)
+                }
+            }
+            Mf::Trapezoidal { a, b, c, d } => {
+                if (b..=c).contains(&x) {
+                    1.0
+                } else if x <= a || x >= d {
+                    0.0
+                } else if x < b {
+                    (x - a) / (b - a)
+                } else {
+                    (d - x) / (d - c)
+                }
+            }
+            Mf::LeftShoulder { a, b } => {
+                if x <= a {
+                    1.0
+                } else if x >= b {
+                    0.0
+                } else {
+                    (b - x) / (b - a)
+                }
+            }
+            Mf::RightShoulder { a, b } => {
+                if x <= a {
+                    0.0
+                } else if x >= b {
+                    1.0
+                } else {
+                    (x - a) / (b - a)
+                }
+            }
+            Mf::Gaussian { mean, sigma } => {
+                let t = (x - mean) / sigma;
+                (-0.5 * t * t).exp()
+            }
+            Mf::Bell { a, b, c } => {
+                let t = ((x - c) / a).abs();
+                1.0 / (1.0 + t.powf(2.0 * b))
+            }
+            Mf::Sigmoid { a, c } => 1.0 / (1.0 + (-a * (x - c)).exp()),
+            Mf::Singleton { x0 } => {
+                if (x - x0).abs() <= SINGLETON_EPS {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// The closed interval outside which μ is (effectively) zero.
+    ///
+    /// For open shoulders and sigmoids the unbounded side is reported as
+    /// ±infinity; callers clip to the variable universe. Gaussians use the
+    /// conventional ±4σ support.
+    pub fn support(&self) -> (f64, f64) {
+        match *self {
+            Mf::Triangular { a, c, .. } => (a, c),
+            Mf::Trapezoidal { a, d, .. } => (a, d),
+            Mf::LeftShoulder { b, .. } => (f64::NEG_INFINITY, b),
+            Mf::RightShoulder { a, .. } => (a, f64::INFINITY),
+            Mf::Gaussian { mean, sigma } => (mean - 4.0 * sigma, mean + 4.0 * sigma),
+            Mf::Bell { a, c, .. } => (c - 8.0 * a, c + 8.0 * a),
+            Mf::Sigmoid { a, c } => {
+                if a > 0.0 {
+                    (c - 8.0 / a.abs(), f64::INFINITY)
+                } else {
+                    (f64::NEG_INFINITY, c + 8.0 / a.abs())
+                }
+            }
+            Mf::Singleton { x0 } => (x0, x0),
+        }
+    }
+
+    /// The interval on which μ attains its maximum (the *core* for normal
+    /// functions).
+    pub fn core(&self) -> (f64, f64) {
+        match *self {
+            Mf::Triangular { b, .. } => (b, b),
+            Mf::Trapezoidal { b, c, .. } => (b, c),
+            Mf::LeftShoulder { a, .. } => (f64::NEG_INFINITY, a),
+            Mf::RightShoulder { b, .. } => (b, f64::INFINITY),
+            Mf::Gaussian { mean, .. } => (mean, mean),
+            Mf::Bell { c, .. } => (c, c),
+            Mf::Sigmoid { a, c } => {
+                if a > 0.0 {
+                    (c + 8.0 / a.abs(), f64::INFINITY)
+                } else {
+                    (f64::NEG_INFINITY, c - 8.0 / a.abs())
+                }
+            }
+            Mf::Singleton { x0 } => (x0, x0),
+        }
+    }
+
+    /// Representative crisp value of the term: midpoint of the core, with
+    /// unbounded sides replaced by the given universe bounds.
+    ///
+    /// Used by height/weighted-average defuzzification and by the Sugeno
+    /// bridge.
+    pub fn centroid_of_core(&self, lo: f64, hi: f64) -> f64 {
+        let (a, b) = self.core();
+        let a = a.max(lo);
+        let b = b.min(hi);
+        0.5 * (a + b)
+    }
+
+    /// Area under μ clipped at `height` between `lo` and `hi`, computed
+    /// exactly for the piecewise-linear families and by Simpson sampling
+    /// (1024 intervals) otherwise.
+    pub fn clipped_area(&self, height: f64, lo: f64, hi: f64) -> f64 {
+        self.clipped_moments(height, lo, hi).0
+    }
+
+    /// `(area, first_moment)` of `min(μ(x), height)` over `[lo, hi]`.
+    ///
+    /// The linear families are decomposed into linear pieces and integrated
+    /// in closed form; smooth families fall back to composite Simpson.
+    pub fn clipped_moments(&self, height: f64, lo: f64, hi: f64) -> (f64, f64) {
+        let h = height.clamp(0.0, 1.0);
+        if h == 0.0 || lo >= hi {
+            return (0.0, 0.0);
+        }
+        match *self {
+            Mf::Triangular { .. }
+            | Mf::Trapezoidal { .. }
+            | Mf::LeftShoulder { .. }
+            | Mf::RightShoulder { .. } => self.linear_clipped_moments(h, lo, hi),
+            _ => self.sampled_clipped_moments(h, lo, hi),
+        }
+    }
+
+    /// Exact integration for piecewise-linear μ clipped at `h`.
+    fn linear_clipped_moments(&self, h: f64, lo: f64, hi: f64) -> (f64, f64) {
+        // Collect breakpoints of the piecewise-linear clipped function:
+        // the MF's own vertices plus the points where μ(x) == h.
+        let mut xs: Vec<f64> = vec![lo, hi];
+        let mut push = |x: f64| {
+            if x > lo && x < hi {
+                xs.push(x);
+            }
+        };
+        match *self {
+            Mf::Triangular { a, b, c } => {
+                push(a);
+                push(b);
+                push(c);
+                if b > a {
+                    push(a + h * (b - a)); // rising edge crosses h
+                }
+                if c > b {
+                    push(c - h * (c - b)); // falling edge crosses h
+                }
+            }
+            Mf::Trapezoidal { a, b, c, d } => {
+                push(a);
+                push(b);
+                push(c);
+                push(d);
+                if b > a {
+                    push(a + h * (b - a));
+                }
+                if d > c {
+                    push(d - h * (d - c));
+                }
+            }
+            Mf::LeftShoulder { a, b } => {
+                push(a);
+                push(b);
+                push(b - h * (b - a));
+            }
+            Mf::RightShoulder { a, b } => {
+                push(a);
+                push(b);
+                push(a + h * (b - a));
+            }
+            _ => unreachable!("linear_clipped_moments called on a non-linear MF"),
+        }
+        xs.sort_by(|p, q| p.partial_cmp(q).expect("breakpoints are finite"));
+        xs.dedup();
+
+        // On each sub-interval the clipped function is linear; integrate the
+        // trapezoid exactly. For a linear segment from (x0, y0) to (x1, y1):
+        //   area   = (y0 + y1)/2 * w
+        //   moment = ∫ x y dx = w/6 * (x0 (2 y0 + y1) + x1 (y0 + 2 y1))
+        let mut area = 0.0;
+        let mut moment = 0.0;
+        for w in xs.windows(2) {
+            let (x0, x1) = (w[0], w[1]);
+            let y0 = self.eval(x0).min(h);
+            let y1 = self.eval(x1).min(h);
+            let width = x1 - x0;
+            area += 0.5 * (y0 + y1) * width;
+            moment += width / 6.0 * (x0 * (2.0 * y0 + y1) + x1 * (y0 + 2.0 * y1));
+        }
+        (area, moment)
+    }
+
+    /// Composite-Simpson integration for smooth μ clipped at `h`.
+    fn sampled_clipped_moments(&self, h: f64, lo: f64, hi: f64) -> (f64, f64) {
+        const N: usize = 1024; // even
+        let step = (hi - lo) / N as f64;
+        let mut area = 0.0;
+        let mut moment = 0.0;
+        for i in 0..=N {
+            let x = lo + i as f64 * step;
+            let y = self.eval(x).min(h);
+            let w = if i == 0 || i == N {
+                1.0
+            } else if i % 2 == 1 {
+                4.0
+            } else {
+                2.0
+            };
+            area += w * y;
+            moment += w * x * y;
+        }
+        let scale = step / 3.0;
+        (area * scale, moment * scale)
+    }
+
+    /// True when the function attains μ = 1 somewhere (is *normal*).
+    pub fn is_normal(&self) -> bool {
+        // All families in this enum are normal by construction except the
+        // sigmoid/bell families, which approach 1 asymptotically. The core
+        // edge sits 8/|a| past the inflection, where μ = 1/(1+e⁻⁸) ≈ 0.99967,
+        // so "effectively normal" is judged at the 0.999 level.
+        match self {
+            Mf::Sigmoid { .. } | Mf::Bell { .. } => {
+                let (a, b) = self.core();
+                let probe = if a.is_finite() { a } else { b };
+                probe.is_finite() && self.eval(probe) >= 0.999
+            }
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn triangular_vertices() {
+        let mf = Mf::triangular(0.0, 1.0, 3.0);
+        assert_eq!(mf.eval(-1.0), 0.0);
+        assert_eq!(mf.eval(0.0), 0.0);
+        assert!((mf.eval(0.5) - 0.5).abs() < EPS);
+        assert_eq!(mf.eval(1.0), 1.0);
+        assert!((mf.eval(2.0) - 0.5).abs() < EPS);
+        assert_eq!(mf.eval(3.0), 0.0);
+        assert_eq!(mf.eval(4.0), 0.0);
+    }
+
+    #[test]
+    fn triangular_right_angled_left() {
+        // a == b: vertical rising edge.
+        let mf = Mf::triangular(0.0, 0.0, 2.0);
+        assert_eq!(mf.eval(0.0), 1.0);
+        assert!((mf.eval(1.0) - 0.5).abs() < EPS);
+        assert_eq!(mf.eval(2.0), 0.0);
+        assert_eq!(mf.eval(-0.1), 0.0);
+    }
+
+    #[test]
+    fn triangular_right_angled_right() {
+        let mf = Mf::triangular(0.0, 2.0, 2.0);
+        assert_eq!(mf.eval(2.0), 1.0);
+        assert!((mf.eval(1.0) - 0.5).abs() < EPS);
+        assert_eq!(mf.eval(2.1), 0.0);
+    }
+
+    #[test]
+    fn tri_center_matches_paper_parameterization() {
+        // f(x; x0 = 5, a0 = 2, a1 = 3) -> triangle (3, 5, 8).
+        let mf = Mf::tri_center(5.0, 2.0, 3.0);
+        assert_eq!(mf, Mf::Triangular { a: 3.0, b: 5.0, c: 8.0 });
+    }
+
+    #[test]
+    fn trapezoidal_plateau() {
+        let mf = Mf::trapezoidal(0.0, 1.0, 2.0, 4.0);
+        assert_eq!(mf.eval(1.0), 1.0);
+        assert_eq!(mf.eval(1.5), 1.0);
+        assert_eq!(mf.eval(2.0), 1.0);
+        assert!((mf.eval(0.5) - 0.5).abs() < EPS);
+        assert!((mf.eval(3.0) - 0.5).abs() < EPS);
+        assert_eq!(mf.eval(4.0), 0.0);
+    }
+
+    #[test]
+    fn trap_edges_matches_paper_parameterization() {
+        // g(x; x0 = 1, x1 = 2, a0 = 1, a1 = 2) -> trapezoid (0, 1, 2, 4).
+        let mf = Mf::trap_edges(1.0, 2.0, 1.0, 2.0);
+        assert_eq!(mf, Mf::Trapezoidal { a: 0.0, b: 1.0, c: 2.0, d: 4.0 });
+    }
+
+    #[test]
+    fn shoulders_saturate() {
+        let l = Mf::left_shoulder(-5.0, 0.0);
+        assert_eq!(l.eval(-100.0), 1.0);
+        assert_eq!(l.eval(-5.0), 1.0);
+        assert!((l.eval(-2.5) - 0.5).abs() < EPS);
+        assert_eq!(l.eval(0.0), 0.0);
+        assert_eq!(l.eval(10.0), 0.0);
+
+        let r = Mf::right_shoulder(0.0, 5.0);
+        assert_eq!(r.eval(-1.0), 0.0);
+        assert_eq!(r.eval(0.0), 0.0);
+        assert!((r.eval(2.5) - 0.5).abs() < EPS);
+        assert_eq!(r.eval(5.0), 1.0);
+        assert_eq!(r.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn gaussian_properties() {
+        let g = Mf::gaussian(0.0, 1.0);
+        assert_eq!(g.eval(0.0), 1.0);
+        assert!((g.eval(1.0) - (-0.5f64).exp()).abs() < EPS);
+        assert!((g.eval(-1.0) - g.eval(1.0)).abs() < EPS, "symmetric");
+        assert!(g.eval(10.0) < 1e-20);
+    }
+
+    #[test]
+    fn bell_properties() {
+        let b = Mf::bell(2.0, 4.0, 6.0);
+        assert_eq!(b.eval(6.0), 1.0);
+        assert!((b.eval(4.0) - 0.5).abs() < EPS, "half-width at a");
+        assert!((b.eval(8.0) - 0.5).abs() < EPS);
+        assert!(b.eval(100.0) < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        let s = Mf::sigmoid(2.0, 1.0);
+        assert!((s.eval(1.0) - 0.5).abs() < EPS);
+        assert!(s.eval(10.0) > 0.999);
+        assert!(s.eval(-10.0) < 0.001);
+        let neg = Mf::sigmoid(-2.0, 1.0);
+        assert!(neg.eval(-10.0) > 0.999, "negative steepness opens left");
+    }
+
+    #[test]
+    fn singleton_matches_only_its_point() {
+        let s = Mf::singleton(3.0);
+        assert_eq!(s.eval(3.0), 1.0);
+        assert_eq!(s.eval(3.0 + 1e-6), 0.0);
+        assert_eq!(s.eval(2.0), 0.0);
+    }
+
+    #[test]
+    fn nan_input_gives_zero_membership() {
+        for mf in [
+            Mf::triangular(0.0, 1.0, 2.0),
+            Mf::gaussian(0.0, 1.0),
+            Mf::sigmoid(1.0, 0.0),
+            Mf::singleton(0.0),
+        ] {
+            assert_eq!(mf.eval(f64::NAN), 0.0);
+        }
+    }
+
+    #[test]
+    fn invalid_constructions_are_rejected() {
+        assert!(Mf::try_triangular(2.0, 1.0, 3.0).is_err());
+        assert!(Mf::try_triangular(0.0, 0.0, 0.0).is_err());
+        assert!(Mf::try_trapezoidal(0.0, 2.0, 1.0, 3.0).is_err());
+        assert!(Mf::try_trapezoidal(1.0, 1.0, 1.0, 1.0).is_err());
+        assert!(Mf::try_triangular(f64::NAN, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid triangular")]
+    fn panicking_constructor_panics() {
+        let _ = Mf::triangular(3.0, 2.0, 1.0);
+    }
+
+    #[test]
+    fn support_and_core() {
+        let t = Mf::triangular(0.0, 1.0, 3.0);
+        assert_eq!(t.support(), (0.0, 3.0));
+        assert_eq!(t.core(), (1.0, 1.0));
+
+        let tr = Mf::trapezoidal(0.0, 1.0, 2.0, 4.0);
+        assert_eq!(tr.support(), (0.0, 4.0));
+        assert_eq!(tr.core(), (1.0, 2.0));
+
+        let l = Mf::left_shoulder(1.0, 2.0);
+        assert_eq!(l.support().1, 2.0);
+        assert!(l.support().0.is_infinite());
+        assert_eq!(l.core().1, 1.0);
+    }
+
+    #[test]
+    fn centroid_of_core_clips_to_universe() {
+        let l = Mf::left_shoulder(1.0, 2.0);
+        // Core is (-inf, 1]; clipped to [0, 10] -> midpoint of [0, 1].
+        assert!((l.centroid_of_core(0.0, 10.0) - 0.5).abs() < EPS);
+        let r = Mf::right_shoulder(8.0, 9.0);
+        assert!((r.centroid_of_core(0.0, 10.0) - 9.5).abs() < EPS);
+    }
+
+    #[test]
+    fn triangle_full_area_and_centroid() {
+        // Triangle (0, 1, 3): area = 1.5, centroid x = (0 + 1 + 3)/3 = 4/3.
+        let t = Mf::triangular(0.0, 1.0, 3.0);
+        let (area, moment) = t.clipped_moments(1.0, -1.0, 4.0);
+        assert!((area - 1.5).abs() < 1e-9, "area {area}");
+        assert!((moment / area - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clipped_triangle_area() {
+        // Symmetric triangle (0, 1, 2) clipped at h = 0.5 becomes a
+        // trapezoid with parallel sides 2 (bottom) and 1 (top), height 0.5:
+        // area = (2 + 1)/2 * 0.5 = 0.75.
+        let t = Mf::triangular(0.0, 1.0, 2.0);
+        let (area, moment) = t.clipped_moments(0.5, 0.0, 2.0);
+        assert!((area - 0.75).abs() < 1e-9, "area {area}");
+        assert!((moment / area - 1.0).abs() < 1e-9, "symmetric centroid at 1");
+    }
+
+    #[test]
+    fn clipped_shoulder_area() {
+        // Right shoulder (0, 1) clipped at 1 over [0, 3]: ramp area 0.5 plus
+        // plateau 2.0 = 2.5.
+        let r = Mf::right_shoulder(0.0, 1.0);
+        let (area, _) = r.clipped_moments(1.0, 0.0, 3.0);
+        assert!((area - 2.5).abs() < 1e-9, "area {area}");
+        // Clipped at 0.5: ramp reaches 0.5 at x = 0.5: triangle 0.5*0.5/2 =
+        // 0.125, plateau 2.5 long * 0.5 = 1.25 -> 1.375.
+        let (area, _) = r.clipped_moments(0.5, 0.0, 3.0);
+        assert!((area - 1.375).abs() < 1e-9, "area {area}");
+    }
+
+    #[test]
+    fn gaussian_area_matches_closed_form() {
+        // ∫ exp(-x²/2) over wide range = sqrt(2π) σ.
+        let g = Mf::gaussian(0.0, 1.0);
+        let (area, moment) = g.clipped_moments(1.0, -8.0, 8.0);
+        let expected = (2.0 * std::f64::consts::PI).sqrt();
+        assert!((area - expected).abs() < 1e-6, "area {area} vs {expected}");
+        assert!(moment.abs() < 1e-9, "symmetric first moment");
+    }
+
+    #[test]
+    fn zero_height_clips_to_nothing() {
+        let t = Mf::triangular(0.0, 1.0, 2.0);
+        assert_eq!(t.clipped_moments(0.0, 0.0, 2.0), (0.0, 0.0));
+        assert_eq!(t.clipped_moments(1.0, 2.0, 1.0), (0.0, 0.0), "empty interval");
+    }
+
+    #[test]
+    fn all_families_are_normal_or_detected() {
+        assert!(Mf::triangular(0.0, 1.0, 2.0).is_normal());
+        assert!(Mf::trapezoidal(0.0, 1.0, 2.0, 3.0).is_normal());
+        assert!(Mf::gaussian(0.0, 1.0).is_normal());
+        assert!(Mf::singleton(1.0).is_normal());
+        assert!(Mf::sigmoid(5.0, 0.0).is_normal(), "steep sigmoid saturates");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mfs = vec![
+            Mf::triangular(0.0, 1.0, 2.0),
+            Mf::trapezoidal(0.0, 1.0, 2.0, 3.0),
+            Mf::left_shoulder(0.0, 1.0),
+            Mf::right_shoulder(0.0, 1.0),
+            Mf::gaussian(0.0, 1.0),
+            Mf::bell(1.0, 2.0, 3.0),
+            Mf::sigmoid(1.0, 0.0),
+            Mf::singleton(2.0),
+        ];
+        let json = serde_json::to_string(&mfs).unwrap();
+        let back: Vec<Mf> = serde_json::from_str(&json).unwrap();
+        assert_eq!(mfs, back);
+    }
+}

@@ -1,0 +1,289 @@
+//! A small text DSL for authoring rules.
+//!
+//! Grammar (case-insensitive keywords, whitespace-separated):
+//!
+//! ```text
+//! IF <var> IS [<hedge>] <term> {AND|OR <var> IS [<hedge>] <term>}
+//!     THEN <var> IS <term> {AND <var> IS <term>} [WITH <weight>]
+//! ```
+//!
+//! Example: `IF cssp IS SM AND ssn IS NOT WK THEN hd IS LO WITH 0.9`.
+
+use crate::error::{FuzzyError, Result};
+use crate::hedge::Hedge;
+use crate::rule::{Antecedent, Connective, Consequent, Rule};
+use crate::variable::LinguisticVariable;
+
+/// Parse one rule against the declared input and output variables.
+pub fn parse_rule(
+    text: &str,
+    inputs: &[LinguisticVariable],
+    outputs: &[LinguisticVariable],
+) -> Result<Rule> {
+    let err = |reason: &str| FuzzyError::Parse { reason: reason.to_string(), text: text.to_string() };
+
+    let tokens: Vec<&str> = text.split_whitespace().collect();
+    if tokens.is_empty() {
+        return Err(err("empty rule"));
+    }
+    let mut pos = 0usize;
+
+    let expect_kw = |pos: &mut usize, kw: &str, tokens: &[&str]| -> Result<()> {
+        match tokens.get(*pos) {
+            Some(t) if t.eq_ignore_ascii_case(kw) => {
+                *pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(FuzzyError::Parse {
+                reason: format!("expected `{kw}`, found `{t}`"),
+                text: text.to_string(),
+            }),
+            None => Err(FuzzyError::Parse {
+                reason: format!("expected `{kw}`, found end of rule"),
+                text: text.to_string(),
+            }),
+        }
+    };
+
+    expect_kw(&mut pos, "IF", &tokens)?;
+
+    // --- antecedents -----------------------------------------------------
+    let mut antecedents = Vec::new();
+    let mut connective: Option<Connective> = None;
+    loop {
+        let var_name = *tokens.get(pos).ok_or_else(|| err("expected a variable name"))?;
+        pos += 1;
+        let var = lookup_variable(var_name, inputs)
+            .ok_or_else(|| FuzzyError::UnknownVariable { name: var_name.to_string() })?;
+        expect_kw(&mut pos, "IS", &tokens)?;
+
+        // Optional single hedge keyword before the term label. A token is
+        // treated as a hedge only when it is NOT itself a term of the
+        // variable, so term sets may legally contain labels like "NOT".
+        let mut hedge = Hedge::Identity;
+        let mut term_tok = *tokens.get(pos).ok_or_else(|| err("expected a term name"))?;
+        pos += 1;
+        if inputs[var].term_index(term_tok).is_none() {
+            if let Some(h) = Hedge::from_keyword(term_tok) {
+                hedge = h;
+                term_tok = *tokens.get(pos).ok_or_else(|| err("expected a term after hedge"))?;
+                pos += 1;
+            }
+        }
+        let term = inputs[var].term_index(term_tok).ok_or_else(|| FuzzyError::UnknownTerm {
+            variable: inputs[var].name.clone(),
+            term: term_tok.to_string(),
+        })?;
+        antecedents.push(Antecedent::hedged(var, term, hedge));
+
+        match tokens.get(pos).map(|t| t.to_ascii_uppercase()) {
+            Some(ref t) if t == "AND" => {
+                if connective == Some(Connective::Or) {
+                    return Err(err("mixed AND/OR antecedents are not supported"));
+                }
+                connective = Some(Connective::And);
+                pos += 1;
+            }
+            Some(ref t) if t == "OR" => {
+                if connective == Some(Connective::And) {
+                    return Err(err("mixed AND/OR antecedents are not supported"));
+                }
+                connective = Some(Connective::Or);
+                pos += 1;
+            }
+            Some(ref t) if t == "THEN" => break,
+            Some(t) => {
+                return Err(FuzzyError::Parse {
+                    reason: format!("expected AND/OR/THEN, found `{t}`"),
+                    text: text.to_string(),
+                })
+            }
+            None => return Err(err("rule has no THEN clause")),
+        }
+    }
+    expect_kw(&mut pos, "THEN", &tokens)?;
+
+    // --- consequents -----------------------------------------------------
+    let mut consequents = Vec::new();
+    let mut weight = 1.0f64;
+    loop {
+        let var_name = *tokens.get(pos).ok_or_else(|| err("expected an output variable"))?;
+        pos += 1;
+        let var = lookup_variable(var_name, outputs)
+            .ok_or_else(|| FuzzyError::UnknownVariable { name: var_name.to_string() })?;
+        expect_kw(&mut pos, "IS", &tokens)?;
+        let term_tok = *tokens.get(pos).ok_or_else(|| err("expected an output term"))?;
+        pos += 1;
+        let term = outputs[var].term_index(term_tok).ok_or_else(|| FuzzyError::UnknownTerm {
+            variable: outputs[var].name.clone(),
+            term: term_tok.to_string(),
+        })?;
+        consequents.push(Consequent::new(var, term));
+
+        match tokens.get(pos).map(|t| t.to_ascii_uppercase()) {
+            Some(ref t) if t == "AND" => {
+                pos += 1;
+            }
+            Some(ref t) if t == "WITH" => {
+                pos += 1;
+                let w_tok = *tokens.get(pos).ok_or_else(|| err("expected a weight after WITH"))?;
+                pos += 1;
+                weight = w_tok
+                    .parse::<f64>()
+                    .map_err(|_| FuzzyError::Parse {
+                        reason: format!("`{w_tok}` is not a number"),
+                        text: text.to_string(),
+                    })?;
+                if tokens.len() != pos {
+                    return Err(err("unexpected tokens after the weight"));
+                }
+                break;
+            }
+            Some(t) => {
+                return Err(FuzzyError::Parse {
+                    reason: format!("expected AND/WITH/end, found `{t}`"),
+                    text: text.to_string(),
+                })
+            }
+            None => break,
+        }
+    }
+
+    let rule = Rule::new(antecedents, connective.unwrap_or_default(), consequents)
+        .with_weight(weight);
+    rule.check_weight()?;
+    Ok(rule)
+}
+
+fn lookup_variable(name: &str, vars: &[LinguisticVariable]) -> Option<usize> {
+    vars.iter()
+        .position(|v| v.name == name)
+        .or_else(|| vars.iter().position(|v| v.name.eq_ignore_ascii_case(name)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::membership::Mf;
+
+    fn vars() -> (Vec<LinguisticVariable>, Vec<LinguisticVariable>) {
+        let a = LinguisticVariable::new("temp", 0.0, 100.0)
+            .with_term("cold", Mf::left_shoulder(0.0, 50.0))
+            .with_term("hot", Mf::right_shoulder(50.0, 100.0));
+        let b = LinguisticVariable::new("humidity", 0.0, 1.0)
+            .with_term("dry", Mf::left_shoulder(0.0, 0.5))
+            .with_term("wet", Mf::right_shoulder(0.5, 1.0));
+        let o = LinguisticVariable::new("fan", 0.0, 10.0)
+            .with_term("slow", Mf::left_shoulder(0.0, 5.0))
+            .with_term("fast", Mf::right_shoulder(5.0, 10.0));
+        (vec![a, b], vec![o])
+    }
+
+    #[test]
+    fn simple_rule() {
+        let (i, o) = vars();
+        let r = parse_rule("IF temp IS hot THEN fan IS fast", &i, &o).unwrap();
+        assert_eq!(r.antecedents, vec![Antecedent::new(0, 1)]);
+        assert_eq!(r.consequents, vec![Consequent::new(0, 1)]);
+        assert_eq!(r.connective, Connective::And);
+        assert_eq!(r.weight, 1.0);
+    }
+
+    #[test]
+    fn multi_antecedent_and() {
+        let (i, o) = vars();
+        let r = parse_rule("IF temp IS hot AND humidity IS wet THEN fan IS fast", &i, &o).unwrap();
+        assert_eq!(r.antecedents.len(), 2);
+        assert_eq!(r.antecedents[1], Antecedent::new(1, 1));
+        assert_eq!(r.connective, Connective::And);
+    }
+
+    #[test]
+    fn or_connective() {
+        let (i, o) = vars();
+        let r = parse_rule("IF temp IS hot OR humidity IS dry THEN fan IS fast", &i, &o).unwrap();
+        assert_eq!(r.connective, Connective::Or);
+    }
+
+    #[test]
+    fn mixed_connectives_rejected() {
+        let (i, o) = vars();
+        let e = parse_rule(
+            "IF temp IS hot AND humidity IS dry OR temp IS cold THEN fan IS fast",
+            &i,
+            &o,
+        );
+        assert!(matches!(e, Err(FuzzyError::Parse { .. })));
+    }
+
+    #[test]
+    fn hedges_and_not() {
+        let (i, o) = vars();
+        let r = parse_rule("IF temp IS very hot THEN fan IS fast", &i, &o).unwrap();
+        assert_eq!(r.antecedents[0].hedge, Hedge::Very);
+        let r = parse_rule("IF temp IS NOT cold THEN fan IS fast", &i, &o).unwrap();
+        assert_eq!(r.antecedents[0].hedge, Hedge::Not);
+        assert_eq!(r.antecedents[0].term, 0);
+    }
+
+    #[test]
+    fn weight_clause() {
+        let (i, o) = vars();
+        let r = parse_rule("IF temp IS hot THEN fan IS fast WITH 0.25", &i, &o).unwrap();
+        assert_eq!(r.weight, 0.25);
+        assert!(parse_rule("IF temp IS hot THEN fan IS fast WITH 2.0", &i, &o).is_err());
+        assert!(parse_rule("IF temp IS hot THEN fan IS fast WITH abc", &i, &o).is_err());
+    }
+
+    #[test]
+    fn multi_consequent() {
+        let (i, mut o) = vars();
+        o.push(
+            LinguisticVariable::new("vent", 0.0, 1.0)
+                .with_term("closed", Mf::left_shoulder(0.0, 0.5))
+                .with_term("open", Mf::right_shoulder(0.5, 1.0)),
+        );
+        let r = parse_rule("IF temp IS hot THEN fan IS fast AND vent IS open", &i, &o).unwrap();
+        assert_eq!(r.consequents.len(), 2);
+        assert_eq!(r.consequents[1], Consequent::new(1, 1));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let (i, o) = vars();
+        let r = parse_rule("if TEMP is HOT then FAN is FAST with 0.5", &i, &o).unwrap();
+        assert_eq!(r.weight, 0.5);
+        assert_eq!(r.antecedents[0].term, 1);
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        let (i, o) = vars();
+        assert_eq!(
+            parse_rule("IF pressure IS hot THEN fan IS fast", &i, &o),
+            Err(FuzzyError::UnknownVariable { name: "pressure".into() })
+        );
+        assert_eq!(
+            parse_rule("IF temp IS tepid THEN fan IS fast", &i, &o),
+            Err(FuzzyError::UnknownTerm { variable: "temp".into(), term: "tepid".into() })
+        );
+        assert!(parse_rule("IF temp IS hot THEN turbine IS fast", &i, &o).is_err());
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        let (i, o) = vars();
+        for bad in [
+            "",
+            "temp IS hot THEN fan IS fast",
+            "IF temp hot THEN fan IS fast",
+            "IF temp IS hot",
+            "IF temp IS hot THEN fan IS fast EXTRA",
+            "IF temp IS hot THEN fan IS fast WITH 0.5 junk",
+            "IF temp IS THEN fan IS fast",
+        ] {
+            let res = parse_rule(bad, &i, &o);
+            assert!(res.is_err(), "`{bad}` should not parse, got {res:?}");
+        }
+    }
+}

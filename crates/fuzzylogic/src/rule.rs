@@ -1,0 +1,352 @@
+//! IF/THEN rules and rule sets.
+//!
+//! Rules reference variables and terms by *index* into the owning system's
+//! declarations; the builder and the text DSL resolve names to indices at
+//! construction time so evaluation never does string lookups.
+
+use crate::error::{FuzzyError, Result};
+use crate::hedge::Hedge;
+use crate::norms::{SNorm, TNorm};
+use serde::{Deserialize, Serialize};
+
+/// How a rule's antecedent clauses are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Connective {
+    /// All clauses must hold (t-norm). The paper's 64-rule FRB is pure AND.
+    #[default]
+    And,
+    /// Any clause may hold (s-norm).
+    Or,
+}
+
+/// A single antecedent clause: `variable IS [hedge] term`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Antecedent {
+    /// Index of the input variable within the system.
+    pub var: usize,
+    /// Index of the term within that variable.
+    pub term: usize,
+    /// Optional hedge (`Identity` when absent).
+    pub hedge: Hedge,
+}
+
+impl Antecedent {
+    /// Plain clause without a hedge.
+    pub fn new(var: usize, term: usize) -> Self {
+        Antecedent { var, term, hedge: Hedge::Identity }
+    }
+
+    /// Clause with a hedge.
+    pub fn hedged(var: usize, term: usize, hedge: Hedge) -> Self {
+        Antecedent { var, term, hedge }
+    }
+}
+
+/// A consequent clause: `output-variable IS term`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Consequent {
+    /// Index of the output variable within the system.
+    pub var: usize,
+    /// Index of the term within that variable.
+    pub term: usize,
+}
+
+impl Consequent {
+    /// Construct a consequent clause.
+    pub fn new(var: usize, term: usize) -> Self {
+        Consequent { var, term }
+    }
+}
+
+/// A weighted fuzzy production rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Antecedent clauses (must be non-empty to ever fire).
+    pub antecedents: Vec<Antecedent>,
+    /// AND/OR combination of the antecedents.
+    pub connective: Connective,
+    /// Consequent clauses (one per affected output).
+    pub consequents: Vec<Consequent>,
+    /// Rule weight in `[0, 1]`, multiplied into the firing strength.
+    pub weight: f64,
+}
+
+impl Rule {
+    /// Construct a rule with weight 1.
+    pub fn new(
+        antecedents: Vec<Antecedent>,
+        connective: Connective,
+        consequents: Vec<Consequent>,
+    ) -> Self {
+        Rule { antecedents, connective, consequents, weight: 1.0 }
+    }
+
+    /// Builder-style weight override.
+    #[must_use]
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Validate the weight.
+    pub fn check_weight(&self) -> Result<()> {
+        if !self.weight.is_finite() || !(0.0..=1.0).contains(&self.weight) {
+            return Err(FuzzyError::InvalidWeight { weight: self.weight });
+        }
+        Ok(())
+    }
+
+    /// Firing strength given per-variable fuzzified inputs.
+    ///
+    /// `memberships[v][t]` is the membership of input `v` in its term `t`.
+    pub fn firing_strength(
+        &self,
+        memberships: &[Vec<f64>],
+        and: TNorm,
+        or: SNorm,
+    ) -> f64 {
+        let degrees = self.antecedents.iter().map(|a| {
+            let mu = memberships
+                .get(a.var)
+                .and_then(|terms| terms.get(a.term))
+                .copied()
+                .unwrap_or(0.0);
+            a.hedge.apply(mu)
+        });
+        let strength = match self.connective {
+            Connective::And => and.fold(degrees),
+            Connective::Or => or.fold(degrees),
+        };
+        strength * self.weight
+    }
+}
+
+/// An ordered collection of rules with consistency checks.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Empty rule set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a rule.
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// The rules, in insertion order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Rule at `index`.
+    pub fn get(&self, index: usize) -> Result<&Rule> {
+        self.rules
+            .get(index)
+            .ok_or(FuzzyError::RuleIndexOutOfBounds { index, len: self.rules.len() })
+    }
+
+    /// Validate every rule against the declared variable/term shapes.
+    ///
+    /// `input_terms[v]` / `output_terms[v]` give the number of terms of each
+    /// input/output variable.
+    pub fn validate(&self, input_terms: &[usize], output_terms: &[usize]) -> Result<()> {
+        for rule in &self.rules {
+            rule.check_weight()?;
+            for a in &rule.antecedents {
+                let nt = input_terms.get(a.var).ok_or(FuzzyError::UnknownVariable {
+                    name: format!("input #{}", a.var),
+                })?;
+                if a.term >= *nt {
+                    return Err(FuzzyError::UnknownTerm {
+                        variable: format!("input #{}", a.var),
+                        term: format!("term #{}", a.term),
+                    });
+                }
+            }
+            for c in &rule.consequents {
+                let nt = output_terms.get(c.var).ok_or(FuzzyError::UnknownVariable {
+                    name: format!("output #{}", c.var),
+                })?;
+                if c.term >= *nt {
+                    return Err(FuzzyError::UnknownTerm {
+                        variable: format!("output #{}", c.var),
+                        term: format!("term #{}", c.term),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Detect pairs of rules with identical antecedents but different
+    /// consequents — usually an authoring mistake in large rule tables.
+    pub fn conflicting_pairs(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.rules.len() {
+            for j in (i + 1)..self.rules.len() {
+                let (a, b) = (&self.rules[i], &self.rules[j]);
+                if a.antecedents == b.antecedents
+                    && a.connective == b.connective
+                    && a.consequents != b.consequents
+                {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<Rule> for RuleSet {
+    fn from_iter<T: IntoIterator<Item = Rule>>(iter: T) -> Self {
+        RuleSet { rules: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_rule() -> Rule {
+        Rule::new(
+            vec![Antecedent::new(0, 1), Antecedent::new(1, 0)],
+            Connective::And,
+            vec![Consequent::new(0, 2)],
+        )
+    }
+
+    #[test]
+    fn firing_strength_and() {
+        let rule = simple_rule();
+        let memberships = vec![vec![0.0, 0.8, 0.2], vec![0.5, 0.5]];
+        let w = rule.firing_strength(&memberships, TNorm::Min, SNorm::Max);
+        assert!((w - 0.5).abs() < 1e-12, "min(0.8, 0.5) = 0.5");
+    }
+
+    #[test]
+    fn firing_strength_or() {
+        let mut rule = simple_rule();
+        rule.connective = Connective::Or;
+        let memberships = vec![vec![0.0, 0.8, 0.2], vec![0.5, 0.5]];
+        let w = rule.firing_strength(&memberships, TNorm::Min, SNorm::Max);
+        assert!((w - 0.8).abs() < 1e-12, "max(0.8, 0.5) = 0.8");
+    }
+
+    #[test]
+    fn weight_scales_strength() {
+        let rule = simple_rule().with_weight(0.5);
+        let memberships = vec![vec![0.0, 1.0, 0.0], vec![1.0, 0.0]];
+        let w = rule.firing_strength(&memberships, TNorm::Min, SNorm::Max);
+        assert!((w - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hedges_transform_membership() {
+        let rule = Rule::new(
+            vec![Antecedent::hedged(0, 0, Hedge::Very)],
+            Connective::And,
+            vec![Consequent::new(0, 0)],
+        );
+        let memberships = vec![vec![0.5]];
+        let w = rule.firing_strength(&memberships, TNorm::Min, SNorm::Max);
+        assert!((w - 0.25).abs() < 1e-12, "very(0.5) = 0.25");
+    }
+
+    #[test]
+    fn negation_hedge() {
+        let rule = Rule::new(
+            vec![Antecedent::hedged(0, 0, Hedge::Not)],
+            Connective::And,
+            vec![Consequent::new(0, 0)],
+        );
+        let memberships = vec![vec![0.3]];
+        let w = rule.firing_strength(&memberships, TNorm::Min, SNorm::Max);
+        assert!((w - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_membership_is_zero() {
+        let rule = Rule::new(
+            vec![Antecedent::new(5, 0)],
+            Connective::And,
+            vec![Consequent::new(0, 0)],
+        );
+        let memberships = vec![vec![1.0]];
+        assert_eq!(rule.firing_strength(&memberships, TNorm::Min, SNorm::Max), 0.0);
+    }
+
+    #[test]
+    fn weight_validation() {
+        assert!(simple_rule().check_weight().is_ok());
+        assert!(simple_rule().with_weight(1.5).check_weight().is_err());
+        assert!(simple_rule().with_weight(-0.1).check_weight().is_err());
+        assert!(simple_rule().with_weight(f64::NAN).check_weight().is_err());
+    }
+
+    #[test]
+    fn ruleset_validation() {
+        let mut rs = RuleSet::new();
+        rs.push(simple_rule());
+        assert!(rs.validate(&[3, 2], &[3]).is_ok());
+        // Input 1 has only 2 terms, but not if we claim it has 0.
+        assert!(rs.validate(&[3, 0], &[3]).is_err());
+        // Output term 2 does not exist if output has 2 terms.
+        assert!(rs.validate(&[3, 2], &[2]).is_err());
+        // Input variable 1 missing entirely.
+        assert!(rs.validate(&[3], &[3]).is_err());
+    }
+
+    #[test]
+    fn ruleset_get_bounds() {
+        let mut rs = RuleSet::new();
+        rs.push(simple_rule());
+        assert!(rs.get(0).is_ok());
+        assert_eq!(
+            rs.get(3),
+            Err(FuzzyError::RuleIndexOutOfBounds { index: 3, len: 1 })
+        );
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let mut rs = RuleSet::new();
+        rs.push(simple_rule());
+        let mut conflicting = simple_rule();
+        conflicting.consequents = vec![Consequent::new(0, 0)];
+        rs.push(conflicting);
+        rs.push(simple_rule()); // identical duplicate: not a conflict
+        let pairs = rs.conflicting_pairs();
+        assert_eq!(pairs, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let rs: RuleSet = vec![simple_rule(), simple_rule()].into_iter().collect();
+        assert_eq!(rs.len(), 2);
+        assert!(!rs.is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut rs = RuleSet::new();
+        rs.push(simple_rule().with_weight(0.75));
+        let json = serde_json::to_string(&rs).unwrap();
+        let back: RuleSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(rs, back);
+    }
+}

@@ -1,0 +1,309 @@
+//! Linguistic variables and their term partitions.
+
+use crate::error::{FuzzyError, Result};
+use crate::membership::Mf;
+use serde::{Deserialize, Serialize};
+
+/// A named linguistic term: a label plus its membership function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Term {
+    /// The linguistic label, e.g. `"WK"` or `"Strong"`.
+    pub name: String,
+    /// The membership function associated with the label.
+    pub mf: Mf,
+}
+
+impl Term {
+    /// Construct a term.
+    pub fn new(name: impl Into<String>, mf: Mf) -> Self {
+        Term { name: name.into(), mf }
+    }
+}
+
+/// A linguistic variable: a crisp universe of discourse `[min, max]`
+/// partitioned into named terms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinguisticVariable {
+    /// Variable name, e.g. `"CSSP"`.
+    pub name: String,
+    /// Lower bound of the universe of discourse.
+    pub min: f64,
+    /// Upper bound of the universe of discourse.
+    pub max: f64,
+    terms: Vec<Term>,
+}
+
+impl LinguisticVariable {
+    /// Create a variable over `[min, max]`. Panics if the universe is empty
+    /// or non-finite; use [`LinguisticVariable::try_new`] to handle errors.
+    pub fn new(name: impl Into<String>, min: f64, max: f64) -> Self {
+        Self::try_new(name, min, max).expect("invalid universe of discourse")
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(name: impl Into<String>, min: f64, max: f64) -> Result<Self> {
+        let name = name.into();
+        if !(min.is_finite() && max.is_finite()) || min >= max {
+            return Err(FuzzyError::InvalidUniverse { variable: name, min, max });
+        }
+        Ok(LinguisticVariable { name, min, max, terms: Vec::new() })
+    }
+
+    /// Add a term (builder style). Panics on duplicate labels; use
+    /// [`LinguisticVariable::try_add_term`] to handle errors.
+    #[must_use]
+    pub fn with_term(mut self, name: impl Into<String>, mf: Mf) -> Self {
+        self.try_add_term(name, mf).expect("duplicate term label");
+        self
+    }
+
+    /// Add a term in place.
+    pub fn try_add_term(&mut self, name: impl Into<String>, mf: Mf) -> Result<()> {
+        let name = name.into();
+        if self.term_index(&name).is_some() {
+            return Err(FuzzyError::DuplicateName { name });
+        }
+        self.terms.push(Term::new(name, mf));
+        Ok(())
+    }
+
+    /// The declared terms, in insertion order.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Number of terms (`|T(x)|` in the paper's notation).
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Index of the term with the given label (case-sensitive first, then
+    /// case-insensitive fallback so DSL text can use any case).
+    pub fn term_index(&self, name: &str) -> Option<usize> {
+        self.terms
+            .iter()
+            .position(|t| t.name == name)
+            .or_else(|| self.terms.iter().position(|t| t.name.eq_ignore_ascii_case(name)))
+    }
+
+    /// The term at `index`.
+    pub fn term(&self, index: usize) -> Option<&Term> {
+        self.terms.get(index)
+    }
+
+    /// Clamp a crisp value into the universe of discourse.
+    pub fn clamp(&self, x: f64) -> f64 {
+        x.clamp(self.min, self.max)
+    }
+
+    /// Fuzzify a crisp value: membership degree per term, in term order.
+    ///
+    /// The value is clamped to the universe first — a reading just outside
+    /// the declared range (e.g. an RSS of −121 dBm on a [−120, −80]
+    /// universe) saturates instead of silently falling off every term.
+    pub fn fuzzify(&self, x: f64) -> Vec<f64> {
+        let x = self.clamp(x);
+        self.terms.iter().map(|t| t.mf.eval(x)).collect()
+    }
+
+    /// Membership of a clamped crisp value in a single term.
+    pub fn membership(&self, term_index: usize, x: f64) -> f64 {
+        let x = self.clamp(x);
+        self.terms.get(term_index).map_or(0.0, |t| t.mf.eval(x))
+    }
+
+    /// The term with the highest membership for `x`, with its degree.
+    /// Ties resolve to the first-declared term. `None` if no terms exist.
+    pub fn best_term(&self, x: f64) -> Option<(usize, f64)> {
+        let mus = self.fuzzify(x);
+        mus.iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| {
+                a.partial_cmp(b)
+                    .expect("memberships are finite")
+                    // Prefer the earlier term on ties: max_by keeps the last
+                    // maximal element, so order by index descending as the
+                    // tiebreak.
+                    .then(ib.cmp(ia))
+            })
+            .map(|(i, &mu)| (i, mu))
+    }
+
+    /// Sample `n >= 2` evenly spaced points of the universe.
+    pub fn sample_universe(&self, n: usize) -> Vec<f64> {
+        assert!(n >= 2, "need at least two sample points");
+        let step = (self.max - self.min) / (n - 1) as f64;
+        (0..n).map(|i| self.min + i as f64 * step).collect()
+    }
+
+    /// Find sub-intervals of the universe where **no** term reaches the
+    /// given membership level (coverage gaps). A well-formed controller
+    /// partition usually has none at level ~0.3–0.5.
+    pub fn coverage_gaps(&self, level: f64, resolution: usize) -> Vec<(f64, f64)> {
+        let xs = self.sample_universe(resolution.max(2));
+        let mut gaps = Vec::new();
+        let mut open: Option<f64> = None;
+        for &x in &xs {
+            let covered = self.terms.iter().any(|t| t.mf.eval(x) >= level);
+            match (covered, open) {
+                (false, None) => open = Some(x),
+                (true, Some(start)) => {
+                    gaps.push((start, x));
+                    open = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(start) = open {
+            gaps.push((start, self.max));
+        }
+        gaps
+    }
+
+    /// Maximum over the universe of `|Σ_terms μ(x) − 1|`; zero for an exact
+    /// Ruspini partition. Useful as a partition-quality diagnostic.
+    pub fn ruspini_deviation(&self, resolution: usize) -> f64 {
+        self.sample_universe(resolution.max(2))
+            .iter()
+            .map(|&x| {
+                let sum: f64 = self.terms.iter().map(|t| t.mf.eval(x)).sum();
+                (sum - 1.0).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_term_var() -> LinguisticVariable {
+        LinguisticVariable::new("level", 0.0, 10.0)
+            .with_term("low", Mf::left_shoulder(0.0, 5.0))
+            .with_term("mid", Mf::triangular(0.0, 5.0, 10.0))
+            .with_term("high", Mf::right_shoulder(5.0, 10.0))
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let v = three_term_var();
+        assert_eq!(v.term_count(), 3);
+        assert_eq!(v.term_index("mid"), Some(1));
+        assert_eq!(v.term_index("MID"), Some(1), "case-insensitive fallback");
+        assert_eq!(v.term_index("none"), None);
+        assert_eq!(v.term(0).unwrap().name, "low");
+    }
+
+    #[test]
+    fn invalid_universes_rejected() {
+        assert!(LinguisticVariable::try_new("x", 1.0, 1.0).is_err());
+        assert!(LinguisticVariable::try_new("x", 2.0, 1.0).is_err());
+        assert!(LinguisticVariable::try_new("x", f64::NAN, 1.0).is_err());
+        assert!(LinguisticVariable::try_new("x", 0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn duplicate_terms_rejected() {
+        let mut v = LinguisticVariable::new("x", 0.0, 1.0);
+        v.try_add_term("a", Mf::singleton(0.5)).unwrap();
+        assert_eq!(
+            v.try_add_term("a", Mf::singleton(0.6)),
+            Err(FuzzyError::DuplicateName { name: "a".into() })
+        );
+    }
+
+    #[test]
+    fn fuzzify_returns_term_order() {
+        let v = three_term_var();
+        let mus = v.fuzzify(0.0);
+        assert_eq!(mus.len(), 3);
+        assert_eq!(mus[0], 1.0, "low saturates at 0");
+        assert_eq!(mus[1], 0.0);
+        assert_eq!(mus[2], 0.0);
+
+        let mus = v.fuzzify(5.0);
+        assert_eq!(mus, vec![0.0, 1.0, 0.0]);
+
+        let mus = v.fuzzify(7.5);
+        assert!((mus[1] - 0.5).abs() < 1e-12);
+        assert!((mus[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let v = three_term_var();
+        assert_eq!(v.fuzzify(-100.0), v.fuzzify(0.0));
+        assert_eq!(v.fuzzify(100.0), v.fuzzify(10.0));
+    }
+
+    #[test]
+    fn best_term_selection() {
+        let v = three_term_var();
+        assert_eq!(v.best_term(1.0).unwrap().0, 0);
+        assert_eq!(v.best_term(5.0).unwrap().0, 1);
+        assert_eq!(v.best_term(9.0).unwrap().0, 2);
+        // Exact tie at 7.5 between mid and high resolves to mid (declared
+        // first).
+        assert_eq!(v.best_term(7.5).unwrap().0, 1);
+        let empty = LinguisticVariable::new("e", 0.0, 1.0);
+        assert_eq!(empty.best_term(0.5), None);
+    }
+
+    #[test]
+    fn membership_by_index() {
+        let v = three_term_var();
+        assert_eq!(v.membership(0, 0.0), 1.0);
+        assert_eq!(v.membership(7, 0.0), 0.0, "out-of-range term index");
+    }
+
+    #[test]
+    fn sample_universe_endpoints() {
+        let v = three_term_var();
+        let xs = v.sample_universe(11);
+        assert_eq!(xs.len(), 11);
+        assert_eq!(xs[0], 0.0);
+        assert_eq!(*xs.last().unwrap(), 10.0);
+        assert!((xs[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_gap_detection() {
+        // Partition with a hole between 4 and 6.
+        let v = LinguisticVariable::new("gappy", 0.0, 10.0)
+            .with_term("a", Mf::triangular(0.0, 2.0, 4.0))
+            .with_term("b", Mf::triangular(6.0, 8.0, 10.0));
+        let gaps = v.coverage_gaps(0.1, 1001);
+        assert_eq!(gaps.len(), 3, "edges plus the middle hole: {gaps:?}");
+        let mid_gap = gaps
+            .iter()
+            .find(|(a, b)| *a > 3.0 && *b < 7.0)
+            .expect("middle gap found");
+        assert!(mid_gap.0 < 4.2 && mid_gap.1 > 5.8);
+
+        let full = three_term_var();
+        assert!(full.coverage_gaps(0.4, 1001).is_empty(), "no gaps at level 0.4");
+    }
+
+    #[test]
+    fn ruspini_deviation_of_perfect_partition() {
+        // left shoulder + triangle + right shoulder with matched slopes sum
+        // to exactly 1 everywhere.
+        let v = LinguisticVariable::new("p", 0.0, 10.0)
+            .with_term("l", Mf::left_shoulder(0.0, 5.0))
+            .with_term("m", Mf::triangular(0.0, 5.0, 10.0))
+            .with_term("h", Mf::right_shoulder(5.0, 10.0));
+        assert!(v.ruspini_deviation(501) < 1e-9);
+
+        let bad = LinguisticVariable::new("q", 0.0, 10.0)
+            .with_term("only", Mf::triangular(4.0, 5.0, 6.0));
+        assert!(bad.ruspini_deviation(501) > 0.9);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = three_term_var();
+        let json = serde_json::to_string(&v).unwrap();
+        let back: LinguisticVariable = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+}

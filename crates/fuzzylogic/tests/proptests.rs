@@ -1,0 +1,215 @@
+//! Property-based invariants for the fuzzy engine.
+
+use fuzzylogic::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy producing a valid triangular/trapezoidal/shoulder MF over
+/// roughly [-100, 100].
+fn arb_linear_mf() -> impl Strategy<Value = Mf> {
+    let point = -100.0f64..100.0;
+    prop_oneof![
+        (point.clone(), 0.1f64..50.0, 0.1f64..50.0)
+            .prop_map(|(x0, a0, a1)| Mf::tri_center(x0, a0, a1)),
+        (point.clone(), 0.1f64..30.0, 0.1f64..30.0, 0.1f64..30.0)
+            .prop_map(|(x0, w, a0, a1)| Mf::trap_edges(x0, x0 + w, a0, a1)),
+        (point.clone(), 0.1f64..50.0).prop_map(|(a, w)| Mf::left_shoulder(a, a + w)),
+        (point, 0.1f64..50.0).prop_map(|(a, w)| Mf::right_shoulder(a, a + w)),
+    ]
+}
+
+fn arb_any_mf() -> impl Strategy<Value = Mf> {
+    prop_oneof![
+        arb_linear_mf(),
+        (-100.0f64..100.0, 0.1f64..30.0).prop_map(|(m, s)| Mf::gaussian(m, s)),
+        (0.1f64..30.0, 0.5f64..6.0, -100.0f64..100.0).prop_map(|(a, b, c)| Mf::bell(a, b, c)),
+        (-100.0f64..100.0).prop_map(Mf::singleton),
+    ]
+}
+
+proptest! {
+    /// μ(x) always lies in [0, 1] for any input, including extremes.
+    #[test]
+    fn membership_in_unit_interval(mf in arb_any_mf(), x in -1e6f64..1e6) {
+        let mu = mf.eval(x);
+        prop_assert!((0.0..=1.0).contains(&mu), "{mf:?}({x}) = {mu}");
+    }
+
+    /// Exact clipped moments agree with brute-force numerical integration
+    /// for the piecewise-linear families.
+    #[test]
+    fn clipped_moments_match_numeric(
+        mf in arb_linear_mf(),
+        h in 0.05f64..1.0,
+        lo in -120.0f64..0.0,
+        width in 1.0f64..240.0,
+    ) {
+        let hi = lo + width;
+        let (area, moment) = mf.clipped_moments(h, lo, hi);
+        // Brute force with midpoint rule.
+        let n = 20_000;
+        let dx = (hi - lo) / n as f64;
+        let mut num_area = 0.0;
+        let mut num_moment = 0.0;
+        for i in 0..n {
+            let x = lo + (i as f64 + 0.5) * dx;
+            let y = mf.eval(x).min(h);
+            num_area += y * dx;
+            num_moment += x * y * dx;
+        }
+        let tol_area = 1e-3 * (1.0 + num_area.abs());
+        let tol_m = 1e-3 * (1.0 + num_moment.abs());
+        prop_assert!((area - num_area).abs() < tol_area,
+            "{mf:?} clipped at {h} over [{lo}, {hi}]: exact {area} vs numeric {num_area}");
+        prop_assert!((moment - num_moment).abs() < tol_m,
+            "moment: exact {moment} vs numeric {num_moment}");
+    }
+
+    /// Triangle peaks at its center parameter; trapezoid plateau is 1.
+    #[test]
+    fn normality_at_core(mf in arb_linear_mf()) {
+        let (a, b) = mf.core();
+        let probe = match (a.is_finite(), b.is_finite()) {
+            (true, true) => 0.5 * (a + b),
+            (true, false) => a,
+            (false, true) => b,
+            _ => return Ok(()),
+        };
+        prop_assert!(mf.eval(probe) >= 1.0 - 1e-12);
+    }
+
+    /// Hedges keep membership in the unit interval.
+    #[test]
+    fn hedges_preserve_unit_interval(mu in 0.0f64..=1.0) {
+        for h in Hedge::ALL {
+            let y = h.apply(mu);
+            prop_assert!((0.0..=1.0).contains(&y), "{h:?}({mu}) = {y}");
+        }
+    }
+
+    /// t-norm ≤ min ≤ max ≤ s-norm for all operator choices.
+    #[test]
+    fn norm_ordering(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        for t in TNorm::ALL {
+            prop_assert!(t.apply(a, b) <= a.min(b) + 1e-12, "{t:?}");
+        }
+        for s in SNorm::ALL {
+            prop_assert!(s.apply(a, b) >= a.max(b) - 1e-12, "{s:?}");
+        }
+    }
+}
+
+/// A small, totally covered two-input system used for engine invariants.
+fn covered_fis(defuzz: Defuzzifier) -> Fis {
+    let x = LinguisticVariable::new("x", 0.0, 10.0)
+        .with_term("lo", Mf::left_shoulder(0.0, 5.0))
+        .with_term("mid", Mf::triangular(0.0, 5.0, 10.0))
+        .with_term("hi", Mf::right_shoulder(5.0, 10.0));
+    let y = LinguisticVariable::new("y", 0.0, 10.0)
+        .with_term("lo", Mf::left_shoulder(0.0, 5.0))
+        .with_term("hi", Mf::right_shoulder(0.0, 10.0));
+    let z = LinguisticVariable::new("z", 0.0, 1.0)
+        .with_term("small", Mf::triangular(0.0, 0.0, 0.5))
+        .with_term("med", Mf::triangular(0.0, 0.5, 1.0))
+        .with_term("large", Mf::triangular(0.5, 1.0, 1.0));
+    FisBuilder::new("covered")
+        .input(x)
+        .input(y)
+        .output(z)
+        .defuzzifier(defuzz)
+        .rule_str("IF x IS lo AND y IS lo THEN z IS small").unwrap()
+        .rule_str("IF x IS lo AND y IS hi THEN z IS small").unwrap()
+        .rule_str("IF x IS mid THEN z IS med").unwrap()
+        .rule_str("IF x IS hi AND y IS lo THEN z IS med").unwrap()
+        .rule_str("IF x IS hi AND y IS hi THEN z IS large").unwrap()
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    /// A totally covered system always produces an output inside the output
+    /// universe, for every defuzzifier.
+    #[test]
+    fn outputs_stay_in_universe(x in 0.0f64..=10.0, y in 0.0f64..=10.0) {
+        for d in Defuzzifier::ALL {
+            let fis = covered_fis(d);
+            let out = fis.evaluate(&[x, y]).unwrap();
+            prop_assert!((0.0..=1.0).contains(&out[0]), "{d:?} gave {}", out[0]);
+        }
+    }
+
+    /// Firing strengths are in [0, 1] and at least one rule fires anywhere.
+    #[test]
+    fn firing_strengths_valid(x in 0.0f64..=10.0, y in 0.0f64..=10.0) {
+        let fis = covered_fis(Defuzzifier::Centroid);
+        let firing = fis.firing_strengths(&[x, y]).unwrap();
+        prop_assert_eq!(firing.len(), 5);
+        prop_assert!(firing.iter().all(|w| (0.0..=1.0).contains(w)));
+        prop_assert!(firing.iter().any(|&w| w > 0.0), "total coverage");
+    }
+
+    /// Evaluation is deterministic.
+    #[test]
+    fn evaluation_deterministic(x in 0.0f64..=10.0, y in 0.0f64..=10.0) {
+        let fis = covered_fis(Defuzzifier::Centroid);
+        let a = fis.evaluate(&[x, y]).unwrap();
+        let b = fis.evaluate(&[x, y]).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Out-of-range inputs clamp: evaluating past the universe edge equals
+    /// evaluating at the edge.
+    #[test]
+    fn inputs_clamp_at_universe_edges(over in 0.0f64..1e3) {
+        let fis = covered_fis(Defuzzifier::Centroid);
+        let at_edge = fis.evaluate(&[10.0, 5.0]).unwrap();
+        let past_edge = fis.evaluate(&[10.0 + over, 5.0]).unwrap();
+        prop_assert_eq!(at_edge, past_edge);
+    }
+
+    /// Serde round-trips preserve evaluation results exactly.
+    #[test]
+    fn serde_preserves_semantics(x in 0.0f64..=10.0, y in 0.0f64..=10.0) {
+        let fis = covered_fis(Defuzzifier::Centroid);
+        let back: Fis = serde_json::from_str(&serde_json::to_string(&fis).unwrap()).unwrap();
+        prop_assert_eq!(fis.evaluate(&[x, y]).unwrap(), back.evaluate(&[x, y]).unwrap());
+    }
+
+    /// Monotone rule bases give monotone outputs along the x axis: moving
+    /// x from the "lo" region to the "hi" region can only increase z.
+    #[test]
+    fn coarse_monotonicity(x1 in 0.0f64..=10.0, x2 in 0.0f64..=10.0, y in 0.0f64..=10.0) {
+        let (xa, xb) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let fis = covered_fis(Defuzzifier::Centroid);
+        let za = fis.evaluate(&[xa, y]).unwrap()[0];
+        let zb = fis.evaluate(&[xb, y]).unwrap()[0];
+        // Tolerance absorbs centroid discretisation wobble.
+        prop_assert!(zb >= za - 0.02, "x {xa} -> {za}, x {xb} -> {zb}");
+    }
+}
+
+// Sugeno systems interpolate between rule constants, so outputs stay in
+// the convex hull of the constants.
+proptest! {
+    #[test]
+    fn sugeno_output_in_convex_hull(x in 0.0f64..=10.0) {
+        let var = LinguisticVariable::new("x", 0.0, 10.0)
+            .with_term("lo", Mf::left_shoulder(0.0, 10.0))
+            .with_term("hi", Mf::right_shoulder(0.0, 10.0));
+        let fis = SugenoFisBuilder::new("s", 1)
+            .input(var)
+            .rule(SugenoRule::new(
+                vec![Antecedent::new(0, 0)],
+                Connective::And,
+                vec![SugenoOutput::Constant(-5.0)],
+            ))
+            .rule(SugenoRule::new(
+                vec![Antecedent::new(0, 1)],
+                Connective::And,
+                vec![SugenoOutput::Constant(7.0)],
+            ))
+            .build()
+            .unwrap();
+        let out = fis.evaluate(&[x]).unwrap()[0];
+        prop_assert!((-5.0..=7.0).contains(&out));
+    }
+}

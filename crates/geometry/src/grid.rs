@@ -1,0 +1,263 @@
+//! World-space embedding of the hex lattice (pointy-top orientation).
+
+use crate::hex::Axial;
+use crate::vec2::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// A pointy-top hexagonal grid embedded in the plane.
+///
+/// `circumradius` is the cell's centre-to-corner distance `R` (the paper's
+/// "cell radius", 1–2 km). Adjacent cell centres are `√3 R` apart and the
+/// inradius (centre-to-edge) is `√3/2 R`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HexGrid {
+    /// Centre-to-corner distance `R` in kilometres.
+    pub circumradius: f64,
+}
+
+impl HexGrid {
+    /// Construct a grid with the given cell circumradius (must be positive
+    /// and finite).
+    pub fn new(circumradius: f64) -> Self {
+        assert!(
+            circumradius.is_finite() && circumradius > 0.0,
+            "cell radius must be positive, got {circumradius}"
+        );
+        HexGrid { circumradius }
+    }
+
+    /// Centre-to-edge distance (`√3/2 R`).
+    pub fn inradius(&self) -> f64 {
+        3.0f64.sqrt() / 2.0 * self.circumradius
+    }
+
+    /// Distance between adjacent cell centres (`√3 R`).
+    pub fn center_spacing(&self) -> f64 {
+        3.0f64.sqrt() * self.circumradius
+    }
+
+    /// World position of a cell centre (where the paper places the BS).
+    pub fn center(&self, cell: Axial) -> Vec2 {
+        let r = self.circumradius;
+        Vec2 {
+            x: r * 3.0f64.sqrt() * (cell.q as f64 + cell.r as f64 / 2.0),
+            y: r * 1.5 * cell.r as f64,
+        }
+    }
+
+    /// Fractional axial coordinates of a world point (before rounding).
+    fn fractional_axial(&self, p: Vec2) -> (f64, f64) {
+        let r = self.circumradius;
+        let q = (3.0f64.sqrt() / 3.0 * p.x - p.y / 3.0) / r;
+        let s = (2.0 / 3.0 * p.y) / r;
+        (q, s)
+    }
+
+    /// The cell containing a world point (cube rounding; boundary points
+    /// resolve deterministically to the nearest centre).
+    pub fn cell_at(&self, p: Vec2) -> Axial {
+        let (qf, rf) = self.fractional_axial(p);
+        cube_round(qf, rf)
+    }
+
+    /// The six corners of a cell, counter-clockwise, starting at the
+    /// east-south-east corner (pointy-top: corners at −30° + 60°·k).
+    pub fn corners(&self, cell: Axial) -> [Vec2; 6] {
+        let c = self.center(cell);
+        let mut out = [Vec2::ZERO; 6];
+        for (k, o) in out.iter_mut().enumerate() {
+            let angle = std::f64::consts::PI / 180.0 * (60.0 * k as f64 - 30.0);
+            *o = c + Vec2::from_polar(self.circumradius, angle);
+        }
+        out
+    }
+
+    /// True when the world point lies in the cell (cube-rounding
+    /// convention, so every point belongs to exactly one cell).
+    pub fn contains(&self, cell: Axial, p: Vec2) -> bool {
+        self.cell_at(p) == cell
+    }
+
+    /// Signed distance from `p` to the boundary of `cell`: positive inside,
+    /// negative outside, zero on an edge.
+    ///
+    /// Uses the three edge-normal axes of a pointy-top hexagon (0°, 60°,
+    /// 120°): the hexagon is `{ x : max_k |x · n_k| ≤ inradius }`.
+    pub fn boundary_distance(&self, cell: Axial, p: Vec2) -> f64 {
+        let d = p - self.center(cell);
+        let axes = [
+            Vec2::new(1.0, 0.0),
+            Vec2::from_polar(1.0, std::f64::consts::PI / 3.0),
+            Vec2::from_polar(1.0, 2.0 * std::f64::consts::PI / 3.0),
+        ];
+        let reach = axes.iter().map(|n| d.dot(*n).abs()).fold(0.0, f64::max);
+        self.inradius() - reach
+    }
+}
+
+/// Round fractional cube coordinates to the nearest lattice cell.
+fn cube_round(qf: f64, rf: f64) -> Axial {
+    let sf = -qf - rf;
+    let mut q = qf.round();
+    let mut r = rf.round();
+    let s = sf.round();
+    let dq = (q - qf).abs();
+    let dr = (r - rf).abs();
+    let ds = (s - sf).abs();
+    if dq > dr && dq > ds {
+        q = -r - s;
+    } else if dr > ds {
+        r = -q - s;
+    }
+    Axial { q: q as i32, r: r as i32 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn center_positions() {
+        let g = HexGrid::new(2.0);
+        assert_eq!(g.center(Axial::ORIGIN), Vec2::ZERO);
+        let east = g.center(Axial::new(1, 0));
+        assert!((east.x - 2.0 * 3.0f64.sqrt()).abs() < EPS);
+        assert!(east.y.abs() < EPS);
+        let se = g.center(Axial::new(0, 1));
+        assert!((se.x - 3.0f64.sqrt()).abs() < EPS);
+        assert!((se.y - 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn neighbor_centers_equidistant() {
+        let g = HexGrid::new(1.5);
+        let c = g.center(Axial::new(2, -1));
+        for n in Axial::new(2, -1).neighbors() {
+            let d = c.distance(g.center(n));
+            assert!((d - g.center_spacing()).abs() < EPS, "spacing {d}");
+        }
+    }
+
+    #[test]
+    fn paper_cells_land_where_figure_shows() {
+        // With R = 2 km, the paper's neighbour cell (2,-1) (axial (1,-1))
+        // sits north-east of the origin; (1,-2) (axial (0,-1)) north-west.
+        let g = HexGrid::new(2.0);
+        let a = crate::hex::PaperCoord::new(2, -1).to_axial().unwrap();
+        let p = g.center(a);
+        assert!(p.x > 0.0 && p.y < 0.0 || p.y > 0.0, "off-origin");
+        assert!((p.norm() - g.center_spacing()).abs() < EPS, "first ring");
+    }
+
+    #[test]
+    fn cell_at_centers_round_trips() {
+        let g = HexGrid::new(2.0);
+        for cell in Axial::ORIGIN.spiral(4) {
+            assert_eq!(g.cell_at(g.center(cell)), cell, "center of {cell}");
+        }
+    }
+
+    #[test]
+    fn cell_at_perturbed_centers() {
+        let g = HexGrid::new(1.0);
+        // Points well inside the inradius always resolve to their cell.
+        for cell in Axial::ORIGIN.spiral(3) {
+            let c = g.center(cell);
+            for angle_deg in (0..360).step_by(30) {
+                let angle = angle_deg as f64 * std::f64::consts::PI / 180.0;
+                let p = c + Vec2::from_polar(0.8 * g.inradius(), angle);
+                assert_eq!(g.cell_at(p), cell, "{cell} at {angle_deg}°");
+            }
+        }
+    }
+
+    #[test]
+    fn cell_at_agrees_with_nearest_center() {
+        // Cube rounding must pick the nearest cell centre (hex Voronoi).
+        let g = HexGrid::new(2.0);
+        let candidates = Axial::ORIGIN.spiral(6);
+        let mut k = 0u32;
+        for gx in -30..=30 {
+            for gy in -30..=30 {
+                let p = Vec2::new(gx as f64 * 0.37, gy as f64 * 0.41);
+                let rounded = g.cell_at(p);
+                let nearest = candidates
+                    .iter()
+                    .min_by(|a, b| {
+                        g.center(**a)
+                            .distance(p)
+                            .partial_cmp(&g.center(**b).distance(p))
+                            .unwrap()
+                    })
+                    .copied()
+                    .unwrap();
+                // Skip exact ties (boundary points) — both answers valid.
+                let d_r = g.center(rounded).distance(p);
+                let d_n = g.center(nearest).distance(p);
+                assert!(d_r <= d_n + 1e-9, "point {p:?}: {rounded} vs {nearest}");
+                k += 1;
+            }
+        }
+        assert_eq!(k, 61 * 61);
+    }
+
+    #[test]
+    fn corners_are_at_circumradius() {
+        let g = HexGrid::new(2.0);
+        let cell = Axial::new(1, 1);
+        let c = g.center(cell);
+        let corners = g.corners(cell);
+        for corner in corners {
+            assert!((corner.distance(c) - 2.0).abs() < EPS);
+        }
+        // Pointy top: one corner straight up from the centre.
+        assert!(corners.iter().any(|p| (p.x - c.x).abs() < EPS && p.y > c.y));
+        // Consecutive corners are one side length apart (side = R).
+        for k in 0..6 {
+            let d = corners[k].distance(corners[(k + 1) % 6]);
+            assert!((d - 2.0).abs() < EPS, "side {k} length {d}");
+        }
+    }
+
+    #[test]
+    fn boundary_distance_signs() {
+        let g = HexGrid::new(2.0);
+        let cell = Axial::ORIGIN;
+        assert!((g.boundary_distance(cell, Vec2::ZERO) - g.inradius()).abs() < EPS);
+        // Edge midpoint towards the east neighbour: exactly on the boundary.
+        let edge_mid = Vec2::new(g.inradius(), 0.0);
+        assert!(g.boundary_distance(cell, edge_mid).abs() < EPS);
+        // Outside.
+        assert!(g.boundary_distance(cell, Vec2::new(3.0 * g.inradius(), 0.0)) < 0.0);
+        // Inside but off-centre.
+        assert!(g.boundary_distance(cell, Vec2::new(0.3, 0.2)) > 0.0);
+    }
+
+    #[test]
+    fn boundary_distance_consistent_with_cell_at() {
+        let g = HexGrid::new(1.0);
+        for gx in -20..=20 {
+            for gy in -20..=20 {
+                let p = Vec2::new(gx as f64 * 0.17, gy as f64 * 0.19);
+                let cell = g.cell_at(p);
+                let d = g.boundary_distance(cell, p);
+                assert!(d >= -1e-9, "containing cell has non-negative distance, got {d} at {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_radius_rejected() {
+        let _ = HexGrid::new(0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = HexGrid::new(1.25);
+        let back: HexGrid = serde_json::from_str(&serde_json::to_string(&g).unwrap()).unwrap();
+        assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,328 @@
+//! Hexagonal lattice coordinates.
+//!
+//! Two coordinate systems are supported:
+//!
+//! * [`Axial`] `(q, r)` — the standard axial/cube system (pointy-top
+//!   convention), used internally for all lattice algorithms.
+//! * [`PaperCoord`] `(i, j)` — the labelling of the paper's Fig. 6, whose
+//!   neighbour offsets are `±(1,1)`, `±(1,−2)` and `±(2,−1)`. Valid paper
+//!   labels satisfy `i − j ≡ 0 (mod 3)`; the bijection with axial
+//!   coordinates is `(i, j) = (q − r, q + 2r)`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Axial hex coordinate (pointy-top). The implicit cube coordinate is
+/// `s = −q − r`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Axial {
+    /// Column axis.
+    pub q: i32,
+    /// Diagonal axis.
+    pub r: i32,
+}
+
+/// The six axial neighbour offsets, counter-clockwise starting east.
+pub const AXIAL_DIRECTIONS: [Axial; 6] = [
+    Axial { q: 1, r: 0 },
+    Axial { q: 1, r: -1 },
+    Axial { q: 0, r: -1 },
+    Axial { q: -1, r: 0 },
+    Axial { q: -1, r: 1 },
+    Axial { q: 0, r: 1 },
+];
+
+impl Axial {
+    /// The origin cell.
+    pub const ORIGIN: Axial = Axial { q: 0, r: 0 };
+
+    /// Construct from axial components.
+    pub const fn new(q: i32, r: i32) -> Self {
+        Axial { q, r }
+    }
+
+    /// The implicit third cube coordinate `s = −q − r`.
+    pub const fn s(self) -> i32 {
+        -self.q - self.r
+    }
+
+    /// Lattice (hex) distance to another cell: minimum number of steps.
+    pub fn distance(self, other: Axial) -> u32 {
+        let d = self - other;
+        ((d.q.abs() + d.r.abs() + d.s().abs()) / 2) as u32
+    }
+
+    /// The six adjacent cells, counter-clockwise starting east.
+    pub fn neighbors(self) -> [Axial; 6] {
+        let mut out = [Axial::ORIGIN; 6];
+        for (o, d) in out.iter_mut().zip(AXIAL_DIRECTIONS) {
+            *o = self + d;
+        }
+        out
+    }
+
+    /// True when `other` shares an edge with `self`.
+    pub fn is_neighbor(self, other: Axial) -> bool {
+        self.distance(other) == 1
+    }
+
+    /// All cells at exactly `radius` steps, counter-clockwise. Ring 0 is
+    /// the cell itself.
+    pub fn ring(self, radius: u32) -> Vec<Axial> {
+        if radius == 0 {
+            return vec![self];
+        }
+        let mut out = Vec::with_capacity(6 * radius as usize);
+        // Start at the cell `radius` steps in direction 4 (south-west),
+        // then walk each of the six sides.
+        let mut cur = self + AXIAL_DIRECTIONS[4] * radius as i32;
+        for dir in AXIAL_DIRECTIONS {
+            for _ in 0..radius {
+                out.push(cur);
+                cur = cur + dir;
+            }
+        }
+        out
+    }
+
+    /// All cells within `radius` steps (a filled hexagon), in spiral order
+    /// from the centre outward. Contains `3 r (r + 1) + 1` cells.
+    pub fn spiral(self, radius: u32) -> Vec<Axial> {
+        let mut out = Vec::with_capacity((3 * radius * (radius + 1) + 1) as usize);
+        for k in 0..=radius {
+            out.extend(self.ring(k));
+        }
+        out
+    }
+
+    /// Convert to the paper's `(i, j)` labelling.
+    pub fn to_paper(self) -> PaperCoord {
+        PaperCoord { i: self.q - self.r, j: self.q + 2 * self.r }
+    }
+}
+
+impl Add for Axial {
+    type Output = Axial;
+    fn add(self, rhs: Axial) -> Axial {
+        Axial { q: self.q + rhs.q, r: self.r + rhs.r }
+    }
+}
+
+impl Sub for Axial {
+    type Output = Axial;
+    fn sub(self, rhs: Axial) -> Axial {
+        Axial { q: self.q - rhs.q, r: self.r - rhs.r }
+    }
+}
+
+impl Mul<i32> for Axial {
+    type Output = Axial;
+    fn mul(self, rhs: i32) -> Axial {
+        Axial { q: self.q * rhs, r: self.r * rhs }
+    }
+}
+
+impl Neg for Axial {
+    type Output = Axial;
+    fn neg(self) -> Axial {
+        Axial { q: -self.q, r: -self.r }
+    }
+}
+
+impl fmt::Display for Axial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{},{}⟩", self.q, self.r)
+    }
+}
+
+/// The paper's Fig. 6 cell label `(i, j)`.
+///
+/// Only labels with `i − j ≡ 0 (mod 3)` denote lattice cells; the six
+/// neighbours of `(i, j)` are `(i±1, j±1)`, `(i±1, j∓2)`, `(i±2, j∓1)`
+/// exactly as drawn in the figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct PaperCoord {
+    /// First label component.
+    pub i: i32,
+    /// Second label component.
+    pub j: i32,
+}
+
+impl PaperCoord {
+    /// Construct a label (validity is *not* checked; see
+    /// [`PaperCoord::is_valid`]).
+    pub const fn new(i: i32, j: i32) -> Self {
+        PaperCoord { i, j }
+    }
+
+    /// True when the label denotes a lattice cell.
+    pub const fn is_valid(self) -> bool {
+        (self.i - self.j).rem_euclid(3) == 0
+    }
+
+    /// Convert to axial coordinates; `None` for invalid labels.
+    pub fn to_axial(self) -> Option<Axial> {
+        if !self.is_valid() {
+            return None;
+        }
+        Some(Axial { q: (2 * self.i + self.j) / 3, r: (self.j - self.i) / 3 })
+    }
+
+    /// The six neighbour labels, as listed in the paper's Fig. 6.
+    pub fn neighbors(self) -> [PaperCoord; 6] {
+        const OFFSETS: [(i32, i32); 6] =
+            [(1, 1), (-1, -1), (1, -2), (-1, 2), (2, -1), (-2, 1)];
+        let mut out = [PaperCoord::new(0, 0); 6];
+        for (o, (di, dj)) in out.iter_mut().zip(OFFSETS) {
+            *o = PaperCoord::new(self.i + di, self.j + dj);
+        }
+        out
+    }
+}
+
+impl fmt::Display for PaperCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.i, self.j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_invariant() {
+        for a in Axial::ORIGIN.spiral(3) {
+            assert_eq!(a.q + a.r + a.s(), 0);
+        }
+    }
+
+    #[test]
+    fn distance_properties() {
+        let a = Axial::new(0, 0);
+        let b = Axial::new(2, -1);
+        let c = Axial::new(-3, 2);
+        assert_eq!(a.distance(a), 0);
+        assert_eq!(a.distance(b), b.distance(a), "symmetry");
+        assert!(a.distance(c) <= a.distance(b) + b.distance(c), "triangle inequality");
+        assert_eq!(a.distance(Axial::new(1, 0)), 1);
+        assert_eq!(a.distance(Axial::new(2, 0)), 2);
+        assert_eq!(a.distance(Axial::new(1, -1)), 1);
+        assert_eq!(a.distance(Axial::new(1, 1)), 2);
+    }
+
+    #[test]
+    fn neighbors_are_at_distance_one() {
+        let c = Axial::new(3, -2);
+        let n = c.neighbors();
+        assert_eq!(n.len(), 6);
+        for x in n {
+            assert_eq!(c.distance(x), 1);
+            assert!(c.is_neighbor(x));
+        }
+        // All six are distinct.
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                assert_ne!(n[i], n[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_sizes_and_membership() {
+        let c = Axial::new(1, 1);
+        assert_eq!(c.ring(0), vec![c]);
+        for radius in 1..5u32 {
+            let ring = c.ring(radius);
+            assert_eq!(ring.len(), (6 * radius) as usize);
+            for x in &ring {
+                assert_eq!(c.distance(*x), radius, "cell {x} on ring {radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn spiral_counts_and_uniqueness() {
+        let c = Axial::ORIGIN;
+        for radius in 0..5u32 {
+            let cells = c.spiral(radius);
+            assert_eq!(cells.len(), (3 * radius * (radius + 1) + 1) as usize);
+            let mut sorted = cells.clone();
+            sorted.sort_by_key(|a| (a.q, a.r));
+            sorted.dedup();
+            assert_eq!(sorted.len(), cells.len(), "no duplicates");
+            assert!(cells.iter().all(|x| c.distance(*x) <= radius));
+        }
+        assert_eq!(c.spiral(2).len(), 19, "paper-style 2-ring layout");
+    }
+
+    #[test]
+    fn paper_validity_rule() {
+        // Cells named in the paper are all valid.
+        for (i, j) in [(0, 0), (2, -1), (1, -2), (-1, 2), (-2, 1), (1, 1), (-1, -1)] {
+            assert!(PaperCoord::new(i, j).is_valid(), "({i},{j})");
+        }
+        // Off-lattice labels are invalid.
+        for (i, j) in [(1, 0), (0, 1), (2, 0), (1, -1)] {
+            assert!(!PaperCoord::new(i, j).is_valid(), "({i},{j})");
+        }
+    }
+
+    #[test]
+    fn paper_axial_round_trip() {
+        for a in Axial::ORIGIN.spiral(4) {
+            let p = a.to_paper();
+            assert!(p.is_valid());
+            assert_eq!(p.to_axial(), Some(a), "round trip through {p}");
+        }
+        assert_eq!(PaperCoord::new(1, 0).to_axial(), None);
+    }
+
+    #[test]
+    fn paper_neighbors_match_figure_six() {
+        // Fig. 6: the cells around (i, j) are (i−2, j+1), (i−1, j−1),
+        // (i−1, j+2), (i+1, j+1), (i+1, j−2), (i+2, j−1).
+        let c = PaperCoord::new(0, 0);
+        let mut labels: Vec<(i32, i32)> = c.neighbors().iter().map(|p| (p.i, p.j)).collect();
+        labels.sort_unstable();
+        let mut expected = vec![(-2, 1), (-1, -1), (-1, 2), (1, 1), (1, -2), (2, -1)];
+        expected.sort_unstable();
+        assert_eq!(labels, expected);
+    }
+
+    #[test]
+    fn paper_neighbors_are_lattice_neighbors() {
+        let c = PaperCoord::new(1, -2);
+        let ca = c.to_axial().unwrap();
+        for n in c.neighbors() {
+            assert!(n.is_valid(), "{n} valid");
+            let na = n.to_axial().unwrap();
+            assert_eq!(ca.distance(na), 1, "{n} adjacent to {c}");
+        }
+    }
+
+    #[test]
+    fn negation_and_scaling() {
+        let a = Axial::new(2, -3);
+        assert_eq!(-a, Axial::new(-2, 3));
+        assert_eq!(a * 2, Axial::new(4, -6));
+        assert_eq!(a + (-a), Axial::ORIGIN);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Axial::new(1, -2).to_string(), "⟨1,-2⟩");
+        assert_eq!(PaperCoord::new(2, -1).to_string(), "(2,-1)");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = Axial::new(-4, 7);
+        let json = serde_json::to_string(&a).unwrap();
+        assert_eq!(a, serde_json::from_str::<Axial>(&json).unwrap());
+        let p = PaperCoord::new(2, -1);
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(p, serde_json::from_str::<PaperCoord>(&json).unwrap());
+    }
+}

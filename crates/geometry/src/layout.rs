@@ -1,0 +1,250 @@
+//! Finite cellular layouts: a set of cells with base stations at centres.
+
+use crate::grid::HexGrid;
+use crate::hex::{Axial, PaperCoord};
+use crate::vec2::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// A finite hexagonal cellular layout (paper Fig. 6): `rings` concentric
+/// rings of cells around the origin, BS at every cell centre.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLayout {
+    grid: HexGrid,
+    cells: Vec<Axial>,
+}
+
+impl CellLayout {
+    /// Layout with all cells within `rings` steps of the origin
+    /// (`3 rings (rings+1) + 1` cells; the paper draws 2 rings = 19 cells).
+    pub fn hexagonal(cell_radius_km: f64, rings: u32) -> Self {
+        CellLayout {
+            grid: HexGrid::new(cell_radius_km),
+            cells: Axial::ORIGIN.spiral(rings),
+        }
+    }
+
+    /// Layout from an explicit cell list (deduplicated, order preserved).
+    pub fn from_cells(cell_radius_km: f64, cells: impl IntoIterator<Item = Axial>) -> Self {
+        let mut seen = Vec::new();
+        for c in cells {
+            if !seen.contains(&c) {
+                seen.push(c);
+            }
+        }
+        assert!(!seen.is_empty(), "a layout needs at least one cell");
+        CellLayout { grid: HexGrid::new(cell_radius_km), cells: seen }
+    }
+
+    /// The underlying world-space grid.
+    pub fn grid(&self) -> &HexGrid {
+        &self.grid
+    }
+
+    /// Cell circumradius in kilometres.
+    pub fn cell_radius_km(&self) -> f64 {
+        self.grid.circumradius
+    }
+
+    /// All cells, in construction (spiral) order.
+    pub fn cells(&self) -> &[Axial] {
+        &self.cells
+    }
+
+    /// Number of cells (= number of base stations).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// A layout is never empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// True when the cell is part of this layout.
+    pub fn contains_cell(&self, cell: Axial) -> bool {
+        self.cells.contains(&cell)
+    }
+
+    /// World position of the cell's base station (the centre).
+    pub fn bs_position(&self, cell: Axial) -> Vec2 {
+        self.grid.center(cell)
+    }
+
+    /// The layout cell containing the point, if any. Points outside every
+    /// layout cell return `None` (the MS has left the network).
+    pub fn containing_cell(&self, p: Vec2) -> Option<Axial> {
+        let cell = self.grid.cell_at(p);
+        self.contains_cell(cell).then_some(cell)
+    }
+
+    /// The layout cell whose BS is nearest to the point (always defined).
+    pub fn nearest_cell(&self, p: Vec2) -> Axial {
+        *self
+            .cells
+            .iter()
+            .min_by(|a, b| {
+                self.grid
+                    .center(**a)
+                    .distance(p)
+                    .partial_cmp(&self.grid.center(**b).distance(p))
+                    .expect("distances are finite")
+            })
+            .expect("layout is non-empty")
+    }
+
+    /// Distance from the point to the cell's BS, in km.
+    pub fn distance_to_bs(&self, cell: Axial, p: Vec2) -> f64 {
+        self.bs_position(cell).distance(p)
+    }
+
+    /// In-layout neighbours of a cell (up to 6).
+    pub fn neighbors_of(&self, cell: Axial) -> Vec<Axial> {
+        cell.neighbors().into_iter().filter(|n| self.contains_cell(*n)).collect()
+    }
+
+    /// Cells sorted by BS distance to the point: `(cell, distance)` pairs,
+    /// nearest first. `k = 0` returns all cells.
+    pub fn cells_by_distance(&self, p: Vec2, k: usize) -> Vec<(Axial, f64)> {
+        let mut v: Vec<(Axial, f64)> = self
+            .cells
+            .iter()
+            .map(|c| (*c, self.grid.center(*c).distance(p)))
+            .collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"));
+        if k > 0 {
+            v.truncate(k);
+        }
+        v
+    }
+
+    /// Paper label of a cell.
+    pub fn paper_label(&self, cell: Axial) -> PaperCoord {
+        cell.to_paper()
+    }
+
+    /// Look up a cell by its paper label.
+    pub fn cell_by_paper_label(&self, label: PaperCoord) -> Option<Axial> {
+        let axial = label.to_axial()?;
+        self.contains_cell(axial).then_some(axial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_layout() -> CellLayout {
+        CellLayout::hexagonal(2.0, 2)
+    }
+
+    #[test]
+    fn hexagonal_layout_counts() {
+        assert_eq!(CellLayout::hexagonal(1.0, 0).len(), 1);
+        assert_eq!(CellLayout::hexagonal(1.0, 1).len(), 7);
+        assert_eq!(paper_layout().len(), 19);
+        assert!(!paper_layout().is_empty());
+    }
+
+    #[test]
+    fn from_cells_dedups() {
+        let l = CellLayout::from_cells(
+            1.0,
+            [Axial::ORIGIN, Axial::new(1, 0), Axial::ORIGIN],
+        );
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn empty_layout_rejected() {
+        let _ = CellLayout::from_cells(1.0, []);
+    }
+
+    #[test]
+    fn bs_positions_match_grid_centers() {
+        let l = paper_layout();
+        for &c in l.cells() {
+            assert_eq!(l.bs_position(c), l.grid().center(c));
+        }
+        assert_eq!(l.bs_position(Axial::ORIGIN), Vec2::ZERO);
+    }
+
+    #[test]
+    fn containing_cell_inside_and_outside() {
+        let l = paper_layout();
+        assert_eq!(l.containing_cell(Vec2::ZERO), Some(Axial::ORIGIN));
+        // A point far outside the 2-ring layout.
+        assert_eq!(l.containing_cell(Vec2::new(100.0, 0.0)), None);
+        // A point inside the first-ring east cell.
+        let east = Axial::new(1, 0);
+        let p = l.bs_position(east);
+        assert_eq!(l.containing_cell(p), Some(east));
+    }
+
+    #[test]
+    fn nearest_cell_always_defined() {
+        let l = paper_layout();
+        assert_eq!(l.nearest_cell(Vec2::ZERO), Axial::ORIGIN);
+        // Far east: nearest is the outer east cell (2, 0).
+        assert_eq!(l.nearest_cell(Vec2::new(1000.0, 0.0)), Axial::new(2, 0));
+    }
+
+    #[test]
+    fn distance_to_bs() {
+        let l = paper_layout();
+        let p = Vec2::new(1.0, 0.0);
+        assert!((l.distance_to_bs(Axial::ORIGIN, p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_clipped_to_layout() {
+        let l = paper_layout();
+        assert_eq!(l.neighbors_of(Axial::ORIGIN).len(), 6, "interior cell");
+        // A corner cell of the outer ring has 3 in-layout neighbours.
+        let corner = Axial::new(2, 0);
+        let n = l.neighbors_of(corner);
+        assert_eq!(n.len(), 3, "corner cell neighbours: {n:?}");
+    }
+
+    #[test]
+    fn cells_by_distance_sorted_and_truncated() {
+        let l = paper_layout();
+        let p = Vec2::new(0.5, 0.5);
+        let all = l.cells_by_distance(p, 0);
+        assert_eq!(all.len(), 19);
+        for w in all.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        let top3 = l.cells_by_distance(p, 3);
+        assert_eq!(top3.len(), 3);
+        assert_eq!(top3[0].0, Axial::ORIGIN);
+    }
+
+    #[test]
+    fn paper_labels_round_trip() {
+        let l = paper_layout();
+        for &c in l.cells() {
+            let label = l.paper_label(c);
+            assert_eq!(l.cell_by_paper_label(label), Some(c));
+        }
+        // The paper's named neighbours exist in a 2-ring layout... within
+        // ring distance 1 they do:
+        for (i, j) in [(2, -1), (1, -2), (-1, 2), (-2, 1), (1, 1), (-1, -1)] {
+            assert!(
+                l.cell_by_paper_label(PaperCoord::new(i, j)).is_some(),
+                "({i},{j}) present"
+            );
+        }
+        // Invalid or out-of-layout labels give None.
+        assert_eq!(l.cell_by_paper_label(PaperCoord::new(1, 0)), None);
+        assert_eq!(l.cell_by_paper_label(PaperCoord::new(30, 30)), None);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let l = paper_layout();
+        let back: CellLayout =
+            serde_json::from_str(&serde_json::to_string(&l).unwrap()).unwrap();
+        assert_eq!(l, back);
+    }
+}

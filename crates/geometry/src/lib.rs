@@ -1,0 +1,27 @@
+//! # cellgeom
+//!
+//! Geometry substrate for hexagonal cellular layouts (paper Fig. 6).
+//!
+//! * [`Vec2`] — plain 2-D vector/point math with polar conversions.
+//! * [`Axial`] — hex-lattice coordinates (axial/cube), neighbours, rings,
+//!   distance and spiral enumeration.
+//! * [`PaperCoord`] — the `(i, j)` labelling used in the paper's Fig. 6,
+//!   with loss-free conversion to and from [`Axial`].
+//! * [`HexGrid`] — world-space embedding of the lattice (pointy-top
+//!   orientation): cell centres, corners, point→cell lookup, signed
+//!   distance to a cell boundary.
+//! * [`CellLayout`] — a finite set of cells (rings around an origin) with
+//!   base stations at the centres, as simulated in the paper.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod grid;
+pub mod hex;
+pub mod layout;
+pub mod vec2;
+
+pub use grid::HexGrid;
+pub use hex::{Axial, PaperCoord, AXIAL_DIRECTIONS};
+pub use layout::CellLayout;
+pub use vec2::Vec2;

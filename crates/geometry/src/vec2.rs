@@ -1,0 +1,233 @@
+//! Plain 2-D vector and point arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 2-D vector (or point) in kilometres, matching the paper's plots.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// East–west component.
+    pub x: f64,
+    /// North–south component.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The origin.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Construct from components.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Construct from polar form: `(r cos θ, r sin θ)`.
+    ///
+    /// This is exactly the paper's random-walk step, eq. (1):
+    /// `Δx = d cos θ, Δy = d sin θ`.
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Vec2 { x: r * theta.cos(), y: r * theta.sin() }
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z-component of the 3-D cross product).
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Vec2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Polar angle in radians, in `(-π, π]` (via `atan2`).
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Rotate counter-clockwise by `theta` radians.
+    pub fn rotate(self, theta: f64) -> Vec2 {
+        let (s, c) = theta.sin_cos();
+        Vec2 { x: c * self.x - s * self.y, y: s * self.x + c * self.y }
+    }
+
+    /// Unit vector in the same direction; `None` for (near-)zero vectors.
+    pub fn normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        if n < 1e-300 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Linear interpolation: `self + t (other - self)`.
+    pub fn lerp(self, other: Vec2, t: f64) -> Vec2 {
+        self + (other - self) * t
+    }
+
+    /// True when both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2 { x: self.x + rhs.x, y: self.y + rhs.y }
+    }
+}
+
+impl AddAssign for Vec2 {
+    fn add_assign(&mut self, rhs: Vec2) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2 { x: self.x - rhs.x, y: self.y - rhs.y }
+    }
+}
+
+impl SubAssign for Vec2 {
+    fn sub_assign(&mut self, rhs: Vec2) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2 { x: self.x * rhs, y: self.y * rhs }
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    fn mul(self, rhs: Vec2) -> Vec2 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2 { x: self.x / rhs, y: self.y / rhs }
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2 { x: -self.x, y: -self.y }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(2.0 * a, Vec2::new(2.0, 4.0));
+        assert_eq!(a / 2.0, Vec2::new(0.5, 1.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn dot_cross_norm() {
+        let a = Vec2::new(3.0, 4.0);
+        assert_eq!(a.dot(a), 25.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        let b = Vec2::new(-4.0, 3.0);
+        assert_eq!(a.dot(b), 0.0, "perpendicular");
+        assert_eq!(a.cross(b), 25.0);
+        assert_eq!(b.cross(a), -25.0);
+    }
+
+    #[test]
+    fn distance_and_lerp() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let v = Vec2::from_polar(2.0, PI / 6.0);
+        assert!((v.x - 3.0f64.sqrt()).abs() < EPS);
+        assert!((v.y - 1.0).abs() < EPS);
+        assert!((v.norm() - 2.0).abs() < EPS);
+        assert!((v.angle() - PI / 6.0).abs() < EPS);
+    }
+
+    #[test]
+    fn rotation() {
+        let v = Vec2::new(1.0, 0.0);
+        let r = v.rotate(FRAC_PI_2);
+        assert!((r.x).abs() < EPS);
+        assert!((r.y - 1.0).abs() < EPS);
+        let back = r.rotate(-FRAC_PI_2);
+        assert!((back.x - 1.0).abs() < EPS && back.y.abs() < EPS);
+        // Rotation preserves norms.
+        let w = Vec2::new(-2.5, 1.75);
+        assert!((w.rotate(1.234).norm() - w.norm()).abs() < EPS);
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Vec2::new(3.0, 4.0);
+        let n = v.normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < EPS);
+        assert!((n.x - 0.6).abs() < EPS);
+        assert_eq!(Vec2::ZERO.normalized(), None);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Vec2::new(1.0, 2.0).is_finite());
+        assert!(!Vec2::new(f64::NAN, 0.0).is_finite());
+        assert!(!Vec2::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = Vec2::new(1.25, -3.5);
+        let json = serde_json::to_string(&v).unwrap();
+        assert_eq!(v, serde_json::from_str::<Vec2>(&json).unwrap());
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based invariants for the hex-lattice geometry.
+
+use cellgeom::{Axial, CellLayout, HexGrid, PaperCoord, Vec2};
+use proptest::prelude::*;
+
+fn arb_axial() -> impl Strategy<Value = Axial> {
+    (-50i32..=50, -50i32..=50).prop_map(|(q, r)| Axial::new(q, r))
+}
+
+fn arb_point() -> impl Strategy<Value = Vec2> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+proptest! {
+    /// Hex distance is a metric.
+    #[test]
+    fn hex_distance_metric(a in arb_axial(), b in arb_axial(), c in arb_axial()) {
+        prop_assert_eq!(a.distance(a), 0);
+        prop_assert_eq!(a.distance(b), b.distance(a));
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c));
+        if a != b {
+            prop_assert!(a.distance(b) > 0);
+        }
+    }
+
+    /// Axial -> paper -> axial round trip is the identity, and every
+    /// produced paper label is valid.
+    #[test]
+    fn paper_round_trip(a in arb_axial()) {
+        let p = a.to_paper();
+        prop_assert!(p.is_valid());
+        prop_assert_eq!(p.to_axial(), Some(a));
+    }
+
+    /// One third of labels are valid; invalid labels convert to None.
+    #[test]
+    fn invalid_paper_labels_rejected(i in -60i32..=60, j in -60i32..=60) {
+        let p = PaperCoord::new(i, j);
+        prop_assert_eq!(p.is_valid(), (i - j).rem_euclid(3) == 0);
+        prop_assert_eq!(p.to_axial().is_some(), p.is_valid());
+    }
+
+    /// World round trip: the centre of any cell resolves back to the cell.
+    #[test]
+    fn center_round_trip(a in arb_axial(), radius in 0.1f64..10.0) {
+        let g = HexGrid::new(radius);
+        prop_assert_eq!(g.cell_at(g.center(a)), a);
+    }
+
+    /// Any point strictly inside the inradius of a cell resolves to it.
+    #[test]
+    fn inradius_points_resolve(
+        a in arb_axial(),
+        radius in 0.1f64..10.0,
+        rho in 0.0f64..0.95,
+        angle in 0.0f64..std::f64::consts::TAU,
+    ) {
+        let g = HexGrid::new(radius);
+        let p = g.center(a) + Vec2::from_polar(rho * g.inradius(), angle);
+        prop_assert_eq!(g.cell_at(p), a);
+    }
+
+    /// cell_at picks a centre at least as near as any neighbour's centre.
+    #[test]
+    fn cell_at_is_voronoi(p in arb_point(), radius in 0.5f64..5.0) {
+        let g = HexGrid::new(radius);
+        let cell = g.cell_at(p);
+        let d0 = g.center(cell).distance(p);
+        for n in cell.neighbors() {
+            prop_assert!(d0 <= g.center(n).distance(p) + 1e-9);
+        }
+    }
+
+    /// The signed boundary distance is positive exactly inside (up to
+    /// boundary tolerance) and bounded by the inradius.
+    #[test]
+    fn boundary_distance_bounds(p in arb_point(), radius in 0.5f64..5.0) {
+        let g = HexGrid::new(radius);
+        let cell = g.cell_at(p);
+        let d = g.boundary_distance(cell, p);
+        prop_assert!(d >= -1e-9, "containing cell: {d}");
+        prop_assert!(d <= g.inradius() + 1e-9);
+        // A non-containing far cell must be negative.
+        let far = cell + Axial::new(3, 3);
+        prop_assert!(g.boundary_distance(far, p) < 0.0);
+    }
+
+    /// Rings partition the spiral.
+    #[test]
+    fn spiral_is_union_of_rings(radius in 0u32..6) {
+        let c = Axial::new(2, -1);
+        let spiral = c.spiral(radius);
+        let from_rings: usize = (0..=radius).map(|k| c.ring(k).len()).sum();
+        prop_assert_eq!(spiral.len(), from_rings);
+    }
+
+    /// nearest_cell and containing_cell agree whenever the point lies in a
+    /// layout cell.
+    #[test]
+    fn layout_lookup_consistency(p in arb_point(), rings in 0u32..4) {
+        let layout = CellLayout::hexagonal(2.0, rings);
+        if let Some(cell) = layout.containing_cell(p) {
+            prop_assert_eq!(layout.nearest_cell(p), cell);
+        }
+        // cells_by_distance(_, 1) agrees with nearest_cell.
+        let nearest = layout.nearest_cell(p);
+        let top = layout.cells_by_distance(p, 1);
+        prop_assert!((layout.bs_position(nearest).distance(p) - top[0].1).abs() < 1e-9);
+    }
+
+    /// Vector algebra: rotation preserves norm, polar round-trips.
+    #[test]
+    fn vec2_rotation_isometry(x in -50.0f64..50.0, y in -50.0f64..50.0, t in -7.0f64..7.0) {
+        let v = Vec2::new(x, y);
+        prop_assert!((v.rotate(t).norm() - v.norm()).abs() < 1e-9);
+        let w = v.rotate(t).rotate(-t);
+        prop_assert!((w.x - v.x).abs() < 1e-9 && (w.y - v.y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vec2_polar_round_trip(r in 0.001f64..100.0, theta in -3.1f64..3.1) {
+        let v = Vec2::from_polar(r, theta);
+        prop_assert!((v.norm() - r).abs() < 1e-9);
+        prop_assert!((v.angle() - theta).abs() < 1e-9);
+    }
+}

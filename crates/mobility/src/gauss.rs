@@ -1,0 +1,47 @@
+//! Standard-normal sampling via Box–Muller (keeps the dependency set at
+//! the allowed crates; `rand_distr` is not among them).
+
+use rand::Rng;
+
+/// Draw one standard normal variate.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>(); // (0, 1], avoids ln(0)
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draw from `N(mean, std²)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * standard_normal(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.03, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.03, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..16).map(|_| standard_normal(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..16).map(|_| standard_normal(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,196 @@
+//! Gauss–Markov mobility: temporally correlated heading and speed.
+//!
+//! The classic model between the memoryless random walk (`α = 0`) and
+//! straight-line motion (`α = 1`): at every step the heading and step
+//! length are drawn as an AR(1) blend of their previous value, their
+//! long-term mean, and Gaussian innovation:
+//!
+//! ```text
+//! θ_{k+1} = α θ_k + (1 − α) θ̄ + √(1 − α²) · σ_θ · w
+//! ```
+//!
+//! Used by the extension experiments for smoother, more vehicular
+//! trajectories than the paper's uniform-heading walk.
+
+use crate::gauss::normal;
+use crate::trace::Trajectory;
+use crate::MobilityModel;
+use cellgeom::Vec2;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Gauss–Markov mobility parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaussMarkov {
+    /// Number of steps.
+    pub n_steps: usize,
+    /// Memory factor `α ∈ [0, 1]`: 0 = memoryless, 1 = frozen.
+    pub alpha: f64,
+    /// Long-term mean heading, radians.
+    pub mean_heading_rad: f64,
+    /// Heading innovation standard deviation, radians.
+    pub heading_std_rad: f64,
+    /// Long-term mean step length, km.
+    pub mean_step_km: f64,
+    /// Step-length innovation standard deviation, km.
+    pub step_std_km: f64,
+    /// Starting position.
+    pub start: Vec2,
+}
+
+impl GaussMarkov {
+    /// A vehicular default: strong memory, eastbound drift, 0.6 km steps.
+    pub fn vehicular(n_steps: usize) -> Self {
+        GaussMarkov {
+            n_steps,
+            alpha: 0.85,
+            mean_heading_rad: 0.0,
+            heading_std_rad: 0.6,
+            mean_step_km: 0.6,
+            step_std_km: 0.15,
+            start: Vec2::ZERO,
+        }
+    }
+
+    /// Builder-style start override.
+    #[must_use]
+    pub fn with_start(mut self, start: Vec2) -> Self {
+        self.start = start;
+        self
+    }
+}
+
+impl MobilityModel for GaussMarkov {
+    fn generate(&self, rng: &mut dyn RngCore) -> Trajectory {
+        assert!(self.n_steps >= 1, "need at least one step");
+        assert!((0.0..=1.0).contains(&self.alpha), "alpha must be in [0, 1]");
+        assert!(self.mean_step_km > 0.0, "mean step must be positive");
+        let blend = (1.0 - self.alpha * self.alpha).sqrt();
+
+        let mut heading = self.mean_heading_rad;
+        let mut step = self.mean_step_km;
+        let mut pos = self.start;
+        let mut waypoints = Vec::with_capacity(self.n_steps + 1);
+        waypoints.push(pos);
+        for _ in 0..self.n_steps {
+            heading = self.alpha * heading
+                + (1.0 - self.alpha) * self.mean_heading_rad
+                + blend * normal(rng, 0.0, self.heading_std_rad);
+            step = (self.alpha * step
+                + (1.0 - self.alpha) * self.mean_step_km
+                + blend * normal(rng, 0.0, self.step_std_km))
+            .abs();
+            pos += Vec2::from_polar(step, heading);
+            waypoints.push(pos);
+        }
+        Trajectory::new(waypoints)
+    }
+
+    fn start(&self) -> Vec2 {
+        self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_and_determinism() {
+        let m = GaussMarkov::vehicular(12);
+        let a = m.generate(&mut StdRng::seed_from_u64(3));
+        let b = m.generate(&mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 13);
+        assert_eq!(a.start(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn high_memory_walks_are_straighter() {
+        // Mean squared turn angle shrinks as alpha grows.
+        let turn_energy = |alpha: f64| -> f64 {
+            let m = GaussMarkov { alpha, ..GaussMarkov::vehicular(60) };
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for seed in 0..30 {
+                let t = m.generate(&mut StdRng::seed_from_u64(seed));
+                let w = t.waypoints();
+                for k in 1..w.len() - 1 {
+                    let a = (w[k] - w[k - 1]).angle();
+                    let b = (w[k + 1] - w[k]).angle();
+                    let mut d = b - a;
+                    while d > std::f64::consts::PI {
+                        d -= std::f64::consts::TAU;
+                    }
+                    while d < -std::f64::consts::PI {
+                        d += std::f64::consts::TAU;
+                    }
+                    total += d * d;
+                    count += 1;
+                }
+            }
+            total / count as f64
+        };
+        let wobbly = turn_energy(0.1);
+        let smooth = turn_energy(0.95);
+        assert!(
+            smooth < wobbly / 2.0,
+            "alpha 0.95 turn energy {smooth} vs alpha 0.1 {wobbly}"
+        );
+    }
+
+    #[test]
+    fn eastbound_drift() {
+        // Mean heading 0 with strong memory: the walk ends east of start.
+        let m = GaussMarkov::vehicular(20);
+        let mut east = 0;
+        for seed in 0..50 {
+            let t = m.generate(&mut StdRng::seed_from_u64(seed));
+            if t.end().x > t.start().x {
+                east += 1;
+            }
+        }
+        assert!(east >= 45, "{east}/50 walks drift east");
+    }
+
+    #[test]
+    fn alpha_one_freezes_the_course() {
+        // alpha = 1: no innovation leaks in, every step repeats the mean
+        // heading/step exactly.
+        let m = GaussMarkov {
+            alpha: 1.0,
+            mean_heading_rad: std::f64::consts::FRAC_PI_2,
+            ..GaussMarkov::vehicular(5)
+        };
+        let t = m.generate(&mut StdRng::seed_from_u64(9));
+        for w in t.waypoints().windows(2) {
+            let step = w[1] - w[0];
+            assert!((step.angle() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+            assert!((step.norm() - 0.6).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn custom_start() {
+        let m = GaussMarkov::vehicular(3).with_start(Vec2::new(1.0, -1.0));
+        assert_eq!(m.start(), Vec2::new(1.0, -1.0));
+        let t = m.generate(&mut StdRng::seed_from_u64(0));
+        assert_eq!(t.start(), Vec2::new(1.0, -1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_rejected() {
+        let m = GaussMarkov { alpha: 1.5, ..GaussMarkov::vehicular(3) };
+        let _ = m.generate(&mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = GaussMarkov::vehicular(7);
+        let back: GaussMarkov = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        assert_eq!(m, back);
+    }
+}

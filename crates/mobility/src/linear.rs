@@ -1,0 +1,93 @@
+//! Deterministic straight-line motion (useful for calibration plots and
+//! the received-power-versus-distance figures).
+
+use crate::trace::Trajectory;
+use crate::MobilityModel;
+use cellgeom::Vec2;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Constant-heading motion from `start` for `length_km` at `heading_rad`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearMotion {
+    /// Starting position.
+    pub start: Vec2,
+    /// Heading in radians.
+    pub heading_rad: f64,
+    /// Path length in km.
+    pub length_km: f64,
+}
+
+impl LinearMotion {
+    /// Construct (length must be positive).
+    pub fn new(start: Vec2, heading_rad: f64, length_km: f64) -> Self {
+        assert!(length_km > 0.0, "length must be positive");
+        LinearMotion { start, heading_rad, length_km }
+    }
+
+    /// Straight line between two points.
+    pub fn between(start: Vec2, end: Vec2) -> Self {
+        let d = end - start;
+        assert!(d.norm() > 0.0, "start and end coincide");
+        LinearMotion { start, heading_rad: d.angle(), length_km: d.norm() }
+    }
+
+    /// End position.
+    pub fn end(&self) -> Vec2 {
+        self.start + Vec2::from_polar(self.length_km, self.heading_rad)
+    }
+}
+
+impl MobilityModel for LinearMotion {
+    fn generate(&self, _rng: &mut dyn RngCore) -> Trajectory {
+        Trajectory::new(vec![self.start, self.end()])
+    }
+
+    fn start(&self) -> Vec2 {
+        self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn line_geometry() {
+        let m = LinearMotion::new(Vec2::ZERO, 0.0, 5.0);
+        let t = m.generate(&mut StdRng::seed_from_u64(0));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.end(), Vec2::new(5.0, 0.0));
+        assert!((t.total_length_km() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn between_points() {
+        let m = LinearMotion::between(Vec2::new(1.0, 1.0), Vec2::new(4.0, 5.0));
+        assert!((m.length_km - 5.0).abs() < 1e-12);
+        assert!(m.end().distance(Vec2::new(4.0, 5.0)) < 1e-12);
+    }
+
+    #[test]
+    fn rng_is_ignored() {
+        let m = LinearMotion::new(Vec2::ZERO, 1.0, 2.0);
+        assert_eq!(
+            m.generate(&mut StdRng::seed_from_u64(1)),
+            m.generate(&mut StdRng::seed_from_u64(999))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "coincide")]
+    fn degenerate_between_rejected() {
+        let _ = LinearMotion::between(Vec2::ZERO, Vec2::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_rejected() {
+        let _ = LinearMotion::new(Vec2::ZERO, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Manhattan-grid mobility: axis-aligned movement between intersections.
+
+use crate::trace::Trajectory;
+use crate::MobilityModel;
+use cellgeom::Vec2;
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// Movement constrained to a street grid with spacing `block_km`: at every
+/// intersection the mobile continues straight, turns left or turns right
+/// with the given probabilities (a standard urban model).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ManhattanGrid {
+    /// Street spacing in km.
+    pub block_km: f64,
+    /// Number of blocks to traverse.
+    pub n_blocks: usize,
+    /// Probability of turning (split evenly left/right); straight
+    /// otherwise.
+    pub turn_prob: f64,
+    /// Starting intersection.
+    pub start: Vec2,
+}
+
+impl ManhattanGrid {
+    /// A 250 m downtown grid with 25% turn probability.
+    pub fn downtown(n_blocks: usize) -> Self {
+        ManhattanGrid { block_km: 0.25, n_blocks, turn_prob: 0.25, start: Vec2::ZERO }
+    }
+}
+
+impl MobilityModel for ManhattanGrid {
+    fn generate(&self, rng: &mut dyn RngCore) -> Trajectory {
+        assert!(self.n_blocks >= 1, "need at least one block");
+        assert!(self.block_km > 0.0, "block size must be positive");
+        assert!((0.0..=1.0).contains(&self.turn_prob), "turn probability in [0, 1]");
+        // Heading index: 0=E, 1=N, 2=W, 3=S.
+        let mut heading: i32 = rng.gen_range(0..4);
+        let dirs = [
+            Vec2::new(1.0, 0.0),
+            Vec2::new(0.0, 1.0),
+            Vec2::new(-1.0, 0.0),
+            Vec2::new(0.0, -1.0),
+        ];
+        let mut pos = self.start;
+        let mut waypoints = vec![pos];
+        for _ in 0..self.n_blocks {
+            if rng.gen::<f64>() < self.turn_prob {
+                heading += if rng.gen::<bool>() { 1 } else { -1 };
+            }
+            let dir = dirs[heading.rem_euclid(4) as usize];
+            pos += dir * self.block_km;
+            waypoints.push(pos);
+        }
+        Trajectory::new(waypoints)
+    }
+
+    fn start(&self) -> Vec2 {
+        self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moves_exactly_one_block_per_step() {
+        let m = ManhattanGrid::downtown(40);
+        let t = m.generate(&mut StdRng::seed_from_u64(6));
+        assert_eq!(t.len(), 41);
+        for w in t.waypoints().windows(2) {
+            let step = w[1] - w[0];
+            assert!((step.norm() - 0.25).abs() < 1e-12, "block-length step");
+            assert!(
+                step.x.abs() < 1e-12 || step.y.abs() < 1e-12,
+                "axis-aligned step {step:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_turn_probability_goes_straight() {
+        let m = ManhattanGrid { turn_prob: 0.0, ..ManhattanGrid::downtown(10) };
+        let t = m.generate(&mut StdRng::seed_from_u64(5));
+        let first = t.waypoints()[1] - t.waypoints()[0];
+        for w in t.waypoints().windows(2) {
+            let step = w[1] - w[0];
+            assert!((step - first).norm() < 1e-12, "constant heading");
+        }
+        assert!((t.total_length_km() - 2.5).abs() < 1e-12);
+        assert!((t.end().distance(t.start()) - 2.5).abs() < 1e-12, "straight line");
+    }
+
+    #[test]
+    fn always_turning_never_straight() {
+        let m = ManhattanGrid { turn_prob: 1.0, ..ManhattanGrid::downtown(30) };
+        let t = m.generate(&mut StdRng::seed_from_u64(10));
+        for w in t.waypoints().windows(3) {
+            let a = w[1] - w[0];
+            let b = w[2] - w[1];
+            assert!(a.dot(b).abs() < 1e-12, "every consecutive pair turns 90°");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let m = ManhattanGrid::downtown(20);
+        assert_eq!(
+            m.generate(&mut StdRng::seed_from_u64(123)),
+            m.generate(&mut StdRng::seed_from_u64(123))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "block")]
+    fn zero_blocks_rejected() {
+        let m = ManhattanGrid::downtown(0);
+        let _ = m.generate(&mut StdRng::seed_from_u64(0));
+    }
+}

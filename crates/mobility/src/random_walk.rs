@@ -1,0 +1,227 @@
+//! The paper's Monte-Carlo random-walk model (§3, eqs. (1)–(2)).
+
+use crate::gauss::normal;
+use crate::trace::Trajectory;
+use crate::MobilityModel;
+use cellgeom::Vec2;
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// Distribution of the per-walk heading angle θ.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AngleDistribution {
+    /// Uniform on `[0, 2π)` — the paper's "general distribution".
+    Uniform,
+    /// Gaussian around a mean heading (radians) — the paper's alternative;
+    /// produces drifting walks that actually leave the starting cell.
+    Gaussian {
+        /// Mean heading in radians.
+        mean_rad: f64,
+        /// Heading standard deviation in radians.
+        std_rad: f64,
+    },
+}
+
+/// The paper's random-walk model: `nwalk` straight segments, each with a
+/// random heading and a Gaussian length (mean 0.6 km in Table 2).
+///
+/// `Δxₙ = dₙ cos θₙ`, `Δyₙ = dₙ sin θₙ`; positions accumulate per eq. (2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomWalk {
+    /// Number of walks (`nwalk`; paper uses 5 and 10).
+    pub n_walks: usize,
+    /// Mean segment length in km (paper Table 2: 0.6 km).
+    pub step_mean_km: f64,
+    /// Segment length standard deviation in km.
+    pub step_std_km: f64,
+    /// Heading distribution.
+    pub angle: AngleDistribution,
+    /// Starting position (the paper starts at the origin cell's BS).
+    pub start: Vec2,
+}
+
+impl RandomWalk {
+    /// The paper's configuration: Gaussian step length with mean 0.6 km,
+    /// uniform headings, starting at the origin.
+    pub fn paper_default(n_walks: usize) -> Self {
+        RandomWalk {
+            n_walks,
+            step_mean_km: 0.6,
+            step_std_km: 0.2,
+            angle: AngleDistribution::Uniform,
+            start: Vec2::ZERO,
+        }
+    }
+
+    /// Builder-style start override.
+    #[must_use]
+    pub fn with_start(mut self, start: Vec2) -> Self {
+        self.start = start;
+        self
+    }
+
+    /// Builder-style heading-distribution override.
+    #[must_use]
+    pub fn with_angle(mut self, angle: AngleDistribution) -> Self {
+        self.angle = angle;
+        self
+    }
+
+    fn sample_angle<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self.angle {
+            AngleDistribution::Uniform => rng.gen::<f64>() * std::f64::consts::TAU,
+            AngleDistribution::Gaussian { mean_rad, std_rad } => {
+                normal(rng, mean_rad, std_rad)
+            }
+        }
+    }
+
+    fn sample_step<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Gaussian length, folded to stay non-negative (a zero-length walk
+        // is legal but a negative one is not).
+        normal(rng, self.step_mean_km, self.step_std_km).abs()
+    }
+}
+
+impl MobilityModel for RandomWalk {
+    fn generate(&self, rng: &mut dyn RngCore) -> Trajectory {
+        assert!(self.n_walks >= 1, "need at least one walk");
+        assert!(self.step_mean_km > 0.0, "mean step must be positive");
+        assert!(self.step_std_km >= 0.0, "step std must be non-negative");
+        let mut waypoints = Vec::with_capacity(self.n_walks + 1);
+        let mut pos = self.start;
+        waypoints.push(pos);
+        for _ in 0..self.n_walks {
+            let theta = self.sample_angle(rng);
+            let d = self.sample_step(rng);
+            pos += Vec2::from_polar(d, theta); // eq. (1)–(2)
+            waypoints.push(pos);
+        }
+        Trajectory::new(waypoints)
+    }
+
+    fn start(&self) -> Vec2 {
+        self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn walk_shape() {
+        let rw = RandomWalk::paper_default(5);
+        let mut rng = StdRng::seed_from_u64(100);
+        let t = rw.generate(&mut rng);
+        assert_eq!(t.len(), 6, "nwalk + 1 waypoints");
+        assert_eq!(t.start(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let rw = RandomWalk::paper_default(10);
+        let a = rw.generate(&mut StdRng::seed_from_u64(200));
+        let b = rw.generate(&mut StdRng::seed_from_u64(200));
+        let c = rw.generate(&mut StdRng::seed_from_u64(201));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn step_length_statistics() {
+        let rw = RandomWalk::paper_default(1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mean_step: f64 = (0..n)
+            .map(|_| {
+                let t = rw.generate(&mut rng);
+                t.total_length_km()
+            })
+            .sum::<f64>()
+            / n as f64;
+        // Folded Gaussian(0.6, 0.2) has mean ≈ 0.6 (folding is negligible
+        // three sigmas from zero).
+        assert!((mean_step - 0.6).abs() < 0.01, "mean step {mean_step}");
+    }
+
+    #[test]
+    fn uniform_headings_cover_the_circle() {
+        let rw = RandomWalk::paper_default(1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut quadrants = [0usize; 4];
+        for _ in 0..4000 {
+            let t = rw.generate(&mut rng);
+            let step = t.end() - t.start();
+            let q = match (step.x >= 0.0, step.y >= 0.0) {
+                (true, true) => 0,
+                (false, true) => 1,
+                (false, false) => 2,
+                (true, false) => 3,
+            };
+            quadrants[q] += 1;
+        }
+        for (q, count) in quadrants.iter().enumerate() {
+            assert!(
+                (800..1200).contains(count),
+                "quadrant {q} has {count} of 4000 samples"
+            );
+        }
+    }
+
+    #[test]
+    fn gaussian_heading_drifts() {
+        // Mean heading east with small spread: the walk ends well east.
+        let rw = RandomWalk::paper_default(10)
+            .with_angle(AngleDistribution::Gaussian { mean_rad: 0.0, std_rad: 0.2 });
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut east = 0;
+        for _ in 0..100 {
+            let t = rw.generate(&mut rng);
+            if t.end().x > 2.0 {
+                east += 1;
+            }
+        }
+        assert!(east > 90, "drifting walks end east: {east}/100");
+    }
+
+    #[test]
+    fn custom_start() {
+        let rw = RandomWalk::paper_default(3).with_start(Vec2::new(5.0, -2.0));
+        assert_eq!(rw.start(), Vec2::new(5.0, -2.0));
+        let t = rw.generate(&mut StdRng::seed_from_u64(1));
+        assert_eq!(t.start(), Vec2::new(5.0, -2.0));
+    }
+
+    #[test]
+    fn steps_are_never_negative() {
+        let rw = RandomWalk {
+            n_walks: 200,
+            step_mean_km: 0.1,
+            step_std_km: 0.5, // heavy folding
+            angle: AngleDistribution::Uniform,
+            start: Vec2::ZERO,
+        };
+        let t = rw.generate(&mut StdRng::seed_from_u64(4));
+        for w in t.waypoints().windows(2) {
+            assert!(w[0].distance(w[1]).is_finite());
+        }
+        assert!(t.total_length_km() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one walk")]
+    fn zero_walks_rejected() {
+        let rw = RandomWalk { n_walks: 0, ..RandomWalk::paper_default(1) };
+        let _ = rw.generate(&mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let rw = RandomWalk::paper_default(5);
+        let back: RandomWalk = serde_json::from_str(&serde_json::to_string(&rw).unwrap()).unwrap();
+        assert_eq!(rw, back);
+    }
+}

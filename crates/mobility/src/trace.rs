@@ -1,0 +1,226 @@
+//! Trajectories and arclength resampling.
+
+use cellgeom::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// A point on a resampled trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// World position in km.
+    pub pos: Vec2,
+    /// Cumulative path distance from the trajectory start, in km.
+    pub cum_km: f64,
+}
+
+/// An ordered polyline of waypoints (the output of a mobility model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    waypoints: Vec<Vec2>,
+}
+
+impl Trajectory {
+    /// Build from waypoints (at least one required).
+    pub fn new(waypoints: Vec<Vec2>) -> Self {
+        assert!(!waypoints.is_empty(), "a trajectory needs at least one waypoint");
+        assert!(waypoints.iter().all(|w| w.is_finite()), "waypoints must be finite");
+        Trajectory { waypoints }
+    }
+
+    /// The waypoints.
+    pub fn waypoints(&self) -> &[Vec2] {
+        &self.waypoints
+    }
+
+    /// Number of waypoints.
+    pub fn len(&self) -> usize {
+        self.waypoints.len()
+    }
+
+    /// Never true (construction requires ≥ 1 waypoint).
+    pub fn is_empty(&self) -> bool {
+        self.waypoints.is_empty()
+    }
+
+    /// First waypoint.
+    pub fn start(&self) -> Vec2 {
+        self.waypoints[0]
+    }
+
+    /// Last waypoint.
+    pub fn end(&self) -> Vec2 {
+        *self.waypoints.last().expect("non-empty")
+    }
+
+    /// Total polyline length in km.
+    pub fn total_length_km(&self) -> f64 {
+        self.waypoints.windows(2).map(|w| w[0].distance(w[1])).sum()
+    }
+
+    /// Position at path distance `s` km from the start (clamped to the
+    /// trajectory ends).
+    pub fn position_at(&self, s: f64) -> Vec2 {
+        if s <= 0.0 {
+            return self.start();
+        }
+        let mut remaining = s;
+        for w in self.waypoints.windows(2) {
+            let seg = w[0].distance(w[1]);
+            if remaining <= seg {
+                if seg == 0.0 {
+                    return w[0];
+                }
+                return w[0].lerp(w[1], remaining / seg);
+            }
+            remaining -= seg;
+        }
+        self.end()
+    }
+
+    /// Resample at (approximately) `spacing_km` intervals of arclength.
+    ///
+    /// Both the start and the exact end point are always included; every
+    /// original waypoint is also included so corners are never cut. Points
+    /// are strictly increasing in `cum_km`.
+    pub fn resample(&self, spacing_km: f64) -> Vec<TracePoint> {
+        assert!(spacing_km > 0.0, "spacing must be positive");
+        let mut out = vec![TracePoint { pos: self.start(), cum_km: 0.0 }];
+        let mut cum = 0.0;
+        for w in self.waypoints.windows(2) {
+            let seg = w[0].distance(w[1]);
+            if seg == 0.0 {
+                continue;
+            }
+            let n_steps = (seg / spacing_km).ceil() as usize;
+            for k in 1..=n_steps {
+                let t = k as f64 / n_steps as f64;
+                out.push(TracePoint { pos: w[0].lerp(w[1], t), cum_km: cum + seg * t });
+            }
+            cum += seg;
+        }
+        out
+    }
+
+    /// Pair each resampled point with a timestamp given a constant speed.
+    /// Returns `(time_s, point)` tuples. Speed must be positive.
+    pub fn with_speed(&self, spacing_km: f64, speed_kmh: f64) -> Vec<(f64, TracePoint)> {
+        assert!(speed_kmh > 0.0, "speed must be positive");
+        self.resample(spacing_km)
+            .into_iter()
+            .map(|p| (p.cum_km / speed_kmh * 3600.0, p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> Trajectory {
+        Trajectory::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(3.0, 0.0),
+            Vec2::new(3.0, 4.0),
+        ])
+    }
+
+    #[test]
+    fn lengths() {
+        let t = l_shape();
+        assert_eq!(t.len(), 3);
+        assert!((t.total_length_km() - 7.0).abs() < 1e-12);
+        assert_eq!(t.start(), Vec2::ZERO);
+        assert_eq!(t.end(), Vec2::new(3.0, 4.0));
+        let single = Trajectory::new(vec![Vec2::new(1.0, 1.0)]);
+        assert_eq!(single.total_length_km(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one waypoint")]
+    fn empty_rejected() {
+        let _ = Trajectory::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_rejected() {
+        let _ = Trajectory::new(vec![Vec2::new(f64::NAN, 0.0)]);
+    }
+
+    #[test]
+    fn position_at_arclength() {
+        let t = l_shape();
+        assert_eq!(t.position_at(-1.0), Vec2::ZERO);
+        assert_eq!(t.position_at(0.0), Vec2::ZERO);
+        assert_eq!(t.position_at(1.5), Vec2::new(1.5, 0.0));
+        assert_eq!(t.position_at(3.0), Vec2::new(3.0, 0.0));
+        assert_eq!(t.position_at(5.0), Vec2::new(3.0, 2.0));
+        assert_eq!(t.position_at(7.0), Vec2::new(3.0, 4.0));
+        assert_eq!(t.position_at(100.0), Vec2::new(3.0, 4.0), "clamps at end");
+    }
+
+    #[test]
+    fn resample_structure() {
+        let t = l_shape();
+        let pts = t.resample(0.5);
+        // Starts at 0, ends at the full length.
+        assert_eq!(pts[0].cum_km, 0.0);
+        assert!((pts.last().unwrap().cum_km - 7.0).abs() < 1e-12);
+        assert_eq!(pts.last().unwrap().pos, Vec2::new(3.0, 4.0));
+        // Strictly increasing arclength, spacing never exceeds requested.
+        for w in pts.windows(2) {
+            assert!(w[1].cum_km > w[0].cum_km);
+            assert!(w[1].cum_km - w[0].cum_km <= 0.5 + 1e-12);
+        }
+        // The corner waypoint is present.
+        assert!(pts.iter().any(|p| p.pos.distance(Vec2::new(3.0, 0.0)) < 1e-12));
+        // Positions are consistent with position_at.
+        for p in &pts {
+            assert!(p.pos.distance(t.position_at(p.cum_km)) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn resample_coarse_spacing_still_keeps_corners() {
+        let t = l_shape();
+        let pts = t.resample(10.0);
+        // start, corner, end.
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[1].pos, Vec2::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn degenerate_segments_skipped() {
+        let t = Trajectory::new(vec![
+            Vec2::ZERO,
+            Vec2::ZERO,
+            Vec2::new(1.0, 0.0),
+        ]);
+        let pts = t.resample(0.25);
+        assert!((pts.last().unwrap().cum_km - 1.0).abs() < 1e-12);
+        for w in pts.windows(2) {
+            assert!(w[1].cum_km > w[0].cum_km, "strictly increasing");
+        }
+    }
+
+    #[test]
+    fn timestamps_from_speed() {
+        let t = l_shape();
+        let timed = t.with_speed(1.0, 36.0); // 36 km/h = 10 m/s
+        let (t_end, last) = timed.last().unwrap();
+        assert!((last.cum_km - 7.0).abs() < 1e-12);
+        assert!((t_end - 700.0).abs() < 1e-9, "7 km at 10 m/s = 700 s");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_spacing_rejected() {
+        let _ = l_shape().resample(0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = l_shape();
+        let back: Trajectory = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,106 @@
+//! Random-waypoint mobility inside a rectangular region.
+
+use crate::trace::Trajectory;
+use crate::MobilityModel;
+use cellgeom::Vec2;
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// Classic random-waypoint model: pick a uniform destination in the
+/// bounding box, travel there in a straight line, repeat `n_legs` times.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomWaypoint {
+    /// Lower-left corner of the region (km).
+    pub min: Vec2,
+    /// Upper-right corner of the region (km).
+    pub max: Vec2,
+    /// Number of legs.
+    pub n_legs: usize,
+    /// Starting position (clamped into the region).
+    pub start: Vec2,
+}
+
+impl RandomWaypoint {
+    /// Model over `[-half, half]²` starting at the origin.
+    pub fn centered(half_extent_km: f64, n_legs: usize) -> Self {
+        assert!(half_extent_km > 0.0, "extent must be positive");
+        RandomWaypoint {
+            min: Vec2::new(-half_extent_km, -half_extent_km),
+            max: Vec2::new(half_extent_km, half_extent_km),
+            n_legs,
+            start: Vec2::ZERO,
+        }
+    }
+}
+
+impl MobilityModel for RandomWaypoint {
+    fn generate(&self, rng: &mut dyn RngCore) -> Trajectory {
+        assert!(self.n_legs >= 1, "need at least one leg");
+        assert!(self.min.x < self.max.x && self.min.y < self.max.y, "empty region");
+        let clamp = |p: Vec2| Vec2 {
+            x: p.x.clamp(self.min.x, self.max.x),
+            y: p.y.clamp(self.min.y, self.max.y),
+        };
+        let mut waypoints = Vec::with_capacity(self.n_legs + 1);
+        waypoints.push(clamp(self.start));
+        for _ in 0..self.n_legs {
+            let x = rng.gen_range(self.min.x..=self.max.x);
+            let y = rng.gen_range(self.min.y..=self.max.y);
+            waypoints.push(Vec2::new(x, y));
+        }
+        Trajectory::new(waypoints)
+    }
+
+    fn start(&self) -> Vec2 {
+        self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stays_in_region() {
+        let m = RandomWaypoint::centered(3.0, 50);
+        let t = m.generate(&mut StdRng::seed_from_u64(8));
+        assert_eq!(t.len(), 51);
+        for w in t.waypoints() {
+            assert!(w.x.abs() <= 3.0 && w.y.abs() <= 3.0, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn start_is_clamped() {
+        let m = RandomWaypoint { start: Vec2::new(100.0, -100.0), ..RandomWaypoint::centered(2.0, 1) };
+        let t = m.generate(&mut StdRng::seed_from_u64(1));
+        assert_eq!(t.start(), Vec2::new(2.0, -2.0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let m = RandomWaypoint::centered(5.0, 10);
+        assert_eq!(
+            m.generate(&mut StdRng::seed_from_u64(77)),
+            m.generate(&mut StdRng::seed_from_u64(77))
+        );
+    }
+
+    #[test]
+    fn covers_the_region() {
+        let m = RandomWaypoint::centered(1.0, 400);
+        let t = m.generate(&mut StdRng::seed_from_u64(2));
+        let hits_ne = t.waypoints().iter().any(|w| w.x > 0.5 && w.y > 0.5);
+        let hits_sw = t.waypoints().iter().any(|w| w.x < -0.5 && w.y < -0.5);
+        assert!(hits_ne && hits_sw, "waypoints spread across the region");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leg")]
+    fn zero_legs_rejected() {
+        let m = RandomWaypoint::centered(1.0, 0);
+        let _ = m.generate(&mut StdRng::seed_from_u64(0));
+    }
+}

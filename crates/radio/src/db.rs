@@ -1,0 +1,111 @@
+//! Decibel arithmetic.
+//!
+//! Conventions: *power* ratios use `10 log₁₀`, *field/amplitude* ratios use
+//! `20 log₁₀`. Absolute powers are carried in dBm (dB relative to 1 mW).
+
+/// Convert a power ratio to decibels (`10 log₁₀`).
+#[inline]
+pub fn power_ratio_to_db(ratio: f64) -> f64 {
+    10.0 * ratio.log10()
+}
+
+/// Convert decibels to a power ratio.
+#[inline]
+pub fn db_to_power_ratio(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Convert a field (amplitude) ratio to decibels (`20 log₁₀`).
+#[inline]
+pub fn field_ratio_to_db(ratio: f64) -> f64 {
+    20.0 * ratio.log10()
+}
+
+/// Convert watts to dBm.
+#[inline]
+pub fn watt_to_dbm(watts: f64) -> f64 {
+    assert!(watts > 0.0, "power must be positive, got {watts} W");
+    10.0 * (watts * 1000.0).log10()
+}
+
+/// Convert dBm to watts.
+#[inline]
+pub fn dbm_to_watt(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0) / 1000.0
+}
+
+/// Sum several powers given in dBm (addition happens in the linear
+/// domain). Returns −∞ dBm for an empty slice.
+pub fn combine_powers_dbm(powers: &[f64]) -> f64 {
+    if powers.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    let linear_mw: f64 = powers.iter().map(|&p| 10f64.powf(p / 10.0)).sum();
+    10.0 * linear_mw.log10()
+}
+
+/// Arithmetic mean of dB values (used by the paper's 10-run averaging,
+/// which averages the *reported* dB figures, not linear powers).
+pub fn mean_db(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of an empty slice");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn power_ratio_round_trip() {
+        for db in [-30.0, -3.0, 0.0, 3.0, 10.0, 20.0] {
+            assert!((power_ratio_to_db(db_to_power_ratio(db)) - db).abs() < EPS);
+        }
+        assert!((power_ratio_to_db(2.0) - 3.0103).abs() < 1e-3);
+        assert!((db_to_power_ratio(10.0) - 10.0).abs() < EPS);
+    }
+
+    #[test]
+    fn field_ratio_doubles_the_decibels() {
+        // A 10x field ratio is a 100x power ratio: 20 dB either way.
+        assert!((field_ratio_to_db(10.0) - 20.0).abs() < EPS);
+        assert!((field_ratio_to_db(2.0) - 2.0 * power_ratio_to_db(2.0)).abs() < EPS);
+    }
+
+    #[test]
+    fn watt_dbm_conversions() {
+        // The paper's 10 W / 20 W transmitters.
+        assert!((watt_to_dbm(10.0) - 40.0).abs() < EPS);
+        assert!((watt_to_dbm(20.0) - 43.0103).abs() < 1e-3);
+        assert!((watt_to_dbm(0.001) - 0.0).abs() < EPS, "1 mW = 0 dBm");
+        for w in [0.001, 0.5, 10.0, 20.0] {
+            assert!((dbm_to_watt(watt_to_dbm(w)) - w).abs() < EPS * w.max(1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn negative_watts_rejected() {
+        let _ = watt_to_dbm(-1.0);
+    }
+
+    #[test]
+    fn combining_powers() {
+        // Two equal powers add 3.01 dB.
+        let sum = combine_powers_dbm(&[-90.0, -90.0]);
+        assert!((sum - (-90.0 + 3.0103)).abs() < 1e-3);
+        // A dominant signal barely moves.
+        let sum = combine_powers_dbm(&[-60.0, -100.0]);
+        assert!((sum - -60.0).abs() < 0.01);
+        assert_eq!(combine_powers_dbm(&[]), f64::NEG_INFINITY);
+        let single = combine_powers_dbm(&[-75.5]);
+        assert!((single - -75.5).abs() < EPS);
+    }
+
+    #[test]
+    fn mean_of_db_values() {
+        assert!((mean_db(&[-90.0, -100.0]) - -95.0).abs() < EPS);
+        assert!((mean_db(&[1.0]) - 1.0).abs() < EPS);
+    }
+}

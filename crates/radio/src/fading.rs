@@ -1,0 +1,302 @@
+//! Fading models.
+//!
+//! * [`ShadowingProcess`] — log-normal shadow fading with Gudmundson
+//!   spatial correlation (`ρ(Δd) = e^(−Δd/d_corr)`), the mechanism that
+//!   produces the RSS fluctuations behind the ping-pong effect.
+//! * [`RayleighFading`] — small-scale envelope fading (extension hook).
+//! * [`speed_penalty_db`] — the paper's empirical "2 dB per 10 km/h"
+//!   degradation applied to the neighbour-BS RSS in Tables 3/4.
+
+use rand::Rng;
+use rand_distr::{Distribution, StandardNormal};
+use serde::{Deserialize, Serialize};
+
+// `rand_distr` is not among the offline crates; a standard normal is easy
+// to produce from `rand` alone via Box–Muller, so we implement it locally
+// and keep the dependency list at exactly the allowed set.
+mod rand_distr {
+    pub struct StandardNormal;
+    pub trait Distribution<T> {
+        fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+    impl Distribution<f64> for StandardNormal {
+        fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // Box–Muller; u1 in (0, 1] avoids ln(0).
+            let u1: f64 = 1.0 - rng.gen::<f64>();
+            let u2: f64 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        }
+    }
+}
+
+/// Configuration of a log-normal shadowing process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShadowingConfig {
+    /// Standard deviation of the shadowing in dB (urban macro: 6–12 dB).
+    pub sigma_db: f64,
+    /// Gudmundson decorrelation distance in km (urban: 0.02–0.1 km).
+    pub decorrelation_km: f64,
+}
+
+impl ShadowingConfig {
+    /// A moderate urban default: σ = 4 dB, d_corr = 50 m.
+    pub fn moderate() -> Self {
+        ShadowingConfig { sigma_db: 4.0, decorrelation_km: 0.05 }
+    }
+
+    /// Shadowing disabled (σ = 0).
+    pub fn none() -> Self {
+        ShadowingConfig { sigma_db: 0.0, decorrelation_km: 0.05 }
+    }
+}
+
+/// A stateful, spatially correlated log-normal shadowing process
+/// (first-order Gudmundson autoregression along the mobile's path).
+///
+/// One independent process is kept **per base station**: shadowing towards
+/// different BSs is uncorrelated, which is what makes boundary walks
+/// flip-flop between serving cells.
+#[derive(Debug, Clone)]
+pub struct ShadowingProcess {
+    config: ShadowingConfig,
+    current_db: f64,
+    initialized: bool,
+}
+
+impl ShadowingProcess {
+    /// New process; the first sample is drawn fresh from `N(0, σ²)`.
+    pub fn new(config: ShadowingConfig) -> Self {
+        assert!(config.sigma_db >= 0.0, "sigma must be non-negative");
+        assert!(config.decorrelation_km > 0.0, "decorrelation distance must be positive");
+        ShadowingProcess { config, current_db: 0.0, initialized: false }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> ShadowingConfig {
+        self.config
+    }
+
+    /// Advance the mobile by `delta_km` and return the shadowing value in
+    /// dB at the new position.
+    pub fn advance<R: Rng + ?Sized>(&mut self, delta_km: f64, rng: &mut R) -> f64 {
+        let sigma = self.config.sigma_db;
+        if sigma == 0.0 {
+            self.initialized = true;
+            self.current_db = 0.0;
+            return 0.0;
+        }
+        let innovation: f64 = StandardNormal.sample(rng);
+        if !self.initialized {
+            self.initialized = true;
+            self.current_db = sigma * innovation;
+        } else {
+            let rho = (-delta_km.max(0.0) / self.config.decorrelation_km).exp();
+            self.current_db =
+                rho * self.current_db + sigma * (1.0 - rho * rho).sqrt() * innovation;
+        }
+        self.current_db
+    }
+
+    /// The last returned value (0 before the first `advance`).
+    pub fn current_db(&self) -> f64 {
+        self.current_db
+    }
+}
+
+/// Rayleigh envelope fading: returns the instantaneous power deviation in
+/// dB relative to the local mean (`E[power] = 1`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RayleighFading;
+
+impl RayleighFading {
+    /// Draw one independent fade in dB.
+    pub fn sample_db<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Envelope² = X² + Y² with X, Y ~ N(0, 1/2) → unit mean power.
+        let x: f64 = StandardNormal.sample(rng);
+        let y: f64 = StandardNormal.sample(rng);
+        let power = 0.5 * (x * x + y * y);
+        10.0 * power.max(1e-12).log10()
+    }
+}
+
+/// Rician fading: a dominant line-of-sight component of power
+/// `K/(K+1)` plus scattered power `1/(K+1)` (unit total mean power).
+/// `K → 0` degenerates to Rayleigh; large `K` approaches a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RicianFading {
+    /// Rice factor `K` (linear, ≥ 0): LOS-to-scatter power ratio.
+    pub k_factor: f64,
+}
+
+impl RicianFading {
+    /// Construct with a non-negative K factor.
+    pub fn new(k_factor: f64) -> Self {
+        assert!(k_factor >= 0.0, "K factor must be non-negative");
+        RicianFading { k_factor }
+    }
+
+    /// Draw one independent fade in dB (unit mean power).
+    pub fn sample_db<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let k = self.k_factor;
+        // LOS amplitude ν with ν² = K/(K+1); scatter σ² = 1/(2(K+1)) per
+        // quadrature branch.
+        let nu = (k / (k + 1.0)).sqrt();
+        let sigma = (1.0 / (2.0 * (k + 1.0))).sqrt();
+        let x: f64 = nu + sigma * StandardNormal.sample(rng);
+        let y: f64 = sigma * StandardNormal.sample(rng);
+        let power = x * x + y * y;
+        10.0 * power.max(1e-12).log10()
+    }
+}
+
+/// The paper's speed rule: "during the RW, for each 10 km/h the signal
+/// strength is decreased 2 dB" (applied to the neighbour-BS RSS in the
+/// Table 3/4 sweeps).
+#[inline]
+pub fn speed_penalty_db(speed_kmh: f64) -> f64 {
+    assert!(speed_kmh >= 0.0, "speed must be non-negative");
+    0.2 * speed_kmh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn speed_penalty_matches_paper_tables() {
+        // Tables 3/4: neighbour RSS drops exactly 2 dB per 10 km/h step.
+        assert_eq!(speed_penalty_db(0.0), 0.0);
+        assert!((speed_penalty_db(10.0) - 2.0).abs() < 1e-12);
+        assert!((speed_penalty_db(30.0) - 6.0).abs() < 1e-12);
+        assert!((speed_penalty_db(50.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_sigma_process_is_silent() {
+        let mut p = ShadowingProcess::new(ShadowingConfig::none());
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(p.advance(0.1, &mut rng), 0.0);
+        }
+    }
+
+    #[test]
+    fn shadowing_statistics() {
+        let cfg = ShadowingConfig { sigma_db: 6.0, decorrelation_km: 0.05 };
+        let mut rng = StdRng::seed_from_u64(42);
+        // Large steps → essentially independent samples.
+        let mut p = ShadowingProcess::new(cfg);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| p.advance(5.0, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.2, "zero-mean, got {mean}");
+        assert!((var.sqrt() - 6.0).abs() < 0.2, "σ ≈ 6, got {}", var.sqrt());
+    }
+
+    #[test]
+    fn gudmundson_correlation_decays() {
+        let cfg = ShadowingConfig { sigma_db: 8.0, decorrelation_km: 0.1 };
+        let mut rng = StdRng::seed_from_u64(13);
+        // Estimate lag-1 autocorrelation for small steps: ρ = e^(−Δ/d).
+        let step = 0.02; // ρ = e^-0.2 ≈ 0.8187
+        let mut p = ShadowingProcess::new(cfg);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| p.advance(step, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        let cov = samples
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        let rho = cov / var;
+        let expected = (-step / 0.1f64).exp();
+        assert!((rho - expected).abs() < 0.02, "ρ {rho} vs {expected}");
+    }
+
+    #[test]
+    fn small_steps_move_slowly() {
+        let cfg = ShadowingConfig { sigma_db: 8.0, decorrelation_km: 1.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = ShadowingProcess::new(cfg);
+        let first = p.advance(0.001, &mut rng);
+        let second = p.advance(0.001, &mut rng);
+        // With ρ ≈ 0.999 consecutive values are nearly identical.
+        assert!((first - second).abs() < 8.0 * 0.1, "{first} vs {second}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = ShadowingConfig::moderate();
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut p = ShadowingProcess::new(cfg);
+            (0..50).map(|_| p.advance(0.05, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    fn rayleigh_mean_power_is_unity() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 50_000;
+        let mean_linear: f64 = (0..n)
+            .map(|_| 10f64.powf(RayleighFading.sample_db(&mut rng) / 10.0))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean_linear - 1.0).abs() < 0.03, "mean power {mean_linear}");
+        // Deep fades exist: Rayleigh should dip below −10 dB sometimes.
+        let mut rng = StdRng::seed_from_u64(22);
+        let deep = (0..10_000).any(|_| RayleighFading.sample_db(&mut rng) < -10.0);
+        assert!(deep);
+    }
+
+    #[test]
+    fn rician_mean_power_is_unity_and_k_controls_spread() {
+        let n = 50_000;
+        let spread = |k: f64, seed: u64| -> (f64, f64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let fading = RicianFading::new(k);
+            let samples: Vec<f64> = (0..n)
+                .map(|_| 10f64.powf(fading.sample_db(&mut rng) / 10.0))
+                .collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+            (mean, var)
+        };
+        let (m0, v0) = spread(0.0, 31);
+        let (m10, v10) = spread(10.0, 32);
+        assert!((m0 - 1.0).abs() < 0.03, "K=0 mean {m0}");
+        assert!((m10 - 1.0).abs() < 0.03, "K=10 mean {m10}");
+        // Rayleigh (K=0) power variance is 1; strong LOS shrinks it.
+        assert!((v0 - 1.0).abs() < 0.05, "K=0 var {v0}");
+        assert!(v10 < 0.25, "K=10 var {v10}");
+        // Deep fades vanish with a strong LOS component.
+        let mut rng = StdRng::seed_from_u64(33);
+        let strong = RicianFading::new(20.0);
+        let deep = (0..20_000).any(|_| strong.sample_db(&mut rng) < -10.0);
+        assert!(!deep, "K=20 should show no deep fades");
+    }
+
+    #[test]
+    #[should_panic(expected = "K factor")]
+    fn negative_k_rejected() {
+        let _ = RicianFading::new(-0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sigma_rejected() {
+        let _ = ShadowingProcess::new(ShadowingConfig { sigma_db: -1.0, decorrelation_km: 0.1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_speed_rejected() {
+        let _ = speed_penalty_db(-5.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # radiolink
+//!
+//! Radio propagation substrate for the fuzzy-handover reproduction.
+//!
+//! The paper computes received power from a vertically polarised dipole
+//! with beam tilt (its eqs. (3)–(4)):
+//!
+//! ```text
+//! E = √(45 W) · sin(θ − φ) · e^(−jκr) / rⁿ
+//! ```
+//!
+//! This crate implements that model literally ([`PathLoss::PaperField`] +
+//! [`DipoleAntenna`]) and adds the standard alternatives (free space,
+//! log-distance, two-ray) plus log-normal shadow fading with Gudmundson
+//! spatial correlation and an RSS measurement pipeline (noise + smoothing).
+//!
+//! Units: distances in **km**, heights in **m**, powers in **dBm**, gains
+//! and losses in **dB**.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod antenna;
+pub mod db;
+pub mod fading;
+pub mod link;
+pub mod measurement;
+pub mod pathloss;
+
+pub use antenna::DipoleAntenna;
+pub use fading::{speed_penalty_db, RayleighFading, RicianFading, ShadowingConfig, ShadowingProcess};
+pub use link::BsRadio;
+pub use measurement::{MeasurementNoise, RssiSmoother};
+pub use pathloss::PathLoss;

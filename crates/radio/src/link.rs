@@ -1,0 +1,162 @@
+//! The per-base-station link budget: TX power + antenna pattern − path loss.
+
+use crate::antenna::DipoleAntenna;
+use crate::db::watt_to_dbm;
+use crate::pathloss::PathLoss;
+use cellgeom::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// Radio parameters of one base station.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BsRadio {
+    /// Transmit power in watts (paper Table 2: 10 W or 20 W).
+    pub tx_power_w: f64,
+    /// The BS antenna.
+    pub antenna: DipoleAntenna,
+    /// Propagation model.
+    pub path_loss: PathLoss,
+    /// Mobile antenna height in metres (paper Table 2: 1.5 m).
+    pub ms_height_m: f64,
+    /// Pattern floor in dB below peak gain (keeps the under-the-mast null
+    /// finite).
+    pub pattern_floor_db: f64,
+}
+
+impl BsRadio {
+    /// The paper's configuration: 10 W, 3° tilt, 40 m mast, 1.5 m mobile,
+    /// calibrated log-distance propagation.
+    pub fn paper_default() -> Self {
+        BsRadio {
+            tx_power_w: 10.0,
+            antenna: DipoleAntenna::paper_default(),
+            path_loss: PathLoss::paper_calibrated(),
+            ms_height_m: 1.5,
+            pattern_floor_db: -40.0,
+        }
+    }
+
+    /// Same as [`BsRadio::paper_default`] but with the literal eq.-(4)
+    /// field model (n = 1.1) instead of the calibrated propagation.
+    pub fn paper_field_model() -> Self {
+        BsRadio { path_loss: PathLoss::paper_field(), ..Self::paper_default() }
+    }
+
+    /// Transmit power in dBm.
+    pub fn tx_power_dbm(&self) -> f64 {
+        watt_to_dbm(self.tx_power_w)
+    }
+
+    /// Mean received power in dBm at `ms_pos` from a BS at `bs_pos`
+    /// (positions in km), before fading and measurement noise.
+    pub fn received_power_dbm(&self, bs_pos: Vec2, ms_pos: Vec2) -> f64 {
+        let horizontal_km = bs_pos.distance(ms_pos);
+        let gain = self
+            .antenna
+            .gain_db_clamped(horizontal_km, self.ms_height_m, self.pattern_floor_db);
+        let slant = self.antenna.slant_range_km(horizontal_km, self.ms_height_m);
+        self.tx_power_dbm() + gain - self.path_loss.loss_db(slant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_budget() {
+        let bs = BsRadio::paper_default();
+        assert!((bs.tx_power_dbm() - 40.0).abs() < 1e-9, "10 W = 40 dBm");
+        // At 1 km the calibrated budget gives ≈ 40 + 1.76 − 128 ≈ −86 dBm.
+        let rx = bs.received_power_dbm(Vec2::ZERO, Vec2::new(1.0, 0.0));
+        assert!((-92.0..=-80.0).contains(&rx), "rx(1 km) = {rx}");
+    }
+
+    #[test]
+    fn power_decreases_with_distance() {
+        // The paper's Fig. 9 behaviour: monotone decay as the MS leaves
+        // the serving BS (beyond the near-mast pattern region).
+        let bs = BsRadio::paper_default();
+        let mut prev = bs.received_power_dbm(Vec2::ZERO, Vec2::new(0.3, 0.0));
+        for k in 1..70 {
+            let d = 0.3 + 0.1 * k as f64;
+            let rx = bs.received_power_dbm(Vec2::ZERO, Vec2::new(d, 0.0));
+            assert!(rx < prev, "rx({d}) = {rx} not below {prev}");
+            prev = rx;
+        }
+    }
+
+    #[test]
+    fn plotted_dynamic_range_matches_paper() {
+        // Figs. 9–13 span roughly −60…−140 dB between ~0.2 and 7 km.
+        let bs = BsRadio::paper_default();
+        let near = bs.received_power_dbm(Vec2::ZERO, Vec2::new(0.15, 0.0));
+        let far = bs.received_power_dbm(Vec2::ZERO, Vec2::new(7.0, 0.0));
+        assert!(near > -70.0, "near reading {near}");
+        assert!(far < -115.0, "far reading {far}");
+        assert!(near - far > 55.0, "dynamic range {}", near - far);
+    }
+
+    #[test]
+    fn rotational_symmetry() {
+        let bs = BsRadio::paper_default();
+        let d = 2.5;
+        let a = bs.received_power_dbm(Vec2::ZERO, Vec2::new(d, 0.0));
+        let b = bs.received_power_dbm(Vec2::ZERO, Vec2::new(0.0, d));
+        let c = bs.received_power_dbm(Vec2::ZERO, Vec2::from_polar(d, 1.1));
+        assert!((a - b).abs() < 1e-9);
+        assert!((a - c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn translation_invariance() {
+        let bs = BsRadio::paper_default();
+        let offset = Vec2::new(3.46, -2.0);
+        let a = bs.received_power_dbm(Vec2::ZERO, Vec2::new(1.0, 1.0));
+        let b = bs.received_power_dbm(offset, Vec2::new(1.0, 1.0) + offset);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn under_mast_is_finite_and_weaker_than_beam_peak() {
+        let bs = BsRadio::paper_default();
+        let under = bs.received_power_dbm(Vec2::ZERO, Vec2::ZERO);
+        assert!(under.is_finite());
+        // Under the mast the pattern factor is sin 3° ≈ −25.6 dB, above the
+        // −40 dB floor, so the raw pattern value applies.
+        let gain_at_mast = bs.antenna.gain_db_clamped(0.0, 1.5, bs.pattern_floor_db);
+        let expected = bs.antenna.peak_gain_dbi + 20.0 * 3.0f64.to_radians().sin().log10();
+        assert!((gain_at_mast - expected).abs() < 1e-9);
+        assert!(gain_at_mast >= bs.antenna.peak_gain_dbi + bs.pattern_floor_db);
+    }
+
+    #[test]
+    fn doubling_tx_power_adds_3db() {
+        let mut bs = BsRadio::paper_default();
+        let a = bs.received_power_dbm(Vec2::ZERO, Vec2::new(2.0, 0.0));
+        bs.tx_power_w = 20.0;
+        let b = bs.received_power_dbm(Vec2::ZERO, Vec2::new(2.0, 0.0));
+        assert!((b - a - 3.0103).abs() < 1e-3);
+    }
+
+    #[test]
+    fn field_model_variant_is_shallower() {
+        let cal = BsRadio::paper_default();
+        let field = BsRadio::paper_field_model();
+        let d1 = Vec2::new(1.0, 0.0);
+        let d7 = Vec2::new(7.0, 0.0);
+        let cal_drop =
+            cal.received_power_dbm(Vec2::ZERO, d1) - cal.received_power_dbm(Vec2::ZERO, d7);
+        let field_drop =
+            field.received_power_dbm(Vec2::ZERO, d1) - field.received_power_dbm(Vec2::ZERO, d7);
+        assert!(cal_drop > field_drop, "calibrated {cal_drop} vs field {field_drop}");
+        // n = 1.1 amplitude exponent → 22 dB/decade → ~18.6 dB over 1→7 km.
+        assert!((field_drop - 22.0 * 7f64.log10()).abs() < 0.5);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let bs = BsRadio::paper_default();
+        let back: BsRadio = serde_json::from_str(&serde_json::to_string(&bs).unwrap()).unwrap();
+        assert_eq!(bs, back);
+    }
+}

@@ -1,0 +1,265 @@
+//! RSS measurement pipeline: additive measurement noise and smoothing.
+//!
+//! Real handover controllers never see the raw propagation value; they see
+//! a noisy sample passed through an averaging filter. Both stages are
+//! modelled here so the ping-pong experiments can inject realistic
+//! measurement jitter (the paper averages 10 simulation runs for the same
+//! reason).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Zero-mean Gaussian measurement noise in dB.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementNoise {
+    /// Standard deviation in dB (0 disables the noise).
+    pub sigma_db: f64,
+}
+
+impl MeasurementNoise {
+    /// Construct; σ must be non-negative.
+    pub fn new(sigma_db: f64) -> Self {
+        assert!(sigma_db >= 0.0, "noise sigma must be non-negative");
+        MeasurementNoise { sigma_db }
+    }
+
+    /// No noise.
+    pub fn none() -> Self {
+        MeasurementNoise { sigma_db: 0.0 }
+    }
+
+    /// Apply the noise to a clean dB reading.
+    pub fn apply<R: Rng + ?Sized>(&self, clean_db: f64, rng: &mut R) -> f64 {
+        if self.sigma_db == 0.0 {
+            return clean_db;
+        }
+        // Box–Muller standard normal.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        clean_db + self.sigma_db * z
+    }
+}
+
+/// Stateful RSS smoothing filter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RssiSmoother {
+    /// Pass-through.
+    None,
+    /// Exponentially weighted moving average with factor `alpha ∈ (0, 1]`
+    /// (1 = no smoothing). State carries the running average.
+    Ewma {
+        /// Weight of the newest sample.
+        alpha: f64,
+        /// Current filtered value (None until the first sample).
+        state: Option<f64>,
+    },
+    /// Sliding-window arithmetic mean over the last `capacity` samples.
+    Window {
+        /// Window length.
+        capacity: usize,
+        /// Stored samples, oldest first.
+        buf: VecDeque<f64>,
+    },
+}
+
+impl RssiSmoother {
+    /// EWMA smoother.
+    pub fn ewma(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1], got {alpha}");
+        RssiSmoother::Ewma { alpha, state: None }
+    }
+
+    /// Sliding-window smoother.
+    pub fn window(capacity: usize) -> Self {
+        assert!(capacity >= 1, "window capacity must be at least 1");
+        RssiSmoother::Window { capacity, buf: VecDeque::with_capacity(capacity) }
+    }
+
+    /// Feed one sample, get the filtered value.
+    pub fn push(&mut self, sample_db: f64) -> f64 {
+        match self {
+            RssiSmoother::None => sample_db,
+            RssiSmoother::Ewma { alpha, state } => {
+                let next = match *state {
+                    None => sample_db,
+                    Some(prev) => prev + *alpha * (sample_db - prev),
+                };
+                *state = Some(next);
+                next
+            }
+            RssiSmoother::Window { capacity, buf } => {
+                if buf.len() == *capacity {
+                    buf.pop_front();
+                }
+                buf.push_back(sample_db);
+                buf.iter().sum::<f64>() / buf.len() as f64
+            }
+        }
+    }
+
+    /// Current filtered value without feeding a sample (None before any
+    /// sample has been pushed, or for the pass-through filter).
+    pub fn current(&self) -> Option<f64> {
+        match self {
+            RssiSmoother::None => None,
+            RssiSmoother::Ewma { state, .. } => *state,
+            RssiSmoother::Window { buf, .. } => {
+                if buf.is_empty() {
+                    None
+                } else {
+                    Some(buf.iter().sum::<f64>() / buf.len() as f64)
+                }
+            }
+        }
+    }
+
+    /// Reset the filter state (e.g. after a handover to a new serving BS).
+    pub fn reset(&mut self) {
+        match self {
+            RssiSmoother::None => {}
+            RssiSmoother::Ewma { state, .. } => *state = None,
+            RssiSmoother::Window { buf, .. } => buf.clear(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_passthrough() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = MeasurementNoise::none();
+        assert_eq!(n.apply(-90.0, &mut rng), -90.0);
+    }
+
+    #[test]
+    fn noise_statistics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = MeasurementNoise::new(2.0);
+        let k = 40_000;
+        let samples: Vec<f64> = (0..k).map(|_| n.apply(-90.0, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / k as f64;
+        let sd = (samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / k as f64).sqrt();
+        assert!((mean + 90.0).abs() < 0.05, "mean {mean}");
+        assert!((sd - 2.0).abs() < 0.05, "sd {sd}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_noise_sigma_rejected() {
+        let _ = MeasurementNoise::new(-0.1);
+    }
+
+    #[test]
+    fn none_smoother_is_identity() {
+        let mut s = RssiSmoother::None;
+        assert_eq!(s.push(-80.0), -80.0);
+        assert_eq!(s.push(-100.0), -100.0);
+        assert_eq!(s.current(), None);
+    }
+
+    #[test]
+    fn ewma_first_sample_initializes() {
+        let mut s = RssiSmoother::ewma(0.25);
+        assert_eq!(s.current(), None);
+        assert_eq!(s.push(-90.0), -90.0, "first sample adopted as-is");
+        let second = s.push(-80.0);
+        assert!((second - (-90.0 + 0.25 * 10.0)).abs() < 1e-12);
+        assert_eq!(s.current(), Some(second));
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_input() {
+        let mut s = RssiSmoother::ewma(0.3);
+        s.push(-120.0);
+        let mut last = 0.0;
+        for _ in 0..100 {
+            last = s.push(-70.0);
+        }
+        assert!((last - -70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_alpha_one_is_passthrough() {
+        let mut s = RssiSmoother::ewma(1.0);
+        s.push(-100.0);
+        assert_eq!(s.push(-60.0), -60.0);
+    }
+
+    #[test]
+    fn window_mean() {
+        let mut s = RssiSmoother::window(3);
+        assert_eq!(s.push(-90.0), -90.0);
+        assert!((s.push(-80.0) - -85.0).abs() < 1e-12);
+        assert!((s.push(-70.0) - -80.0).abs() < 1e-12);
+        // Fourth sample evicts the first: mean of (-80, -70, -60) = -70.
+        assert!((s.push(-60.0) - -70.0).abs() < 1e-12);
+        assert_eq!(s.current(), Some(-70.0));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut e = RssiSmoother::ewma(0.5);
+        e.push(-90.0);
+        e.reset();
+        assert_eq!(e.current(), None);
+        assert_eq!(e.push(-50.0), -50.0, "re-initialized");
+
+        let mut w = RssiSmoother::window(4);
+        w.push(-90.0);
+        w.push(-80.0);
+        w.reset();
+        assert_eq!(w.current(), None);
+        assert_eq!(w.push(-50.0), -50.0);
+    }
+
+    #[test]
+    fn smoothing_reduces_variance() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let noise = MeasurementNoise::new(4.0);
+        let mut raw_var = 0.0;
+        let mut smooth_var = 0.0;
+        let mut ewma = RssiSmoother::ewma(0.2);
+        let n = 20_000;
+        // Warm up the filter first.
+        for _ in 0..50 {
+            ewma.push(noise.apply(-90.0, &mut rng));
+        }
+        for _ in 0..n {
+            let raw = noise.apply(-90.0, &mut rng);
+            let smooth = ewma.push(raw);
+            raw_var += (raw + 90.0) * (raw + 90.0);
+            smooth_var += (smooth + 90.0) * (smooth + 90.0);
+        }
+        assert!(
+            smooth_var < raw_var / 4.0,
+            "EWMA(0.2) cuts variance: raw {raw_var}, smooth {smooth_var}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_rejected() {
+        let _ = RssiSmoother::ewma(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn invalid_window_rejected() {
+        let _ = RssiSmoother::window(0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut s = RssiSmoother::window(3);
+        s.push(-75.0);
+        let back: RssiSmoother = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(s, back);
+    }
+}

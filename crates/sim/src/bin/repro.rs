@@ -1,0 +1,43 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro             # print every experiment
+//! repro list        # list experiment ids
+//! repro table3 fig9 # print selected experiments
+//! ```
+
+use handover_sim::experiments::registry;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reg = registry();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+
+    if args.first().map(String::as_str) == Some("list") {
+        for e in &reg {
+            writeln!(out, "{:<10} {}", e.id, e.title).expect("stdout");
+        }
+        return;
+    }
+
+    let selected: Vec<&str> = args.iter().map(String::as_str).collect();
+    let mut matched_any = false;
+    for e in &reg {
+        if !selected.is_empty() && !selected.contains(&e.id) {
+            continue;
+        }
+        matched_any = true;
+        writeln!(out, "################################################################")
+            .expect("stdout");
+        writeln!(out, "# {}", e.title).expect("stdout");
+        writeln!(out, "################################################################")
+            .expect("stdout");
+        writeln!(out, "{}", (e.render)()).expect("stdout");
+    }
+    if !matched_any {
+        eprintln!("no experiment matched {selected:?}; try `repro list`");
+        std::process::exit(1);
+    }
+}

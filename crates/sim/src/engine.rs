@@ -1,0 +1,488 @@
+//! The measurement/decision loop.
+//!
+//! At every resampled point of the MS trajectory the engine measures the
+//! serving-BS and strongest-neighbour RSS (mean propagation + correlated
+//! shadowing + measurement noise), applies the paper's speed penalty to
+//! the neighbour reading, hands the report to the configured
+//! [`HandoverPolicy`], and executes handovers the policy orders.
+
+use cellgeom::{Axial, CellLayout, Vec2};
+use handover_core::{
+    Decision, EventLog, HandoverEvent, HandoverPolicy, MeasurementReport, StayReason,
+};
+use mobility::Trajectory;
+use radiolink::{
+    speed_penalty_db, BsRadio, MeasurementNoise, RssiSmoother, ShadowingConfig,
+    ShadowingProcess,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The cellular layout (cells + BS positions).
+    pub layout: CellLayout,
+    /// Radio parameters shared by every BS.
+    pub radio: BsRadio,
+    /// Shadow-fading configuration (one independent process per BS).
+    pub shadowing: ShadowingConfig,
+    /// Measurement noise added to every RSS sample.
+    pub noise: MeasurementNoise,
+    /// Per-BS RSS smoothing filter applied after the noise (template;
+    /// each BS gets its own stateful copy). `RssiSmoother::None` feeds
+    /// raw samples to the policy, as the paper does.
+    pub smoothing: RssiSmoother,
+    /// Spacing of measurement/decision points along the path, in km.
+    /// The paper's CSSP magnitudes (1–8 dB per measurement) correspond to
+    /// walk-scale intervals, so the default matches the paper's 0.6 km
+    /// average walk length (one measurement per walk).
+    pub sample_spacing_km: f64,
+    /// MS speed in km/h; the paper degrades the *neighbour* RSS by
+    /// 2 dB per 10 km/h.
+    pub speed_kmh: f64,
+    /// Serving RSS below this counts as outage.
+    pub outage_threshold_dbm: f64,
+    /// Ping-pong detection window, in measurement steps.
+    pub pingpong_window_steps: usize,
+}
+
+impl SimConfig {
+    /// The paper's configuration: 2-ring hexagonal layout with R = 2 km,
+    /// 10 W BSs, no fading/noise (the tables add noise explicitly),
+    /// stationary MS.
+    pub fn paper_default() -> Self {
+        SimConfig {
+            layout: CellLayout::hexagonal(2.0, 2),
+            radio: BsRadio::paper_default(),
+            shadowing: ShadowingConfig::none(),
+            noise: MeasurementNoise::none(),
+            smoothing: RssiSmoother::None,
+            sample_spacing_km: 0.6,
+            speed_kmh: 0.0,
+            outage_threshold_dbm: -110.0,
+            pingpong_window_steps: 6,
+        }
+    }
+}
+
+/// One measurement step of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Step index.
+    pub step: usize,
+    /// Path distance from the trajectory start, km.
+    pub cum_km: f64,
+    /// MS position.
+    pub pos: Vec2,
+    /// Serving cell at the time of the measurement.
+    pub serving: Axial,
+    /// Measured serving RSS, dBm.
+    pub serving_rss_dbm: f64,
+    /// Strongest neighbour cell.
+    pub neighbor: Axial,
+    /// Measured neighbour RSS (speed penalty applied), dBm.
+    pub neighbor_rss_dbm: f64,
+    /// MS distance to the serving BS, km.
+    pub distance_to_serving_km: f64,
+    /// The FLC output if the policy evaluated it this step.
+    pub hd: Option<f64>,
+    /// Whether a handover was executed at this step.
+    pub handover: bool,
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Handover events and outage accounting.
+    pub log: EventLog,
+    /// Every measurement step, in order.
+    pub steps: Vec<StepRecord>,
+    /// The serving cell at the end of the run.
+    pub final_serving: Axial,
+}
+
+impl SimResult {
+    /// Convenience: number of executed handovers.
+    pub fn handover_count(&self) -> usize {
+        self.log.handover_count()
+    }
+
+    /// HD values observed along the run (steps where the FLC ran).
+    pub fn hd_values(&self) -> Vec<f64> {
+        self.steps.iter().filter_map(|s| s.hd).collect()
+    }
+}
+
+/// The simulation engine.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: SimConfig,
+}
+
+impl Simulation {
+    /// Build an engine for the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        assert!(config.sample_spacing_km > 0.0, "sample spacing must be positive");
+        assert!(config.speed_kmh >= 0.0, "speed must be non-negative");
+        Simulation { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Measure the RSS from one BS at a position (mean propagation plus
+    /// the BS's current shadowing state), without noise or penalty.
+    fn mean_rss(&self, cell: Axial, pos: Vec2, shadow: &[(Axial, ShadowingProcess)]) -> f64 {
+        let bs = self.config.layout.bs_position(cell);
+        let base = self.config.radio.received_power_dbm(bs, pos);
+        let fade = shadow
+            .iter()
+            .find(|(c, _)| *c == cell)
+            .map_or(0.0, |(_, p)| p.current_db());
+        base + fade
+    }
+
+    /// Run the trajectory under `policy`, seeding all randomness
+    /// (shadowing + measurement noise) from `seed`.
+    pub fn run(
+        &self,
+        trajectory: &Trajectory,
+        policy: &mut dyn HandoverPolicy,
+        seed: u64,
+    ) -> SimResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = &self.config;
+        let points = trajectory.resample(cfg.sample_spacing_km);
+
+        // Independent, spatially correlated shadowing per BS, in layout
+        // order (a Vec, not a HashMap: per-instance hash randomisation
+        // would reorder the RNG draws and break seed determinism).
+        let mut shadow: Vec<(Axial, ShadowingProcess)> = cfg
+            .layout
+            .cells()
+            .iter()
+            .map(|&c| (c, ShadowingProcess::new(cfg.shadowing)))
+            .collect();
+
+        // One stateful smoothing filter per BS (cloned from the template).
+        let mut smoothers: Vec<RssiSmoother> =
+            cfg.layout.cells().iter().map(|_| cfg.smoothing.clone()).collect();
+
+        let mut serving = cfg.layout.nearest_cell(trajectory.start());
+        let mut log = EventLog::new();
+        let mut steps = Vec::with_capacity(points.len());
+        let mut prev_cum = 0.0;
+
+        for (idx, point) in points.iter().enumerate() {
+            let delta = point.cum_km - prev_cum;
+            prev_cum = point.cum_km;
+            for (_, process) in shadow.iter_mut() {
+                process.advance(delta, &mut rng);
+            }
+
+            // Measure every BS: mean propagation + shadowing + noise,
+            // then the per-BS smoothing filter. Measuring all cells keeps
+            // every filter's sample stream contiguous across handovers.
+            let measured: Vec<f64> = cfg
+                .layout
+                .cells()
+                .iter()
+                .zip(smoothers.iter_mut())
+                .map(|(&c, smoother)| {
+                    let raw = cfg.noise.apply(self.mean_rss(c, point.pos, &shadow), &mut rng);
+                    smoother.push(raw)
+                })
+                .collect();
+            let rss_of = |cell: Axial| -> f64 {
+                let k = cfg
+                    .layout
+                    .cells()
+                    .iter()
+                    .position(|&c| c == cell)
+                    .expect("cell is in the layout");
+                measured[k]
+            };
+
+            // Serving measurement (no speed penalty: the paper applies the
+            // 2 dB/10 km/h rule to the neighbour reading).
+            let serving_rss = rss_of(serving);
+
+            // Strongest neighbour among the serving cell's in-layout
+            // neighbours (fall back to any other cell at the layout rim).
+            let mut neighbor_cells = cfg.layout.neighbors_of(serving);
+            if neighbor_cells.is_empty() {
+                neighbor_cells = cfg
+                    .layout
+                    .cells()
+                    .iter()
+                    .copied()
+                    .filter(|c| *c != serving)
+                    .collect();
+            }
+            let penalty = speed_penalty_db(cfg.speed_kmh);
+            let (neighbor, neighbor_rss) = neighbor_cells
+                .into_iter()
+                .map(|c| (c, rss_of(c) - penalty))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("RSS is finite"))
+                .expect("layouts have at least two cells");
+
+            let report = MeasurementReport {
+                serving,
+                serving_rss_dbm: serving_rss,
+                neighbor,
+                neighbor_rss_dbm: neighbor_rss,
+                distance_to_serving_km: cfg.layout.distance_to_bs(serving, point.pos),
+                distance_to_neighbor_km: cfg.layout.distance_to_bs(neighbor, point.pos),
+            };
+
+            let decision = policy.decide(&report);
+            let hd = match decision {
+                Decision::Handover { hd, .. } => Some(hd),
+                Decision::Stay(StayReason::BelowThreshold { hd })
+                | Decision::Stay(StayReason::SignalRecovering { hd }) => Some(hd),
+                Decision::Stay(_) => None,
+            };
+            let mut handover = false;
+            if let Decision::Handover { target, hd } = decision {
+                log.record_handover(HandoverEvent {
+                    step: idx,
+                    at_km: point.cum_km,
+                    from: serving,
+                    to: target,
+                    hd,
+                });
+                policy.notify_handover(target);
+                serving = target;
+                handover = true;
+            }
+            log.record_step(serving_rss < cfg.outage_threshold_dbm);
+
+            steps.push(StepRecord {
+                step: idx,
+                cum_km: point.cum_km,
+                pos: point.pos,
+                serving: report.serving,
+                serving_rss_dbm: serving_rss,
+                neighbor,
+                neighbor_rss_dbm: neighbor_rss,
+                distance_to_serving_km: report.distance_to_serving_km,
+                hd,
+                handover,
+            });
+        }
+
+        SimResult { log, steps, final_serving: serving }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use handover_core::{ControllerConfig, FuzzyHandoverController};
+    use handover_core::baselines::HysteresisPolicy;
+    use mobility::LinearMotion;
+    use mobility::MobilityModel;
+
+    fn fuzzy_policy() -> FuzzyHandoverController {
+        FuzzyHandoverController::new(ControllerConfig::paper_default(2.0))
+    }
+
+    /// Straight east from the origin BS through cell (1,0) into (2,0).
+    fn eastbound() -> Trajectory {
+        LinearMotion::new(Vec2::ZERO, 0.0, 6.5).generate(&mut StdRng::seed_from_u64(0))
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sim = Simulation::new(SimConfig::paper_default());
+        let t = eastbound();
+        let a = sim.run(&t, &mut fuzzy_policy(), 42);
+        let b = sim.run(&t, &mut fuzzy_policy(), 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn eastbound_crossing_hands_over_in_order() {
+        let sim = Simulation::new(SimConfig::paper_default());
+        let result = sim.run(&eastbound(), &mut fuzzy_policy(), 1);
+        assert!(
+            result.handover_count() >= 1,
+            "a 6.5 km straight line must leave the origin cell (events: {:?})",
+            result.log.events()
+        );
+        // The serving sequence walks east without ever going back.
+        let seq = result.log.serving_sequence(Axial::ORIGIN);
+        for w in seq.windows(2) {
+            let from = sim.config().layout.bs_position(w[0]).x;
+            let to = sim.config().layout.bs_position(w[1]).x;
+            assert!(to > from, "eastbound handovers move east: {seq:?}");
+        }
+        assert_eq!(result.log.ping_pong_report(12).ping_pongs, 0);
+    }
+
+    #[test]
+    fn handovers_happen_past_the_boundary() {
+        // The fuzzy pipeline is conservative: the first handover must not
+        // happen before the MS is at least near the cell border
+        // (inradius ≈ 1.73 km).
+        let sim = Simulation::new(SimConfig::paper_default());
+        let result = sim.run(&eastbound(), &mut fuzzy_policy(), 1);
+        let first = &result.log.events()[0];
+        assert!(first.at_km > 1.6, "first handover at {} km", first.at_km);
+        // And not absurdly late either (by 3 km the origin BS is 1.3 km
+        // behind the border).
+        assert!(first.at_km < 3.2, "first handover at {} km", first.at_km);
+    }
+
+    #[test]
+    fn stationary_ms_never_hands_over() {
+        let sim = Simulation::new(SimConfig::paper_default());
+        let t = Trajectory::new(vec![Vec2::new(0.3, 0.2), Vec2::new(0.31, 0.2)]);
+        let result = sim.run(&t, &mut fuzzy_policy(), 7);
+        assert_eq!(result.handover_count(), 0);
+        assert_eq!(result.final_serving, Axial::ORIGIN);
+        assert_eq!(result.log.outage_ratio(), 0.0, "near the BS there is no outage");
+    }
+
+    #[test]
+    fn zero_margin_hysteresis_flips_on_boundary_wobble() {
+        // With shadowing on, a 0 dB-margin hysteresis policy flip-flops
+        // when the MS lingers at a cell border — the classic ping-pong.
+        let mut cfg = SimConfig::paper_default();
+        cfg.shadowing = ShadowingConfig { sigma_db: 6.0, decorrelation_km: 0.05 };
+        cfg.sample_spacing_km = 0.05;
+        let sim = Simulation::new(cfg);
+        // Walk along the border between the origin cell and (1,0):
+        // x = inradius, y sweeping.
+        let border_x = 3.0f64.sqrt(); // inradius for R = 2
+        let t = Trajectory::new(vec![
+            Vec2::new(border_x, -1.0),
+            Vec2::new(border_x, 1.0),
+            Vec2::new(border_x, -1.0),
+        ]);
+        let mut naive = HysteresisPolicy::new(0.0);
+        let result = sim.run(&t, &mut naive, 3);
+        let pp = result.log.ping_pong_report(sim.config().pingpong_window_steps);
+        assert!(pp.handovers >= 2, "naive policy flips: {pp:?}");
+        assert!(pp.ping_pongs >= 1, "and ping-pongs: {pp:?}");
+    }
+
+    #[test]
+    fn fuzzy_resists_boundary_wobble_better_than_naive() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.shadowing = ShadowingConfig { sigma_db: 6.0, decorrelation_km: 0.05 };
+        cfg.sample_spacing_km = 0.05;
+        let sim = Simulation::new(cfg);
+        let border_x = 3.0f64.sqrt();
+        let t = Trajectory::new(vec![
+            Vec2::new(border_x, -1.0),
+            Vec2::new(border_x, 1.0),
+            Vec2::new(border_x, -1.0),
+        ]);
+        let mut total_naive = 0;
+        let mut total_fuzzy = 0;
+        for seed in 0..8 {
+            let mut naive = HysteresisPolicy::new(0.0);
+            total_naive += sim.run(&t, &mut naive, seed).handover_count();
+            let mut fuzzy = fuzzy_policy();
+            total_fuzzy += sim.run(&t, &mut fuzzy, seed).handover_count();
+        }
+        assert!(
+            total_fuzzy < total_naive,
+            "fuzzy ({total_fuzzy}) must hand over less than naive ({total_naive})"
+        );
+    }
+
+    #[test]
+    fn speed_penalty_reduces_neighbor_rss() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.speed_kmh = 50.0;
+        let slow = Simulation::new(SimConfig::paper_default());
+        let fast = Simulation::new(cfg);
+        let t = Trajectory::new(vec![Vec2::new(1.0, 0.0), Vec2::new(1.1, 0.0)]);
+        let a = slow.run(&t, &mut fuzzy_policy(), 5);
+        let b = fast.run(&t, &mut fuzzy_policy(), 5);
+        for (x, y) in a.steps.iter().zip(&b.steps) {
+            assert!((x.neighbor_rss_dbm - 10.0 - y.neighbor_rss_dbm).abs() < 1e-9);
+            assert!((x.serving_rss_dbm - y.serving_rss_dbm).abs() < 1e-9, "serving unaffected");
+        }
+    }
+
+    #[test]
+    fn outage_recorded_far_from_every_bs() {
+        let sim = Simulation::new(SimConfig::paper_default());
+        // 30 km east of everything.
+        let t = Trajectory::new(vec![Vec2::new(30.0, 0.0), Vec2::new(30.3, 0.0)]);
+        let mut policy = fuzzy_policy();
+        let result = sim.run(&t, &mut policy, 2);
+        assert!(result.log.outage_ratio() > 0.99);
+    }
+
+    #[test]
+    fn step_records_are_consistent() {
+        let sim = Simulation::new(SimConfig::paper_default());
+        let result = sim.run(&eastbound(), &mut fuzzy_policy(), 9);
+        assert_eq!(result.log.step_count(), result.steps.len());
+        for w in result.steps.windows(2) {
+            assert!(w[1].cum_km > w[0].cum_km);
+            assert_eq!(w[1].step, w[0].step + 1);
+        }
+        let logged = result.steps.iter().filter(|s| s.handover).count();
+        assert_eq!(logged, result.handover_count());
+        // The neighbour is never the serving cell.
+        for s in &result.steps {
+            assert_ne!(s.neighbor, s.serving);
+        }
+    }
+
+    #[test]
+    fn smoothing_suppresses_noise_driven_handovers() {
+        // Under heavy measurement noise at a cell border, an EWMA filter
+        // in front of the controller cuts the handover churn.
+        let border_x = 3.0f64.sqrt();
+        let walk = Trajectory::new(vec![
+            Vec2::new(border_x, -1.0),
+            Vec2::new(border_x, 1.0),
+            Vec2::new(border_x, -1.0),
+        ]);
+        let mut raw_cfg = SimConfig::paper_default();
+        raw_cfg.noise = radiolink::MeasurementNoise::new(5.0);
+        raw_cfg.sample_spacing_km = 0.1;
+        let mut smooth_cfg = raw_cfg.clone();
+        smooth_cfg.smoothing = radiolink::RssiSmoother::ewma(0.2);
+
+        let raw_sim = Simulation::new(raw_cfg);
+        let smooth_sim = Simulation::new(smooth_cfg);
+        let mut raw_total = 0;
+        let mut smooth_total = 0;
+        for seed in 0..10 {
+            raw_total += raw_sim.run(&walk, &mut fuzzy_policy(), seed).handover_count();
+            smooth_total += smooth_sim.run(&walk, &mut fuzzy_policy(), seed).handover_count();
+        }
+        assert!(
+            smooth_total < raw_total,
+            "EWMA smoothing must reduce churn: {smooth_total} vs {raw_total}"
+        );
+    }
+
+    #[test]
+    fn smoothing_none_is_the_default_and_transparent() {
+        // With no noise/fading, smoothing (even windowed) leaves the
+        // decisions unchanged on clean signals only in the None case;
+        // the default config must be None.
+        let cfg = SimConfig::paper_default();
+        assert_eq!(cfg.smoothing, radiolink::RssiSmoother::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "spacing")]
+    fn invalid_spacing_rejected() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.sample_spacing_km = 0.0;
+        let _ = Simulation::new(cfg);
+    }
+}

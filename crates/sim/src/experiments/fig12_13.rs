@@ -1,0 +1,153 @@
+//! Figs. 12 and 13 — received power from the three relevant base stations
+//! with the three measurement points marked.
+//!
+//! Fig. 12 shows scenario A (points on the boundary, no handover should
+//! happen); Fig. 13 shows scenario B (points inside the neighbour cells,
+//! handover necessary).
+
+use crate::engine::{SimConfig, Simulation};
+use crate::experiments::table3_4::{scenario_a_points, scenario_b_points, PointInputs};
+use crate::scenario::Scenario;
+use crate::series::{ascii_plot, Series};
+use cellgeom::Axial;
+use handover_core::{ControllerConfig, FuzzyHandoverController};
+
+/// The data behind one figure: the RX-power series of the three plotted
+/// cells along the walk, plus the frozen measurement points.
+pub struct FigData {
+    /// `(cell, series)` for the three plotted BSs.
+    pub series: Vec<(Axial, Series)>,
+    /// The frozen measurement points of the matching table.
+    pub points: Vec<PointInputs>,
+}
+
+fn cells_for(scenario: &Scenario) -> Vec<Axial> {
+    let cfg = SimConfig::paper_default();
+    let sim = Simulation::new(cfg.clone());
+    let mut policy = FuzzyHandoverController::new(ControllerConfig::paper_default(
+        cfg.layout.cell_radius_km(),
+    ));
+    let run = sim.run(&scenario.trajectory(), &mut policy, 0);
+    // The serving cell plus the cells the walk interacts with: handover
+    // targets for B, strongest-recorded neighbours for A.
+    let mut cells = vec![Axial::ORIGIN];
+    for e in run.log.events() {
+        if !cells.contains(&e.to) {
+            cells.push(e.to);
+        }
+    }
+    let mut by_strength: Vec<(Axial, f64)> = Vec::new();
+    for s in &run.steps {
+        match by_strength.iter_mut().find(|(c, _)| *c == s.neighbor) {
+            Some((_, best)) => *best = best.max(s.neighbor_rss_dbm),
+            None => by_strength.push((s.neighbor, s.neighbor_rss_dbm)),
+        }
+    }
+    by_strength.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("RSS finite"));
+    for (c, _) in by_strength {
+        if cells.len() >= 3 {
+            break;
+        }
+        if !cells.contains(&c) {
+            cells.push(c);
+        }
+    }
+    cells.truncate(3);
+    cells
+}
+
+fn fig_data(scenario: Scenario, points: Vec<PointInputs>) -> FigData {
+    let cfg = SimConfig::paper_default();
+    let traj = scenario.trajectory();
+    let series = cells_for(&scenario)
+        .into_iter()
+        .map(|cell| {
+            let label = format!("RX from BS{}", cfg.layout.paper_label(cell));
+            let mut s = Series::new(label);
+            for p in traj.resample(0.05) {
+                s.push(
+                    p.cum_km,
+                    cfg.radio.received_power_dbm(cfg.layout.bs_position(cell), p.pos),
+                );
+            }
+            (cell, s)
+        })
+        .collect();
+    FigData { series, points }
+}
+
+/// Fig. 12 data (scenario A).
+pub fn fig12_data() -> FigData {
+    fig_data(Scenario::a(), scenario_a_points())
+}
+
+/// Fig. 13 data (scenario B).
+pub fn fig13_data() -> FigData {
+    fig_data(Scenario::b(), scenario_b_points())
+}
+
+fn render(title: &str, data: &FigData) -> String {
+    let series: Vec<Series> = data.series.iter().map(|(_, s)| s.clone()).collect();
+    let mut out = ascii_plot(&series, 72, 18, title);
+    out.push_str("\nmeasurement points (distance to serving BS, neighbour RSS at 0 km/h):\n");
+    for p in &data.points {
+        out.push_str(&format!(
+            "  {}: sub-1 {:.3} km / {:.2} dBm, sub-2 {:.3} km / {:.2} dBm\n",
+            p.label, p.distance_km[0], p.ssn_dbm[0], p.distance_km[1], p.ssn_dbm[1]
+        ));
+    }
+    out
+}
+
+/// Render Fig. 12.
+pub fn render_fig12() -> String {
+    render("Fig. 12 — 3 measurement points, scenario A (no handover expected)", &fig12_data())
+}
+
+/// Render Fig. 13.
+pub fn render_fig13() -> String {
+    render("Fig. 13 — 3 measurement points, scenario B (handover necessary)", &fig13_data())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_series_three_points_each() {
+        for data in [fig12_data(), fig13_data()] {
+            assert_eq!(data.series.len(), 3);
+            assert_eq!(data.points.len(), 3);
+            for (_, s) in &data.series {
+                assert!(!s.points.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn fig13_includes_the_handover_targets() {
+        // Fig. 13 plots the origin plus the first two entered cells.
+        let data = fig13_data();
+        assert_eq!(data.series[0].0, Axial::ORIGIN);
+        assert_ne!(data.series[1].0, Axial::ORIGIN);
+    }
+
+    #[test]
+    fn series_cover_the_whole_walk() {
+        let data = fig12_data();
+        let walk_len = Scenario::a().trajectory().total_length_km();
+        for (_, s) in &data.series {
+            let last_x = s.points.last().unwrap().0;
+            assert!((last_x - walk_len).abs() < 0.01, "{last_x} vs {walk_len}");
+        }
+    }
+
+    #[test]
+    fn renders_list_points() {
+        let s12 = render_fig12();
+        assert!(s12.contains("Point 1") && s12.contains("Point 3"));
+        let s13 = render_fig13();
+        assert!(s13.contains("Fig. 13"));
+        assert!(s13.contains("dBm"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Fig. 5 — the membership functions of CSSP, SSN, DMB and HD.
+
+use crate::series::{ascii_plot, Series};
+use fuzzylogic::LinguisticVariable;
+use handover_core::flc::{cssp_variable, dmb_variable, hd_variable, ssn_variable};
+
+/// Sampled membership curves for one variable: `(term label, points)`.
+pub type VariableCurves = Vec<(String, Vec<(f64, f64)>)>;
+
+/// Sample every term of every FLC variable at `n` points.
+pub fn data(n: usize) -> Vec<(String, VariableCurves)> {
+    [cssp_variable(), ssn_variable(), dmb_variable(), hd_variable()]
+        .into_iter()
+        .map(|var| {
+            let curves = sample_variable(&var, n);
+            (var.name.clone(), curves)
+        })
+        .collect()
+}
+
+fn sample_variable(var: &LinguisticVariable, n: usize) -> VariableCurves {
+    let xs = var.sample_universe(n);
+    var.terms()
+        .iter()
+        .enumerate()
+        .map(|(ti, term)| {
+            let pts = xs.iter().map(|&x| (x, var.membership(ti, x))).collect();
+            (term.name.clone(), pts)
+        })
+        .collect()
+}
+
+/// Render each variable as an ASCII plot of its term curves.
+pub fn render() -> String {
+    let mut out = String::from("Fig. 5 — membership functions\n\n");
+    for (var, curves) in data(121) {
+        let series: Vec<Series> = curves
+            .into_iter()
+            .map(|(label, points)| Series { label, points })
+            .collect();
+        out.push_str(&ascii_plot(&series, 72, 9, &format!("μ({var})")));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_variables_four_terms_each() {
+        let d = data(121);
+        assert_eq!(d.len(), 4);
+        let names: Vec<&str> = d.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["CSSP", "SSN", "DMB", "HD"]);
+        for (var, curves) in &d {
+            assert_eq!(curves.len(), 4, "{var}");
+            for (term, pts) in curves {
+                assert_eq!(pts.len(), 121, "{var}:{term}");
+                assert!(pts.iter().all(|&(_, mu)| (0.0..=1.0).contains(&mu)));
+                // Every term peaks at 1 somewhere on the sampled universe.
+                let max = pts.iter().map(|&(_, mu)| mu).fold(0.0, f64::max);
+                assert!(max > 0.99, "{var}:{term} peaks at {max}");
+            }
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_term() {
+        let s = render();
+        for term in [
+            "SM", "LC", "NC", "BG", "WK", "NSW", "NO", "ST", "NR", "NSN", "NSF", "FA", "VL",
+            "LO", "LH", "HG",
+        ] {
+            assert!(s.contains(term), "missing {term}");
+        }
+    }
+}

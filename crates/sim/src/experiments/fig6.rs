@@ -1,0 +1,85 @@
+//! Fig. 6 — the hexagonal cell layout with the paper's `(i, j)` labels.
+
+use crate::engine::SimConfig;
+use crate::table::{fmt_f, TextTable};
+use cellgeom::{PaperCoord, Vec2};
+
+/// The layout cells with their paper labels and BS positions.
+pub fn data() -> Vec<(PaperCoord, Vec2)> {
+    let layout = SimConfig::paper_default().layout;
+    layout
+        .cells()
+        .iter()
+        .map(|&c| (layout.paper_label(c), layout.bs_position(c)))
+        .collect()
+}
+
+/// Render the cell table plus a coarse ASCII map.
+pub fn render() -> String {
+    let cells = data();
+    let mut t = TextTable::new("Fig. 6 — cell layout (2 rings, R = 2 km)")
+        .headers(["Cell (i,j)", "BS x [km]", "BS y [km]"]);
+    for (label, pos) in &cells {
+        t.row([label.to_string(), fmt_f(pos.x, 2), fmt_f(pos.y, 2)]);
+    }
+    let mut out = t.render();
+    out.push('\n');
+
+    // Coarse map: place each label on a character grid.
+    let (w, h) = (64usize, 21usize);
+    let extent = 8.0; // km, covers 2 rings comfortably
+    let mut grid = vec![vec![' '; w]; h];
+    for (label, pos) in &cells {
+        let cx = ((pos.x + extent) / (2.0 * extent) * (w - 8) as f64) as usize;
+        let cy = ((extent - pos.y) / (2.0 * extent) * (h - 1) as f64) as usize;
+        let text = label.to_string();
+        for (k, ch) in text.chars().enumerate() {
+            let col = cx + k;
+            if col < w && cy < h {
+                grid[cy][col] = ch;
+            }
+        }
+    }
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nineteen_cells_with_valid_labels() {
+        let cells = data();
+        assert_eq!(cells.len(), 19, "2 rings = 19 cells");
+        for (label, _) in &cells {
+            assert!(label.is_valid(), "{label}");
+        }
+        // The paper's named cells are all present.
+        for (i, j) in [(0, 0), (2, -1), (1, -2), (-1, 2), (-2, 1), (1, 1), (-1, -1)] {
+            assert!(
+                cells.iter().any(|(l, _)| l.i == i && l.j == j),
+                "({i},{j}) missing"
+            );
+        }
+    }
+
+    #[test]
+    fn origin_cell_at_origin() {
+        let cells = data();
+        let (_, pos) = cells.iter().find(|(l, _)| l.i == 0 && l.j == 0).unwrap();
+        assert_eq!(*pos, Vec2::ZERO);
+    }
+
+    #[test]
+    fn render_places_labels() {
+        let s = render();
+        assert!(s.contains("(0,0)"));
+        assert!(s.contains("(2,-1)"));
+        assert!(s.contains("(-1,2)"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Figs. 7 and 8 — the random-walk patterns of the two scenarios.
+
+use crate::engine::SimConfig;
+use crate::scenario::{ideal_cell_sequence, Scenario};
+use crate::series::{ascii_plot, Series};
+use crate::table::{fmt_f, TextTable};
+use mobility::Trajectory;
+
+/// Scenario-A trajectory (paper Fig. 7, `iseed = 100`, `nwalk = 5`).
+pub fn fig7_data() -> Trajectory {
+    Scenario::a().trajectory()
+}
+
+/// Scenario-B trajectory (paper Fig. 8, `iseed = 200`, `nwalk = 10`).
+pub fn fig8_data() -> Trajectory {
+    Scenario::b().trajectory()
+}
+
+fn render_walk(title: &str, scenario: Scenario) -> String {
+    let traj = scenario.trajectory();
+    let layout = SimConfig::paper_default().layout;
+
+    let mut t = TextTable::new(title).headers(["Waypoint", "x [km]", "y [km]", "cell (i,j)"]);
+    for (k, w) in traj.waypoints().iter().enumerate() {
+        let cell = layout
+            .containing_cell(*w)
+            .map(|c| layout.paper_label(c).to_string())
+            .unwrap_or_else(|| "outside".into());
+        t.row([k.to_string(), fmt_f(w.x, 3), fmt_f(w.y, 3), cell]);
+    }
+    let mut out = t.render();
+
+    let seq = ideal_cell_sequence(&layout, &traj);
+    let labels: Vec<String> = seq.iter().map(|c| layout.paper_label(*c).to_string()).collect();
+    out.push_str(&format!("\ncell sequence: {}\n", labels.join(" -> ")));
+    out.push_str(&format!("total length: {:.2} km\n\n", traj.total_length_km()));
+
+    let mut walk = Series::new("walk (resampled)");
+    for p in traj.resample(0.05) {
+        walk.push(p.pos.x, p.pos.y);
+    }
+    let mut centers = Series::new("BS positions");
+    for &c in layout.cells() {
+        let p = layout.bs_position(c);
+        centers.push(p.x, p.y);
+    }
+    out.push_str(&ascii_plot(&[walk, centers], 72, 24, "walk over the cell plane"));
+    out
+}
+
+/// Render Fig. 7 (scenario A).
+pub fn render_fig7() -> String {
+    render_walk("Fig. 7 — random walk, scenario A (iseed=100, nwalk=5)", Scenario::a())
+}
+
+/// Render Fig. 8 (scenario B).
+pub fn render_fig8() -> String {
+    render_walk("Fig. 8 — random walk, scenario B (iseed=200, nwalk=10)", Scenario::b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::has_return;
+
+    #[test]
+    fn fig7_walk_shape() {
+        let t = fig7_data();
+        assert_eq!(t.len(), 6, "nwalk = 5 gives 6 waypoints");
+        // The paper's A walk wanders near the origin cell's boundary.
+        let layout = SimConfig::paper_default().layout;
+        let seq = ideal_cell_sequence(&layout, &t);
+        assert!(seq.len() >= 3, "visits other cells: {seq:?}");
+        assert!(has_return(&seq), "and returns: {seq:?}");
+    }
+
+    #[test]
+    fn fig8_walk_shape() {
+        let t = fig8_data();
+        assert_eq!(t.len(), 11, "nwalk = 10 gives 11 waypoints");
+        assert!(t.total_length_km() > 3.0, "long enough to cross cells");
+    }
+
+    #[test]
+    fn renders_mention_cells_and_length() {
+        let s7 = render_fig7();
+        assert!(s7.contains("cell sequence"));
+        assert!(s7.contains("(0,0)"));
+        assert!(s7.contains("total length"));
+        let s8 = render_fig8();
+        assert!(s8.contains("Fig. 8"));
+        assert!(s8.contains("->"), "sequence arrows present");
+    }
+}

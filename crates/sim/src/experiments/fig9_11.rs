@@ -1,0 +1,123 @@
+//! Figs. 9–11 — received power from the three relevant base stations
+//! along the scenario-B walk.
+//!
+//! The paper plots the power received from BS(0,0) and from the two
+//! neighbour cells the walk enters. The x axis is the distance travelled
+//! along the walk (0–7 km), the y axis received power in dB.
+
+use crate::engine::{SimConfig, Simulation};
+use crate::scenario::Scenario;
+use crate::series::{ascii_plot, Series};
+use cellgeom::Axial;
+use handover_core::{ControllerConfig, FuzzyHandoverController};
+
+/// The three plotted cells: the origin plus the first two handover
+/// targets of scenario B (the paper's BS(0,0), BS(−1,2), BS(−2,1)).
+pub fn plotted_cells() -> [Axial; 3] {
+    let sim = Simulation::new(SimConfig::paper_default());
+    let mut policy = FuzzyHandoverController::new(ControllerConfig::paper_default(2.0));
+    let result = sim.run(&Scenario::b().trajectory(), &mut policy, 0);
+    let events = result.log.events();
+    assert!(
+        events.len() >= 2,
+        "scenario B must cross at least two cells, got {events:?}"
+    );
+    [Axial::ORIGIN, events[0].to, events[1].to]
+}
+
+/// Received power (mean propagation, no fading) from `cell` along the
+/// scenario-B walk, sampled every 50 m.
+pub fn rx_series(cell: Axial) -> Series {
+    let cfg = SimConfig::paper_default();
+    let layout = &cfg.layout;
+    let label = format!("RX from BS{}", layout.paper_label(cell));
+    let mut s = Series::new(label);
+    for p in Scenario::b().trajectory().resample(0.05) {
+        let rx = cfg.radio.received_power_dbm(layout.bs_position(cell), p.pos);
+        s.push(p.cum_km, rx);
+    }
+    s
+}
+
+fn render_one(fig: &str, which: usize) -> String {
+    let cell = plotted_cells()[which];
+    let layout = SimConfig::paper_default().layout;
+    let series = rx_series(cell);
+    let title = format!(
+        "{fig} — received power from BS{} along the scenario-B walk",
+        layout.paper_label(cell)
+    );
+    let mut out = ascii_plot(std::slice::from_ref(&series), 72, 18, &title);
+    out.push('\n');
+    out.push_str(&series.to_tsv());
+    out
+}
+
+/// Render Fig. 9 (serving BS(0,0)).
+pub fn render_fig9() -> String {
+    render_one("Fig. 9", 0)
+}
+
+/// Render Fig. 10 (first entered neighbour).
+pub fn render_fig10() -> String {
+    render_one("Fig. 10", 1)
+}
+
+/// Render Fig. 11 (second entered neighbour).
+pub fn render_fig11() -> String {
+    render_one("Fig. 11", 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_distinct_cells() {
+        let cells = plotted_cells();
+        assert_eq!(cells[0], Axial::ORIGIN);
+        assert_ne!(cells[1], cells[0]);
+        assert_ne!(cells[2], cells[1]);
+    }
+
+    #[test]
+    fn serving_power_falls_as_the_walk_leaves() {
+        // Fig. 9 shape: the origin-BS power near the start beats the power
+        // at the walk's farthest excursion by tens of dB.
+        let s = rx_series(Axial::ORIGIN);
+        let start = s.points.first().unwrap().1;
+        let min = s.points.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min);
+        assert!(start - min > 15.0, "dynamic range start {start} vs min {min}");
+    }
+
+    #[test]
+    fn neighbour_power_peaks_mid_walk() {
+        // Figs. 10/11 shape: approaching a neighbour raises its RX power
+        // well above its value at the walk start.
+        for cell in &plotted_cells()[1..] {
+            let s = rx_series(*cell);
+            let start = s.points.first().unwrap().1;
+            let max = s.points.iter().map(|&(_, y)| y).fold(f64::NEG_INFINITY, f64::max);
+            assert!(max - start > 10.0, "{cell}: start {start}, max {max}");
+        }
+    }
+
+    #[test]
+    fn powers_lie_in_the_papers_plot_range() {
+        // The paper's axes span −140…−60 dB.
+        for cell in plotted_cells() {
+            for &(_, y) in &rx_series(cell).points {
+                assert!((-145.0..=-30.0).contains(&y), "{cell}: {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn renders_include_tsv_payload() {
+        let s = render_fig9();
+        assert!(s.contains("Fig. 9"));
+        assert!(s.contains("# RX from BS(0,0)"));
+        assert!(render_fig10().contains("Fig. 10"));
+        assert!(render_fig11().contains("Fig. 11"));
+    }
+}

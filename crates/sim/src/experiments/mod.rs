@@ -1,0 +1,68 @@
+//! One module per paper table/figure plus the extension studies.
+//!
+//! Every experiment exposes a `*_data()` function returning structured
+//! results (assertable from tests and benches) and a `render()` function
+//! producing the text report the `repro` binary prints. The experiment
+//! index in DESIGN.md maps each module to its paper artefact.
+
+pub mod ablation;
+pub mod baselines;
+pub mod fading;
+pub mod fig12_13;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7_8;
+pub mod fig9_11;
+pub mod surface;
+pub mod table1;
+pub mod table2;
+pub mod table3_4;
+
+/// An experiment registry entry: id, title, and renderer.
+pub struct Experiment {
+    /// Short id used on the `repro` command line (e.g. `"table3"`).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// Render the full text report.
+    pub render: fn() -> String,
+}
+
+/// All experiments, in paper order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment { id: "table1", title: "Table 1 — the 64-rule FRB", render: table1::render },
+        Experiment { id: "table2", title: "Table 2 — simulation parameters", render: table2::render },
+        Experiment { id: "fig5", title: "Fig. 5 — membership functions", render: fig5::render },
+        Experiment { id: "fig6", title: "Fig. 6 — hexagonal cell layout", render: fig6::render },
+        Experiment { id: "fig7", title: "Fig. 7 — random walk, scenario A", render: fig7_8::render_fig7 },
+        Experiment { id: "fig8", title: "Fig. 8 — random walk, scenario B", render: fig7_8::render_fig8 },
+        Experiment { id: "fig9", title: "Fig. 9 — RX power from serving BS (B)", render: fig9_11::render_fig9 },
+        Experiment { id: "fig10", title: "Fig. 10 — RX power from 1st neighbour (B)", render: fig9_11::render_fig10 },
+        Experiment { id: "fig11", title: "Fig. 11 — RX power from 2nd neighbour (B)", render: fig9_11::render_fig11 },
+        Experiment { id: "fig12", title: "Fig. 12 — 3 measurement points (A)", render: fig12_13::render_fig12 },
+        Experiment { id: "fig13", title: "Fig. 13 — 3 measurement points (B)", render: fig12_13::render_fig13 },
+        Experiment { id: "table3", title: "Table 3 — scenario A speed sweep", render: table3_4::render_table3 },
+        Experiment { id: "table4", title: "Table 4 — scenario B speed sweep", render: table3_4::render_table4 },
+        Experiment { id: "baselines", title: "Extension — fuzzy vs conventional algorithms", render: baselines::render },
+        Experiment { id: "ablation", title: "Extension — defuzzifier / operator ablation", render: ablation::render },
+        Experiment { id: "fading", title: "Extension — shadow-fading robustness sweep", render: fading::render },
+        Experiment { id: "surface", title: "Extension — FLC control surface", render: surface::render },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_unique_and_ordered() {
+        let reg = registry();
+        assert_eq!(reg.len(), 17);
+        let ids: std::collections::HashSet<_> = reg.iter().map(|e| e.id).collect();
+        assert_eq!(ids.len(), reg.len());
+        assert_eq!(reg[0].id, "table1");
+        assert_eq!(reg[12].id, "table4");
+        assert_eq!(reg.last().unwrap().id, "surface");
+    }
+}

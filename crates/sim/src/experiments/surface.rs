@@ -1,0 +1,136 @@
+//! Extension experiment — the FLC control surface.
+//!
+//! HD over the (SSN, DMB) plane at a fixed CSSP slice, rendered as a
+//! character heat map. Makes the 64-rule table's geometry visible: the
+//! high-HD plateau sits exactly at (strong neighbour, far from serving),
+//! and the 0.7 threshold contour separates it from the boundary regime.
+
+use crate::table::fmt_f;
+use handover_core::flc::{build_paper_flc, CSSP_INPUT, DMB_INPUT, SSN_INPUT};
+
+/// Surface resolution.
+const NX: usize = 33;
+const NY: usize = 17;
+
+/// CSSP slices rendered by the experiment.
+pub const CSSP_SLICES: [f64; 3] = [-6.0, -2.0, 2.0];
+
+/// Sample the HD surface over (SSN, DMB) for a fixed CSSP.
+pub fn data(cssp_db: f64) -> Vec<Vec<f64>> {
+    let fis = build_paper_flc();
+    fis.control_surface(
+        SSN_INPUT,
+        DMB_INPUT,
+        &{
+            let mut fixed = [0.0; 3];
+            fixed[CSSP_INPUT] = cssp_db;
+            fixed
+        },
+        NX,
+        NY,
+        0,
+    )
+    .expect("the paper FLC accepts the whole plane")
+}
+
+fn glyph(hd: f64) -> char {
+    match hd {
+        h if h > 0.8 => '#',
+        h if h > 0.7 => '+',
+        h if h > 0.55 => ':',
+        h if h > 0.4 => '.',
+        _ => ' ',
+    }
+}
+
+/// Render the heat maps for every CSSP slice.
+pub fn render() -> String {
+    let fis = build_paper_flc();
+    let ssn = &fis.inputs()[SSN_INPUT];
+    let dmb = &fis.inputs()[DMB_INPUT];
+    let mut out = String::from("Extension — HD control surface over (SSN, DMB)\n");
+    out.push_str("legend: ' '≤0.4 < '.' ≤0.55 < ':' ≤0.7 < '+' ≤0.8 < '#'  (handover above '+')\n\n");
+    for cssp in CSSP_SLICES {
+        out.push_str(&format!(
+            "CSSP = {} dB   (x: SSN {}..{} dBm, y: DMB {}..{})\n",
+            fmt_f(cssp, 1),
+            ssn.min,
+            ssn.max,
+            dmb.min,
+            dmb.max
+        ));
+        let surface = data(cssp);
+        // Render with DMB increasing upward.
+        for row in surface.iter().rev() {
+            let line: String = row.iter().map(|&hd| glyph(hd)).collect();
+            out.push_str("  |");
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out.push_str("  +");
+        out.push_str(&"-".repeat(NX));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_shape_and_bounds() {
+        let s = data(-3.5);
+        assert_eq!(s.len(), NY);
+        assert_eq!(s[0].len(), NX);
+        for row in &s {
+            for &hd in row {
+                assert!((0.0..=1.0).contains(&hd));
+            }
+        }
+    }
+
+    #[test]
+    fn handover_plateau_sits_at_strong_and_far() {
+        // For a dropping signal, the top-right corner (strong neighbour,
+        // far away) exceeds the threshold; the bottom-left (weak, near)
+        // does not.
+        let s = data(-6.0);
+        let top_right = s[NY - 1][NX - 1];
+        let bottom_left = s[0][0];
+        assert!(top_right > 0.7, "strong/far corner: {top_right}");
+        assert!(bottom_left < 0.5, "weak/near corner: {bottom_left}");
+    }
+
+    #[test]
+    fn improving_signal_flattens_the_surface() {
+        // At CSSP = +2 dB (improving) the whole surface stays below the
+        // clearly-handover band except the ST/FA corner rules.
+        let s = data(2.0);
+        let above: usize = s
+            .iter()
+            .flat_map(|row| row.iter())
+            .filter(|&&hd| hd > 0.8)
+            .count();
+        assert_eq!(above, 0, "no '#' region when the serving signal improves");
+    }
+
+    #[test]
+    fn surface_monotone_in_ssn_along_rows() {
+        let s = data(-4.0);
+        for row in &s {
+            for w in row.windows(2) {
+                assert!(w[1] >= w[0] - 0.06, "row not monotone: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn render_draws_all_slices() {
+        let s = render();
+        for cssp in CSSP_SLICES {
+            assert!(s.contains(&format!("CSSP = {cssp:.1} dB")));
+        }
+        assert!(s.contains('#'), "a handover plateau is visible");
+    }
+}

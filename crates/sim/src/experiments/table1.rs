@@ -1,0 +1,51 @@
+//! Table 1 — the 64-rule Fuzzy Rule Base, rendered exactly like the paper
+//! (two side-by-side 32-rule columns).
+
+use crate::table::TextTable;
+use handover_core::flc::PAPER_FRB;
+
+/// Render the FRB in the paper's layout.
+pub fn render() -> String {
+    let mut t = TextTable::new("Table 1 — FRB (64 rules)").headers([
+        "Rule", "CSSP", "SSN", "DMB", "HD", "│", "Rule", "CSSP", "SSN", "DMB", "HD",
+    ]);
+    for k in 0..32 {
+        let a = &PAPER_FRB[k];
+        let b = &PAPER_FRB[k + 32];
+        t.row([
+            a.number.to_string(),
+            a.cssp.label().to_string(),
+            a.ssn.label().to_string(),
+            a.dmb.label().to_string(),
+            a.hd.label().to_string(),
+            "│".to_string(),
+            b.number.to_string(),
+            b.cssp.label().to_string(),
+            b.ssn.label().to_string(),
+            b.dmb.label().to_string(),
+            b.hd.label().to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_64_rules() {
+        let s = render();
+        // Title (2 lines) + header + separator + 32 data rows.
+        assert_eq!(s.lines().count(), 32 + 4);
+        // Spot-check the paper's corners.
+        let lines: Vec<&str> = s.lines().collect();
+        let first = lines[4];
+        assert!(first.starts_with('1'), "row 1: {first}");
+        assert!(first.contains("SM") && first.contains("WK") && first.contains("NR"));
+        assert!(first.contains("33") && first.contains("NC"));
+        let last = lines.last().unwrap();
+        assert!(last.starts_with("32") && last.contains("64"));
+        assert!(last.contains("BG") && last.contains("ST") && last.contains("FA"));
+    }
+}

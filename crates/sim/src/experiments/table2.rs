@@ -1,0 +1,101 @@
+//! Table 2 — the simulation parameters.
+
+use crate::params::PaperParams;
+use crate::table::TextTable;
+
+/// Render the parameter table (paper values; the active choice is the one
+/// the scenario plots use).
+pub fn render() -> String {
+    let p = PaperParams::paper();
+    let mut t = TextTable::new("Table 2 — simulation parameters")
+        .headers(["Parameter", "Paper", "Active"]);
+    t.row([
+        "Distribution law",
+        "Gaussian",
+        if p.gaussian_steps { "Gaussian" } else { "uniform" },
+    ]);
+    t.row([
+        "Number of walks".to_string(),
+        "5, 10".to_string(),
+        format!("{} (A), {} (B)", p.n_walks_a, p.n_walks_b),
+    ]);
+    t.row([
+        "Random types (iseed)".to_string(),
+        "100, 200".to_string(),
+        format!(
+            "StdRng seeds {} (A), {} (B)",
+            crate::scenario::SCENARIO_A_SEED,
+            crate::scenario::SCENARIO_B_SEED
+        ),
+    ]);
+    t.row([
+        "Cell radius".to_string(),
+        "1 km, 2 km".to_string(),
+        format!("{} km", p.cell_radius_km),
+    ]);
+    t.row([
+        "Transmission power".to_string(),
+        "10 W, 20 W".to_string(),
+        format!("{} W", p.tx_power_w),
+    ]);
+    t.row(["Frequency".to_string(), "2000 MHz".to_string(), format!("{} MHz", p.frequency_mhz)]);
+    t.row([
+        "TX antenna beam tilt".to_string(),
+        "3°".to_string(),
+        format!("{}°", p.beam_tilt_deg),
+    ]);
+    t.row([
+        "TX antenna height".to_string(),
+        "40 m".to_string(),
+        format!("{} m", p.tx_antenna_height_m),
+    ]);
+    t.row([
+        "RX antenna height".to_string(),
+        "1.5 m".to_string(),
+        format!("{} m", p.rx_antenna_height_m),
+    ]);
+    t.row([
+        "Average walk length".to_string(),
+        "0.6 km".to_string(),
+        format!("{} km", p.avg_walk_km),
+    ]);
+    t.row([
+        "Path-loss exponent n".to_string(),
+        "1.1".to_string(),
+        format!("{} (field model; calibrated log-distance for plots)", p.field_exponent_n),
+    ]);
+    t.row([
+        "Handover threshold".to_string(),
+        "HD > 0.7".to_string(),
+        format!("HD > {}", p.hd_threshold),
+    ]);
+    t.row([
+        "Speed penalty".to_string(),
+        "2 dB / 10 km/h".to_string(),
+        format!("{} dB / 10 km/h", p.db_per_10kmh),
+    ]);
+    t.row(["Repetitions".to_string(), "10".to_string(), format!("{}", p.repetitions)]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_every_table2_row() {
+        let s = super::render();
+        for needle in [
+            "Gaussian",
+            "2000 MHz",
+            "3°",
+            "40 m",
+            "1.5 m",
+            "0.6 km",
+            "1.1",
+            "HD > 0.7",
+            "2 dB / 10 km/h",
+        ] {
+            assert!(s.contains(needle), "missing `{needle}` in:\n{s}");
+        }
+        assert!(s.lines().count() >= 17);
+    }
+}

@@ -1,0 +1,398 @@
+//! Tables 3 and 4 — the speed sweep at three measurement points.
+//!
+//! The paper's methodology (visible in its tables: CSSP and distance rows
+//! are constant across speeds while the neighbour row drops exactly
+//! 2 dB per 10 km/h): measurement points are frozen from the scenario
+//! walk, then the FLC is re-evaluated per speed with the penalised SSN,
+//! averaged over 10 noisy repetitions.
+//!
+//! * **Table 3** (scenario A): the three most handover-tempted samples of
+//!   the boundary walk; every averaged output must stay below 0.7 —
+//!   the ping-pong is avoided.
+//! * **Table 4** (scenario B): per executed handover, the approach sample
+//!   and the deepest-penetration sample of the entered cell (measured
+//!   against the *previous* serving BS, as the paper's 1.8–3 km distances
+//!   indicate); the deep sub-measurement must exceed 0.7 at every speed —
+//!   "the proposed system in all cases has done 3 handovers".
+
+use crate::engine::{SimConfig, Simulation};
+use crate::scenario::Scenario;
+use crate::table::{fmt_f, TextTable};
+use cellgeom::Vec2;
+use handover_core::{ControllerConfig, FlcInputs, FuzzyHandoverController};
+use radiolink::MeasurementNoise;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-repetition jitter applied to the frozen inputs, in dB (models the
+/// measurement spread the paper averages away over its 10 runs).
+const REP_NOISE_DB: f64 = 0.3;
+
+/// One frozen measurement point: two sub-measurements of (CSSP, SSN,
+/// distance), as in the paper's two columns per point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointInputs {
+    /// Point label ("Point 1"…).
+    pub label: String,
+    /// CSSP of the two sub-measurements, dB.
+    pub cssp_db: [f64; 2],
+    /// Neighbour RSS of the two sub-measurements at 0 km/h, dBm.
+    pub ssn_dbm: [f64; 2],
+    /// Distance to the serving BS, km.
+    pub distance_km: [f64; 2],
+}
+
+/// A full sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepTable {
+    /// "A" or "B".
+    pub scenario: &'static str,
+    /// The frozen measurement points.
+    pub points: Vec<PointInputs>,
+    /// Swept speeds, km/h.
+    pub speeds: Vec<f64>,
+    /// `hd[speed][point][sub]`: 10-repetition mean FLC outputs.
+    pub hd: Vec<Vec<[f64; 2]>>,
+    /// Cell radius used for DMB normalisation.
+    pub cell_radius_km: f64,
+}
+
+fn controller() -> FuzzyHandoverController {
+    FuzzyHandoverController::new(ControllerConfig::paper_default(
+        SimConfig::paper_default().layout.cell_radius_km(),
+    ))
+}
+
+/// Mean (fading-free) RSS from a cell's BS at a position.
+fn mean_rss(cfg: &SimConfig, cell: cellgeom::Axial, pos: Vec2) -> f64 {
+    cfg.radio.received_power_dbm(cfg.layout.bs_position(cell), pos)
+}
+
+/// Freeze the three scenario-A measurement points: the samples with the
+/// highest offline FLC output (the moments a handover was most tempting).
+pub fn scenario_a_points() -> Vec<PointInputs> {
+    let cfg = SimConfig::paper_default();
+    let sim = Simulation::new(cfg.clone());
+    let mut policy = controller();
+    let run = sim.run(&Scenario::a().trajectory(), &mut policy, 0);
+    let ctl = controller();
+    let radius = cfg.layout.cell_radius_km();
+
+    // Offline HD for every interior sample (needs a predecessor for CSSP
+    // and a successor for the second sub-measurement).
+    let offline_hd = |k: usize| -> f64 {
+        let s = &run.steps[k];
+        let prev = &run.steps[k - 1];
+        let inputs = FlcInputs::from_measurements(
+            s.serving_rss_dbm,
+            Some(prev.serving_rss_dbm),
+            s.neighbor_rss_dbm,
+            s.distance_to_serving_km,
+            radius,
+        );
+        ctl.evaluate_hd(&inputs)
+    };
+
+    let mut candidates: Vec<(usize, f64)> =
+        (1..run.steps.len() - 1).map(|k| (k, offline_hd(k))).collect();
+    candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("HD is finite"));
+    let mut chosen: Vec<usize> = Vec::new();
+    for (k, _) in candidates {
+        if chosen.iter().all(|c| c.abs_diff(k) >= 2) {
+            chosen.push(k);
+            if chosen.len() == 3 {
+                break;
+            }
+        }
+    }
+    assert_eq!(chosen.len(), 3, "scenario A yields three separated points");
+    chosen.sort_unstable();
+
+    chosen
+        .iter()
+        .enumerate()
+        .map(|(idx, &k)| {
+            let sub = |j: usize| {
+                let s = &run.steps[k + j];
+                let prev = &run.steps[k + j - 1];
+                (
+                    s.serving_rss_dbm - prev.serving_rss_dbm,
+                    s.neighbor_rss_dbm,
+                    s.distance_to_serving_km,
+                )
+            };
+            let (c0, s0, d0) = sub(0);
+            let (c1, s1, d1) = sub(1);
+            PointInputs {
+                label: format!("Point {}", idx + 1),
+                cssp_db: [c0, c1],
+                ssn_dbm: [s0, s1],
+                distance_km: [d0, d1],
+            }
+        })
+        .collect()
+}
+
+/// Freeze the three scenario-B measurement points: per handover, the
+/// approach sample (just before the handover fired) and the deepest
+/// sample inside the entered cell, both measured against the old serving
+/// BS.
+pub fn scenario_b_points() -> Vec<PointInputs> {
+    let cfg = SimConfig::paper_default();
+    let sim = Simulation::new(cfg.clone());
+    let mut policy = controller();
+    let run = sim.run(&Scenario::b().trajectory(), &mut policy, 0);
+    let events = run.log.events().to_vec();
+    assert_eq!(events.len(), 3, "scenario B executes exactly three handovers");
+
+    events
+        .iter()
+        .enumerate()
+        .map(|(idx, e)| {
+            let from = e.from;
+            let to = e.to;
+            // Sub-measurement 1: the handover sample itself (serving still
+            // the old BS in the engine's report).
+            let h = e.step;
+            let s1 = &run.steps[h];
+            let p1 = &run.steps[h - 1];
+            let cssp1 = s1.serving_rss_dbm - p1.serving_rss_dbm;
+            let ssn1 = mean_rss(&cfg, to, s1.pos);
+            let dist1 = cfg.layout.distance_to_bs(from, s1.pos);
+
+            // Sub-measurement 2: the deepest sample of the entered cell's
+            // serving period, judged by distance to the new BS, with all
+            // quantities still measured against the old serving BS.
+            let end = events.get(idx + 1).map(|n| n.step).unwrap_or(run.steps.len());
+            let deep = run.steps[h + 1..end]
+                .iter()
+                .min_by(|a, b| {
+                    cfg.layout
+                        .distance_to_bs(to, a.pos)
+                        .partial_cmp(&cfg.layout.distance_to_bs(to, b.pos))
+                        .expect("distances are finite")
+                })
+                .unwrap_or(s1);
+            let k = deep.step;
+            let prev_pos = run.steps[k - 1].pos;
+            let cssp2 = mean_rss(&cfg, from, deep.pos) - mean_rss(&cfg, from, prev_pos);
+            let ssn2 = mean_rss(&cfg, to, deep.pos);
+            let dist2 = cfg.layout.distance_to_bs(from, deep.pos);
+
+            PointInputs {
+                label: format!("Point {}", idx + 1),
+                cssp_db: [cssp1, cssp2],
+                ssn_dbm: [ssn1, ssn2],
+                distance_km: [dist1, dist2],
+            }
+        })
+        .collect()
+}
+
+/// Sweep the frozen points over the paper's speeds, averaging the FLC
+/// output over 10 noisy repetitions (paper §5).
+pub fn sweep(scenario: &'static str, points: Vec<PointInputs>) -> SweepTable {
+    let params = crate::params::PaperParams::paper();
+    let radius = params.cell_radius_km;
+    let ctl = controller();
+    let noise = MeasurementNoise::new(REP_NOISE_DB);
+    let speeds: Vec<f64> = params.speeds_kmh.to_vec();
+
+    let hd = speeds
+        .iter()
+        .map(|&v| {
+            points
+                .iter()
+                .enumerate()
+                .map(|(pi, p)| {
+                    let mut out = [0.0f64; 2];
+                    for (sub, slot) in out.iter_mut().enumerate() {
+                        let mut acc = 0.0;
+                        for rep in 0..params.repetitions {
+                            // One deterministic stream per (point, sub, rep).
+                            let seed = 0x5EED_0000
+                                + (pi as u64) * 1000
+                                + (sub as u64) * 100
+                                + rep as u64;
+                            let mut rng = StdRng::seed_from_u64(seed);
+                            let inputs = FlcInputs {
+                                cssp_db: noise.apply(p.cssp_db[sub], &mut rng),
+                                ssn_dbm: noise
+                                    .apply(p.ssn_dbm[sub] - params.db_per_10kmh / 10.0 * v, &mut rng),
+                                dmb_norm: p.distance_km[sub] / radius,
+                            };
+                            acc += ctl.evaluate_hd(&inputs);
+                        }
+                        *slot = acc / params.repetitions as f64;
+                    }
+                    out
+                })
+                .collect()
+        })
+        .collect();
+
+    SweepTable { scenario, points, speeds, hd, cell_radius_km: radius }
+}
+
+/// Table 3 data (scenario A).
+pub fn table3_data() -> SweepTable {
+    sweep("A", scenario_a_points())
+}
+
+/// Table 4 data (scenario B).
+pub fn table4_data() -> SweepTable {
+    sweep("B", scenario_b_points())
+}
+
+/// Render a sweep in the paper's row layout.
+pub fn render_sweep(title: &str, data: &SweepTable) -> String {
+    let mut t = TextTable::new(title).headers([
+        "Speed".to_string(),
+        "Row".to_string(),
+        format!("{} (1)", data.points[0].label),
+        format!("{} (2)", data.points[0].label),
+        format!("{} (1)", data.points[1].label),
+        format!("{} (2)", data.points[1].label),
+        format!("{} (1)", data.points[2].label),
+        format!("{} (2)", data.points[2].label),
+    ]);
+    for (si, &v) in data.speeds.iter().enumerate() {
+        let speed = format!("{v:.0} km/h");
+        let mut cssp = vec![speed.clone(), "CSSP BS [dB]".into()];
+        let mut ssn = vec![String::new(), "Neighbor BS [dBm]".into()];
+        let mut dist = vec![String::new(), "Distance [km]".into()];
+        let mut hd = vec![String::new(), "System Output Value".into()];
+        for (pi, p) in data.points.iter().enumerate() {
+            for sub in 0..2 {
+                cssp.push(fmt_f(p.cssp_db[sub], 3));
+                ssn.push(fmt_f(p.ssn_dbm[sub] - 0.2 * v, 2));
+                dist.push(fmt_f(p.distance_km[sub], 3));
+                hd.push(fmt_f(data.hd[si][pi][sub], 3));
+            }
+        }
+        t.row(cssp);
+        t.row(ssn);
+        t.row(dist);
+        t.row(hd);
+    }
+    t.render()
+}
+
+/// Render Table 3.
+pub fn render_table3() -> String {
+    let data = table3_data();
+    let mut out = render_sweep("Table 3 — simulation results, scenario A (iseed=100)", &data);
+    let max = data
+        .hd
+        .iter()
+        .flatten()
+        .flat_map(|p| p.iter())
+        .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    out.push_str(&format!(
+        "\nmax output {:.3} < 0.7 at every point and speed → no handover, ping-pong avoided\n",
+        max
+    ));
+    out
+}
+
+/// Render Table 4.
+pub fn render_table4() -> String {
+    let data = table4_data();
+    let mut out = render_sweep("Table 4 — simulation results, scenario B (iseed=200)", &data);
+    let min_deep = data
+        .hd
+        .iter()
+        .flat_map(|speed| speed.iter().map(|p| p[1]))
+        .fold(f64::INFINITY, f64::min);
+    out.push_str(&format!(
+        "\nmin deep-sample output {:.3} > 0.7 at every speed → 3 handovers in all cases\n",
+        min_deep
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_every_output_below_threshold() {
+        let data = table3_data();
+        assert_eq!(data.speeds.len(), 6);
+        assert_eq!(data.points.len(), 3);
+        for (si, speed_row) in data.hd.iter().enumerate() {
+            for (pi, point) in speed_row.iter().enumerate() {
+                for (sub, &hd) in point.iter().enumerate() {
+                    assert!(
+                        hd < 0.7,
+                        "A point {pi} sub {sub} speed {} gives {hd}",
+                        data.speeds[si]
+                    );
+                    assert!(hd > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table3_points_match_paper_envelope() {
+        // Boundary measurements stay within one cell radius of the serving
+        // BS and never show an *improving* signal strong enough to matter.
+        // (The CSSP lower bound is looser than the paper's −8 dB because
+        // the calibrated propagation is steeper near the mast; the FLC
+        // clamps at the −10 dB universe edge.)
+        for p in scenario_a_points() {
+            for sub in 0..2 {
+                assert!((-30.0..=8.0).contains(&p.cssp_db[sub]), "CSSP {p:?}");
+                assert!(p.distance_km[sub] < 2.2, "distance {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn table4_deep_outputs_above_threshold_at_every_speed() {
+        let data = table4_data();
+        for (si, speed_row) in data.hd.iter().enumerate() {
+            for (pi, point) in speed_row.iter().enumerate() {
+                assert!(
+                    point[1] > 0.7,
+                    "B point {pi} deep sample at {} km/h gives {}",
+                    data.speeds[si],
+                    point[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table4_points_are_the_three_crossings() {
+        let points = scenario_b_points();
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            // Deep sub-measurement sits far from the old serving BS
+            // (the paper's 1.8–3 km band).
+            assert!(p.distance_km[1] > 1.6, "{p:?}");
+            // And the neighbour is healthy at 0 km/h.
+            assert!(p.ssn_dbm[1] > -102.0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn speed_only_shifts_ssn() {
+        // Within a sweep the frozen CSSP/distance are shared by all
+        // speeds; only the SSN row and the outputs change — the paper's
+        // table structure.
+        let data = table4_data();
+        let rendered = render_sweep("t", &data);
+        // CSSP row of point 1 sub 1 appears 6 times (once per speed).
+        let needle = fmt_f(data.points[0].cssp_db[0], 3);
+        let hits = rendered.matches(&needle).count();
+        assert!(hits >= 6, "frozen CSSP repeated per speed ({hits}x)");
+    }
+
+    #[test]
+    fn renders_contain_verdicts() {
+        assert!(render_table3().contains("ping-pong avoided"));
+        assert!(render_table4().contains("3 handovers in all cases"));
+    }
+}

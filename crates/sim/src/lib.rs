@@ -1,0 +1,31 @@
+//! # handover-sim
+//!
+//! Simulation engine and experiment harness for the fuzzy-handover
+//! reproduction.
+//!
+//! * [`params`] — the paper's Table 2 simulation parameters.
+//! * [`engine`] — the measurement/decision loop binding mobility, radio,
+//!   cell geometry and a [`handover_core::HandoverPolicy`].
+//! * [`scenario`] — the two pinned paper scenarios (A ≈ `iseed = 100`,
+//!   boundary walk; B ≈ `iseed = 200`, cell-crossing walk) plus the seed
+//!   search that found them.
+//! * [`monte_carlo`] — N-repetition averaging, sequentially or on a
+//!   crossbeam thread pool.
+//! * [`experiments`] — one module per paper table/figure; the `repro`
+//!   binary prints them all.
+//! * [`table`] / [`series`] — plain-text renderers for tables and plots.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod engine;
+pub mod experiments;
+pub mod monte_carlo;
+pub mod params;
+pub mod scenario;
+pub mod series;
+pub mod table;
+
+pub use engine::{SimConfig, SimResult, Simulation, StepRecord};
+pub use params::PaperParams;
+pub use scenario::{Scenario, SCENARIO_A_SEED, SCENARIO_B_SEED};

@@ -1,0 +1,193 @@
+//! Monte-Carlo repetition: the paper "carried out 10 times simulations and
+//! calculated the average values". Repetitions differ only in the RNG
+//! stream (shadowing + measurement noise); they can run sequentially or on
+//! a crossbeam thread pool.
+
+use crate::engine::{SimResult, Simulation};
+use handover_core::HandoverPolicy;
+use mobility::Trajectory;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics over a batch of runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct McSummary {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Mean handover count per run.
+    pub mean_handovers: f64,
+    /// Standard deviation of the handover count.
+    pub std_handovers: f64,
+    /// Mean ping-pong count per run (window from the sim config).
+    pub mean_ping_pongs: f64,
+    /// Mean outage ratio per run.
+    pub mean_outage: f64,
+    /// Mean of all FLC outputs observed across all runs (NaN when the
+    /// policy never ran the FLC).
+    pub mean_hd: f64,
+}
+
+/// Run `reps` repetitions sequentially. `make_policy` builds a fresh
+/// policy per run; run `k` uses seed `base_seed + k`.
+pub fn run_repetitions(
+    sim: &Simulation,
+    trajectory: &Trajectory,
+    make_policy: impl Fn() -> Box<dyn HandoverPolicy + Send>,
+    base_seed: u64,
+    reps: usize,
+) -> Vec<SimResult> {
+    assert!(reps >= 1, "need at least one repetition");
+    (0..reps)
+        .map(|k| {
+            let mut policy = make_policy();
+            sim.run(trajectory, policy.as_mut(), base_seed + k as u64)
+        })
+        .collect()
+}
+
+/// Run `reps` repetitions on `threads` crossbeam-scoped workers. Results
+/// are returned in repetition order and are bit-identical to the
+/// sequential version (each repetition owns its seed).
+pub fn run_repetitions_parallel(
+    sim: &Simulation,
+    trajectory: &Trajectory,
+    make_policy: impl Fn() -> Box<dyn HandoverPolicy + Send> + Sync,
+    base_seed: u64,
+    reps: usize,
+    threads: usize,
+) -> Vec<SimResult> {
+    assert!(reps >= 1, "need at least one repetition");
+    let threads = threads.clamp(1, reps);
+    let results: Mutex<Vec<(usize, SimResult)>> = Mutex::new(Vec::with_capacity(reps));
+    crossbeam::scope(|scope| {
+        for t in 0..threads {
+            let results = &results;
+            let make_policy = &make_policy;
+            scope.spawn(move |_| {
+                // Static round-robin split keeps the partition independent
+                // of thread scheduling.
+                let mut k = t;
+                while k < reps {
+                    let mut policy = make_policy();
+                    let r = sim.run(trajectory, policy.as_mut(), base_seed + k as u64);
+                    results.lock().push((k, r));
+                    k += threads;
+                }
+            });
+        }
+    })
+    .expect("monte-carlo workers do not panic");
+    let mut out = results.into_inner();
+    out.sort_by_key(|(k, _)| *k);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Aggregate a batch of runs.
+pub fn summarize(results: &[SimResult], pingpong_window: usize) -> McSummary {
+    assert!(!results.is_empty(), "cannot summarize zero runs");
+    let n = results.len() as f64;
+    let counts: Vec<f64> = results.iter().map(|r| r.handover_count() as f64).collect();
+    let mean_handovers = counts.iter().sum::<f64>() / n;
+    let var = counts.iter().map(|c| (c - mean_handovers).powi(2)).sum::<f64>() / n;
+    let mean_ping_pongs = results
+        .iter()
+        .map(|r| r.log.ping_pong_report(pingpong_window).ping_pongs as f64)
+        .sum::<f64>()
+        / n;
+    let mean_outage = results.iter().map(|r| r.log.outage_ratio()).sum::<f64>() / n;
+    let mut hd_sum = 0.0;
+    let mut hd_count = 0usize;
+    for r in results {
+        for hd in r.hd_values() {
+            hd_sum += hd;
+            hd_count += 1;
+        }
+    }
+    McSummary {
+        runs: results.len(),
+        mean_handovers,
+        std_handovers: var.sqrt(),
+        mean_ping_pongs,
+        mean_outage,
+        mean_hd: if hd_count == 0 { f64::NAN } else { hd_sum / hd_count as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SimConfig;
+    use cellgeom::Vec2;
+    use handover_core::{ControllerConfig, FuzzyHandoverController};
+    use radiolink::{MeasurementNoise, ShadowingConfig};
+
+    fn noisy_sim() -> Simulation {
+        let mut cfg = SimConfig::paper_default();
+        cfg.shadowing = ShadowingConfig { sigma_db: 4.0, decorrelation_km: 0.05 };
+        cfg.noise = MeasurementNoise::new(1.0);
+        Simulation::new(cfg)
+    }
+
+    fn crossing_walk() -> Trajectory {
+        Trajectory::new(vec![Vec2::ZERO, Vec2::new(6.5, 0.0)])
+    }
+
+    fn fuzzy() -> Box<dyn HandoverPolicy + Send> {
+        Box::new(FuzzyHandoverController::new(ControllerConfig::paper_default(2.0)))
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let sim = noisy_sim();
+        let t = crossing_walk();
+        let seq = run_repetitions(&sim, &t, fuzzy, 77, 6);
+        let par = run_repetitions_parallel(&sim, &t, fuzzy, 77, 6, 3);
+        assert_eq!(seq, par, "bit-identical results regardless of threading");
+    }
+
+    #[test]
+    fn parallel_with_more_threads_than_reps() {
+        let sim = noisy_sim();
+        let t = crossing_walk();
+        let par = run_repetitions_parallel(&sim, &t, fuzzy, 5, 2, 16);
+        assert_eq!(par.len(), 2);
+    }
+
+    #[test]
+    fn repetitions_differ_by_seed() {
+        let sim = noisy_sim();
+        let t = crossing_walk();
+        let runs = run_repetitions(&sim, &t, fuzzy, 1, 3);
+        // With fading and noise on, different seeds yield different RSS
+        // traces.
+        assert_ne!(runs[0].steps[5].serving_rss_dbm, runs[1].steps[5].serving_rss_dbm);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let sim = noisy_sim();
+        let t = crossing_walk();
+        let runs = run_repetitions(&sim, &t, fuzzy, 9, 10);
+        let s = summarize(&runs, 12);
+        assert_eq!(s.runs, 10);
+        assert!(s.mean_handovers >= 1.0, "crossing walk hands over: {s:?}");
+        assert!(s.std_handovers >= 0.0);
+        assert!((0.0..=1.0).contains(&s.mean_outage));
+        assert!(s.mean_hd.is_finite(), "fuzzy policy exposes HD values");
+        assert!((0.0..=1.0).contains(&s.mean_hd));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_reps_rejected() {
+        let sim = noisy_sim();
+        let t = crossing_walk();
+        let _ = run_repetitions(&sim, &t, fuzzy, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero runs")]
+    fn empty_summary_rejected() {
+        let _ = summarize(&[], 12);
+    }
+}

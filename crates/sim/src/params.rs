@@ -1,0 +1,103 @@
+//! The paper's simulation parameters (Table 2).
+
+use serde::{Deserialize, Serialize};
+
+/// Table 2 of the paper, as a configuration record. The paper lists two
+/// values for several rows (cell radius 1/2 km, TX power 10/20 W, walks
+/// 5/10, seeds 100/200); the defaults here are the values its scenario
+/// plots actually use (R = 2 km, 10 W).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaperParams {
+    /// Step-length distribution of the random walk ("Gaussian" in
+    /// Table 2).
+    pub gaussian_steps: bool,
+    /// Number of walks (`nwalk`): 5 for scenario A, 10 for scenario B.
+    pub n_walks_a: usize,
+    /// Number of walks for scenario B.
+    pub n_walks_b: usize,
+    /// Cell radius in km (Table 2: 1 or 2; plots use 2).
+    pub cell_radius_km: f64,
+    /// Transmission power in W (Table 2: 10 or 20; plots use 10).
+    pub tx_power_w: f64,
+    /// Carrier frequency in MHz.
+    pub frequency_mhz: f64,
+    /// Transmission-antenna beam tilt in degrees.
+    pub beam_tilt_deg: f64,
+    /// Transmission-antenna height in m.
+    pub tx_antenna_height_m: f64,
+    /// Receiving-antenna (MS) height in m.
+    pub rx_antenna_height_m: f64,
+    /// Average walk length in km.
+    pub avg_walk_km: f64,
+    /// Path-loss amplitude exponent `n` of the paper's field model.
+    pub field_exponent_n: f64,
+    /// Handover threshold on the FLC output.
+    pub hd_threshold: f64,
+    /// Signal degradation per 10 km/h of MS speed, in dB (paper §5).
+    pub db_per_10kmh: f64,
+    /// Number of Monte-Carlo repetitions averaged per configuration.
+    pub repetitions: usize,
+    /// Speeds evaluated in Tables 3/4, km/h.
+    pub speeds_kmh: [f64; 6],
+}
+
+impl Default for PaperParams {
+    fn default() -> Self {
+        PaperParams {
+            gaussian_steps: true,
+            n_walks_a: 5,
+            n_walks_b: 10,
+            cell_radius_km: 2.0,
+            tx_power_w: 10.0,
+            frequency_mhz: 2000.0,
+            beam_tilt_deg: 3.0,
+            tx_antenna_height_m: 40.0,
+            rx_antenna_height_m: 1.5,
+            avg_walk_km: 0.6,
+            field_exponent_n: 1.1,
+            hd_threshold: 0.7,
+            db_per_10kmh: 2.0,
+            repetitions: 10,
+            speeds_kmh: [0.0, 10.0, 20.0, 30.0, 40.0, 50.0],
+        }
+    }
+}
+
+impl PaperParams {
+    /// The paper's Table 2 defaults.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        let p = PaperParams::paper();
+        assert!(p.gaussian_steps);
+        assert_eq!(p.n_walks_a, 5);
+        assert_eq!(p.n_walks_b, 10);
+        assert_eq!(p.cell_radius_km, 2.0);
+        assert_eq!(p.tx_power_w, 10.0);
+        assert_eq!(p.frequency_mhz, 2000.0);
+        assert_eq!(p.beam_tilt_deg, 3.0);
+        assert_eq!(p.tx_antenna_height_m, 40.0);
+        assert_eq!(p.rx_antenna_height_m, 1.5);
+        assert_eq!(p.avg_walk_km, 0.6);
+        assert_eq!(p.field_exponent_n, 1.1);
+        assert_eq!(p.hd_threshold, 0.7);
+        assert_eq!(p.db_per_10kmh, 2.0);
+        assert_eq!(p.repetitions, 10);
+        assert_eq!(p.speeds_kmh, [0.0, 10.0, 20.0, 30.0, 40.0, 50.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = PaperParams::paper();
+        let back: PaperParams = serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,177 @@
+//! Numeric (x, y) series and a small ASCII plotter for the figure
+//! experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// A labelled (x, y) series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points, in x order for plots.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// New, empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Minimum and maximum y (None when empty or all-NaN).
+    pub fn y_range(&self) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &(_, y) in &self.points {
+            if y.is_finite() {
+                lo = lo.min(y);
+                hi = hi.max(y);
+            }
+        }
+        (lo <= hi).then_some((lo, hi))
+    }
+
+    /// Render as gnuplot-compatible two-column text.
+    pub fn to_tsv(&self) -> String {
+        let mut out = format!("# {}\n", self.label);
+        for &(x, y) in &self.points {
+            out.push_str(&format!("{x:.6}\t{y:.6}\n"));
+        }
+        out
+    }
+}
+
+/// Plot one or more series on a character grid. Each series uses its own
+/// glyph (`*`, `+`, `o`, `x`, …); axes carry min/max annotations.
+pub fn ascii_plot(series: &[Series], width: usize, height: usize, title: &str) -> String {
+    assert!(width >= 16 && height >= 4, "plot area too small");
+    const GLYPHS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in series {
+        for &(x, y) in &s.points {
+            if x.is_finite() && y.is_finite() {
+                x_lo = x_lo.min(x);
+                x_hi = x_hi.max(x);
+                y_lo = y_lo.min(y);
+                y_hi = y_hi.max(y);
+            }
+        }
+    }
+    if x_lo > x_hi {
+        return format!("{title}\n(no data)\n");
+    }
+    if x_hi == x_lo {
+        x_hi = x_lo + 1.0;
+    }
+    if y_hi == y_lo {
+        y_hi = y_lo + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            if !(x.is_finite() && y.is_finite()) {
+                continue;
+            }
+            let cx = ((x - x_lo) / (x_hi - x_lo) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
+    }
+    out.push_str(&format!("{y_hi:>10.2} ┐\n"));
+    for row in &grid {
+        out.push_str("           │");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{y_lo:>10.2} ┘"));
+    out.push_str(&format!(
+        "  x: [{x_lo:.2} … {x_hi:.2}]\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_basics() {
+        let mut s = Series::new("rx");
+        s.push(0.0, -60.0);
+        s.push(1.0, -80.0);
+        assert_eq!(s.y_range(), Some((-80.0, -60.0)));
+        let tsv = s.to_tsv();
+        assert!(tsv.starts_with("# rx\n"));
+        assert!(tsv.contains("0.000000\t-60.000000"));
+    }
+
+    #[test]
+    fn empty_series_has_no_range() {
+        assert_eq!(Series::new("e").y_range(), None);
+        let mut nan_only = Series::new("n");
+        nan_only.push(0.0, f64::NAN);
+        assert_eq!(nan_only.y_range(), None);
+    }
+
+    #[test]
+    fn plot_contains_glyphs_and_bounds() {
+        let mut s = Series::new("data");
+        for k in 0..20 {
+            s.push(k as f64, (k * k) as f64);
+        }
+        let plot = ascii_plot(&[s], 40, 10, "Parabola");
+        assert!(plot.contains("Parabola"));
+        assert!(plot.contains('*'));
+        assert!(plot.contains("361.00"), "max y annotated: {plot}");
+        assert!(plot.contains("0.00"));
+    }
+
+    #[test]
+    fn plot_two_series_distinct_glyphs() {
+        let mut a = Series::new("a");
+        let mut b = Series::new("b");
+        for k in 0..10 {
+            a.push(k as f64, k as f64);
+            b.push(k as f64, 9.0 - k as f64);
+        }
+        let plot = ascii_plot(&[a, b], 30, 8, "Cross");
+        assert!(plot.contains('*') && plot.contains('+'));
+    }
+
+    #[test]
+    fn empty_plot_reports_no_data() {
+        let plot = ascii_plot(&[Series::new("void")], 30, 8, "Empty");
+        assert!(plot.contains("(no data)"));
+    }
+
+    #[test]
+    fn degenerate_ranges_handled() {
+        let mut s = Series::new("flat");
+        s.push(1.0, 5.0);
+        s.push(1.0, 5.0);
+        let plot = ascii_plot(&[s], 20, 5, "Flat");
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_plot_rejected() {
+        let _ = ascii_plot(&[], 4, 2, "nope");
+    }
+}

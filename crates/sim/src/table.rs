@@ -1,0 +1,135 @@
+//! Plain-text table rendering for the experiment reports.
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        TextTable { title: title.into(), ..Default::default() }
+    }
+
+    /// Set the column headers.
+    #[must_use]
+    pub fn headers<S: Into<String>>(mut self, headers: impl IntoIterator<Item = S>) -> Self {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append one row (cells are padded/truncated to the header count at
+    /// render time).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render to a string with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&self.title);
+            out.push('\n');
+            out.push_str(&"=".repeat(self.title.chars().count()));
+            out.push('\n');
+        }
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                line.push_str(&format!("{cell:<width$}"));
+                if i + 1 != widths.len() {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        if !self.headers.is_empty() {
+            out.push_str(&render_row(&self.headers, &widths));
+            out.push('\n');
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with the given precision, rendering NaN as "-".
+pub fn fmt_f(value: f64, precision: usize) -> String {
+    if value.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{value:.precision$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("Demo").headers(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "22.5"]);
+        let s = t.render();
+        assert!(s.contains("Demo\n====\n"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[2], "name   value");
+        assert_eq!(lines[4], "alpha  1");
+        assert_eq!(lines[5], "b      22.5");
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = TextTable::new("").headers(["a", "b", "c"]);
+        t.row(["1"]);
+        t.row(["1", "2", "3", "4"]); // extra cell widens the table
+        let s = t.render();
+        assert!(s.contains('4'));
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn no_title_no_header() {
+        let mut t = TextTable::new("");
+        t.row(["only", "data"]);
+        let s = t.render();
+        assert_eq!(s, "only  data\n");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.6934, 3), "0.693");
+        assert_eq!(fmt_f(-92.4851, 2), "-92.49");
+        assert_eq!(fmt_f(f64::NAN, 2), "-");
+    }
+}

@@ -1,0 +1,59 @@
+//! Best-server map: which BS wins at every point of the plane, and how
+//! much margin it has — the geometry/radio substrate working together.
+//!
+//! ```text
+//! cargo run --release --example coverage_map
+//! ```
+
+use fuzzy_handover::geometry::{CellLayout, Vec2};
+use fuzzy_handover::radio::BsRadio;
+
+fn main() {
+    let layout = CellLayout::hexagonal(2.0, 1);
+    let radio = BsRadio::paper_default();
+
+    // Glyph per cell, in layout (spiral) order.
+    const GLYPHS: [char; 7] = ['O', 'a', 'b', 'c', 'd', 'e', 'f'];
+
+    println!("best-server map (7 cells, R = 2 km); lowercase = margin < 3 dB\n");
+    let extent = 5.0;
+    let rows = 25;
+    let cols = 61;
+    for gy in 0..rows {
+        let y = extent - 2.0 * extent * gy as f64 / (rows - 1) as f64;
+        let mut line = String::new();
+        for gx in 0..cols {
+            let x = -extent + 2.0 * extent * gx as f64 / (cols - 1) as f64;
+            let p = Vec2::new(x, y);
+            let mut powers: Vec<(usize, f64)> = layout
+                .cells()
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| (k, radio.received_power_dbm(layout.bs_position(c), p)))
+                .collect();
+            powers.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            let (best, best_rss) = powers[0];
+            let margin = best_rss - powers[1].1;
+            let glyph = GLYPHS[best % GLYPHS.len()];
+            line.push(if margin < 3.0 {
+                glyph.to_ascii_lowercase()
+            } else {
+                glyph.to_ascii_uppercase()
+            });
+        }
+        println!("{line}");
+    }
+
+    println!("\nlegend:");
+    for (k, &c) in layout.cells().iter().enumerate() {
+        let pos = layout.bs_position(c);
+        println!(
+            "  {} = BS{} at ({:+.2}, {:+.2}) km",
+            GLYPHS[k % GLYPHS.len()].to_ascii_uppercase(),
+            layout.paper_label(c),
+            pos.x,
+            pos.y
+        );
+    }
+    println!("\nthe thin lowercase bands are exactly where ping-pong lives.");
+}

@@ -1,0 +1,74 @@
+//! Build a *custom* fuzzy handover controller with the library: different
+//! membership functions, a hand-written rule set via the text DSL, and a
+//! different defuzzifier — then drive it through the same pipeline and
+//! compare it with the paper controller on the pinned scenarios.
+//!
+//! ```text
+//! cargo run --release --example custom_controller
+//! ```
+
+use fuzzy_handover::core::{ControllerConfig, FuzzyHandoverController};
+use fuzzy_handover::fuzzy::{Defuzzifier, FisBuilder, LinguisticVariable, Mf};
+use fuzzy_handover::sim::{Scenario, SimConfig, Simulation};
+
+/// A deliberately coarse two-term-per-input controller.
+fn coarse_fis() -> fuzzy_handover::fuzzy::Fis {
+    let cssp = LinguisticVariable::new("CSSP", -10.0, 10.0)
+        .with_term("dropping", Mf::left_shoulder(-6.0, 0.0))
+        .with_term("steady", Mf::right_shoulder(-6.0, 0.0));
+    let ssn = LinguisticVariable::new("SSN", -120.0, -80.0)
+        .with_term("weak", Mf::left_shoulder(-104.0, -90.0))
+        .with_term("strong", Mf::right_shoulder(-104.0, -90.0));
+    let dmb = LinguisticVariable::new("DMB", 0.0, 1.5)
+        .with_term("near", Mf::left_shoulder(0.5, 0.9))
+        .with_term("far", Mf::right_shoulder(0.5, 0.9));
+    let hd = LinguisticVariable::new("HD", 0.0, 1.0)
+        .with_term("stay", Mf::left_shoulder(0.2, 0.55))
+        .with_term("go", Mf::right_shoulder(0.45, 0.8));
+
+    FisBuilder::new("coarse-handover")
+        .input(cssp)
+        .input(ssn)
+        .input(dmb)
+        .output(hd)
+        .defuzzifier(Defuzzifier::Centroid)
+        .rule_str("IF CSSP IS dropping AND SSN IS strong AND DMB IS far THEN HD IS go")
+        .unwrap()
+        .rule_str("IF CSSP IS dropping AND SSN IS strong AND DMB IS near THEN HD IS stay")
+        .unwrap()
+        .rule_str("IF CSSP IS dropping AND SSN IS weak THEN HD IS stay")
+        .unwrap()
+        .rule_str("IF CSSP IS steady THEN HD IS stay")
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+fn main() {
+    let sim = Simulation::new(SimConfig::paper_default());
+    let scenarios = [Scenario::a(), Scenario::b()];
+
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "controller", "A handovers", "B handovers"
+    );
+    for (name, fis) in [
+        ("paper (64 rules)", fuzzy_handover::core::build_paper_flc()),
+        ("coarse (4 rules)", coarse_fis()),
+    ] {
+        let mut counts = Vec::new();
+        for s in &scenarios {
+            let mut policy = FuzzyHandoverController::with_fis(
+                fis.clone(),
+                ControllerConfig::paper_default(2.0),
+            );
+            counts.push(sim.run(&s.trajectory(), &mut policy, 0).handover_count());
+        }
+        println!("{name:<22} {:>12} {:>12}", counts[0], counts[1]);
+        if name.starts_with("paper") {
+            assert_eq!(counts, vec![0, 3], "paper controller meets both targets");
+        }
+    }
+    println!("\nthe 4-rule controller is a starting point — tune it against the");
+    println!("`repro table3 table4` harness the same way the paper FLC was calibrated.");
+}

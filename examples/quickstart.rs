@@ -1,0 +1,66 @@
+//! Quickstart: build the paper's fuzzy handover controller and watch it
+//! decide as a mobile walks out of its serving cell.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use fuzzy_handover::core::{
+    ControllerConfig, Decision, FuzzyHandoverController, HandoverPolicy, MeasurementReport,
+};
+use fuzzy_handover::geometry::{Axial, CellLayout, Vec2};
+use fuzzy_handover::radio::BsRadio;
+
+fn main() {
+    // A 2-ring hexagonal network with 2 km cells and the paper's radios.
+    let layout = CellLayout::hexagonal(2.0, 2);
+    let radio = BsRadio::paper_default();
+    let mut controller =
+        FuzzyHandoverController::new(ControllerConfig::paper_default(layout.cell_radius_km()));
+
+    println!("walking east from the origin BS at 300 m steps…\n");
+    println!("{:>6}  {:>9}  {:>9}  {:>6}  decision", "x [km]", "serving", "neighbor", "HD");
+
+    let mut serving = Axial::ORIGIN;
+    let east = Axial::new(1, 0);
+    let mut x = 0.3;
+    while x < 3.4 {
+        let pos = Vec2::new(x, 0.0);
+        let serving_rss = radio.received_power_dbm(layout.bs_position(serving), pos);
+        let neighbor = if serving == Axial::ORIGIN { east } else { Axial::ORIGIN };
+        let neighbor_rss = radio.received_power_dbm(layout.bs_position(neighbor), pos);
+        let report = MeasurementReport {
+            serving,
+            serving_rss_dbm: serving_rss,
+            neighbor,
+            neighbor_rss_dbm: neighbor_rss,
+            distance_to_serving_km: layout.distance_to_bs(serving, pos),
+            distance_to_neighbor_km: layout.distance_to_bs(neighbor, pos),
+        };
+        let decision = controller.decide(&report);
+        let (hd, what) = match decision {
+            Decision::Handover { hd, target } => {
+                controller.notify_handover(target);
+                serving = target;
+                (format!("{hd:.3}"), format!("HANDOVER to {}", layout.paper_label(target)))
+            }
+            Decision::Stay(reason) => (
+                match reason {
+                    fuzzy_handover::core::StayReason::BelowThreshold { hd }
+                    | fuzzy_handover::core::StayReason::SignalRecovering { hd } => {
+                        format!("{hd:.3}")
+                    }
+                    _ => "  -  ".to_string(),
+                },
+                format!("stay ({reason:?})"),
+            ),
+        };
+        println!(
+            "{x:>6.2}  {serving_rss:>8.1}  {neighbor_rss:>8.1}  {hd:>6}  {what}",
+        );
+        x += 0.3;
+    }
+
+    println!("\nfinal serving cell: {}", layout.paper_label(serving));
+    assert_eq!(serving, east, "the walk must end attached to the east neighbour");
+}

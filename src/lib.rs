@@ -1,0 +1,72 @@
+//! # fuzzy-handover
+//!
+//! A full reproduction of *"A Fuzzy-based Handover System for Avoiding
+//! Ping-Pong Effect in Wireless Cellular Networks"* (Barolli, Xhafa,
+//! Durresi, Koyama — ICPP Workshops 2008) as a reusable Rust workspace.
+//!
+//! This umbrella crate re-exports the whole stack:
+//!
+//! * [`fuzzy`] — the generic Mamdani/Sugeno fuzzy-inference engine.
+//! * [`geometry`] — hexagonal cell layouts and the paper's `(i, j)`
+//!   labels.
+//! * [`radio`] — tilted-dipole antennas, path loss, shadow fading, RSS
+//!   measurement.
+//! * [`mobility`] — the Monte-Carlo random walk and friends.
+//! * [`core`] — the paper's contribution: the 64-rule FLC and the
+//!   POTLC → FLC → PRTLC handover pipeline, plus baseline algorithms.
+//! * [`sim`] — the simulation engine and every table/figure experiment.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fuzzy_handover::core::{build_paper_flc, ControllerConfig, FuzzyHandoverController};
+//! use fuzzy_handover::core::FlcInputs;
+//!
+//! // Raw FLC: a collapsing serving signal, a strong neighbour, far from
+//! // the serving BS — clearly a handover.
+//! let flc = build_paper_flc();
+//! let hd = flc.evaluate(&[-6.0, -88.0, 1.2]).unwrap()[0];
+//! assert!(hd > 0.7);
+//!
+//! // The full three-stage controller.
+//! let controller =
+//!     FuzzyHandoverController::new(ControllerConfig::paper_default(2.0));
+//! let inputs = FlcInputs { cssp_db: -6.0, ssn_dbm: -88.0, dmb_norm: 1.2 };
+//! assert!(controller.evaluate_hd(&inputs) > 0.7);
+//! ```
+//!
+//! Run `cargo run -p handover-sim --bin repro` to regenerate every table
+//! and figure of the paper; see EXPERIMENTS.md for the paper-vs-measured
+//! record.
+
+#![deny(missing_docs)]
+
+/// The paper's contribution: FLC, controller pipeline, baselines, metrics.
+pub mod core {
+    pub use handover_core::*;
+}
+
+/// Generic fuzzy-inference engine.
+pub mod fuzzy {
+    pub use fuzzylogic::*;
+}
+
+/// Hexagonal-lattice geometry.
+pub mod geometry {
+    pub use cellgeom::*;
+}
+
+/// Radio propagation substrate.
+pub mod radio {
+    pub use ::radiolink::*;
+}
+
+/// Mobility models.
+pub mod mobility {
+    pub use ::mobility::*;
+}
+
+/// Simulation engine and paper experiments.
+pub mod sim {
+    pub use handover_sim::*;
+}

@@ -1,0 +1,186 @@
+//! Cross-crate consistency: properties that only hold when the substrates
+//! agree with each other.
+
+use fuzzy_handover::core::flc::{build_paper_flc, frb_lookup, Cssp, Dmb, Ssn};
+use fuzzy_handover::core::{ControllerConfig, FuzzyHandoverController};
+use fuzzy_handover::fuzzy::Mf;
+use fuzzy_handover::geometry::{Axial, CellLayout, Vec2};
+use fuzzy_handover::mobility::{MobilityModel, RandomWalk, Trajectory};
+use fuzzy_handover::radio::BsRadio;
+use fuzzy_handover::sim::{SimConfig, Simulation};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn flc_agrees_with_the_frb_at_term_cores() {
+    // Feeding the FLC the core point of one term per variable must make
+    // the printed FRB rule dominate: the crisp output lands in (or next
+    // to) the consequent term's region.
+    let fis = build_paper_flc();
+    let core_of = |var: usize, term: usize| {
+        let v = &fis.inputs()[var];
+        v.terms()[term].mf.centroid_of_core(v.min, v.max)
+    };
+    let hd_var = &fis.outputs()[0];
+    for (ci, c) in Cssp::ALL.iter().enumerate() {
+        for (si, s) in Ssn::ALL.iter().enumerate() {
+            for (di, d) in Dmb::ALL.iter().enumerate() {
+                let x = [core_of(0, ci), core_of(1, si), core_of(2, di)];
+                let out = fis.evaluate(&x).unwrap()[0];
+                let expected = frb_lookup(*c, *s, *d);
+                let best = hd_var.best_term(out).unwrap().0;
+                let diff = (best as i32 - expected.index() as i32).abs();
+                assert!(
+                    diff <= 1,
+                    "core input {c:?}/{s:?}/{d:?} gave {out:.3} (term {best}), FRB says {expected:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn geometry_and_radio_agree_on_cell_dominance() {
+    // Inside a cell's inradius, that cell's BS is the strongest signal —
+    // the radio model must respect the Voronoi geometry.
+    let layout = CellLayout::hexagonal(2.0, 2);
+    let radio = BsRadio::paper_default();
+    for &cell in layout.cells() {
+        let c = layout.bs_position(cell);
+        for angle_deg in (0..360).step_by(45) {
+            let p = c + Vec2::from_polar(
+                0.7 * layout.grid().inradius(),
+                (angle_deg as f64).to_radians(),
+            );
+            // Skip the pattern null right at the mast: probe points are
+            // 1.2 km out, far beyond it.
+            let own = radio.received_power_dbm(c, p);
+            for &other in layout.cells() {
+                if other == cell {
+                    continue;
+                }
+                let theirs = radio.received_power_dbm(layout.bs_position(other), p);
+                assert!(
+                    own > theirs,
+                    "{cell} at {p:?}: own {own} vs {other} {theirs}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn serde_round_trips_compose_across_crates() {
+    // A controller config, a layout, and a radio all survive JSON.
+    let cfg = SimConfig::paper_default();
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: SimConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(cfg, back);
+
+    let fis = build_paper_flc();
+    let fis_back: fuzzy_handover::fuzzy::Fis =
+        serde_json::from_str(&serde_json::to_string(&fis).unwrap()).unwrap();
+    let x = [-4.0, -95.0, 0.8];
+    assert_eq!(fis.evaluate(&x).unwrap(), fis_back.evaluate(&x).unwrap());
+}
+
+#[test]
+fn simulation_is_deterministic_across_policy_instances() {
+    // Two separately constructed controllers on the same seed and walk
+    // produce identical results (no hidden global state anywhere).
+    let mut cfg = SimConfig::paper_default();
+    cfg.shadowing = fuzzy_handover::radio::ShadowingConfig::moderate();
+    cfg.noise = fuzzy_handover::radio::MeasurementNoise::new(1.0);
+    let sim = Simulation::new(cfg);
+    let walk = RandomWalk::paper_default(8).generate(&mut StdRng::seed_from_u64(5));
+    let mut p1 = FuzzyHandoverController::new(ControllerConfig::paper_default(2.0));
+    let mut p2 = FuzzyHandoverController::new(ControllerConfig::paper_default(2.0));
+    assert_eq!(sim.run(&walk, &mut p1, 123), sim.run(&walk, &mut p2, 123));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any walk that never leaves the origin cell's inradius produces
+    /// zero handovers: the serving signal stays strong (POTLC) and the
+    /// neighbours stay weak.
+    #[test]
+    fn walks_inside_one_cell_never_hand_over(seed in 0u64..500) {
+        let walk = RandomWalk {
+            n_walks: 6,
+            step_mean_km: 0.3,
+            step_std_km: 0.1,
+            angle: fuzzy_handover::mobility::AngleDistribution::Uniform,
+            start: Vec2::ZERO,
+        }
+        .generate(&mut StdRng::seed_from_u64(seed));
+        // Condition the property on the walk staying well inside.
+        let inside = walk
+            .resample(0.1)
+            .iter()
+            .all(|p| p.pos.norm() < 1.4);
+        prop_assume!(inside);
+        let sim = Simulation::new(SimConfig::paper_default());
+        let mut policy = FuzzyHandoverController::new(ControllerConfig::paper_default(2.0));
+        let result = sim.run(&walk, &mut policy, seed);
+        prop_assert_eq!(result.handover_count(), 0);
+        prop_assert_eq!(result.final_serving, Axial::ORIGIN);
+    }
+
+    /// The engine never records a neighbour equal to the serving cell and
+    /// keeps HD values inside the unit interval, whatever the walk.
+    #[test]
+    fn engine_invariants_hold_on_random_walks(seed in 0u64..300) {
+        let walk = RandomWalk::paper_default(8).generate(&mut StdRng::seed_from_u64(seed));
+        let layout = SimConfig::paper_default().layout;
+        prop_assume!(walk.resample(0.2).iter().all(|p| layout.containing_cell(p.pos).is_some()));
+        let sim = Simulation::new(SimConfig::paper_default());
+        let mut policy = FuzzyHandoverController::new(ControllerConfig::paper_default(2.0));
+        let result = sim.run(&walk, &mut policy, seed);
+        for s in &result.steps {
+            prop_assert_ne!(s.neighbor, s.serving);
+            if let Some(hd) = s.hd {
+                prop_assert!((0.0..=1.0).contains(&hd));
+            }
+        }
+        // Ping-pong count never exceeds handover count.
+        let pp = result.log.ping_pong_report(6);
+        prop_assert!(pp.ping_pongs <= pp.handovers);
+    }
+
+    /// Trajectory resampling preserves total length for any random walk.
+    #[test]
+    fn resampling_preserves_arclength(seed in 0u64..500, spacing in 0.05f64..0.7) {
+        let walk = RandomWalk::paper_default(6).generate(&mut StdRng::seed_from_u64(seed));
+        let pts = walk.resample(spacing);
+        let last = pts.last().unwrap().cum_km;
+        prop_assert!((last - walk.total_length_km()).abs() < 1e-9);
+    }
+
+    /// The paper parameterisations of Fig. 3 agree with the generic MF
+    /// evaluators everywhere.
+    #[test]
+    fn paper_mf_forms_match_generic(x0 in -5.0f64..5.0, a0 in 0.1f64..3.0, a1 in 0.1f64..3.0, x in -10.0f64..10.0) {
+        let tri = Mf::tri_center(x0, a0, a1);
+        let explicit = Mf::triangular(x0 - a0, x0, x0 + a1);
+        prop_assert_eq!(tri.eval(x), explicit.eval(x));
+    }
+}
+
+#[test]
+fn trajectory_type_flows_through_the_whole_stack() {
+    // A hand-built trajectory (mobility) runs through the engine (sim)
+    // over the layout (geometry) with the radio (radiolink) and the
+    // controller (core) — the five crates in one call chain.
+    let walk = Trajectory::new(vec![
+        Vec2::new(0.0, 0.0),
+        Vec2::new(2.0, 1.0),
+        Vec2::new(3.5, 0.0),
+    ]);
+    let sim = Simulation::new(SimConfig::paper_default());
+    let mut policy = FuzzyHandoverController::new(ControllerConfig::paper_default(2.0));
+    let result = sim.run(&walk, &mut policy, 0);
+    assert_eq!(result.steps.first().unwrap().serving, Axial::ORIGIN);
+    assert!(result.steps.len() >= 5);
+}

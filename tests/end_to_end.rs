@@ -1,0 +1,131 @@
+//! End-to-end integration: the whole stack driven through the public
+//! umbrella API.
+
+use fuzzy_handover::core::baselines::HysteresisPolicy;
+use fuzzy_handover::core::{
+    ControllerConfig, Decision, FuzzyHandoverController, HandoverPolicy, MeasurementReport,
+    Rnc,
+};
+use fuzzy_handover::geometry::{Axial, CellLayout, Vec2};
+use fuzzy_handover::mobility::{LinearMotion, MobilityModel};
+use fuzzy_handover::radio::BsRadio;
+use fuzzy_handover::sim::{Scenario, SimConfig, Simulation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn straight_line_walk_hands_over_every_cell_in_order() {
+    // Drive 10 km straight east across three cells; the controller must
+    // hand over at every crossing, never backwards, never ping-pong.
+    let sim = Simulation::new(SimConfig::paper_default());
+    let walk = LinearMotion::new(Vec2::ZERO, 0.0, 10.0)
+        .generate(&mut StdRng::seed_from_u64(0));
+    let mut policy = FuzzyHandoverController::new(ControllerConfig::paper_default(2.0));
+    let result = sim.run(&walk, &mut policy, 0);
+
+    assert!(result.handover_count() >= 2, "10 km crosses at least two borders");
+    assert_eq!(
+        result.log.ping_pong_report(6).ping_pongs,
+        0,
+        "straight-line motion never ping-pongs"
+    );
+    let layout = SimConfig::paper_default().layout;
+    let seq = result.log.serving_sequence(Axial::ORIGIN);
+    for w in seq.windows(2) {
+        assert!(
+            layout.bs_position(w[1]).x > layout.bs_position(w[0]).x,
+            "serving sequence moves east: {seq:?}"
+        );
+    }
+}
+
+#[test]
+fn scenario_claims_hold_through_the_public_api() {
+    let sim = Simulation::new(SimConfig::paper_default());
+
+    let mut a_policy = FuzzyHandoverController::new(ControllerConfig::paper_default(2.0));
+    let a = sim.run(&Scenario::a().trajectory(), &mut a_policy, 0);
+    assert_eq!(a.handover_count(), 0, "scenario A avoids the ping-pong entirely");
+
+    let mut b_policy = FuzzyHandoverController::new(ControllerConfig::paper_default(2.0));
+    let b = sim.run(&Scenario::b().trajectory(), &mut b_policy, 0);
+    assert_eq!(b.handover_count(), 3, "scenario B executes its three handovers");
+    assert_eq!(b.log.ping_pong_report(6).ping_pongs, 0);
+    // Every executed handover cleared the paper's 0.7 threshold.
+    for e in b.log.events() {
+        assert!(e.hd > 0.7, "handover at {:.1} km fired with HD {}", e.at_km, e.hd);
+    }
+}
+
+#[test]
+fn rnc_routes_reports_like_the_bare_controller() {
+    // Fig. 4's RNC wrapper must reproduce the bare controller's decisions
+    // on an identical report stream.
+    let cells = [Axial::ORIGIN, Axial::new(1, 0)];
+    let cfg = ControllerConfig::paper_default(2.0);
+    let mut rnc = Rnc::new(cells, Axial::ORIGIN, cfg);
+    let mut bare = FuzzyHandoverController::new(cfg);
+
+    let layout = CellLayout::hexagonal(2.0, 1);
+    let radio = BsRadio::paper_default();
+    let mut serving = Axial::ORIGIN;
+    let mut x = 0.4;
+    while x < 3.2 {
+        let pos = Vec2::new(x, 0.0);
+        let neighbor = if serving == Axial::ORIGIN { Axial::new(1, 0) } else { Axial::ORIGIN };
+        let report = MeasurementReport {
+            serving,
+            serving_rss_dbm: radio.received_power_dbm(layout.bs_position(serving), pos),
+            neighbor,
+            neighbor_rss_dbm: radio.received_power_dbm(layout.bs_position(neighbor), pos),
+            distance_to_serving_km: layout.distance_to_bs(serving, pos),
+            distance_to_neighbor_km: layout.distance_to_bs(neighbor, pos),
+        };
+        let via_rnc = rnc.process(&report);
+        let via_bare = bare.decide(&report);
+        assert_eq!(via_rnc, via_bare, "divergence at x = {x}");
+        if let Decision::Handover { target, .. } = via_bare {
+            bare.notify_handover(target);
+            serving = target;
+        }
+        assert_eq!(rnc.serving_cell(), serving);
+        x += 0.4;
+    }
+    assert_eq!(serving, Axial::new(1, 0), "the walk ends handed over");
+}
+
+#[test]
+fn policies_are_interchangeable_in_the_engine() {
+    // The HandoverPolicy abstraction: both the fuzzy controller and a
+    // baseline drive the same engine on the same walk.
+    let sim = Simulation::new(SimConfig::paper_default());
+    let walk = Scenario::b().trajectory();
+
+    let mut fuzzy = FuzzyHandoverController::new(ControllerConfig::paper_default(2.0));
+    let mut naive = HysteresisPolicy::new(0.0);
+    let fr = sim.run(&walk, &mut fuzzy, 0);
+    let nr = sim.run(&walk, &mut naive, 0);
+    assert_eq!(fr.steps.len(), nr.steps.len(), "same measurement grid");
+    // The naive policy reacts to every instantaneous advantage, so it can
+    // never hand over later than the evidence-hungry fuzzy pipeline.
+    assert!(nr.handover_count() >= fr.handover_count());
+}
+
+#[test]
+fn speed_sweep_monotone_neighbor_degradation() {
+    // Raising the speed only lowers the neighbour readings, so the fuzzy
+    // handover count on any fixed walk is non-increasing in speed.
+    let walk = Scenario::b().trajectory();
+    let mut last = usize::MAX;
+    for speed in [0.0, 10.0, 20.0, 30.0, 40.0, 50.0] {
+        let mut cfg = SimConfig::paper_default();
+        cfg.speed_kmh = speed;
+        let sim = Simulation::new(cfg);
+        let mut policy = FuzzyHandoverController::new(ControllerConfig::paper_default(2.0));
+        let count = sim.run(&walk, &mut policy, 0).handover_count();
+        assert!(count <= last, "handover count rose from {last} to {count} at {speed} km/h");
+        last = count;
+        // The pinned scenario is robust: still 3 at every speed.
+        assert_eq!(count, 3);
+    }
+}
