@@ -1,0 +1,62 @@
+//! Determinism smoke tests: the simulation must be a pure function of
+//! (scenario, config, seed). Future parallel Monte-Carlo work must not
+//! break bit-identical reruns — these tests are the guard.
+
+use fuzzy_handover::core::{ControllerConfig, FuzzyHandoverController};
+use fuzzy_handover::sim::monte_carlo::{run_repetitions, run_repetitions_parallel};
+use fuzzy_handover::sim::{Scenario, SimConfig, Simulation, SCENARIO_A_SEED, SCENARIO_B_SEED};
+
+fn paper_policy() -> FuzzyHandoverController {
+    let cell_radius = SimConfig::paper_default().layout.cell_radius_km();
+    FuzzyHandoverController::new(ControllerConfig::paper_default(cell_radius))
+}
+
+/// Same scenario + same seed, run twice → bit-identical `SimResult`.
+fn assert_rerun_identical(scenario: Scenario, label: &str) {
+    let sim = Simulation::new(SimConfig::paper_default());
+    let walk = scenario.trajectory();
+    let mut policy_one = paper_policy();
+    let mut policy_two = paper_policy();
+    let first = sim.run(&walk, &mut policy_one, scenario.seed);
+    let second = sim.run(&walk, &mut policy_two, scenario.seed);
+    assert_eq!(first, second, "scenario {label} rerun diverged");
+    assert!(!first.steps.is_empty(), "scenario {label} produced no steps");
+}
+
+#[test]
+fn scenario_a_is_deterministic() {
+    assert_eq!(Scenario::a().seed, SCENARIO_A_SEED);
+    assert_rerun_identical(Scenario::a(), "A");
+}
+
+#[test]
+fn scenario_b_is_deterministic() {
+    assert_eq!(Scenario::b().seed, SCENARIO_B_SEED);
+    assert_rerun_identical(Scenario::b(), "B");
+}
+
+/// Trajectory generation itself is a pure function of the seed.
+#[test]
+fn trajectories_are_reproducible() {
+    for scenario in [Scenario::a(), Scenario::b()] {
+        let first = scenario.trajectory();
+        let second = scenario.trajectory();
+        assert_eq!(first.waypoints(), second.waypoints());
+    }
+}
+
+/// Parallel Monte-Carlo must match the sequential reference bit for bit,
+/// regardless of worker count — each repetition owns its seed.
+#[test]
+fn parallel_monte_carlo_matches_sequential() {
+    let sim = Simulation::new(SimConfig::paper_default());
+    let walk = Scenario::b().trajectory();
+    let make = || -> Box<dyn fuzzy_handover::core::HandoverPolicy + Send> {
+        Box::new(paper_policy())
+    };
+    let sequential = run_repetitions(&sim, &walk, make, SCENARIO_B_SEED, 8);
+    for threads in [1, 2, 4, 8, 16] {
+        let parallel = run_repetitions_parallel(&sim, &walk, make, SCENARIO_B_SEED, 8, threads);
+        assert_eq!(sequential, parallel, "diverged with {threads} threads");
+    }
+}

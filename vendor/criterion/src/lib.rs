@@ -1,0 +1,286 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! Implements the API surface the bench suite uses — `criterion_group!`
+//! / `criterion_main!`, [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkId`], `iter`, `black_box`
+//! — with a simple calibrated wall-clock measurement instead of
+//! criterion's statistical machinery.
+//!
+//! Under `cargo test` (cargo passes `--test` to harness-less bench
+//! targets) each benchmark body runs exactly once as a smoke test,
+//! mirroring real criterion's behaviour.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { test_mode: false, filter: None, sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Apply CLI arguments (`--test` → run each bench once; a bare
+    /// string → filter benchmarks by substring; everything else cargo
+    /// passes is accepted and ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--exact" | "--nocapture" | "--quiet" | "-q" => {}
+                s if s.starts_with("--") => {
+                    // Flags with a value (e.g. --measurement-time 5).
+                    if args.peek().map(|n| !n.starts_with('-')).unwrap_or(false) {
+                        args.next();
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Override the nominal sample size (scales measurement effort).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 10, "criterion requires sample_size >= 10");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self.test_mode, &self.filter, self.sample_size, &id.0, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 10, "criterion requires sample_size >= 10");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmark a function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(self.criterion.test_mode, &self.criterion.filter, n, &full, &mut f);
+        self
+    }
+
+    /// Benchmark a function over an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(self.criterion.test_mode, &self.criterion.filter, n, &full, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark (function name and/or parameter).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing harness handed to each benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    result_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Measure a closure: calibrated wall-clock mean over enough
+    /// iterations to cover a minimum measurement window.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.result_ns = None;
+            return;
+        }
+        // Calibrate: double iterations until the batch takes >= 1 ms.
+        let mut iters: u64 = 1;
+        let calibration_floor = Duration::from_millis(1);
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= calibration_floor || iters >= 1 << 24 {
+                break;
+            }
+            iters *= 2;
+        }
+        // Measure: a window proportional to the nominal sample size.
+        let window = Duration::from_millis((self.sample_size as u64).clamp(10, 500));
+        let mut total_iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < window {
+            for _ in 0..iters {
+                black_box(f());
+            }
+            total_iters += iters;
+        }
+        let elapsed = start.elapsed();
+        self.result_ns = Some(elapsed.as_nanos() as f64 / total_iters as f64);
+    }
+}
+
+fn run_one(
+    test_mode: bool,
+    filter: &Option<String>,
+    sample_size: usize,
+    name: &str,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    if let Some(pat) = filter {
+        if !name.contains(pat.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher { test_mode, sample_size, result_ns: None };
+    f(&mut bencher);
+    match bencher.result_ns {
+        Some(ns) if ns >= 1_000_000.0 => {
+            println!("{name:<50} {:>12.3} ms/iter", ns / 1_000_000.0);
+        }
+        Some(ns) if ns >= 1_000.0 => {
+            println!("{name:<50} {:>12.3} us/iter", ns / 1_000.0);
+        }
+        Some(ns) => {
+            println!("{name:<50} {:>12.1} ns/iter", ns);
+        }
+        None => {
+            println!("{name:<50} ok (test mode)");
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(c: &mut Criterion) {
+        c.bench_function("probe/add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        let mut g = c.benchmark_group("probe/group");
+        g.sample_size(10);
+        g.bench_function(BenchmarkId::from_parameter(42), |b| b.iter(|| black_box(42)));
+        g.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x) * black_box(x))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_in_test_mode() {
+        let mut c = Criterion { test_mode: true, filter: None, sample_size: 100 };
+        probe(&mut c);
+    }
+
+    #[test]
+    fn measurement_mode_produces_timing() {
+        let mut b = Bencher { test_mode: false, sample_size: 10, result_ns: None };
+        b.iter(|| black_box(3u32).wrapping_mul(5));
+        assert!(b.result_ns.is_some());
+        assert!(b.result_ns.unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Offline drop-in subset of `crossbeam`: scoped threads, backed by
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! API shape matches `crossbeam::scope`: the closure receives a
+//! [`Scope`], `Scope::spawn` passes the scope again to the spawned
+//! closure (enabling nested spawns), and the whole call returns
+//! `thread::Result` — `Ok` when no child panicked.
+//!
+//! One behavioural difference: on a child panic, `std::thread::scope`
+//! resumes the panic in the parent after joining, so the `Err` branch is
+//! unreachable here. Callers that `.expect()` the result (as this
+//! workspace does) observe identical behaviour.
+
+#![deny(missing_docs)]
+
+/// Handle for spawning threads tied to a [`scope`] invocation.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives this scope so it can
+    /// spawn further threads, mirroring crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Create a scope for spawning borrowing threads; all threads are joined
+/// before this returns.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::Mutex::new(0u64);
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                let total = &total;
+                s.spawn(move |_| {
+                    let sum: u64 = chunk.iter().sum();
+                    *total.lock().unwrap() += sum;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner().unwrap(), 10);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

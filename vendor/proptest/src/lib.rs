@@ -1,0 +1,212 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! Supports the surface this workspace's property tests use: the
+//! [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! range and tuple strategies, [`Strategy::prop_map`], [`prop_oneof!`],
+//! `prop_assert*!` and [`prop_assume!`].
+//!
+//! Unlike real proptest there is **no shrinking**; instead every run is
+//! fully deterministic: cases derive from a pinned seed
+//! ([`test_runner::DEFAULT_RNG_SEED`], overridable via the
+//! `PROPTEST_RNG_SEED` environment variable), and a failure report names
+//! the exact case seed so it can be replayed.
+
+#![deny(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Define property tests. Accepts an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `fn name(arg in strategy, ...) { body }` items annotated `#[test]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expand each test fn in a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::run_cases(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                #[allow(unreachable_code)]
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body; ::core::result::Result::Ok(()) })();
+                __outcome
+            });
+        }
+        $crate::__proptest_items!{ ($config) $($rest)* }
+    };
+}
+
+/// Choose uniformly between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = &$a;
+        let __b = &$b;
+        if !(__a == __b) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let __a = &$a;
+        let __b = &$b;
+        if !(__a == __b) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                __a,
+                __b
+            )));
+        }
+    }};
+}
+
+/// Fail the current case if the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = &$a;
+        let __b = &$b;
+        if __a == __b {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (not a failure) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in -5.0f64..5.0, k in 0i32..10, u in 1u32..=3) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((0..10).contains(&k));
+            prop_assert!((1..=3).contains(&u));
+        }
+
+        #[test]
+        fn prop_map_and_tuples(v in (0.0f64..1.0, 1.0f64..2.0).prop_map(|(a, b)| a + b)) {
+            prop_assert!((1.0..3.0).contains(&v));
+        }
+
+        #[test]
+        fn oneof_picks_every_arm(x in prop_oneof![0i32..10, 100i32..110]) {
+            prop_assert!((0..10).contains(&x) || (100..110).contains(&x));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0i32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn early_return_ok_supported(x in 0i32..100) {
+            if x > 50 {
+                return Ok(());
+            }
+            prop_assert!(x <= 50);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        use crate::strategy::Strategy;
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            crate::test_runner::run_cases(
+                &ProptestConfig::with_cases(16),
+                "determinism_probe",
+                |rng| {
+                    out.push(Strategy::generate(&(0.0f64..1.0), rng));
+                    Ok(())
+                },
+            );
+        }
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "determinism_probe_fail")]
+    fn failures_panic_with_case_info() {
+        crate::test_runner::run_cases(
+            &ProptestConfig::with_cases(4),
+            "determinism_probe_fail",
+            |_rng| Err(crate::test_runner::TestCaseError::fail("boom".to_string())),
+        );
+    }
+}

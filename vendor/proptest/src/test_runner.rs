@@ -1,0 +1,104 @@
+//! Deterministic case runner: pinned seed, per-case derived RNG, no
+//! shrinking — a failure report names the exact case seed to replay.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG driving value generation inside property tests.
+pub type TestRng = StdRng;
+
+/// The pinned default seed: every `cargo test` run generates the same
+/// cases unless `PROPTEST_RNG_SEED` overrides it.
+pub const DEFAULT_RNG_SEED: u64 = 0x5eed_cafe_f0dd_e555;
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's inputs did not satisfy a `prop_assume!` — discard.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Runner configuration (`ProptestConfig` in real proptest).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Base seed for case generation.
+    pub rng_seed: u64,
+    /// Max total `prop_assume!` rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let rng_seed = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_RNG_SEED);
+        ProptestConfig { cases: 256, rng_seed, max_global_rejects: 65_536 }
+    }
+}
+
+impl ProptestConfig {
+    /// Default config with a specific case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+/// Derive the RNG seed of one attempt from the base seed
+/// (SplitMix64-style mixing so neighbouring attempts decorrelate).
+fn case_seed(base: u64, attempt: u64) -> u64 {
+    let mut z = base.wrapping_add(attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Drive one property: generate and run cases until `config.cases`
+/// succeed; panic (failing the enclosing `#[test]`) on the first
+/// assertion failure, naming the case seed for replay.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u64;
+    while passed < config.cases {
+        let seed = case_seed(config.rng_seed, attempt);
+        let mut rng = TestRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "property `{name}`: too many prop_assume! rejections \
+                         ({rejected} rejects for {passed}/{} passes)",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property `{name}` failed at case {passed} \
+                     (attempt {attempt}, case seed {seed:#018x}, \
+                     base seed {:#018x}):\n{msg}",
+                    config.rng_seed
+                );
+            }
+        }
+        attempt += 1;
+    }
+}

@@ -1,0 +1,174 @@
+//! Concrete generators. [`StdRng`] is ChaCha with 12 rounds, the same
+//! family real `rand` 0.8 uses, with `BlockRng`-compatible word
+//! consumption so streams match the upstream crate.
+
+use crate::{RngCore, SeedableRng};
+
+/// The standard deterministic generator: ChaCha12, seeded explicitly.
+///
+/// Layout follows the djb ChaCha variant used by `rand_chacha`: a
+/// 256-bit key (the seed), a 64-bit block counter starting at zero and a
+/// 64-bit stream id of zero. Each 16-word block is consumed
+/// word-by-word; `next_u64` takes the low half first, spilling into the
+/// next block when a single word remains.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    /// ChaCha state words 4..12 (the key).
+    key: [u32; 8],
+    /// 64-bit block counter.
+    counter: u64,
+    /// Current output block.
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means exhausted.
+    index: usize,
+}
+
+const CHACHA_ROUNDS: usize = 12;
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl StdRng {
+    fn refill(&mut self) {
+        let mut state: [u32; 16] = [0; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0; // stream id low
+        state[15] = 0; // stream id high
+        let initial = state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, (s, i)) in self.buf.iter_mut().zip(state.iter().zip(initial.iter())) {
+            *out = s.wrapping_add(*i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        StdRng { key, counter: 0, buf: [0; 16], index: 16 }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // BlockRng semantics: low word first; if exactly one word is
+        // left in the block, it becomes the low half and the first word
+        // of the next block the high half.
+        if self.index >= 16 {
+            self.refill();
+        }
+        if self.index < 15 {
+            let lo = self.buf[self.index] as u64;
+            let hi = self.buf[self.index + 1] as u64;
+            self.index += 2;
+            (hi << 32) | lo
+        } else {
+            let lo = self.buf[15] as u64;
+            self.refill();
+            let hi = self.buf[0] as u64;
+            self.index = 1;
+            (hi << 32) | lo
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ChaCha core sanity: with an all-zero key and 20 rounds our block
+    /// function must reproduce the well-known ChaCha20 keystream head.
+    /// (We can't pin ChaCha12 against an RFC vector, but the block
+    /// assembly, rotation and addition logic is shared.)
+    #[test]
+    fn chacha20_zero_key_known_answer() {
+        // Run the same refill logic with 20 rounds by hand.
+        let mut state: [u32; 16] = [0; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        let initial = state;
+        for _ in 0..10 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (s, i) in state.iter_mut().zip(initial.iter()) {
+            *s = s.wrapping_add(*i);
+        }
+        // First 8 keystream bytes of ChaCha20 with zero key, zero nonce,
+        // zero counter: 76 b8 e0 ad a0 f1 3d 90 (djb test vector).
+        let mut head = [0u8; 8];
+        head[..4].copy_from_slice(&state[0].to_le_bytes());
+        head[4..].copy_from_slice(&state[1].to_le_bytes());
+        assert_eq!(head, [0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90]);
+    }
+
+    #[test]
+    fn counter_advances_blocks() {
+        let mut rng = StdRng::from_seed([0; 32]);
+        let first_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first_block, second_block);
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..5 {
+            rng.next_u32();
+        }
+        let mut fork = rng.clone();
+        assert_eq!(rng.next_u64(), fork.next_u64());
+    }
+}

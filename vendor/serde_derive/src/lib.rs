@@ -1,0 +1,432 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde subset.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable; this crate parses the item's raw token stream directly.
+//! Supported shapes (everything the workspace derives on):
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, tuple and struct variants (externally tagged,
+//!   matching real serde's default JSON representation);
+//! * no generics, no `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (the offline subset's `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (the offline subset's `from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// A minimal item model.
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing.
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("#[derive(Serialize/Deserialize)]: generics are not supported by the offline serde subset (type `{name}`)");
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unsupported struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for `{name}`, found {other:?}"),
+            };
+            Item::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+/// Skip outer attributes (`#[...]`, including doc comments) and a
+/// visibility qualifier (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` field lists, tracking `<...>` nesting so
+/// commas inside generic types don't split fields.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{fname}`, found {other}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(fname);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advance past one type expression: everything up to the next comma at
+/// angle-bracket depth zero. The `>` of an `->` arrow (fn-pointer
+/// return types) does not close an angle bracket.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    let mut prev_was_joint_minus = false;
+    while *i < tokens.len() {
+        let mut joint_minus = false;
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && !prev_was_joint_minus => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            TokenTree::Punct(p) if p.as_char() == '-' => {
+                joint_minus = p.spacing() == proc_macro::Spacing::Joint;
+            }
+            _ => {}
+        }
+        prev_was_joint_minus = joint_minus;
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) — same comma-splitting
+        // rules as a type expression.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_type(&tokens, &mut i);
+        }
+        variants.push((vname, fields));
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (as strings; parsed back into a TokenStream).
+// ---------------------------------------------------------------------------
+
+fn ser_named_fields(fields: &[String], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(\"{f}\".to_string(), ::serde::Serialize::to_value(&{access_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+fn de_named_fields(fields: &[String], source: &str, type_label: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match {source}.get(\"{f}\") {{ \
+                   Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+                   None => return Err(::serde::Error::msg(\
+                       \"missing field `{f}` in {type_label}\")) }},"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Named(fs) => ser_named_fields(fs, "self."),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+                             ::serde::Value::Seq(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(vec![\
+                             (\"{v}\".to_string(), ::serde::Value::Map(vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ \
+                     match self {{ {} }} }} }}",
+                arms.join(" ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Unit => format!(
+                "match __v {{ ::serde::Value::Null => Ok({name}), \
+                 __other => Err(::serde::Error::msg(format!(\
+                     \"expected null for {name}, got {{:?}}\", __other))) }}"
+            ),
+            Fields::Tuple(1) => {
+                format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                    .collect();
+                format!(
+                    "match __v {{ \
+                       ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                         Ok({name}({})), \
+                       __other => Err(::serde::Error::msg(format!(\
+                           \"expected {n}-element sequence for {name}, got {{:?}}\", __other))) }}",
+                    items.join(", ")
+                )
+            }
+            Fields::Named(fs) => {
+                let fields_code = de_named_fields(fs, "__v", name);
+                format!(
+                    "match __v {{ \
+                       ::serde::Value::Map(_) => Ok({name} {{ {fields_code} }}), \
+                       __other => Err(::serde::Error::msg(format!(\
+                           \"expected map for {name}, got {{:?}}\", __other))) }}"
+                )
+            }
+        },
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Tuple(1) => Some(format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => match __inner {{ \
+                               ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                                 Ok({name}::{v}({})), \
+                               __other => Err(::serde::Error::msg(format!(\
+                                   \"expected {n}-element sequence for {name}::{v}, got {{:?}}\", \
+                                   __other))) }},",
+                            items.join(", ")
+                        ))
+                    }
+                    Fields::Named(fs) => {
+                        let fields_code = de_named_fields(fs, "__inner", &format!("{name}::{v}"));
+                        Some(format!(
+                            "\"{v}\" => match __inner {{ \
+                               ::serde::Value::Map(_) => Ok({name}::{v} {{ {fields_code} }}), \
+                               __other => Err(::serde::Error::msg(format!(\
+                                   \"expected map for {name}::{v}, got {{:?}}\", __other))) }},",
+                        ))
+                    }
+                })
+                .collect();
+
+            let mut outer_arms = Vec::new();
+            if !unit_arms.is_empty() {
+                outer_arms.push(format!(
+                    "::serde::Value::Str(__s) => match __s.as_str() {{ {} \
+                       __other => Err(::serde::Error::msg(format!(\
+                           \"unknown {name} variant `{{}}`\", __other))) }},",
+                    unit_arms.join(" ")
+                ));
+            }
+            if !data_arms.is_empty() {
+                outer_arms.push(format!(
+                    "::serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+                       let (__tag, __inner) = &__entries[0]; \
+                       match __tag.as_str() {{ {} \
+                         __other => Err(::serde::Error::msg(format!(\
+                             \"unknown {name} variant `{{}}`\", __other))) }} }},",
+                    data_arms.join(" ")
+                ));
+            }
+            outer_arms.push(format!(
+                "__other => Err(::serde::Error::msg(format!(\
+                     \"unexpected value for {name}: {{:?}}\", __other))),"
+            ));
+            format!("match __v {{ {} }}", outer_arms.join(" "))
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ \
+             {body} }} }}"
+    )
+}
