@@ -1,0 +1,105 @@
+//! Fleet-engine throughput: chunked multi-UE stepping, worker scaling,
+//! and the scenario-matrix acceptance run (10k UEs × the four standard
+//! mobility models, per-cell load histograms in the output tables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use handover_sim::fleet::{FleetMobility, FleetSimulation, HomogeneousFleet, PolicyKind};
+use handover_sim::matrix::ScenarioMatrix;
+use handover_sim::SimConfig;
+use mobility::RandomWalk;
+use radiolink::{MeasurementNoise, ShadowingConfig};
+use std::hint::black_box;
+
+fn fleet_config() -> SimConfig {
+    let mut cfg = SimConfig::paper_default();
+    cfg.shadowing = ShadowingConfig::moderate();
+    cfg.noise = MeasurementNoise::new(1.0);
+    cfg
+}
+
+fn walk_spec() -> HomogeneousFleet {
+    HomogeneousFleet {
+        mobility: FleetMobility::RandomWalk(RandomWalk::paper_default(6)),
+        policy: PolicyKind::Fuzzy,
+        trajectory_seed: 21,
+        cell_radius_km: 2.0,
+    }
+}
+
+fn bench_fleet_sizes(c: &mut Criterion) {
+    let spec = walk_spec();
+    let mut g = c.benchmark_group("fleet/random_walk_fuzzy");
+    g.sample_size(10);
+    for n_ues in [100u64, 1_000] {
+        let fleet = FleetSimulation::new(fleet_config());
+        g.bench_with_input(BenchmarkId::new("ues", n_ues), &n_ues, |b, &n| {
+            b.iter(|| black_box(fleet.run(&spec, n, 7)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let spec = walk_spec();
+    const UES: u64 = 2_000;
+    let mut g = c.benchmark_group("fleet/worker_scaling_2k_ues");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        let fleet = FleetSimulation::new(fleet_config()).with_workers(workers);
+        g.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
+            b.iter(|| black_box(fleet.run(&spec, UES, 7)))
+        });
+    }
+    g.finish();
+}
+
+/// The acceptance run: a 10k-UE × 4-mobility-model scenario matrix. The
+/// acceptance assertions (per-cell load histograms present in the output
+/// tables) run once, on the first timed iteration's result — validating
+/// asserts cost microseconds against a multi-second run, and this avoids
+/// executing the heaviest workload twice per invocation.
+fn bench_scenario_matrix_10k(c: &mut Criterion) {
+    let matrix = ScenarioMatrix {
+        base: fleet_config(),
+        ue_counts: vec![10_000],
+        mobilities: FleetMobility::standard_four(6),
+        speeds_kmh: vec![30.0],
+        policies: vec![PolicyKind::Fuzzy],
+        base_seed: 0xF1EE7,
+        workers: 8,
+    };
+    let checked = std::cell::Cell::new(false);
+
+    let mut g = c.benchmark_group("fleet/scenario_matrix_10k_x4");
+    g.sample_size(10);
+    g.bench_function("run", |b| {
+        b.iter(|| {
+            let result = matrix.run();
+            if !checked.replace(true) {
+                assert_eq!(result.cells.len(), 4, "10k UEs × 4 mobility models");
+                for cell in &result.cells {
+                    assert_eq!(cell.summary.ues, 10_000);
+                    assert!(cell.summary.steps > 0);
+                    assert_eq!(cell.cell_load.total(), cell.summary.steps);
+                }
+                let report = result.render();
+                assert!(
+                    report.contains("Per-cell load"),
+                    "load histogram in the output tables"
+                );
+                assert!(report.contains("fleet metrics"));
+            }
+            black_box(result)
+        })
+    });
+    g.finish();
+    assert!(checked.get(), "the acceptance run executed");
+}
+
+criterion_group!(
+    benches,
+    bench_fleet_sizes,
+    bench_worker_scaling,
+    bench_scenario_matrix_10k
+);
+criterion_main!(benches);

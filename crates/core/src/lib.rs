@@ -46,7 +46,7 @@ pub use controller::{
 };
 pub use flc::{build_paper_flc, FlcProfile};
 pub use inputs::FlcInputs;
-pub use metrics::{EventLog, HandoverEvent, PingPongReport};
+pub use metrics::{CellLoadHistogram, EventLog, FleetSummary, HandoverEvent, PingPongReport};
 pub use system::{NodeB, Rnc};
 
 use cellgeom::Axial;

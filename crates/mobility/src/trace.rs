@@ -82,22 +82,31 @@ impl Trajectory {
     /// original waypoint is also included so corners are never cut. Points
     /// are strictly increasing in `cum_km`.
     pub fn resample(&self, spacing_km: f64) -> Vec<TracePoint> {
+        self.resample_iter(spacing_km).collect()
+    }
+
+    /// Streaming version of [`Trajectory::resample`]: yields exactly the
+    /// same points, lazily, without materialising the full vector. The
+    /// fleet engine keeps one of these per mobile station so a 10k-UE run
+    /// never holds 10k resampled trajectories in memory at once.
+    pub fn resample_iter(&self, spacing_km: f64) -> ResampleIter<'_> {
         assert!(spacing_km > 0.0, "spacing must be positive");
-        let mut out = vec![TracePoint { pos: self.start(), cum_km: 0.0 }];
-        let mut cum = 0.0;
-        for w in self.waypoints.windows(2) {
-            let seg = w[0].distance(w[1]);
-            if seg == 0.0 {
-                continue;
-            }
-            let n_steps = (seg / spacing_km).ceil() as usize;
-            for k in 1..=n_steps {
-                let t = k as f64 / n_steps as f64;
-                out.push(TracePoint { pos: w[0].lerp(w[1], t), cum_km: cum + seg * t });
-            }
-            cum += seg;
+        ResampleIter {
+            waypoints: &self.waypoints,
+            spacing_km,
+            seg: 0,
+            k: 0,
+            n_steps: 0,
+            seg_len: 0.0,
+            cum: 0.0,
+            started: false,
         }
-        out
+    }
+
+    /// Number of points [`Trajectory::resample`] would produce, without
+    /// materialising them.
+    pub fn resample_len(&self, spacing_km: f64) -> usize {
+        self.resample_iter(spacing_km).count()
     }
 
     /// Pair each resampled point with a timestamp given a constant speed.
@@ -108,6 +117,66 @@ impl Trajectory {
             .into_iter()
             .map(|p| (p.cum_km / speed_kmh * 3600.0, p))
             .collect()
+    }
+}
+
+/// Lazy arclength resampler over a borrowed [`Trajectory`]; see
+/// [`Trajectory::resample_iter`]. Yields the bit-identical point sequence
+/// of [`Trajectory::resample`].
+#[derive(Debug, Clone)]
+pub struct ResampleIter<'a> {
+    waypoints: &'a [Vec2],
+    spacing_km: f64,
+    /// Index of the current segment's start waypoint.
+    seg: usize,
+    /// Next sample within the current segment (`1..=n_steps`; 0 = the
+    /// segment has not been entered yet).
+    k: usize,
+    n_steps: usize,
+    seg_len: f64,
+    /// Cumulative arclength at the start of the current segment.
+    cum: f64,
+    /// Whether the leading start point has been yielded.
+    started: bool,
+}
+
+impl Iterator for ResampleIter<'_> {
+    type Item = TracePoint;
+
+    fn next(&mut self) -> Option<TracePoint> {
+        if !self.started {
+            self.started = true;
+            return Some(TracePoint { pos: self.waypoints[0], cum_km: 0.0 });
+        }
+        loop {
+            if self.k == 0 {
+                // Enter the next non-degenerate segment.
+                if self.seg + 1 >= self.waypoints.len() {
+                    return None;
+                }
+                let seg_len = self.waypoints[self.seg].distance(self.waypoints[self.seg + 1]);
+                if seg_len == 0.0 {
+                    self.seg += 1;
+                    continue;
+                }
+                self.seg_len = seg_len;
+                self.n_steps = (seg_len / self.spacing_km).ceil() as usize;
+                self.k = 1;
+            }
+            let t = self.k as f64 / self.n_steps as f64;
+            let point = TracePoint {
+                pos: self.waypoints[self.seg].lerp(self.waypoints[self.seg + 1], t),
+                cum_km: self.cum + self.seg_len * t,
+            };
+            if self.k == self.n_steps {
+                self.cum += self.seg_len;
+                self.seg += 1;
+                self.k = 0;
+            } else {
+                self.k += 1;
+            }
+            return Some(point);
+        }
     }
 }
 
@@ -222,5 +291,45 @@ mod tests {
         let t = l_shape();
         let back: Trajectory = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn resample_iter_matches_resample_bitwise() {
+        let trajectories = [
+            l_shape(),
+            Trajectory::new(vec![Vec2::new(1.0, 1.0)]),
+            Trajectory::new(vec![Vec2::ZERO, Vec2::ZERO, Vec2::new(1.0, 0.0), Vec2::new(1.0, 0.0)]),
+            Trajectory::new(vec![Vec2::new(-2.0, 0.3), Vec2::new(0.7, -1.9), Vec2::new(0.7, 2.0)]),
+        ];
+        for t in &trajectories {
+            for spacing in [0.05, 0.3, 1.0, 10.0] {
+                let eager = t.resample(spacing);
+                let lazy: Vec<TracePoint> = t.resample_iter(spacing).collect();
+                assert_eq!(eager.len(), lazy.len());
+                for (a, b) in eager.iter().zip(&lazy) {
+                    assert_eq!(a.pos.x.to_bits(), b.pos.x.to_bits());
+                    assert_eq!(a.pos.y.to_bits(), b.pos.y.to_bits());
+                    assert_eq!(a.cum_km.to_bits(), b.cum_km.to_bits());
+                }
+                assert_eq!(t.resample_len(spacing), eager.len());
+            }
+        }
+    }
+
+    #[test]
+    fn resample_iter_is_lazy_and_restartable() {
+        let t = l_shape();
+        let mut it = t.resample_iter(0.5);
+        let first = it.next().unwrap();
+        assert_eq!(first.cum_km, 0.0);
+        // A fresh iterator starts over.
+        let again = t.resample_iter(0.5).next().unwrap();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn resample_iter_zero_spacing_rejected() {
+        let _ = l_shape().resample_iter(0.0);
     }
 }

@@ -1,0 +1,108 @@
+//! Edge-case coverage for trajectories and resampling: zero-length
+//! walks, single-point trajectories, and resampling coarser than the
+//! whole path. The fleet engine streams arbitrary model output through
+//! these paths, so the degenerate cases must be well defined.
+
+use cellgeom::Vec2;
+use mobility::{TracePoint, Trajectory};
+
+/// A trajectory whose waypoints never move: total length zero.
+fn pinned(n: usize) -> Trajectory {
+    Trajectory::new(vec![Vec2::new(0.4, -0.2); n])
+}
+
+#[test]
+fn zero_length_walk_resamples_to_its_single_position() {
+    for n in [2, 3, 10] {
+        let t = pinned(n);
+        assert_eq!(t.total_length_km(), 0.0);
+        let pts = t.resample(0.5);
+        assert_eq!(pts.len(), 1, "{n} coincident waypoints collapse to one sample");
+        assert_eq!(pts[0], TracePoint { pos: Vec2::new(0.4, -0.2), cum_km: 0.0 });
+        let lazy: Vec<TracePoint> = t.resample_iter(0.5).collect();
+        assert_eq!(pts, lazy);
+    }
+}
+
+#[test]
+fn zero_length_walk_position_at_is_constant() {
+    let t = pinned(4);
+    for s in [-1.0, 0.0, 0.3, 100.0] {
+        assert_eq!(t.position_at(s), Vec2::new(0.4, -0.2));
+    }
+}
+
+#[test]
+fn single_point_trajectory_is_fully_degenerate() {
+    let t = Trajectory::new(vec![Vec2::new(-1.0, 2.5)]);
+    assert_eq!(t.len(), 1);
+    assert_eq!(t.start(), t.end());
+    assert_eq!(t.total_length_km(), 0.0);
+    let pts = t.resample(0.1);
+    assert_eq!(pts, vec![TracePoint { pos: Vec2::new(-1.0, 2.5), cum_km: 0.0 }]);
+    assert_eq!(t.resample_len(0.1), 1);
+    let mut it = t.resample_iter(0.1);
+    assert!(it.next().is_some());
+    assert!(it.next().is_none(), "iterator is exhausted after the start point");
+    assert!(it.next().is_none(), "and stays exhausted (fused behaviour)");
+}
+
+#[test]
+fn spacing_larger_than_the_whole_path_keeps_endpoints_and_corners() {
+    // 3-4-5 L-shape, total 7 km; resample at 100 km.
+    let t = Trajectory::new(vec![
+        Vec2::new(0.0, 0.0),
+        Vec2::new(3.0, 0.0),
+        Vec2::new(3.0, 4.0),
+    ]);
+    let pts = t.resample(100.0);
+    assert_eq!(pts.len(), 3, "start, corner waypoint, end — nothing in between");
+    assert_eq!(pts[0].pos, Vec2::new(0.0, 0.0));
+    assert_eq!(pts[1].pos, Vec2::new(3.0, 0.0));
+    assert_eq!(pts[2].pos, Vec2::new(3.0, 4.0));
+    assert_eq!(pts[0].cum_km, 0.0);
+    assert!((pts[1].cum_km - 3.0).abs() < 1e-12);
+    assert!((pts[2].cum_km - 7.0).abs() < 1e-12);
+    // cum_km stays strictly increasing even at coarse spacing.
+    for w in pts.windows(2) {
+        assert!(w[1].cum_km > w[0].cum_km);
+    }
+}
+
+#[test]
+fn spacing_larger_than_a_straight_segment_yields_exactly_the_endpoints() {
+    let t = Trajectory::new(vec![Vec2::ZERO, Vec2::new(0.3, 0.0)]);
+    let pts = t.resample(5.0);
+    assert_eq!(pts.len(), 2);
+    assert_eq!(pts[1].pos, Vec2::new(0.3, 0.0));
+}
+
+#[test]
+fn leading_and_trailing_degenerate_segments_are_skipped() {
+    // Coincident waypoints at the start, middle and end must not produce
+    // duplicate samples or stall cum_km.
+    let t = Trajectory::new(vec![
+        Vec2::ZERO,
+        Vec2::ZERO,
+        Vec2::new(1.0, 0.0),
+        Vec2::new(1.0, 0.0),
+        Vec2::new(2.0, 0.0),
+        Vec2::new(2.0, 0.0),
+    ]);
+    for spacing in [0.25, 10.0] {
+        let pts = t.resample(spacing);
+        assert!((pts.last().unwrap().cum_km - 2.0).abs() < 1e-12);
+        for w in pts.windows(2) {
+            assert!(w[1].cum_km > w[0].cum_km, "strictly increasing at {spacing}");
+        }
+        let lazy: Vec<TracePoint> = t.resample_iter(spacing).collect();
+        assert_eq!(pts, lazy);
+    }
+}
+
+#[test]
+fn with_speed_on_degenerate_trajectory_has_single_zero_timestamp() {
+    let timed = pinned(3).with_speed(0.5, 30.0);
+    assert_eq!(timed.len(), 1);
+    assert_eq!(timed[0].0, 0.0, "no distance, no elapsed time");
+}

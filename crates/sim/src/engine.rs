@@ -10,7 +10,7 @@ use cellgeom::{Axial, CellLayout, Vec2};
 use handover_core::{
     Decision, EventLog, HandoverEvent, HandoverPolicy, MeasurementReport, StayReason,
 };
-use mobility::Trajectory;
+use mobility::{TracePoint, Trajectory};
 use radiolink::{
     speed_penalty_db, BsRadio, MeasurementNoise, RssiSmoother, ShadowingConfig,
     ShadowingProcess,
@@ -115,10 +115,226 @@ impl SimResult {
     }
 }
 
+/// Precomputed handover-candidate table: for every serving cell (by
+/// layout index) the candidate target cells, in decision order — the
+/// in-layout neighbours, falling back to every other cell when a rim
+/// cell has none. Shared by [`Simulation::run`] and the fleet engine so
+/// neither re-derives neighbour lists per step.
+#[derive(Debug, Clone)]
+pub(crate) struct CandidateTable {
+    per_cell: Vec<Vec<usize>>,
+}
+
+impl CandidateTable {
+    pub(crate) fn new(layout: &CellLayout) -> Self {
+        let cells = layout.cells();
+        let index_of = |cell: Axial| -> usize {
+            cells.iter().position(|&c| c == cell).expect("cell is in the layout")
+        };
+        let per_cell = cells
+            .iter()
+            .map(|&serving| {
+                let neighbors = layout.neighbors_of(serving);
+                if neighbors.is_empty() {
+                    cells
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &c)| c != serving)
+                        .map(|(k, _)| k)
+                        .collect()
+                } else {
+                    neighbors.into_iter().map(index_of).collect()
+                }
+            })
+            .collect();
+        CandidateTable { per_cell }
+    }
+
+    pub(crate) fn of(&self, serving_idx: usize) -> &[usize] {
+        &self.per_cell[serving_idx]
+    }
+}
+
+/// The outcome of one [`UeState::step`], consumed either into a full
+/// [`StepRecord`] (single-UE runs) or into reduced fleet tallies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct StepOutcome {
+    pub serving_before: Axial,
+    pub serving_after_idx: usize,
+    pub serving_rss_dbm: f64,
+    pub neighbor: Axial,
+    pub neighbor_rss_dbm: f64,
+    pub distance_to_serving_km: f64,
+    pub hd: Option<f64>,
+    pub handover: bool,
+    pub outage: bool,
+}
+
+/// Per-UE dynamic simulation state: serving cell, one shadowing process
+/// and one smoothing filter per BS, the UE's private RNG stream, and the
+/// event log. [`Simulation::run`] drives exactly one of these; the fleet
+/// engine drives thousands, which is what makes a 1-UE fleet bit-identical
+/// to a single-trajectory run by construction.
+#[derive(Debug)]
+pub(crate) struct UeState {
+    serving_idx: usize,
+    shadow: Vec<ShadowingProcess>,
+    smoothers: Vec<RssiSmoother>,
+    rng: StdRng,
+    log: EventLog,
+    /// Scratch buffer of post-noise, post-smoothing measurements.
+    measured: Vec<f64>,
+    prev_cum: f64,
+    steps: usize,
+}
+
+impl UeState {
+    /// Fresh state at the start of a trajectory; all randomness (shadowing
+    /// innovations + measurement noise) flows from `seed`.
+    pub(crate) fn new(cfg: &SimConfig, start: Vec2, seed: u64) -> Self {
+        let serving_cell = cfg.layout.nearest_cell(start);
+        let serving_idx = cfg
+            .layout
+            .cells()
+            .iter()
+            .position(|&c| c == serving_cell)
+            .expect("nearest cell is in the layout");
+        // Independent, spatially correlated shadowing per BS, in layout
+        // order (a Vec, not a HashMap: per-instance hash randomisation
+        // would reorder the RNG draws and break seed determinism).
+        let shadow = cfg
+            .layout
+            .cells()
+            .iter()
+            .map(|_| ShadowingProcess::new(cfg.shadowing))
+            .collect();
+        // One stateful smoothing filter per BS (cloned from the template).
+        let smoothers = cfg.layout.cells().iter().map(|_| cfg.smoothing.clone()).collect();
+        UeState {
+            serving_idx,
+            shadow,
+            smoothers,
+            rng: StdRng::seed_from_u64(seed),
+            log: EventLog::new(),
+            measured: Vec::with_capacity(cfg.layout.len()),
+            prev_cum: 0.0,
+            steps: 0,
+        }
+    }
+
+    pub(crate) fn serving_cell(&self, cfg: &SimConfig) -> Axial {
+        cfg.layout.cells()[self.serving_idx]
+    }
+
+    pub(crate) fn step_count(&self) -> usize {
+        self.steps
+    }
+
+    pub(crate) fn into_log(self) -> EventLog {
+        self.log
+    }
+
+    /// Advance one measurement step. `means_dbm[k]` is the mean (pre-fade,
+    /// pre-noise) received power from the layout's `k`-th BS at
+    /// `point.pos` — computed by the caller, scalar for single runs and
+    /// batched per (BS, UE-chunk) for fleets.
+    pub(crate) fn step(
+        &mut self,
+        cfg: &SimConfig,
+        candidates: &CandidateTable,
+        means_dbm: &[f64],
+        point: TracePoint,
+        policy: &mut dyn HandoverPolicy,
+    ) -> StepOutcome {
+        let cells = cfg.layout.cells();
+        debug_assert_eq!(means_dbm.len(), cells.len());
+        let delta = point.cum_km - self.prev_cum;
+        self.prev_cum = point.cum_km;
+        for process in &mut self.shadow {
+            process.advance(delta, &mut self.rng);
+        }
+
+        // Measure every BS: mean propagation + shadowing + noise, then
+        // the per-BS smoothing filter. Measuring all cells keeps every
+        // filter's sample stream contiguous across handovers.
+        self.measured.clear();
+        for (k, smoother) in self.smoothers.iter_mut().enumerate() {
+            let raw = cfg
+                .noise
+                .apply(means_dbm[k] + self.shadow[k].current_db(), &mut self.rng);
+            self.measured.push(smoother.push(raw));
+        }
+
+        // Serving measurement (no speed penalty: the paper applies the
+        // 2 dB/10 km/h rule to the neighbour reading).
+        let serving = cells[self.serving_idx];
+        let serving_rss = self.measured[self.serving_idx];
+
+        // Strongest neighbour among the precomputed candidates.
+        let penalty = speed_penalty_db(cfg.speed_kmh);
+        let (neighbor_idx, neighbor_rss) = candidates
+            .of(self.serving_idx)
+            .iter()
+            .map(|&k| (k, self.measured[k] - penalty))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("RSS is finite"))
+            .expect("layouts have at least two cells");
+        let neighbor = cells[neighbor_idx];
+
+        let report = MeasurementReport {
+            serving,
+            serving_rss_dbm: serving_rss,
+            neighbor,
+            neighbor_rss_dbm: neighbor_rss,
+            distance_to_serving_km: cfg.layout.distance_to_bs(serving, point.pos),
+            distance_to_neighbor_km: cfg.layout.distance_to_bs(neighbor, point.pos),
+        };
+
+        let decision = policy.decide(&report);
+        let hd = match decision {
+            Decision::Handover { hd, .. } => Some(hd),
+            Decision::Stay(StayReason::BelowThreshold { hd })
+            | Decision::Stay(StayReason::SignalRecovering { hd }) => Some(hd),
+            Decision::Stay(_) => None,
+        };
+        let mut handover = false;
+        if let Decision::Handover { target, hd } = decision {
+            self.log.record_handover(HandoverEvent {
+                step: self.steps,
+                at_km: point.cum_km,
+                from: serving,
+                to: target,
+                hd,
+            });
+            policy.notify_handover(target);
+            self.serving_idx = cells
+                .iter()
+                .position(|&c| c == target)
+                .expect("handover target is in the layout");
+            handover = true;
+        }
+        let outage = serving_rss < cfg.outage_threshold_dbm;
+        self.log.record_step(outage);
+        self.steps += 1;
+
+        StepOutcome {
+            serving_before: serving,
+            serving_after_idx: self.serving_idx,
+            serving_rss_dbm: serving_rss,
+            neighbor,
+            neighbor_rss_dbm: neighbor_rss,
+            distance_to_serving_km: report.distance_to_serving_km,
+            hd,
+            handover,
+            outage,
+        }
+    }
+}
+
 /// The simulation engine.
 #[derive(Debug, Clone)]
 pub struct Simulation {
     config: SimConfig,
+    candidates: CandidateTable,
 }
 
 impl Simulation {
@@ -126,7 +342,8 @@ impl Simulation {
     pub fn new(config: SimConfig) -> Self {
         assert!(config.sample_spacing_km > 0.0, "sample spacing must be positive");
         assert!(config.speed_kmh >= 0.0, "speed must be non-negative");
-        Simulation { config }
+        let candidates = CandidateTable::new(&config.layout);
+        Simulation { config, candidates }
     }
 
     /// The configuration.
@@ -134,16 +351,17 @@ impl Simulation {
         &self.config
     }
 
-    /// Measure the RSS from one BS at a position (mean propagation plus
-    /// the BS's current shadowing state), without noise or penalty.
-    fn mean_rss(&self, cell: Axial, pos: Vec2, shadow: &[(Axial, ShadowingProcess)]) -> f64 {
-        let bs = self.config.layout.bs_position(cell);
-        let base = self.config.radio.received_power_dbm(bs, pos);
-        let fade = shadow
-            .iter()
-            .find(|(c, _)| *c == cell)
-            .map_or(0.0, |(_, p)| p.current_db());
-        base + fade
+    pub(crate) fn candidates(&self) -> &CandidateTable {
+        &self.candidates
+    }
+
+    /// Fill `means_dbm` with the mean (pre-fade, pre-noise) received
+    /// power from every BS at `pos`, in layout order.
+    pub(crate) fn mean_rss_all(&self, pos: Vec2, means_dbm: &mut [f64]) {
+        let cfg = &self.config;
+        for (k, &cell) in cfg.layout.cells().iter().enumerate() {
+            means_dbm[k] = cfg.radio.received_power_dbm(cfg.layout.bs_position(cell), pos);
+        }
     }
 
     /// Run the trajectory under `policy`, seeding all randomness
@@ -154,128 +372,30 @@ impl Simulation {
         policy: &mut dyn HandoverPolicy,
         seed: u64,
     ) -> SimResult {
-        let mut rng = StdRng::seed_from_u64(seed);
         let cfg = &self.config;
-        let points = trajectory.resample(cfg.sample_spacing_km);
+        let mut ue = UeState::new(cfg, trajectory.start(), seed);
+        let mut means = vec![0.0; cfg.layout.len()];
+        let mut steps = Vec::new();
 
-        // Independent, spatially correlated shadowing per BS, in layout
-        // order (a Vec, not a HashMap: per-instance hash randomisation
-        // would reorder the RNG draws and break seed determinism).
-        let mut shadow: Vec<(Axial, ShadowingProcess)> = cfg
-            .layout
-            .cells()
-            .iter()
-            .map(|&c| (c, ShadowingProcess::new(cfg.shadowing)))
-            .collect();
-
-        // One stateful smoothing filter per BS (cloned from the template).
-        let mut smoothers: Vec<RssiSmoother> =
-            cfg.layout.cells().iter().map(|_| cfg.smoothing.clone()).collect();
-
-        let mut serving = cfg.layout.nearest_cell(trajectory.start());
-        let mut log = EventLog::new();
-        let mut steps = Vec::with_capacity(points.len());
-        let mut prev_cum = 0.0;
-
-        for (idx, point) in points.iter().enumerate() {
-            let delta = point.cum_km - prev_cum;
-            prev_cum = point.cum_km;
-            for (_, process) in shadow.iter_mut() {
-                process.advance(delta, &mut rng);
-            }
-
-            // Measure every BS: mean propagation + shadowing + noise,
-            // then the per-BS smoothing filter. Measuring all cells keeps
-            // every filter's sample stream contiguous across handovers.
-            let measured: Vec<f64> = cfg
-                .layout
-                .cells()
-                .iter()
-                .zip(smoothers.iter_mut())
-                .map(|(&c, smoother)| {
-                    let raw = cfg.noise.apply(self.mean_rss(c, point.pos, &shadow), &mut rng);
-                    smoother.push(raw)
-                })
-                .collect();
-            let rss_of = |cell: Axial| -> f64 {
-                let k = cfg
-                    .layout
-                    .cells()
-                    .iter()
-                    .position(|&c| c == cell)
-                    .expect("cell is in the layout");
-                measured[k]
-            };
-
-            // Serving measurement (no speed penalty: the paper applies the
-            // 2 dB/10 km/h rule to the neighbour reading).
-            let serving_rss = rss_of(serving);
-
-            // Strongest neighbour among the serving cell's in-layout
-            // neighbours (fall back to any other cell at the layout rim).
-            let mut neighbor_cells = cfg.layout.neighbors_of(serving);
-            if neighbor_cells.is_empty() {
-                neighbor_cells = cfg
-                    .layout
-                    .cells()
-                    .iter()
-                    .copied()
-                    .filter(|c| *c != serving)
-                    .collect();
-            }
-            let penalty = speed_penalty_db(cfg.speed_kmh);
-            let (neighbor, neighbor_rss) = neighbor_cells
-                .into_iter()
-                .map(|c| (c, rss_of(c) - penalty))
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("RSS is finite"))
-                .expect("layouts have at least two cells");
-
-            let report = MeasurementReport {
-                serving,
-                serving_rss_dbm: serving_rss,
-                neighbor,
-                neighbor_rss_dbm: neighbor_rss,
-                distance_to_serving_km: cfg.layout.distance_to_bs(serving, point.pos),
-                distance_to_neighbor_km: cfg.layout.distance_to_bs(neighbor, point.pos),
-            };
-
-            let decision = policy.decide(&report);
-            let hd = match decision {
-                Decision::Handover { hd, .. } => Some(hd),
-                Decision::Stay(StayReason::BelowThreshold { hd })
-                | Decision::Stay(StayReason::SignalRecovering { hd }) => Some(hd),
-                Decision::Stay(_) => None,
-            };
-            let mut handover = false;
-            if let Decision::Handover { target, hd } = decision {
-                log.record_handover(HandoverEvent {
-                    step: idx,
-                    at_km: point.cum_km,
-                    from: serving,
-                    to: target,
-                    hd,
-                });
-                policy.notify_handover(target);
-                serving = target;
-                handover = true;
-            }
-            log.record_step(serving_rss < cfg.outage_threshold_dbm);
-
+        for (idx, point) in trajectory.resample_iter(cfg.sample_spacing_km).enumerate() {
+            self.mean_rss_all(point.pos, &mut means);
+            let out = ue.step(cfg, &self.candidates, &means, point, policy);
             steps.push(StepRecord {
                 step: idx,
                 cum_km: point.cum_km,
                 pos: point.pos,
-                serving: report.serving,
-                serving_rss_dbm: serving_rss,
-                neighbor,
-                neighbor_rss_dbm: neighbor_rss,
-                distance_to_serving_km: report.distance_to_serving_km,
-                hd,
-                handover,
+                serving: out.serving_before,
+                serving_rss_dbm: out.serving_rss_dbm,
+                neighbor: out.neighbor,
+                neighbor_rss_dbm: out.neighbor_rss_dbm,
+                distance_to_serving_km: out.distance_to_serving_km,
+                hd: out.hd,
+                handover: out.handover,
             });
         }
 
-        SimResult { log, steps, final_serving: serving }
+        let final_serving = ue.serving_cell(cfg);
+        SimResult { log: ue.into_log(), steps, final_serving }
     }
 }
 

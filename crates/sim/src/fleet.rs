@@ -1,0 +1,745 @@
+//! Multi-UE fleet simulation: N mobile stations (hundreds to tens of
+//! thousands) stepping concurrently through one shared [`CellLayout`].
+//!
+//! ## Architecture
+//!
+//! * **Struct-of-arrays UE store** — each worker holds its chunk of UEs
+//!   as parallel vectors (trajectory cursor, [`UeState`] with position /
+//!   serving cell / smoother + shadowing state, policy, tally), never the
+//!   whole fleet, so memory stays proportional to
+//!   `workers × chunk_size`, not to the fleet size.
+//! * **Batched RSS evaluation** — per measurement step the mean path loss
+//!   is computed per (BS, UE-chunk) through
+//!   [`radiolink::BsRadio::received_power_dbm_batch`], which hoists the
+//!   TX-power dBm conversion out of the per-UE loop and is bit-identical
+//!   to the scalar path [`Simulation::run`] uses.
+//! * **Per-UE deterministic RNG streams** — UE `i`'s measurement
+//!   randomness is seeded with [`ue_seed`]`(base_seed, i)`. UE 0 uses
+//!   `base_seed` exactly, which is what makes a 1-UE fleet reproduce
+//!   [`Simulation::run`] bit for bit; later UEs take golden-ratio-strided
+//!   seeds (`StdRng::seed_from_u64` mixes them into independent ChaCha
+//!   streams).
+//! * **Sharded parallel stepping** — UE ids are split round-robin over
+//!   crossbeam workers, exactly like `monte_carlo`'s repetition sharding.
+//!   Because every UE owns its stream and the merge sorts outcomes by UE
+//!   id before folding the `f64` aggregates, the result is bit-identical
+//!   for any worker count, chunk size, or UE submission order.
+//!
+//! [`CellLayout`]: cellgeom::CellLayout
+
+use crate::engine::{SimConfig, Simulation, UeState};
+use cellgeom::Axial;
+use handover_core::baselines::{
+    HysteresisPolicy, HysteresisThresholdPolicy, ThresholdPolicy,
+};
+use handover_core::{
+    CellLoadHistogram, ControllerConfig, FleetSummary, FuzzyHandoverController, HandoverPolicy,
+};
+use mobility::{
+    GaussMarkov, ManhattanGrid, MobilityModel, RandomWalk, RandomWaypoint, Trajectory,
+};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The measurement-RNG seed of UE `ue_id` in a fleet seeded with
+/// `base_seed`: `base_seed + ue_id · φ64` (golden-ratio stride, wrapping).
+/// UE 0 gets `base_seed` itself — the contract that makes a 1-UE fleet
+/// bit-identical to [`Simulation::run`] with the same seed.
+pub fn ue_seed(base_seed: u64, ue_id: u64) -> u64 {
+    base_seed.wrapping_add(ue_id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Domain-separation mask for trajectory streams: [`HomogeneousFleet`]
+/// folds it into its `trajectory_seed` before deriving per-UE streams,
+/// so passing the *same* value as `trajectory_seed` and as the
+/// measurement `base_seed` never hands one ChaCha stream to two
+/// consumers (which would silently correlate mobility with fading).
+pub const TRAJECTORY_STREAM: u64 = 0x7472_616A_6563_7421; // "traject!"
+
+/// The mobility models a fleet can be populated with (the scenario
+/// matrix sweeps all four).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FleetMobility {
+    /// The paper's Monte-Carlo random walk.
+    RandomWalk(RandomWalk),
+    /// Gauss–Markov correlated (vehicular) motion.
+    GaussMarkov(GaussMarkov),
+    /// Manhattan street-grid motion.
+    Manhattan(ManhattanGrid),
+    /// Random waypoint inside a rectangle.
+    Waypoint(RandomWaypoint),
+}
+
+impl FleetMobility {
+    /// Short label used in matrix tables and bench ids.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FleetMobility::RandomWalk(_) => "random-walk",
+            FleetMobility::GaussMarkov(_) => "gauss-markov",
+            FleetMobility::Manhattan(_) => "manhattan",
+            FleetMobility::Waypoint(_) => "waypoint",
+        }
+    }
+
+    /// Generate one trajectory from the model.
+    pub fn generate(&self, rng: &mut StdRng) -> Trajectory {
+        match self {
+            FleetMobility::RandomWalk(m) => m.generate(rng),
+            FleetMobility::GaussMarkov(m) => m.generate(rng),
+            FleetMobility::Manhattan(m) => m.generate(rng),
+            FleetMobility::Waypoint(m) => m.generate(rng),
+        }
+    }
+
+    /// The standard four-model spread used by the scenario matrix and the
+    /// `fleet` bench: paper random walk, vehicular Gauss–Markov, downtown
+    /// Manhattan, and a waypoint box covering the 2-ring layout, each
+    /// sized to `n_segments` movement legs.
+    pub fn standard_four(n_segments: usize) -> Vec<FleetMobility> {
+        vec![
+            FleetMobility::RandomWalk(RandomWalk::paper_default(n_segments)),
+            FleetMobility::GaussMarkov(GaussMarkov::vehicular(n_segments)),
+            FleetMobility::Manhattan(ManhattanGrid::downtown(n_segments)),
+            FleetMobility::Waypoint(RandomWaypoint::centered(4.0, n_segments)),
+        ]
+    }
+}
+
+/// The handover policies a fleet can run (fuzzy + the conventional
+/// baselines the paper defers to future work).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// The paper's three-stage fuzzy controller.
+    Fuzzy,
+    /// Pure RSS hysteresis with the given margin.
+    Hysteresis {
+        /// Required neighbour advantage, dB.
+        margin_db: f64,
+    },
+    /// Absolute serving-RSS threshold.
+    Threshold {
+        /// Serving-RSS threshold, dBm.
+        threshold_dbm: f64,
+    },
+    /// Combined hysteresis + threshold.
+    HysteresisThreshold {
+        /// Serving-RSS threshold, dBm.
+        threshold_dbm: f64,
+        /// Required neighbour advantage, dB.
+        margin_db: f64,
+    },
+}
+
+impl PolicyKind {
+    /// Short label used in matrix tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::Fuzzy => "fuzzy",
+            PolicyKind::Hysteresis { .. } => "hysteresis",
+            PolicyKind::Threshold { .. } => "threshold",
+            PolicyKind::HysteresisThreshold { .. } => "hyst+thresh",
+        }
+    }
+
+    /// Build a fresh policy instance (`cell_radius_km` feeds the fuzzy
+    /// controller's DMB normalisation).
+    pub fn build(&self, cell_radius_km: f64) -> Box<dyn HandoverPolicy + Send> {
+        match *self {
+            PolicyKind::Fuzzy => Box::new(FuzzyHandoverController::new(
+                ControllerConfig::paper_default(cell_radius_km),
+            )),
+            PolicyKind::Hysteresis { margin_db } => Box::new(HysteresisPolicy::new(margin_db)),
+            PolicyKind::Threshold { threshold_dbm } => {
+                Box::new(ThresholdPolicy::new(threshold_dbm))
+            }
+            PolicyKind::HysteresisThreshold { threshold_dbm, margin_db } => {
+                Box::new(HysteresisThresholdPolicy::new(threshold_dbm, margin_db))
+            }
+        }
+    }
+}
+
+/// Describes one UE population. Implementations must be deterministic
+/// functions of `ue_id` — the engine may query any UE from any worker
+/// thread, in any order.
+pub trait UeSpec: Sync {
+    /// The UE's trajectory.
+    fn trajectory(&self, ue_id: u64) -> Trajectory;
+    /// A fresh policy instance for the UE.
+    fn policy(&self, ue_id: u64) -> Box<dyn HandoverPolicy + Send>;
+}
+
+/// A homogeneous population: every UE draws its trajectory from the same
+/// mobility model (via the per-UE stream `ue_seed(trajectory_seed, id)`)
+/// and runs the same policy kind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HomogeneousFleet {
+    /// Mobility model shared by all UEs.
+    pub mobility: FleetMobility,
+    /// Policy kind shared by all UEs.
+    pub policy: PolicyKind,
+    /// Base seed of the trajectory streams (independent of the
+    /// measurement `base_seed` passed to [`FleetSimulation::run`]).
+    pub trajectory_seed: u64,
+    /// Cell radius for the fuzzy controller's DMB normalisation.
+    pub cell_radius_km: f64,
+}
+
+impl UeSpec for HomogeneousFleet {
+    fn trajectory(&self, ue_id: u64) -> Trajectory {
+        // The mask keeps trajectory streams disjoint from measurement
+        // streams even when trajectory_seed == base_seed.
+        let mut rng =
+            StdRng::seed_from_u64(ue_seed(self.trajectory_seed ^ TRAJECTORY_STREAM, ue_id));
+        self.mobility.generate(&mut rng)
+    }
+
+    fn policy(&self, _ue_id: u64) -> Box<dyn HandoverPolicy + Send> {
+        self.policy.build(self.cell_radius_km)
+    }
+}
+
+/// A single UE wrapping a fixed trajectory and a policy factory — the
+/// bridge used by tests to compare a 1-UE fleet against
+/// [`Simulation::run`] on the same walk.
+pub struct SingleUe<F: Fn() -> Box<dyn HandoverPolicy + Send> + Sync> {
+    /// The UE's fixed trajectory.
+    pub trajectory: Trajectory,
+    /// Policy factory.
+    pub make_policy: F,
+}
+
+impl<F: Fn() -> Box<dyn HandoverPolicy + Send> + Sync> UeSpec for SingleUe<F> {
+    fn trajectory(&self, _ue_id: u64) -> Trajectory {
+        self.trajectory.clone()
+    }
+
+    fn policy(&self, _ue_id: u64) -> Box<dyn HandoverPolicy + Send> {
+        (self.make_policy)()
+    }
+}
+
+/// The reduced, per-UE result of a fleet run. `hd_sum` is folded in step
+/// order, so it doubles as a bit-sensitive checksum of the UE's entire
+/// HD stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UeOutcome {
+    /// The UE id.
+    pub ue_id: u64,
+    /// Measurement steps taken.
+    pub steps: u64,
+    /// Executed handovers.
+    pub handovers: u64,
+    /// Ping-pongs (window from the simulation config).
+    pub ping_pongs: u64,
+    /// Steps spent in outage.
+    pub outage_steps: u64,
+    /// Sum of the FLC outputs observed, in step order.
+    pub hd_sum: f64,
+    /// Number of FLC outputs observed.
+    pub hd_count: u64,
+    /// Path length travelled, km.
+    pub travelled_km: f64,
+    /// Serving cell at the end of the walk.
+    pub final_serving: Axial,
+}
+
+impl UeOutcome {
+    /// Reduce a full [`SimResult`](crate::engine::SimResult) to the fleet
+    /// outcome form — the reference the 1-UE equivalence tests compare
+    /// against, field by field and bit by bit.
+    pub fn from_sim_result(
+        ue_id: u64,
+        result: &crate::engine::SimResult,
+        pingpong_window: usize,
+    ) -> UeOutcome {
+        let mut hd_sum = 0.0;
+        let mut hd_count = 0u64;
+        for s in &result.steps {
+            if let Some(hd) = s.hd {
+                hd_sum += hd;
+                hd_count += 1;
+            }
+        }
+        UeOutcome {
+            ue_id,
+            steps: result.log.step_count() as u64,
+            handovers: result.log.handover_count() as u64,
+            ping_pongs: result.log.ping_pong_report(pingpong_window).ping_pongs as u64,
+            outage_steps: result.log.outage_step_count() as u64,
+            hd_sum,
+            hd_count,
+            travelled_km: result.steps.last().map_or(0.0, |s| s.cum_km),
+            final_serving: result.final_serving,
+        }
+    }
+
+    fn summary(&self) -> FleetSummary {
+        FleetSummary {
+            ues: 1,
+            steps: self.steps,
+            handovers: self.handovers,
+            ping_pongs: self.ping_pongs,
+            outage_steps: self.outage_steps,
+            hd_sum: self.hd_sum,
+            hd_count: self.hd_count,
+        }
+    }
+}
+
+/// The outcome of a fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetResult {
+    /// Per-UE outcomes, ascending by UE id.
+    pub outcomes: Vec<UeOutcome>,
+    /// Serving-load histogram over the layout cells (UE-steps served).
+    pub cell_load: CellLoadHistogram,
+    /// Fleet-level aggregate (folded in UE-id order).
+    pub summary: FleetSummary,
+}
+
+/// The fleet engine. Wraps a [`Simulation`]-compatible configuration and
+/// runs any number of UEs through it; see the module docs for the
+/// determinism contract.
+#[derive(Debug, Clone)]
+pub struct FleetSimulation {
+    sim: Simulation,
+    workers: usize,
+    chunk_size: usize,
+}
+
+impl FleetSimulation {
+    /// Default number of UEs stepped in lockstep per batch.
+    pub const DEFAULT_CHUNK_SIZE: usize = 128;
+
+    /// Build a fleet engine (1 worker, default chunk size).
+    pub fn new(config: SimConfig) -> Self {
+        FleetSimulation {
+            sim: Simulation::new(config),
+            workers: 1,
+            chunk_size: Self::DEFAULT_CHUNK_SIZE,
+        }
+    }
+
+    /// Set the crossbeam worker count (clamped to ≥ 1). Results are
+    /// bit-identical for every value.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Set the lockstep batch size (clamped to ≥ 1). Results are
+    /// bit-identical for every value; larger chunks amortise the batched
+    /// RSS evaluation better, smaller chunks bound memory tighter.
+    #[must_use]
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size.max(1);
+        self
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        self.sim.config()
+    }
+
+    /// Run UEs `0..n_ues`.
+    pub fn run(&self, spec: &dyn UeSpec, n_ues: u64, base_seed: u64) -> FleetResult {
+        let ids: Vec<u64> = (0..n_ues).collect();
+        self.run_ids(spec, &ids, base_seed)
+    }
+
+    /// Run an explicit UE id set (ids should be distinct; each UE's
+    /// result depends only on its own id, and the merge orders outcomes
+    /// by id, so any permutation of `ids` produces the same result).
+    pub fn run_ids(&self, spec: &dyn UeSpec, ids: &[u64], base_seed: u64) -> FleetResult {
+        let workers = self.workers.clamp(1, ids.len().max(1));
+        let collected: Mutex<Vec<(Vec<UeOutcome>, CellLoadHistogram)>> =
+            Mutex::new(Vec::with_capacity(workers));
+
+        crossbeam::scope(|scope| {
+            for w in 0..workers {
+                let collected = &collected;
+                scope.spawn(move |_| {
+                    // Static round-robin shard, independent of scheduling.
+                    let shard: Vec<u64> =
+                        ids.iter().copied().skip(w).step_by(workers).collect();
+                    let mut outcomes = Vec::with_capacity(shard.len());
+                    let mut load =
+                        CellLoadHistogram::new(self.config().layout.cells().iter().copied());
+                    for chunk in shard.chunks(self.chunk_size) {
+                        self.simulate_chunk(spec, chunk, base_seed, &mut load, &mut outcomes);
+                    }
+                    collected.lock().push((outcomes, load));
+                });
+            }
+        })
+        .expect("fleet workers do not panic");
+
+        let mut cell_load = CellLoadHistogram::new(self.config().layout.cells().iter().copied());
+        let mut outcomes: Vec<UeOutcome> = Vec::with_capacity(ids.len());
+        for (part, load) in collected.into_inner() {
+            outcomes.extend(part);
+            cell_load.merge(&load);
+        }
+        // UE-id order makes the f64 summary folds independent of the
+        // sharding and of the submission order of `ids`.
+        outcomes.sort_by_key(|o| o.ue_id);
+        let mut summary = FleetSummary::default();
+        for o in &outcomes {
+            summary.absorb(&o.summary());
+        }
+        FleetResult { outcomes, cell_load, summary }
+    }
+
+    /// Step one chunk of UEs to completion in lockstep, batching the mean
+    /// RSS evaluation per (BS, chunk) at every step.
+    fn simulate_chunk(
+        &self,
+        spec: &dyn UeSpec,
+        ids: &[u64],
+        base_seed: u64,
+        load: &mut CellLoadHistogram,
+        out: &mut Vec<UeOutcome>,
+    ) {
+        let cfg = self.config();
+        let cells = cfg.layout.cells();
+        let n = ids.len();
+
+        // Struct-of-arrays chunk store. Trajectories hold only waypoints;
+        // the resampled measurement points stream lazily per UE.
+        let trajectories: Vec<Trajectory> = ids.iter().map(|&id| spec.trajectory(id)).collect();
+        let mut cursors: Vec<mobility::ResampleIter<'_>> = trajectories
+            .iter()
+            .map(|t| t.resample_iter(cfg.sample_spacing_km))
+            .collect();
+        let mut policies: Vec<Box<dyn HandoverPolicy + Send>> =
+            ids.iter().map(|&id| spec.policy(id)).collect();
+        let mut ues: Vec<Option<UeState>> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| {
+                Some(UeState::new(cfg, trajectories[i].start(), ue_seed(base_seed, id)))
+            })
+            .collect();
+        let mut hd_sums = vec![0.0f64; n];
+        let mut hd_counts = vec![0u64; n];
+        let mut travelled = vec![0.0f64; n];
+
+        // Scratch buffers reused across steps.
+        let mut active_idx: Vec<usize> = Vec::with_capacity(n);
+        let mut positions: Vec<cellgeom::Vec2> = Vec::with_capacity(n);
+        let mut points: Vec<mobility::TracePoint> = Vec::with_capacity(n);
+        let mut rss_matrix: Vec<f64> = Vec::new();
+        let mut means = vec![0.0f64; cells.len()];
+
+        loop {
+            // Advance every live UE's trajectory cursor; retire the ones
+            // that just finished.
+            active_idx.clear();
+            positions.clear();
+            points.clear();
+            for i in 0..n {
+                if ues[i].is_none() {
+                    continue;
+                }
+                match cursors[i].next() {
+                    Some(p) => {
+                        active_idx.push(i);
+                        positions.push(p.pos);
+                        points.push(p);
+                    }
+                    None => {
+                        let state = ues[i].take().expect("UE is live");
+                        out.push(finish_ue(
+                            cfg,
+                            ids[i],
+                            state,
+                            hd_sums[i],
+                            hd_counts[i],
+                            travelled[i],
+                        ));
+                    }
+                }
+            }
+            let a = active_idx.len();
+            if a == 0 {
+                break;
+            }
+
+            // Batched mean RSS: one (BS × chunk) pass per cell.
+            rss_matrix.clear();
+            rss_matrix.resize(cells.len() * a, 0.0);
+            for (k, &cell) in cells.iter().enumerate() {
+                cfg.radio.received_power_dbm_batch(
+                    cfg.layout.bs_position(cell),
+                    &positions,
+                    &mut rss_matrix[k * a..(k + 1) * a],
+                );
+            }
+
+            // Per-UE decision step (RNG, fading, noise, policy).
+            for (j, &i) in active_idx.iter().enumerate() {
+                for (k, slot) in means.iter_mut().enumerate() {
+                    *slot = rss_matrix[k * a + j];
+                }
+                let ue = ues[i].as_mut().expect("UE is live");
+                let outcome =
+                    ue.step(cfg, self.sim.candidates(), &means, points[j], policies[i].as_mut());
+                load.record_index(outcome.serving_after_idx);
+                if let Some(hd) = outcome.hd {
+                    hd_sums[i] += hd;
+                    hd_counts[i] += 1;
+                }
+                travelled[i] = points[j].cum_km;
+            }
+        }
+    }
+}
+
+/// Reduce a finished UE's state into its outcome.
+fn finish_ue(
+    cfg: &SimConfig,
+    ue_id: u64,
+    state: UeState,
+    hd_sum: f64,
+    hd_count: u64,
+    travelled_km: f64,
+) -> UeOutcome {
+    let final_serving = state.serving_cell(cfg);
+    let steps = state.step_count() as u64;
+    let log = state.into_log();
+    UeOutcome {
+        ue_id,
+        steps,
+        handovers: log.handover_count() as u64,
+        ping_pongs: log.ping_pong_report(cfg.pingpong_window_steps).ping_pongs as u64,
+        outage_steps: log.outage_step_count() as u64,
+        hd_sum,
+        hd_count,
+        travelled_km,
+        final_serving,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulation;
+    use radiolink::{MeasurementNoise, ShadowingConfig};
+
+    fn noisy_config() -> SimConfig {
+        let mut cfg = SimConfig::paper_default();
+        cfg.shadowing = ShadowingConfig { sigma_db: 4.0, decorrelation_km: 0.05 };
+        cfg.noise = MeasurementNoise::new(1.0);
+        cfg.sample_spacing_km = 0.2;
+        cfg
+    }
+
+    fn fuzzy_walk_spec(trajectory_seed: u64) -> HomogeneousFleet {
+        HomogeneousFleet {
+            mobility: FleetMobility::RandomWalk(RandomWalk::paper_default(6)),
+            policy: PolicyKind::Fuzzy,
+            trajectory_seed,
+            cell_radius_km: 2.0,
+        }
+    }
+
+    #[test]
+    fn ue_zero_uses_the_base_seed() {
+        assert_eq!(ue_seed(42, 0), 42);
+        assert_ne!(ue_seed(42, 1), 43, "later UEs stride, not increment");
+        let spread: std::collections::HashSet<u64> = (0..1000).map(|i| ue_seed(7, i)).collect();
+        assert_eq!(spread.len(), 1000, "per-UE seeds are distinct");
+    }
+
+    #[test]
+    fn trajectory_and_measurement_streams_are_domain_separated() {
+        // Passing the same value as trajectory_seed and base_seed must
+        // not hand one RNG stream to two consumers: the trajectory of
+        // UE 0 is drawn from the masked stream, not from seed 42 itself.
+        let spec = fuzzy_walk_spec(42);
+        let from_spec = spec.trajectory(0);
+        let unmasked = spec
+            .mobility
+            .generate(&mut StdRng::seed_from_u64(42));
+        assert_ne!(from_spec, unmasked, "trajectory stream must be masked");
+        let masked = spec
+            .mobility
+            .generate(&mut StdRng::seed_from_u64(ue_seed(42 ^ TRAJECTORY_STREAM, 0)));
+        assert_eq!(from_spec, masked, "mask contract is pinned");
+    }
+
+    #[test]
+    fn one_ue_fleet_matches_single_run_bit_for_bit() {
+        let cfg = noisy_config();
+        let make = || -> Box<dyn HandoverPolicy + Send> { PolicyKind::Fuzzy.build(2.0) };
+        let walk = RandomWalk::paper_default(8).generate(&mut StdRng::seed_from_u64(11));
+        let spec = SingleUe { trajectory: walk.clone(), make_policy: make };
+
+        let fleet = FleetSimulation::new(cfg.clone());
+        let result = fleet.run(&spec, 1, 77);
+
+        let sim = Simulation::new(cfg.clone());
+        let mut policy = PolicyKind::Fuzzy.build(2.0);
+        let reference = sim.run(&walk, policy.as_mut(), 77);
+        let expected = UeOutcome::from_sim_result(0, &reference, cfg.pingpong_window_steps);
+
+        assert_eq!(result.outcomes.len(), 1);
+        assert_eq!(result.outcomes[0], expected);
+        assert_eq!(result.outcomes[0].hd_sum.to_bits(), expected.hd_sum.to_bits());
+        assert_eq!(result.summary.steps, expected.steps);
+    }
+
+    #[test]
+    fn worker_count_and_chunk_size_do_not_change_results() {
+        let spec = fuzzy_walk_spec(5);
+        let reference = FleetSimulation::new(noisy_config()).run(&spec, 40, 9);
+        for workers in [2, 3, 8] {
+            for chunk in [1, 7, 64] {
+                let got = FleetSimulation::new(noisy_config())
+                    .with_workers(workers)
+                    .with_chunk_size(chunk)
+                    .run(&spec, 40, 9);
+                assert_eq!(reference, got, "workers={workers} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn ue_submission_order_does_not_change_results() {
+        let spec = fuzzy_walk_spec(3);
+        let fleet = FleetSimulation::new(noisy_config()).with_workers(2).with_chunk_size(4);
+        let forward: Vec<u64> = (0..30).collect();
+        let mut shuffled = forward.clone();
+        shuffled.reverse();
+        shuffled.swap(3, 17);
+        shuffled.rotate_left(11);
+        assert_eq!(fleet.run_ids(&spec, &forward, 4), fleet.run_ids(&spec, &shuffled, 4));
+    }
+
+    #[test]
+    fn fleet_reruns_are_deterministic_and_seeds_matter() {
+        let spec = fuzzy_walk_spec(1);
+        let fleet = FleetSimulation::new(noisy_config()).with_workers(4);
+        let a = fleet.run(&spec, 25, 100);
+        let b = fleet.run(&spec, 25, 100);
+        let c = fleet.run(&spec, 25, 101);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "the measurement base seed reaches every UE");
+    }
+
+    #[test]
+    fn cell_load_accounts_every_ue_step() {
+        let spec = fuzzy_walk_spec(2);
+        let result = FleetSimulation::new(noisy_config()).with_workers(3).run(&spec, 50, 8);
+        let total_steps: u64 = result.outcomes.iter().map(|o| o.steps).sum();
+        assert_eq!(result.cell_load.total(), total_steps);
+        assert_eq!(result.summary.steps, total_steps);
+        assert_eq!(result.summary.ues, 50);
+        assert!(result.cell_load.peak().1 > 0, "someone served someone");
+        // Walks start at the origin BS, so the origin cell dominates.
+        assert_eq!(result.cell_load.peak().0, Axial::ORIGIN);
+    }
+
+    #[test]
+    fn outcomes_are_sorted_by_ue_id() {
+        let spec = fuzzy_walk_spec(6);
+        let result = FleetSimulation::new(noisy_config()).with_workers(5).run(&spec, 23, 1);
+        let ids: Vec<u64> = result.outcomes.iter().map(|o| o.ue_id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+        assert_eq!(ids.len(), 23);
+    }
+
+    #[test]
+    fn empty_fleet_is_a_benign_no_op() {
+        let spec = fuzzy_walk_spec(0);
+        let result = FleetSimulation::new(noisy_config()).run(&spec, 0, 0);
+        assert!(result.outcomes.is_empty());
+        assert_eq!(result.summary, FleetSummary::default());
+        assert_eq!(result.cell_load.total(), 0);
+    }
+
+    #[test]
+    fn hd_free_fleets_report_no_mean_hd() {
+        // A threshold so deep it never fires: no handovers, no FLC
+        // outputs — mean HD must be None, not NaN.
+        let spec = HomogeneousFleet {
+            policy: PolicyKind::Threshold { threshold_dbm: -500.0 },
+            ..fuzzy_walk_spec(4)
+        };
+        let result = FleetSimulation::new(noisy_config()).run(&spec, 10, 2);
+        assert_eq!(result.summary.handovers, 0);
+        assert_eq!(result.summary.mean_hd(), None, "no FLC data is None, never NaN");
+        assert!(result.summary.steps > 0);
+        let json = serde_json::to_string(&result.summary).unwrap();
+        assert!(!json.contains("NaN") && !json.contains("null"), "{json}");
+    }
+
+    #[test]
+    fn fuzzy_fleet_pings_pongs_less_than_zero_margin_hysteresis() {
+        let fuzzy = fuzzy_walk_spec(12);
+        let naive = HomogeneousFleet {
+            policy: PolicyKind::Hysteresis { margin_db: 0.0 },
+            ..fuzzy
+        };
+        let fleet = FleetSimulation::new(noisy_config()).with_workers(4);
+        let f = fleet.run(&fuzzy, 60, 5).summary;
+        let n = fleet.run(&naive, 60, 5).summary;
+        assert!(
+            f.handovers < n.handovers,
+            "fuzzy ({}) hands over less than naive ({})",
+            f.handovers,
+            n.handovers
+        );
+        assert!(f.ping_pong_ratio() <= n.ping_pong_ratio());
+    }
+
+    #[test]
+    fn single_point_trajectories_take_exactly_one_step() {
+        // A fleet of pinned UEs (zero-length walks): one measurement
+        // step each, no handovers, all load on the origin cell.
+        let make = || -> Box<dyn HandoverPolicy + Send> { PolicyKind::Fuzzy.build(2.0) };
+        let spec = SingleUe {
+            trajectory: Trajectory::new(vec![cellgeom::Vec2::new(0.2, 0.1)]),
+            make_policy: make,
+        };
+        let result = FleetSimulation::new(noisy_config()).with_workers(2).run(&spec, 12, 1);
+        assert_eq!(result.summary.steps, 12);
+        assert_eq!(result.summary.handovers, 0);
+        assert_eq!(result.cell_load.count(Axial::ORIGIN), 12);
+        for o in &result.outcomes {
+            assert_eq!(o.steps, 1);
+            assert_eq!(o.travelled_km, 0.0);
+            assert_eq!(o.final_serving, Axial::ORIGIN);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = fuzzy_walk_spec(9);
+        let result = FleetSimulation::new(noisy_config()).run(&spec, 3, 6);
+        let back: FleetResult =
+            serde_json::from_str(&serde_json::to_string(&result).unwrap()).unwrap();
+        assert_eq!(result, back);
+    }
+
+    #[test]
+    fn all_four_mobility_models_run() {
+        for mobility in FleetMobility::standard_four(5) {
+            let spec = HomogeneousFleet {
+                mobility,
+                policy: PolicyKind::Fuzzy,
+                trajectory_seed: 2,
+                cell_radius_km: 2.0,
+            };
+            let result = FleetSimulation::new(noisy_config()).run(&spec, 8, 3);
+            assert_eq!(result.outcomes.len(), 8, "{}", mobility.label());
+            assert!(result.summary.steps > 0, "{}", mobility.label());
+        }
+    }
+}

@@ -11,6 +11,12 @@
 //!   search that found them.
 //! * [`monte_carlo`] — N-repetition averaging, sequentially or on a
 //!   crossbeam thread pool.
+//! * [`fleet`] — the multi-UE fleet engine: thousands of mobile stations
+//!   stepping through one layout with batched RSS evaluation, per-UE RNG
+//!   streams and sharded parallel execution.
+//! * [`matrix`] — the scenario-matrix runner sweeping
+//!   {UE count} × {mobility model} × {speed} × {policy} over the fleet
+//!   engine.
 //! * [`experiments`] — one module per paper table/figure; the `repro`
 //!   binary prints them all.
 //! * [`table`] / [`series`] — plain-text renderers for tables and plots.
@@ -20,6 +26,8 @@
 
 pub mod engine;
 pub mod experiments;
+pub mod fleet;
+pub mod matrix;
 pub mod monte_carlo;
 pub mod params;
 pub mod scenario;
@@ -27,5 +35,10 @@ pub mod series;
 pub mod table;
 
 pub use engine::{SimConfig, SimResult, Simulation, StepRecord};
+pub use fleet::{
+    ue_seed, FleetMobility, FleetResult, FleetSimulation, HomogeneousFleet, PolicyKind, UeOutcome,
+    UeSpec,
+};
+pub use matrix::{MatrixCellResult, MatrixMetric, MatrixResult, ScenarioMatrix};
 pub use params::PaperParams;
 pub use scenario::{Scenario, SCENARIO_A_SEED, SCENARIO_B_SEED};

@@ -1,0 +1,413 @@
+//! Scenario-matrix runner: sweep the fleet engine across
+//! {UE count} × {mobility model} × {speed} × {policy} and aggregate the
+//! fleet-level metrics (handover rate, ping-pong rate, outage ratio,
+//! per-cell load histogram) into the existing [`table`](crate::table) and
+//! [`series`](crate::series) reporting types.
+
+use crate::engine::SimConfig;
+use crate::fleet::{FleetMobility, FleetSimulation, HomogeneousFleet, PolicyKind};
+use crate::series::Series;
+use crate::table::{fmt_f, TextTable};
+use handover_core::{CellLoadHistogram, FleetSummary};
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 finalizer deriving each matrix cell's seed from the master
+/// seed. A plain golden-ratio stride (like the per-UE one) would make
+/// adjacent cells share almost their whole per-UE measurement seed set
+/// (`base + kφ + jφ = base + (k+1)φ + (j-1)φ`); the avalanche mix keeps
+/// every cell's seed set disjoint in practice.
+fn cell_seed(base_seed: u64, cell_index: u64) -> u64 {
+    let mut z = base_seed ^ cell_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A full sweep specification. Axes are swept in nesting order
+/// UE count → mobility → speed → policy; each combination ("matrix
+/// cell") runs one fleet with its own deterministic seed derived from
+/// `base_seed` and the cell index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioMatrix {
+    /// Base simulation configuration (`speed_kmh` is overridden per cell).
+    pub base: SimConfig,
+    /// Fleet sizes to sweep.
+    pub ue_counts: Vec<u64>,
+    /// Mobility models to sweep.
+    pub mobilities: Vec<FleetMobility>,
+    /// MS speeds to sweep, km/h.
+    pub speeds_kmh: Vec<f64>,
+    /// Handover policies to sweep.
+    pub policies: Vec<PolicyKind>,
+    /// Master seed; every matrix cell derives its own streams from it.
+    pub base_seed: u64,
+    /// Crossbeam workers per fleet run.
+    pub workers: usize,
+}
+
+impl ScenarioMatrix {
+    /// A small smoke-test default over the paper configuration: 100 UEs,
+    /// all four standard mobility models, two speeds, fuzzy vs 4 dB
+    /// hysteresis.
+    pub fn small_default() -> Self {
+        ScenarioMatrix {
+            base: SimConfig::paper_default(),
+            ue_counts: vec![100],
+            mobilities: FleetMobility::standard_four(6),
+            speeds_kmh: vec![0.0, 30.0],
+            policies: vec![PolicyKind::Fuzzy, PolicyKind::Hysteresis { margin_db: 4.0 }],
+            base_seed: 0xF1EE7,
+            workers: 4,
+        }
+    }
+
+    /// Total number of matrix cells.
+    pub fn len(&self) -> usize {
+        self.ue_counts.len() * self.mobilities.len() * self.speeds_kmh.len() * self.policies.len()
+    }
+
+    /// True when any axis is empty (the matrix sweeps nothing).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Run every matrix cell.
+    pub fn run(&self) -> MatrixResult {
+        let mut cells = Vec::with_capacity(self.len());
+        let mut cell_index = 0u64;
+        for &ue_count in &self.ue_counts {
+            for &mobility in &self.mobilities {
+                for &speed_kmh in &self.speeds_kmh {
+                    for &policy in &self.policies {
+                        let mut cfg = self.base.clone();
+                        cfg.speed_kmh = speed_kmh;
+                        let cell_radius_km = cfg.layout.cell_radius_km();
+                        let seed = cell_seed(self.base_seed, cell_index);
+                        let fleet =
+                            FleetSimulation::new(cfg).with_workers(self.workers.max(1));
+                        // HomogeneousFleet domain-separates the
+                        // trajectory stream itself, so the one cell seed
+                        // safely feeds both.
+                        let spec = HomogeneousFleet {
+                            mobility,
+                            policy,
+                            trajectory_seed: seed,
+                            cell_radius_km,
+                        };
+                        let result = fleet.run(&spec, ue_count, seed);
+                        cells.push(MatrixCellResult {
+                            ue_count,
+                            mobility: mobility.label().to_string(),
+                            speed_kmh,
+                            policy: policy.label().to_string(),
+                            summary: result.summary,
+                            cell_load: result.cell_load,
+                        });
+                        cell_index += 1;
+                    }
+                }
+            }
+        }
+        MatrixResult { cells }
+    }
+}
+
+/// One matrix cell's aggregated outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixCellResult {
+    /// Fleet size.
+    pub ue_count: u64,
+    /// Mobility-model label.
+    pub mobility: String,
+    /// MS speed, km/h.
+    pub speed_kmh: f64,
+    /// Policy label.
+    pub policy: String,
+    /// Fleet-level aggregate metrics.
+    pub summary: FleetSummary,
+    /// Per-cell serving-load histogram.
+    pub cell_load: CellLoadHistogram,
+}
+
+impl MatrixCellResult {
+    /// Compact configuration label, e.g. `1000ue/random-walk/30kmh/fuzzy`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}ue/{}/{:.0}kmh/{}",
+            self.ue_count, self.mobility, self.speed_kmh, self.policy
+        )
+    }
+}
+
+/// A fleet-level metric selectable for series extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatrixMetric {
+    /// Mean handovers per UE.
+    HandoversPerUe,
+    /// Fraction of handovers that ping-ponged.
+    PingPongRatio,
+    /// Fraction of UE-steps in outage.
+    OutageRatio,
+    /// Mean FLC output (`None` when the policy never produced one — such
+    /// cells contribute no series points, so NaN never reaches a
+    /// serialized [`Series`]).
+    MeanHd,
+}
+
+impl MatrixMetric {
+    /// Column/legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MatrixMetric::HandoversPerUe => "HO/UE",
+            MatrixMetric::PingPongRatio => "PP ratio",
+            MatrixMetric::OutageRatio => "outage",
+            MatrixMetric::MeanHd => "mean HD",
+        }
+    }
+
+    /// Extract the metric from a summary (`None` only for
+    /// [`MatrixMetric::MeanHd`] without FLC data).
+    pub fn of(&self, summary: &FleetSummary) -> Option<f64> {
+        match self {
+            MatrixMetric::HandoversPerUe => Some(summary.handovers_per_ue()),
+            MatrixMetric::PingPongRatio => Some(summary.ping_pong_ratio()),
+            MatrixMetric::OutageRatio => Some(summary.outage_ratio()),
+            MatrixMetric::MeanHd => summary.mean_hd(),
+        }
+    }
+}
+
+/// All matrix cells, in sweep order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixResult {
+    /// One entry per matrix cell.
+    pub cells: Vec<MatrixCellResult>,
+}
+
+impl MatrixResult {
+    /// The fleet-metric summary table: one row per matrix cell.
+    pub fn summary_table(&self) -> TextTable {
+        let mut t = TextTable::new("Scenario matrix — fleet metrics").headers([
+            "UEs",
+            "Mobility",
+            "Speed",
+            "Policy",
+            "Steps",
+            "HO/UE",
+            "PP ratio",
+            "Outage",
+            "Mean HD",
+            "Peak cell",
+            "Peak load",
+        ]);
+        for c in &self.cells {
+            let (peak_cell, _) = c.cell_load.peak();
+            t.row([
+                c.ue_count.to_string(),
+                c.mobility.clone(),
+                format!("{:.0} km/h", c.speed_kmh),
+                c.policy.clone(),
+                c.summary.steps.to_string(),
+                fmt_f(c.summary.handovers_per_ue(), 2),
+                fmt_f(c.summary.ping_pong_ratio(), 3),
+                fmt_f(c.summary.outage_ratio(), 3),
+                c.summary.mean_hd().map_or_else(|| "-".to_string(), |hd| fmt_f(hd, 3)),
+                format!("({}, {})", peak_cell.q, peak_cell.r),
+                fmt_f(c.cell_load.share(peak_cell), 3),
+            ]);
+        }
+        t
+    }
+
+    /// The per-cell load-histogram table: one row per layout cell, one
+    /// column per matrix cell (capped at `max_configs` columns).
+    pub fn load_table(&self, max_configs: usize) -> TextTable {
+        let shown = self.cells.iter().take(max_configs.max(1)).collect::<Vec<_>>();
+        let mut headers = vec!["Cell".to_string()];
+        headers.extend(shown.iter().map(|c| c.label()));
+        let title = if shown.len() < self.cells.len() {
+            format!(
+                "Per-cell load (UE-steps served; first {} of {} configs)",
+                shown.len(),
+                self.cells.len()
+            )
+        } else {
+            "Per-cell load (UE-steps served)".to_string()
+        };
+        let mut t = TextTable::new(title).headers(headers);
+        if let Some(first) = shown.first() {
+            for &cell in first.cell_load.cells() {
+                let mut row = vec![format!("({}, {})", cell.q, cell.r)];
+                for c in &shown {
+                    row.push(c.cell_load.count(cell).to_string());
+                }
+                t.row(row);
+            }
+        }
+        t
+    }
+
+    /// Extract `(speed, metric)` series — one per (UE count, mobility,
+    /// policy) combination — for plotting a metric against MS speed.
+    /// Cells without data for the metric (e.g. mean HD under a policy
+    /// that never produced one) contribute no point.
+    pub fn series_over_speed(&self, metric: MatrixMetric) -> Vec<Series> {
+        let mut out: Vec<(String, Series)> = Vec::new();
+        for c in &self.cells {
+            let Some(value) = metric.of(&c.summary) else {
+                continue;
+            };
+            let key = format!("{}ue/{}/{}", c.ue_count, c.mobility, c.policy);
+            let series = match out.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, s)) => s,
+                None => {
+                    let label = format!("{key} {}", metric.label());
+                    out.push((key.clone(), Series::new(label)));
+                    &mut out.last_mut().expect("just pushed").1
+                }
+            };
+            series.push(c.speed_kmh, value);
+        }
+        out.into_iter().map(|(_, s)| s).collect()
+    }
+
+    /// Render the full report: summary table + load histogram.
+    pub fn render(&self) -> String {
+        let mut out = self.summary_table().render();
+        out.push('\n');
+        out.push_str(&self.load_table(8).render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_matrix() -> ScenarioMatrix {
+        let mut m = ScenarioMatrix::small_default();
+        m.ue_counts = vec![6];
+        m.mobilities.truncate(2);
+        m.speeds_kmh = vec![0.0, 40.0];
+        m.policies = vec![PolicyKind::Fuzzy, PolicyKind::Hysteresis { margin_db: 4.0 }];
+        m.workers = 2;
+        m
+    }
+
+    #[test]
+    fn sweeps_every_combination() {
+        let m = tiny_matrix();
+        assert_eq!(m.len(), 8);
+        assert!(!m.is_empty());
+        let r = m.run();
+        assert_eq!(r.cells.len(), 8);
+        // Sweep order: mobility outermost (single UE count), then speed,
+        // then policy.
+        assert_eq!(r.cells[0].mobility, "random-walk");
+        assert_eq!(r.cells[0].policy, "fuzzy");
+        assert_eq!(r.cells[1].policy, "hysteresis");
+        assert_eq!(r.cells[0].speed_kmh, 0.0);
+        assert_eq!(r.cells[2].speed_kmh, 40.0);
+        assert_eq!(r.cells[4].mobility, "gauss-markov");
+        for c in &r.cells {
+            assert_eq!(c.ue_count, 6);
+            assert!(c.summary.steps > 0, "{} ran", c.label());
+            assert_eq!(c.cell_load.total(), c.summary.steps);
+        }
+    }
+
+    #[test]
+    fn matrix_runs_are_deterministic() {
+        let m = tiny_matrix();
+        assert_eq!(m.run(), m.run());
+    }
+
+    #[test]
+    fn tables_render_all_rows_and_cells() {
+        let r = tiny_matrix().run();
+        let summary = r.summary_table();
+        assert_eq!(summary.row_count(), 8);
+        let load = r.load_table(3);
+        assert_eq!(load.row_count(), 19, "one row per layout cell");
+        let rendered = load.render();
+        assert!(rendered.contains("first 3 of 8"));
+        assert!(rendered.contains("(0, 0)"));
+        let full = r.render();
+        assert!(full.contains("fleet metrics"));
+        assert!(full.contains("Per-cell load"));
+    }
+
+    #[test]
+    fn series_group_by_config_and_span_speeds() {
+        let r = tiny_matrix().run();
+        let series = r.series_over_speed(MatrixMetric::HandoversPerUe);
+        // 2 mobilities × 2 policies (UE count fixed).
+        assert_eq!(series.len(), 4);
+        for s in &series {
+            assert_eq!(s.points.len(), 2, "{}", s.label);
+            assert_eq!(s.points[0].0, 0.0);
+            assert_eq!(s.points[1].0, 40.0);
+        }
+    }
+
+    #[test]
+    fn empty_axis_means_empty_matrix() {
+        let mut m = tiny_matrix();
+        m.speeds_kmh.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.run().cells.len(), 0);
+        assert_eq!(m.run().load_table(4).row_count(), 0);
+    }
+
+    #[test]
+    fn metric_labels_and_extraction() {
+        let s = FleetSummary {
+            ues: 2,
+            steps: 10,
+            handovers: 4,
+            ping_pongs: 1,
+            outage_steps: 5,
+            hd_sum: 3.0,
+            hd_count: 4,
+        };
+        assert_eq!(MatrixMetric::HandoversPerUe.of(&s), Some(2.0));
+        assert_eq!(MatrixMetric::PingPongRatio.of(&s), Some(0.25));
+        assert_eq!(MatrixMetric::OutageRatio.of(&s), Some(0.5));
+        assert_eq!(MatrixMetric::MeanHd.of(&s), Some(0.75));
+        assert_eq!(
+            MatrixMetric::MeanHd.of(&FleetSummary::default()),
+            None,
+            "no FLC data never becomes a NaN series point"
+        );
+        assert_eq!(MatrixMetric::MeanHd.label(), "mean HD");
+    }
+
+    #[test]
+    fn mean_hd_series_skip_cells_without_flc_data() {
+        // A policy that never fires produces no HD values anywhere: the
+        // mean-HD series must be empty, not full of NaN points.
+        let mut m = tiny_matrix();
+        m.policies = vec![PolicyKind::Threshold { threshold_dbm: -500.0 }];
+        let r = m.run();
+        assert!(r.series_over_speed(MatrixMetric::MeanHd).is_empty());
+        // Metrics that always exist still produce full series.
+        let ho = r.series_over_speed(MatrixMetric::HandoversPerUe);
+        assert_eq!(ho.len(), 2, "one per mobility model");
+        // And the rendered table shows "-" for the missing mean HD.
+        assert!(r.summary_table().render().contains('-'));
+    }
+
+    #[test]
+    fn adjacent_matrix_cells_use_decorrelated_seeds() {
+        // The SplitMix finalizer must not let cell k and k+1 share
+        // almost their whole per-UE seed set, which the plain
+        // golden-ratio stride would.
+        use crate::ue_seed;
+        let per_cell_seeds = |k: u64| -> std::collections::HashSet<u64> {
+            (0..100).map(|j| ue_seed(cell_seed(42, k), j)).collect()
+        };
+        let a = per_cell_seeds(0);
+        let b = per_cell_seeds(1);
+        assert_eq!(a.intersection(&b).count(), 0, "cell seed sets overlap");
+    }
+}

@@ -22,9 +22,12 @@ pub struct McSummary {
     pub mean_ping_pongs: f64,
     /// Mean outage ratio per run.
     pub mean_outage: f64,
-    /// Mean of all FLC outputs observed across all runs (NaN when the
-    /// policy never ran the FLC).
-    pub mean_hd: f64,
+    /// Mean of all FLC outputs observed across all runs. `None` when the
+    /// policy never produced an HD value (conventional baselines that
+    /// never handed over): previously this was `NaN`, which serde_json
+    /// silently serializes as `null` and then refuses to deserialize —
+    /// `Option` makes the "no data" case explicit and round-trippable.
+    pub mean_hd: Option<f64>,
 }
 
 /// Run `reps` repetitions sequentially. `make_policy` builds a fresh
@@ -109,7 +112,7 @@ pub fn summarize(results: &[SimResult], pingpong_window: usize) -> McSummary {
         std_handovers: var.sqrt(),
         mean_ping_pongs,
         mean_outage,
-        mean_hd: if hd_count == 0 { f64::NAN } else { hd_sum / hd_count as f64 },
+        mean_hd: (hd_count > 0).then(|| hd_sum / hd_count as f64),
     }
 }
 
@@ -173,8 +176,37 @@ mod tests {
         assert!(s.mean_handovers >= 1.0, "crossing walk hands over: {s:?}");
         assert!(s.std_handovers >= 0.0);
         assert!((0.0..=1.0).contains(&s.mean_outage));
-        assert!(s.mean_hd.is_finite(), "fuzzy policy exposes HD values");
-        assert!((0.0..=1.0).contains(&s.mean_hd));
+        let hd = s.mean_hd.expect("fuzzy policy exposes HD values");
+        assert!(hd.is_finite());
+        assert!((0.0..=1.0).contains(&hd));
+    }
+
+    #[test]
+    fn mean_hd_is_none_without_flc_data_and_round_trips() {
+        // A threshold that never fires: no handovers, no HD stream.
+        let sim = noisy_sim();
+        let t = crossing_walk();
+        let make = || -> Box<dyn HandoverPolicy + Send> {
+            Box::new(handover_core::baselines::ThresholdPolicy::new(-500.0))
+        };
+        let runs = run_repetitions(&sim, &t, make, 3, 4);
+        let s = summarize(&runs, 12);
+        assert_eq!(s.mean_hd, None, "no FLC data is None, never NaN");
+        // The summary serializes without NaN and deserializes back —
+        // exactly what the old NaN representation broke.
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(!json.contains("NaN"), "{json}");
+        let back: McSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn summary_with_flc_data_round_trips() {
+        let sim = noisy_sim();
+        let t = crossing_walk();
+        let s = summarize(&run_repetitions(&sim, &t, fuzzy, 9, 3), 12);
+        let back: McSummary = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(s, back);
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Drive the multi-UE fleet engine end to end: a 2 000-UE fleet on the
+//! paper layout, then a scenario-matrix sweep over the four standard
+//! mobility models, two speeds and two policies, printing the aggregated
+//! fleet metrics, the per-cell load histogram, and an ASCII plot of the
+//! handover rate against MS speed.
+//!
+//! ```text
+//! cargo run --release --example fleet_demo
+//! ```
+
+use fuzzy_handover::sim::fleet::{
+    FleetMobility, FleetSimulation, HomogeneousFleet, PolicyKind,
+};
+use fuzzy_handover::sim::matrix::{MatrixMetric, ScenarioMatrix};
+use fuzzy_handover::sim::series::ascii_plot;
+use fuzzy_handover::sim::SimConfig;
+use fuzzy_handover::radio::{MeasurementNoise, ShadowingConfig};
+
+fn main() {
+    let mut cfg = SimConfig::paper_default();
+    cfg.shadowing = ShadowingConfig::moderate();
+    cfg.noise = MeasurementNoise::new(1.0);
+
+    // --- One fleet run -------------------------------------------------
+    let fleet = FleetSimulation::new(cfg.clone()).with_workers(4);
+    let spec = HomogeneousFleet {
+        mobility: FleetMobility::RandomWalk(
+            fuzzy_handover::mobility::RandomWalk::paper_default(8),
+        ),
+        policy: PolicyKind::Fuzzy,
+        trajectory_seed: 1,
+        cell_radius_km: cfg.layout.cell_radius_km(),
+    };
+    let result = fleet.run(&spec, 2_000, 42);
+    let s = &result.summary;
+    println!("fleet of {} UEs, {} total measurement steps", s.ues, s.steps);
+    println!("  handovers/UE : {:.3}", s.handovers_per_ue());
+    println!("  ping-pong    : {:.3}", s.ping_pong_ratio());
+    println!("  outage       : {:.3}", s.outage_ratio());
+    if let Some(hd) = s.mean_hd() {
+        println!("  mean HD      : {hd:.3}");
+    }
+    let (peak_cell, peak_steps) = result.cell_load.peak();
+    println!(
+        "  peak cell    : ({}, {}) serving {peak_steps} UE-steps ({:.1}% of the fleet)\n",
+        peak_cell.q,
+        peak_cell.r,
+        100.0 * result.cell_load.share(peak_cell)
+    );
+
+    // --- The scenario matrix -------------------------------------------
+    let matrix = ScenarioMatrix {
+        base: cfg,
+        ue_counts: vec![500],
+        mobilities: FleetMobility::standard_four(6),
+        speeds_kmh: vec![0.0, 30.0, 60.0],
+        policies: vec![PolicyKind::Fuzzy, PolicyKind::Hysteresis { margin_db: 4.0 }],
+        base_seed: 0xF1EE7,
+        workers: 4,
+    };
+    let outcome = matrix.run();
+    print!("{}", outcome.render());
+
+    let series = outcome.series_over_speed(MatrixMetric::HandoversPerUe);
+    println!();
+    println!(
+        "{}",
+        ascii_plot(&series, 72, 18, "Handover rate vs MS speed (per UE)")
+    );
+}

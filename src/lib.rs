@@ -14,7 +14,8 @@
 //! * [`mobility`] — the Monte-Carlo random walk and friends.
 //! * [`core`] — the paper's contribution: the 64-rule FLC and the
 //!   POTLC → FLC → PRTLC handover pipeline, plus baseline algorithms.
-//! * [`sim`] — the simulation engine and every table/figure experiment.
+//! * [`sim`] — the simulation engine, the multi-UE fleet engine with its
+//!   scenario-matrix runner, and every table/figure experiment.
 //!
 //! ## Quickstart
 //!

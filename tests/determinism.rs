@@ -3,6 +3,11 @@
 //! break bit-identical reruns — these tests are the guard.
 
 use fuzzy_handover::core::{ControllerConfig, FuzzyHandoverController};
+use fuzzy_handover::mobility::RandomWalk;
+use fuzzy_handover::radio::{MeasurementNoise, ShadowingConfig};
+use fuzzy_handover::sim::fleet::{
+    FleetMobility, FleetSimulation, HomogeneousFleet, PolicyKind,
+};
 use fuzzy_handover::sim::monte_carlo::{run_repetitions, run_repetitions_parallel};
 use fuzzy_handover::sim::{Scenario, SimConfig, Simulation, SCENARIO_A_SEED, SCENARIO_B_SEED};
 
@@ -58,5 +63,53 @@ fn parallel_monte_carlo_matches_sequential() {
     for threads in [1, 2, 4, 8, 16] {
         let parallel = run_repetitions_parallel(&sim, &walk, make, SCENARIO_B_SEED, 8, threads);
         assert_eq!(sequential, parallel, "diverged with {threads} threads");
+    }
+}
+
+fn fleet_config() -> SimConfig {
+    let mut cfg = SimConfig::paper_default();
+    cfg.shadowing = ShadowingConfig { sigma_db: 4.0, decorrelation_km: 0.05 };
+    cfg.noise = MeasurementNoise::new(1.0);
+    cfg.sample_spacing_km = 0.2;
+    cfg
+}
+
+fn fleet_spec() -> HomogeneousFleet {
+    HomogeneousFleet {
+        mobility: FleetMobility::RandomWalk(RandomWalk::paper_default(6)),
+        policy: PolicyKind::Fuzzy,
+        trajectory_seed: 31,
+        cell_radius_km: 2.0,
+    }
+}
+
+/// The fleet engine is a pure function of (spec, config, base seed).
+#[test]
+fn fleet_reruns_are_bit_identical() {
+    let fleet = FleetSimulation::new(fleet_config()).with_workers(4);
+    let first = fleet.run(&fleet_spec(), 64, 12);
+    let second = fleet.run(&fleet_spec(), 64, 12);
+    assert_eq!(first, second, "fleet rerun diverged");
+    assert_eq!(first.summary.ues, 64);
+    assert!(first.summary.steps > 0);
+}
+
+/// Sharded parallel fleet stepping must match the single-worker
+/// reference bit for bit for any worker count and chunk size — the
+/// same contract the parallel Monte-Carlo established.
+#[test]
+fn parallel_fleet_matches_single_worker() {
+    let reference = FleetSimulation::new(fleet_config()).run(&fleet_spec(), 48, 99);
+    for workers in [2, 3, 5, 8, 16] {
+        for chunk in [1, 16, 256] {
+            let sharded = FleetSimulation::new(fleet_config())
+                .with_workers(workers)
+                .with_chunk_size(chunk)
+                .run(&fleet_spec(), 48, 99);
+            assert_eq!(
+                reference, sharded,
+                "fleet diverged with {workers} workers, chunk {chunk}"
+            );
+        }
     }
 }

@@ -1,0 +1,138 @@
+//! Property tests for the fleet engine's determinism contracts:
+//!
+//! 1. a 1-UE fleet is bit-identical to `Simulation::run` for arbitrary
+//!    seeds and configurations;
+//! 2. fleet results are invariant under worker count and chunk size;
+//! 3. fleet results are invariant under UE submission order.
+
+use fuzzy_handover::core::HandoverPolicy;
+use fuzzy_handover::mobility::{MobilityModel, RandomWalk};
+use fuzzy_handover::radio::{MeasurementNoise, ShadowingConfig};
+use fuzzy_handover::sim::fleet::{
+    FleetMobility, FleetSimulation, HomogeneousFleet, PolicyKind, SingleUe, UeOutcome,
+};
+use fuzzy_handover::sim::{SimConfig, Simulation};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn config(shadow_sigma: f64, noise_sigma: f64, spacing: f64, speed: f64) -> SimConfig {
+    let mut cfg = SimConfig::paper_default();
+    cfg.shadowing = ShadowingConfig { sigma_db: shadow_sigma, decorrelation_km: 0.05 };
+    cfg.noise = MeasurementNoise::new(noise_sigma);
+    cfg.sample_spacing_km = spacing;
+    cfg.speed_kmh = speed;
+    cfg
+}
+
+fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Fuzzy),
+        Just(PolicyKind::Hysteresis { margin_db: 2.0 }),
+        Just(PolicyKind::Threshold { threshold_dbm: -95.0 }),
+        Just(PolicyKind::HysteresisThreshold { threshold_dbm: -90.0, margin_db: 3.0 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Contract 1: with UE 0 seeded exactly like a single run, the
+    /// reduced fleet outcome equals the reduced `Simulation::run` result
+    /// field by field — including the bit pattern of the `f64` HD
+    /// checksum.
+    #[test]
+    fn one_ue_fleet_equals_single_run(
+        seed in 0u64..u64::MAX,
+        traj_seed in 0u64..u64::MAX,
+        shadow_sigma in 0.0f64..8.0,
+        noise_sigma in 0.0f64..4.0,
+        spacing in 0.1f64..0.8,
+        speed in 0.0f64..80.0,
+        policy in policy_strategy(),
+    ) {
+        let cfg = config(shadow_sigma, noise_sigma, spacing, speed);
+        let walk = RandomWalk::paper_default(6)
+            .generate(&mut StdRng::seed_from_u64(traj_seed));
+        let spec = SingleUe {
+            trajectory: walk.clone(),
+            make_policy: move || -> Box<dyn HandoverPolicy + Send> { policy.build(2.0) },
+        };
+
+        let fleet_outcome = FleetSimulation::new(cfg.clone()).run(&spec, 1, seed);
+        let mut reference_policy = policy.build(2.0);
+        let reference = Simulation::new(cfg.clone())
+            .run(&walk, reference_policy.as_mut(), seed);
+        let expected =
+            UeOutcome::from_sim_result(0, &reference, cfg.pingpong_window_steps);
+
+        prop_assert_eq!(fleet_outcome.outcomes.len(), 1);
+        prop_assert_eq!(fleet_outcome.outcomes[0], expected);
+        prop_assert_eq!(
+            fleet_outcome.outcomes[0].hd_sum.to_bits(),
+            expected.hd_sum.to_bits()
+        );
+        prop_assert_eq!(
+            fleet_outcome.outcomes[0].travelled_km.to_bits(),
+            expected.travelled_km.to_bits()
+        );
+    }
+
+    /// Contract 2: worker count and chunk size never change the result.
+    #[test]
+    fn fleet_invariant_under_workers_and_chunks(
+        seed in 0u64..u64::MAX,
+        n_ues in 1u64..32,
+        workers in 1usize..9,
+        chunk in 1usize..65,
+        shadow_sigma in 0.0f64..6.0,
+        policy in policy_strategy(),
+    ) {
+        let cfg = config(shadow_sigma, 1.0, 0.3, 0.0);
+        let spec = HomogeneousFleet {
+            mobility: FleetMobility::RandomWalk(RandomWalk::paper_default(5)),
+            policy,
+            trajectory_seed: seed ^ 0xABCD,
+            cell_radius_km: 2.0,
+        };
+        let reference = FleetSimulation::new(cfg.clone()).run(&spec, n_ues, seed);
+        let sharded = FleetSimulation::new(cfg)
+            .with_workers(workers)
+            .with_chunk_size(chunk)
+            .run(&spec, n_ues, seed);
+        prop_assert_eq!(reference, sharded);
+    }
+
+    /// Contract 3: any permutation of the UE id list produces the same
+    /// `FleetResult`.
+    #[test]
+    fn fleet_invariant_under_submission_order(
+        seed in 0u64..u64::MAX,
+        n_ues in 2u64..24,
+        rotation in 0usize..24,
+        swap_a in 0usize..24,
+        swap_b in 0usize..24,
+    ) {
+        let cfg = config(3.0, 1.0, 0.3, 0.0);
+        let spec = HomogeneousFleet {
+            mobility: FleetMobility::RandomWalk(RandomWalk::paper_default(5)),
+            policy: PolicyKind::Fuzzy,
+            trajectory_seed: seed.wrapping_add(17),
+            cell_radius_km: 2.0,
+        };
+        let fleet = FleetSimulation::new(cfg).with_workers(3).with_chunk_size(4);
+
+        let forward: Vec<u64> = (0..n_ues).collect();
+        let mut permuted = forward.clone();
+        let len = permuted.len();
+        permuted.rotate_left(rotation % len);
+        let (a, b) = (swap_a % len, swap_b % len);
+        permuted.swap(a, b);
+        permuted.reverse();
+
+        prop_assert_eq!(
+            fleet.run_ids(&spec, &forward, seed),
+            fleet.run_ids(&spec, &permuted, seed)
+        );
+    }
+}
