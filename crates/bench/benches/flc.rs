@@ -1,0 +1,105 @@
+//! The compiled decision plane: interpreted `Fis` vs `CompiledFis` vs the
+//! trilinear `Lut3d`, single-decision and batched. This is the bench that
+//! backs the "zero-alloc compiled plan" acceptance numbers — run
+//! `cargo bench -p handover-bench --bench flc` and compare the
+//! `flc/single/*` and `flc/batch_1024/*` groups.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fuzzylogic::EvalScratch;
+use handover_bench::FLC_INPUTS;
+use handover_core::flc::{build_paper_flc, paper_flc_lut, paper_flc_plan};
+use std::hint::black_box;
+
+fn bench_single(c: &mut Criterion) {
+    let fis = build_paper_flc();
+    let plan = paper_flc_plan();
+    let lut = paper_flc_lut();
+    let mut scratch = plan.scratch();
+
+    let mut g = c.benchmark_group("flc/single");
+    g.bench_function("interpreted", |b| {
+        b.iter(|| {
+            for x in FLC_INPUTS {
+                black_box(fis.evaluate(&x).unwrap());
+            }
+        })
+    });
+    g.bench_function("compiled", |b| {
+        b.iter(|| {
+            for x in FLC_INPUTS {
+                black_box(plan.evaluate_one(&x, &mut scratch).unwrap());
+            }
+        })
+    });
+    g.bench_function("lut", |b| {
+        b.iter(|| {
+            for x in FLC_INPUTS {
+                black_box(lut.evaluate(x));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    // A fleet-chunk-sized batch: 1024 decisions spanning the input space.
+    const ROWS: usize = 1024;
+    let inputs: Vec<f64> = (0..ROWS)
+        .flat_map(|k| {
+            let base = FLC_INPUTS[k % FLC_INPUTS.len()];
+            let jitter = (k / FLC_INPUTS.len()) as f64 * 1e-3;
+            [base[0] + jitter, base[1] - jitter, base[2]]
+        })
+        .collect();
+    let fis = build_paper_flc();
+    let plan = paper_flc_plan();
+    let lut = paper_flc_lut();
+    let mut scratch = plan.scratch();
+    let mut hds = vec![0.0f64; ROWS];
+
+    let mut g = c.benchmark_group("flc/batch_1024");
+    g.sample_size(20);
+    g.bench_function("interpreted_loop", |b| {
+        b.iter(|| {
+            for row in inputs.chunks_exact(3) {
+                black_box(fis.evaluate(row).unwrap());
+            }
+        })
+    });
+    g.bench_function("compiled_batch", |b| {
+        b.iter(|| {
+            plan.evaluate_batch(&inputs, &mut hds, &mut scratch).unwrap();
+            black_box(&hds);
+        })
+    });
+    g.bench_function("lut_loop", |b| {
+        b.iter(|| {
+            for (row, slot) in inputs.chunks_exact(3).zip(&mut hds) {
+                *slot = lut.evaluate([row[0], row[1], row[2]]);
+            }
+            black_box(&hds);
+        })
+    });
+    g.finish();
+}
+
+fn bench_scratch_reuse(c: &mut Criterion) {
+    // The cost of forgetting scratch reuse: a fresh EvalScratch per call
+    // re-allocates the buffers the compiled plan is designed to keep warm.
+    let plan = paper_flc_plan();
+    let mut g = c.benchmark_group("flc/scratch");
+    g.bench_function("reused", |b| {
+        let mut scratch = plan.scratch();
+        b.iter(|| black_box(plan.evaluate_one(&FLC_INPUTS[1], &mut scratch).unwrap()))
+    });
+    g.bench_function("fresh_each_call", |b| {
+        b.iter(|| {
+            let mut scratch = EvalScratch::new();
+            black_box(plan.evaluate_one(&FLC_INPUTS[1], &mut scratch).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_single, bench_batch, bench_scratch_reuse);
+criterion_main!(benches);

@@ -28,7 +28,7 @@ mod tests {
 
     #[test]
     fn fixtures_are_valid() {
-        let ctl = paper_controller();
+        let mut ctl = paper_controller();
         for x in FLC_INPUTS {
             let inputs = handover_core::FlcInputs {
                 cssp_db: x[0],

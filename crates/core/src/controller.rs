@@ -1,11 +1,22 @@
 //! The three-stage handover controller (paper §4, Fig. 4).
+//!
+//! The FLC stage runs on a shared, immutable *decision plane* — by default
+//! the process-wide compiled paper plan ([`paper_flc_plan`]) — while each
+//! controller instance owns only its tiny mutable state (the previous
+//! serving reading and an evaluation scratch). This is what lets a fleet
+//! of thousands of controllers share one rule base, and what lets the
+//! fleet engine batch the FLC stage across a whole chunk of UEs through
+//! [`CompiledFis::evaluate_batch`] via the
+//! [`decide_pre`](FuzzyHandoverController::decide_pre) /
+//! [`decide_with_hd`](FuzzyHandoverController::decide_with_hd) split.
 
-use crate::flc::build_paper_flc;
+use crate::flc::paper_flc_plan;
 use crate::inputs::FlcInputs;
 use crate::HandoverPolicy;
 use cellgeom::Axial;
-use fuzzylogic::Fis;
+use fuzzylogic::{CompiledFis, EvalScratch, Fis, Lut3d, SugenoFis};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One measurement report handed to a [`HandoverPolicy`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -85,31 +96,102 @@ impl ControllerConfig {
     }
 }
 
+/// The immutable FLC stage a controller evaluates HD through. Shared
+/// (behind `Arc`s) between every controller instance built from the same
+/// plan; the controller itself owns only mutable per-UE state.
+#[derive(Debug, Clone)]
+enum DecisionPlane {
+    /// The exact compiled Mamdani plan (bit-identical to the interpreted
+    /// engine) plus this instance's private evaluation scratch.
+    Exact { plan: Arc<CompiledFis>, scratch: EvalScratch },
+    /// The approximate trilinear lookup table (see
+    /// [`paper_flc_lut`](crate::flc::paper_flc_lut)).
+    Lut(Arc<Lut3d>),
+    /// The zero-order Sugeno ablation variant.
+    Sugeno(Arc<SugenoFis>),
+}
+
+/// The outcome of the batchable front half of the pipeline
+/// ([`FuzzyHandoverController::decide_pre`]): either the POTLC stage
+/// already resolved the decision, or the FLC stage still needs an HD value
+/// for the prepared inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlcStage {
+    /// Decided without evaluating the FLC.
+    Resolved(Decision),
+    /// The FLC must be evaluated; feed the resulting HD (and the echoed
+    /// PRTLC history) to [`FuzzyHandoverController::decide_with_hd`].
+    NeedsHd {
+        /// Crisp FLC inputs prepared from the report.
+        inputs: FlcInputs,
+        /// The pre-report serving reading, consumed by the PRTLC stage.
+        prev_serving_rss: Option<f64>,
+    },
+}
+
 /// The paper's handover controller: POTLC → FLC → PRTLC.
 #[derive(Debug, Clone)]
 pub struct FuzzyHandoverController {
-    fis: Fis,
+    plane: DecisionPlane,
     config: ControllerConfig,
     prev_serving_rss: Option<f64>,
 }
 
 impl FuzzyHandoverController {
-    /// Build with the paper FLC.
+    /// Build with the paper FLC, sharing the process-wide compiled plan
+    /// ([`paper_flc_plan`]) — construction does **not** rebuild or
+    /// recompile the rule base.
     pub fn new(config: ControllerConfig) -> Self {
-        Self::with_fis(build_paper_flc(), config)
+        Self::with_plan(paper_flc_plan(), config)
     }
 
     /// Build with a custom FIS (must accept `[CSSP, SSN, DMB]` and produce
-    /// one output) — used by the ablation studies.
+    /// one output) — used by the ablation studies. Compiles the system
+    /// once; prefer [`FuzzyHandoverController::with_plan`] when many
+    /// controllers share one variant.
     pub fn with_fis(fis: Fis, config: ControllerConfig) -> Self {
+        Self::with_plan(Arc::new(CompiledFis::compile(&fis)), config)
+    }
+
+    /// Build on an already compiled, shared plan.
+    pub fn with_plan(plan: Arc<CompiledFis>, config: ControllerConfig) -> Self {
+        Self::check_config(&config);
+        assert_eq!(plan.n_inputs(), 3, "the controller FIS takes 3 inputs");
+        assert_eq!(plan.n_outputs(), 1, "the controller FIS yields 1 output");
+        FuzzyHandoverController {
+            plane: DecisionPlane::Exact { plan, scratch: EvalScratch::new() },
+            config,
+            prev_serving_rss: None,
+        }
+    }
+
+    /// Build on a shared 3-D lookup table (the approximate decision plane;
+    /// see [`paper_flc_lut`](crate::flc::paper_flc_lut) for the trade-off).
+    pub fn with_lut(lut: Arc<Lut3d>, config: ControllerConfig) -> Self {
+        Self::check_config(&config);
+        FuzzyHandoverController { plane: DecisionPlane::Lut(lut), config, prev_serving_rss: None }
+    }
+
+    /// Build on a shared zero-order Sugeno system (the ablation variant;
+    /// see [`build_paper_sugeno`](crate::flc::build_paper_sugeno)). The
+    /// system must accept `[CSSP, SSN, DMB]` and produce one output.
+    pub fn with_sugeno(fis: Arc<SugenoFis>, config: ControllerConfig) -> Self {
+        Self::check_config(&config);
+        assert_eq!(fis.inputs().len(), 3, "the controller FIS takes 3 inputs");
+        assert_eq!(fis.n_outputs(), 1, "the controller FIS yields 1 output");
+        FuzzyHandoverController {
+            plane: DecisionPlane::Sugeno(fis),
+            config,
+            prev_serving_rss: None,
+        }
+    }
+
+    fn check_config(config: &ControllerConfig) {
         assert!(
             (0.0..=1.0).contains(&config.hd_threshold),
             "HD threshold must lie in [0, 1]"
         );
         assert!(config.cell_radius_km > 0.0, "cell radius must be positive");
-        assert_eq!(fis.inputs().len(), 3, "the controller FIS takes 3 inputs");
-        assert_eq!(fis.outputs().len(), 1, "the controller FIS yields 1 output");
-        FuzzyHandoverController { fis, config, prev_serving_rss: None }
     }
 
     /// The configuration.
@@ -122,26 +204,52 @@ impl FuzzyHandoverController {
         self.prev_serving_rss
     }
 
-    /// Evaluate only the FLC stage for explicit inputs (used by the
-    /// Table 3/4 experiments, which tabulate raw HD values).
-    pub fn evaluate_hd(&self, inputs: &FlcInputs) -> f64 {
-        self.fis
-            .evaluate(&inputs.as_array())
-            .expect("the paper FLC fires on every input")[0]
+    /// The shared compiled plan, when this controller runs the exact
+    /// engine (`None` for the LUT and Sugeno planes). The fleet engine
+    /// uses pointer equality on this to group controllers whose FLC stage
+    /// can be batched through one [`CompiledFis::evaluate_batch`] call.
+    pub fn shared_plan(&self) -> Option<&Arc<CompiledFis>> {
+        match &self.plane {
+            DecisionPlane::Exact { plan, .. } => Some(plan),
+            DecisionPlane::Lut(_) | DecisionPlane::Sugeno(_) => None,
+        }
     }
 
-    /// Run the full three-stage pipeline on one report.
-    fn pipeline(&mut self, report: &MeasurementReport) -> Decision {
+    /// Evaluate only the FLC stage for explicit inputs (used by the
+    /// Table 3/4 experiments, which tabulate raw HD values). Takes `&mut`
+    /// for the evaluation scratch; the result is a pure function of
+    /// `inputs`.
+    pub fn evaluate_hd(&mut self, inputs: &FlcInputs) -> f64 {
+        match &mut self.plane {
+            DecisionPlane::Exact { plan, scratch } => plan
+                .evaluate_one(&inputs.as_array(), scratch)
+                .expect("the paper FLC fires on every input"),
+            DecisionPlane::Lut(lut) => lut.evaluate(inputs.as_array()),
+            DecisionPlane::Sugeno(fis) => fis
+                .evaluate(&inputs.as_array())
+                .expect("the paper FLC fires on every input")[0],
+        }
+    }
+
+    /// The batchable front half of the pipeline: consume the report into
+    /// the controller state, run the POTLC stage and prepare the FLC
+    /// inputs. When the result is [`FlcStage::NeedsHd`], the caller
+    /// evaluates HD (individually via
+    /// [`evaluate_hd`](FuzzyHandoverController::evaluate_hd) or batched
+    /// across many controllers via [`CompiledFis::evaluate_batch`]) and
+    /// finishes with
+    /// [`decide_with_hd`](FuzzyHandoverController::decide_with_hd).
+    pub fn decide_pre(&mut self, report: &MeasurementReport) -> FlcStage {
         let prev = self.prev_serving_rss;
         self.prev_serving_rss = Some(report.serving_rss_dbm);
 
         // Stage 1 — POTLC: "if the signal strength is still good enough
         // the handover is not carried out."
         if report.serving_rss_dbm >= self.config.potlc_threshold_dbm {
-            return Decision::Stay(StayReason::SignalStillGood);
+            return FlcStage::Resolved(Decision::Stay(StayReason::SignalStillGood));
         }
 
-        // Stage 2 — FLC: fuzzy decision on CSSP/SSN/DMB.
+        // Stage 2 (inputs) — FLC operates on CSSP/SSN/DMB.
         let inputs = FlcInputs::from_measurements(
             report.serving_rss_dbm,
             prev,
@@ -149,7 +257,19 @@ impl FuzzyHandoverController {
             report.distance_to_serving_km,
             self.config.cell_radius_km,
         );
-        let hd = self.evaluate_hd(&inputs);
+        FlcStage::NeedsHd { inputs, prev_serving_rss: prev }
+    }
+
+    /// The back half of the pipeline: the FLC threshold test and the PRTLC
+    /// stage, given the HD computed for a
+    /// [`FlcStage::NeedsHd`] and the `prev_serving_rss` it echoed.
+    pub fn decide_with_hd(
+        &self,
+        report: &MeasurementReport,
+        hd: f64,
+        prev_serving_rss: Option<f64>,
+    ) -> Decision {
+        // Stage 2 (threshold) — FLC: handover considered only above it.
         if hd <= self.config.hd_threshold {
             return Decision::Stay(StayReason::BelowThreshold { hd });
         }
@@ -157,13 +277,24 @@ impl FuzzyHandoverController {
         // Stage 3 — PRTLC: "when the present signal strength is lower than
         // the strength of the previous signal, the handover procedure is
         // carried out."
-        match prev {
+        match prev_serving_rss {
             Some(prev_rss) if report.serving_rss_dbm < prev_rss => {
                 Decision::Handover { target: report.neighbor, hd }
             }
             Some(_) => Decision::Stay(StayReason::SignalRecovering { hd }),
             // No history: be conservative, require a confirmed downtrend.
             None => Decision::Stay(StayReason::SignalRecovering { hd }),
+        }
+    }
+
+    /// Run the full three-stage pipeline on one report.
+    fn pipeline(&mut self, report: &MeasurementReport) -> Decision {
+        match self.decide_pre(report) {
+            FlcStage::Resolved(decision) => decision,
+            FlcStage::NeedsHd { inputs, prev_serving_rss } => {
+                let hd = self.evaluate_hd(&inputs);
+                self.decide_with_hd(report, hd, prev_serving_rss)
+            }
         }
     }
 }
@@ -179,7 +310,15 @@ impl HandoverPolicy for FuzzyHandoverController {
     }
 
     fn name(&self) -> &'static str {
-        "fuzzy-potlc-flc-prtlc"
+        match self.plane {
+            DecisionPlane::Exact { .. } => "fuzzy-potlc-flc-prtlc",
+            DecisionPlane::Lut(_) => "fuzzy-potlc-flc-prtlc-lut",
+            DecisionPlane::Sugeno(_) => "fuzzy-potlc-flc-prtlc-sugeno",
+        }
+    }
+
+    fn as_fuzzy(&mut self) -> Option<&mut FuzzyHandoverController> {
+        Some(self)
     }
 }
 
@@ -276,12 +415,95 @@ mod tests {
 
     #[test]
     fn evaluate_hd_is_pure() {
-        let c = controller();
+        let mut c = controller();
         let x = FlcInputs { cssp_db: -4.0, ssn_dbm: -95.0, dmb_norm: 1.1 };
         let a = c.evaluate_hd(&x);
         let b = c.evaluate_hd(&x);
         assert_eq!(a, b);
         assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn controllers_share_the_compiled_paper_plan() {
+        let a = controller();
+        let b = controller();
+        let (pa, pb) = (a.shared_plan().unwrap(), b.shared_plan().unwrap());
+        assert!(std::sync::Arc::ptr_eq(pa, pb), "one plan for every paper controller");
+        assert_eq!(pa.n_rules(), 64);
+    }
+
+    #[test]
+    fn compiled_plan_matches_interpreted_flc_bitwise() {
+        let mut c = controller();
+        let fis = crate::flc::build_paper_flc();
+        for (cssp, ssn, dmb) in [
+            (-2.71, -93.36, 0.443),
+            (-3.5, -89.0, 1.2),
+            (8.0, -118.0, 0.1),
+            (0.0, -100.0, 0.75),
+        ] {
+            let inputs = FlcInputs { cssp_db: cssp, ssn_dbm: ssn, dmb_norm: dmb };
+            let compiled = c.evaluate_hd(&inputs);
+            let interpreted = fis.evaluate(&[cssp, ssn, dmb]).unwrap()[0];
+            assert_eq!(compiled.to_bits(), interpreted.to_bits());
+        }
+    }
+
+    #[test]
+    fn split_pipeline_equals_decide() {
+        // decide_pre + evaluate_hd + decide_with_hd is exactly decide() —
+        // the contract the fleet's batched path relies on.
+        let mut whole = controller();
+        let mut split = controller();
+        for r in [
+            report(-80.0, -85.0, 1.9),
+            report(-100.0, -90.0, 2.3),
+            report(-104.0, -88.0, 2.5),
+            report(-95.0, -118.0, 0.5),
+            report(-107.5, -84.0, 2.6),
+        ] {
+            let expected = whole.decide(&r);
+            let got = match split.decide_pre(&r) {
+                FlcStage::Resolved(d) => d,
+                FlcStage::NeedsHd { inputs, prev_serving_rss } => {
+                    let hd = split.evaluate_hd(&inputs);
+                    split.decide_with_hd(&r, hd, prev_serving_rss)
+                }
+            };
+            assert_eq!(expected, got);
+        }
+    }
+
+    #[test]
+    fn lut_plane_approximates_the_exact_controller() {
+        let cfg = ControllerConfig::paper_default(2.0);
+        let mut exact = FuzzyHandoverController::new(cfg);
+        let mut lut = FuzzyHandoverController::with_lut(crate::flc::paper_flc_lut(), cfg);
+        assert_eq!(lut.name(), "fuzzy-potlc-flc-prtlc-lut");
+        assert!(lut.shared_plan().is_none(), "the LUT plane is not batch-groupable");
+        for (cssp, ssn, dmb) in [(-3.5, -89.0, 1.2), (-2.7, -93.4, 0.44), (0.0, -100.0, 0.75)] {
+            let inputs = FlcInputs { cssp_db: cssp, ssn_dbm: ssn, dmb_norm: dmb };
+            let e = exact.evaluate_hd(&inputs);
+            let l = lut.evaluate_hd(&inputs);
+            assert!(
+                (e - l).abs() <= crate::flc::PAPER_LUT_MAX_ABS_ERROR,
+                "LUT error at ({cssp}, {ssn}, {dmb}): |{e} - {l}|"
+            );
+        }
+    }
+
+    #[test]
+    fn sugeno_plane_drives_the_pipeline() {
+        let cfg = ControllerConfig::paper_default(2.0);
+        let sugeno = std::sync::Arc::new(crate::flc::build_paper_sugeno());
+        let mut c = FuzzyHandoverController::with_sugeno(sugeno, cfg);
+        assert_eq!(c.name(), "fuzzy-potlc-flc-prtlc-sugeno");
+        assert!(c.shared_plan().is_none());
+        // Same qualitative behaviour as the Mamdani controller on a clear
+        // crossing: prime the downtrend, then hand over.
+        c.decide(&report(-100.0, -90.0, 2.3));
+        let d = c.decide(&report(-104.0, -88.0, 2.5));
+        assert!(d.is_handover(), "got {d:?}");
     }
 
     #[test]

@@ -10,9 +10,10 @@ pub use membership::{
 pub use rules::{frb_lookup, Cssp, Dmb, FrbRule, Hd, Ssn, PAPER_FRB};
 
 use fuzzylogic::{
-    Antecedent, Connective, Consequent, Defuzzifier, Fis, FisBuilder, Rule, SugenoFis,
-    SugenoFisBuilder, SugenoOutput, SugenoRule,
+    Antecedent, CompiledFis, Connective, Consequent, Defuzzifier, Fis, FisBuilder, Lut3d, Rule,
+    SugenoFis, SugenoFisBuilder, SugenoOutput, SugenoRule,
 };
+use std::sync::{Arc, OnceLock};
 
 /// Index of the CSSP input within the built FIS.
 pub const CSSP_INPUT: usize = 0;
@@ -73,6 +74,51 @@ pub fn build_flc_with(profile: FlcProfile, defuzz: Defuzzifier) -> Fis {
         ));
     }
     builder.build().expect("the paper FLC is statically valid")
+}
+
+/// The process-wide shared evaluation plan of the paper FLC: the
+/// [`build_paper_flc`] system compiled once (first call) into a
+/// [`CompiledFis`] and handed out behind an `Arc`.
+///
+/// Every [`FuzzyHandoverController::new`](crate::FuzzyHandoverController::new)
+/// draws from this plan, so a 10k-UE fleet carries **one** rule base and
+/// 10k tiny scratch buffers instead of 10k private copies of the full FIS.
+/// The compiled plan is bit-identical to the interpreted engine, so sharing
+/// it changes no decision.
+pub fn paper_flc_plan() -> Arc<CompiledFis> {
+    static PLAN: OnceLock<Arc<CompiledFis>> = OnceLock::new();
+    PLAN.get_or_init(|| Arc::new(CompiledFis::compile(&build_paper_flc()))).clone()
+}
+
+/// Grid nodes per axis (CSSP, SSN, DMB) of the shared paper LUT.
+pub const PAPER_LUT_DIMS: [usize; 3] = [33, 33, 33];
+
+/// Documented bound on the absolute HD error of the shared paper LUT
+/// against the exact engine, pinned by a workspace test probing an
+/// off-node grid. (Release-mode sweeps up to 257³ probe points measured a
+/// worst case of ≈ 0.061; the bound carries margin for unprobed interior
+/// points.) Decisions compare HD against the 0.7 threshold, so the LUT
+/// only shifts decisions whose exact HD already sits within the bound of
+/// the threshold — the trade documented on the `fuzzy-lut` ablation
+/// policy.
+pub const PAPER_LUT_MAX_ABS_ERROR: f64 = 0.075;
+
+/// The process-wide shared 3-D lookup table of the paper FLC
+/// ([`PAPER_LUT_DIMS`] nodes, built from [`paper_flc_plan`] on first use).
+///
+/// This is the opt-in approximate decision plane: constant-time trilinear
+/// interpolation instead of full Mamdani inference, trading the
+/// [`PAPER_LUT_MAX_ABS_ERROR`] bound for speed. Exposed as the `fuzzy-lut`
+/// ablation policy in the scenario matrix.
+pub fn paper_flc_lut() -> Arc<Lut3d> {
+    static LUT: OnceLock<Arc<Lut3d>> = OnceLock::new();
+    LUT.get_or_init(|| {
+        Arc::new(
+            Lut3d::build(&paper_flc_plan(), PAPER_LUT_DIMS)
+                .expect("the paper FLC fires on every grid node"),
+        )
+    })
+    .clone()
 }
 
 /// A zero-order Sugeno variant of the paper controller: each FRB rule's

@@ -28,6 +28,20 @@
 //! future work (hysteresis, threshold, combinations, dwell timer) behind
 //! the same [`HandoverPolicy`] trait, and [`metrics`] provides the
 //! ping-pong detector used by the evaluation.
+//!
+//! ## The shared decision plane
+//!
+//! The FLC is compiled once per process into a zero-allocation
+//! [`fuzzylogic::CompiledFis`] plan ([`paper_flc_plan`]) that every
+//! [`FuzzyHandoverController`] borrows behind an `Arc` — a fleet of
+//! thousands of controllers carries one rule base, not thousands. The
+//! pipeline is split into a batchable front half
+//! ([`FuzzyHandoverController::decide_pre`]) and a commit half
+//! ([`FuzzyHandoverController::decide_with_hd`]) so engines can evaluate
+//! many controllers' FLC stages through one
+//! [`fuzzylogic::CompiledFis::evaluate_batch`] call. An opt-in
+//! approximate plane ([`paper_flc_lut`], a trilinear 3-D lookup table
+//! with a documented error bound) backs the `fuzzy-lut` ablation policy.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -42,9 +56,9 @@ pub mod system;
 
 pub use adaptive::SpeedAdaptiveController;
 pub use controller::{
-    ControllerConfig, Decision, FuzzyHandoverController, MeasurementReport, StayReason,
+    ControllerConfig, Decision, FlcStage, FuzzyHandoverController, MeasurementReport, StayReason,
 };
-pub use flc::{build_paper_flc, FlcProfile};
+pub use flc::{build_paper_flc, paper_flc_lut, paper_flc_plan, FlcProfile};
 pub use inputs::FlcInputs;
 pub use metrics::{CellLoadHistogram, EventLog, FleetSummary, HandoverEvent, PingPongReport};
 pub use system::{NodeB, Rnc};
@@ -63,4 +77,17 @@ pub trait HandoverPolicy {
 
     /// Human-readable policy name (used in benchmark tables).
     fn name(&self) -> &'static str;
+
+    /// Downcast hook for policies whose FLC stage can be split and batched
+    /// across many instances sharing one compiled plan (see
+    /// [`FuzzyHandoverController::decide_pre`]). The fleet engine uses
+    /// this to evaluate a whole UE chunk's FLC inputs through one
+    /// [`fuzzylogic::CompiledFis::evaluate_batch`] call. Default: `None`
+    /// (the policy only supports the scalar [`HandoverPolicy::decide`]
+    /// path). Wrappers that transform the report before deciding (e.g.
+    /// [`SpeedAdaptiveController`]) must keep the default, because the
+    /// batched caller would bypass the transformation.
+    fn as_fuzzy(&mut self) -> Option<&mut FuzzyHandoverController> {
+        None
+    }
 }

@@ -1,6 +1,6 @@
 //! Defuzzification: reducing an output fuzzy set to a crisp value.
 
-use crate::fuzzyset::SampledSet;
+use crate::fuzzyset::{grid_x, slice_area, slice_first_moment, slice_height, SampledSet};
 use serde::{Deserialize, Serialize};
 
 /// Defuzzification strategy.
@@ -26,47 +26,64 @@ impl Defuzzifier {
     /// Defuzzify `set`; `None` when the set is identically zero (no rule
     /// fired).
     pub fn defuzzify(&self, set: &SampledSet) -> Option<f64> {
-        let height = set.height();
+        self.defuzzify_slice(set.min, set.max, &set.mu)
+    }
+
+    /// Defuzzify a membership curve given as raw samples over `[min, max]`
+    /// (endpoints included, uniform spacing) without constructing a
+    /// [`SampledSet`].
+    ///
+    /// This is the allocation-free core behind [`Defuzzifier::defuzzify`];
+    /// the compiled engine ([`CompiledFis`](crate::CompiledFis)) calls it on
+    /// its reusable scratch buffer. `None` when the curve is identically
+    /// zero (no rule fired) — or when fewer than two samples are supplied,
+    /// since a grid needs two endpoints to span a universe (every engine
+    /// path enforces `resolution >= 2` at build time).
+    pub fn defuzzify_slice(&self, min: f64, max: f64, mu: &[f64]) -> Option<f64> {
+        if mu.len() < 2 {
+            return None;
+        }
+        let height = slice_height(mu);
         if height <= 0.0 {
             return None;
         }
         match self {
             Defuzzifier::Centroid => {
-                let area = set.area();
+                let area = slice_area(min, max, mu);
                 if area <= 0.0 {
                     // Degenerate: positive height but measure-zero area
                     // (single non-zero sample); fall back to mean-of-max.
-                    return Defuzzifier::MeanOfMax.defuzzify(set);
+                    return Defuzzifier::MeanOfMax.defuzzify_slice(min, max, mu);
                 }
-                Some(set.first_moment() / area)
+                Some(slice_first_moment(min, max, mu) / area)
             }
             Defuzzifier::Bisector => {
-                let total = set.area();
+                let total = slice_area(min, max, mu);
                 if total <= 0.0 {
-                    return Defuzzifier::MeanOfMax.defuzzify(set);
+                    return Defuzzifier::MeanOfMax.defuzzify_slice(min, max, mu);
                 }
                 // Walk trapezoid panels until the running area crosses half.
-                let dx = set.dx();
+                let dx = (max - min) / (mu.len() - 1) as f64;
                 let mut acc = 0.0;
                 let half = total / 2.0;
-                for i in 0..set.len() - 1 {
-                    let panel = 0.5 * (set.mu[i] + set.mu[i + 1]) * dx;
+                for i in 0..mu.len() - 1 {
+                    let panel = 0.5 * (mu[i] + mu[i + 1]) * dx;
                     if acc + panel >= half {
                         // Linear interpolation within the panel.
                         let frac = if panel > 0.0 { (half - acc) / panel } else { 0.5 };
-                        return Some(set.x_at(i) + frac * dx);
+                        return Some(grid_x(min, max, mu.len(), i) + frac * dx);
                     }
                     acc += panel;
                 }
-                Some(set.max)
+                Some(max)
             }
             Defuzzifier::MeanOfMax => {
-                let (sum, count) = max_positions(set, height)
+                let (sum, count) = max_positions(min, max, mu, height)
                     .fold((0.0, 0usize), |(s, c), x| (s + x, c + 1));
                 Some(sum / count as f64)
             }
-            Defuzzifier::SmallestOfMax => max_positions(set, height).next(),
-            Defuzzifier::LargestOfMax => max_positions(set, height).last(),
+            Defuzzifier::SmallestOfMax => max_positions(min, max, mu, height).next(),
+            Defuzzifier::LargestOfMax => max_positions(min, max, mu, height).last(),
         }
     }
 
@@ -82,11 +99,16 @@ impl Defuzzifier {
 
 /// Iterator over grid positions whose membership ties the maximum (within a
 /// small tolerance that absorbs floating-point jitter).
-fn max_positions(set: &SampledSet, height: f64) -> impl Iterator<Item = f64> + '_ {
+fn max_positions(
+    min: f64,
+    max: f64,
+    mu: &[f64],
+    height: f64,
+) -> impl Iterator<Item = f64> + '_ {
     const TOL: f64 = 1e-12;
-    (0..set.len()).filter_map(move |i| {
-        if (set.mu[i] - height).abs() <= TOL {
-            Some(set.x_at(i))
+    (0..mu.len()).filter_map(move |i| {
+        if (mu[i] - height).abs() <= TOL {
+            Some(grid_x(min, max, mu.len(), i))
         } else {
             None
         }
@@ -153,6 +175,16 @@ mod tests {
         let s = SampledSet::empty(0.0, 1.0, 101);
         for d in Defuzzifier::ALL {
             assert_eq!(d.defuzzify(&s), None, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_slices_defuzzify_to_none() {
+        // Fewer than two samples cannot span a universe: the raw-slice API
+        // declines instead of panicking on the trapezoid arithmetic.
+        for d in Defuzzifier::ALL {
+            assert_eq!(d.defuzzify_slice(0.0, 1.0, &[]), None, "{d:?} on empty");
+            assert_eq!(d.defuzzify_slice(0.0, 1.0, &[0.5]), None, "{d:?} on singleton");
         }
     }
 

@@ -1,0 +1,584 @@
+//! A compiled, allocation-free Mamdani evaluation plan.
+//!
+//! [`CompiledFis`] is built once from a [`Fis`] and flattens everything the
+//! hot path touches into dense, index-based arrays:
+//!
+//! * input variables become `(min, max)` bounds plus a flat array of term
+//!   membership functions delimited by offsets — no nested `Vec<Vec<_>>`
+//!   during fuzzification;
+//! * rules become flat antecedent/consequent tables with pre-resolved
+//!   membership indices — no bounds-checked nested lookups per clause;
+//! * every output term's membership function is **pre-sampled** over the
+//!   fixed-resolution output universe, so the imply/aggregate loop reads a
+//!   contiguous `f64` row instead of re-evaluating the MF at every grid
+//!   point of every call.
+//!
+//! Evaluation writes into a caller-owned [`EvalScratch`], so after the
+//! scratch has grown to the plan's dimensions (its first use) a call to
+//! [`CompiledFis::evaluate`] performs **zero heap allocations** — verified
+//! by a counting-allocator test in the workspace test suite.
+//!
+//! The compiled plan is **bit-identical** to the interpreted engine: it
+//! runs the same fuzzify → fire → imply/aggregate → defuzzify arithmetic in
+//! the same order on the same grid coordinates ([`grid_x`] is shared by
+//! both paths), so `CompiledFis::evaluate` and [`Fis::evaluate`] return the
+//! same `f64` bits for every input. A property test pins this.
+//!
+//! Because the plan is immutable and `Send + Sync`, many consumers (e.g.
+//! thousands of per-UE handover controllers) can share one plan behind an
+//! `Arc` while each owns only a small scratch.
+
+use crate::engine::mamdani::{EngineConfig, Fis, NoFirePolicy};
+use crate::error::{FuzzyError, Result};
+use crate::fuzzyset::grid_x;
+use crate::hedge::Hedge;
+use crate::membership::Mf;
+use crate::rule::Connective;
+
+/// Sentinel membership index for antecedents whose variable/term index does
+/// not resolve (the interpreted engine reads those as degree 0).
+const NO_MEMBERSHIP: u32 = u32::MAX;
+
+/// One flattened antecedent clause: a pre-resolved index into the scratch
+/// membership buffer plus the hedge to apply.
+#[derive(Debug, Clone, Copy)]
+struct FlatAntecedent {
+    /// Index into [`EvalScratch::memberships`], or [`NO_MEMBERSHIP`].
+    mu_index: u32,
+    hedge: Hedge,
+}
+
+/// One flattened consequent clause of a specific output variable: which
+/// rule gates it and which pre-sampled row shapes it.
+#[derive(Debug, Clone, Copy)]
+struct FlatConsequent {
+    /// Index of the gating rule (into the firing-strength buffer).
+    rule: u32,
+    /// Row index into [`CompiledFis::samples`].
+    row: u32,
+}
+
+/// A [`Fis`] compiled into dense arrays with pre-sampled consequent shapes.
+///
+/// Build with [`CompiledFis::compile`] (or [`Fis::compile`]), evaluate with
+/// [`CompiledFis::evaluate`] / [`CompiledFis::evaluate_batch`] against a
+/// reusable [`EvalScratch`]. See the [module docs](self) for the layout and
+/// the bit-identity guarantee.
+#[derive(Debug, Clone)]
+pub struct CompiledFis {
+    name: String,
+    /// Universe bounds per input (for clamping before fuzzification).
+    input_bounds: Vec<(f64, f64)>,
+    /// `input_offsets[v]..input_offsets[v + 1]` delimits input `v`'s terms
+    /// in both `input_mfs` and the scratch membership buffer.
+    input_offsets: Vec<u32>,
+    /// Flat input-term membership functions, in declaration order.
+    input_mfs: Vec<Mf>,
+    /// `ant_offsets[r]..ant_offsets[r + 1]` delimits rule `r`'s antecedents.
+    ant_offsets: Vec<u32>,
+    antecedents: Vec<FlatAntecedent>,
+    connectives: Vec<Connective>,
+    weights: Vec<f64>,
+    /// Universe bounds per output.
+    output_bounds: Vec<(f64, f64)>,
+    /// `cons_offsets[o]..cons_offsets[o + 1]` delimits output `o`'s
+    /// consequent table, in (rule, consequent) declaration order — the
+    /// exact aggregation order of the interpreted engine.
+    cons_offsets: Vec<u32>,
+    consequents: Vec<FlatConsequent>,
+    /// Pre-sampled output-term shapes: row `k` holds `resolution` samples
+    /// of one output term's MF over its variable's universe.
+    samples: Vec<f64>,
+    config: EngineConfig,
+}
+
+impl CompiledFis {
+    /// Compile a [`Fis`] into a dense evaluation plan.
+    pub fn compile(fis: &Fis) -> Self {
+        let config = *fis.config();
+        let res = config.resolution;
+
+        let mut input_bounds = Vec::with_capacity(fis.inputs().len());
+        let mut input_offsets = Vec::with_capacity(fis.inputs().len() + 1);
+        let mut input_mfs = Vec::new();
+        input_offsets.push(0);
+        for var in fis.inputs() {
+            input_bounds.push((var.min, var.max));
+            input_mfs.extend(var.terms().iter().map(|t| t.mf));
+            input_offsets.push(input_mfs.len() as u32);
+        }
+
+        let rules = fis.rules().rules();
+        let mut ant_offsets = Vec::with_capacity(rules.len() + 1);
+        let mut antecedents = Vec::new();
+        let mut connectives = Vec::with_capacity(rules.len());
+        let mut weights = Vec::with_capacity(rules.len());
+        ant_offsets.push(0);
+        for rule in rules {
+            for a in &rule.antecedents {
+                let in_range = a.var < fis.inputs().len()
+                    && a.term < fis.inputs()[a.var].term_count();
+                antecedents.push(FlatAntecedent {
+                    mu_index: if in_range {
+                        input_offsets[a.var] + a.term as u32
+                    } else {
+                        NO_MEMBERSHIP
+                    },
+                    hedge: a.hedge,
+                });
+            }
+            ant_offsets.push(antecedents.len() as u32);
+            connectives.push(rule.connective);
+            weights.push(rule.weight);
+        }
+
+        // Pre-sample every output term once; consequent tables reference
+        // the rows. `grid_x` makes the sample coordinates bit-identical to
+        // the interpreted engine's `SampledSet` grid.
+        let mut output_bounds = Vec::with_capacity(fis.outputs().len());
+        let mut cons_offsets = Vec::with_capacity(fis.outputs().len() + 1);
+        let mut consequents = Vec::new();
+        let mut samples = Vec::new();
+        cons_offsets.push(0);
+        let mut row_of = Vec::new(); // (output, term) -> row, built lazily
+        for (oi, var) in fis.outputs().iter().enumerate() {
+            output_bounds.push((var.min, var.max));
+            for (ri, rule) in rules.iter().enumerate() {
+                for cons in rule.consequents.iter().filter(|c| c.var == oi) {
+                    let key = (oi, cons.term);
+                    let row = match row_of.iter().find(|(k, _)| *k == key) {
+                        Some(&(_, row)) => row,
+                        None => {
+                            let row = (samples.len() / res) as u32;
+                            let mf = var.terms()[cons.term].mf;
+                            samples
+                                .extend((0..res).map(|i| mf.eval(grid_x(var.min, var.max, res, i))));
+                            row_of.push((key, row));
+                            row
+                        }
+                    };
+                    consequents.push(FlatConsequent { rule: ri as u32, row });
+                }
+            }
+            cons_offsets.push(consequents.len() as u32);
+        }
+
+        CompiledFis {
+            name: fis.name().to_string(),
+            input_bounds,
+            input_offsets,
+            input_mfs,
+            ant_offsets,
+            antecedents,
+            connectives,
+            weights,
+            output_bounds,
+            cons_offsets,
+            consequents,
+            samples,
+            config,
+        }
+    }
+
+    /// System name (inherited from the source [`Fis`]).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of crisp inputs.
+    pub fn n_inputs(&self) -> usize {
+        self.input_bounds.len()
+    }
+
+    /// Number of crisp outputs.
+    pub fn n_outputs(&self) -> usize {
+        self.output_bounds.len()
+    }
+
+    /// Number of rules.
+    pub fn n_rules(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Engine configuration (operators, resolution, defuzzifier).
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Universe bounds `(min, max)` of input `v`.
+    pub fn input_bounds(&self, v: usize) -> (f64, f64) {
+        self.input_bounds[v]
+    }
+
+    /// Universe bounds `(min, max)` of output `o`.
+    pub fn output_bounds(&self, o: usize) -> (f64, f64) {
+        self.output_bounds[o]
+    }
+
+    /// A scratch pre-sized for this plan (a fresh [`EvalScratch::new`]
+    /// works too; it grows to the right size on first use).
+    pub fn scratch(&self) -> EvalScratch {
+        let mut s = EvalScratch::new();
+        s.prepare(self);
+        s
+    }
+
+    /// Evaluate crisp inputs into `outputs` (one slot per declared output)
+    /// using the caller's scratch. Zero heap allocations once `scratch` has
+    /// been used with this plan (or was created by [`CompiledFis::scratch`]).
+    ///
+    /// Bit-identical to [`Fis::evaluate`] on the source system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs.len()` differs from [`CompiledFis::n_outputs`]
+    /// (a caller bug, unlike data-dependent errors which are returned).
+    pub fn evaluate(
+        &self,
+        crisp: &[f64],
+        scratch: &mut EvalScratch,
+        outputs: &mut [f64],
+    ) -> Result<()> {
+        if crisp.len() != self.n_inputs() {
+            return Err(FuzzyError::InputArity { expected: self.n_inputs(), got: crisp.len() });
+        }
+        for (i, &x) in crisp.iter().enumerate() {
+            if !x.is_finite() {
+                return Err(FuzzyError::NonFiniteInput { index: i, value: x });
+            }
+        }
+        assert_eq!(
+            outputs.len(),
+            self.n_outputs(),
+            "output buffer must have one slot per declared output"
+        );
+        scratch.prepare(self);
+
+        // Step 1 — fuzzify (clamp to the universe, then every term MF).
+        for (v, &(lo, hi)) in self.input_bounds.iter().enumerate() {
+            let x = crisp[v].clamp(lo, hi);
+            let start = self.input_offsets[v] as usize;
+            let end = self.input_offsets[v + 1] as usize;
+            for k in start..end {
+                scratch.memberships[k] = self.input_mfs[k].eval(x);
+            }
+        }
+
+        // Step 2 — firing strengths.
+        for r in 0..self.n_rules() {
+            let clauses =
+                &self.antecedents[self.ant_offsets[r] as usize..self.ant_offsets[r + 1] as usize];
+            let degrees = clauses.iter().map(|a| {
+                let mu = if a.mu_index == NO_MEMBERSHIP {
+                    0.0
+                } else {
+                    scratch.memberships[a.mu_index as usize]
+                };
+                a.hedge.apply(mu)
+            });
+            let strength = match self.connectives[r] {
+                Connective::And => self.config.and.fold(degrees),
+                Connective::Or => self.config.or.fold(degrees),
+            };
+            scratch.firing[r] = strength * self.weights[r];
+        }
+
+        // Steps 3–5 — imply/aggregate from the pre-sampled rows, then
+        // defuzzify the scratch curve in place.
+        let res = self.config.resolution;
+        for (oi, out) in outputs.iter_mut().enumerate() {
+            let (lo, hi) = self.output_bounds[oi];
+            let mu = &mut scratch.mu[..res];
+            mu.fill(0.0);
+            let table = &self.consequents
+                [self.cons_offsets[oi] as usize..self.cons_offsets[oi + 1] as usize];
+            for cons in table {
+                let w = scratch.firing[cons.rule as usize];
+                if w <= 0.0 {
+                    continue;
+                }
+                let row = &self.samples[cons.row as usize * res..][..res];
+                let implication = self.config.implication;
+                let aggregation = self.config.aggregation;
+                for (slot, &sample) in mu.iter_mut().zip(row) {
+                    *slot =
+                        aggregation.apply(*slot, implication.apply(w, sample).clamp(0.0, 1.0));
+                }
+            }
+            *out = match self.config.defuzzifier.defuzzify_slice(lo, hi, mu) {
+                Some(v) => v,
+                None => match self.config.no_fire {
+                    NoFirePolicy::Error => return Err(FuzzyError::NoRuleFired),
+                    NoFirePolicy::UniverseMidpoint => 0.5 * (lo + hi),
+                },
+            };
+        }
+        Ok(())
+    }
+
+    /// Single-output convenience: evaluate and return the one crisp output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system declares more than one output.
+    pub fn evaluate_one(&self, crisp: &[f64], scratch: &mut EvalScratch) -> Result<f64> {
+        assert_eq!(self.n_outputs(), 1, "evaluate_one requires a single-output system");
+        let mut out = [0.0f64];
+        self.evaluate(crisp, scratch, &mut out)?;
+        Ok(out[0])
+    }
+
+    /// Evaluate a batch of input rows.
+    ///
+    /// `inputs` is row-major with [`CompiledFis::n_inputs`] values per row;
+    /// `outputs` receives [`CompiledFis::n_outputs`] values per row. Each
+    /// row is evaluated exactly like [`CompiledFis::evaluate`] (and is
+    /// therefore bit-identical to the scalar path); the batch form
+    /// amortises scratch reuse and keeps the plan's tables cache-hot across
+    /// rows. Stops at the first row that fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is not a multiple of the input arity or
+    /// `outputs` does not hold exactly one output row per input row.
+    pub fn evaluate_batch(
+        &self,
+        inputs: &[f64],
+        outputs: &mut [f64],
+        scratch: &mut EvalScratch,
+    ) -> Result<()> {
+        let ni = self.n_inputs();
+        let no = self.n_outputs();
+        assert_eq!(inputs.len() % ni, 0, "inputs must be whole rows of {ni} values");
+        let rows = inputs.len() / ni;
+        assert_eq!(outputs.len(), rows * no, "outputs must hold {no} values per input row");
+        for r in 0..rows {
+            self.evaluate(
+                &inputs[r * ni..(r + 1) * ni],
+                scratch,
+                &mut outputs[r * no..(r + 1) * no],
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Reusable working memory for [`CompiledFis`] evaluation.
+///
+/// Holds the fuzzified membership degrees, the per-rule firing strengths
+/// and the aggregated output curve. Buffers grow to the plan's dimensions
+/// on first use and are reused (never freed, never reallocated) afterwards,
+/// which is what makes the evaluation loop allocation-free. A scratch may
+/// be reused across different plans; it simply grows to the largest.
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    memberships: Vec<f64>,
+    firing: Vec<f64>,
+    mu: Vec<f64>,
+}
+
+impl EvalScratch {
+    /// An empty scratch; it sizes itself on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grow the buffers to `fis`'s dimensions (no-op once large enough).
+    fn prepare(&mut self, fis: &CompiledFis) {
+        if self.memberships.len() < fis.input_mfs.len() {
+            self.memberships.resize(fis.input_mfs.len(), 0.0);
+        }
+        if self.firing.len() < fis.n_rules() {
+            self.firing.resize(fis.n_rules(), 0.0);
+        }
+        if self.mu.len() < fis.config.resolution {
+            self.mu.resize(fis.config.resolution, 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defuzz::Defuzzifier;
+    use crate::engine::mamdani::FisBuilder;
+    use crate::membership::Mf;
+    use crate::norms::{Aggregation, Implication, SNorm, TNorm};
+    use crate::variable::LinguisticVariable;
+
+    fn tipper() -> Fis {
+        let service = LinguisticVariable::new("service", 0.0, 10.0)
+            .with_term("poor", Mf::gaussian(0.0, 1.5))
+            .with_term("good", Mf::gaussian(5.0, 1.5))
+            .with_term("excellent", Mf::gaussian(10.0, 1.5));
+        let food = LinguisticVariable::new("food", 0.0, 10.0)
+            .with_term("rancid", Mf::trapezoidal(0.0, 0.0, 1.0, 3.0))
+            .with_term("delicious", Mf::trapezoidal(7.0, 9.0, 10.0, 10.0));
+        let tip = LinguisticVariable::new("tip", 0.0, 30.0)
+            .with_term("cheap", Mf::triangular(0.0, 5.0, 10.0))
+            .with_term("average", Mf::triangular(10.0, 15.0, 20.0))
+            .with_term("generous", Mf::triangular(20.0, 25.0, 30.0));
+        FisBuilder::new("tipper")
+            .input(service)
+            .input(food)
+            .output(tip)
+            .rule_str("IF service IS poor OR food IS rancid THEN tip IS cheap")
+            .unwrap()
+            .rule_str("IF service IS good THEN tip IS average")
+            .unwrap()
+            .rule_str("IF service IS excellent OR food IS delicious THEN tip IS generous")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_interpreted_engine_bitwise() {
+        let fis = tipper();
+        let plan = fis.compile();
+        let mut scratch = plan.scratch();
+        let mut out = [0.0f64];
+        for x in [0.0, 0.5, 2.5, 5.0, 7.7, 10.0, -3.0, 13.0] {
+            for y in [0.0, 1.0, 4.9, 8.1, 10.0, 42.0] {
+                let interpreted = fis.evaluate(&[x, y]).unwrap()[0];
+                plan.evaluate(&[x, y], &mut scratch, &mut out).unwrap();
+                assert_eq!(
+                    interpreted.to_bits(),
+                    out[0].to_bits(),
+                    "compiled drifted at ({x}, {y}): {interpreted} vs {}",
+                    out[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_across_operator_families_and_defuzzifiers() {
+        for d in Defuzzifier::ALL {
+            for (and, or, imp, agg) in [
+                (TNorm::Min, SNorm::Max, Implication::Min, Aggregation::Max),
+                (
+                    TNorm::Product,
+                    SNorm::ProbabilisticSum,
+                    Implication::Product,
+                    Aggregation::ProbabilisticSum,
+                ),
+                (TNorm::Lukasiewicz, SNorm::BoundedSum, Implication::Min, Aggregation::BoundedSum),
+            ] {
+                let fis = tipper().with_config(EngineConfig {
+                    and,
+                    or,
+                    implication: imp,
+                    aggregation: agg,
+                    defuzzifier: d,
+                    resolution: 301,
+                    no_fire: NoFirePolicy::Error,
+                });
+                let plan = fis.compile();
+                let mut scratch = EvalScratch::new();
+                for x in [0.3, 4.2, 9.6] {
+                    let a = fis.evaluate(&[x, 10.0 - x]).unwrap()[0];
+                    let b = plan.evaluate_one(&[x, 10.0 - x], &mut scratch).unwrap();
+                    assert_eq!(a.to_bits(), b.to_bits(), "{d:?}/{and:?} drifted at {x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_equals_scalar() {
+        let plan = tipper().compile();
+        let mut scratch = plan.scratch();
+        let inputs: Vec<f64> = (0..32).flat_map(|k| [k as f64 * 0.3, 10.0 - k as f64 * 0.25]).collect();
+        let mut batch = vec![0.0; 32];
+        plan.evaluate_batch(&inputs, &mut batch, &mut scratch).unwrap();
+        for k in 0..32 {
+            let scalar = plan.evaluate_one(&inputs[2 * k..2 * k + 2], &mut scratch).unwrap();
+            assert_eq!(scalar.to_bits(), batch[k].to_bits());
+        }
+    }
+
+    #[test]
+    fn error_paths_match_interpreted() {
+        let fis = tipper();
+        let plan = fis.compile();
+        let mut scratch = plan.scratch();
+        let mut out = [0.0f64];
+        assert_eq!(
+            plan.evaluate(&[1.0], &mut scratch, &mut out),
+            Err(FuzzyError::InputArity { expected: 2, got: 1 })
+        );
+        assert!(matches!(
+            plan.evaluate(&[f64::NAN, 1.0], &mut scratch, &mut out),
+            Err(FuzzyError::NonFiniteInput { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn no_fire_policies_match() {
+        let input = LinguisticVariable::new("x", 0.0, 10.0)
+            .with_term("edge", Mf::triangular(0.0, 0.0, 1.0));
+        let output = LinguisticVariable::new("y", 0.0, 10.0)
+            .with_term("t", Mf::triangular(0.0, 5.0, 10.0));
+        let build = |p: NoFirePolicy| {
+            FisBuilder::new("nf")
+                .input(input.clone())
+                .output(output.clone())
+                .rule_str("IF x IS edge THEN y IS t")
+                .unwrap()
+                .no_fire(p)
+                .build()
+                .unwrap()
+        };
+        let strict = build(NoFirePolicy::Error).compile();
+        let mut scratch = EvalScratch::new();
+        assert_eq!(strict.evaluate_one(&[5.0], &mut scratch), Err(FuzzyError::NoRuleFired));
+        let lenient = build(NoFirePolicy::UniverseMidpoint).compile();
+        assert_eq!(lenient.evaluate_one(&[5.0], &mut scratch).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn two_output_systems_compile() {
+        let x = LinguisticVariable::new("x", 0.0, 1.0)
+            .with_term("lo", Mf::left_shoulder(0.0, 1.0))
+            .with_term("hi", Mf::right_shoulder(0.0, 1.0));
+        let y1 = LinguisticVariable::new("y1", 0.0, 1.0)
+            .with_term("a", Mf::triangular(0.0, 0.25, 0.5))
+            .with_term("b", Mf::triangular(0.5, 0.75, 1.0));
+        let y2 = LinguisticVariable::new("y2", 0.0, 1.0)
+            .with_term("c", Mf::triangular(0.0, 0.25, 0.5))
+            .with_term("d", Mf::triangular(0.5, 0.75, 1.0));
+        let fis = FisBuilder::new("dual")
+            .input(x)
+            .output(y1)
+            .output(y2)
+            .rule_str("IF x IS lo THEN y1 IS a AND y2 IS d")
+            .unwrap()
+            .rule_str("IF x IS hi THEN y1 IS b AND y2 IS c")
+            .unwrap()
+            .build()
+            .unwrap();
+        let plan = fis.compile();
+        assert_eq!(plan.n_outputs(), 2);
+        let mut scratch = plan.scratch();
+        let mut out = [0.0f64; 2];
+        for x in [0.05, 0.5, 0.95] {
+            plan.evaluate(&[x], &mut scratch, &mut out).unwrap();
+            let reference = fis.evaluate(&[x]).unwrap();
+            assert_eq!(out[0].to_bits(), reference[0].to_bits());
+            assert_eq!(out[1].to_bits(), reference[1].to_bits());
+        }
+    }
+
+    #[test]
+    fn plan_reports_shape() {
+        let plan = tipper().compile();
+        assert_eq!(plan.name(), "tipper");
+        assert_eq!(plan.n_inputs(), 2);
+        assert_eq!(plan.n_outputs(), 1);
+        assert_eq!(plan.n_rules(), 3);
+        assert_eq!(plan.input_bounds(0), (0.0, 10.0));
+        assert_eq!(plan.output_bounds(0), (0.0, 30.0));
+        assert_eq!(plan.config().resolution, 501);
+    }
+}

@@ -1,0 +1,275 @@
+//! A precomputed 3-D lookup table over a three-input, single-output plan.
+//!
+//! [`Lut3d`] samples a [`CompiledFis`]'s crisp output on a regular
+//! `d₀ × d₁ × d₂` grid spanning the three input universes and answers
+//! queries by **trilinear interpolation** between the eight surrounding
+//! grid nodes. This trades exactness for speed and constant-time
+//! evaluation:
+//!
+//! * node values are *exact* (computed through the compiled engine), so a
+//!   query that lands on a grid node reproduces the engine bit for bit;
+//! * off-node queries incur an interpolation error bounded by the surface
+//!   curvature between nodes — measure it for a concrete system with
+//!   [`Lut3d::max_abs_error`] and pin the bound in a test before relying
+//!   on it;
+//! * inputs are clamped to the universes first, exactly like the exact
+//!   engines, so out-of-range queries saturate instead of extrapolating.
+//!
+//! Use the exact [`CompiledFis`] when decisions must be bit-reproducible
+//! (e.g. golden-file regression paths); use the LUT for ablations and
+//! throughput experiments where a documented small absolute error is an
+//! acceptable price.
+
+use crate::engine::compiled::CompiledFis;
+use crate::error::{FuzzyError, Result};
+use crate::fuzzyset::grid_x;
+
+/// A trilinear-interpolated lookup table of a 3-input/1-output system.
+#[derive(Debug, Clone)]
+pub struct Lut3d {
+    dims: [usize; 3],
+    mins: [f64; 3],
+    maxs: [f64; 3],
+    /// Node values, indexed `(i * dims[1] + j) * dims[2] + k`.
+    values: Vec<f64>,
+}
+
+impl Lut3d {
+    /// Build a table with `dims[a]` nodes along input axis `a` (each ≥ 2)
+    /// by evaluating `plan` at every grid node.
+    ///
+    /// Errors if the plan is not 3-input/1-output, a dimension is below 2,
+    /// or any node evaluation fails (e.g. no rule fires there under
+    /// [`NoFirePolicy::Error`](crate::engine::mamdani::NoFirePolicy)).
+    pub fn build(plan: &CompiledFis, dims: [usize; 3]) -> Result<Self> {
+        if plan.n_inputs() != 3 {
+            return Err(FuzzyError::InputArity { expected: 3, got: plan.n_inputs() });
+        }
+        if plan.n_outputs() != 1 {
+            return Err(FuzzyError::InvalidMf {
+                reason: format!(
+                    "a 3-D LUT requires a single-output system, got {} outputs",
+                    plan.n_outputs()
+                ),
+            });
+        }
+        for d in dims {
+            if d < 2 {
+                return Err(FuzzyError::InvalidMf {
+                    reason: format!("LUT needs at least 2 nodes per axis, got {d}"),
+                });
+            }
+        }
+        let mut mins = [0.0; 3];
+        let mut maxs = [0.0; 3];
+        for a in 0..3 {
+            let (lo, hi) = plan.input_bounds(a);
+            mins[a] = lo;
+            maxs[a] = hi;
+        }
+        let mut values = Vec::with_capacity(dims[0] * dims[1] * dims[2]);
+        let mut scratch = plan.scratch();
+        for i in 0..dims[0] {
+            let x = grid_x(mins[0], maxs[0], dims[0], i);
+            for j in 0..dims[1] {
+                let y = grid_x(mins[1], maxs[1], dims[1], j);
+                for k in 0..dims[2] {
+                    let z = grid_x(mins[2], maxs[2], dims[2], k);
+                    values.push(plan.evaluate_one(&[x, y, z], &mut scratch)?);
+                }
+            }
+        }
+        Ok(Lut3d { dims, mins, maxs, values })
+    }
+
+    /// Grid dimensions per axis.
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Universe bounds `(min, max)` of input axis `a`.
+    pub fn bounds(&self, a: usize) -> (f64, f64) {
+        (self.mins[a], self.maxs[a])
+    }
+
+    /// Number of stored node values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the table holds no nodes (not constructible via
+    /// [`Lut3d::build`], but required for a well-behaved `len`).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Locate `v` on axis `a`: the lower node index and the fractional
+    /// position within the cell, after clamping into the universe. A NaN
+    /// input saturates to the lower bound — the exact engines *reject*
+    /// non-finite inputs, but this infallible path must still return a
+    /// finite value rather than let a NaN poison downstream aggregates.
+    #[inline]
+    fn locate(&self, a: usize, v: f64) -> (usize, f64) {
+        let (lo, hi) = (self.mins[a], self.maxs[a]);
+        let v = if v.is_nan() { lo } else { v };
+        let t = (v.clamp(lo, hi) - lo) / (hi - lo) * (self.dims[a] - 1) as f64;
+        let i = (t.floor() as usize).min(self.dims[a] - 2);
+        (i, t - i as f64)
+    }
+
+    #[inline]
+    fn node(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.values[(i * self.dims[1] + j) * self.dims[2] + k]
+    }
+
+    /// Evaluate by trilinear interpolation; inputs outside the universes
+    /// clamp to the boundary (like the exact engines), and NaN inputs
+    /// saturate to the lower bound (where the exact engines would error —
+    /// this path stays infallible and NaN-free instead). Never allocates
+    /// and never fails.
+    pub fn evaluate(&self, x: [f64; 3]) -> f64 {
+        let (i, fx) = self.locate(0, x[0]);
+        let (j, fy) = self.locate(1, x[1]);
+        let (k, fz) = self.locate(2, x[2]);
+        // Interpolate along z, then y, then x.
+        let lerp = |a: f64, b: f64, t: f64| a + (b - a) * t;
+        let c00 = lerp(self.node(i, j, k), self.node(i, j, k + 1), fz);
+        let c01 = lerp(self.node(i, j + 1, k), self.node(i, j + 1, k + 1), fz);
+        let c10 = lerp(self.node(i + 1, j, k), self.node(i + 1, j, k + 1), fz);
+        let c11 = lerp(self.node(i + 1, j + 1, k), self.node(i + 1, j + 1, k + 1), fz);
+        lerp(lerp(c00, c01, fy), lerp(c10, c11, fy), fx)
+    }
+
+    /// Measure the maximum absolute error of the table against the exact
+    /// plan on a dense probe grid of `probes_per_axis ≥ 2` points per axis
+    /// (which deliberately does *not* coincide with the table nodes unless
+    /// the counts match, so cell interiors are exercised).
+    pub fn max_abs_error(&self, plan: &CompiledFis, probes_per_axis: usize) -> Result<f64> {
+        let n = probes_per_axis.max(2);
+        let mut scratch = plan.scratch();
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            let x = grid_x(self.mins[0], self.maxs[0], n, i);
+            for j in 0..n {
+                let y = grid_x(self.mins[1], self.maxs[1], n, j);
+                for k in 0..n {
+                    let z = grid_x(self.mins[2], self.maxs[2], n, k);
+                    let exact = plan.evaluate_one(&[x, y, z], &mut scratch)?;
+                    worst = worst.max((self.evaluate([x, y, z]) - exact).abs());
+                }
+            }
+        }
+        Ok(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::mamdani::{Fis, FisBuilder};
+    use crate::membership::Mf;
+    use crate::variable::LinguisticVariable;
+
+    /// A small 3-input system with a smooth surface.
+    fn three_input() -> Fis {
+        let mk = |name: &str| {
+            LinguisticVariable::new(name, 0.0, 10.0)
+                .with_term("lo", Mf::left_shoulder(0.0, 10.0))
+                .with_term("hi", Mf::right_shoulder(0.0, 10.0))
+        };
+        let out = LinguisticVariable::new("out", 0.0, 1.0)
+            .with_term("small", Mf::triangular(0.0, 0.0, 1.0))
+            .with_term("large", Mf::triangular(0.0, 1.0, 1.0));
+        FisBuilder::new("tri")
+            .input(mk("a"))
+            .input(mk("b"))
+            .input(mk("c"))
+            .output(out)
+            .rule_str("IF a IS lo THEN out IS small")
+            .unwrap()
+            .rule_str("IF a IS hi THEN out IS large")
+            .unwrap()
+            .rule_str("IF b IS hi AND c IS lo THEN out IS small")
+            .unwrap()
+            .rule_str("IF b IS lo AND c IS hi THEN out IS large")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn nodes_are_exact() {
+        let plan = three_input().compile();
+        let lut = Lut3d::build(&plan, [9, 9, 9]).unwrap();
+        let mut scratch = plan.scratch();
+        for i in [0usize, 4, 8] {
+            let x = grid_x(0.0, 10.0, 9, i);
+            let exact = plan.evaluate_one(&[x, x, x], &mut scratch).unwrap();
+            let approx = lut.evaluate([x, x, x]);
+            assert!((approx - exact).abs() < 1e-12, "node ({x}) drifted: {approx} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn error_shrinks_with_resolution() {
+        let plan = three_input().compile();
+        let coarse = Lut3d::build(&plan, [5, 5, 5]).unwrap();
+        let fine = Lut3d::build(&plan, [17, 17, 17]).unwrap();
+        let e_coarse = coarse.max_abs_error(&plan, 13).unwrap();
+        let e_fine = fine.max_abs_error(&plan, 13).unwrap();
+        assert!(e_fine <= e_coarse, "refining the grid must not hurt: {e_fine} vs {e_coarse}");
+        assert!(e_fine < 0.1, "a 17³ table approximates this smooth surface well: {e_fine}");
+    }
+
+    #[test]
+    fn out_of_range_queries_clamp() {
+        let plan = three_input().compile();
+        let lut = Lut3d::build(&plan, [9, 9, 9]).unwrap();
+        assert_eq!(
+            lut.evaluate([-50.0, 5.0, 5.0]).to_bits(),
+            lut.evaluate([0.0, 5.0, 5.0]).to_bits()
+        );
+        assert_eq!(
+            lut.evaluate([3.0, 999.0, 5.0]).to_bits(),
+            lut.evaluate([3.0, 10.0, 5.0]).to_bits()
+        );
+        // Infinities clamp like any out-of-range value; NaN saturates to
+        // the lower bound — the result is always finite.
+        assert_eq!(
+            lut.evaluate([f64::INFINITY, 5.0, 5.0]).to_bits(),
+            lut.evaluate([10.0, 5.0, 5.0]).to_bits()
+        );
+        assert_eq!(
+            lut.evaluate([f64::NAN, 5.0, 5.0]).to_bits(),
+            lut.evaluate([0.0, 5.0, 5.0]).to_bits()
+        );
+        assert!(lut.evaluate([f64::NAN, f64::NAN, f64::NAN]).is_finite());
+    }
+
+    #[test]
+    fn shape_validation() {
+        let plan = three_input().compile();
+        assert!(Lut3d::build(&plan, [1, 9, 9]).is_err(), "degenerate axis");
+        let lut = Lut3d::build(&plan, [4, 5, 6]).unwrap();
+        assert_eq!(lut.dims(), [4, 5, 6]);
+        assert_eq!(lut.len(), 4 * 5 * 6);
+        assert!(!lut.is_empty());
+        assert_eq!(lut.bounds(0), (0.0, 10.0));
+
+        // Wrong arity: a 2-input system cannot back a 3-D LUT.
+        let two_in = {
+            let x = LinguisticVariable::new("x", 0.0, 1.0).with_term("t", Mf::triangular(0.0, 0.5, 1.0));
+            let y = LinguisticVariable::new("y", 0.0, 1.0).with_term("t", Mf::triangular(0.0, 0.5, 1.0));
+            let o = LinguisticVariable::new("o", 0.0, 1.0).with_term("t", Mf::triangular(0.0, 0.5, 1.0));
+            FisBuilder::new("2in")
+                .input(x)
+                .input(y)
+                .output(o)
+                .rule_str("IF x IS t THEN o IS t")
+                .unwrap()
+                .build()
+                .unwrap()
+        };
+        assert!(Lut3d::build(&two_in.compile(), [4, 4, 4]).is_err());
+    }
+}

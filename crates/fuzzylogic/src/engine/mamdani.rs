@@ -11,13 +11,33 @@
 //! 5. **Defuzzify** the aggregate into a crisp output.
 
 use crate::defuzz::Defuzzifier;
+use crate::engine::compiled::CompiledFis;
 use crate::error::{FuzzyError, Result};
-use crate::fuzzyset::SampledSet;
+use crate::fuzzyset::{grid_x, SampledSet};
 use crate::norms::{Aggregation, Implication, SNorm, TNorm};
 use crate::parser::parse_rule;
-use crate::rule::{Rule, RuleSet};
+use crate::rule::{Connective, Rule, RuleSet};
 use crate::variable::LinguisticVariable;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+/// Reusable buffers of the plain (untraced) evaluation path; one per
+/// thread, grown on first use and reused for every subsequent call.
+#[derive(Debug, Default)]
+struct PlainScratch {
+    /// Fuzzified degrees of every (input, term), flat in declaration order.
+    memberships: Vec<f64>,
+    /// `offsets[v]..offsets[v + 1]` delimits input `v`'s terms.
+    offsets: Vec<usize>,
+    /// Firing strength per rule.
+    firing: Vec<f64>,
+    /// Aggregated output samples (one output variable at a time).
+    mu: Vec<f64>,
+}
+
+thread_local! {
+    static PLAIN_SCRATCH: RefCell<PlainScratch> = RefCell::new(PlainScratch::default());
+}
 
 /// Behaviour when no rule fires for a given input vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -185,8 +205,90 @@ impl Fis {
     }
 
     /// Full pipeline: crisp inputs to crisp outputs.
+    ///
+    /// The plain path runs through a thread-local scratch buffer, so after
+    /// the first call on a thread the only per-call heap allocation is the
+    /// returned output vector; use [`CompiledFis`](crate::CompiledFis) for
+    /// a strictly allocation-free hot path. Results are bit-identical to
+    /// [`Fis::evaluate_with_trace`].
     pub fn evaluate(&self, crisp: &[f64]) -> Result<Vec<f64>> {
-        Ok(self.evaluate_with_trace(crisp)?.outputs)
+        PLAIN_SCRATCH.with(|cell| self.evaluate_scratch(crisp, &mut cell.borrow_mut()))
+    }
+
+    /// The scratch-buffer evaluation core behind [`Fis::evaluate`]. Performs
+    /// the same fuzzify → fire → imply/aggregate → defuzzify arithmetic as
+    /// the traced path, but reuses flat buffers instead of allocating the
+    /// intermediate vectors and sampled sets.
+    fn evaluate_scratch(&self, crisp: &[f64], s: &mut PlainScratch) -> Result<Vec<f64>> {
+        self.check_inputs(crisp)?;
+
+        // Step 1 — fuzzify into one flat buffer (term degrees per variable,
+        // in declaration order, delimited by `offsets`).
+        s.offsets.clear();
+        s.memberships.clear();
+        s.offsets.push(0);
+        for (var, &x) in self.inputs.iter().zip(crisp) {
+            let x = var.clamp(x);
+            for term in var.terms() {
+                s.memberships.push(term.mf.eval(x));
+            }
+            s.offsets.push(s.memberships.len());
+        }
+
+        // Step 2 — firing strengths (same degree lookup semantics as
+        // `Rule::firing_strength`: unknown variable/term indices read as 0).
+        s.firing.clear();
+        for rule in self.rules.rules() {
+            let degrees = rule.antecedents.iter().map(|a| {
+                let mu = if a.var + 1 < s.offsets.len()
+                    && a.term < s.offsets[a.var + 1] - s.offsets[a.var]
+                {
+                    s.memberships[s.offsets[a.var] + a.term]
+                } else {
+                    0.0
+                };
+                a.hedge.apply(mu)
+            });
+            let strength = match rule.connective {
+                Connective::And => self.config.and.fold(degrees),
+                Connective::Or => self.config.or.fold(degrees),
+            };
+            s.firing.push(strength * rule.weight);
+        }
+
+        // Steps 3–5 — imply, aggregate and defuzzify per output, reusing
+        // one sample buffer.
+        let res = self.config.resolution;
+        let mut outputs = Vec::with_capacity(self.outputs.len());
+        for (oi, var) in self.outputs.iter().enumerate() {
+            s.mu.clear();
+            s.mu.resize(res, 0.0);
+            for (rule, &w) in self.rules.rules().iter().zip(&s.firing) {
+                if w <= 0.0 {
+                    continue;
+                }
+                for cons in rule.consequents.iter().filter(|c| c.var == oi) {
+                    let mf = var.terms()[cons.term].mf;
+                    let implication = self.config.implication;
+                    let aggregation = self.config.aggregation;
+                    for (i, slot) in s.mu.iter_mut().enumerate() {
+                        let x = grid_x(var.min, var.max, res, i);
+                        *slot = aggregation
+                            .apply(*slot, implication.apply(w, mf.eval(x)).clamp(0.0, 1.0));
+                    }
+                }
+            }
+            let crisp_out = match self.config.defuzzifier.defuzzify_slice(var.min, var.max, &s.mu)
+            {
+                Some(v) => v,
+                None => match self.config.no_fire {
+                    NoFirePolicy::Error => return Err(FuzzyError::NoRuleFired),
+                    NoFirePolicy::UniverseMidpoint => 0.5 * (var.min + var.max),
+                },
+            };
+            outputs.push(crisp_out);
+        }
+        Ok(outputs)
     }
 
     /// Full pipeline with a diagnostic [`Trace`].
@@ -264,20 +366,39 @@ impl Fis {
     }
 
     /// Evaluate with inputs given as `(name, value)` pairs in any order.
+    ///
+    /// Every declared input must receive exactly one value:
+    /// a missing input is a [`FuzzyError::MissingInput`] and a repeated
+    /// name is a [`FuzzyError::DuplicateName`] (an earlier version used
+    /// `NaN` as the "unset" sentinel, which conflated an explicitly passed
+    /// non-finite value with a forgotten input).
     pub fn evaluate_named(&self, named: &[(&str, f64)]) -> Result<Vec<f64>> {
-        let mut crisp = vec![f64::NAN; self.inputs.len()];
+        let mut crisp = vec![0.0; self.inputs.len()];
+        let mut supplied = vec![false; self.inputs.len()];
         for &(name, value) in named {
             let idx = self
                 .input_index(name)
                 .ok_or_else(|| FuzzyError::UnknownVariable { name: name.to_string() })?;
+            if supplied[idx] {
+                return Err(FuzzyError::DuplicateName { name: name.to_string() });
+            }
             crisp[idx] = value;
+            supplied[idx] = true;
         }
-        if let Some(missing) = crisp.iter().position(|v| v.is_nan()) {
-            return Err(FuzzyError::UnknownVariable {
-                name: format!("missing value for input `{}`", self.inputs[missing].name),
+        if let Some(missing) = supplied.iter().position(|&set| !set) {
+            return Err(FuzzyError::MissingInput {
+                name: self.inputs[missing].name.clone(),
             });
         }
         self.evaluate(&crisp)
+    }
+
+    /// Compile this system into a [`CompiledFis`]: a flattened, pre-sampled
+    /// plan whose evaluation is bit-identical to [`Fis::evaluate`] but
+    /// performs no heap allocation per call. See the
+    /// [`compiled`](crate::engine::compiled) module docs.
+    pub fn compile(&self) -> CompiledFis {
+        CompiledFis::compile(self)
     }
 }
 
@@ -478,6 +599,29 @@ mod tests {
         assert_eq!(a, b);
         assert!(fis.evaluate_named(&[("service", 3.0)]).is_err(), "missing food");
         assert!(fis.evaluate_named(&[("bogus", 1.0), ("service", 1.0)]).is_err());
+    }
+
+    #[test]
+    fn named_evaluation_rejects_missing_and_duplicate_inputs() {
+        let fis = tipper();
+        // A missing input is a dedicated error naming the input, not a NaN
+        // silently fuzzified into zero memberships.
+        assert_eq!(
+            fis.evaluate_named(&[("service", 3.0)]),
+            Err(FuzzyError::MissingInput { name: "food".into() })
+        );
+        // An explicitly supplied non-finite value is reported as such, not
+        // misdiagnosed as a missing input (the old NaN-sentinel conflated
+        // the two).
+        assert!(matches!(
+            fis.evaluate_named(&[("service", f64::NAN), ("food", 2.0)]),
+            Err(FuzzyError::NonFiniteInput { index: 0, .. })
+        ));
+        // A repeated name no longer silently last-wins.
+        assert_eq!(
+            fis.evaluate_named(&[("service", 3.0), ("service", 4.0), ("food", 2.0)]),
+            Err(FuzzyError::DuplicateName { name: "service".into() })
+        );
     }
 
     #[test]

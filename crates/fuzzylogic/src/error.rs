@@ -56,6 +56,12 @@ pub enum FuzzyError {
         /// The offending value (NaN or ±inf).
         value: f64,
     },
+    /// A named evaluation ([`Fis::evaluate_named`](crate::Fis::evaluate_named))
+    /// supplied no value for a declared input.
+    MissingInput {
+        /// Name of the input that received no value.
+        name: String,
+    },
     /// The system has no rules, so no output can be inferred.
     EmptyRuleSet,
     /// A system was built without inputs or without outputs.
@@ -108,6 +114,9 @@ impl fmt::Display for FuzzyError {
             }
             FuzzyError::NonFiniteInput { index, value } => {
                 write!(f, "input #{index} is not finite ({value})")
+            }
+            FuzzyError::MissingInput { name } => {
+                write!(f, "no value supplied for input `{name}`")
             }
             FuzzyError::EmptyRuleSet => write!(f, "the rule set is empty"),
             FuzzyError::EmptySystem { what } => {

@@ -6,6 +6,51 @@
 use crate::norms::Aggregation;
 use serde::{Deserialize, Serialize};
 
+/// The `i`-th coordinate of `n` evenly spaced grid points spanning
+/// `[min, max]`, endpoints included.
+///
+/// This is the one formula shared by every universe discretisation in the
+/// crate — [`SampledSet`], the interpreted Mamdani engine, the compiled
+/// engine's pre-sampled consequent tables and the LUT grids all call it, so
+/// their sample coordinates are bit-identical by construction.
+///
+/// `n` must be at least 2 (a grid needs both endpoints); every grid in the
+/// crate enforces that at construction time, and debug builds assert it.
+#[inline]
+pub fn grid_x(min: f64, max: f64, n: usize, i: usize) -> f64 {
+    debug_assert!(n >= 2, "a sample grid needs at least two points, got {n}");
+    min + (max - min) * i as f64 / (n - 1) as f64
+}
+
+/// Maximum membership degree of a sampled curve (its *height*). The one
+/// implementation behind [`SampledSet::height`] and the slice-based
+/// defuzzifiers, so both paths agree bit for bit.
+pub(crate) fn slice_height(mu: &[f64]) -> f64 {
+    mu.iter().cloned().fold(0.0, f64::max)
+}
+
+/// Trapezoidal-rule area of a sampled curve over `[min, max]` (`mu.len()`
+/// must be ≥ 2). The one implementation behind [`SampledSet::area`] and
+/// the slice-based defuzzifiers.
+pub(crate) fn slice_area(min: f64, max: f64, mu: &[f64]) -> f64 {
+    let n = mu.len();
+    let dx = (max - min) / (n - 1) as f64;
+    let interior: f64 = mu[1..n - 1].iter().sum();
+    dx * (0.5 * (mu[0] + mu[n - 1]) + interior)
+}
+
+/// Trapezoidal-rule first moment `∫ x μ(x) dx` of a sampled curve over
+/// `[min, max]` (`mu.len()` must be ≥ 2). The one implementation behind
+/// [`SampledSet::first_moment`] and the slice-based defuzzifiers.
+pub(crate) fn slice_first_moment(min: f64, max: f64, mu: &[f64]) -> f64 {
+    let n = mu.len();
+    let dx = (max - min) / (n - 1) as f64;
+    let ends = 0.5
+        * (mu[0] * grid_x(min, max, n, 0) + mu[n - 1] * grid_x(min, max, n, n - 1));
+    let interior: f64 = (1..n - 1).map(|i| mu[i] * grid_x(min, max, n, i)).sum();
+    dx * (ends + interior)
+}
+
 /// A fuzzy set represented by membership degrees sampled on a uniform grid.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SampledSet {
@@ -49,8 +94,7 @@ impl SampledSet {
     /// The grid coordinate of sample `i`.
     #[inline]
     pub fn x_at(&self, i: usize) -> f64 {
-        let n = self.mu.len();
-        self.min + (self.max - self.min) * i as f64 / (n - 1) as f64
+        grid_x(self.min, self.max, self.mu.len(), i)
     }
 
     /// Grid spacing.
@@ -112,24 +156,17 @@ impl SampledSet {
 
     /// Maximum membership degree (the set's *height*).
     pub fn height(&self) -> f64 {
-        self.mu.iter().cloned().fold(0.0, f64::max)
+        slice_height(&self.mu)
     }
 
     /// Trapezoidal-rule area under the sampled membership curve.
     pub fn area(&self) -> f64 {
-        let dx = self.dx();
-        let n = self.mu.len();
-        let interior: f64 = self.mu[1..n - 1].iter().sum();
-        dx * (0.5 * (self.mu[0] + self.mu[n - 1]) + interior)
+        slice_area(self.min, self.max, &self.mu)
     }
 
     /// Trapezoidal-rule first moment `∫ x μ(x) dx`.
     pub fn first_moment(&self) -> f64 {
-        let dx = self.dx();
-        let n = self.mu.len();
-        let ends = 0.5 * (self.mu[0] * self.x_at(0) + self.mu[n - 1] * self.x_at(n - 1));
-        let interior: f64 = (1..n - 1).map(|i| self.mu[i] * self.x_at(i)).sum();
-        dx * (ends + interior)
+        slice_first_moment(self.min, self.max, &self.mu)
     }
 }
 

@@ -16,6 +16,11 @@
 //!   ([`parse_rule`](parser::parse_rule)).
 //! * [`Fis`] — a Mamdani-style engine with configurable conjunction,
 //!   disjunction, implication, aggregation and defuzzification.
+//! * [`CompiledFis`] / [`EvalScratch`] — a [`Fis`] compiled once into
+//!   dense arrays with pre-sampled consequents: bit-identical outputs,
+//!   zero heap allocation per call, plus a batch entry point.
+//! * [`Lut3d`] — a precomputed 3-D lookup table over a compiled
+//!   3-input system (trilinear interpolation, documented error bound).
 //! * [`SugenoFis`] — a zero/first-order Takagi–Sugeno–Kang engine.
 //! * [`Defuzzifier`] — centroid, bisector, mean/smallest/largest of maxima
 //!   and height (weighted-average) defuzzification.
@@ -66,6 +71,8 @@ pub mod variable;
 
 pub use analysis::{analyze, RuleBaseReport};
 pub use defuzz::Defuzzifier;
+pub use engine::compiled::{CompiledFis, EvalScratch};
+pub use engine::lut::Lut3d;
 pub use engine::mamdani::{EngineConfig, Fis, FisBuilder};
 pub use engine::sugeno::{SugenoFis, SugenoFisBuilder, SugenoOutput, SugenoRule};
 pub use error::{FuzzyError, Result};
@@ -79,6 +86,8 @@ pub use variable::{LinguisticVariable, Term};
 /// Convenience re-exports for users who want everything in scope.
 pub mod prelude {
     pub use crate::defuzz::Defuzzifier;
+    pub use crate::engine::compiled::{CompiledFis, EvalScratch};
+    pub use crate::engine::lut::Lut3d;
     pub use crate::engine::mamdani::{EngineConfig, Fis, FisBuilder};
     pub use crate::engine::sugeno::{SugenoFis, SugenoFisBuilder, SugenoOutput, SugenoRule};
     pub use crate::error::{FuzzyError, Result};

@@ -246,6 +246,24 @@ impl UeState {
         point: TracePoint,
         policy: &mut dyn HandoverPolicy,
     ) -> StepOutcome {
+        let report = self.begin_step(cfg, candidates, means_dbm, point);
+        let decision = policy.decide(&report);
+        self.finish_step(cfg, &report, decision, point, policy)
+    }
+
+    /// The measurement half of a step: advance the shadowing processes and
+    /// the RNG, measure every BS, pick the strongest neighbour and build
+    /// the report. The fleet engine calls this for a whole chunk before
+    /// deciding, so the FLC stage can run batched between the halves;
+    /// [`UeState::step`] composes the same halves for the scalar path, so
+    /// the two orderings draw identical per-UE random streams.
+    pub(crate) fn begin_step(
+        &mut self,
+        cfg: &SimConfig,
+        candidates: &CandidateTable,
+        means_dbm: &[f64],
+        point: TracePoint,
+    ) -> MeasurementReport {
         let cells = cfg.layout.cells();
         debug_assert_eq!(means_dbm.len(), cells.len());
         let delta = point.cum_km - self.prev_cum;
@@ -280,16 +298,29 @@ impl UeState {
             .expect("layouts have at least two cells");
         let neighbor = cells[neighbor_idx];
 
-        let report = MeasurementReport {
+        MeasurementReport {
             serving,
             serving_rss_dbm: serving_rss,
             neighbor,
             neighbor_rss_dbm: neighbor_rss,
             distance_to_serving_km: cfg.layout.distance_to_bs(serving, point.pos),
             distance_to_neighbor_km: cfg.layout.distance_to_bs(neighbor, point.pos),
-        };
+        }
+    }
 
-        let decision = policy.decide(&report);
+    /// The commit half of a step: record/execute the decision made on a
+    /// [`UeState::begin_step`] report, notify the policy of an executed
+    /// handover, and account the step.
+    pub(crate) fn finish_step(
+        &mut self,
+        cfg: &SimConfig,
+        report: &MeasurementReport,
+        decision: Decision,
+        point: TracePoint,
+        policy: &mut dyn HandoverPolicy,
+    ) -> StepOutcome {
+        let cells = cfg.layout.cells();
+        let serving_rss = report.serving_rss_dbm;
         let hd = match decision {
             Decision::Handover { hd, .. } => Some(hd),
             Decision::Stay(StayReason::BelowThreshold { hd })
@@ -301,7 +332,7 @@ impl UeState {
             self.log.record_handover(HandoverEvent {
                 step: self.steps,
                 at_km: point.cum_km,
-                from: serving,
+                from: report.serving,
                 to: target,
                 hd,
             });
@@ -317,11 +348,11 @@ impl UeState {
         self.steps += 1;
 
         StepOutcome {
-            serving_before: serving,
+            serving_before: report.serving,
             serving_after_idx: self.serving_idx,
             serving_rss_dbm: serving_rss,
-            neighbor,
-            neighbor_rss_dbm: neighbor_rss,
+            neighbor: report.neighbor,
+            neighbor_rss_dbm: report.neighbor_rss_dbm,
             distance_to_serving_km: report.distance_to_serving_km,
             hd,
             handover,

@@ -32,10 +32,12 @@ pub const BOUNDARY_REF: [f64; 3] = [-2.7, -93.4, 0.44];
 /// Reference crossing input (CSSP, SSN, DMB).
 pub const CROSSING_REF: [f64; 3] = [-3.5, -89.0, 1.2];
 
-fn run_scenarios(fis: fuzzylogic::Fis) -> (usize, usize) {
+fn run_scenarios(fis: &fuzzylogic::Fis) -> (usize, usize) {
     let sim = Simulation::new(SimConfig::paper_default());
+    // Compile the variant once; both scenario controllers share the plan.
+    let plan = std::sync::Arc::new(fuzzylogic::CompiledFis::compile(fis));
     let mk = || {
-        FuzzyHandoverController::with_fis(fis.clone(), ControllerConfig::paper_default(2.0))
+        FuzzyHandoverController::with_plan(plan.clone(), ControllerConfig::paper_default(2.0))
     };
     let mut a = mk();
     let mut b = mk();
@@ -52,7 +54,7 @@ pub fn data() -> Vec<AblationRow> {
             let fis = build_flc_with(profile, defuzz);
             let crossing = fis.evaluate(&CROSSING_REF).unwrap()[0];
             let boundary = fis.evaluate(&BOUNDARY_REF).unwrap()[0];
-            let (ha, hb) = run_scenarios(fis);
+            let (ha, hb) = run_scenarios(&fis);
             rows.push(AblationRow {
                 variant: format!("{profile:?} / {defuzz:?}"),
                 handovers_a: ha,

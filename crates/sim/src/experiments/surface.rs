@@ -6,6 +6,7 @@
 //! and the 0.7 threshold contour separates it from the boundary regime.
 
 use crate::table::fmt_f;
+use fuzzylogic::Fis;
 use handover_core::flc::{build_paper_flc, CSSP_INPUT, DMB_INPUT, SSN_INPUT};
 
 /// Surface resolution.
@@ -17,7 +18,12 @@ pub const CSSP_SLICES: [f64; 3] = [-6.0, -2.0, 2.0];
 
 /// Sample the HD surface over (SSN, DMB) for a fixed CSSP.
 pub fn data(cssp_db: f64) -> Vec<Vec<f64>> {
-    let fis = build_paper_flc();
+    data_with(&build_paper_flc(), cssp_db)
+}
+
+/// [`data`] against a caller-built FIS, so one construction can serve
+/// many slices (the renderer sweeps three CSSP slices over one system).
+fn data_with(fis: &Fis, cssp_db: f64) -> Vec<Vec<f64>> {
     fis.control_surface(
         SSN_INPUT,
         DMB_INPUT,
@@ -59,7 +65,7 @@ pub fn render() -> String {
             dmb.min,
             dmb.max
         ));
-        let surface = data(cssp);
+        let surface = data_with(&fis, cssp);
         // Render with DMB increasing upward.
         for row in surface.iter().rev() {
             let line: String = row.iter().map(|&hd| glyph(hd)).collect();

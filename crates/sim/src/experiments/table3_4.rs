@@ -75,12 +75,12 @@ pub fn scenario_a_points() -> Vec<PointInputs> {
     let sim = Simulation::new(cfg.clone());
     let mut policy = controller();
     let run = sim.run(&Scenario::a().trajectory(), &mut policy, 0);
-    let ctl = controller();
+    let mut ctl = controller();
     let radius = cfg.layout.cell_radius_km();
 
     // Offline HD for every interior sample (needs a predecessor for CSSP
     // and a successor for the second sub-measurement).
-    let offline_hd = |k: usize| -> f64 {
+    let mut offline_hd = |k: usize| -> f64 {
         let s = &run.steps[k];
         let prev = &run.steps[k - 1];
         let inputs = FlcInputs::from_measurements(
@@ -194,7 +194,7 @@ pub fn scenario_b_points() -> Vec<PointInputs> {
 pub fn sweep(scenario: &'static str, points: Vec<PointInputs>) -> SweepTable {
     let params = crate::params::PaperParams::paper();
     let radius = params.cell_radius_km;
-    let ctl = controller();
+    let mut ctl = controller();
     let noise = MeasurementNoise::new(REP_NOISE_DB);
     let speeds: Vec<f64> = params.speeds_kmh.to_vec();
 

@@ -29,11 +29,13 @@
 
 use crate::engine::{SimConfig, Simulation, UeState};
 use cellgeom::Axial;
+use fuzzylogic::{CompiledFis, EvalScratch};
 use handover_core::baselines::{
     HysteresisPolicy, HysteresisThresholdPolicy, ThresholdPolicy,
 };
 use handover_core::{
-    CellLoadHistogram, ControllerConfig, FleetSummary, FuzzyHandoverController, HandoverPolicy,
+    paper_flc_lut, CellLoadHistogram, ControllerConfig, Decision, FleetSummary, FlcStage,
+    FuzzyHandoverController, HandoverPolicy, MeasurementReport,
 };
 use mobility::{
     GaussMarkov, ManhattanGrid, MobilityModel, RandomWalk, RandomWaypoint, Trajectory,
@@ -42,6 +44,16 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Per-UE state of one fleet step between the measurement phase and the
+/// commit phase: either already decided, or waiting for entry `k` of the
+/// chunk's batched FLC evaluation.
+#[derive(Debug, Clone, Copy)]
+enum StepPending {
+    Decided(Decision),
+    AwaitHd(usize),
+}
 
 /// The measurement-RNG seed of UE `ue_id` in a fleet seeded with
 /// `base_seed`: `base_seed + ue_id · φ64` (golden-ratio stride, wrapping).
@@ -113,6 +125,13 @@ impl FleetMobility {
 pub enum PolicyKind {
     /// The paper's three-stage fuzzy controller.
     Fuzzy,
+    /// The fuzzy controller on the precomputed 3-D LUT decision plane
+    /// (trilinear interpolation; see
+    /// [`handover_core::flc::paper_flc_lut`]) — the approximate ablation
+    /// variant, trading
+    /// [`PAPER_LUT_MAX_ABS_ERROR`](handover_core::flc::PAPER_LUT_MAX_ABS_ERROR)
+    /// of HD accuracy for constant-time decisions.
+    FuzzyLut,
     /// Pure RSS hysteresis with the given margin.
     Hysteresis {
         /// Required neighbour advantage, dB.
@@ -137,6 +156,7 @@ impl PolicyKind {
     pub fn label(&self) -> &'static str {
         match self {
             PolicyKind::Fuzzy => "fuzzy",
+            PolicyKind::FuzzyLut => "fuzzy-lut",
             PolicyKind::Hysteresis { .. } => "hysteresis",
             PolicyKind::Threshold { .. } => "threshold",
             PolicyKind::HysteresisThreshold { .. } => "hyst+thresh",
@@ -148,6 +168,10 @@ impl PolicyKind {
     pub fn build(&self, cell_radius_km: f64) -> Box<dyn HandoverPolicy + Send> {
         match *self {
             PolicyKind::Fuzzy => Box::new(FuzzyHandoverController::new(
+                ControllerConfig::paper_default(cell_radius_km),
+            )),
+            PolicyKind::FuzzyLut => Box::new(FuzzyHandoverController::with_lut(
+                paper_flc_lut(),
                 ControllerConfig::paper_default(cell_radius_km),
             )),
             PolicyKind::Hysteresis { margin_db } => Box::new(HysteresisPolicy::new(margin_db)),
@@ -395,7 +419,8 @@ impl FleetSimulation {
     }
 
     /// Step one chunk of UEs to completion in lockstep, batching the mean
-    /// RSS evaluation per (BS, chunk) at every step.
+    /// RSS evaluation per (BS, chunk) and the fuzzy FLC evaluation per
+    /// chunk at every step.
     fn simulate_chunk(
         &self,
         spec: &dyn UeSpec,
@@ -428,12 +453,28 @@ impl FleetSimulation {
         let mut hd_counts = vec![0u64; n];
         let mut travelled = vec![0.0f64; n];
 
+        // The chunk's shared FLC plan: when every pending fuzzy decision
+        // runs on this plan (pointer-compared), the chunk evaluates them
+        // through one `CompiledFis::evaluate_batch` call per step instead
+        // of one virtual `decide` per UE. Controllers on other planes (a
+        // custom per-UE FIS, the LUT/Sugeno ablations) fall back to their
+        // own scalar path, so heterogeneous chunks stay correct.
+        let chunk_plan: Option<Arc<CompiledFis>> = policies
+            .iter_mut()
+            .find_map(|p| p.as_fuzzy().and_then(|f| f.shared_plan().cloned()));
+        let mut flc_scratch = EvalScratch::new();
+
         // Scratch buffers reused across steps.
         let mut active_idx: Vec<usize> = Vec::with_capacity(n);
         let mut positions: Vec<cellgeom::Vec2> = Vec::with_capacity(n);
         let mut points: Vec<mobility::TracePoint> = Vec::with_capacity(n);
         let mut rss_matrix: Vec<f64> = Vec::new();
         let mut means = vec![0.0f64; cells.len()];
+        let mut reports: Vec<MeasurementReport> = Vec::with_capacity(n);
+        let mut pending: Vec<StepPending> = Vec::with_capacity(n);
+        let mut batch_inputs: Vec<f64> = Vec::with_capacity(3 * n);
+        let mut batch_prev: Vec<Option<f64>> = Vec::with_capacity(n);
+        let mut batch_hd: Vec<f64> = Vec::with_capacity(n);
 
         loop {
             // Advance every live UE's trajectory cursor; retire the ones
@@ -480,14 +521,71 @@ impl FleetSimulation {
                 );
             }
 
-            // Per-UE decision step (RNG, fading, noise, policy).
+            // Phase 1 — measure every active UE (RNG, fading, noise) and
+            // run the batchable front half of its policy, collecting the
+            // chunk's outstanding FLC inputs.
+            reports.clear();
+            pending.clear();
+            batch_inputs.clear();
+            batch_prev.clear();
             for (j, &i) in active_idx.iter().enumerate() {
                 for (k, slot) in means.iter_mut().enumerate() {
                     *slot = rss_matrix[k * a + j];
                 }
                 let ue = ues[i].as_mut().expect("UE is live");
+                let report = ue.begin_step(cfg, self.sim.candidates(), &means, points[j]);
+                let step = match policies[i].as_fuzzy() {
+                    Some(fuzzy) => match fuzzy.decide_pre(&report) {
+                        FlcStage::Resolved(decision) => StepPending::Decided(decision),
+                        FlcStage::NeedsHd { inputs, prev_serving_rss } => {
+                            let batchable = match (&chunk_plan, fuzzy.shared_plan()) {
+                                (Some(chunk), Some(own)) => Arc::ptr_eq(chunk, own),
+                                _ => false,
+                            };
+                            if batchable {
+                                batch_inputs.extend(inputs.as_array());
+                                batch_prev.push(prev_serving_rss);
+                                StepPending::AwaitHd(batch_prev.len() - 1)
+                            } else {
+                                // Non-shared plane (LUT/Sugeno/custom FIS):
+                                // evaluate through the controller itself.
+                                let hd = fuzzy.evaluate_hd(&inputs);
+                                StepPending::Decided(fuzzy.decide_with_hd(
+                                    &report,
+                                    hd,
+                                    prev_serving_rss,
+                                ))
+                            }
+                        }
+                    },
+                    None => StepPending::Decided(policies[i].decide(&report)),
+                };
+                reports.push(report);
+                pending.push(step);
+            }
+
+            // Phase 2 — one batched FLC evaluation for the whole chunk.
+            if !batch_prev.is_empty() {
+                let plan = chunk_plan.as_ref().expect("batched entries imply a chunk plan");
+                batch_hd.clear();
+                batch_hd.resize(batch_prev.len(), 0.0);
+                plan.evaluate_batch(&batch_inputs, &mut batch_hd, &mut flc_scratch)
+                    .expect("the paper FLC fires on every input");
+            }
+
+            // Phase 3 — resolve pending decisions and commit every step.
+            for (j, &i) in active_idx.iter().enumerate() {
+                let decision = match pending[j] {
+                    StepPending::Decided(decision) => decision,
+                    StepPending::AwaitHd(k) => {
+                        let fuzzy =
+                            policies[i].as_fuzzy().expect("pending FLC entries are fuzzy");
+                        fuzzy.decide_with_hd(&reports[j], batch_hd[k], batch_prev[k])
+                    }
+                };
+                let ue = ues[i].as_mut().expect("UE is live");
                 let outcome =
-                    ue.step(cfg, self.sim.candidates(), &means, points[j], policies[i].as_mut());
+                    ue.finish_step(cfg, &reports[j], decision, points[j], policies[i].as_mut());
                 load.record_index(outcome.serving_after_idx);
                 if let Some(hd) = outcome.hd {
                     hd_sums[i] += hd;
@@ -716,6 +814,73 @@ mod tests {
             assert_eq!(o.steps, 1);
             assert_eq!(o.travelled_km, 0.0);
             assert_eq!(o.final_serving, Axial::ORIGIN);
+        }
+    }
+
+    #[test]
+    fn lut_policy_fleet_tracks_the_exact_fuzzy_fleet() {
+        // The fuzzy-lut ablation runs the same POTLC/PRTLC gates around a
+        // trilinear HD approximation: fleet-level metrics must land close
+        // to the exact controller (identical up to decisions whose exact
+        // HD sits within the LUT error of the 0.7 threshold).
+        let exact_spec = fuzzy_walk_spec(12);
+        let lut_spec = HomogeneousFleet { policy: PolicyKind::FuzzyLut, ..exact_spec };
+        let fleet = FleetSimulation::new(noisy_config()).with_workers(3);
+        let exact = fleet.run(&exact_spec, 40, 5).summary;
+        let lut = fleet.run(&lut_spec, 40, 5).summary;
+        assert_eq!(exact.steps, lut.steps, "gates and walks are identical");
+        let per_ue_gap =
+            (exact.handovers as f64 - lut.handovers as f64).abs() / exact.ues as f64;
+        assert!(
+            per_ue_gap < 0.5,
+            "LUT fleet diverged: {} vs {} handovers",
+            exact.handovers,
+            lut.handovers
+        );
+        assert!(lut.mean_hd().is_some(), "the LUT plane still reports HD values");
+    }
+
+    #[test]
+    fn mixed_plane_chunks_batch_only_the_shared_plan() {
+        // A chunk mixing exact-plan, LUT-plan and baseline policies must
+        // step every UE correctly: each UE's outcome equals the homogeneous
+        // fleet outcome of its own policy (UE results are independent, so
+        // mixing must not perturb them).
+        struct Mixed;
+        impl UeSpec for Mixed {
+            fn trajectory(&self, ue_id: u64) -> Trajectory {
+                fuzzy_walk_spec(7).trajectory(ue_id)
+            }
+            fn policy(&self, ue_id: u64) -> Box<dyn HandoverPolicy + Send> {
+                match ue_id % 3 {
+                    0 => PolicyKind::Fuzzy.build(2.0),
+                    1 => PolicyKind::FuzzyLut.build(2.0),
+                    _ => PolicyKind::Hysteresis { margin_db: 4.0 }.build(2.0),
+                }
+            }
+        }
+        struct Uniform(PolicyKind);
+        impl UeSpec for Uniform {
+            fn trajectory(&self, ue_id: u64) -> Trajectory {
+                fuzzy_walk_spec(7).trajectory(ue_id)
+            }
+            fn policy(&self, _ue_id: u64) -> Box<dyn HandoverPolicy + Send> {
+                self.0.build(2.0)
+            }
+        }
+        let fleet = FleetSimulation::new(noisy_config()).with_chunk_size(6);
+        let mixed = fleet.run(&Mixed, 18, 9);
+        for (kind, residue) in [
+            (PolicyKind::Fuzzy, 0),
+            (PolicyKind::FuzzyLut, 1),
+            (PolicyKind::Hysteresis { margin_db: 4.0 }, 2),
+        ] {
+            let uniform = fleet.run(&Uniform(kind), 18, 9);
+            for (m, u) in mixed.outcomes.iter().zip(&uniform.outcomes) {
+                if m.ue_id % 3 == residue {
+                    assert_eq!(m, u, "{} UE {} drifted in the mixed chunk", kind.label(), m.ue_id);
+                }
+            }
         }
     }
 

@@ -47,15 +47,19 @@ pub struct ScenarioMatrix {
 
 impl ScenarioMatrix {
     /// A small smoke-test default over the paper configuration: 100 UEs,
-    /// all four standard mobility models, two speeds, fuzzy vs 4 dB
-    /// hysteresis.
+    /// all four standard mobility models, two speeds, fuzzy (exact and
+    /// LUT-ablation planes) vs 4 dB hysteresis.
     pub fn small_default() -> Self {
         ScenarioMatrix {
             base: SimConfig::paper_default(),
             ue_counts: vec![100],
             mobilities: FleetMobility::standard_four(6),
             speeds_kmh: vec![0.0, 30.0],
-            policies: vec![PolicyKind::Fuzzy, PolicyKind::Hysteresis { margin_db: 4.0 }],
+            policies: vec![
+                PolicyKind::Fuzzy,
+                PolicyKind::FuzzyLut,
+                PolicyKind::Hysteresis { margin_db: 4.0 },
+            ],
             base_seed: 0xF1EE7,
             workers: 4,
         }

@@ -2,6 +2,14 @@
 //! calculated the average values". Repetitions differ only in the RNG
 //! stream (shadowing + measurement noise); they can run sequentially or on
 //! a crossbeam thread pool.
+//!
+//! `make_policy` builds one fresh policy per repetition; fuzzy policies
+//! built through [`FuzzyHandoverController::new`] all borrow the
+//! process-wide compiled plan ([`handover_core::paper_flc_plan`]), so
+//! spawning a policy per repetition costs a scratch buffer, not a rule
+//! base.
+//!
+//! [`FuzzyHandoverController::new`]: handover_core::FuzzyHandoverController::new
 
 use crate::engine::{SimResult, Simulation};
 use handover_core::HandoverPolicy;

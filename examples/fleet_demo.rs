@@ -1,6 +1,7 @@
 //! Drive the multi-UE fleet engine end to end: a 2 000-UE fleet on the
 //! paper layout, then a scenario-matrix sweep over the four standard
-//! mobility models, two speeds and two policies, printing the aggregated
+//! mobility models, two speeds and three policies (exact fuzzy, the LUT
+//! ablation, hysteresis), printing the aggregated
 //! fleet metrics, the per-cell load histogram, and an ASCII plot of the
 //! handover rate against MS speed.
 //!
@@ -54,7 +55,11 @@ fn main() {
         ue_counts: vec![500],
         mobilities: FleetMobility::standard_four(6),
         speeds_kmh: vec![0.0, 30.0, 60.0],
-        policies: vec![PolicyKind::Fuzzy, PolicyKind::Hysteresis { margin_db: 4.0 }],
+        policies: vec![
+            PolicyKind::Fuzzy,
+            PolicyKind::FuzzyLut,
+            PolicyKind::Hysteresis { margin_db: 4.0 },
+        ],
         base_seed: 0xF1EE7,
         workers: 4,
     };

@@ -29,8 +29,9 @@
 //! let hd = flc.evaluate(&[-6.0, -88.0, 1.2]).unwrap()[0];
 //! assert!(hd > 0.7);
 //!
-//! // The full three-stage controller.
-//! let controller =
+//! // The full three-stage controller (it shares the process-wide
+//! // compiled FLC plan; `mut` only feeds its evaluation scratch).
+//! let mut controller =
 //!     FuzzyHandoverController::new(ControllerConfig::paper_default(2.0));
 //! let inputs = FlcInputs { cssp_db: -6.0, ssn_dbm: -88.0, dmb_norm: 1.2 };
 //! assert!(controller.evaluate_hd(&inputs) > 0.7);

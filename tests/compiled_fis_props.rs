@@ -1,0 +1,132 @@
+//! Property tests pinning the compiled decision plane:
+//!
+//! * [`CompiledFis`] output is **bitwise identical** to the interpreted
+//!   [`Fis`] engine for arbitrary in-range, edge-of-range and out-of-range
+//!   CSSP/SSN/DMB inputs, for both FLC profiles and every defuzzifier —
+//!   the contract that lets the fleet engine and the controllers swap the
+//!   interpreted engine for the compiled plan without moving a single
+//!   golden byte.
+//! * The batch entry point equals the scalar path bit for bit.
+//! * The paper LUT's absolute HD error stays under its documented bound.
+
+use fuzzy_handover::core::flc::{
+    build_flc_with, paper_flc_lut, paper_flc_plan, FlcProfile, CSSP_RANGE, DMB_RANGE, SSN_RANGE,
+    PAPER_LUT_MAX_ABS_ERROR,
+};
+use fuzzy_handover::fuzzy::{CompiledFis, Defuzzifier, EvalScratch, Fis};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Every (profile, defuzzifier) variant of the paper FLC with its compiled
+/// plan, built once per process.
+fn variants() -> &'static Vec<(String, Fis, CompiledFis)> {
+    static VARIANTS: OnceLock<Vec<(String, Fis, CompiledFis)>> = OnceLock::new();
+    VARIANTS.get_or_init(|| {
+        let mut out = Vec::new();
+        for profile in [FlcProfile::Paper, FlcProfile::Product] {
+            for defuzz in Defuzzifier::ALL {
+                let fis = build_flc_with(profile, defuzz);
+                let plan = fis.compile();
+                out.push((format!("{profile:?}/{defuzz:?}"), fis, plan));
+            }
+        }
+        out
+    })
+}
+
+/// An axis value: mostly interior points, plus the exact universe edges
+/// and clearly out-of-range values (which both engines clamp).
+fn axis(range: (f64, f64)) -> impl Strategy<Value = f64> {
+    let (min, max) = range;
+    prop_oneof![
+        min..=max,
+        Just(min),
+        Just(max),
+        Just(min - 7.5),
+        Just(max + 7.5),
+    ]
+}
+
+fn flc_inputs() -> impl Strategy<Value = [f64; 3]> {
+    (axis(CSSP_RANGE), axis(SSN_RANGE), axis(DMB_RANGE))
+        .prop_map(|(cssp, ssn, dmb)| [cssp, ssn, dmb])
+}
+
+proptest! {
+    #[test]
+    fn compiled_equals_interpreted_bitwise(x in flc_inputs()) {
+        let mut scratch = EvalScratch::new();
+        for (label, fis, plan) in variants() {
+            let interpreted = fis.evaluate(&x).unwrap()[0];
+            let compiled = plan.evaluate_one(&x, &mut scratch).unwrap();
+            prop_assert_eq!(
+                interpreted.to_bits(),
+                compiled.to_bits(),
+                "{} drifted at {:?}: {} vs {}",
+                label,
+                x,
+                interpreted,
+                compiled
+            );
+        }
+    }
+
+    #[test]
+    fn plain_evaluate_equals_traced_evaluate(x in flc_inputs()) {
+        // The interpreted engine's scratch-buffer plain path must remain
+        // bit-identical to the allocating traced path it replaced.
+        for (label, fis, _) in variants() {
+            let plain = fis.evaluate(&x).unwrap();
+            let traced = fis.evaluate_with_trace(&x).unwrap().outputs;
+            prop_assert_eq!(plain[0].to_bits(), traced[0].to_bits(), "{} at {:?}", label, x);
+        }
+    }
+
+    #[test]
+    fn batch_equals_scalar_bitwise(
+        rows in (flc_inputs(), flc_inputs(), flc_inputs(), flc_inputs())
+            .prop_map(|(a, b, c, d)| [a, b, c, d])
+    ) {
+        let plan = paper_flc_plan();
+        let mut scratch = EvalScratch::new();
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let mut batch = vec![0.0; rows.len()];
+        plan.evaluate_batch(&flat, &mut batch, &mut scratch).unwrap();
+        for (row, &hd) in rows.iter().zip(&batch) {
+            let scalar = plan.evaluate_one(row, &mut scratch).unwrap();
+            prop_assert_eq!(scalar.to_bits(), hd.to_bits());
+        }
+    }
+
+    #[test]
+    fn paper_lut_error_within_documented_bound(x in flc_inputs()) {
+        let plan = paper_flc_plan();
+        let lut = paper_flc_lut();
+        let mut scratch = EvalScratch::new();
+        let exact = plan.evaluate_one(&x, &mut scratch).unwrap();
+        let approx = lut.evaluate(x);
+        prop_assert!(
+            (exact - approx).abs() <= PAPER_LUT_MAX_ABS_ERROR,
+            "LUT error {} at {:?} exceeds the documented bound {}",
+            (exact - approx).abs(),
+            x,
+            PAPER_LUT_MAX_ABS_ERROR
+        );
+    }
+}
+
+/// Deterministic off-node sweep pinning the LUT bound (denser than the
+/// proptest samples, aligned *between* the 33-node grid cells).
+#[test]
+fn paper_lut_dense_offgrid_sweep_within_bound() {
+    let plan = paper_flc_plan();
+    let lut = paper_flc_lut();
+    let worst = lut
+        .max_abs_error(&plan, 48)
+        .expect("the paper FLC fires on every probe");
+    assert!(
+        worst <= PAPER_LUT_MAX_ABS_ERROR,
+        "48³ off-grid sweep found error {worst} above the documented bound {PAPER_LUT_MAX_ABS_ERROR}"
+    );
+    assert!(worst > 0.0, "trilinear interpolation of a kinked surface is not exact");
+}

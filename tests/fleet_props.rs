@@ -28,6 +28,7 @@ fn config(shadow_sigma: f64, noise_sigma: f64, spacing: f64, speed: f64) -> SimC
 fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
     prop_oneof![
         Just(PolicyKind::Fuzzy),
+        Just(PolicyKind::FuzzyLut),
         Just(PolicyKind::Hysteresis { margin_db: 2.0 }),
         Just(PolicyKind::Threshold { threshold_dbm: -95.0 }),
         Just(PolicyKind::HysteresisThreshold { threshold_dbm: -90.0, margin_db: 3.0 }),

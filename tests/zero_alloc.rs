@@ -1,0 +1,139 @@
+//! Counting-allocator proof of the compiled decision plane's acceptance
+//! criterion: **`CompiledFis::evaluate` performs zero heap allocations**
+//! once its scratch has been sized (its first use), and the interpreted
+//! `Fis::evaluate` plain path allocates only its returned output vector.
+//!
+//! The whole measurement lives in a single `#[test]` so no concurrent test
+//! thread can perturb the global allocation counter.
+
+use fuzzy_handover::core::flc::{paper_flc_lut, paper_flc_plan};
+use fuzzy_handover::core::{build_paper_flc, ControllerConfig, FuzzyHandoverController};
+use fuzzy_handover::core::{FlcInputs, HandoverPolicy, MeasurementReport};
+use fuzzy_handover::fuzzy::EvalScratch;
+use fuzzy_handover::geometry::Axial;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `System`, with every allocation event counted.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+const INPUTS: [[f64; 3]; 6] = [
+    [-2.7, -93.4, 0.44],
+    [-3.5, -89.0, 1.2],
+    [-9.0, -82.0, 1.3],
+    [8.0, -118.0, 0.1],
+    [0.0, -100.0, 0.75],
+    [-5.0, -104.0, 0.9],
+];
+
+#[test]
+fn decision_plane_allocation_budget() {
+    // --- CompiledFis: strictly zero allocations per call after warm-up.
+    let plan = paper_flc_plan();
+    let mut scratch = EvalScratch::new();
+    let mut out = [0.0f64];
+    plan.evaluate(&INPUTS[0], &mut scratch, &mut out).unwrap(); // sizes the scratch
+    let before = allocations();
+    for _ in 0..100 {
+        for x in &INPUTS {
+            plan.evaluate(x, &mut scratch, &mut out).unwrap();
+        }
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "CompiledFis::evaluate must not allocate after its scratch is sized"
+    );
+
+    // --- evaluate_batch: equally allocation-free.
+    let flat: Vec<f64> = INPUTS.iter().flatten().copied().collect();
+    let mut hds = vec![0.0f64; INPUTS.len()];
+    let before = allocations();
+    for _ in 0..100 {
+        plan.evaluate_batch(&flat, &mut hds, &mut scratch).unwrap();
+    }
+    assert_eq!(allocations() - before, 0, "evaluate_batch must not allocate");
+
+    // --- The LUT plane: allocation-free by construction.
+    let lut = paper_flc_lut();
+    let before = allocations();
+    for x in &INPUTS {
+        let _ = lut.evaluate(*x);
+    }
+    assert_eq!(allocations() - before, 0, "Lut3d::evaluate must not allocate");
+
+    // --- The full controller decision step: only gate-passing steps touch
+    // the FLC, and none of them allocate (the scratch lives inside).
+    let mut controller = FuzzyHandoverController::new(ControllerConfig::paper_default(2.0));
+    let report = MeasurementReport {
+        serving: Axial::ORIGIN,
+        serving_rss_dbm: -100.0,
+        neighbor: Axial::new(1, 0),
+        neighbor_rss_dbm: -90.0,
+        distance_to_serving_km: 2.3,
+        distance_to_neighbor_km: 1.2,
+    };
+    controller.decide(&report); // warm the controller's scratch
+    let before = allocations();
+    for _ in 0..100 {
+        controller.decide(&report);
+        controller.evaluate_hd(&FlcInputs {
+            cssp_db: -4.0,
+            ssn_dbm: -95.0,
+            dmb_norm: 1.1,
+        });
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "a warmed FuzzyHandoverController decision must not allocate"
+    );
+
+    // --- Interpreted engine: the satellite fix routes the plain path
+    // through a thread-local scratch, so after warm-up each call allocates
+    // exactly its returned Vec<f64> (one allocation) — down from the
+    // nested fuzzification vectors, the firing buffer and a 501-sample
+    // aggregate per call.
+    let fis = build_paper_flc();
+    let _ = fis.evaluate(&INPUTS[0]).unwrap(); // warm the thread-local scratch
+    let calls = 100;
+    let before = allocations();
+    for _ in 0..calls {
+        let _ = fis.evaluate(&INPUTS[1]).unwrap();
+    }
+    let per_call = (allocations() - before) as f64 / calls as f64;
+    assert!(
+        per_call <= 1.0 + f64::EPSILON,
+        "interpreted Fis::evaluate should allocate only its output vector, got {per_call}/call"
+    );
+}
