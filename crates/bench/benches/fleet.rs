@@ -3,7 +3,9 @@
 //! mobility models, per-cell load histograms in the output tables).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use handover_sim::fleet::{FleetMobility, FleetSimulation, HomogeneousFleet, PolicyKind};
+use handover_sim::fleet::{
+    CandidateMode, FleetMobility, FleetSimulation, HomogeneousFleet, PolicyKind,
+};
 use handover_sim::matrix::ScenarioMatrix;
 use handover_sim::SimConfig;
 use mobility::RandomWalk;
@@ -67,6 +69,8 @@ fn bench_scenario_matrix_10k(c: &mut Criterion) {
         policies: vec![PolicyKind::Fuzzy],
         base_seed: 0xF1EE7,
         workers: 8,
+        matrix_workers: 1,
+        candidate_mode: CandidateMode::All,
     };
     let checked = std::cell::Cell::new(false);
 

@@ -1,0 +1,172 @@
+//! The compiled radio measurement plane: scalar vs lane vs pruned.
+//!
+//! This is the bench that backs the radio-plane acceptance numbers — run
+//! `cargo bench -p handover-bench --bench radio` and compare:
+//!
+//! * `radio/shadowing_19` — per-BS `ShadowingProcess` loop vs the SoA
+//!   `ShadowingLane` (bit-identical) vs the pruned 7-slot subset update;
+//! * `radio/budget_19x128` — scalar `BsRadio` batch vs the compiled link
+//!   budget over one (cells × chunk) sweep;
+//! * `radio/noise_2432` — scalar noise loop vs the batched slice sampler;
+//! * `radio/matrix_10k_x4` — the 10k-UE × 4-mobility-model scenario
+//!   matrix under the dense (`all`, golden-pinned semantics) and the
+//!   neighbour-pruned (`nearest7`) candidate modes. The `nearest7`
+//!   timing is the headline ≥1.5× acceptance number over the PR 3
+//!   baseline; `BENCH_radio.json` records the trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use handover_sim::fleet::{CandidateMode, FleetMobility, PolicyKind};
+use handover_sim::matrix::ScenarioMatrix;
+use handover_sim::SimConfig;
+use radiolink::{BsRadio, MeasurementNoise, ShadowingConfig, ShadowingLane, ShadowingProcess};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const CELLS: usize = 19;
+const CHUNK: usize = 128;
+
+fn bench_shadowing(c: &mut Criterion) {
+    let cfg = ShadowingConfig::moderate();
+    let mut g = c.benchmark_group("radio/shadowing_19");
+    g.bench_function("scalar_process_loop", |b| {
+        let mut processes: Vec<ShadowingProcess> =
+            (0..CELLS).map(|_| ShadowingProcess::new(cfg)).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            for p in &mut processes {
+                black_box(p.advance(0.05, &mut rng));
+            }
+        })
+    });
+    g.bench_function("lane_advance_all", |b| {
+        let mut lane = ShadowingLane::new(cfg, CELLS);
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            lane.advance_all(0.05, &mut rng);
+            black_box(lane.values());
+        })
+    });
+    g.bench_function("lane_pruned_subset7", |b| {
+        let mut lane = ShadowingLane::new(cfg, CELLS);
+        let subset: Vec<u32> = (0..7).collect();
+        let mut last = vec![0.0f64; CELLS];
+        let mut now = 0.0;
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            now += 0.05;
+            lane.advance_subset(&subset, now, &mut last, &mut rng);
+            black_box(lane.values());
+        })
+    });
+    g.finish();
+}
+
+fn bench_budget(c: &mut Criterion) {
+    let radio = BsRadio::paper_default();
+    let compiled = radio.compiled();
+    let bs_positions: Vec<cellgeom::Vec2> = (0..CELLS)
+        .map(|k| cellgeom::Vec2::from_polar(2.0 * (k / 6) as f64, k as f64))
+        .collect();
+    let ms_positions: Vec<cellgeom::Vec2> = (0..CHUNK)
+        .map(|k| cellgeom::Vec2::from_polar(0.1 + 0.05 * k as f64, 0.7 * k as f64))
+        .collect();
+    let mut out = vec![0.0f64; CHUNK];
+
+    let mut g = c.benchmark_group("radio/budget_19x128");
+    g.bench_function("scalar_batch", |b| {
+        b.iter(|| {
+            for &bs in &bs_positions {
+                radio.received_power_dbm_batch(bs, &ms_positions, &mut out);
+            }
+            black_box(&out);
+        })
+    });
+    g.bench_function("compiled_batch", |b| {
+        b.iter(|| {
+            for &bs in &bs_positions {
+                compiled.received_power_dbm_batch(bs, &ms_positions, &mut out);
+            }
+            black_box(&out);
+        })
+    });
+    g.finish();
+}
+
+fn bench_noise(c: &mut Criterion) {
+    let noise = MeasurementNoise::new(1.0);
+    let clean: Vec<f64> = (0..CELLS * CHUNK).map(|k| -110.0 + 0.01 * k as f64).collect();
+    let mut buf = clean.clone();
+
+    let mut g = c.benchmark_group("radio/noise_2432");
+    g.bench_function("scalar_loop", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            for (slot, &c) in buf.iter_mut().zip(&clean) {
+                *slot = noise.apply(c, &mut rng);
+            }
+            black_box(&buf);
+        })
+    });
+    g.bench_function("apply_slice", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            buf.copy_from_slice(&clean);
+            noise.apply_slice(&mut buf, &mut rng);
+            black_box(&buf);
+        })
+    });
+    g.finish();
+}
+
+/// The acceptance run: the 10k-UE × 4-model scenario matrix, dense vs
+/// neighbour-pruned. Consistency assertions run once, on the first timed
+/// iteration of each mode.
+fn bench_scenario_matrix_modes(c: &mut Criterion) {
+    let mut base = SimConfig::paper_default();
+    base.shadowing = ShadowingConfig::moderate();
+    base.noise = MeasurementNoise::new(1.0);
+    let matrix = ScenarioMatrix {
+        base,
+        ue_counts: vec![10_000],
+        mobilities: FleetMobility::standard_four(6),
+        speeds_kmh: vec![30.0],
+        policies: vec![PolicyKind::Fuzzy],
+        base_seed: 0xF1EE7,
+        workers: 8,
+        matrix_workers: 1,
+        candidate_mode: CandidateMode::All,
+    };
+
+    let mut g = c.benchmark_group("radio/matrix_10k_x4");
+    g.sample_size(10);
+    for mode in [CandidateMode::All, CandidateMode::Nearest(7)] {
+        let spec = ScenarioMatrix { candidate_mode: mode, ..matrix.clone() };
+        let checked = std::cell::Cell::new(false);
+        g.bench_function(mode.label(), |b| {
+            b.iter(|| {
+                let result = spec.run();
+                if !checked.replace(true) {
+                    assert_eq!(result.cells.len(), 4, "10k UEs × 4 mobility models");
+                    for cell in &result.cells {
+                        assert_eq!(cell.summary.ues, 10_000);
+                        assert!(cell.summary.steps > 0);
+                        assert_eq!(cell.cell_load.total(), cell.summary.steps);
+                    }
+                }
+                black_box(result)
+            })
+        });
+        assert!(checked.get(), "the {} acceptance run executed", mode.label());
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shadowing,
+    bench_budget,
+    bench_noise,
+    bench_scenario_matrix_modes
+);
+criterion_main!(benches);

@@ -1,0 +1,211 @@
+//! O(1) position → nearest-cells lookup for candidate pruning.
+//!
+//! Fleet-scale measurement wants, per UE position, the `k` layout cells
+//! whose base stations are nearest — *without* scanning the whole cell
+//! list per query. A [`NeighborIndex`] precomputes, for every hex cell in
+//! (and one ring around) the layout's bounding box, the full list of
+//! layout cells sorted by distance from that *anchor* cell's centre. A
+//! query then costs one [`HexGrid::cell_at`] cube-rounding (O(1)
+//! arithmetic) and one table row lookup, independent of layout size.
+//!
+//! The returned candidates are sorted by distance **to the anchor cell's
+//! centre**, not to the exact query position; within a cell the true
+//! k-nearest set can differ near the cell boundary. Callers that prune
+//! with it therefore treat the result as a *candidate superset* (take
+//! `k ≥` the ring of interest) rather than an exact k-nearest answer —
+//! with `k ≥ layout.len()` the answer is trivially exact and complete.
+
+use crate::grid::HexGrid;
+use crate::hex::Axial;
+use crate::layout::CellLayout;
+use crate::vec2::Vec2;
+
+/// Precomputed position → k-nearest-cells table over a [`CellLayout`].
+///
+/// Rows are indexed by the *anchor* cell (the hex cell containing the
+/// query position, clamped into the layout's bounding box plus a
+/// one-ring margin); each row lists every layout cell index, nearest
+/// anchor first, with ties broken by layout index so the ordering is
+/// fully deterministic.
+#[derive(Debug, Clone)]
+pub struct NeighborIndex {
+    grid: HexGrid,
+    q_min: i32,
+    r_min: i32,
+    q_span: i32,
+    r_span: i32,
+    /// `q_span × r_span` rows of `cells` layout-cell indices each.
+    rows: Vec<u32>,
+    cells: usize,
+}
+
+impl NeighborIndex {
+    /// Build the index for a layout. Cost is
+    /// `O(anchors · cells log cells)` once; anchors cover the layout's
+    /// axial bounding box plus one margin ring (so positions just outside
+    /// the rim still anchor to an adjacent cell before clamping kicks in).
+    pub fn new(layout: &CellLayout) -> Self {
+        let cells = layout.cells();
+        let grid = *layout.grid();
+        let q_min = cells.iter().map(|c| c.q).min().expect("layout is non-empty") - 1;
+        let q_max = cells.iter().map(|c| c.q).max().expect("layout is non-empty") + 1;
+        let r_min = cells.iter().map(|c| c.r).min().expect("layout is non-empty") - 1;
+        let r_max = cells.iter().map(|c| c.r).max().expect("layout is non-empty") + 1;
+        let q_span = q_max - q_min + 1;
+        let r_span = r_max - r_min + 1;
+
+        let mut rows = Vec::with_capacity((q_span * r_span) as usize * cells.len());
+        let mut scratch: Vec<(f64, u32)> = Vec::with_capacity(cells.len());
+        for r in r_min..=r_max {
+            for q in q_min..=q_max {
+                let anchor = grid.center(Axial::new(q, r));
+                scratch.clear();
+                scratch.extend(
+                    cells
+                        .iter()
+                        .enumerate()
+                        .map(|(idx, &c)| (grid.center(c).distance(anchor), idx as u32)),
+                );
+                scratch.sort_by(|a, b| {
+                    a.0.partial_cmp(&b.0).expect("distances are finite").then(a.1.cmp(&b.1))
+                });
+                rows.extend(scratch.iter().map(|&(_, idx)| idx));
+            }
+        }
+        NeighborIndex { grid, q_min, r_min, q_span, r_span, rows, cells: cells.len() }
+    }
+
+    /// Number of layout cells the index covers (each row's full length).
+    pub fn len(&self) -> usize {
+        self.cells
+    }
+
+    /// An index over a layout is never empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells == 0
+    }
+
+    /// The anchor cell a query position resolves to (before bounding-box
+    /// clamping): the hex cell containing the position.
+    pub fn anchor_cell(&self, pos: Vec2) -> Axial {
+        self.grid.cell_at(pos)
+    }
+
+    /// The (up to) `k` layout cell indices nearest to `pos`'s anchor
+    /// cell, nearest first. `k ≥ len()` returns every cell, i.e. the
+    /// exact distance-sorted list. O(1) per query; never allocates.
+    pub fn nearest(&self, pos: Vec2, k: usize) -> &[u32] {
+        let anchor = self.grid.cell_at(pos);
+        let q = (anchor.q - self.q_min).clamp(0, self.q_span - 1);
+        let r = (anchor.r - self.r_min).clamp(0, self.r_span - 1);
+        let row = (r * self.q_span + q) as usize * self.cells;
+        &self.rows[row..row + k.min(self.cells)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_layout() -> CellLayout {
+        CellLayout::hexagonal(2.0, 2)
+    }
+
+    #[test]
+    fn full_row_is_the_exact_distance_sorted_cell_list() {
+        let layout = paper_layout();
+        let index = NeighborIndex::new(&layout);
+        assert_eq!(index.len(), 19);
+        assert!(!index.is_empty());
+        for &cell in layout.cells() {
+            let pos = layout.bs_position(cell);
+            let got = index.nearest(pos, usize::MAX);
+            assert_eq!(got.len(), 19);
+            // Reference: brute-force sort by distance to the anchor centre
+            // (the anchor of a BS position is its own cell).
+            let expected = layout.cells_by_distance(pos, 0);
+            let got_cells: Vec<_> =
+                got.iter().map(|&i| layout.cells()[i as usize]).collect();
+            // Same multiset and the first entry is the cell itself; exact
+            // order can differ only between equidistant cells.
+            assert_eq!(got_cells[0], cell);
+            for (g, e) in got.iter().zip(&expected) {
+                let gd = layout.bs_position(layout.cells()[*g as usize]).distance(pos);
+                assert!((gd - e.1).abs() < 1e-9, "distance rank drifted at {cell}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_truncates_and_keeps_the_anchor_first() {
+        let layout = paper_layout();
+        let index = NeighborIndex::new(&layout);
+        let pos = Vec2::new(0.1, -0.2); // well inside the origin cell
+        let top1 = index.nearest(pos, 1);
+        assert_eq!(layout.cells()[top1[0] as usize], Axial::ORIGIN);
+        let top7 = index.nearest(pos, 7);
+        assert_eq!(top7.len(), 7);
+        // The 7-nearest of an interior anchor are the cell + its 6
+        // lattice neighbours.
+        let mut got: Vec<Axial> =
+            top7.iter().map(|&i| layout.cells()[i as usize]).collect();
+        let mut expected = vec![Axial::ORIGIN];
+        expected.extend(Axial::ORIGIN.neighbors());
+        got.sort_by_key(|c| (c.q, c.r));
+        expected.sort_by_key(|c| (c.q, c.r));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn far_outside_positions_clamp_gracefully() {
+        let layout = paper_layout();
+        let index = NeighborIndex::new(&layout);
+        for pos in [
+            Vec2::new(1000.0, 0.0),
+            Vec2::new(-500.0, 700.0),
+            Vec2::new(0.0, -999.0),
+        ] {
+            let got = index.nearest(pos, 5);
+            assert_eq!(got.len(), 5);
+            // All indices valid and distinct.
+            let mut seen = got.to_vec();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), 5);
+            assert!(got.iter().all(|&i| (i as usize) < layout.len()));
+        }
+    }
+
+    #[test]
+    fn margin_ring_anchors_resolve_without_clamping() {
+        // A position one cell outside the rim anchors to its own (off-
+        // layout) cell, whose row still lists in-layout cells nearest
+        // first.
+        let layout = paper_layout();
+        let index = NeighborIndex::new(&layout);
+        let outside = layout.grid().center(Axial::new(3, 0));
+        assert_eq!(index.anchor_cell(outside), Axial::new(3, 0));
+        let got = index.nearest(outside, 3);
+        // Nearest layout cell to the (3, 0) centre is (2, 0).
+        assert_eq!(layout.cells()[got[0] as usize], Axial::new(2, 0));
+    }
+
+    #[test]
+    fn deterministic_across_rebuilds() {
+        let layout = paper_layout();
+        let a = NeighborIndex::new(&layout);
+        let b = NeighborIndex::new(&layout);
+        for k in 0..40 {
+            let pos = Vec2::from_polar(0.3 * k as f64, 0.9 * k as f64);
+            assert_eq!(a.nearest(pos, 7), b.nearest(pos, 7));
+        }
+    }
+
+    #[test]
+    fn single_cell_layout() {
+        let layout = CellLayout::from_cells(1.0, [Axial::new(2, -1)]);
+        let index = NeighborIndex::new(&layout);
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.nearest(Vec2::ZERO, 4), &[0]);
+    }
+}

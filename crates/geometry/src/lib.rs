@@ -12,16 +12,20 @@
 //!   distance to a cell boundary.
 //! * [`CellLayout`] — a finite set of cells (rings around an origin) with
 //!   base stations at the centres, as simulated in the paper.
+//! * [`NeighborIndex`] — precomputed O(1) position → k-nearest-cells
+//!   lookup used by the fleet engine's neighbour-pruned candidate mode.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod grid;
 pub mod hex;
+pub mod index;
 pub mod layout;
 pub mod vec2;
 
 pub use grid::HexGrid;
 pub use hex::{Axial, PaperCoord, AXIAL_DIRECTIONS};
+pub use index::NeighborIndex;
 pub use layout::CellLayout;
 pub use vec2::Vec2;

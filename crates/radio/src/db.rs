@@ -15,6 +15,16 @@ pub fn db_to_power_ratio(db: f64) -> f64 {
     10f64.powf(db / 10.0)
 }
 
+/// Convert a power ratio to decibels with the ratio floored at `1e-12`
+/// (−120 dB), keeping deep fades finite. This is the shared clamp the
+/// fading models apply to instantaneous envelope powers, where an exact
+/// zero is a measure-zero event of the underlying Gaussians but would
+/// otherwise produce −∞ dB.
+#[inline]
+pub fn power_ratio_to_db_floored(ratio: f64) -> f64 {
+    10.0 * ratio.max(1e-12).log10()
+}
+
 /// Convert a field (amplitude) ratio to decibels (`20 log₁₀`).
 #[inline]
 pub fn field_ratio_to_db(ratio: f64) -> f64 {
@@ -71,6 +81,21 @@ mod tests {
         // A 10x field ratio is a 100x power ratio: 20 dB either way.
         assert!((field_ratio_to_db(10.0) - 20.0).abs() < EPS);
         assert!((field_ratio_to_db(2.0) - 2.0 * power_ratio_to_db(2.0)).abs() < EPS);
+    }
+
+    #[test]
+    fn floored_ratio_conversion() {
+        // Above the floor it is the plain conversion...
+        for ratio in [1e-6, 0.5, 1.0, 2.0, 100.0] {
+            assert_eq!(
+                power_ratio_to_db_floored(ratio).to_bits(),
+                power_ratio_to_db(ratio).to_bits()
+            );
+        }
+        // ...below (and at exactly zero) it clamps to −120 dB instead of −∞.
+        assert_eq!(power_ratio_to_db_floored(0.0), -120.0);
+        assert_eq!(power_ratio_to_db_floored(1e-15), -120.0);
+        assert_eq!(power_ratio_to_db_floored(1e-12), -120.0);
     }
 
     #[test]

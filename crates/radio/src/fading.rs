@@ -3,30 +3,30 @@
 //! * [`ShadowingProcess`] — log-normal shadow fading with Gudmundson
 //!   spatial correlation (`ρ(Δd) = e^(−Δd/d_corr)`), the mechanism that
 //!   produces the RSS fluctuations behind the ping-pong effect.
+//! * [`ShadowingLane`] — the same AR(1) recursion over a struct-of-arrays
+//!   bank of processes (one per base station), bit-identical to a loop of
+//!   [`ShadowingProcess`]es but with the per-step `exp`/gain hoisted out
+//!   of the per-BS loop. This is the compiled measurement plane's
+//!   shadowing stage.
 //! * [`RayleighFading`] — small-scale envelope fading (extension hook).
 //! * [`speed_penalty_db`] — the paper's empirical "2 dB per 10 km/h"
 //!   degradation applied to the neighbour-BS RSS in Tables 3/4.
 
+use crate::db::power_ratio_to_db_floored;
 use rand::Rng;
-use rand_distr::{Distribution, StandardNormal};
 use serde::{Deserialize, Serialize};
 
-// `rand_distr` is not among the offline crates; a standard normal is easy
-// to produce from `rand` alone via Box–Muller, so we implement it locally
-// and keep the dependency list at exactly the allowed set.
-mod rand_distr {
-    pub struct StandardNormal;
-    pub trait Distribution<T> {
-        fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> T;
-    }
-    impl Distribution<f64> for StandardNormal {
-        fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-            // Box–Muller; u1 in (0, 1] avoids ln(0).
-            let u1: f64 = 1.0 - rng.gen::<f64>();
-            let u2: f64 = rng.gen();
-            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-        }
-    }
+/// Draw one standard-normal variate via Box–Muller (`u1 ∈ (0, 1]` avoids
+/// `ln 0`). `rand_distr` is not among the offline crates, so this is the
+/// single gaussian sampler the whole measurement plane shares: the
+/// shadowing processes and lanes, the Rayleigh/Rician envelopes and the
+/// measurement noise all draw through this exact expression, which is
+/// what makes the scalar and batched paths bit-identical.
+#[inline]
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
 /// Configuration of a log-normal shadowing process.
@@ -85,7 +85,7 @@ impl ShadowingProcess {
             self.current_db = 0.0;
             return 0.0;
         }
-        let innovation: f64 = StandardNormal.sample(rng);
+        let innovation: f64 = standard_normal(rng);
         if !self.initialized {
             self.initialized = true;
             self.current_db = sigma * innovation;
@@ -103,6 +103,190 @@ impl ShadowingProcess {
     }
 }
 
+/// A struct-of-arrays bank of [`ShadowingProcess`]es sharing one
+/// configuration — the compiled measurement plane's shadowing stage.
+///
+/// A mobile keeps one independent shadowing process **per base station**;
+/// all of them advance by the *same* travelled distance at every
+/// measurement step. The scalar loop therefore recomputes the identical
+/// Gudmundson correlation `ρ = e^(−Δd/d_corr)` (an `exp`) and the
+/// innovation gain `σ·√(1 − ρ²)` once per process; the lane hoists both
+/// out and updates the flat value array in one pass.
+///
+/// ## Bit-identity contract
+///
+/// [`ShadowingLane::advance_all`] draws innovations in slot order from the
+/// same RNG and evaluates the exact floating-point expression of
+/// [`ShadowingProcess::advance`] (the hoisted `ρ` and gain are the same
+/// sub-expressions, merely computed once), so a lane is **bit-identical**
+/// to advancing a `Vec<ShadowingProcess>` in a loop — pinned by the
+/// proptests in `tests/radio_plane_props.rs`. [`ShadowingLane::advance_one`]
+/// advances a single slot by its own distance, which is what the
+/// neighbour-pruned candidate mode uses together with per-slot
+/// accumulated distances (the Gudmundson recursion composes exactly:
+/// `ρ(d₁+d₂) = ρ(d₁)·ρ(d₂)`, so skipping a slot for a few steps and then
+/// advancing it by the summed distance yields the same process law).
+///
+/// Neither entry point allocates: the lane owns flat state sized at
+/// construction (proven by the counting-allocator test in
+/// `tests/zero_alloc_radio.rs`).
+#[derive(Debug, Clone)]
+pub struct ShadowingLane {
+    config: ShadowingConfig,
+    values: Vec<f64>,
+    fresh: Vec<bool>,
+    any_fresh: bool,
+}
+
+impl ShadowingLane {
+    /// A lane of `n` fresh processes; each slot's first sample is drawn
+    /// from `N(0, σ²)` exactly like a fresh [`ShadowingProcess`].
+    pub fn new(config: ShadowingConfig, n: usize) -> Self {
+        assert!(config.sigma_db >= 0.0, "sigma must be non-negative");
+        assert!(config.decorrelation_km > 0.0, "decorrelation distance must be positive");
+        ShadowingLane {
+            config,
+            values: vec![0.0; n],
+            fresh: vec![true; n],
+            any_fresh: true,
+        }
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> ShadowingConfig {
+        self.config
+    }
+
+    /// Number of processes in the lane.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True for a zero-process lane.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The current shadowing values in dB, one per slot (0 before a
+    /// slot's first advance).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Advance **every** slot by the same `delta_km`, drawing one
+    /// innovation per slot in slot order. Bit-identical to calling
+    /// [`ShadowingProcess::advance`] on a vector of processes with the
+    /// same RNG.
+    pub fn advance_all<R: Rng + ?Sized>(&mut self, delta_km: f64, rng: &mut R) {
+        let sigma = self.config.sigma_db;
+        if sigma == 0.0 {
+            if self.any_fresh {
+                self.fresh.fill(false);
+                self.any_fresh = false;
+            }
+            self.values.fill(0.0);
+            return;
+        }
+        let rho = (-delta_km.max(0.0) / self.config.decorrelation_km).exp();
+        let gain = sigma * (1.0 - rho * rho).sqrt();
+        if self.any_fresh {
+            for (value, fresh) in self.values.iter_mut().zip(&mut self.fresh) {
+                let innovation = standard_normal(rng);
+                if *fresh {
+                    *fresh = false;
+                    *value = sigma * innovation;
+                } else {
+                    *value = rho * *value + gain * innovation;
+                }
+            }
+            self.any_fresh = false;
+        } else {
+            for value in &mut self.values {
+                *value = rho * *value + gain * standard_normal(rng);
+            }
+        }
+    }
+
+    /// Advance the given subset of slots to the travelled distance
+    /// `now_km`, drawing one innovation per listed slot in list order.
+    ///
+    /// `last_km[slot]` carries the travelled distance at which each slot
+    /// last advanced; the slot advances by `now_km − last_km[slot]` and
+    /// the entry is updated to `now_km`. This is the neighbour-pruned
+    /// engine's lazy update: unlisted slots simply keep their `last_km`,
+    /// which is exact under the Gudmundson composition law
+    /// `ρ(d₁+d₂) = ρ(d₁)·ρ(d₂)`. Slot-for-slot the arithmetic is the
+    /// [`ShadowingProcess::advance`] expression; the correlation/gain
+    /// pair is memoized across consecutive equal deltas (the common case
+    /// — every slot that was listed on the previous step shares one
+    /// delta), which changes nothing but the number of `exp` calls.
+    pub fn advance_subset<R: Rng + ?Sized>(
+        &mut self,
+        slots: &[u32],
+        now_km: f64,
+        last_km: &mut [f64],
+        rng: &mut R,
+    ) {
+        let sigma = self.config.sigma_db;
+        if sigma == 0.0 {
+            for &slot in slots {
+                let k = slot as usize;
+                self.fresh[k] = false;
+                self.values[k] = 0.0;
+                last_km[k] = now_km;
+            }
+            return;
+        }
+        let mut memo_delta = f64::NAN;
+        let mut memo_rho = 0.0;
+        let mut memo_gain = 0.0;
+        for &slot in slots {
+            let k = slot as usize;
+            let innovation = standard_normal(rng);
+            if self.fresh[k] {
+                self.fresh[k] = false;
+                self.values[k] = sigma * innovation;
+            } else {
+                let delta_km = now_km - last_km[k];
+                if delta_km != memo_delta {
+                    memo_delta = delta_km;
+                    memo_rho = (-delta_km.max(0.0) / self.config.decorrelation_km).exp();
+                    memo_gain = sigma * (1.0 - memo_rho * memo_rho).sqrt();
+                }
+                self.values[k] = memo_rho * self.values[k] + memo_gain * innovation;
+            }
+            last_km[k] = now_km;
+        }
+    }
+
+    /// Advance a single slot by `delta_km` (one innovation draw, or none
+    /// for σ = 0), returning the slot's new value. Slot-for-slot
+    /// bit-identical to [`ShadowingProcess::advance`].
+    pub fn advance_one<R: Rng + ?Sized>(
+        &mut self,
+        slot: usize,
+        delta_km: f64,
+        rng: &mut R,
+    ) -> f64 {
+        let sigma = self.config.sigma_db;
+        if sigma == 0.0 {
+            self.fresh[slot] = false;
+            self.values[slot] = 0.0;
+            return 0.0;
+        }
+        let innovation = standard_normal(rng);
+        if self.fresh[slot] {
+            self.fresh[slot] = false;
+            self.values[slot] = sigma * innovation;
+        } else {
+            let rho = (-delta_km.max(0.0) / self.config.decorrelation_km).exp();
+            self.values[slot] =
+                rho * self.values[slot] + sigma * (1.0 - rho * rho).sqrt() * innovation;
+        }
+        self.values[slot]
+    }
+}
+
 /// Rayleigh envelope fading: returns the instantaneous power deviation in
 /// dB relative to the local mean (`E[power] = 1`).
 #[derive(Debug, Clone, Copy, Default)]
@@ -112,10 +296,10 @@ impl RayleighFading {
     /// Draw one independent fade in dB.
     pub fn sample_db<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         // Envelope² = X² + Y² with X, Y ~ N(0, 1/2) → unit mean power.
-        let x: f64 = StandardNormal.sample(rng);
-        let y: f64 = StandardNormal.sample(rng);
+        let x: f64 = standard_normal(rng);
+        let y: f64 = standard_normal(rng);
         let power = 0.5 * (x * x + y * y);
-        10.0 * power.max(1e-12).log10()
+        power_ratio_to_db_floored(power)
     }
 }
 
@@ -142,10 +326,10 @@ impl RicianFading {
         // quadrature branch.
         let nu = (k / (k + 1.0)).sqrt();
         let sigma = (1.0 / (2.0 * (k + 1.0))).sqrt();
-        let x: f64 = nu + sigma * StandardNormal.sample(rng);
-        let y: f64 = sigma * StandardNormal.sample(rng);
+        let x: f64 = nu + sigma * standard_normal(rng);
+        let y: f64 = sigma * standard_normal(rng);
         let power = x * x + y * y;
-        10.0 * power.max(1e-12).log10()
+        power_ratio_to_db_floored(power)
     }
 }
 
@@ -238,6 +422,106 @@ mod tests {
         };
         assert_eq!(run(99), run(99));
         assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    fn lane_matches_process_loop_bitwise() {
+        let cfg = ShadowingConfig { sigma_db: 5.5, decorrelation_km: 0.07 };
+        let n = 19;
+        let mut lane = ShadowingLane::new(cfg, n);
+        let mut processes: Vec<ShadowingProcess> =
+            (0..n).map(|_| ShadowingProcess::new(cfg)).collect();
+        let mut lane_rng = StdRng::seed_from_u64(99);
+        let mut loop_rng = StdRng::seed_from_u64(99);
+        for step in 0..40 {
+            let delta = 0.01 * (step % 7) as f64;
+            lane.advance_all(delta, &mut lane_rng);
+            for p in &mut processes {
+                p.advance(delta, &mut loop_rng);
+            }
+            for (slot, p) in processes.iter().enumerate() {
+                assert_eq!(
+                    lane.values()[slot].to_bits(),
+                    p.current_db().to_bits(),
+                    "slot {slot} step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_advance_one_matches_scalar_process() {
+        let cfg = ShadowingConfig::moderate();
+        let mut lane = ShadowingLane::new(cfg, 3);
+        let mut process = ShadowingProcess::new(cfg);
+        let mut lane_rng = StdRng::seed_from_u64(5);
+        let mut scalar_rng = StdRng::seed_from_u64(5);
+        for step in 0..20 {
+            let delta = 0.02 + 0.01 * (step % 3) as f64;
+            let a = lane.advance_one(1, delta, &mut lane_rng);
+            let b = process.advance(delta, &mut scalar_rng);
+            assert_eq!(a.to_bits(), b.to_bits(), "step {step}");
+        }
+        // Untouched slots stay at their pre-first-sample zero.
+        assert_eq!(lane.values()[0], 0.0);
+        assert_eq!(lane.values()[2], 0.0);
+    }
+
+    #[test]
+    fn lane_advance_subset_matches_advance_one_bitwise() {
+        let cfg = ShadowingConfig { sigma_db: 6.0, decorrelation_km: 0.08 };
+        let n = 9;
+        let mut fast = ShadowingLane::new(cfg, n);
+        let mut reference = ShadowingLane::new(cfg, n);
+        let mut fast_rng = StdRng::seed_from_u64(11);
+        let mut ref_rng = StdRng::seed_from_u64(11);
+        let mut last = vec![0.0f64; n];
+        let mut ref_last = vec![0.0f64; n];
+        let mut now = 0.0;
+        // Rotating subsets: slots drop out and re-enter with accumulated
+        // distances; the memoized batch must match the per-slot calls.
+        for step in 1..30u32 {
+            now += 0.05 + 0.01 * (step % 4) as f64;
+            let subset: Vec<u32> = (0..n as u32).filter(|s| (s + step) % 3 != 0).collect();
+            fast.advance_subset(&subset, now, &mut last, &mut fast_rng);
+            for &s in &subset {
+                let k = s as usize;
+                reference.advance_one(k, now - ref_last[k], &mut ref_rng);
+                ref_last[k] = now;
+            }
+            for k in 0..n {
+                assert_eq!(
+                    fast.values()[k].to_bits(),
+                    reference.values()[k].to_bits(),
+                    "slot {k} step {step}"
+                );
+                assert_eq!(last[k], ref_last[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn lane_zero_sigma_is_silent_and_drawless() {
+        let mut lane = ShadowingLane::new(ShadowingConfig::none(), 4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let before: u64 = rng.gen();
+        let mut rng = StdRng::seed_from_u64(3);
+        lane.advance_all(0.5, &mut rng);
+        lane.advance_one(2, 0.1, &mut rng);
+        assert!(lane.values().iter().all(|&v| v == 0.0));
+        assert_eq!(rng.gen::<u64>(), before, "σ = 0 must not consume the RNG");
+        assert_eq!(lane.len(), 4);
+        assert!(!lane.is_empty());
+        assert_eq!(lane.config(), ShadowingConfig::none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn lane_negative_sigma_rejected() {
+        let _ = ShadowingLane::new(
+            ShadowingConfig { sigma_db: -0.1, decorrelation_km: 0.1 },
+            2,
+        );
     }
 
     #[test]

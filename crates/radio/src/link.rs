@@ -84,6 +84,172 @@ impl BsRadio {
             *slot = self.budget_dbm(tx_dbm, bs_pos, ms_pos);
         }
     }
+
+    /// Compile the link budget: precompute every position-independent
+    /// term (TX dBm, antenna tilt in radians, height difference, gain
+    /// floor, the path-loss model's constant sub-expressions) so a
+    /// per-sample evaluation is just the position-dependent geometry and
+    /// transcendentals. See [`CompiledBsRadio`] for the bit-identity
+    /// contract.
+    pub fn compiled(&self) -> CompiledBsRadio {
+        let dz_km = (self.antenna.height_m - self.ms_height_m) / 1000.0;
+        CompiledBsRadio {
+            tx_dbm: self.tx_power_dbm(),
+            dz_km,
+            phi_rad: self.antenna.tilt_deg.to_radians(),
+            peak_gain_dbi: self.antenna.peak_gain_dbi,
+            floor_gain_db: self.antenna.peak_gain_dbi + self.pattern_floor_db,
+            loss: CompiledPathLoss::compile(self.path_loss),
+        }
+    }
+}
+
+/// A [`PathLoss`] with its model-constant sub-expressions folded, leaving
+/// one `log10` (plus adds/multiplies) per evaluation. Each folded
+/// constant is the *same* sub-expression the interpreted
+/// [`PathLoss::loss_db`] computes — merely computed once — and the
+/// remaining arithmetic keeps the interpreted association order, so the
+/// compiled loss is bit-identical to the interpreted one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CompiledPathLoss {
+    /// `PaperField` / `LogDistance`: `base + slope · log₁₀(d / d0)`.
+    Reference {
+        base_db: f64,
+        slope_db: f64,
+        d0_km: f64,
+    },
+    /// `FreeSpace`: `32.44 + 20 log₁₀ d + freq_term` (the association of
+    /// the interpreted expression is preserved, so the frequency term
+    /// stays the *last* addend).
+    FreeSpace { freq_term_db: f64 },
+    /// `TwoRay`: `40 log₁₀(1000 d) − height_term`.
+    TwoRay { height_term_db: f64 },
+    /// `OkumuraHata`: `base + slope · log₁₀(max(d, 0.02))`.
+    Hata { base_db: f64, slope_db: f64 },
+}
+
+impl CompiledPathLoss {
+    fn compile(model: PathLoss) -> Self {
+        match model {
+            PathLoss::PaperField { n, ref_km, ref_loss_db } => CompiledPathLoss::Reference {
+                base_db: ref_loss_db,
+                slope_db: 20.0 * n,
+                d0_km: ref_km,
+            },
+            PathLoss::LogDistance { pl0_db, exponent, d0_km } => CompiledPathLoss::Reference {
+                base_db: pl0_db,
+                slope_db: 10.0 * exponent,
+                d0_km,
+            },
+            PathLoss::FreeSpace { freq_mhz } => {
+                CompiledPathLoss::FreeSpace { freq_term_db: 20.0 * freq_mhz.log10() }
+            }
+            PathLoss::TwoRay { h_bs_m, h_ms_m } => {
+                CompiledPathLoss::TwoRay { height_term_db: 20.0 * (h_bs_m * h_ms_m).log10() }
+            }
+            PathLoss::OkumuraHata { freq_mhz, h_bs_m, h_ms_m } => {
+                let a_hms = (1.1 * freq_mhz.log10() - 0.7) * h_ms_m
+                    - (1.56 * freq_mhz.log10() - 0.8);
+                let (c1, c2) = if freq_mhz > 1500.0 { (46.3, 33.9) } else { (69.55, 26.16) };
+                CompiledPathLoss::Hata {
+                    base_db: c1 + c2 * freq_mhz.log10() - 13.82 * h_bs_m.log10() - a_hms,
+                    slope_db: 44.9 - 6.55 * h_bs_m.log10(),
+                }
+            }
+        }
+    }
+
+    /// Loss at a (pre-clamped, ≥ 1 m) slant range — bit-identical to
+    /// [`PathLoss::loss_db`] on the model this was compiled from.
+    #[inline]
+    fn loss_db(&self, d: f64) -> f64 {
+        match *self {
+            CompiledPathLoss::Reference { base_db, slope_db, d0_km } => {
+                base_db + slope_db * (d / d0_km).log10()
+            }
+            CompiledPathLoss::FreeSpace { freq_term_db } => {
+                32.44 + 20.0 * d.log10() + freq_term_db
+            }
+            CompiledPathLoss::TwoRay { height_term_db } => {
+                40.0 * (d * 1000.0).log10() - height_term_db
+            }
+            CompiledPathLoss::Hata { base_db, slope_db } => {
+                base_db + slope_db * d.max(0.02).log10()
+            }
+        }
+    }
+}
+
+/// The compiled form of a [`BsRadio`] link budget — the measurement
+/// plane's analogue of the fuzzy plane's `CompiledFis`.
+///
+/// Construction ([`BsRadio::compiled`]) folds every position-independent
+/// term once: the TX power in dBm (a `log10`), the antenna tilt in
+/// radians, the BS–MS height difference in km, the clamped gain floor,
+/// and the path-loss model's constants (dispatching the model `match`
+/// once instead of per sample). A per-sample evaluation is then one
+/// distance, one `atan2`/`cos` for the pattern, two `log10`s (pattern
+/// roll-off + path loss) and a handful of adds/multiplies.
+///
+/// ## Bit-identity contract
+///
+/// Every folded constant is the same floating-point sub-expression the
+/// scalar [`BsRadio::received_power_dbm`] computes, and the remaining
+/// per-sample arithmetic preserves the scalar association order — so the
+/// compiled budget is **bit-identical** to the scalar one for every
+/// model and position (asserted exhaustively by the unit tests here and
+/// end-to-end by the 17 golden reports, which run the simulation engine
+/// through this plane).
+///
+/// The same radio parameters are shared by every BS of a layout, so one
+/// `CompiledBsRadio` serves all of them; the BS position is a call
+/// argument, exactly like the scalar entry points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompiledBsRadio {
+    tx_dbm: f64,
+    dz_km: f64,
+    phi_rad: f64,
+    peak_gain_dbi: f64,
+    floor_gain_db: f64,
+    loss: CompiledPathLoss,
+}
+
+impl CompiledBsRadio {
+    /// Mean received power in dBm at `ms_pos` from a BS at `bs_pos` —
+    /// bit-identical to [`BsRadio::received_power_dbm`] on the source
+    /// radio.
+    #[inline]
+    pub fn received_power_dbm(&self, bs_pos: Vec2, ms_pos: Vec2) -> f64 {
+        let horizontal_km = bs_pos.distance(ms_pos);
+        // Antenna: depression angle → pattern factor → clamped gain, with
+        // the tilt/height constants folded.
+        let alpha = self.dz_km.atan2(horizontal_km.max(0.0));
+        let factor = (alpha - self.phi_rad).cos().abs();
+        let gain = (self.peak_gain_dbi + 20.0 * factor.log10()).max(self.floor_gain_db);
+        // Path loss at the slant range (clamped below at 1 m).
+        let slant = (horizontal_km * horizontal_km + self.dz_km * self.dz_km).sqrt();
+        let loss = self.loss.loss_db(slant.max(1e-3));
+        self.tx_dbm + gain - loss
+    }
+
+    /// Batched form of [`CompiledBsRadio::received_power_dbm`]:
+    /// `out[i]` receives the power at `ms_positions[i]`. Allocation-free
+    /// and bit-identical to the scalar call per position.
+    pub fn received_power_dbm_batch(
+        &self,
+        bs_pos: Vec2,
+        ms_positions: &[Vec2],
+        out: &mut [f64],
+    ) {
+        assert_eq!(
+            ms_positions.len(),
+            out.len(),
+            "output buffer length must match the position count"
+        );
+        for (slot, &ms_pos) in out.iter_mut().zip(ms_positions) {
+            *slot = self.received_power_dbm(bs_pos, ms_pos);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +367,54 @@ mod tests {
             let scalar = bs.received_power_dbm(bs_pos, *p);
             assert_eq!(scalar.to_bits(), b.to_bits(), "at {p:?}");
         }
+    }
+
+    #[test]
+    fn compiled_is_bit_identical_to_scalar_for_every_model() {
+        let models = [
+            PathLoss::paper_calibrated(),
+            PathLoss::paper_field(),
+            PathLoss::free_space_2ghz(),
+            PathLoss::TwoRay { h_bs_m: 40.0, h_ms_m: 1.5 },
+            PathLoss::okumura_hata_paper(),
+        ];
+        let bs_pos = Vec2::new(-0.8, 2.1);
+        for model in models {
+            let bs = BsRadio { path_loss: model, ..BsRadio::paper_default() };
+            let compiled = bs.compiled();
+            for k in 0..400 {
+                // Spiral sweep from under the mast out to ~9 km.
+                let ms = bs_pos + Vec2::from_polar(0.0225 * k as f64, 0.711 * k as f64);
+                let scalar = bs.received_power_dbm(bs_pos, ms);
+                let fast = compiled.received_power_dbm(bs_pos, ms);
+                assert_eq!(scalar.to_bits(), fast.to_bits(), "{model:?} at {ms:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_batch_matches_scalar_batch_bitwise() {
+        let bs = BsRadio::paper_default();
+        let compiled = bs.compiled();
+        let bs_pos = Vec2::new(1.5, -0.7);
+        let positions: Vec<Vec2> = (0..97)
+            .map(|k| Vec2::from_polar(0.05 + 0.11 * k as f64, 0.37 * k as f64))
+            .collect();
+        let mut reference = vec![0.0; positions.len()];
+        let mut fast = vec![0.0; positions.len()];
+        bs.received_power_dbm_batch(bs_pos, &positions, &mut reference);
+        compiled.received_power_dbm_batch(bs_pos, &positions, &mut fast);
+        for (r, f) in reference.iter().zip(&fast) {
+            assert_eq!(r.to_bits(), f.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn compiled_batch_length_mismatch_rejected() {
+        let compiled = BsRadio::paper_default().compiled();
+        let mut out = [0.0; 2];
+        compiled.received_power_dbm_batch(Vec2::ZERO, &[Vec2::ZERO], &mut out);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! measurement jitter (the paper averages 10 simulation runs for the same
 //! reason).
 
+use crate::fading::standard_normal;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -34,11 +35,22 @@ impl MeasurementNoise {
         if self.sigma_db == 0.0 {
             return clean_db;
         }
-        // Box–Muller standard normal.
-        let u1: f64 = 1.0 - rng.gen::<f64>();
-        let u2: f64 = rng.gen();
-        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-        clean_db + self.sigma_db * z
+        clean_db + self.sigma_db * standard_normal(rng)
+    }
+
+    /// Apply the noise to a whole slice of clean dB readings in place,
+    /// drawing one gaussian per element in slice order — the batched
+    /// sampler of the compiled measurement plane. Bit-identical to
+    /// calling [`MeasurementNoise::apply`] once per element (the σ = 0
+    /// early-out is hoisted out of the loop and, like the scalar path,
+    /// consumes no randomness). Allocation-free.
+    pub fn apply_slice<R: Rng + ?Sized>(&self, values_db: &mut [f64], rng: &mut R) {
+        if self.sigma_db == 0.0 {
+            return;
+        }
+        for value in values_db {
+            *value += self.sigma_db * standard_normal(rng);
+        }
     }
 }
 
@@ -154,6 +166,21 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_noise_sigma_rejected() {
         let _ = MeasurementNoise::new(-0.1);
+    }
+
+    #[test]
+    fn apply_slice_is_bit_identical_to_scalar_loop() {
+        let clean: Vec<f64> = (0..57).map(|k| -110.0 + 0.7 * k as f64).collect();
+        for sigma in [0.0, 1.0, 3.5] {
+            let n = MeasurementNoise::new(sigma);
+            let mut batch = clean.clone();
+            n.apply_slice(&mut batch, &mut StdRng::seed_from_u64(17));
+            let mut rng = StdRng::seed_from_u64(17);
+            for (slot, &c) in batch.iter().zip(&clean) {
+                let scalar = n.apply(c, &mut rng);
+                assert_eq!(slot.to_bits(), scalar.to_bits(), "σ = {sigma}");
+            }
+        }
     }
 
     #[test]

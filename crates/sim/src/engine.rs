@@ -6,14 +6,14 @@
 //! the neighbour reading, hands the report to the configured
 //! [`HandoverPolicy`], and executes handovers the policy orders.
 
-use cellgeom::{Axial, CellLayout, Vec2};
+use cellgeom::{Axial, CellLayout, NeighborIndex, Vec2};
 use handover_core::{
     Decision, EventLog, HandoverEvent, HandoverPolicy, MeasurementReport, StayReason,
 };
 use mobility::{TracePoint, Trajectory};
 use radiolink::{
-    speed_penalty_db, BsRadio, MeasurementNoise, RssiSmoother, ShadowingConfig,
-    ShadowingProcess,
+    speed_penalty_db, BsRadio, CompiledBsRadio, MeasurementNoise, RssiSmoother,
+    ShadowingConfig, ShadowingLane,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -170,20 +170,34 @@ pub(crate) struct StepOutcome {
     pub outage: bool,
 }
 
-/// Per-UE dynamic simulation state: serving cell, one shadowing process
-/// and one smoothing filter per BS, the UE's private RNG stream, and the
-/// event log. [`Simulation::run`] drives exactly one of these; the fleet
-/// engine drives thousands, which is what makes a 1-UE fleet bit-identical
-/// to a single-trajectory run by construction.
+/// Per-UE dynamic simulation state: serving cell, one shadowing lane
+/// (one AR(1) process per BS) and one smoothing filter per BS, the UE's
+/// private RNG stream, and the event log. [`Simulation::run`] drives
+/// exactly one of these; the fleet engine drives thousands, which is what
+/// makes a 1-UE fleet bit-identical to a single-trajectory run by
+/// construction.
 #[derive(Debug)]
 pub(crate) struct UeState {
     serving_idx: usize,
-    shadow: Vec<ShadowingProcess>,
+    /// SoA bank of per-BS shadowing processes, in layout order (the lane
+    /// draws in slot order, so seed determinism is preserved exactly as
+    /// the earlier `Vec<ShadowingProcess>` loop did).
+    shadow: ShadowingLane,
     smoothers: Vec<RssiSmoother>,
+    /// True when `cfg.smoothing` is the pass-through filter — lets the
+    /// hot path skip the per-BS smoother loop entirely.
+    passthrough_smoothing: bool,
     rng: StdRng,
     log: EventLog,
     /// Scratch buffer of post-noise, post-smoothing measurements.
     measured: Vec<f64>,
+    /// Per-BS travelled distance at which the shadowing slot last
+    /// advanced — used only by the neighbour-pruned candidate mode, which
+    /// advances a slot lazily by `cum_km − last_advanced_km[slot]` when
+    /// the cell re-enters the candidate set (exact under the Gudmundson
+    /// composition law `ρ(d₁+d₂) = ρ(d₁)·ρ(d₂)`). Empty until the first
+    /// pruned step.
+    last_advanced_km: Vec<f64>,
     prev_cum: f64,
     steps: usize,
 }
@@ -199,24 +213,17 @@ impl UeState {
             .iter()
             .position(|&c| c == serving_cell)
             .expect("nearest cell is in the layout");
-        // Independent, spatially correlated shadowing per BS, in layout
-        // order (a Vec, not a HashMap: per-instance hash randomisation
-        // would reorder the RNG draws and break seed determinism).
-        let shadow = cfg
-            .layout
-            .cells()
-            .iter()
-            .map(|_| ShadowingProcess::new(cfg.shadowing))
-            .collect();
         // One stateful smoothing filter per BS (cloned from the template).
         let smoothers = cfg.layout.cells().iter().map(|_| cfg.smoothing.clone()).collect();
         UeState {
             serving_idx,
-            shadow,
+            shadow: ShadowingLane::new(cfg.shadowing, cfg.layout.len()),
             smoothers,
+            passthrough_smoothing: cfg.smoothing == RssiSmoother::None,
             rng: StdRng::seed_from_u64(seed),
             log: EventLog::new(),
             measured: Vec::with_capacity(cfg.layout.len()),
+            last_advanced_km: Vec::new(),
             prev_cum: 0.0,
             steps: 0,
         }
@@ -224,6 +231,11 @@ impl UeState {
 
     pub(crate) fn serving_cell(&self, cfg: &SimConfig) -> Axial {
         cfg.layout.cells()[self.serving_idx]
+    }
+
+    /// Layout index of the current serving cell.
+    pub(crate) fn serving_index(&self) -> usize {
+        self.serving_idx
     }
 
     pub(crate) fn step_count(&self) -> usize {
@@ -268,21 +280,79 @@ impl UeState {
         debug_assert_eq!(means_dbm.len(), cells.len());
         let delta = point.cum_km - self.prev_cum;
         self.prev_cum = point.cum_km;
-        for process in &mut self.shadow {
-            process.advance(delta, &mut self.rng);
-        }
-
-        // Measure every BS: mean propagation + shadowing + noise, then
-        // the per-BS smoothing filter. Measuring all cells keeps every
-        // filter's sample stream contiguous across handovers.
+        // Compiled measurement plane: one batched shadowing update (same
+        // draws, slot order) and one batched noise pass. Measuring all
+        // cells keeps every filter's sample stream contiguous across
+        // handovers.
+        self.shadow.advance_all(delta, &mut self.rng);
         self.measured.clear();
-        for (k, smoother) in self.smoothers.iter_mut().enumerate() {
+        self.measured
+            .extend(means_dbm.iter().zip(self.shadow.values()).map(|(&m, &s)| m + s));
+        cfg.noise.apply_slice(&mut self.measured, &mut self.rng);
+        if !self.passthrough_smoothing {
+            for (value, smoother) in self.measured.iter_mut().zip(&mut self.smoothers) {
+                *value = smoother.push(*value);
+            }
+        }
+        self.report_from_measured(cfg, candidates, point)
+    }
+
+    /// The neighbour-pruned measurement half: like
+    /// [`UeState::begin_step`], but only the cells in `subset` (layout
+    /// indices, draw order) are measured — their shadowing slots advance
+    /// by their accumulated travelled distance, one noise draw each —
+    /// while every other cell's slot just accrues distance for later.
+    /// The caller guarantees `subset` covers the serving cell and its
+    /// whole candidate table, so the report never reads an unmeasured
+    /// value; unmeasured entries are parked at −∞ dBm.
+    ///
+    /// `means_dbm` entries are read only at `subset` positions.
+    pub(crate) fn begin_step_pruned(
+        &mut self,
+        cfg: &SimConfig,
+        candidates: &CandidateTable,
+        means_dbm: &[f64],
+        point: TracePoint,
+        subset: &[u32],
+    ) -> MeasurementReport {
+        let n = cfg.layout.len();
+        // `prev_cum` is only consumed by the dense path, but keeping it
+        // current costs nothing and keeps the state coherent.
+        self.prev_cum = point.cum_km;
+        if self.last_advanced_km.is_empty() {
+            self.last_advanced_km.resize(n, 0.0);
+        }
+        self.measured.clear();
+        self.measured.resize(n, f64::NEG_INFINITY);
+        self.shadow.advance_subset(
+            subset,
+            point.cum_km,
+            &mut self.last_advanced_km,
+            &mut self.rng,
+        );
+        for &slot in subset {
+            let k = slot as usize;
             let raw = cfg
                 .noise
-                .apply(means_dbm[k] + self.shadow[k].current_db(), &mut self.rng);
-            self.measured.push(smoother.push(raw));
+                .apply(means_dbm[k] + self.shadow.values()[k], &mut self.rng);
+            self.measured[k] = if self.passthrough_smoothing {
+                raw
+            } else {
+                self.smoothers[k].push(raw)
+            };
         }
+        self.report_from_measured(cfg, candidates, point)
+    }
 
+    /// Build the step's report from the `measured` buffer: serving
+    /// reading, strongest (speed-penalised) neighbour, distances.
+    fn report_from_measured(
+        &self,
+        cfg: &SimConfig,
+        candidates: &CandidateTable,
+        point: TracePoint,
+    ) -> MeasurementReport {
+        let cells = cfg.layout.cells();
         // Serving measurement (no speed penalty: the paper applies the
         // 2 dB/10 km/h rule to the neighbour reading).
         let serving = cells[self.serving_idx];
@@ -361,11 +431,17 @@ impl UeState {
     }
 }
 
-/// The simulation engine.
+/// The simulation engine. Construction compiles the measurement plane
+/// once: the link budget ([`BsRadio::compiled`]), the per-cell BS
+/// positions, and the [`NeighborIndex`] the fleet engine's pruned
+/// candidate mode queries.
 #[derive(Debug, Clone)]
 pub struct Simulation {
     config: SimConfig,
     candidates: CandidateTable,
+    compiled_radio: CompiledBsRadio,
+    bs_positions: Vec<Vec2>,
+    neighbor_index: NeighborIndex,
 }
 
 impl Simulation {
@@ -374,7 +450,11 @@ impl Simulation {
         assert!(config.sample_spacing_km > 0.0, "sample spacing must be positive");
         assert!(config.speed_kmh >= 0.0, "speed must be non-negative");
         let candidates = CandidateTable::new(&config.layout);
-        Simulation { config, candidates }
+        let compiled_radio = config.radio.compiled();
+        let bs_positions =
+            config.layout.cells().iter().map(|&c| config.layout.bs_position(c)).collect();
+        let neighbor_index = NeighborIndex::new(&config.layout);
+        Simulation { config, candidates, compiled_radio, bs_positions, neighbor_index }
     }
 
     /// The configuration.
@@ -386,12 +466,28 @@ impl Simulation {
         &self.candidates
     }
 
+    /// The compiled link budget (shared by every BS of the layout).
+    pub(crate) fn compiled_radio(&self) -> &CompiledBsRadio {
+        &self.compiled_radio
+    }
+
+    /// Per-cell BS positions, in layout order.
+    pub(crate) fn bs_positions(&self) -> &[Vec2] {
+        &self.bs_positions
+    }
+
+    /// The position → nearest-cells index of the layout.
+    pub(crate) fn neighbor_index(&self) -> &NeighborIndex {
+        &self.neighbor_index
+    }
+
     /// Fill `means_dbm` with the mean (pre-fade, pre-noise) received
-    /// power from every BS at `pos`, in layout order.
+    /// power from every BS at `pos`, in layout order — through the
+    /// compiled link budget (bit-identical to the scalar
+    /// [`BsRadio::received_power_dbm`]).
     pub(crate) fn mean_rss_all(&self, pos: Vec2, means_dbm: &mut [f64]) {
-        let cfg = &self.config;
-        for (k, &cell) in cfg.layout.cells().iter().enumerate() {
-            means_dbm[k] = cfg.radio.received_power_dbm(cfg.layout.bs_position(cell), pos);
+        for (slot, &bs_pos) in means_dbm.iter_mut().zip(&self.bs_positions) {
+            *slot = self.compiled_radio.received_power_dbm(bs_pos, pos);
         }
     }
 

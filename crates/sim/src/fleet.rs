@@ -8,11 +8,15 @@
 //!   serving cell / smoother + shadowing state, policy, tally), never the
 //!   whole fleet, so memory stays proportional to
 //!   `workers × chunk_size`, not to the fleet size.
-//! * **Batched RSS evaluation** — per measurement step the mean path loss
-//!   is computed per (BS, UE-chunk) through
-//!   [`radiolink::BsRadio::received_power_dbm_batch`], which hoists the
-//!   TX-power dBm conversion out of the per-UE loop and is bit-identical
-//!   to the scalar path [`Simulation::run`] uses.
+//! * **Compiled measurement plane** — per measurement step the mean path
+//!   loss is computed per (BS, UE-chunk) through the compiled link budget
+//!   ([`radiolink::CompiledBsRadio`], every position-independent term
+//!   folded once per run), per-UE shadowing advances through a batched
+//!   [`radiolink::ShadowingLane`] and noise through
+//!   [`radiolink::MeasurementNoise::apply_slice`] — all bit-identical to
+//!   the scalar path [`Simulation::run`] uses. The opt-in
+//!   [`CandidateMode::Nearest`] prunes the dense `cells × chunk` sweep to
+//!   the cells near each UE (see its docs for the equivalence bound).
 //! * **Per-UE deterministic RNG streams** — UE `i`'s measurement
 //!   randomness is seeded with [`ue_seed`]`(base_seed, i)`. UE 0 uses
 //!   `base_seed` exactly, which is what makes a 1-UE fleet reproduce
@@ -53,6 +57,60 @@ use std::sync::Arc;
 enum StepPending {
     Decided(Decision),
     AwaitHd(usize),
+}
+
+/// How the fleet engine selects which cells to measure per UE step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CandidateMode {
+    /// Measure every layout cell for every UE (the dense
+    /// `cells × chunk` sweep). This is the default and the only mode the
+    /// byte-pinned golden reports run under.
+    #[default]
+    All,
+    /// Measure only the `k` cells nearest each UE (via the layout's
+    /// [`NeighborIndex`](cellgeom::NeighborIndex)), always force-including
+    /// the UE's serving cell and its whole handover-candidate table, so
+    /// the decision inputs are never approximated away. Unmeasured cells'
+    /// shadowing slots accrue travelled distance and advance lazily when
+    /// they re-enter the set — exact under the Gudmundson composition law
+    /// `ρ(d₁+d₂) = ρ(d₁)·ρ(d₂)`, so the shadowing *law* is unchanged;
+    /// only the RNG draw allocation differs from [`CandidateMode::All`].
+    ///
+    /// ## Equivalence bound
+    ///
+    /// With `k ≥ layout.len()` every cell is measured and the engine
+    /// falls back to the [`CandidateMode::All`] code path, making the
+    /// two modes **bit-identical** — on a 7-cell (one-ring) layout any
+    /// `k ≥ 7` is exact. Below that bound the per-step decisions still
+    /// see exact serving/neighbour readings (the force-include above);
+    /// what changes is the random-stream allocation and, under a
+    /// stateful [`RssiSmoother`](radiolink::RssiSmoother), the filter
+    /// streams of out-of-set cells (which then skip samples). The pruned
+    /// mode is pinned by its own golden
+    /// (`tests/golden_radio/pruned_matrix.json`).
+    Nearest(usize),
+}
+
+impl CandidateMode {
+    /// Short label used in matrix tables and bench ids.
+    pub fn label(&self) -> String {
+        match self {
+            CandidateMode::All => "all".to_string(),
+            CandidateMode::Nearest(k) => format!("nearest{k}"),
+        }
+    }
+
+    /// The pruned set size actually used on an `n_cells` layout: `None`
+    /// for the dense sweep (also when `k` covers the whole layout, which
+    /// makes pruning a no-op and lets the engine take the bit-identical
+    /// dense path), `Some(k ≥ 1)` otherwise.
+    fn effective(self, n_cells: usize) -> Option<usize> {
+        match self {
+            CandidateMode::All => None,
+            CandidateMode::Nearest(k) if k >= n_cells => None,
+            CandidateMode::Nearest(k) => Some(k.max(1)),
+        }
+    }
 }
 
 /// The measurement-RNG seed of UE `ue_id` in a fleet seeded with
@@ -332,18 +390,21 @@ pub struct FleetSimulation {
     sim: Simulation,
     workers: usize,
     chunk_size: usize,
+    candidate_mode: CandidateMode,
 }
 
 impl FleetSimulation {
     /// Default number of UEs stepped in lockstep per batch.
     pub const DEFAULT_CHUNK_SIZE: usize = 128;
 
-    /// Build a fleet engine (1 worker, default chunk size).
+    /// Build a fleet engine (1 worker, default chunk size, dense
+    /// [`CandidateMode::All`] measurement).
     pub fn new(config: SimConfig) -> Self {
         FleetSimulation {
             sim: Simulation::new(config),
             workers: 1,
             chunk_size: Self::DEFAULT_CHUNK_SIZE,
+            candidate_mode: CandidateMode::All,
         }
     }
 
@@ -362,6 +423,21 @@ impl FleetSimulation {
     pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
         self.chunk_size = chunk_size.max(1);
         self
+    }
+
+    /// Select the per-UE candidate measurement mode (see
+    /// [`CandidateMode`]). The default [`CandidateMode::All`] path is the
+    /// byte-pinned one; [`CandidateMode::Nearest`] is the opt-in pruned
+    /// mode.
+    #[must_use]
+    pub fn with_candidate_mode(mut self, mode: CandidateMode) -> Self {
+        self.candidate_mode = mode;
+        self
+    }
+
+    /// The active candidate measurement mode.
+    pub fn candidate_mode(&self) -> CandidateMode {
+        self.candidate_mode
     }
 
     /// The configuration.
@@ -432,6 +508,12 @@ impl FleetSimulation {
         let cfg = self.config();
         let cells = cfg.layout.cells();
         let n = ids.len();
+        // The compiled measurement plane: one link budget shared by every
+        // BS, per-cell positions, and (for the pruned mode) the
+        // position → nearest-cells index.
+        let compiled = self.sim.compiled_radio();
+        let bs_positions = self.sim.bs_positions();
+        let pruned_k = self.candidate_mode.effective(cells.len());
 
         // Struct-of-arrays chunk store. Trajectories hold only waypoints;
         // the resampled measurement points stream lazily per UE.
@@ -470,6 +552,7 @@ impl FleetSimulation {
         let mut points: Vec<mobility::TracePoint> = Vec::with_capacity(n);
         let mut rss_matrix: Vec<f64> = Vec::new();
         let mut means = vec![0.0f64; cells.len()];
+        let mut subset: Vec<u32> = Vec::with_capacity(cells.len());
         let mut reports: Vec<MeasurementReport> = Vec::with_capacity(n);
         let mut pending: Vec<StepPending> = Vec::with_capacity(n);
         let mut batch_inputs: Vec<f64> = Vec::with_capacity(3 * n);
@@ -510,15 +593,19 @@ impl FleetSimulation {
                 break;
             }
 
-            // Batched mean RSS: one (BS × chunk) pass per cell.
-            rss_matrix.clear();
-            rss_matrix.resize(cells.len() * a, 0.0);
-            for (k, &cell) in cells.iter().enumerate() {
-                cfg.radio.received_power_dbm_batch(
-                    cfg.layout.bs_position(cell),
-                    &positions,
-                    &mut rss_matrix[k * a..(k + 1) * a],
-                );
+            // Batched mean RSS (dense mode only): one (BS × chunk) pass
+            // per cell through the compiled link budget. The buffer is
+            // only resized when the active count changes — every slot is
+            // overwritten below, so no zero-fill churn.
+            if pruned_k.is_none() {
+                rss_matrix.resize(cells.len() * a, 0.0);
+                for (k, &bs_pos) in bs_positions.iter().enumerate() {
+                    compiled.received_power_dbm_batch(
+                        bs_pos,
+                        &positions,
+                        &mut rss_matrix[k * a..(k + 1) * a],
+                    );
+                }
             }
 
             // Phase 1 — measure every active UE (RNG, fading, noise) and
@@ -529,11 +616,45 @@ impl FleetSimulation {
             batch_inputs.clear();
             batch_prev.clear();
             for (j, &i) in active_idx.iter().enumerate() {
-                for (k, slot) in means.iter_mut().enumerate() {
-                    *slot = rss_matrix[k * a + j];
-                }
                 let ue = ues[i].as_mut().expect("UE is live");
-                let report = ue.begin_step(cfg, self.sim.candidates(), &means, points[j]);
+                let report = match pruned_k {
+                    None => {
+                        for (k, slot) in means.iter_mut().enumerate() {
+                            *slot = rss_matrix[k * a + j];
+                        }
+                        ue.begin_step(cfg, self.sim.candidates(), &means, points[j])
+                    }
+                    Some(k) => {
+                        // The pruned candidate set: the k index-nearest
+                        // cells, plus — so the decision inputs are never
+                        // approximated — the serving cell and its whole
+                        // candidate table.
+                        subset.clear();
+                        subset
+                            .extend_from_slice(self.sim.neighbor_index().nearest(positions[j], k));
+                        let serving = ue.serving_index() as u32;
+                        if !subset.contains(&serving) {
+                            subset.push(serving);
+                        }
+                        for &cand in self.sim.candidates().of(serving as usize) {
+                            let cand = cand as u32;
+                            if !subset.contains(&cand) {
+                                subset.push(cand);
+                            }
+                        }
+                        for &slot in &subset {
+                            means[slot as usize] = compiled
+                                .received_power_dbm(bs_positions[slot as usize], positions[j]);
+                        }
+                        ue.begin_step_pruned(
+                            cfg,
+                            self.sim.candidates(),
+                            &means,
+                            points[j],
+                            &subset,
+                        )
+                    }
+                };
                 let step = match policies[i].as_fuzzy() {
                     Some(fuzzy) => match fuzzy.decide_pre(&report) {
                         FlcStage::Resolved(decision) => StepPending::Decided(decision),

@@ -5,10 +5,11 @@
 //! [`series`](crate::series) reporting types.
 
 use crate::engine::SimConfig;
-use crate::fleet::{FleetMobility, FleetSimulation, HomogeneousFleet, PolicyKind};
+use crate::fleet::{CandidateMode, FleetMobility, FleetSimulation, HomogeneousFleet, PolicyKind};
 use crate::series::Series;
 use crate::table::{fmt_f, TextTable};
 use handover_core::{CellLoadHistogram, FleetSummary};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// SplitMix64 finalizer deriving each matrix cell's seed from the master
@@ -41,8 +42,21 @@ pub struct ScenarioMatrix {
     pub policies: Vec<PolicyKind>,
     /// Master seed; every matrix cell derives its own streams from it.
     pub base_seed: u64,
-    /// Crossbeam workers per fleet run.
+    /// Crossbeam workers per fleet run (intra-cell parallelism).
     pub workers: usize,
+    /// Matrix cells run concurrently (cell-level parallelism). Every
+    /// cell's result is a pure function of its own spec and seed, so the
+    /// report is bit-identical — and in identical sweep order — for any
+    /// value; the total thread budget is `matrix_workers × workers`.
+    ///
+    /// Serialized specs must carry this field and `candidate_mode`
+    /// explicitly (the vendored offline `serde_derive` subset has no
+    /// `#[serde(default)]` support).
+    pub matrix_workers: usize,
+    /// Candidate measurement mode every fleet runs under (see
+    /// [`CandidateMode`]); the dense, byte-pinned [`CandidateMode::All`]
+    /// unless opted in.
+    pub candidate_mode: CandidateMode,
 }
 
 impl ScenarioMatrix {
@@ -62,6 +76,8 @@ impl ScenarioMatrix {
             ],
             base_seed: 0xF1EE7,
             workers: 4,
+            matrix_workers: 1,
+            candidate_mode: CandidateMode::All,
         }
     }
 
@@ -75,45 +91,103 @@ impl ScenarioMatrix {
         self.len() == 0
     }
 
-    /// Run every matrix cell.
-    pub fn run(&self) -> MatrixResult {
-        let mut cells = Vec::with_capacity(self.len());
+    /// The sweep-order list of matrix-cell specifications, each carrying
+    /// its deterministic derived seed.
+    fn cell_specs(&self) -> Vec<CellSpec> {
+        let mut specs = Vec::with_capacity(self.len());
         let mut cell_index = 0u64;
         for &ue_count in &self.ue_counts {
             for &mobility in &self.mobilities {
                 for &speed_kmh in &self.speeds_kmh {
                     for &policy in &self.policies {
-                        let mut cfg = self.base.clone();
-                        cfg.speed_kmh = speed_kmh;
-                        let cell_radius_km = cfg.layout.cell_radius_km();
-                        let seed = cell_seed(self.base_seed, cell_index);
-                        let fleet =
-                            FleetSimulation::new(cfg).with_workers(self.workers.max(1));
-                        // HomogeneousFleet domain-separates the
-                        // trajectory stream itself, so the one cell seed
-                        // safely feeds both.
-                        let spec = HomogeneousFleet {
-                            mobility,
-                            policy,
-                            trajectory_seed: seed,
-                            cell_radius_km,
-                        };
-                        let result = fleet.run(&spec, ue_count, seed);
-                        cells.push(MatrixCellResult {
+                        specs.push(CellSpec {
                             ue_count,
-                            mobility: mobility.label().to_string(),
+                            mobility,
                             speed_kmh,
-                            policy: policy.label().to_string(),
-                            summary: result.summary,
-                            cell_load: result.cell_load,
+                            policy,
+                            seed: cell_seed(self.base_seed, cell_index),
                         });
                         cell_index += 1;
                     }
                 }
             }
         }
-        MatrixResult { cells }
+        specs
     }
+
+    /// Run one matrix cell.
+    fn run_cell(&self, spec: &CellSpec) -> MatrixCellResult {
+        let mut cfg = self.base.clone();
+        cfg.speed_kmh = spec.speed_kmh;
+        let cell_radius_km = cfg.layout.cell_radius_km();
+        let fleet = FleetSimulation::new(cfg)
+            .with_workers(self.workers.max(1))
+            .with_candidate_mode(self.candidate_mode);
+        // HomogeneousFleet domain-separates the trajectory stream
+        // itself, so the one cell seed safely feeds both.
+        let ue_spec = HomogeneousFleet {
+            mobility: spec.mobility,
+            policy: spec.policy,
+            trajectory_seed: spec.seed,
+            cell_radius_km,
+        };
+        let result = fleet.run(&ue_spec, spec.ue_count, spec.seed);
+        MatrixCellResult {
+            ue_count: spec.ue_count,
+            mobility: spec.mobility.label().to_string(),
+            speed_kmh: spec.speed_kmh,
+            policy: spec.policy.label().to_string(),
+            summary: result.summary,
+            cell_load: result.cell_load,
+        }
+    }
+
+    /// Run every matrix cell. With `matrix_workers > 1` the cells run
+    /// concurrently (round-robin sharded over crossbeam workers, like the
+    /// fleet engine's UE sharding); the report is merged back into sweep
+    /// order, so the result is identical for every worker count.
+    pub fn run(&self) -> MatrixResult {
+        let specs = self.cell_specs();
+        let matrix_workers = self.matrix_workers.clamp(1, specs.len().max(1));
+        if matrix_workers == 1 {
+            return MatrixResult {
+                cells: specs.iter().map(|s| self.run_cell(s)).collect(),
+            };
+        }
+
+        let collected: Mutex<Vec<(usize, MatrixCellResult)>> =
+            Mutex::new(Vec::with_capacity(specs.len()));
+        crossbeam::scope(|scope| {
+            for w in 0..matrix_workers {
+                let collected = &collected;
+                let specs = &specs;
+                scope.spawn(move |_| {
+                    for (index, spec) in
+                        specs.iter().enumerate().skip(w).step_by(matrix_workers)
+                    {
+                        let cell = self.run_cell(spec);
+                        collected.lock().push((index, cell));
+                    }
+                });
+            }
+        })
+        .expect("matrix workers do not panic");
+
+        let mut indexed = collected.into_inner();
+        indexed.sort_by_key(|(index, _)| *index);
+        MatrixResult { cells: indexed.into_iter().map(|(_, cell)| cell).collect() }
+    }
+}
+
+/// One matrix cell's input specification (internal; the sweep-order unit
+/// handed to workers).
+#[derive(Debug, Clone, Copy)]
+struct CellSpec {
+    ue_count: u64,
+    mobility: FleetMobility,
+    speed_kmh: f64,
+    policy: PolicyKind,
+    seed: u64,
 }
 
 /// One matrix cell's aggregated outcome.
@@ -324,6 +398,46 @@ mod tests {
     fn matrix_runs_are_deterministic() {
         let m = tiny_matrix();
         assert_eq!(m.run(), m.run());
+    }
+
+    #[test]
+    fn matrix_workers_never_change_the_report_or_its_order() {
+        let mut m = tiny_matrix();
+        let reference = m.run();
+        for matrix_workers in [2, 3, 8, 64] {
+            m.matrix_workers = matrix_workers;
+            let got = m.run();
+            assert_eq!(reference, got, "matrix_workers={matrix_workers}");
+        }
+        // Sweep order is part of the contract: labels come back in the
+        // nesting order UE count → mobility → speed → policy.
+        let labels: Vec<String> = reference.cells.iter().map(|c| c.label()).collect();
+        assert_eq!(labels[0], "6ue/random-walk/0kmh/fuzzy");
+        assert_eq!(labels[1], "6ue/random-walk/0kmh/hysteresis");
+        assert_eq!(labels[2], "6ue/random-walk/40kmh/fuzzy");
+    }
+
+    #[test]
+    fn pruned_candidate_mode_sweeps_and_stays_deterministic() {
+        let mut m = tiny_matrix();
+        m.candidate_mode = CandidateMode::Nearest(7);
+        m.matrix_workers = 2;
+        let a = m.run();
+        let b = m.run();
+        assert_eq!(a, b);
+        assert_eq!(a.cells.len(), 8);
+        for c in &a.cells {
+            assert!(c.summary.steps > 0, "{} ran", c.label());
+            assert_eq!(c.cell_load.total(), c.summary.steps);
+        }
+        // Pruning with k covering the whole layout is the dense path:
+        // bit-identical to CandidateMode::All.
+        m.candidate_mode = CandidateMode::Nearest(19);
+        assert_eq!(m.run(), {
+            let mut dense = tiny_matrix();
+            dense.matrix_workers = 2;
+            dense.run()
+        });
     }
 
     #[test]

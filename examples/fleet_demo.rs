@@ -1,7 +1,8 @@
 //! Drive the multi-UE fleet engine end to end: a 2 000-UE fleet on the
-//! paper layout, then a scenario-matrix sweep over the four standard
-//! mobility models, two speeds and three policies (exact fuzzy, the LUT
-//! ablation, hysteresis), printing the aggregated
+//! paper layout (dense and neighbour-pruned measurement), then a
+//! scenario-matrix sweep — two cells at a time via `matrix_workers` —
+//! over the four standard mobility models, two speeds and three policies
+//! (exact fuzzy, the LUT ablation, hysteresis), printing the aggregated
 //! fleet metrics, the per-cell load histogram, and an ASCII plot of the
 //! handover rate against MS speed.
 //!
@@ -10,7 +11,7 @@
 //! ```
 
 use fuzzy_handover::sim::fleet::{
-    FleetMobility, FleetSimulation, HomogeneousFleet, PolicyKind,
+    CandidateMode, FleetMobility, FleetSimulation, HomogeneousFleet, PolicyKind,
 };
 use fuzzy_handover::sim::matrix::{MatrixMetric, ScenarioMatrix};
 use fuzzy_handover::sim::series::ascii_plot;
@@ -49,7 +50,20 @@ fn main() {
         100.0 * result.cell_load.share(peak_cell)
     );
 
-    // --- The scenario matrix -------------------------------------------
+    // --- The same fleet through the pruned measurement plane ----------
+    let pruned = FleetSimulation::new(cfg.clone())
+        .with_workers(4)
+        .with_candidate_mode(CandidateMode::Nearest(7));
+    let p = pruned.run(&spec, 2_000, 42).summary;
+    println!(
+        "same fleet, CandidateMode::Nearest(7): {:.3} handovers/UE, {:.3} ping-pong \
+         (the 7 index-nearest of 19 cells measured per UE-step, plus the serving \
+         cell and its candidates when they fall outside that set)\n",
+        p.handovers_per_ue(),
+        p.ping_pong_ratio()
+    );
+
+    // --- The scenario matrix (two cells at a time) ---------------------
     let matrix = ScenarioMatrix {
         base: cfg,
         ue_counts: vec![500],
@@ -62,6 +76,8 @@ fn main() {
         ],
         base_seed: 0xF1EE7,
         workers: 4,
+        matrix_workers: 2,
+        candidate_mode: CandidateMode::All,
     };
     let outcome = matrix.run();
     print!("{}", outcome.render());

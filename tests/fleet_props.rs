@@ -3,14 +3,21 @@
 //! 1. a 1-UE fleet is bit-identical to `Simulation::run` for arbitrary
 //!    seeds and configurations;
 //! 2. fleet results are invariant under worker count and chunk size;
-//! 3. fleet results are invariant under UE submission order.
+//! 3. fleet results are invariant under UE submission order;
+//! 4. the neighbour-pruned candidate mode with `k ≥ layout.len()` is
+//!    bit-identical to the dense mode, and below that bound it is itself
+//!    invariant under worker count and chunk size;
+//! 5. the scenario matrix reports identical cells, in identical sweep
+//!    order, for every `matrix_workers` value.
 
 use fuzzy_handover::core::HandoverPolicy;
 use fuzzy_handover::mobility::{MobilityModel, RandomWalk};
 use fuzzy_handover::radio::{MeasurementNoise, ShadowingConfig};
 use fuzzy_handover::sim::fleet::{
-    FleetMobility, FleetSimulation, HomogeneousFleet, PolicyKind, SingleUe, UeOutcome,
+    CandidateMode, FleetMobility, FleetSimulation, HomogeneousFleet, PolicyKind, SingleUe,
+    UeOutcome,
 };
+use fuzzy_handover::sim::matrix::ScenarioMatrix;
 use fuzzy_handover::sim::{SimConfig, Simulation};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -135,5 +142,81 @@ proptest! {
             fleet.run_ids(&spec, &forward, seed),
             fleet.run_ids(&spec, &permuted, seed)
         );
+    }
+
+    /// Contract 4: `Nearest(k)` with `k` covering the layout takes the
+    /// dense path (bit-identical to `All`); a genuinely pruned `k` is
+    /// still invariant under sharding.
+    #[test]
+    fn pruned_mode_equivalence_and_sharding_invariance(
+        seed in 0u64..u64::MAX,
+        n_ues in 1u64..20,
+        k_extra in 0usize..4,
+        pruned_k in 7usize..12,
+        workers in 1usize..6,
+        chunk in 1usize..33,
+        policy in policy_strategy(),
+    ) {
+        let cfg = config(4.0, 1.0, 0.3, 0.0);
+        let n_cells = cfg.layout.len();
+        let spec = HomogeneousFleet {
+            mobility: FleetMobility::RandomWalk(RandomWalk::paper_default(5)),
+            policy,
+            trajectory_seed: seed ^ 0x5EED,
+            cell_radius_km: 2.0,
+        };
+        // k ≥ layout.len() ⇒ the dense path, bit for bit.
+        let dense = FleetSimulation::new(cfg.clone()).run(&spec, n_ues, seed);
+        let covering = FleetSimulation::new(cfg.clone())
+            .with_candidate_mode(CandidateMode::Nearest(n_cells + k_extra))
+            .run(&spec, n_ues, seed);
+        prop_assert_eq!(&dense, &covering);
+        // A real pruned k: deterministic and shard-invariant.
+        let pruned_ref = FleetSimulation::new(cfg.clone())
+            .with_candidate_mode(CandidateMode::Nearest(pruned_k))
+            .run(&spec, n_ues, seed);
+        let pruned_sharded = FleetSimulation::new(cfg)
+            .with_candidate_mode(CandidateMode::Nearest(pruned_k))
+            .with_workers(workers)
+            .with_chunk_size(chunk)
+            .run(&spec, n_ues, seed);
+        prop_assert_eq!(&pruned_ref, &pruned_sharded);
+        // Every UE still steps its full walk under pruning.
+        prop_assert_eq!(pruned_ref.summary.steps, dense.summary.steps);
+    }
+
+    /// Contract 5: the scenario-matrix report (cells *and* their sweep
+    /// order) is independent of `matrix_workers`.
+    #[test]
+    fn matrix_report_order_is_invariant_under_matrix_workers(
+        seed in 0u64..u64::MAX,
+        matrix_workers in 2usize..9,
+        candidate_mode in prop_oneof![
+            Just(CandidateMode::All),
+            Just(CandidateMode::Nearest(7)),
+        ],
+    ) {
+        let mut base = SimConfig::paper_default();
+        base.shadowing = ShadowingConfig { sigma_db: 3.0, decorrelation_km: 0.05 };
+        base.noise = MeasurementNoise::new(1.0);
+        let matrix = ScenarioMatrix {
+            base,
+            ue_counts: vec![4],
+            mobilities: FleetMobility::standard_four(4),
+            speeds_kmh: vec![0.0, 40.0],
+            policies: vec![PolicyKind::Fuzzy, PolicyKind::Hysteresis { margin_db: 4.0 }],
+            base_seed: seed,
+            workers: 1,
+            matrix_workers: 1,
+            candidate_mode,
+        };
+        let sequential = matrix.run();
+        let parallel = ScenarioMatrix { matrix_workers, ..matrix }.run();
+        prop_assert_eq!(&sequential, &parallel);
+        let labels: Vec<String> = sequential.cells.iter().map(|c| c.label()).collect();
+        prop_assert_eq!(labels.len(), 16);
+        prop_assert!(labels[0].contains("random-walk"));
+        prop_assert!(labels[0].contains("fuzzy"));
+        prop_assert!(labels[1].contains("hysteresis"));
     }
 }
