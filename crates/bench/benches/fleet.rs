@@ -67,6 +67,7 @@ fn bench_scenario_matrix_10k(c: &mut Criterion) {
         mobilities: FleetMobility::standard_four(6),
         speeds_kmh: vec![30.0],
         policies: vec![PolicyKind::Fuzzy],
+        traffics: vec![None],
         base_seed: 0xF1EE7,
         workers: 8,
         matrix_workers: 1,

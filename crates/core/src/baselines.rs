@@ -7,9 +7,11 @@
 //! benchmarks can sweep all of them.
 
 use crate::controller::{Decision, MeasurementReport, StayReason};
+use crate::traffic::LoadField;
 use crate::HandoverPolicy;
 use cellgeom::Axial;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Pure hysteresis: hand over when the neighbour beats the serving BS by
 /// at least `margin_db`. The classic scheme whose small margins ping-pong
@@ -109,6 +111,110 @@ impl HandoverPolicy for HysteresisThresholdPolicy {
 
     fn name(&self) -> &'static str {
         "rss-hysteresis-threshold"
+    }
+}
+
+/// Load-aware hysteresis: the classic RSS-margin rule, with the margin
+/// biased by the congestion difference between the serving and the
+/// neighbour cell — the "Automatic Handover Control for Distributed Load
+/// Balancing" family of schemes. The effective margin is
+///
+/// ```text
+/// margin_eff = margin_db − load_bias_db · (util(serving) − util(neighbour))
+/// ```
+///
+/// so a congested serving cell next to an idle neighbour hands over
+/// earlier (the margin may go negative: with a large enough bias the
+/// policy *pushes* traffic off an overloaded cell even while the
+/// neighbour is slightly weaker), and the reverse combination makes the
+/// policy cling to an idle serving cell.
+///
+/// Occupancy arrives through [`HandoverPolicy::set_load_field`]: engines
+/// running a traffic-replay feedback pass inject the previous pass's
+/// frozen per-(cell, step) utilization timeline ([`LoadField`]). Without
+/// a field (traffic plane disabled, or the load-blind first pass) the
+/// bias is zero and the policy is decision-for-decision identical to
+/// [`HysteresisPolicy`] with the same margin.
+#[derive(Debug, Clone)]
+pub struct LoadAwareHysteresisPolicy {
+    /// Required advantage of the neighbour at equal load, in dB.
+    pub margin_db: f64,
+    /// Margin shift per unit utilization difference, in dB.
+    pub load_bias_db: f64,
+    field: Option<Arc<LoadField>>,
+    /// The policy's own step cursor into the load field: `decide` is
+    /// called exactly once per measurement step, so counting calls
+    /// aligns the field timeline with the UE's steps.
+    step: usize,
+    /// Memoized `cell → field index` resolutions for the serving and
+    /// the neighbour role: both change rarely (serving on handover,
+    /// neighbour when the strongest candidate flips), so this keeps the
+    /// per-decision field reads scan-free.
+    memo: [Option<(Axial, Option<usize>)>; 2],
+}
+
+impl LoadAwareHysteresisPolicy {
+    /// Construct; the margin and the bias must be non-negative.
+    pub fn new(margin_db: f64, load_bias_db: f64) -> Self {
+        assert!(margin_db >= 0.0, "hysteresis margin must be non-negative");
+        assert!(load_bias_db >= 0.0, "load bias must be non-negative");
+        LoadAwareHysteresisPolicy {
+            margin_db,
+            load_bias_db,
+            field: None,
+            step: 0,
+            memo: [None, None],
+        }
+    }
+
+    /// `field.utilization(cell, step)` through the memo slot for one of
+    /// the two cell roles (0 = serving, 1 = neighbour).
+    fn utilization_memo(&mut self, role: usize, cell: Axial) -> f64 {
+        let field = self.field.as_ref().expect("caller checked the field");
+        let idx = match self.memo[role] {
+            Some((memo_cell, idx)) if memo_cell == cell => idx,
+            _ => {
+                let idx = field.index_of(cell);
+                self.memo[role] = Some((cell, idx));
+                idx
+            }
+        };
+        idx.map_or(0.0, |k| field.utilization_at(k, self.step))
+    }
+
+    /// The effective margin the next decision will use for the given
+    /// serving/neighbour pair.
+    pub fn effective_margin_db(&mut self, serving: Axial, neighbor: Axial) -> f64 {
+        if self.field.is_none() {
+            return self.margin_db;
+        }
+        let s = self.utilization_memo(0, serving);
+        let n = self.utilization_memo(1, neighbor);
+        self.margin_db - self.load_bias_db * (s - n)
+    }
+}
+
+impl HandoverPolicy for LoadAwareHysteresisPolicy {
+    fn decide(&mut self, report: &MeasurementReport) -> Decision {
+        let margin = self.effective_margin_db(report.serving, report.neighbor);
+        self.step += 1;
+        if report.neighbor_rss_dbm >= report.serving_rss_dbm + margin {
+            Decision::Handover { target: report.neighbor, hd: 1.0 }
+        } else {
+            Decision::Stay(StayReason::ConditionNotMet)
+        }
+    }
+
+    fn notify_handover(&mut self, _new_serving: Axial) {}
+
+    fn name(&self) -> &'static str {
+        "load-aware-hysteresis"
+    }
+
+    fn set_load_field(&mut self, field: &Arc<LoadField>) {
+        self.field = Some(Arc::clone(field));
+        // Indices memoized against a previous field are meaningless now.
+        self.memo = [None, None];
     }
 }
 
@@ -284,6 +390,72 @@ mod tests {
     }
 
     #[test]
+    fn load_aware_hysteresis_without_field_matches_plain_hysteresis() {
+        let mut plain = HysteresisPolicy::new(4.0);
+        let mut load = LoadAwareHysteresisPolicy::new(4.0, 6.0);
+        for r in [
+            report(-90.0, -88.0, 1.0, 1.0),
+            report(-90.0, -86.0, 1.0, 1.0),
+            report(-90.0, -80.0, 1.0, 1.0),
+            report(-100.0, -99.9, 1.0, 1.0),
+        ] {
+            assert_eq!(plain.decide(&r), load.decide(&r), "no field ⇒ identical decisions");
+        }
+    }
+
+    #[test]
+    fn load_aware_hysteresis_reacts_to_congestion() {
+        use crate::traffic::LoadField;
+        // Serving (origin) fully loaded, neighbour idle, for every step.
+        let field = Arc::new(LoadField::new(
+            vec![Axial::ORIGIN, Axial::new(1, 0)],
+            1,
+            vec![1.0, 0.0],
+        ));
+        let mut p = LoadAwareHysteresisPolicy::new(4.0, 6.0);
+        p.set_load_field(&field);
+        // margin_eff = 4 − 6·(1 − 0) = −2 dB: a neighbour 2 dB *weaker*
+        // is now good enough.
+        assert!((p.effective_margin_db(Axial::ORIGIN, Axial::new(1, 0)) + 2.0).abs() < 1e-12);
+        assert!(p.decide(&report(-90.0, -92.0, 1.0, 1.0)).is_handover());
+
+        // The reverse: idle serving next to a congested neighbour raises
+        // the bar (margin_eff = 4 + 6 = 10 dB).
+        let reverse = Arc::new(LoadField::new(
+            vec![Axial::ORIGIN, Axial::new(1, 0)],
+            1,
+            vec![0.0, 1.0],
+        ));
+        let mut q = LoadAwareHysteresisPolicy::new(4.0, 6.0);
+        q.set_load_field(&reverse);
+        assert!(!q.decide(&report(-90.0, -85.0, 1.0, 1.0)).is_handover(), "5 dB < 10 dB");
+        assert!(q.decide(&report(-90.0, -79.0, 1.0, 1.0)).is_handover(), "11 dB ≥ 10 dB");
+    }
+
+    #[test]
+    fn load_aware_hysteresis_tracks_the_field_timeline() {
+        use crate::traffic::LoadField;
+        // Step 0: serving congested; step 1 (and clamped beyond): idle.
+        let field = Arc::new(LoadField::new(
+            vec![Axial::ORIGIN, Axial::new(1, 0)],
+            2,
+            vec![1.0, 0.0, 0.0, 0.0],
+        ));
+        let mut p = LoadAwareHysteresisPolicy::new(4.0, 6.0);
+        p.set_load_field(&field);
+        let borderline = report(-90.0, -91.0, 1.0, 1.0); // 1 dB weaker
+        assert!(p.decide(&borderline).is_handover(), "step 0: margin −2 dB");
+        assert!(!p.decide(&borderline).is_handover(), "step 1: margin back to 4 dB");
+        assert!(!p.decide(&borderline).is_handover(), "steps clamp past the timeline");
+    }
+
+    #[test]
+    #[should_panic(expected = "load bias")]
+    fn negative_load_bias_rejected() {
+        let _ = LoadAwareHysteresisPolicy::new(1.0, -0.5);
+    }
+
+    #[test]
     fn policy_names_are_distinct() {
         let names = [
             HysteresisPolicy::new(1.0).name(),
@@ -291,6 +463,7 @@ mod tests {
             HysteresisThresholdPolicy::new(-95.0, 1.0).name(),
             DistancePolicy::new(0.9).name(),
             DwellTimerPolicy::new(HysteresisPolicy::new(1.0), 2).name(),
+            LoadAwareHysteresisPolicy::new(1.0, 2.0).name(),
         ];
         let unique: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(unique.len(), names.len());

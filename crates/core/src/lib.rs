@@ -53,6 +53,7 @@ pub mod flc;
 pub mod inputs;
 pub mod metrics;
 pub mod system;
+pub mod traffic;
 
 pub use adaptive::SpeedAdaptiveController;
 pub use controller::{
@@ -62,8 +63,10 @@ pub use flc::{build_paper_flc, paper_flc_lut, paper_flc_plan, FlcProfile};
 pub use inputs::FlcInputs;
 pub use metrics::{CellLoadHistogram, EventLog, FleetSummary, HandoverEvent, PingPongReport};
 pub use system::{NodeB, Rnc};
+pub use traffic::{erlang_b, CellTraffic, LoadField, TrafficReport};
 
 use cellgeom::Axial;
+use std::sync::Arc;
 
 /// A handover decision policy: the fuzzy controller and every baseline
 /// implement this, so the simulator can drive them interchangeably.
@@ -90,4 +93,14 @@ pub trait HandoverPolicy {
     fn as_fuzzy(&mut self) -> Option<&mut FuzzyHandoverController> {
         None
     }
+
+    /// Inject the frozen per-(cell, step) occupancy timeline of a traffic
+    /// replay (see [`LoadField`]). Engines call this on every policy of a
+    /// load-feedback pass; load-aware policies (e.g.
+    /// [`baselines::LoadAwareHysteresisPolicy`]) store the field and bias
+    /// their decisions by serving-vs-neighbour congestion, everything
+    /// else keeps the default no-op and decides load-blind. The field is
+    /// immutable for the whole pass, so accepting it never compromises
+    /// the engine's determinism contract.
+    fn set_load_field(&mut self, _field: &Arc<LoadField>) {}
 }

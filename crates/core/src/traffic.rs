@@ -1,0 +1,386 @@
+//! Cell-load traffic accounting: call-session admission outcomes,
+//! per-cell channel occupancy, and the occupancy field load-aware
+//! policies read.
+//!
+//! The simulator (not this crate) generates call sessions and replays
+//! them against per-cell channel capacities; this module holds the
+//! *results* of that replay so they can travel with the fleet metrics:
+//!
+//! * [`TrafficReport`] — fleet-level admission accounting: new-call
+//!   blocking, handover-call dropping, offered/carried Erlang load, and
+//!   one [`CellTraffic`] per cell with its occupancy histogram over
+//!   time.
+//! * [`LoadField`] — a frozen per-(cell, step) channel-utilization
+//!   timeline. Load-aware policies (e.g.
+//!   [`LoadAwareHysteresisPolicy`](crate::baselines::LoadAwareHysteresisPolicy))
+//!   receive one through [`HandoverPolicy::set_load_field`](crate::HandoverPolicy::set_load_field)
+//!   and bias their decisions by serving-vs-neighbour congestion.
+//! * [`erlang_b`] — the Erlang-B blocking formula, the analytic sanity
+//!   anchor the statistical test suite checks the replay against.
+
+use cellgeom::Axial;
+use serde::{Deserialize, Serialize};
+
+/// Per-cell admission and occupancy accounting of one traffic replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellTraffic {
+    /// The cell.
+    pub cell: Axial,
+    /// New calls offered to this cell (the UE's serving cell at attempt
+    /// time).
+    pub offered_calls: u64,
+    /// New calls refused because fewer than `guard_channels + 1` idle
+    /// channels remained.
+    pub blocked_calls: u64,
+    /// Handover calls this cell refused (charged to the *target* cell).
+    pub dropped_calls: u64,
+    /// Handover calls this cell admitted.
+    pub handover_arrivals: u64,
+    /// Channel-occupancy histogram over time: `occupancy_steps[k]` is
+    /// the number of timeline steps this cell spent with exactly `k`
+    /// busy channels (length `capacity + 1`).
+    pub occupancy_steps: Vec<u64>,
+}
+
+impl CellTraffic {
+    /// Zeroed accounting for a cell with the given channel capacity.
+    pub fn new(cell: Axial, capacity: u32) -> Self {
+        CellTraffic {
+            cell,
+            offered_calls: 0,
+            blocked_calls: 0,
+            dropped_calls: 0,
+            handover_arrivals: 0,
+            occupancy_steps: vec![0; capacity as usize + 1],
+        }
+    }
+
+    /// Timeline steps recorded for this cell.
+    pub fn steps(&self) -> u64 {
+        self.occupancy_steps.iter().sum()
+    }
+
+    /// Mean busy channels (carried Erlangs) over the recorded timeline.
+    pub fn erlangs(&self) -> f64 {
+        let steps = self.steps();
+        if steps == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self
+            .occupancy_steps
+            .iter()
+            .enumerate()
+            .map(|(k, &n)| k as u64 * n)
+            .sum();
+        busy as f64 / steps as f64
+    }
+
+    /// Highest occupancy the cell ever reached.
+    pub fn peak_occupancy(&self) -> u32 {
+        self.occupancy_steps
+            .iter()
+            .rposition(|&n| n > 0)
+            .unwrap_or(0) as u32
+    }
+}
+
+/// Fleet-level traffic accounting: the admission outcome of every call
+/// session of a run, plus per-cell occupancy histograms. All counters
+/// are plain integers and the Erlang means derive from them, so the
+/// report is a pure function of the (deterministic) replay — engines
+/// guarantee it is bit-identical for any worker count or chunk size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficReport {
+    /// Channels per cell the replay ran with.
+    pub channels_per_cell: u32,
+    /// Channels reserved for handover calls (new calls see a capacity of
+    /// `channels_per_cell - guard_channels`).
+    pub guard_channels: u32,
+    /// Timeline length in steps (the longest UE's step count).
+    pub steps: u64,
+    /// New calls offered fleet-wide.
+    pub offered_calls: u64,
+    /// New calls blocked at admission.
+    pub blocked_calls: u64,
+    /// New calls admitted.
+    pub carried_calls: u64,
+    /// Handover attempts of active carried calls (the serving cell of a
+    /// call's UE changed between steps).
+    pub handover_attempts: u64,
+    /// Handover attempts refused by the target cell (the call is lost).
+    pub dropped_calls: u64,
+    /// Carried calls that ran to their natural end inside the run.
+    pub completed_calls: u64,
+    /// Offered call-time divided by the timeline length — the empirical
+    /// offered load in Erlangs. Counts exactly the admission-visible
+    /// sessions behind [`TrafficReport::offered_calls`] (durations
+    /// clipped to each UE's lifetime), so it and
+    /// [`TrafficReport::blocking_probability`] describe the same call
+    /// population.
+    pub offered_erlangs: f64,
+    /// Mean busy channels across all cells (sum of per-step occupancy /
+    /// timeline steps) — the carried load in Erlangs.
+    pub carried_erlangs: f64,
+    /// Per-cell accounting, in layout order.
+    pub per_cell: Vec<CellTraffic>,
+}
+
+impl TrafficReport {
+    /// New-call blocking probability (0 when nothing was offered).
+    pub fn blocking_probability(&self) -> f64 {
+        if self.offered_calls == 0 {
+            0.0
+        } else {
+            self.blocked_calls as f64 / self.offered_calls as f64
+        }
+    }
+
+    /// Handover-call dropping probability (0 when no handover was
+    /// attempted).
+    pub fn dropping_probability(&self) -> f64 {
+        if self.handover_attempts == 0 {
+            0.0
+        } else {
+            self.dropped_calls as f64 / self.handover_attempts as f64
+        }
+    }
+
+    /// The most loaded cell (by carried Erlangs) and its load. `None`
+    /// for an empty report.
+    pub fn peak_cell(&self) -> Option<(Axial, f64)> {
+        let mut best: Option<(Axial, f64)> = None;
+        for c in &self.per_cell {
+            let e = c.erlangs();
+            if best.map_or(true, |(_, b)| e > b) {
+                best = Some((c.cell, e));
+            }
+        }
+        best
+    }
+}
+
+/// A frozen per-(cell, step) channel-utilization timeline — the
+/// occupancy feedback a traffic replay hands back to the fleet loop.
+/// Load-aware policies read it through
+/// [`HandoverPolicy::set_load_field`](crate::HandoverPolicy::set_load_field);
+/// because the field is immutable during a pass, decisions stay a pure
+/// function of `(spec, seed)` and the engine's worker-count invariance
+/// is preserved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadField {
+    cells: Vec<Axial>,
+    n_steps: usize,
+    /// Row-major `[step][cell]` utilization in `[0, 1]`.
+    util: Vec<f64>,
+}
+
+impl LoadField {
+    /// Build from per-step rows of per-cell utilization. `util` must
+    /// hold `n_steps × cells.len()` entries, step-major.
+    pub fn new(cells: Vec<Axial>, n_steps: usize, util: Vec<f64>) -> Self {
+        assert_eq!(util.len(), n_steps * cells.len(), "step-major utilization grid");
+        LoadField { cells, n_steps, util }
+    }
+
+    /// The tracked cells, in construction order.
+    pub fn cells(&self) -> &[Axial] {
+        &self.cells
+    }
+
+    /// Number of timeline steps recorded.
+    pub fn n_steps(&self) -> usize {
+        self.n_steps
+    }
+
+    /// Position of `cell` in the field's cell list (`None` for
+    /// untracked cells). Hot-loop callers that look the same cell up
+    /// every step should resolve the index once and read through
+    /// [`LoadField::utilization_at`].
+    pub fn index_of(&self, cell: Axial) -> Option<usize> {
+        self.cells.iter().position(|&c| c == cell)
+    }
+
+    /// Channel utilization of `cell` at `step`, in `[0, 1]`. Steps past
+    /// the recorded timeline clamp to the last row (the field is a
+    /// *forecast* from a previous pass; the tail persists); unknown
+    /// cells and empty fields read 0.
+    pub fn utilization(&self, cell: Axial, step: usize) -> f64 {
+        self.index_of(cell)
+            .map_or(0.0, |k| self.utilization_at(k, step))
+    }
+
+    /// [`LoadField::utilization`] addressed by a cell index previously
+    /// resolved with [`LoadField::index_of`] — the scan-free hot path.
+    /// Empty fields read 0; `cell_idx` must come from `index_of`.
+    pub fn utilization_at(&self, cell_idx: usize, step: usize) -> f64 {
+        if self.n_steps == 0 {
+            return 0.0;
+        }
+        let row = step.min(self.n_steps - 1);
+        self.util[row * self.cells.len() + cell_idx]
+    }
+
+    /// Mean utilization of `cell` over the whole timeline (0 for unknown
+    /// cells / empty fields).
+    pub fn mean_utilization(&self, cell: Axial) -> f64 {
+        if self.n_steps == 0 {
+            return 0.0;
+        }
+        let Some(k) = self.cells.iter().position(|&c| c == cell) else {
+            return 0.0;
+        };
+        let n = self.cells.len();
+        let sum: f64 = (0..self.n_steps).map(|row| self.util[row * n + k]).sum();
+        sum / self.n_steps as f64
+    }
+}
+
+/// The Erlang-B blocking probability for offered load `erlangs` on
+/// `channels` trunked channels (blocked calls cleared), via the
+/// numerically stable recurrence
+/// `B(0) = 1`, `B(k) = a·B(k−1) / (k + a·B(k−1))`.
+///
+/// This is the analytic anchor for the traffic plane's M/M/c sanity
+/// tests: a single-cell fleet with Poisson-like arrivals and
+/// exponential holding must reproduce it within statistical error.
+pub fn erlang_b(erlangs: f64, channels: u32) -> f64 {
+    assert!(erlangs >= 0.0, "offered load must be non-negative");
+    if erlangs == 0.0 {
+        return 0.0;
+    }
+    let mut b = 1.0;
+    for k in 1..=channels {
+        b = erlangs * b / (k as f64 + erlangs * b);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_b_known_values() {
+        // Classic table entries (to the published 4-decimal precision).
+        assert!((erlang_b(1.0, 1) - 0.5).abs() < 1e-12);
+        assert!((erlang_b(2.0, 2) - 0.4).abs() < 1e-12);
+        // A = 15 E on 20 channels ≈ 4.56 % blocking.
+        assert!((erlang_b(15.0, 20) - 0.0456).abs() < 5e-4, "{}", erlang_b(15.0, 20));
+        // Zero load never blocks; zero channels always block.
+        assert_eq!(erlang_b(0.0, 10), 0.0);
+        assert_eq!(erlang_b(3.0, 0), 1.0);
+    }
+
+    #[test]
+    fn erlang_b_is_monotone() {
+        // More load blocks more; more channels block less.
+        assert!(erlang_b(10.0, 10) < erlang_b(12.0, 10));
+        assert!(erlang_b(10.0, 12) < erlang_b(10.0, 10));
+    }
+
+    fn cells3() -> Vec<Axial> {
+        vec![Axial::ORIGIN, Axial::new(1, 0), Axial::new(0, 1)]
+    }
+
+    #[test]
+    fn cell_traffic_histogram_accounting() {
+        let mut c = CellTraffic::new(Axial::ORIGIN, 4);
+        assert_eq!(c.occupancy_steps.len(), 5);
+        assert_eq!(c.erlangs(), 0.0, "no steps, no load, no NaN");
+        assert_eq!(c.peak_occupancy(), 0);
+        c.occupancy_steps[0] = 2;
+        c.occupancy_steps[3] = 2;
+        assert_eq!(c.steps(), 4);
+        assert!((c.erlangs() - 1.5).abs() < 1e-12);
+        assert_eq!(c.peak_occupancy(), 3);
+    }
+
+    #[test]
+    fn report_probabilities_never_divide_by_zero() {
+        let r = TrafficReport {
+            channels_per_cell: 4,
+            guard_channels: 0,
+            steps: 0,
+            offered_calls: 0,
+            blocked_calls: 0,
+            carried_calls: 0,
+            handover_attempts: 0,
+            dropped_calls: 0,
+            completed_calls: 0,
+            offered_erlangs: 0.0,
+            carried_erlangs: 0.0,
+            per_cell: vec![],
+        };
+        assert_eq!(r.blocking_probability(), 0.0);
+        assert_eq!(r.dropping_probability(), 0.0);
+        assert_eq!(r.peak_cell(), None);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(!json.contains("NaN"), "{json}");
+        let back: TrafficReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn report_probabilities() {
+        let mut c0 = CellTraffic::new(Axial::ORIGIN, 2);
+        c0.offered_calls = 8;
+        c0.blocked_calls = 2;
+        c0.occupancy_steps = vec![1, 2, 1];
+        let r = TrafficReport {
+            channels_per_cell: 2,
+            guard_channels: 1,
+            steps: 4,
+            offered_calls: 8,
+            blocked_calls: 2,
+            carried_calls: 6,
+            handover_attempts: 4,
+            dropped_calls: 1,
+            completed_calls: 5,
+            offered_erlangs: 1.5,
+            carried_erlangs: 1.0,
+            per_cell: vec![c0],
+        };
+        assert!((r.blocking_probability() - 0.25).abs() < 1e-12);
+        assert!((r.dropping_probability() - 0.25).abs() < 1e-12);
+        let (cell, e) = r.peak_cell().unwrap();
+        assert_eq!(cell, Axial::ORIGIN);
+        assert!((e - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_field_lookup_clamps_and_defaults() {
+        // 2 steps × 3 cells, step-major.
+        let f = LoadField::new(cells3(), 2, vec![0.0, 0.5, 1.0, 0.25, 0.75, 0.5]);
+        assert_eq!(f.utilization(Axial::ORIGIN, 0), 0.0);
+        assert_eq!(f.utilization(Axial::new(1, 0), 0), 0.5);
+        assert_eq!(f.utilization(Axial::new(1, 0), 1), 0.75);
+        // Past the timeline: clamp to the last row.
+        assert_eq!(f.utilization(Axial::new(0, 1), 99), 0.5);
+        // Unknown cell: 0.
+        assert_eq!(f.utilization(Axial::new(9, 9), 0), 0.0);
+        assert!((f.mean_utilization(Axial::ORIGIN) - 0.125).abs() < 1e-12);
+        assert_eq!(f.mean_utilization(Axial::new(9, 9)), 0.0);
+        assert_eq!(f.cells().len(), 3);
+        assert_eq!(f.n_steps(), 2);
+    }
+
+    #[test]
+    fn empty_load_field_reads_zero() {
+        let f = LoadField::new(cells3(), 0, vec![]);
+        assert_eq!(f.utilization(Axial::ORIGIN, 0), 0.0);
+        assert_eq!(f.mean_utilization(Axial::ORIGIN), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "step-major")]
+    fn load_field_rejects_mismatched_grid() {
+        let _ = LoadField::new(cells3(), 2, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn load_field_serde_round_trip() {
+        let f = LoadField::new(cells3(), 1, vec![0.1, 0.2, 0.3]);
+        let back: LoadField = serde_json::from_str(&serde_json::to_string(&f).unwrap()).unwrap();
+        assert_eq!(f, back);
+    }
+}

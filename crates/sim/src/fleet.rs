@@ -32,14 +32,15 @@
 //! [`CellLayout`]: cellgeom::CellLayout
 
 use crate::engine::{SimConfig, Simulation, UeState};
+use crate::traffic::{replay_traffic, TrafficConfig, UeTrace};
 use cellgeom::Axial;
 use fuzzylogic::{CompiledFis, EvalScratch};
 use handover_core::baselines::{
-    HysteresisPolicy, HysteresisThresholdPolicy, ThresholdPolicy,
+    HysteresisPolicy, HysteresisThresholdPolicy, LoadAwareHysteresisPolicy, ThresholdPolicy,
 };
 use handover_core::{
     paper_flc_lut, CellLoadHistogram, ControllerConfig, Decision, FleetSummary, FlcStage,
-    FuzzyHandoverController, HandoverPolicy, MeasurementReport,
+    FuzzyHandoverController, HandoverPolicy, LoadField, MeasurementReport, TrafficReport,
 };
 use mobility::{
     GaussMarkov, ManhattanGrid, MobilityModel, RandomWalk, RandomWaypoint, Trajectory,
@@ -49,6 +50,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// One worker's share of a fleet pass: its UE outcomes, its partial
+/// serving-load histogram, and (traffic plane only) its serving-cell
+/// traces.
+type WorkerPart = (Vec<UeOutcome>, CellLoadHistogram, Vec<UeTrace>);
 
 /// Per-UE state of one fleet step between the measurement phase and the
 /// commit phase: either already decided, or waiting for entry `k` of the
@@ -207,6 +213,19 @@ pub enum PolicyKind {
         /// Required neighbour advantage, dB.
         margin_db: f64,
     },
+    /// Load-aware hysteresis: the RSS margin biased by the
+    /// serving-vs-neighbour congestion difference read from the traffic
+    /// plane's occupancy feedback (see
+    /// [`handover_core::baselines::LoadAwareHysteresisPolicy`]).
+    /// Without a traffic plane (or with
+    /// [`TrafficConfig::load_feedback`] off) it decides exactly like
+    /// [`PolicyKind::Hysteresis`] with the same margin.
+    LoadHysteresis {
+        /// Required neighbour advantage at equal load, dB.
+        margin_db: f64,
+        /// Margin shift per unit utilization difference, dB.
+        load_bias_db: f64,
+    },
 }
 
 impl PolicyKind {
@@ -218,6 +237,7 @@ impl PolicyKind {
             PolicyKind::Hysteresis { .. } => "hysteresis",
             PolicyKind::Threshold { .. } => "threshold",
             PolicyKind::HysteresisThreshold { .. } => "hyst+thresh",
+            PolicyKind::LoadHysteresis { .. } => "load-hyst",
         }
     }
 
@@ -238,6 +258,9 @@ impl PolicyKind {
             }
             PolicyKind::HysteresisThreshold { threshold_dbm, margin_db } => {
                 Box::new(HysteresisThresholdPolicy::new(threshold_dbm, margin_db))
+            }
+            PolicyKind::LoadHysteresis { margin_db, load_bias_db } => {
+                Box::new(LoadAwareHysteresisPolicy::new(margin_db, load_bias_db))
             }
         }
     }
@@ -380,6 +403,10 @@ pub struct FleetResult {
     pub cell_load: CellLoadHistogram,
     /// Fleet-level aggregate (folded in UE-id order).
     pub summary: FleetSummary,
+    /// Traffic-plane accounting (`None` unless the fleet ran with
+    /// [`FleetSimulation::with_traffic`]). Invariant to worker count,
+    /// chunk size and UE submission order, like everything else here.
+    pub traffic: Option<TrafficReport>,
 }
 
 /// The fleet engine. Wraps a [`Simulation`]-compatible configuration and
@@ -391,6 +418,7 @@ pub struct FleetSimulation {
     workers: usize,
     chunk_size: usize,
     candidate_mode: CandidateMode,
+    traffic: Option<TrafficConfig>,
 }
 
 impl FleetSimulation {
@@ -405,6 +433,7 @@ impl FleetSimulation {
             workers: 1,
             chunk_size: Self::DEFAULT_CHUNK_SIZE,
             candidate_mode: CandidateMode::All,
+            traffic: None,
         }
     }
 
@@ -440,6 +469,28 @@ impl FleetSimulation {
         self.candidate_mode
     }
 
+    /// Attach the cell-load traffic plane (see [`crate::traffic`]): the
+    /// run additionally records per-UE serving-cell traces, replays the
+    /// fleet's call sessions against per-cell channel capacities, and
+    /// fills [`FleetResult::traffic`]. Without
+    /// [`TrafficConfig::load_feedback`] the plane is purely
+    /// observational — outcomes, summary and cell load stay
+    /// **bit-identical** to the traffic-free run (the differential
+    /// suite `tests/traffic_diff.rs` pins this); with it, the engine
+    /// runs a second pass whose policies see the first pass's occupancy
+    /// timeline.
+    #[must_use]
+    pub fn with_traffic(mut self, traffic: TrafficConfig) -> Self {
+        traffic.validate();
+        self.traffic = Some(traffic);
+        self
+    }
+
+    /// The attached traffic plane, if any.
+    pub fn traffic(&self) -> Option<&TrafficConfig> {
+        self.traffic.as_ref()
+    }
+
     /// The configuration.
     pub fn config(&self) -> &SimConfig {
         self.sim.config()
@@ -454,10 +505,46 @@ impl FleetSimulation {
     /// Run an explicit UE id set (ids should be distinct; each UE's
     /// result depends only on its own id, and the merge orders outcomes
     /// by id, so any permutation of `ids` produces the same result).
+    ///
+    /// With a traffic plane attached ([`FleetSimulation::with_traffic`])
+    /// the run additionally replays every UE's call sessions against the
+    /// per-cell channel capacities; with
+    /// [`TrafficConfig::load_feedback`] it then reruns the fleet with
+    /// the first pass's occupancy timeline injected into every policy
+    /// (delayed load reports), and the returned fleet metrics and
+    /// [`TrafficReport`] are those of the fed-back pass.
     pub fn run_ids(&self, spec: &dyn UeSpec, ids: &[u64], base_seed: u64) -> FleetResult {
+        let Some(traffic) = &self.traffic else {
+            return self.run_pass(spec, ids, base_seed, false, None).0;
+        };
+        let cells = self.config().layout.cells();
+        let (mut result, traces) = self.run_pass(spec, ids, base_seed, true, None);
+        let (report, field) = replay_traffic(traffic, cells, &traces, base_seed);
+        if !traffic.load_feedback {
+            result.traffic = Some(report);
+            return result;
+        }
+        let field = Arc::new(field);
+        let (mut fed, fed_traces) = self.run_pass(spec, ids, base_seed, true, Some(&field));
+        let (fed_report, _) = replay_traffic(traffic, cells, &fed_traces, base_seed);
+        fed.traffic = Some(fed_report);
+        fed
+    }
+
+    /// One fleet pass: the sharded parallel stepping, optionally
+    /// recording serving-cell traces (traffic plane) and optionally
+    /// injecting a frozen occupancy field (load-feedback pass). Traces
+    /// come back sorted by UE id.
+    fn run_pass(
+        &self,
+        spec: &dyn UeSpec,
+        ids: &[u64],
+        base_seed: u64,
+        record_traces: bool,
+        load_field: Option<&Arc<LoadField>>,
+    ) -> (FleetResult, Vec<UeTrace>) {
         let workers = self.workers.clamp(1, ids.len().max(1));
-        let collected: Mutex<Vec<(Vec<UeOutcome>, CellLoadHistogram)>> =
-            Mutex::new(Vec::with_capacity(workers));
+        let collected: Mutex<Vec<WorkerPart>> = Mutex::new(Vec::with_capacity(workers));
 
         crossbeam::scope(|scope| {
             for w in 0..workers {
@@ -469,10 +556,23 @@ impl FleetSimulation {
                     let mut outcomes = Vec::with_capacity(shard.len());
                     let mut load =
                         CellLoadHistogram::new(self.config().layout.cells().iter().copied());
+                    let mut traces = Vec::with_capacity(if record_traces {
+                        shard.len()
+                    } else {
+                        0
+                    });
                     for chunk in shard.chunks(self.chunk_size) {
-                        self.simulate_chunk(spec, chunk, base_seed, &mut load, &mut outcomes);
+                        self.simulate_chunk(
+                            spec,
+                            chunk,
+                            base_seed,
+                            load_field,
+                            &mut load,
+                            &mut outcomes,
+                            record_traces.then_some(&mut traces),
+                        );
                     }
-                    collected.lock().push((outcomes, load));
+                    collected.lock().push((outcomes, load, traces));
                 });
             }
         })
@@ -480,30 +580,39 @@ impl FleetSimulation {
 
         let mut cell_load = CellLoadHistogram::new(self.config().layout.cells().iter().copied());
         let mut outcomes: Vec<UeOutcome> = Vec::with_capacity(ids.len());
-        for (part, load) in collected.into_inner() {
+        let mut traces: Vec<UeTrace> = Vec::with_capacity(if record_traces { ids.len() } else { 0 });
+        for (part, load, part_traces) in collected.into_inner() {
             outcomes.extend(part);
             cell_load.merge(&load);
+            traces.extend(part_traces);
         }
         // UE-id order makes the f64 summary folds independent of the
-        // sharding and of the submission order of `ids`.
+        // sharding and of the submission order of `ids` — and gives the
+        // traffic replay its deterministic event order.
         outcomes.sort_by_key(|o| o.ue_id);
+        traces.sort_by_key(|t| t.ue_id);
         let mut summary = FleetSummary::default();
         for o in &outcomes {
             summary.absorb(&o.summary());
         }
-        FleetResult { outcomes, cell_load, summary }
+        (FleetResult { outcomes, cell_load, summary, traffic: None }, traces)
     }
 
     /// Step one chunk of UEs to completion in lockstep, batching the mean
     /// RSS evaluation per (BS, chunk) and the fuzzy FLC evaluation per
-    /// chunk at every step.
+    /// chunk at every step. With `traces` the chunk also records every
+    /// UE's per-step serving cell (traffic plane); with `load_field` it
+    /// hands every policy the frozen occupancy timeline before stepping.
+    #[allow(clippy::too_many_arguments)]
     fn simulate_chunk(
         &self,
         spec: &dyn UeSpec,
         ids: &[u64],
         base_seed: u64,
+        load_field: Option<&Arc<LoadField>>,
         load: &mut CellLoadHistogram,
         out: &mut Vec<UeOutcome>,
+        mut traces: Option<&mut Vec<UeTrace>>,
     ) {
         let cfg = self.config();
         let cells = cfg.layout.cells();
@@ -524,6 +633,11 @@ impl FleetSimulation {
             .collect();
         let mut policies: Vec<Box<dyn HandoverPolicy + Send>> =
             ids.iter().map(|&id| spec.policy(id)).collect();
+        if let Some(field) = load_field {
+            for policy in &mut policies {
+                policy.set_load_field(field);
+            }
+        }
         let mut ues: Vec<Option<UeState>> = ids
             .iter()
             .enumerate()
@@ -534,6 +648,12 @@ impl FleetSimulation {
         let mut hd_sums = vec![0.0f64; n];
         let mut hd_counts = vec![0u64; n];
         let mut travelled = vec![0.0f64; n];
+        // Per-UE serving-cell traces for the traffic plane, run-length
+        // encoded as (step, cell) change points + a step counter (empty
+        // and untouched unless tracing).
+        let mut trace_bufs: Vec<Vec<(u32, u32)>> =
+            if traces.is_some() { vec![Vec::new(); n] } else { Vec::new() };
+        let mut trace_steps: Vec<u32> = if traces.is_some() { vec![0; n] } else { Vec::new() };
 
         // The chunk's shared FLC plan: when every pending fuzzy decision
         // runs on this plan (pointer-compared), the chunk evaluates them
@@ -585,6 +705,13 @@ impl FleetSimulation {
                             hd_counts[i],
                             travelled[i],
                         ));
+                        if let Some(sink) = traces.as_deref_mut() {
+                            sink.push(UeTrace {
+                                ue_id: ids[i],
+                                steps: trace_steps[i],
+                                changes: std::mem::take(&mut trace_bufs[i]),
+                            });
+                        }
                     }
                 }
             }
@@ -708,6 +835,13 @@ impl FleetSimulation {
                 let outcome =
                     ue.finish_step(cfg, &reports[j], decision, points[j], policies[i].as_mut());
                 load.record_index(outcome.serving_after_idx);
+                if traces.is_some() {
+                    let cell = outcome.serving_after_idx as u32;
+                    if trace_bufs[i].last().map_or(true, |&(_, c)| c != cell) {
+                        trace_bufs[i].push((trace_steps[i], cell));
+                    }
+                    trace_steps[i] += 1;
+                }
                 if let Some(hd) = outcome.hd {
                     hd_sums[i] += hd;
                     hd_counts[i] += 1;
@@ -1012,6 +1146,142 @@ mod tests {
         let back: FleetResult =
             serde_json::from_str(&serde_json::to_string(&result).unwrap()).unwrap();
         assert_eq!(result, back);
+    }
+
+    fn demo_traffic() -> TrafficConfig {
+        TrafficConfig {
+            channels_per_cell: 4,
+            guard_channels: 1,
+            mean_idle_steps: 6.0,
+            mean_holding_steps: 4.0,
+            load_feedback: false,
+        }
+    }
+
+    #[test]
+    fn passive_traffic_plane_never_perturbs_the_fleet() {
+        // The traffic plane is observational: with load_feedback off,
+        // outcomes / summary / cell load are bit-identical to the
+        // traffic-free run, and only `traffic` is added.
+        let spec = fuzzy_walk_spec(21);
+        let bare = FleetSimulation::new(noisy_config()).with_workers(3).run(&spec, 30, 7);
+        let traffic = FleetSimulation::new(noisy_config())
+            .with_workers(3)
+            .with_traffic(demo_traffic())
+            .run(&spec, 30, 7);
+        assert_eq!(bare.outcomes, traffic.outcomes);
+        assert_eq!(bare.summary, traffic.summary);
+        assert_eq!(bare.cell_load, traffic.cell_load);
+        assert_eq!(bare.traffic, None);
+        let report = traffic.traffic.expect("traffic plane ran");
+        assert_eq!(report.steps, bare.outcomes.iter().map(|o| o.steps).max().unwrap());
+        assert!(report.offered_calls > 0, "30 UEs at 0.4 E each must dial");
+        assert_eq!(report.offered_calls, report.carried_calls + report.blocked_calls);
+    }
+
+    #[test]
+    fn traffic_report_is_worker_and_chunk_invariant() {
+        let spec = fuzzy_walk_spec(13);
+        let reference = FleetSimulation::new(noisy_config())
+            .with_traffic(demo_traffic())
+            .run(&spec, 40, 3);
+        for (workers, chunk) in [(2, 1), (3, 7), (8, 64)] {
+            let got = FleetSimulation::new(noisy_config())
+                .with_traffic(demo_traffic())
+                .with_workers(workers)
+                .with_chunk_size(chunk)
+                .run(&spec, 40, 3);
+            assert_eq!(reference, got, "workers={workers} chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn load_feedback_changes_load_aware_decisions_only() {
+        // A congested plane with a load-aware policy: the feedback pass
+        // must shift decisions (the whole point), while a load-blind
+        // policy under the same feedback flag stays bit-identical (the
+        // field reaches it but its hook is a no-op).
+        let congested = TrafficConfig {
+            channels_per_cell: 2,
+            guard_channels: 0,
+            mean_idle_steps: 3.0,
+            mean_holding_steps: 9.0,
+            load_feedback: true,
+        };
+        let aware = HomogeneousFleet {
+            policy: PolicyKind::LoadHysteresis { margin_db: 4.0, load_bias_db: 12.0 },
+            ..fuzzy_walk_spec(12)
+        };
+        let blind = HomogeneousFleet {
+            policy: PolicyKind::Hysteresis { margin_db: 4.0 },
+            ..fuzzy_walk_spec(12)
+        };
+        let passive = TrafficConfig { load_feedback: false, ..congested };
+
+        let fed_aware = FleetSimulation::new(noisy_config())
+            .with_traffic(congested)
+            .run(&aware, 60, 5);
+        let passive_aware = FleetSimulation::new(noisy_config())
+            .with_traffic(passive)
+            .run(&aware, 60, 5);
+        assert_ne!(
+            fed_aware.outcomes, passive_aware.outcomes,
+            "occupancy feedback must reach load-aware decisions"
+        );
+
+        let fed_blind = FleetSimulation::new(noisy_config())
+            .with_traffic(congested)
+            .run(&blind, 60, 5);
+        let passive_blind = FleetSimulation::new(noisy_config())
+            .with_traffic(passive)
+            .run(&blind, 60, 5);
+        assert_eq!(
+            fed_blind.outcomes, passive_blind.outcomes,
+            "load-blind policies ignore the field"
+        );
+    }
+
+    #[test]
+    fn load_hysteresis_without_traffic_matches_plain_hysteresis() {
+        let aware = HomogeneousFleet {
+            policy: PolicyKind::LoadHysteresis { margin_db: 4.0, load_bias_db: 12.0 },
+            ..fuzzy_walk_spec(8)
+        };
+        let plain = HomogeneousFleet {
+            policy: PolicyKind::Hysteresis { margin_db: 4.0 },
+            ..fuzzy_walk_spec(8)
+        };
+        let fleet = FleetSimulation::new(noisy_config()).with_workers(2);
+        assert_eq!(
+            fleet.run(&aware, 25, 4).outcomes,
+            fleet.run(&plain, 25, 4).outcomes,
+            "no field ⇒ the bias never engages"
+        );
+    }
+
+    #[test]
+    fn traffic_feedback_runs_are_deterministic() {
+        let spec = HomogeneousFleet {
+            policy: PolicyKind::LoadHysteresis { margin_db: 4.0, load_bias_db: 8.0 },
+            ..fuzzy_walk_spec(2)
+        };
+        let congested = TrafficConfig {
+            channels_per_cell: 2,
+            guard_channels: 0,
+            mean_idle_steps: 3.0,
+            mean_holding_steps: 9.0,
+            load_feedback: true,
+        };
+        let mk = |workers| {
+            FleetSimulation::new(noisy_config())
+                .with_traffic(congested)
+                .with_workers(workers)
+                .run(&spec, 30, 9)
+        };
+        let a = mk(1);
+        assert_eq!(a, mk(1));
+        assert_eq!(a, mk(4), "feedback passes stay worker-invariant");
+        assert!(a.traffic.is_some());
     }
 
     #[test]

@@ -15,8 +15,13 @@
 //!   stepping through one layout with batched RSS evaluation, per-UE RNG
 //!   streams and sharded parallel execution.
 //! * [`matrix`] — the scenario-matrix runner sweeping
-//!   {UE count} × {mobility model} × {speed} × {policy} over the fleet
-//!   engine.
+//!   {UE count} × {mobility model} × {speed} × {policy} × {traffic}
+//!   over the fleet engine.
+//! * [`traffic`] — the cell-load traffic plane: per-UE call sessions,
+//!   per-cell channel capacity with admission control (new-call
+//!   blocking vs. handover-call dropping, guard channels), and the
+//!   deterministic replay producing [`handover_core::TrafficReport`]s
+//!   and the occupancy feedback field.
 //! * [`experiments`] — one module per paper table/figure; the `repro`
 //!   binary prints them all.
 //! * [`table`] / [`series`] — plain-text renderers for tables and plots.
@@ -33,6 +38,7 @@ pub mod params;
 pub mod scenario;
 pub mod series;
 pub mod table;
+pub mod traffic;
 
 pub use engine::{SimConfig, SimResult, Simulation, StepRecord};
 pub use fleet::{
@@ -42,3 +48,4 @@ pub use fleet::{
 pub use matrix::{MatrixCellResult, MatrixMetric, MatrixResult, ScenarioMatrix};
 pub use params::PaperParams;
 pub use scenario::{Scenario, SCENARIO_A_SEED, SCENARIO_B_SEED};
+pub use traffic::{TrafficConfig, TRAFFIC_STREAM};

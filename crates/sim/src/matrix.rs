@@ -1,14 +1,16 @@
 //! Scenario-matrix runner: sweep the fleet engine across
-//! {UE count} × {mobility model} × {speed} × {policy} and aggregate the
-//! fleet-level metrics (handover rate, ping-pong rate, outage ratio,
-//! per-cell load histogram) into the existing [`table`](crate::table) and
-//! [`series`](crate::series) reporting types.
+//! {UE count} × {mobility model} × {speed} × {policy} × {traffic level}
+//! and aggregate the fleet-level metrics (handover rate, ping-pong rate,
+//! outage ratio, per-cell load histogram, call blocking/dropping) into
+//! the existing [`table`](crate::table) and [`series`](crate::series)
+//! reporting types.
 
 use crate::engine::SimConfig;
 use crate::fleet::{CandidateMode, FleetMobility, FleetSimulation, HomogeneousFleet, PolicyKind};
 use crate::series::Series;
 use crate::table::{fmt_f, TextTable};
-use handover_core::{CellLoadHistogram, FleetSummary};
+use crate::traffic::TrafficConfig;
+use handover_core::{CellLoadHistogram, FleetSummary, TrafficReport};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -40,6 +42,11 @@ pub struct ScenarioMatrix {
     pub speeds_kmh: Vec<f64>,
     /// Handover policies to sweep.
     pub policies: Vec<PolicyKind>,
+    /// Traffic levels to sweep (the innermost axis): `None` runs the
+    /// plain, traffic-free fleet (the byte-pinned legacy behaviour),
+    /// `Some(config)` attaches the cell-load traffic plane at that
+    /// intensity. Use `vec![None]` to sweep no traffic axis at all.
+    pub traffics: Vec<Option<TrafficConfig>>,
     /// Master seed; every matrix cell derives its own streams from it.
     pub base_seed: u64,
     /// Crossbeam workers per fleet run (intra-cell parallelism).
@@ -74,6 +81,7 @@ impl ScenarioMatrix {
                 PolicyKind::FuzzyLut,
                 PolicyKind::Hysteresis { margin_db: 4.0 },
             ],
+            traffics: vec![None],
             base_seed: 0xF1EE7,
             workers: 4,
             matrix_workers: 1,
@@ -83,7 +91,11 @@ impl ScenarioMatrix {
 
     /// Total number of matrix cells.
     pub fn len(&self) -> usize {
-        self.ue_counts.len() * self.mobilities.len() * self.speeds_kmh.len() * self.policies.len()
+        self.ue_counts.len()
+            * self.mobilities.len()
+            * self.speeds_kmh.len()
+            * self.policies.len()
+            * self.traffics.len()
     }
 
     /// True when any axis is empty (the matrix sweeps nothing).
@@ -100,14 +112,17 @@ impl ScenarioMatrix {
             for &mobility in &self.mobilities {
                 for &speed_kmh in &self.speeds_kmh {
                     for &policy in &self.policies {
-                        specs.push(CellSpec {
-                            ue_count,
-                            mobility,
-                            speed_kmh,
-                            policy,
-                            seed: cell_seed(self.base_seed, cell_index),
-                        });
-                        cell_index += 1;
+                        for &traffic in &self.traffics {
+                            specs.push(CellSpec {
+                                ue_count,
+                                mobility,
+                                speed_kmh,
+                                policy,
+                                traffic,
+                                seed: cell_seed(self.base_seed, cell_index),
+                            });
+                            cell_index += 1;
+                        }
                     }
                 }
             }
@@ -120,9 +135,12 @@ impl ScenarioMatrix {
         let mut cfg = self.base.clone();
         cfg.speed_kmh = spec.speed_kmh;
         let cell_radius_km = cfg.layout.cell_radius_km();
-        let fleet = FleetSimulation::new(cfg)
+        let mut fleet = FleetSimulation::new(cfg)
             .with_workers(self.workers.max(1))
             .with_candidate_mode(self.candidate_mode);
+        if let Some(traffic) = spec.traffic {
+            fleet = fleet.with_traffic(traffic);
+        }
         // HomogeneousFleet domain-separates the trajectory stream
         // itself, so the one cell seed safely feeds both.
         let ue_spec = HomogeneousFleet {
@@ -137,8 +155,10 @@ impl ScenarioMatrix {
             mobility: spec.mobility.label().to_string(),
             speed_kmh: spec.speed_kmh,
             policy: spec.policy.label().to_string(),
+            traffic_label: spec.traffic.map(|t| t.label()),
             summary: result.summary,
             cell_load: result.cell_load,
+            traffic: result.traffic,
         }
     }
 
@@ -187,6 +207,7 @@ struct CellSpec {
     mobility: FleetMobility,
     speed_kmh: f64,
     policy: PolicyKind,
+    traffic: Option<TrafficConfig>,
     seed: u64,
 }
 
@@ -201,19 +222,31 @@ pub struct MatrixCellResult {
     pub speed_kmh: f64,
     /// Policy label.
     pub policy: String,
+    /// Traffic-level label (`None` for traffic-free cells).
+    pub traffic_label: Option<String>,
     /// Fleet-level aggregate metrics.
     pub summary: FleetSummary,
     /// Per-cell serving-load histogram.
     pub cell_load: CellLoadHistogram,
+    /// Traffic-plane accounting (`None` for traffic-free cells).
+    pub traffic: Option<TrafficReport>,
 }
 
 impl MatrixCellResult {
-    /// Compact configuration label, e.g. `1000ue/random-walk/30kmh/fuzzy`.
+    /// Compact configuration label, e.g. `1000ue/random-walk/30kmh/fuzzy`
+    /// — traffic-enabled cells append the traffic level
+    /// (`…/fuzzy/load0.40`), traffic-free labels are byte-identical to
+    /// the pre-traffic ones.
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{}ue/{}/{:.0}kmh/{}",
             self.ue_count, self.mobility, self.speed_kmh, self.policy
-        )
+        );
+        if let Some(traffic) = &self.traffic_label {
+            label.push('/');
+            label.push_str(traffic);
+        }
+        label
     }
 }
 
@@ -230,6 +263,15 @@ pub enum MatrixMetric {
     /// cells contribute no series points, so NaN never reaches a
     /// serialized [`Series`]).
     MeanHd,
+    /// New-call blocking probability of the traffic plane (`None` for
+    /// traffic-free cells).
+    BlockingProbability,
+    /// Handover-call dropping probability of the traffic plane (`None`
+    /// for traffic-free cells).
+    DroppingProbability,
+    /// Carried traffic in Erlangs, fleet-wide (`None` for traffic-free
+    /// cells).
+    CarriedErlangs,
 }
 
 impl MatrixMetric {
@@ -240,17 +282,41 @@ impl MatrixMetric {
             MatrixMetric::PingPongRatio => "PP ratio",
             MatrixMetric::OutageRatio => "outage",
             MatrixMetric::MeanHd => "mean HD",
+            MatrixMetric::BlockingProbability => "P(block)",
+            MatrixMetric::DroppingProbability => "P(drop)",
+            MatrixMetric::CarriedErlangs => "carried E",
         }
     }
 
-    /// Extract the metric from a summary (`None` only for
-    /// [`MatrixMetric::MeanHd`] without FLC data).
+    /// Extract the metric from a summary (`None` for
+    /// [`MatrixMetric::MeanHd`] without FLC data, and always for the
+    /// traffic metrics, which live on the cell's [`TrafficReport`] —
+    /// use [`MatrixMetric::of_cell`] to read those too).
     pub fn of(&self, summary: &FleetSummary) -> Option<f64> {
         match self {
             MatrixMetric::HandoversPerUe => Some(summary.handovers_per_ue()),
             MatrixMetric::PingPongRatio => Some(summary.ping_pong_ratio()),
             MatrixMetric::OutageRatio => Some(summary.outage_ratio()),
             MatrixMetric::MeanHd => summary.mean_hd(),
+            MatrixMetric::BlockingProbability
+            | MatrixMetric::DroppingProbability
+            | MatrixMetric::CarriedErlangs => None,
+        }
+    }
+
+    /// Extract the metric from a whole matrix cell: fleet metrics from
+    /// its summary, traffic metrics from its [`TrafficReport`] (`None`
+    /// when the cell ran without a traffic plane).
+    pub fn of_cell(&self, cell: &MatrixCellResult) -> Option<f64> {
+        match self {
+            MatrixMetric::BlockingProbability => {
+                cell.traffic.as_ref().map(|t| t.blocking_probability())
+            }
+            MatrixMetric::DroppingProbability => {
+                cell.traffic.as_ref().map(|t| t.dropping_probability())
+            }
+            MatrixMetric::CarriedErlangs => cell.traffic.as_ref().map(|t| t.carried_erlangs),
+            _ => self.of(&cell.summary),
         }
     }
 }
@@ -298,12 +364,26 @@ impl MatrixResult {
     }
 
     /// The per-cell load-histogram table: one row per layout cell, one
-    /// column per matrix cell (capped at `max_configs` columns).
+    /// column per matrix cell (capped at `max_configs` columns, clamped
+    /// to at least 1). When configurations are cut, the cut is announced
+    /// twice — in the title (`first N of M configs`) and by an explicit
+    /// trailing `(+K more configs)` row — so a reader of the table body
+    /// alone can never mistake the truncation for the full report.
     pub fn load_table(&self, max_configs: usize) -> TextTable {
+        self.load_table_impl(max_configs, true)
+    }
+
+    /// `load_table` with the truncation-marker row made optional:
+    /// [`MatrixResult::render`] keeps the marker off because the 18
+    /// byte-pinned golden reports (`tests/golden/`,
+    /// `tests/golden_radio/`) predate it — there the title's
+    /// `first N of M configs` note is the only announcement.
+    fn load_table_impl(&self, max_configs: usize, marker_row: bool) -> TextTable {
         let shown = self.cells.iter().take(max_configs.max(1)).collect::<Vec<_>>();
         let mut headers = vec!["Cell".to_string()];
         headers.extend(shown.iter().map(|c| c.label()));
-        let title = if shown.len() < self.cells.len() {
+        let hidden = self.cells.len() - shown.len();
+        let title = if hidden > 0 {
             format!(
                 "Per-cell load (UE-steps served; first {} of {} configs)",
                 shown.len(),
@@ -322,7 +402,52 @@ impl MatrixResult {
                 t.row(row);
             }
         }
+        if marker_row && hidden > 0 {
+            t.row([format!("(+{hidden} more configs)")]);
+        }
         t
+    }
+
+    /// The traffic-plane table: one row per traffic-enabled matrix cell
+    /// — offered/blocked/dropped calls with their probabilities and the
+    /// offered vs carried Erlang load. `None` when no cell ran with a
+    /// traffic plane (so traffic-free reports don't change by a byte).
+    pub fn traffic_table(&self) -> Option<TextTable> {
+        if self.cells.iter().all(|c| c.traffic.is_none()) {
+            return None;
+        }
+        let mut t = TextTable::new("Traffic plane — admission control").headers([
+            "Config",
+            "Chan/cell",
+            "Guard",
+            "Offered",
+            "Blocked",
+            "P(block)",
+            "HO att.",
+            "Dropped",
+            "P(drop)",
+            "Offered E",
+            "Carried E",
+        ]);
+        for c in &self.cells {
+            let Some(traffic) = &c.traffic else {
+                continue;
+            };
+            t.row([
+                c.label(),
+                traffic.channels_per_cell.to_string(),
+                traffic.guard_channels.to_string(),
+                traffic.offered_calls.to_string(),
+                traffic.blocked_calls.to_string(),
+                fmt_f(traffic.blocking_probability(), 4),
+                traffic.handover_attempts.to_string(),
+                traffic.dropped_calls.to_string(),
+                fmt_f(traffic.dropping_probability(), 4),
+                fmt_f(traffic.offered_erlangs, 2),
+                fmt_f(traffic.carried_erlangs, 2),
+            ]);
+        }
+        Some(t)
     }
 
     /// Extract `(speed, metric)` series — one per (UE count, mobility,
@@ -332,10 +457,14 @@ impl MatrixResult {
     pub fn series_over_speed(&self, metric: MatrixMetric) -> Vec<Series> {
         let mut out: Vec<(String, Series)> = Vec::new();
         for c in &self.cells {
-            let Some(value) = metric.of(&c.summary) else {
+            let Some(value) = metric.of_cell(c) else {
                 continue;
             };
-            let key = format!("{}ue/{}/{}", c.ue_count, c.mobility, c.policy);
+            let mut key = format!("{}ue/{}/{}", c.ue_count, c.mobility, c.policy);
+            if let Some(traffic) = &c.traffic_label {
+                key.push('/');
+                key.push_str(traffic);
+            }
             let series = match out.iter_mut().find(|(k, _)| *k == key) {
                 Some((_, s)) => s,
                 None => {
@@ -349,11 +478,19 @@ impl MatrixResult {
         out.into_iter().map(|(_, s)| s).collect()
     }
 
-    /// Render the full report: summary table + load histogram.
+    /// Render the full report: summary table + load histogram, plus the
+    /// traffic-plane table when any cell ran one. Traffic-free reports
+    /// are byte-identical to the pre-traffic renderer (the 18 golden
+    /// files pin this), which is also why the load histogram keeps the
+    /// marker-free legacy layout here.
     pub fn render(&self) -> String {
         let mut out = self.summary_table().render();
         out.push('\n');
-        out.push_str(&self.load_table(8).render());
+        out.push_str(&self.load_table_impl(8, false).render());
+        if let Some(traffic) = self.traffic_table() {
+            out.push('\n');
+            out.push_str(&traffic.render());
+        }
         out
     }
 }
@@ -446,13 +583,45 @@ mod tests {
         let summary = r.summary_table();
         assert_eq!(summary.row_count(), 8);
         let load = r.load_table(3);
-        assert_eq!(load.row_count(), 19, "one row per layout cell");
+        assert_eq!(load.row_count(), 20, "one row per layout cell + the truncation marker");
         let rendered = load.render();
         assert!(rendered.contains("first 3 of 8"));
+        assert!(rendered.contains("(+5 more configs)"));
         assert!(rendered.contains("(0, 0)"));
         let full = r.render();
         assert!(full.contains("fleet metrics"));
         assert!(full.contains("Per-cell load"));
+        assert!(
+            !full.contains("Traffic plane"),
+            "traffic-free reports never grow a traffic table"
+        );
+    }
+
+    #[test]
+    fn load_table_truncation_marker_at_the_cutoff_boundary() {
+        let r = tiny_matrix().run(); // 8 configs
+        // max_configs == len: everything shown, no marker, legacy title.
+        let exact = r.load_table(8);
+        assert_eq!(exact.row_count(), 19);
+        let exact_render = exact.render();
+        assert!(exact_render.contains("Per-cell load (UE-steps served)"));
+        assert!(!exact_render.contains("more configs"));
+        // One below the boundary: marker row "(+1 more configs)".
+        let cut = r.load_table(7);
+        assert_eq!(cut.row_count(), 20);
+        let cut_render = cut.render();
+        assert!(cut_render.contains("first 7 of 8"));
+        assert!(cut_render.contains("(+1 more configs)"));
+        // Above the boundary: still no marker.
+        assert!(!r.load_table(9).render().contains("more configs"));
+        // Zero clamps to one shown config and announces the other 7.
+        let clamped = r.load_table(0);
+        assert!(clamped.render().contains("first 1 of 8"));
+        assert!(clamped.render().contains("(+7 more configs)"));
+        // render() keeps the byte-pinned legacy layout: truncation is
+        // announced in the title only.
+        let full = r.render();
+        assert!(full.contains("first 8 of 8") || !full.contains("more configs"));
     }
 
     #[test]
@@ -498,6 +667,119 @@ mod tests {
             "no FLC data never becomes a NaN series point"
         );
         assert_eq!(MatrixMetric::MeanHd.label(), "mean HD");
+        // Traffic metrics live on the cell's TrafficReport, never on the
+        // summary.
+        assert_eq!(MatrixMetric::BlockingProbability.of(&s), None);
+        assert_eq!(MatrixMetric::DroppingProbability.of(&s), None);
+        assert_eq!(MatrixMetric::CarriedErlangs.of(&s), None);
+        assert_eq!(MatrixMetric::BlockingProbability.label(), "P(block)");
+    }
+
+    fn loaded_tiny_matrix() -> ScenarioMatrix {
+        let mut m = tiny_matrix();
+        m.mobilities.truncate(1);
+        m.speeds_kmh = vec![30.0];
+        m.policies = vec![
+            PolicyKind::Hysteresis { margin_db: 4.0 },
+            PolicyKind::LoadHysteresis { margin_db: 4.0, load_bias_db: 10.0 },
+        ];
+        m.traffics = vec![
+            None,
+            Some(TrafficConfig {
+                channels_per_cell: 2,
+                guard_channels: 0,
+                mean_idle_steps: 4.0,
+                mean_holding_steps: 6.0,
+                load_feedback: true,
+            }),
+        ];
+        m
+    }
+
+    #[test]
+    fn traffic_axis_sweeps_and_reports() {
+        let m = loaded_tiny_matrix();
+        assert_eq!(m.len(), 4, "2 policies × 2 traffic levels");
+        let r = m.run();
+        assert_eq!(r.cells.len(), 4);
+        // Innermost axis: traffic level alternates fastest.
+        assert_eq!(r.cells[0].traffic, None);
+        assert!(r.cells[1].traffic.is_some());
+        assert_eq!(r.cells[0].traffic_label, None);
+        assert_eq!(r.cells[1].traffic_label.as_deref(), Some("load0.60-h6-c2g0-fb"));
+        assert!(
+            r.cells[1].label().ends_with("hysteresis/load0.60-h6-c2g0-fb"),
+            "{}",
+            r.cells[1].label()
+        );
+        let report = r.cells[1].traffic.as_ref().unwrap();
+        assert!(report.offered_calls > 0);
+        // Metrics resolve per cell: traffic metrics only where a plane ran.
+        assert_eq!(MatrixMetric::BlockingProbability.of_cell(&r.cells[0]), None);
+        assert!(MatrixMetric::BlockingProbability.of_cell(&r.cells[1]).is_some());
+        assert!(MatrixMetric::HandoversPerUe.of_cell(&r.cells[0]).is_some());
+        // Series skip the traffic-free cells for traffic metrics.
+        let blocking = r.series_over_speed(MatrixMetric::BlockingProbability);
+        assert_eq!(blocking.len(), 2, "one per traffic-enabled policy");
+        // The render gains the traffic table.
+        let full = r.render();
+        assert!(full.contains("Traffic plane — admission control"));
+        assert!(full.contains("load0.60"));
+        let traffic_table = r.traffic_table().unwrap();
+        assert_eq!(traffic_table.row_count(), 2, "one row per traffic-enabled cell");
+    }
+
+    #[test]
+    fn traffic_matrix_is_deterministic_across_matrix_workers() {
+        let mut m = loaded_tiny_matrix();
+        let reference = m.run();
+        for matrix_workers in [2, 4] {
+            m.matrix_workers = matrix_workers;
+            assert_eq!(reference, m.run(), "matrix_workers={matrix_workers}");
+        }
+    }
+
+    #[test]
+    fn passive_traffic_levels_never_perturb_the_fleet_metrics() {
+        // The matrix-level differential: two sweeps differing only in
+        // their *passive* traffic level (and the traffic-free sweep
+        // itself, cell-for-cell in sweep order) must produce identical
+        // fleet summaries and serving-load histograms — the traffic
+        // plane only ever adds its report. The cell seeds depend on the
+        // flattened sweep index, so all three matrices here keep a
+        // single-level traffic axis (same indices, different level).
+        let mut bare = tiny_matrix();
+        bare.mobilities.truncate(1);
+        bare.speeds_kmh = vec![30.0];
+        let mut light = bare.clone();
+        light.traffics = vec![Some(TrafficConfig {
+            channels_per_cell: 2,
+            guard_channels: 0,
+            mean_idle_steps: 4.0,
+            mean_holding_steps: 6.0,
+            load_feedback: false,
+        })];
+        let mut heavy = bare.clone();
+        heavy.traffics = vec![Some(TrafficConfig {
+            channels_per_cell: 6,
+            guard_channels: 2,
+            mean_idle_steps: 2.0,
+            mean_holding_steps: 10.0,
+            load_feedback: false,
+        })];
+        let bare = bare.run();
+        let light = light.run();
+        let heavy = heavy.run();
+        assert_eq!(bare.cells.len(), light.cells.len());
+        for ((b, l), h) in bare.cells.iter().zip(&light.cells).zip(&heavy.cells) {
+            assert_eq!(b.summary, l.summary, "{}", l.label());
+            assert_eq!(b.summary, h.summary, "{}", h.label());
+            assert_eq!(b.cell_load, l.cell_load, "{}", l.label());
+            assert_eq!(b.cell_load, h.cell_load, "{}", h.label());
+            assert_eq!(b.traffic, None);
+            assert!(l.traffic.is_some() && h.traffic.is_some());
+            assert_ne!(l.traffic, h.traffic, "different levels, different reports");
+        }
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Drive the multi-UE fleet engine end to end: a 2 000-UE fleet on the
-//! paper layout (dense and neighbour-pruned measurement), then a
-//! scenario-matrix sweep — two cells at a time via `matrix_workers` —
-//! over the four standard mobility models, two speeds and three policies
-//! (exact fuzzy, the LUT ablation, hysteresis), printing the aggregated
-//! fleet metrics, the per-cell load histogram, and an ASCII plot of the
-//! handover rate against MS speed.
+//! paper layout (dense and neighbour-pruned measurement), the same
+//! fleet with the cell-load traffic plane attached (call admission,
+//! blocking/dropping, Erlang load), then a scenario-matrix sweep — two
+//! cells at a time via `matrix_workers` — over the four standard
+//! mobility models, two speeds and three policies (exact fuzzy, the LUT
+//! ablation, hysteresis), printing the aggregated fleet metrics, the
+//! per-cell load histogram, and an ASCII plot of the handover rate
+//! against MS speed.
 //!
 //! ```text
 //! cargo run --release --example fleet_demo
@@ -15,7 +17,7 @@ use fuzzy_handover::sim::fleet::{
 };
 use fuzzy_handover::sim::matrix::{MatrixMetric, ScenarioMatrix};
 use fuzzy_handover::sim::series::ascii_plot;
-use fuzzy_handover::sim::SimConfig;
+use fuzzy_handover::sim::{SimConfig, TrafficConfig};
 use fuzzy_handover::radio::{MeasurementNoise, ShadowingConfig};
 
 fn main() {
@@ -63,6 +65,39 @@ fn main() {
         p.ping_pong_ratio()
     );
 
+    // --- The same fleet under call traffic -----------------------------
+    let traffic = TrafficConfig {
+        channels_per_cell: 8,
+        guard_channels: 1,
+        mean_idle_steps: 6.0,
+        mean_holding_steps: 4.0,
+        load_feedback: false,
+    };
+    let loaded = FleetSimulation::new(cfg.clone())
+        .with_workers(4)
+        .with_traffic(traffic)
+        .run(&spec, 2_000, 42);
+    let report = loaded.traffic.expect("traffic plane ran");
+    println!(
+        "same fleet under call traffic ({} chan/cell, {} guard, {:.2} E offered per UE):",
+        traffic.channels_per_cell,
+        traffic.guard_channels,
+        traffic.offered_erlangs_per_ue()
+    );
+    println!(
+        "  {} calls offered, {} blocked (P = {:.4}), {} handover attempts, {} dropped (P = {:.4})",
+        report.offered_calls,
+        report.blocked_calls,
+        report.blocking_probability(),
+        report.handover_attempts,
+        report.dropped_calls,
+        report.dropping_probability()
+    );
+    println!(
+        "  offered {:.1} E, carried {:.1} E — fleet metrics bit-identical to the bare run\n",
+        report.offered_erlangs, report.carried_erlangs
+    );
+
     // --- The scenario matrix (two cells at a time) ---------------------
     let matrix = ScenarioMatrix {
         base: cfg,
@@ -74,6 +109,7 @@ fn main() {
             PolicyKind::FuzzyLut,
             PolicyKind::Hysteresis { margin_db: 4.0 },
         ],
+        traffics: vec![None],
         base_seed: 0xF1EE7,
         workers: 4,
         matrix_workers: 2,

@@ -5,6 +5,16 @@
 //!
 //! The whole measurement lives in a single `#[test]` so no concurrent test
 //! thread can perturb the global allocation counter.
+//!
+//! One interference source remains even then: the libtest harness's
+//! *main* thread prints its per-test progress line concurrently with the
+//! test body (which runs on a worker thread), and that one-shot print
+//! allocates — at a random instant a few milliseconds into the process,
+//! which used to land inside the first measured window often enough to
+//! make this test flaky. Every window therefore measures through
+//! [`min_allocations_of`]: run the workload a few times and take the
+//! *minimum* count. Interference can only ever add allocations, so a
+//! single clean run proves the zero-allocation property exactly.
 
 use fuzzy_handover::core::flc::{paper_flc_lut, paper_flc_plan};
 use fuzzy_handover::core::{build_paper_flc, ControllerConfig, FuzzyHandoverController};
@@ -47,6 +57,25 @@ fn allocations() -> usize {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
+/// Run `workload` up to three times and return the *fewest* allocations
+/// any single run performed, stopping early once the count is within
+/// `budget`. A concurrent one-shot event (the harness's progress print)
+/// can only inflate a count, never deflate it, so the minimum is a sound
+/// upper bound on what the workload itself allocates — and taking it
+/// makes the measurement immune to that race.
+fn min_allocations_of(budget: usize, mut workload: impl FnMut()) -> usize {
+    let mut fewest = usize::MAX;
+    for _ in 0..3 {
+        let before = allocations();
+        workload();
+        fewest = fewest.min(allocations() - before);
+        if fewest <= budget {
+            break;
+        }
+    }
+    fewest
+}
+
 const INPUTS: [[f64; 3]; 6] = [
     [-2.7, -93.4, 0.44],
     [-3.5, -89.0, 1.2],
@@ -63,34 +92,36 @@ fn decision_plane_allocation_budget() {
     let mut scratch = EvalScratch::new();
     let mut out = [0.0f64];
     plan.evaluate(&INPUTS[0], &mut scratch, &mut out).unwrap(); // sizes the scratch
-    let before = allocations();
-    for _ in 0..100 {
-        for x in &INPUTS {
-            plan.evaluate(x, &mut scratch, &mut out).unwrap();
+    let compiled_allocs = min_allocations_of(0, || {
+        for _ in 0..100 {
+            for x in &INPUTS {
+                plan.evaluate(x, &mut scratch, &mut out).unwrap();
+            }
         }
-    }
+    });
     assert_eq!(
-        allocations() - before,
-        0,
+        compiled_allocs, 0,
         "CompiledFis::evaluate must not allocate after its scratch is sized"
     );
 
     // --- evaluate_batch: equally allocation-free.
     let flat: Vec<f64> = INPUTS.iter().flatten().copied().collect();
     let mut hds = vec![0.0f64; INPUTS.len()];
-    let before = allocations();
-    for _ in 0..100 {
-        plan.evaluate_batch(&flat, &mut hds, &mut scratch).unwrap();
-    }
-    assert_eq!(allocations() - before, 0, "evaluate_batch must not allocate");
+    let batch_allocs = min_allocations_of(0, || {
+        for _ in 0..100 {
+            plan.evaluate_batch(&flat, &mut hds, &mut scratch).unwrap();
+        }
+    });
+    assert_eq!(batch_allocs, 0, "evaluate_batch must not allocate");
 
     // --- The LUT plane: allocation-free by construction.
     let lut = paper_flc_lut();
-    let before = allocations();
-    for x in &INPUTS {
-        let _ = lut.evaluate(*x);
-    }
-    assert_eq!(allocations() - before, 0, "Lut3d::evaluate must not allocate");
+    let lut_allocs = min_allocations_of(0, || {
+        for x in &INPUTS {
+            let _ = lut.evaluate(*x);
+        }
+    });
+    assert_eq!(lut_allocs, 0, "Lut3d::evaluate must not allocate");
 
     // --- The full controller decision step: only gate-passing steps touch
     // the FLC, and none of them allocate (the scratch lives inside).
@@ -104,18 +135,18 @@ fn decision_plane_allocation_budget() {
         distance_to_neighbor_km: 1.2,
     };
     controller.decide(&report); // warm the controller's scratch
-    let before = allocations();
-    for _ in 0..100 {
-        controller.decide(&report);
-        controller.evaluate_hd(&FlcInputs {
-            cssp_db: -4.0,
-            ssn_dbm: -95.0,
-            dmb_norm: 1.1,
-        });
-    }
+    let controller_allocs = min_allocations_of(0, || {
+        for _ in 0..100 {
+            controller.decide(&report);
+            controller.evaluate_hd(&FlcInputs {
+                cssp_db: -4.0,
+                ssn_dbm: -95.0,
+                dmb_norm: 1.1,
+            });
+        }
+    });
     assert_eq!(
-        allocations() - before,
-        0,
+        controller_allocs, 0,
         "a warmed FuzzyHandoverController decision must not allocate"
     );
 
@@ -127,11 +158,12 @@ fn decision_plane_allocation_budget() {
     let fis = build_paper_flc();
     let _ = fis.evaluate(&INPUTS[0]).unwrap(); // warm the thread-local scratch
     let calls = 100;
-    let before = allocations();
-    for _ in 0..calls {
-        let _ = fis.evaluate(&INPUTS[1]).unwrap();
-    }
-    let per_call = (allocations() - before) as f64 / calls as f64;
+    let interpreted_allocs = min_allocations_of(calls, || {
+        for _ in 0..calls {
+            let _ = fis.evaluate(&INPUTS[1]).unwrap();
+        }
+    });
+    let per_call = interpreted_allocs as f64 / calls as f64;
     assert!(
         per_call <= 1.0 + f64::EPSILON,
         "interpreted Fis::evaluate should allocate only its output vector, got {per_call}/call"

@@ -7,7 +7,11 @@
 //!
 //! The whole measurement lives in a single `#[test]` (and its own test
 //! binary) so no concurrent test thread can perturb the global
-//! allocation counter.
+//! allocation counter. The libtest harness's *main* thread still prints
+//! its one-shot per-test progress line concurrently with the test body,
+//! so the window is measured as the minimum over a few runs — see the
+//! sibling `tests/zero_alloc.rs` for the full story; the minimum is
+//! sound because interference only ever adds allocations.
 
 use fuzzy_handover::geometry::{CellLayout, NeighborIndex, Vec2};
 use fuzzy_handover::radio::{BsRadio, MeasurementNoise, ShadowingConfig, ShadowingLane};
@@ -74,29 +78,36 @@ fn measurement_plane_allocation_budget() {
     // else in the plane is lazily sized).
     lane.advance_all(0.1, &mut rng);
 
-    let before = allocations();
-    for step in 1..100u32 {
-        // Dense sweep: one batched budget per BS over the chunk.
-        for (k, &bs_pos) in bs_positions.iter().enumerate() {
-            compiled.received_power_dbm_batch(
-                bs_pos,
-                &positions,
-                &mut rss_matrix[k * CHUNK..(k + 1) * CHUNK],
-            );
+    let mut fewest = usize::MAX;
+    for attempt in 0..3 {
+        let before = allocations();
+        for step in 1..100u32 {
+            let step = step + 100 * attempt;
+            // Dense sweep: one batched budget per BS over the chunk.
+            for (k, &bs_pos) in bs_positions.iter().enumerate() {
+                compiled.received_power_dbm_batch(
+                    bs_pos,
+                    &positions,
+                    &mut rss_matrix[k * CHUNK..(k + 1) * CHUNK],
+                );
+            }
+            // Shadowing lane + batched noise (the per-UE step stages).
+            lane.advance_all(0.05, &mut rng);
+            measured.copy_from_slice(&rss_matrix[..n]);
+            noise.apply_slice(&mut measured, &mut rng);
+            // Pruned stages: index query + lazy subset update.
+            let near = index.nearest(positions[step as usize % CHUNK], 7);
+            subset.clear();
+            subset.extend_from_slice(near);
+            lane.advance_subset(&subset, 0.05 * step as f64, &mut last_km, &mut rng);
         }
-        // Shadowing lane + batched noise (the per-UE step stages).
-        lane.advance_all(0.05, &mut rng);
-        measured.copy_from_slice(&rss_matrix[..n]);
-        noise.apply_slice(&mut measured, &mut rng);
-        // Pruned stages: index query + lazy subset update.
-        let near = index.nearest(positions[step as usize % CHUNK], 7);
-        subset.clear();
-        subset.extend_from_slice(near);
-        lane.advance_subset(&subset, 0.05 * step as f64, &mut last_km, &mut rng);
+        fewest = fewest.min(allocations() - before);
+        if fewest == 0 {
+            break;
+        }
     }
     assert_eq!(
-        allocations() - before,
-        0,
+        fewest, 0,
         "the compiled measurement plane must not allocate per step"
     );
 }
