@@ -1,10 +1,12 @@
 //! Fleet-engine throughput: chunked multi-UE stepping, worker scaling,
-//! and the scenario-matrix acceptance run (10k UEs × the four standard
-//! mobility models, per-cell load histograms in the output tables).
+//! the scenario-matrix acceptance run (10k UEs × the four standard
+//! mobility models, per-cell load histograms in the output tables),
+//! the memory-bounded streaming/precision/edge-set paths, and the
+//! checkpoint freeze/resume cycle.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use handover_sim::fleet::{
-    CandidateMode, FleetMobility, FleetSimulation, HomogeneousFleet, PolicyKind,
+    CandidateMode, FleetMobility, FleetPrecision, FleetSimulation, HomogeneousFleet, PolicyKind,
 };
 use handover_sim::matrix::ScenarioMatrix;
 use handover_sim::SimConfig;
@@ -101,10 +103,79 @@ fn bench_scenario_matrix_10k(c: &mut Criterion) {
     assert!(checked.get(), "the acceptance run executed");
 }
 
+/// The 10×-scale lanes on the same 2k-UE walk: dense baseline, the
+/// streaming aggregator (no per-UE outcome vector), the f32 compact
+/// storage lanes, and the edge-set refinement of `Nearest(k)`. The
+/// streamed/edge acceptance assertions run once against the dense
+/// baseline.
+fn bench_scaled_paths(c: &mut Criterion) {
+    const UES: u64 = 2_000;
+    let spec = walk_spec();
+    let mut g = c.benchmark_group("fleet/scaled_paths_2k_ues");
+    g.sample_size(10);
+
+    let dense = FleetSimulation::new(fleet_config()).with_workers(4);
+    let baseline = dense.run(&spec, UES, 7);
+    g.bench_function("dense", |b| b.iter(|| black_box(dense.run(&spec, UES, 7))));
+
+    let streamed = dense.clone();
+    let stream_summary = streamed.run_streamed(&spec, UES, 7).expect("streamed run");
+    assert_eq!(stream_summary.summary, baseline.summary, "streamed ≡ dense");
+    g.bench_function("streamed", |b| {
+        b.iter(|| black_box(streamed.run_streamed(&spec, UES, 7).expect("streamed run")))
+    });
+
+    let compact = FleetSimulation::new(fleet_config())
+        .with_workers(4)
+        .with_precision(FleetPrecision::Compact);
+    g.bench_function("compact_f32", |b| b.iter(|| black_box(compact.run(&spec, UES, 7))));
+
+    let edge = FleetSimulation::new(fleet_config())
+        .with_workers(4)
+        .with_candidate_mode(CandidateMode::EdgeSet { k: 7, margin_db: 6.0 });
+    assert_eq!(edge.run(&spec, UES, 7).summary.steps, baseline.summary.steps);
+    g.bench_function("edge_set_k7_m6", |b| b.iter(|| black_box(edge.run(&spec, UES, 7))));
+
+    g.finish();
+}
+
+/// Checkpoint cost: freezing a 2k-UE fleet mid-run (`run_partial`),
+/// serializing the snapshot, and resuming it to completion. The
+/// bit-identity acceptance assertion runs once.
+fn bench_checkpoint_cycle(c: &mut Criterion) {
+    const UES: u64 = 2_000;
+    const SNAP_STEP: u64 = 5; // mid-run: the walk spec takes ~10 steps/UE
+    let spec = walk_spec();
+    let fleet = FleetSimulation::new(fleet_config()).with_workers(4);
+    let ids: Vec<u64> = (0..UES).collect();
+
+    let cp = fleet.run_partial(&spec, &ids, 7, SNAP_STEP).expect("partial run");
+    assert_eq!(
+        fleet.resume(&spec, &cp).expect("resume"),
+        fleet.run_ids(&spec, &ids, 7),
+        "resume ≡ uninterrupted"
+    );
+
+    let mut g = c.benchmark_group("fleet/checkpoint_2k_ues");
+    g.sample_size(10);
+    g.bench_function("freeze", |b| {
+        b.iter(|| black_box(fleet.run_partial(&spec, &ids, 7, SNAP_STEP).expect("partial run")))
+    });
+    g.bench_function("serialize", |b| {
+        b.iter(|| black_box(serde_json::to_string(&cp).expect("serialize")))
+    });
+    g.bench_function("resume", |b| {
+        b.iter(|| black_box(fleet.resume(&spec, &cp).expect("resume")))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_fleet_sizes,
     bench_worker_scaling,
-    bench_scenario_matrix_10k
+    bench_scenario_matrix_10k,
+    bench_scaled_paths,
+    bench_checkpoint_cycle
 );
 criterion_main!(benches);

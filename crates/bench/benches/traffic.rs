@@ -69,7 +69,7 @@ fn bench_session_generation(c: &mut Criterion) {
 /// runs once on the first iteration's report.
 fn bench_erlang_replay_10k(c: &mut Criterion) {
     let n_ues = 10_000u64;
-    let steps = 6_000u32;
+    let steps = 6_000u64;
     let cfg = TrafficConfig::erlang(20, 0, 15.0 / n_ues as f64, 20.0);
     let traces: Vec<UeTrace> =
         (0..n_ues).map(|ue_id| UeTrace::pinned(ue_id, steps, 0)).collect();

@@ -74,6 +74,14 @@ impl HandoverPolicy for SpeedAdaptiveController {
     fn name(&self) -> &'static str {
         "fuzzy-speed-adaptive"
     }
+
+    fn policy_checkpoint(&self) -> crate::PolicyCheckpoint {
+        self.inner.policy_checkpoint()
+    }
+
+    fn restore_policy_checkpoint(&mut self, state: &crate::PolicyCheckpoint) {
+        self.inner.restore_policy_checkpoint(state);
+    }
 }
 
 #[cfg(test)]

@@ -216,6 +216,18 @@ impl HandoverPolicy for LoadAwareHysteresisPolicy {
         // Indices memoized against a previous field are meaningless now.
         self.memo = [None, None];
     }
+
+    fn policy_checkpoint(&self) -> crate::PolicyCheckpoint {
+        // The memo is a pure cache and the field is re-injected by the
+        // engine on restore; the step cursor is the only real state.
+        crate::PolicyCheckpoint::Step { step: self.step as u64 }
+    }
+
+    fn restore_policy_checkpoint(&mut self, state: &crate::PolicyCheckpoint) {
+        if let crate::PolicyCheckpoint::Step { step } = state {
+            self.step = *step as usize;
+        }
+    }
 }
 
 /// Distance-driven: hand over when the neighbour BS is geometrically
@@ -301,6 +313,20 @@ impl<P: HandoverPolicy> HandoverPolicy for DwellTimerPolicy<P> {
 
     fn name(&self) -> &'static str {
         "dwell-timer"
+    }
+
+    fn policy_checkpoint(&self) -> crate::PolicyCheckpoint {
+        crate::PolicyCheckpoint::Streak {
+            streak: self.streak as u64,
+            inner: Box::new(self.inner.policy_checkpoint()),
+        }
+    }
+
+    fn restore_policy_checkpoint(&mut self, state: &crate::PolicyCheckpoint) {
+        if let crate::PolicyCheckpoint::Streak { streak, inner } = state {
+            self.streak = *streak as usize;
+            self.inner.restore_policy_checkpoint(inner);
+        }
     }
 }
 

@@ -320,6 +320,16 @@ impl HandoverPolicy for FuzzyHandoverController {
     fn as_fuzzy(&mut self) -> Option<&mut FuzzyHandoverController> {
         Some(self)
     }
+
+    fn policy_checkpoint(&self) -> crate::PolicyCheckpoint {
+        crate::PolicyCheckpoint::Fuzzy { prev_serving_rss: self.prev_serving_rss }
+    }
+
+    fn restore_policy_checkpoint(&mut self, state: &crate::PolicyCheckpoint) {
+        if let crate::PolicyCheckpoint::Fuzzy { prev_serving_rss } = state {
+            self.prev_serving_rss = *prev_serving_rss;
+        }
+    }
 }
 
 #[cfg(test)]

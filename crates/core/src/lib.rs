@@ -66,7 +66,40 @@ pub use system::{NodeB, Rnc};
 pub use traffic::{erlang_b, CellTraffic, LoadField, TrafficReport};
 
 use cellgeom::Axial;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// A plain serializable capture of a policy's mutable decision state,
+/// used by fleet checkpoint/restore. Each variant mirrors one stateful
+/// policy shape in this crate; stateless baselines use
+/// [`PolicyCheckpoint::Stateless`]. Custom policies with hidden state
+/// must override the [`HandoverPolicy::policy_checkpoint`] /
+/// [`HandoverPolicy::restore_policy_checkpoint`] pair (and map their
+/// state onto these variants, typically `Fuzzy`/`Step`/`Streak`) for a
+/// fleet checkpoint to resume bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicyCheckpoint {
+    /// The policy carries no mutable state between steps.
+    Stateless,
+    /// A fuzzy pipeline's CSSP memory: the previous serving RSS.
+    Fuzzy {
+        /// `None` before the first report and right after a handover.
+        prev_serving_rss: Option<f64>,
+    },
+    /// A step-counting policy (e.g. the load-aware hysteresis baseline's
+    /// timeline cursor).
+    Step {
+        /// Decisions taken so far.
+        step: u64,
+    },
+    /// A dwell/streak wrapper around an inner policy.
+    Streak {
+        /// Consecutive same-target handover requests observed.
+        streak: u64,
+        /// The wrapped policy's own checkpoint.
+        inner: Box<PolicyCheckpoint>,
+    },
+}
 
 /// A handover decision policy: the fuzzy controller and every baseline
 /// implement this, so the simulator can drive them interchangeably.
@@ -103,4 +136,22 @@ pub trait HandoverPolicy {
     /// immutable for the whole pass, so accepting it never compromises
     /// the engine's determinism contract.
     fn set_load_field(&mut self, _field: &Arc<LoadField>) {}
+
+    /// Capture the policy's mutable decision state for a fleet
+    /// checkpoint. Default: [`PolicyCheckpoint::Stateless`], correct for
+    /// policies that keep no state between [`HandoverPolicy::decide`]
+    /// calls (all the memoryless baselines). Stateful policies must
+    /// override this together with
+    /// [`HandoverPolicy::restore_policy_checkpoint`], or a restored run
+    /// will diverge from the uninterrupted one.
+    fn policy_checkpoint(&self) -> PolicyCheckpoint {
+        PolicyCheckpoint::Stateless
+    }
+
+    /// Restore state captured by [`HandoverPolicy::policy_checkpoint`].
+    /// Default: no-op (stateless policies have nothing to restore).
+    /// Implementations should ignore variants they did not produce rather
+    /// than panic, so a `Stateless` snapshot of a freshly-constructed
+    /// policy is always safe to apply.
+    fn restore_policy_checkpoint(&mut self, _state: &PolicyCheckpoint) {}
 }

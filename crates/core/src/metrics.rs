@@ -53,6 +53,14 @@ impl EventLog {
         Self::default()
     }
 
+    /// Empty the log in place, keeping the event allocation — the fleet
+    /// engine's chunk arenas recycle logs across UEs with this.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.steps = 0;
+        self.outage_steps = 0;
+    }
+
     /// Record an executed handover.
     pub fn record_handover(&mut self, event: HandoverEvent) {
         self.events.push(event);

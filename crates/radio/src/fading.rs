@@ -285,6 +285,59 @@ impl ShadowingLane {
         }
         self.values[slot]
     }
+
+    /// Reset every slot to the fresh (pre-first-sample) state, keeping
+    /// the allocation. A reset lane is indistinguishable from
+    /// [`ShadowingLane::new`] with the same configuration and length —
+    /// this is what lets chunk arenas recycle lanes across UEs.
+    pub fn reset(&mut self) {
+        self.values.fill(0.0);
+        self.fresh.fill(true);
+        self.any_fresh = true;
+    }
+
+    /// Capture the lane's exact state (values and per-slot freshness) as
+    /// plain serializable data for checkpointing.
+    pub fn state(&self) -> ShadowingLaneState {
+        ShadowingLaneState {
+            values: self.values.clone(),
+            fresh: self.fresh.clone(),
+            any_fresh: self.any_fresh,
+        }
+    }
+
+    /// Rebuild a lane from a captured state; advancing the restored lane
+    /// with the same RNG stream is bit-identical to advancing the
+    /// original. Panics when the state's `values` and `fresh` lengths
+    /// disagree.
+    pub fn from_state(config: ShadowingConfig, state: ShadowingLaneState) -> Self {
+        assert!(config.sigma_db >= 0.0, "sigma must be non-negative");
+        assert!(config.decorrelation_km > 0.0, "decorrelation distance must be positive");
+        assert_eq!(
+            state.values.len(),
+            state.fresh.len(),
+            "lane state values/fresh lengths must match"
+        );
+        ShadowingLane {
+            config,
+            values: state.values,
+            fresh: state.fresh,
+            any_fresh: state.any_fresh,
+        }
+    }
+}
+
+/// Plain serializable capture of a [`ShadowingLane`]'s mutable state
+/// (the shared [`ShadowingConfig`] is carried by the owning simulation
+/// config, so it is not duplicated here).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShadowingLaneState {
+    /// Current shadowing values in dB, one per slot.
+    pub values: Vec<f64>,
+    /// Per-slot "has not yet drawn its first sample" flags.
+    pub fresh: Vec<bool>,
+    /// True while any slot is still fresh (fast-path flag).
+    pub any_fresh: bool,
 }
 
 /// Rayleigh envelope fading: returns the instantaneous power deviation in
@@ -522,6 +575,53 @@ mod tests {
             ShadowingConfig { sigma_db: -0.1, decorrelation_km: 0.1 },
             2,
         );
+    }
+
+    #[test]
+    fn lane_state_round_trip_is_bitwise() {
+        let cfg = ShadowingConfig { sigma_db: 5.0, decorrelation_km: 0.06 };
+        let mut lane = ShadowingLane::new(cfg, 7);
+        let mut rng = StdRng::seed_from_u64(17);
+        lane.advance_all(0.04, &mut rng);
+        lane.advance_one(3, 0.02, &mut rng);
+        let mut restored = ShadowingLane::from_state(cfg, lane.state());
+        let mut rng_a = StdRng::seed_from_u64(101);
+        let mut rng_b = StdRng::seed_from_u64(101);
+        for step in 0..10 {
+            lane.advance_all(0.03, &mut rng_a);
+            restored.advance_all(0.03, &mut rng_b);
+            for k in 0..7 {
+                assert_eq!(
+                    lane.values()[k].to_bits(),
+                    restored.values()[k].to_bits(),
+                    "slot {k} step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_reset_matches_fresh_lane() {
+        let cfg = ShadowingConfig::moderate();
+        let mut lane = ShadowingLane::new(cfg, 5);
+        let mut rng = StdRng::seed_from_u64(4);
+        lane.advance_all(0.1, &mut rng);
+        lane.reset();
+        let fresh = ShadowingLane::new(cfg, 5);
+        assert_eq!(lane.state(), fresh.state());
+        let mut rng_a = StdRng::seed_from_u64(8);
+        let mut rng_b = StdRng::seed_from_u64(8);
+        let mut also_fresh = ShadowingLane::new(cfg, 5);
+        lane.advance_all(0.05, &mut rng_a);
+        also_fresh.advance_all(0.05, &mut rng_b);
+        assert_eq!(lane.values(), also_fresh.values());
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn lane_state_length_mismatch_rejected() {
+        let state = ShadowingLaneState { values: vec![0.0; 3], fresh: vec![true; 2], any_fresh: true };
+        let _ = ShadowingLane::from_state(ShadowingConfig::moderate(), state);
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod pathloss;
 pub use antenna::DipoleAntenna;
 pub use fading::{
     speed_penalty_db, standard_normal, RayleighFading, RicianFading, ShadowingConfig,
-    ShadowingLane, ShadowingProcess,
+    ShadowingLane, ShadowingLaneState, ShadowingProcess,
 };
 pub use link::{BsRadio, CompiledBsRadio};
 pub use measurement::{MeasurementNoise, RssiSmoother};

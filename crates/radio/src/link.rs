@@ -250,6 +250,29 @@ impl CompiledBsRadio {
             *slot = self.received_power_dbm(bs_pos, ms_pos);
         }
     }
+
+    /// Compact-precision batch: compute each sample in full `f64` (the
+    /// exact expression of [`CompiledBsRadio::received_power_dbm`]) and
+    /// store it rounded to `f32`. This is the fleet engine's
+    /// `FleetPrecision::Compact` storage lane — it halves the RSS-matrix
+    /// footprint at the cost of ~7 decimal digits, so it is *not*
+    /// bit-identical to the `f64` path and stays behind an explicit
+    /// opt-in.
+    pub fn received_power_dbm_batch_f32(
+        &self,
+        bs_pos: Vec2,
+        ms_positions: &[Vec2],
+        out: &mut [f32],
+    ) {
+        assert_eq!(
+            ms_positions.len(),
+            out.len(),
+            "output buffer length must match the position count"
+        );
+        for (slot, &ms_pos) in out.iter_mut().zip(ms_positions) {
+            *slot = self.received_power_dbm(bs_pos, ms_pos) as f32;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -407,6 +430,30 @@ mod tests {
         for (r, f) in reference.iter().zip(&fast) {
             assert_eq!(r.to_bits(), f.to_bits());
         }
+    }
+
+    #[test]
+    fn compiled_f32_batch_is_rounded_f64() {
+        let bs = BsRadio::paper_default();
+        let compiled = bs.compiled();
+        let bs_pos = Vec2::new(0.4, 0.9);
+        let positions: Vec<Vec2> = (0..53)
+            .map(|k| Vec2::from_polar(0.07 + 0.13 * k as f64, 0.29 * k as f64))
+            .collect();
+        let mut compact = vec![0.0f32; positions.len()];
+        compiled.received_power_dbm_batch_f32(bs_pos, &positions, &mut compact);
+        for (p, &c) in positions.iter().zip(&compact) {
+            let full = compiled.received_power_dbm(bs_pos, *p);
+            assert_eq!(c.to_bits(), (full as f32).to_bits(), "at {p:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn compiled_f32_batch_length_mismatch_rejected() {
+        let compiled = BsRadio::paper_default().compiled();
+        let mut out = [0.0f32; 2];
+        compiled.received_power_dbm_batch_f32(Vec2::ZERO, &[Vec2::ZERO], &mut out);
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Compact fleet snapshots: freeze a mid-run fleet pass and resume it
+//! later, bit-identically.
+//!
+//! A [`FleetCheckpoint`] captures everything a fleet pass needs to
+//! continue exactly where it stopped: the outcomes (and traffic traces)
+//! of UEs that already finished, and for every still-live UE its engine
+//! state (serving cell, shadowing lane, smoother filters, the exact
+//! mid-block position of its ChaCha RNG stream), its policy state, and
+//! its running tallies. Trajectories are *not* stored — they are
+//! deterministic functions of the [`UeSpec`](crate::fleet::UeSpec), so
+//! resume regenerates them and fast-forwards the resample cursor.
+//!
+//! The contract, pinned by `tests/fleet_props.rs` and the
+//! `tests/golden_fleet/` golden: for any step bound `k`,
+//! [`FleetSimulation::run_partial`](crate::fleet::FleetSimulation::run_partial)
+//! to step `k` followed by
+//! [`FleetSimulation::resume`](crate::fleet::FleetSimulation::resume)
+//! produces the same [`FleetResult`](crate::fleet::FleetResult) — every
+//! `f64` bit included — as the uninterrupted run, for any worker count
+//! and chunk size on either side of the snapshot.
+
+use crate::fleet::UeOutcome;
+use crate::traffic::UeTrace;
+use handover_core::{CellLoadHistogram, EventLog, PolicyCheckpoint};
+use radiolink::{RssiSmoother, ShadowingLaneState};
+use rand::rngs::{StdRng, StdRngState};
+use serde::{Deserialize, Serialize};
+
+/// Version tag written into every [`FleetCheckpoint`]; bump on layout
+/// changes so stale snapshots fail loudly instead of misresuming.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// The exact state of one UE's ChaCha12 measurement RNG, including the
+/// position inside the current output block — restoring mid-block
+/// continues the stream on the very next word.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RngCheckpoint {
+    /// ChaCha key schedule words (derived from the seed).
+    pub key: [u32; 8],
+    /// Block counter of the *next* block to generate.
+    pub counter: u64,
+    /// The current 16-word output block.
+    pub buf: [u32; 16],
+    /// Next unread word index into `buf` (16 ⇒ block exhausted).
+    pub index: u32,
+}
+
+impl RngCheckpoint {
+    /// Capture an RNG's exact stream position.
+    pub fn capture(rng: &StdRng) -> Self {
+        let state = rng.state();
+        RngCheckpoint {
+            key: state.key,
+            counter: state.counter,
+            buf: state.buf,
+            index: state.index as u32,
+        }
+    }
+
+    /// Rebuild the RNG at the captured position; the next draw is the
+    /// draw the original would have made.
+    pub fn restore(&self) -> StdRng {
+        StdRng::from_state(StdRngState {
+            key: self.key,
+            counter: self.counter,
+            buf: self.buf,
+            index: self.index as usize,
+        })
+    }
+}
+
+/// The engine half of one live UE: everything
+/// [`UeState`](crate::engine) holds apart from per-step scratch buffers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UeEngineState {
+    /// Layout index of the serving cell.
+    pub serving_idx: u32,
+    /// Per-BS correlated shadowing state.
+    pub shadow: ShadowingLaneState,
+    /// Per-BS RSS smoothing filters, in layout order.
+    pub smoothers: Vec<RssiSmoother>,
+    /// The UE's private measurement RNG stream.
+    pub rng: RngCheckpoint,
+    /// Handover events and outage accounting so far.
+    pub log: EventLog,
+    /// Pruned-mode lazy shadowing distances (empty until the first
+    /// pruned step, then one slot per cell).
+    pub last_advanced_km: Vec<f64>,
+    /// Travelled distance at the last measurement, km.
+    pub prev_cum: f64,
+    /// Measurement steps taken so far.
+    pub steps: u64,
+}
+
+/// One still-live UE in a [`FleetCheckpoint`]: engine + policy state
+/// plus the running per-UE tallies the fleet engine folds at the end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UeCheckpoint {
+    /// The UE id.
+    pub ue_id: u64,
+    /// Engine state (measurement plane + log).
+    pub engine: UeEngineState,
+    /// Policy-side decision state (PRTLC history, dwell streaks, …).
+    pub policy: PolicyCheckpoint,
+    /// Sum of FLC outputs observed so far, in step order.
+    pub hd_sum: f64,
+    /// Number of FLC outputs observed so far.
+    pub hd_count: u64,
+    /// Path length travelled so far, km.
+    pub travelled_km: f64,
+    /// Steps recorded into the serving-cell trace (traffic plane only;
+    /// 0 when the checkpointed run was not tracing).
+    pub trace_steps: u64,
+    /// Run-length-encoded serving-cell changes so far (traffic plane
+    /// only; empty when not tracing).
+    pub trace_changes: Vec<(u64, u32)>,
+}
+
+/// A frozen mid-run fleet pass; see the module docs for the resume
+/// contract. Produced by
+/// [`FleetSimulation::run_partial`](crate::fleet::FleetSimulation::run_partial),
+/// consumed by
+/// [`FleetSimulation::resume`](crate::fleet::FleetSimulation::resume).
+/// Serializes with serde; both halves are sorted by UE id, so the bytes
+/// are invariant to the worker count and chunk size that produced them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetCheckpoint {
+    /// Snapshot format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The lockstep step index at which the pass stopped; every live UE
+    /// has taken exactly this many steps.
+    pub step: u64,
+    /// The measurement base seed of the run.
+    pub base_seed: u64,
+    /// Outcomes of UEs that finished before the bound, ascending by id.
+    pub finished: Vec<UeOutcome>,
+    /// Serving-cell traces of finished UEs (empty unless tracing),
+    /// ascending by id.
+    pub finished_traces: Vec<UeTrace>,
+    /// Still-live UEs, ascending by id.
+    pub live: Vec<UeCheckpoint>,
+    /// Serving-load histogram over all UE-steps taken so far.
+    pub cell_load: CellLoadHistogram,
+    /// Whether the pass records serving-cell traces (i.e. ran with a
+    /// traffic plane attached).
+    pub tracing: bool,
+}
+
+impl FleetCheckpoint {
+    /// Number of UEs covered by the snapshot (finished + live).
+    pub fn ue_count(&self) -> usize {
+        self.finished.len() + self.live.len()
+    }
+
+    /// Panic with a clear message if the snapshot cannot have come from
+    /// a compatible engine (wrong version).
+    pub fn validate(&self) {
+        assert_eq!(
+            self.version, CHECKPOINT_VERSION,
+            "fleet checkpoint version {} is not the supported {}",
+            self.version, CHECKPOINT_VERSION
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngCore, SeedableRng};
+
+    #[test]
+    fn rng_checkpoint_resumes_mid_block() {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for _ in 0..5 {
+            rng.next_u64();
+        }
+        rng.next_u32(); // land mid-block, odd word offset
+        let cp = RngCheckpoint::capture(&rng);
+        let mut restored = cp.restore();
+        for _ in 0..64 {
+            assert_eq!(rng.next_u64(), restored.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_checkpoint_round_trips_through_serde() {
+        let mut rng = StdRng::seed_from_u64(9);
+        rng.next_u64();
+        let cp = RngCheckpoint::capture(&rng);
+        let back: RngCheckpoint =
+            serde_json::from_str(&serde_json::to_string(&cp).unwrap()).unwrap();
+        assert_eq!(cp, back);
+        let mut a = cp.restore();
+        let mut b = back.restore();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "version")]
+    fn stale_version_rejected() {
+        let cp = FleetCheckpoint {
+            version: CHECKPOINT_VERSION + 1,
+            step: 0,
+            base_seed: 0,
+            finished: Vec::new(),
+            finished_traces: Vec::new(),
+            live: Vec::new(),
+            cell_load: CellLoadHistogram::new(std::iter::once(cellgeom::Axial::ORIGIN)),
+            tracing: false,
+        };
+        cp.validate();
+    }
+}

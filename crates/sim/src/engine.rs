@@ -229,6 +229,80 @@ impl UeState {
         }
     }
 
+    /// Re-initialize this state in place for a new UE (same layout,
+    /// fresh trajectory start and seed), reusing every allocation — the
+    /// fleet engine's chunk arenas recycle retired states through this
+    /// instead of building a new [`UeState`] per UE.
+    pub(crate) fn reset(&mut self, cfg: &SimConfig, start: Vec2, seed: u64) {
+        let serving_cell = cfg.layout.nearest_cell(start);
+        self.serving_idx = cfg
+            .layout
+            .cells()
+            .iter()
+            .position(|&c| c == serving_cell)
+            .expect("nearest cell is in the layout");
+        self.shadow.reset();
+        for smoother in &mut self.smoothers {
+            smoother.reset();
+        }
+        self.passthrough_smoothing = cfg.smoothing == RssiSmoother::None;
+        self.rng = StdRng::seed_from_u64(seed);
+        self.log.clear();
+        self.measured.clear();
+        self.last_advanced_km.clear();
+        self.prev_cum = 0.0;
+        self.steps = 0;
+    }
+
+    /// Capture the UE's complete dynamic state (serving cell, shadowing
+    /// lane, smoother filters, RNG stream, event log, pruned-mode lazy
+    /// distances) as plain serializable data — the engine half of a
+    /// fleet checkpoint. `measured` is per-step scratch and is rebuilt on
+    /// restore.
+    pub(crate) fn snapshot(&self) -> crate::checkpoint::UeEngineState {
+        crate::checkpoint::UeEngineState {
+            serving_idx: self.serving_idx as u32,
+            shadow: self.shadow.state(),
+            smoothers: self.smoothers.clone(),
+            rng: crate::checkpoint::RngCheckpoint::capture(&self.rng),
+            log: self.log.clone(),
+            last_advanced_km: self.last_advanced_km.clone(),
+            prev_cum: self.prev_cum,
+            steps: self.steps as u64,
+        }
+    }
+
+    /// Rebuild a UE from a [`snapshot`](UeState::snapshot) taken under
+    /// the same configuration; stepping the restored state draws the
+    /// exact random stream and decisions the original would have.
+    pub(crate) fn from_snapshot(cfg: &SimConfig, snap: &crate::checkpoint::UeEngineState) -> Self {
+        let n = cfg.layout.len();
+        assert!(
+            (snap.serving_idx as usize) < n,
+            "checkpointed serving index {} is outside the {}-cell layout",
+            snap.serving_idx,
+            n
+        );
+        assert_eq!(snap.smoothers.len(), n, "one smoother per layout cell");
+        assert_eq!(snap.shadow.values.len(), n, "one shadowing slot per layout cell");
+        assert!(
+            snap.last_advanced_km.is_empty() || snap.last_advanced_km.len() == n,
+            "pruned-mode distance vector must be empty or one slot per cell"
+        );
+        UeState {
+            serving_idx: snap.serving_idx as usize,
+            shadow: ShadowingLane::from_state(cfg.shadowing, snap.shadow.clone()),
+            smoothers: snap.smoothers.clone(),
+            passthrough_smoothing: cfg.smoothing == RssiSmoother::None,
+            rng: snap.rng.restore(),
+            log: snap.log.clone(),
+            measured: Vec::with_capacity(n),
+            last_advanced_km: snap.last_advanced_km.clone(),
+            prev_cum: snap.prev_cum,
+            steps: snap.steps as usize,
+        }
+    }
+
     pub(crate) fn serving_cell(&self, cfg: &SimConfig) -> Axial {
         cfg.layout.cells()[self.serving_idx]
     }
@@ -244,6 +318,12 @@ impl UeState {
 
     pub(crate) fn into_log(self) -> EventLog {
         self.log
+    }
+
+    /// Borrow the event log (the fleet engine reduces outcomes from it
+    /// without consuming the state, so the allocation can be recycled).
+    pub(crate) fn log(&self) -> &EventLog {
+        &self.log
     }
 
     /// Advance one measurement step. `means_dbm[k]` is the mean (pre-fade,

@@ -1,5 +1,5 @@
-//! Multi-UE fleet simulation: N mobile stations (hundreds to tens of
-//! thousands) stepping concurrently through one shared [`CellLayout`].
+//! Multi-UE fleet simulation: N mobile stations (hundreds to millions)
+//! stepping concurrently through one shared [`CellLayout`].
 //!
 //! ## Architecture
 //!
@@ -7,7 +7,10 @@
 //!   as parallel vectors (trajectory cursor, [`UeState`] with position /
 //!   serving cell / smoother + shadowing state, policy, tally), never the
 //!   whole fleet, so memory stays proportional to
-//!   `workers × chunk_size`, not to the fleet size.
+//!   `workers × chunk_size`, not to the fleet size. Retired [`UeState`]s
+//!   are recycled through a per-worker arena ([`UeState::reset`] reuses
+//!   every allocation), so a million-UE run performs a bounded number of
+//!   state allocations.
 //! * **Compiled measurement plane** — per measurement step the mean path
 //!   loss is computed per (BS, UE-chunk) through the compiled link budget
 //!   ([`radiolink::CompiledBsRadio`], every position-independent term
@@ -16,7 +19,12 @@
 //!   [`radiolink::MeasurementNoise::apply_slice`] — all bit-identical to
 //!   the scalar path [`Simulation::run`] uses. The opt-in
 //!   [`CandidateMode::Nearest`] prunes the dense `cells × chunk` sweep to
-//!   the cells near each UE (see its docs for the equivalence bound).
+//!   the cells near each UE, and [`CandidateMode::EdgeSet`] further
+//!   restricts the full sweep to *cell-edge* UEs (see its docs).
+//! * **Opt-in storage precision** — [`FleetPrecision::Compact`] stores
+//!   the dense mean-RSS matrix in `f32` lanes (half the hot arena) while
+//!   keeping every accumulator and decision in `f64`; the default
+//!   [`FleetPrecision::Full`] path is byte-pinned by the goldens.
 //! * **Per-UE deterministic RNG streams** — UE `i`'s measurement
 //!   randomness is seeded with [`ue_seed`]`(base_seed, i)`. UE 0 uses
 //!   `base_seed` exactly, which is what makes a 1-UE fleet reproduce
@@ -27,10 +35,25 @@
 //!   crossbeam workers, exactly like `monte_carlo`'s repetition sharding.
 //!   Because every UE owns its stream and the merge sorts outcomes by UE
 //!   id before folding the `f64` aggregates, the result is bit-identical
-//!   for any worker count, chunk size, or UE submission order.
+//!   for any worker count, chunk size, or UE submission order. Worker
+//!   panics are caught and surfaced as [`FleetError::WorkerPanic`]
+//!   through the `try_*` entry points.
+//! * **Checkpoint/restore** — [`FleetSimulation::run_partial`] freezes a
+//!   pass after a fixed number of lockstep steps into a serializable
+//!   [`FleetCheckpoint`] (per-UE engine + policy + RNG stream state);
+//!   [`FleetSimulation::resume`] continues it to completion,
+//!   bit-identically to the uninterrupted run, for any worker count and
+//!   chunk size on either side of the snapshot.
+//! * **Streaming aggregation** — [`FleetSimulation::run_streamed`]
+//!   generates UE ids lazily and folds each chunk's outcomes into a
+//!   running [`FleetSummary`] + load histogram instead of materializing
+//!   the per-UE outcome vector, so fleet size no longer bounds memory;
+//!   the `f64` HD sum is still folded in global UE-id order, keeping the
+//!   aggregate bit-identical to [`FleetSimulation::run`].
 //!
 //! [`CellLayout`]: cellgeom::CellLayout
 
+use crate::checkpoint::{FleetCheckpoint, UeCheckpoint, CHECKPOINT_VERSION};
 use crate::engine::{SimConfig, Simulation, UeState};
 use crate::traffic::{replay_traffic, TrafficConfig, UeTrace};
 use cellgeom::Axial;
@@ -49,12 +72,45 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::sync::Arc;
 
 /// One worker's share of a fleet pass: its UE outcomes, its partial
-/// serving-load histogram, and (traffic plane only) its serving-cell
-/// traces.
-type WorkerPart = (Vec<UeOutcome>, CellLoadHistogram, Vec<UeTrace>);
+/// serving-load histogram, (traffic plane only) its serving-cell traces,
+/// and (bounded passes only) the UEs still live at the step bound.
+type WorkerPart = (Vec<UeOutcome>, CellLoadHistogram, Vec<UeTrace>, Vec<UeCheckpoint>);
+
+/// Errors surfaced by the fallible fleet entry points
+/// ([`FleetSimulation::try_run`] and friends).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// A worker thread panicked while stepping its shard. The payload's
+    /// panic message is preserved; the other workers' partial results are
+    /// discarded.
+    WorkerPanic(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::WorkerPanic(msg) => write!(f, "fleet worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Best-effort extraction of a panic payload's message (the two shapes
+/// `panic!` produces, then a fallback).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Per-UE state of one fleet step between the measurement phase and the
 /// commit phase: either already decided, or waiting for entry `k` of the
@@ -66,7 +122,7 @@ enum StepPending {
 }
 
 /// How the fleet engine selects which cells to measure per UE step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum CandidateMode {
     /// Measure every layout cell for every UE (the dense
     /// `cells × chunk` sweep). This is the default and the only mode the
@@ -95,6 +151,38 @@ pub enum CandidateMode {
     /// mode is pinned by its own golden
     /// (`tests/golden_radio/pruned_matrix.json`).
     Nearest(usize),
+    /// The *edge-set* refinement of [`CandidateMode::Nearest`]: a UE
+    /// measures the `k`-nearest set only while it is near a cell edge —
+    /// when the deterministic mean RSS of its serving cell exceeds the
+    /// best handover candidate's by more than `margin_db`, the UE is
+    /// classified *interior* and measures only its serving cell and
+    /// candidate table (the exact set its policy reads; see
+    /// `report_from_measured`). Interior classification uses mean path
+    /// loss only — no RNG draws — so it is deterministic and
+    /// worker/chunk/order-invariant like everything else.
+    ///
+    /// ## Equivalence bound
+    ///
+    /// With `margin_db = f64::INFINITY` every UE classifies as edge and
+    /// the mode is **bit-identical** to [`CandidateMode::Nearest`] with
+    /// the same `k` (for `k <` layout size; classification draws no
+    /// randomness). Finite margins reallocate shadowing/noise draws for
+    /// interior UEs exactly as `Nearest` does for out-of-set cells.
+    EdgeSet {
+        /// Nearest-set size used for edge-classified UEs.
+        k: usize,
+        /// Serving-vs-best-candidate mean-RSS margin (dB) below which a
+        /// UE counts as cell-edge.
+        margin_db: f64,
+    },
+}
+
+/// The resolved per-run measurement plan of a [`CandidateMode`] on a
+/// concrete layout.
+#[derive(Debug, Clone, Copy)]
+enum PrunePlan {
+    Dense,
+    Pruned { k: usize, edge_margin_db: Option<f64> },
 }
 
 impl CandidateMode {
@@ -103,20 +191,46 @@ impl CandidateMode {
         match self {
             CandidateMode::All => "all".to_string(),
             CandidateMode::Nearest(k) => format!("nearest{k}"),
+            CandidateMode::EdgeSet { k, margin_db } => format!("edge{k}m{margin_db}"),
         }
     }
 
-    /// The pruned set size actually used on an `n_cells` layout: `None`
-    /// for the dense sweep (also when `k` covers the whole layout, which
-    /// makes pruning a no-op and lets the engine take the bit-identical
-    /// dense path), `Some(k ≥ 1)` otherwise.
-    fn effective(self, n_cells: usize) -> Option<usize> {
+    /// The measurement plan actually used on an `n_cells` layout:
+    /// [`PrunePlan::Dense`] for the full sweep (also when `Nearest(k)`
+    /// covers the whole layout, which makes pruning a no-op and lets the
+    /// engine take the bit-identical dense path), pruned otherwise.
+    fn plan(self, n_cells: usize) -> PrunePlan {
         match self {
-            CandidateMode::All => None,
-            CandidateMode::Nearest(k) if k >= n_cells => None,
-            CandidateMode::Nearest(k) => Some(k.max(1)),
+            CandidateMode::All => PrunePlan::Dense,
+            CandidateMode::Nearest(k) if k >= n_cells => PrunePlan::Dense,
+            CandidateMode::Nearest(k) => {
+                PrunePlan::Pruned { k: k.max(1), edge_margin_db: None }
+            }
+            CandidateMode::EdgeSet { k, margin_db } => PrunePlan::Pruned {
+                k: k.max(1).min(n_cells),
+                edge_margin_db: Some(margin_db),
+            },
         }
     }
+}
+
+/// Numeric storage precision of the fleet measurement plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FleetPrecision {
+    /// Full `f64` mean-RSS storage — the default, byte-pinned path; every
+    /// golden report runs under it.
+    #[default]
+    Full,
+    /// `f32` storage lanes with `f64` accumulators: the dense
+    /// `cells × chunk` mean-RSS matrix is computed and stored in single
+    /// precision (halving the largest per-worker buffer) and each mean is
+    /// widened back to `f64` before shadowing, noise and decisions; the
+    /// pruned modes round their scalar means through `f32` the same way.
+    /// Opt-in: results differ from [`FleetPrecision::Full`] only by the
+    /// sub-µdB rounding of the mean path loss — all accumulation
+    /// (HD sums, tallies) stays `f64`, and the mode keeps the full
+    /// worker/chunk/order-invariance contract.
+    Compact,
 }
 
 /// The measurement-RNG seed of UE `ue_id` in a fleet seeded with
@@ -268,7 +382,8 @@ impl PolicyKind {
 
 /// Describes one UE population. Implementations must be deterministic
 /// functions of `ue_id` — the engine may query any UE from any worker
-/// thread, in any order.
+/// thread, in any order (and, on checkpoint resume, again in a later
+/// process).
 pub trait UeSpec: Sync {
     /// The UE's trajectory.
     fn trajectory(&self, ue_id: u64) -> Trajectory;
@@ -409,6 +524,88 @@ pub struct FleetResult {
     pub traffic: Option<TrafficReport>,
 }
 
+/// The memory-bounded aggregate of [`FleetSimulation::run_streamed`]:
+/// the fleet summary and load histogram of a run whose per-UE outcomes
+/// were folded on the fly instead of materialized. `summary` (every
+/// `f64` bit included) and `cell_load` equal those of the corresponding
+/// [`FleetSimulation::run`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetStreamSummary {
+    /// Fleet-level aggregate, bit-identical to
+    /// [`FleetResult::summary`].
+    pub summary: FleetSummary,
+    /// Serving-load histogram, identical to [`FleetResult::cell_load`].
+    pub cell_load: CellLoadHistogram,
+}
+
+/// Which UEs a fleet pass steps: a fresh id set, or the live half of a
+/// checkpoint (plus the lockstep step it stopped at).
+#[derive(Clone, Copy)]
+enum PassSource<'a> {
+    Fresh(&'a [u64]),
+    Restored(&'a [UeCheckpoint], u64),
+}
+
+/// One chunk's worth of a [`PassSource`].
+#[derive(Clone, Copy)]
+enum ChunkUes<'a> {
+    Fresh(&'a [u64]),
+    Restored(&'a [&'a UeCheckpoint]),
+}
+
+/// The merged output of one fleet pass; every vector ascends by UE id.
+struct PassOutput {
+    outcomes: Vec<UeOutcome>,
+    cell_load: CellLoadHistogram,
+    traces: Vec<UeTrace>,
+    live: Vec<UeCheckpoint>,
+}
+
+/// Per-worker scratch arena: every buffer a chunk needs, allocated once
+/// per worker and reused across chunks — including retired [`UeState`]s,
+/// which are recycled through [`UeState::reset`] instead of reallocated.
+struct ChunkArena {
+    flc_scratch: EvalScratch,
+    /// Retired UE states available for reuse.
+    spare: Vec<UeState>,
+    active_idx: Vec<usize>,
+    positions: Vec<cellgeom::Vec2>,
+    points: Vec<mobility::TracePoint>,
+    /// Dense mean-RSS matrix, `cells × active` ([`FleetPrecision::Full`]).
+    rss_matrix: Vec<f64>,
+    /// Dense mean-RSS matrix in f32 lanes ([`FleetPrecision::Compact`]).
+    rss_matrix_f32: Vec<f32>,
+    /// Per-cell means of the UE currently being measured.
+    means: Vec<f64>,
+    subset: Vec<u32>,
+    reports: Vec<MeasurementReport>,
+    pending: Vec<StepPending>,
+    batch_inputs: Vec<f64>,
+    batch_prev: Vec<Option<f64>>,
+    batch_hd: Vec<f64>,
+}
+
+impl ChunkArena {
+    fn new(n_cells: usize) -> Self {
+        ChunkArena {
+            flc_scratch: EvalScratch::new(),
+            spare: Vec::new(),
+            active_idx: Vec::new(),
+            positions: Vec::new(),
+            points: Vec::new(),
+            rss_matrix: Vec::new(),
+            rss_matrix_f32: Vec::new(),
+            means: vec![0.0; n_cells],
+            subset: Vec::with_capacity(n_cells),
+            reports: Vec::new(),
+            pending: Vec::new(),
+            batch_inputs: Vec::new(),
+            batch_prev: Vec::new(),
+            batch_hd: Vec::new(),
+        }
+    }
+}
+
 /// The fleet engine. Wraps a [`Simulation`]-compatible configuration and
 /// runs any number of UEs through it; see the module docs for the
 /// determinism contract.
@@ -418,6 +615,7 @@ pub struct FleetSimulation {
     workers: usize,
     chunk_size: usize,
     candidate_mode: CandidateMode,
+    precision: FleetPrecision,
     traffic: Option<TrafficConfig>,
 }
 
@@ -426,13 +624,14 @@ impl FleetSimulation {
     pub const DEFAULT_CHUNK_SIZE: usize = 128;
 
     /// Build a fleet engine (1 worker, default chunk size, dense
-    /// [`CandidateMode::All`] measurement).
+    /// [`CandidateMode::All`] measurement, [`FleetPrecision::Full`]).
     pub fn new(config: SimConfig) -> Self {
         FleetSimulation {
             sim: Simulation::new(config),
             workers: 1,
             chunk_size: Self::DEFAULT_CHUNK_SIZE,
             candidate_mode: CandidateMode::All,
+            precision: FleetPrecision::Full,
             traffic: None,
         }
     }
@@ -456,8 +655,8 @@ impl FleetSimulation {
 
     /// Select the per-UE candidate measurement mode (see
     /// [`CandidateMode`]). The default [`CandidateMode::All`] path is the
-    /// byte-pinned one; [`CandidateMode::Nearest`] is the opt-in pruned
-    /// mode.
+    /// byte-pinned one; [`CandidateMode::Nearest`] and
+    /// [`CandidateMode::EdgeSet`] are the opt-in pruned modes.
     #[must_use]
     pub fn with_candidate_mode(mut self, mode: CandidateMode) -> Self {
         self.candidate_mode = mode;
@@ -467,6 +666,20 @@ impl FleetSimulation {
     /// The active candidate measurement mode.
     pub fn candidate_mode(&self) -> CandidateMode {
         self.candidate_mode
+    }
+
+    /// Select the measurement-plane storage precision (see
+    /// [`FleetPrecision`]). The default [`FleetPrecision::Full`] path is
+    /// the byte-pinned one.
+    #[must_use]
+    pub fn with_precision(mut self, precision: FleetPrecision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// The active storage precision.
+    pub fn precision(&self) -> FleetPrecision {
+        self.precision
     }
 
     /// Attach the cell-load traffic plane (see [`crate::traffic`]): the
@@ -496,15 +709,29 @@ impl FleetSimulation {
         self.sim.config()
     }
 
-    /// Run UEs `0..n_ues`.
+    /// Run UEs `0..n_ues`. Panics if a worker panics; see
+    /// [`FleetSimulation::try_run`] for the fallible form.
     pub fn run(&self, spec: &dyn UeSpec, n_ues: u64, base_seed: u64) -> FleetResult {
+        self.try_run(spec, n_ues, base_seed).unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible form of [`FleetSimulation::run`]: worker panics surface
+    /// as [`FleetError::WorkerPanic`] instead of unwinding the caller.
+    pub fn try_run(
+        &self,
+        spec: &dyn UeSpec,
+        n_ues: u64,
+        base_seed: u64,
+    ) -> Result<FleetResult, FleetError> {
         let ids: Vec<u64> = (0..n_ues).collect();
-        self.run_ids(spec, &ids, base_seed)
+        self.try_run_ids(spec, &ids, base_seed)
     }
 
     /// Run an explicit UE id set (ids should be distinct; each UE's
     /// result depends only on its own id, and the merge orders outcomes
     /// by id, so any permutation of `ids` produces the same result).
+    /// Panics if a worker panics; see [`FleetSimulation::try_run_ids`]
+    /// for the fallible form.
     ///
     /// With a traffic plane attached ([`FleetSimulation::with_traffic`])
     /// the run additionally replays every UE's call sessions against the
@@ -514,115 +741,413 @@ impl FleetSimulation {
     /// (delayed load reports), and the returned fleet metrics and
     /// [`TrafficReport`] are those of the fed-back pass.
     pub fn run_ids(&self, spec: &dyn UeSpec, ids: &[u64], base_seed: u64) -> FleetResult {
-        let Some(traffic) = &self.traffic else {
-            return self.run_pass(spec, ids, base_seed, false, None).0;
-        };
-        let cells = self.config().layout.cells();
-        let (mut result, traces) = self.run_pass(spec, ids, base_seed, true, None);
-        let (report, field) = replay_traffic(traffic, cells, &traces, base_seed);
-        if !traffic.load_feedback {
-            result.traffic = Some(report);
-            return result;
-        }
-        let field = Arc::new(field);
-        let (mut fed, fed_traces) = self.run_pass(spec, ids, base_seed, true, Some(&field));
-        let (fed_report, _) = replay_traffic(traffic, cells, &fed_traces, base_seed);
-        fed.traffic = Some(fed_report);
-        fed
+        self.try_run_ids(spec, ids, base_seed).unwrap_or_else(|err| panic!("{err}"))
     }
 
-    /// One fleet pass: the sharded parallel stepping, optionally
-    /// recording serving-cell traces (traffic plane) and optionally
-    /// injecting a frozen occupancy field (load-feedback pass). Traces
-    /// come back sorted by UE id.
-    fn run_pass(
+    /// Fallible form of [`FleetSimulation::run_ids`].
+    pub fn try_run_ids(
         &self,
         spec: &dyn UeSpec,
         ids: &[u64],
         base_seed: u64,
-        record_traces: bool,
-        load_field: Option<&Arc<LoadField>>,
-    ) -> (FleetResult, Vec<UeTrace>) {
-        let workers = self.workers.clamp(1, ids.len().max(1));
-        let collected: Mutex<Vec<WorkerPart>> = Mutex::new(Vec::with_capacity(workers));
+    ) -> Result<FleetResult, FleetError> {
+        let record = self.traffic.is_some();
+        let pass = self.pass(spec, PassSource::Fresh(ids), base_seed, record, None, None)?;
+        debug_assert!(pass.live.is_empty(), "unbounded passes run every UE to completion");
+        let result = assemble(pass.outcomes, pass.cell_load);
+        self.apply_traffic(spec, ids, base_seed, result, pass.traces)
+    }
+
+    /// Freeze a fleet pass after `max_steps` lockstep steps: UEs whose
+    /// walks end earlier finish normally, every other UE is suspended
+    /// with its complete engine + policy + RNG-stream state, and the
+    /// whole pass comes back as a serializable [`FleetCheckpoint`].
+    /// [`FleetSimulation::resume`] continues it bit-identically to the
+    /// uninterrupted [`FleetSimulation::run_ids`] — for any worker count
+    /// and chunk size on either side, because the snapshot is sorted by
+    /// UE id and each UE's state is self-contained.
+    ///
+    /// With a traffic plane the pass records serving-cell traces into
+    /// the snapshot; the traffic replay itself (and the load-feedback
+    /// second pass, if configured) runs at resume time, once the traces
+    /// are complete.
+    pub fn run_partial(
+        &self,
+        spec: &dyn UeSpec,
+        ids: &[u64],
+        base_seed: u64,
+        max_steps: u64,
+    ) -> Result<FleetCheckpoint, FleetError> {
+        let tracing = self.traffic.is_some();
+        let out =
+            self.pass(spec, PassSource::Fresh(ids), base_seed, tracing, None, Some(max_steps))?;
+        Ok(FleetCheckpoint {
+            version: CHECKPOINT_VERSION,
+            step: max_steps,
+            base_seed,
+            finished: out.outcomes,
+            finished_traces: out.traces,
+            live: out.live,
+            cell_load: out.cell_load,
+            tracing,
+        })
+    }
+
+    /// Continue a [`FleetSimulation::run_partial`] snapshot to
+    /// completion. The engine must be configured like the one that took
+    /// the snapshot (same [`SimConfig`], candidate mode, precision and
+    /// traffic plane — worker count and chunk size are free); the spec
+    /// must be the same deterministic population. Panics if the snapshot
+    /// version or tracing mode does not match.
+    pub fn resume(
+        &self,
+        spec: &dyn UeSpec,
+        cp: &FleetCheckpoint,
+    ) -> Result<FleetResult, FleetError> {
+        cp.validate();
+        assert_eq!(
+            cp.tracing,
+            self.traffic.is_some(),
+            "checkpoint tracing mode must match the engine's traffic plane"
+        );
+        let out = self.pass(
+            spec,
+            PassSource::Restored(&cp.live, cp.step),
+            cp.base_seed,
+            cp.tracing,
+            None,
+            None,
+        )?;
+        debug_assert!(out.live.is_empty());
+        let mut outcomes = cp.finished.clone();
+        outcomes.extend(out.outcomes);
+        outcomes.sort_by_key(|o| o.ue_id);
+        let mut traces = cp.finished_traces.clone();
+        traces.extend(out.traces);
+        traces.sort_by_key(|t| t.ue_id);
+        let mut cell_load = cp.cell_load.clone();
+        cell_load.merge(&out.cell_load);
+        let ids: Vec<u64> = outcomes.iter().map(|o| o.ue_id).collect();
+        let result = assemble(outcomes, cell_load);
+        self.apply_traffic(spec, &ids, cp.base_seed, result, traces)
+    }
+
+    /// Run UEs `0..n_ues` and fold every chunk's outcomes into a running
+    /// aggregate instead of materializing the per-UE outcome vector — the
+    /// memory-bounded path for million-UE fleets: peak memory is
+    /// `O(workers × chunk_size)`, independent of `n_ues`, and no
+    /// `UEs × cells` structure ever exists (each worker holds one
+    /// `cells × chunk` matrix).
+    ///
+    /// The returned [`FleetStreamSummary`] is bit-identical to the
+    /// `summary`/`cell_load` of [`FleetSimulation::run`]: integer tallies
+    /// commute, and the `f64` HD sum is re-folded in global UE-id order
+    /// at the merge (skipping UEs with no HD observations, which add a
+    /// literal `+0.0` and cannot change any bit of a non-negative sum).
+    ///
+    /// Panics if a traffic plane is attached: traces would rematerialize
+    /// per-UE state, defeating the point — use [`FleetSimulation::run`]
+    /// for traffic studies.
+    pub fn run_streamed(
+        &self,
+        spec: &dyn UeSpec,
+        n_ues: u64,
+        base_seed: u64,
+    ) -> Result<FleetStreamSummary, FleetError> {
+        assert!(
+            self.traffic.is_none(),
+            "the streaming path has no traffic plane (serving-cell traces would \
+             materialize per-UE state); use run/run_ids for traffic studies"
+        );
+        let workers = (self.workers.max(1) as u64).min(n_ues.max(1)) as usize;
+        type StreamPart = (FleetSummary, CellLoadHistogram, Vec<(u64, f64)>);
+        let collected: Mutex<Vec<Result<StreamPart, String>>> =
+            Mutex::new(Vec::with_capacity(workers));
 
         crossbeam::scope(|scope| {
             for w in 0..workers {
                 let collected = &collected;
                 scope.spawn(move |_| {
-                    // Static round-robin shard, independent of scheduling.
-                    let shard: Vec<u64> =
-                        ids.iter().copied().skip(w).step_by(workers).collect();
-                    let mut outcomes = Vec::with_capacity(shard.len());
-                    let mut load =
-                        CellLoadHistogram::new(self.config().layout.cells().iter().copied());
-                    let mut traces = Vec::with_capacity(if record_traces {
-                        shard.len()
-                    } else {
-                        0
-                    });
-                    for chunk in shard.chunks(self.chunk_size) {
-                        self.simulate_chunk(
-                            spec,
-                            chunk,
-                            base_seed,
-                            load_field,
-                            &mut load,
-                            &mut outcomes,
-                            record_traces.then_some(&mut traces),
-                        );
-                    }
-                    collected.lock().push((outcomes, load, traces));
+                    let part = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let cells = self.config().layout.cells();
+                        let mut arena = ChunkArena::new(cells.len());
+                        let mut load = CellLoadHistogram::new(cells.iter().copied());
+                        let mut summary = FleetSummary::default();
+                        let mut hd_parts: Vec<(u64, f64)> = Vec::new();
+                        let mut chunk_ids: Vec<u64> = Vec::with_capacity(self.chunk_size);
+                        let mut chunk_out: Vec<UeOutcome> = Vec::with_capacity(self.chunk_size);
+                        // Lazy round-robin id generation: worker w owns
+                        // ids w, w+workers, w+2·workers, … — the same
+                        // shard run_ids would hand it, without the id
+                        // vector ever existing.
+                        let mut next = w as u64;
+                        while next < n_ues {
+                            chunk_ids.clear();
+                            while chunk_ids.len() < self.chunk_size && next < n_ues {
+                                chunk_ids.push(next);
+                                next += workers as u64;
+                            }
+                            chunk_out.clear();
+                            self.simulate_chunk(
+                                spec,
+                                ChunkUes::Fresh(&chunk_ids),
+                                base_seed,
+                                None,
+                                0,
+                                None,
+                                &mut arena,
+                                &mut load,
+                                &mut chunk_out,
+                                None,
+                                None,
+                            );
+                            for o in chunk_out.drain(..) {
+                                // Integer tallies fold immediately; the
+                                // f64 HD sum is deferred to the id-ordered
+                                // merge so the fold order matches run().
+                                summary.ues += 1;
+                                summary.steps += o.steps;
+                                summary.handovers += o.handovers;
+                                summary.ping_pongs += o.ping_pongs;
+                                summary.outage_steps += o.outage_steps;
+                                summary.hd_count += o.hd_count;
+                                if o.hd_count > 0 {
+                                    hd_parts.push((o.ue_id, o.hd_sum));
+                                }
+                            }
+                        }
+                        (summary, load, hd_parts)
+                    }));
+                    collected.lock().push(part.map_err(|p| panic_message(p.as_ref())));
                 });
             }
         })
-        .expect("fleet workers do not panic");
+        .expect("fleet worker panics are caught inside the workers");
 
         let mut cell_load = CellLoadHistogram::new(self.config().layout.cells().iter().copied());
-        let mut outcomes: Vec<UeOutcome> = Vec::with_capacity(ids.len());
-        let mut traces: Vec<UeTrace> = Vec::with_capacity(if record_traces { ids.len() } else { 0 });
-        for (part, load, part_traces) in collected.into_inner() {
-            outcomes.extend(part);
+        let mut summary = FleetSummary::default();
+        let mut hd_parts: Vec<(u64, f64)> = Vec::new();
+        for part in collected.into_inner() {
+            let (s, load, parts) = part.map_err(FleetError::WorkerPanic)?;
+            summary.ues += s.ues;
+            summary.steps += s.steps;
+            summary.handovers += s.handovers;
+            summary.ping_pongs += s.ping_pongs;
+            summary.outage_steps += s.outage_steps;
+            summary.hd_count += s.hd_count;
+            cell_load.merge(&load);
+            hd_parts.extend(parts);
+        }
+        hd_parts.sort_unstable_by_key(|&(id, _)| id);
+        for &(_, hd) in &hd_parts {
+            summary.hd_sum += hd;
+        }
+        Ok(FleetStreamSummary { summary, cell_load })
+    }
+
+    /// The traffic half of a run: replay the traces against the channel
+    /// capacities and, with load feedback on, rerun the fleet with the
+    /// occupancy field injected. No-op without a traffic plane.
+    fn apply_traffic(
+        &self,
+        spec: &dyn UeSpec,
+        ids: &[u64],
+        base_seed: u64,
+        mut result: FleetResult,
+        traces: Vec<UeTrace>,
+    ) -> Result<FleetResult, FleetError> {
+        let Some(traffic) = &self.traffic else {
+            return Ok(result);
+        };
+        let cells = self.config().layout.cells();
+        let (report, field) = replay_traffic(traffic, cells, &traces, base_seed);
+        if !traffic.load_feedback {
+            result.traffic = Some(report);
+            return Ok(result);
+        }
+        let field = Arc::new(field);
+        let fed = self.pass(spec, PassSource::Fresh(ids), base_seed, true, Some(&field), None)?;
+        let (fed_report, _) = replay_traffic(traffic, cells, &fed.traces, base_seed);
+        let mut fed_result = assemble(fed.outcomes, fed.cell_load);
+        fed_result.traffic = Some(fed_report);
+        Ok(fed_result)
+    }
+
+    /// One fleet pass: the sharded parallel stepping, optionally
+    /// recording serving-cell traces (traffic plane), optionally
+    /// injecting a frozen occupancy field (load-feedback pass), and
+    /// optionally stopping at a lockstep step bound (checkpointing).
+    /// Every output vector comes back sorted by UE id.
+    fn pass(
+        &self,
+        spec: &dyn UeSpec,
+        source: PassSource<'_>,
+        base_seed: u64,
+        record_traces: bool,
+        load_field: Option<&Arc<LoadField>>,
+        max_steps: Option<u64>,
+    ) -> Result<PassOutput, FleetError> {
+        let n_total = match source {
+            PassSource::Fresh(ids) => ids.len(),
+            PassSource::Restored(live, _) => live.len(),
+        };
+        let workers = self.workers.clamp(1, n_total.max(1));
+        let collected: Mutex<Vec<Result<WorkerPart, String>>> =
+            Mutex::new(Vec::with_capacity(workers));
+
+        crossbeam::scope(|scope| {
+            for w in 0..workers {
+                let collected = &collected;
+                scope.spawn(move |_| {
+                    // Catch panics inside the worker so they surface as a
+                    // FleetError with the original message, instead of
+                    // crossbeam's opaque scope error.
+                    let part = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let cells = self.config().layout.cells();
+                        let mut arena = ChunkArena::new(cells.len());
+                        let mut outcomes = Vec::new();
+                        let mut load = CellLoadHistogram::new(cells.iter().copied());
+                        let mut traces = Vec::new();
+                        let mut live_out = Vec::new();
+                        // Static round-robin shard, independent of
+                        // scheduling.
+                        match source {
+                            PassSource::Fresh(ids) => {
+                                let shard: Vec<u64> =
+                                    ids.iter().copied().skip(w).step_by(workers).collect();
+                                for chunk in shard.chunks(self.chunk_size) {
+                                    self.simulate_chunk(
+                                        spec,
+                                        ChunkUes::Fresh(chunk),
+                                        base_seed,
+                                        load_field,
+                                        0,
+                                        max_steps,
+                                        &mut arena,
+                                        &mut load,
+                                        &mut outcomes,
+                                        record_traces.then_some(&mut traces),
+                                        max_steps.is_some().then_some(&mut live_out),
+                                    );
+                                }
+                            }
+                            PassSource::Restored(live, start_step) => {
+                                let shard: Vec<&UeCheckpoint> =
+                                    live.iter().skip(w).step_by(workers).collect();
+                                for chunk in shard.chunks(self.chunk_size) {
+                                    self.simulate_chunk(
+                                        spec,
+                                        ChunkUes::Restored(chunk),
+                                        base_seed,
+                                        load_field,
+                                        start_step,
+                                        max_steps,
+                                        &mut arena,
+                                        &mut load,
+                                        &mut outcomes,
+                                        record_traces.then_some(&mut traces),
+                                        max_steps.is_some().then_some(&mut live_out),
+                                    );
+                                }
+                            }
+                        }
+                        (outcomes, load, traces, live_out)
+                    }));
+                    collected.lock().push(part.map_err(|p| panic_message(p.as_ref())));
+                });
+            }
+        })
+        .expect("fleet worker panics are caught inside the workers");
+
+        let mut cell_load = CellLoadHistogram::new(self.config().layout.cells().iter().copied());
+        let mut outcomes: Vec<UeOutcome> = Vec::with_capacity(n_total);
+        let mut traces: Vec<UeTrace> = Vec::new();
+        let mut live: Vec<UeCheckpoint> = Vec::new();
+        for part in collected.into_inner() {
+            let (part_outcomes, load, part_traces, part_live) =
+                part.map_err(FleetError::WorkerPanic)?;
+            outcomes.extend(part_outcomes);
             cell_load.merge(&load);
             traces.extend(part_traces);
+            live.extend(part_live);
         }
         // UE-id order makes the f64 summary folds independent of the
         // sharding and of the submission order of `ids` — and gives the
         // traffic replay its deterministic event order.
         outcomes.sort_by_key(|o| o.ue_id);
         traces.sort_by_key(|t| t.ue_id);
-        let mut summary = FleetSummary::default();
-        for o in &outcomes {
-            summary.absorb(&o.summary());
-        }
-        (FleetResult { outcomes, cell_load, summary, traffic: None }, traces)
+        live.sort_by_key(|l| l.ue_id);
+        Ok(PassOutput { outcomes, cell_load, traces, live })
     }
 
-    /// Step one chunk of UEs to completion in lockstep, batching the mean
-    /// RSS evaluation per (BS, chunk) and the fuzzy FLC evaluation per
-    /// chunk at every step. With `traces` the chunk also records every
-    /// UE's per-step serving cell (traffic plane); with `load_field` it
-    /// hands every policy the frozen occupancy timeline before stepping.
+    /// Step one chunk of UEs in lockstep, batching the mean RSS
+    /// evaluation per (BS, chunk) and the fuzzy FLC evaluation per chunk
+    /// at every step. With `traces` the chunk also records every UE's
+    /// per-step serving cell (traffic plane); with `load_field` it hands
+    /// every policy the frozen occupancy timeline before stepping. With
+    /// `max_steps` the chunk stops at that lockstep step and exports the
+    /// still-live UEs into `live_out`; `start_step` > 0 resumes restored
+    /// UEs mid-walk (fast-forwarding their trajectory cursors).
     #[allow(clippy::too_many_arguments)]
     fn simulate_chunk(
         &self,
         spec: &dyn UeSpec,
-        ids: &[u64],
+        chunk: ChunkUes<'_>,
         base_seed: u64,
         load_field: Option<&Arc<LoadField>>,
+        start_step: u64,
+        max_steps: Option<u64>,
+        arena: &mut ChunkArena,
         load: &mut CellLoadHistogram,
         out: &mut Vec<UeOutcome>,
         mut traces: Option<&mut Vec<UeTrace>>,
+        mut live_out: Option<&mut Vec<UeCheckpoint>>,
     ) {
         let cfg = self.config();
         let cells = cfg.layout.cells();
-        let n = ids.len();
-        // The compiled measurement plane: one link budget shared by every
-        // BS, per-cell positions, and (for the pruned mode) the
-        // position → nearest-cells index.
         let compiled = self.sim.compiled_radio();
         let bs_positions = self.sim.bs_positions();
-        let pruned_k = self.candidate_mode.effective(cells.len());
+        let prune_plan = self.candidate_mode.plan(cells.len());
+        let compact = self.precision == FleetPrecision::Compact;
+        let tracing = traces.is_some();
+
+        // Split the arena into independent buffers so each phase can
+        // borrow exactly what it needs.
+        let ChunkArena {
+            flc_scratch,
+            spare,
+            active_idx,
+            positions,
+            points,
+            rss_matrix,
+            rss_matrix_f32,
+            means,
+            subset,
+            reports,
+            pending,
+            batch_inputs,
+            batch_prev,
+            batch_hd,
+        } = arena;
+        debug_assert_eq!(means.len(), cells.len(), "arena sized for this layout");
+
+        // The scalar mean of one (BS, position) pair, rounded through
+        // the f32 storage lane under FleetPrecision::Compact so the
+        // pruned modes see the exact numbers the dense f32 matrix holds.
+        let mean_at = |slot: usize, pos: cellgeom::Vec2| -> f64 {
+            let v = compiled.received_power_dbm(bs_positions[slot], pos);
+            if compact {
+                f64::from(v as f32)
+            } else {
+                v
+            }
+        };
+
+        let ids: Vec<u64> = match chunk {
+            ChunkUes::Fresh(ids) => ids.to_vec(),
+            ChunkUes::Restored(live) => live.iter().map(|cp| cp.ue_id).collect(),
+        };
+        let n = ids.len();
 
         // Struct-of-arrays chunk store. Trajectories hold only waypoints;
         // the resampled measurement points stream lazily per UE.
@@ -631,29 +1156,71 @@ impl FleetSimulation {
             .iter()
             .map(|t| t.resample_iter(cfg.sample_spacing_km))
             .collect();
+        // Restored UEs have already consumed `start_step` measurement
+        // points; fast-forward the regenerated cursors to match (a live
+        // UE's cursor yields at least that many points by construction).
+        for cursor in cursors.iter_mut() {
+            for _ in 0..start_step {
+                if cursor.next().is_none() {
+                    break;
+                }
+            }
+        }
         let mut policies: Vec<Box<dyn HandoverPolicy + Send>> =
             ids.iter().map(|&id| spec.policy(id)).collect();
+        if let ChunkUes::Restored(live) = chunk {
+            for (policy, cp) in policies.iter_mut().zip(live) {
+                policy.restore_policy_checkpoint(&cp.policy);
+            }
+        }
         if let Some(field) = load_field {
             for policy in &mut policies {
                 policy.set_load_field(field);
             }
         }
-        let mut ues: Vec<Option<UeState>> = ids
-            .iter()
-            .enumerate()
-            .map(|(i, &id)| {
-                Some(UeState::new(cfg, trajectories[i].start(), ue_seed(base_seed, id)))
-            })
-            .collect();
+        let mut ues: Vec<Option<UeState>> = match chunk {
+            ChunkUes::Fresh(_) => ids
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| {
+                    let start = trajectories[i].start();
+                    let seed = ue_seed(base_seed, id);
+                    Some(match spare.pop() {
+                        // Recycle a retired state: same layout, every
+                        // allocation reused.
+                        Some(mut state) => {
+                            state.reset(cfg, start, seed);
+                            state
+                        }
+                        None => UeState::new(cfg, start, seed),
+                    })
+                })
+                .collect(),
+            ChunkUes::Restored(live) => live
+                .iter()
+                .map(|cp| Some(UeState::from_snapshot(cfg, &cp.engine)))
+                .collect(),
+        };
         let mut hd_sums = vec![0.0f64; n];
         let mut hd_counts = vec![0u64; n];
         let mut travelled = vec![0.0f64; n];
         // Per-UE serving-cell traces for the traffic plane, run-length
         // encoded as (step, cell) change points + a step counter (empty
         // and untouched unless tracing).
-        let mut trace_bufs: Vec<Vec<(u32, u32)>> =
-            if traces.is_some() { vec![Vec::new(); n] } else { Vec::new() };
-        let mut trace_steps: Vec<u32> = if traces.is_some() { vec![0; n] } else { Vec::new() };
+        let mut trace_bufs: Vec<Vec<(u64, u32)>> =
+            if tracing { vec![Vec::new(); n] } else { Vec::new() };
+        let mut trace_steps: Vec<u64> = if tracing { vec![0; n] } else { Vec::new() };
+        if let ChunkUes::Restored(live) = chunk {
+            for (i, cp) in live.iter().enumerate() {
+                hd_sums[i] = cp.hd_sum;
+                hd_counts[i] = cp.hd_count;
+                travelled[i] = cp.travelled_km;
+                if tracing {
+                    trace_bufs[i] = cp.trace_changes.clone();
+                    trace_steps[i] = cp.trace_steps;
+                }
+            }
+        }
 
         // The chunk's shared FLC plan: when every pending fuzzy decision
         // runs on this plan (pointer-compared), the chunk evaluates them
@@ -664,24 +1231,39 @@ impl FleetSimulation {
         let chunk_plan: Option<Arc<CompiledFis>> = policies
             .iter_mut()
             .find_map(|p| p.as_fuzzy().and_then(|f| f.shared_plan().cloned()));
-        let mut flc_scratch = EvalScratch::new();
 
-        // Scratch buffers reused across steps.
-        let mut active_idx: Vec<usize> = Vec::with_capacity(n);
-        let mut positions: Vec<cellgeom::Vec2> = Vec::with_capacity(n);
-        let mut points: Vec<mobility::TracePoint> = Vec::with_capacity(n);
-        let mut rss_matrix: Vec<f64> = Vec::new();
-        let mut means = vec![0.0f64; cells.len()];
-        let mut subset: Vec<u32> = Vec::with_capacity(cells.len());
-        let mut reports: Vec<MeasurementReport> = Vec::with_capacity(n);
-        let mut pending: Vec<StepPending> = Vec::with_capacity(n);
-        let mut batch_inputs: Vec<f64> = Vec::with_capacity(3 * n);
-        let mut batch_prev: Vec<Option<f64>> = Vec::with_capacity(n);
-        let mut batch_hd: Vec<f64> = Vec::with_capacity(n);
-
+        let mut step = start_step;
         loop {
+            // Checkpoint bound: freeze every still-live UE (state +
+            // policy + tallies) and stop the chunk.
+            if let Some(bound) = max_steps {
+                if step >= bound {
+                    for i in 0..n {
+                        let Some(state) = ues[i].take() else { continue };
+                        if let Some(sink) = live_out.as_deref_mut() {
+                            sink.push(UeCheckpoint {
+                                ue_id: ids[i],
+                                engine: state.snapshot(),
+                                policy: policies[i].policy_checkpoint(),
+                                hd_sum: hd_sums[i],
+                                hd_count: hd_counts[i],
+                                travelled_km: travelled[i],
+                                trace_steps: if tracing { trace_steps[i] } else { 0 },
+                                trace_changes: if tracing {
+                                    std::mem::take(&mut trace_bufs[i])
+                                } else {
+                                    Vec::new()
+                                },
+                            });
+                        }
+                        spare.push(state);
+                    }
+                    break;
+                }
+            }
+
             // Advance every live UE's trajectory cursor; retire the ones
-            // that just finished.
+            // that just finished (recycling their state allocations).
             active_idx.clear();
             positions.clear();
             points.clear();
@@ -700,11 +1282,12 @@ impl FleetSimulation {
                         out.push(finish_ue(
                             cfg,
                             ids[i],
-                            state,
+                            &state,
                             hd_sums[i],
                             hd_counts[i],
                             travelled[i],
                         ));
+                        spare.push(state);
                         if let Some(sink) = traces.as_deref_mut() {
                             sink.push(UeTrace {
                                 ue_id: ids[i],
@@ -721,17 +1304,29 @@ impl FleetSimulation {
             }
 
             // Batched mean RSS (dense mode only): one (BS × chunk) pass
-            // per cell through the compiled link budget. The buffer is
-            // only resized when the active count changes — every slot is
+            // per cell through the compiled link budget, into f64 or f32
+            // storage lanes per the precision setting. The buffer is only
+            // resized when the active count changes — every slot is
             // overwritten below, so no zero-fill churn.
-            if pruned_k.is_none() {
-                rss_matrix.resize(cells.len() * a, 0.0);
-                for (k, &bs_pos) in bs_positions.iter().enumerate() {
-                    compiled.received_power_dbm_batch(
-                        bs_pos,
-                        &positions,
-                        &mut rss_matrix[k * a..(k + 1) * a],
-                    );
+            if matches!(prune_plan, PrunePlan::Dense) {
+                if compact {
+                    rss_matrix_f32.resize(cells.len() * a, 0.0);
+                    for (k, &bs_pos) in bs_positions.iter().enumerate() {
+                        compiled.received_power_dbm_batch_f32(
+                            bs_pos,
+                            positions,
+                            &mut rss_matrix_f32[k * a..(k + 1) * a],
+                        );
+                    }
+                } else {
+                    rss_matrix.resize(cells.len() * a, 0.0);
+                    for (k, &bs_pos) in bs_positions.iter().enumerate() {
+                        compiled.received_power_dbm_batch(
+                            bs_pos,
+                            positions,
+                            &mut rss_matrix[k * a..(k + 1) * a],
+                        );
+                    }
                 }
             }
 
@@ -744,45 +1339,75 @@ impl FleetSimulation {
             batch_prev.clear();
             for (j, &i) in active_idx.iter().enumerate() {
                 let ue = ues[i].as_mut().expect("UE is live");
-                let report = match pruned_k {
-                    None => {
-                        for (k, slot) in means.iter_mut().enumerate() {
-                            *slot = rss_matrix[k * a + j];
-                        }
-                        ue.begin_step(cfg, self.sim.candidates(), &means, points[j])
-                    }
-                    Some(k) => {
-                        // The pruned candidate set: the k index-nearest
-                        // cells, plus — so the decision inputs are never
-                        // approximated — the serving cell and its whole
-                        // candidate table.
-                        subset.clear();
-                        subset
-                            .extend_from_slice(self.sim.neighbor_index().nearest(positions[j], k));
-                        let serving = ue.serving_index() as u32;
-                        if !subset.contains(&serving) {
-                            subset.push(serving);
-                        }
-                        for &cand in self.sim.candidates().of(serving as usize) {
-                            let cand = cand as u32;
-                            if !subset.contains(&cand) {
-                                subset.push(cand);
+                let report = match prune_plan {
+                    PrunePlan::Dense => {
+                        if compact {
+                            for (k, slot) in means.iter_mut().enumerate() {
+                                *slot = f64::from(rss_matrix_f32[k * a + j]);
+                            }
+                        } else {
+                            for (k, slot) in means.iter_mut().enumerate() {
+                                *slot = rss_matrix[k * a + j];
                             }
                         }
-                        for &slot in &subset {
-                            means[slot as usize] = compiled
-                                .received_power_dbm(bs_positions[slot as usize], positions[j]);
+                        ue.begin_step(cfg, self.sim.candidates(), means, points[j])
+                    }
+                    PrunePlan::Pruned { k, edge_margin_db } => {
+                        let pos = positions[j];
+                        let serving = ue.serving_index();
+                        let cands = self.sim.candidates().of(serving);
+                        // The decision inputs — serving + candidate
+                        // table — are always measured exactly.
+                        means[serving] = mean_at(serving, pos);
+                        let mut best = f64::NEG_INFINITY;
+                        for &cand in cands {
+                            let m = mean_at(cand, pos);
+                            means[cand] = m;
+                            best = best.max(m);
                         }
-                        ue.begin_step_pruned(
-                            cfg,
-                            self.sim.candidates(),
-                            &means,
-                            points[j],
-                            &subset,
-                        )
+                        // Edge classification on deterministic means (no
+                        // RNG): interior UEs skip the k-nearest sweep.
+                        let is_edge = match edge_margin_db {
+                            None => true,
+                            Some(margin) => means[serving] - best <= margin,
+                        };
+                        subset.clear();
+                        if is_edge {
+                            // The pruned candidate set: the k
+                            // index-nearest cells, plus the serving cell
+                            // and its whole candidate table.
+                            subset.extend_from_slice(
+                                self.sim.neighbor_index().nearest(pos, k),
+                            );
+                            let serving32 = serving as u32;
+                            if !subset.contains(&serving32) {
+                                subset.push(serving32);
+                            }
+                            for &cand in cands {
+                                let cand32 = cand as u32;
+                                if !subset.contains(&cand32) {
+                                    subset.push(cand32);
+                                }
+                            }
+                            for &slot in subset.iter() {
+                                let slot = slot as usize;
+                                if slot != serving && !cands.contains(&slot) {
+                                    means[slot] = mean_at(slot, pos);
+                                }
+                            }
+                        } else {
+                            subset.push(serving as u32);
+                            for &cand in cands {
+                                let cand32 = cand as u32;
+                                if !subset.contains(&cand32) {
+                                    subset.push(cand32);
+                                }
+                            }
+                        }
+                        ue.begin_step_pruned(cfg, self.sim.candidates(), means, points[j], subset)
                     }
                 };
-                let step = match policies[i].as_fuzzy() {
+                let step_state = match policies[i].as_fuzzy() {
                     Some(fuzzy) => match fuzzy.decide_pre(&report) {
                         FlcStage::Resolved(decision) => StepPending::Decided(decision),
                         FlcStage::NeedsHd { inputs, prev_serving_rss } => {
@@ -809,15 +1434,15 @@ impl FleetSimulation {
                     None => StepPending::Decided(policies[i].decide(&report)),
                 };
                 reports.push(report);
-                pending.push(step);
+                pending.push(step_state);
             }
 
             // Phase 2 — one batched FLC evaluation for the whole chunk.
             if !batch_prev.is_empty() {
-                let plan = chunk_plan.as_ref().expect("batched entries imply a chunk plan");
+                let fis = chunk_plan.as_ref().expect("batched entries imply a chunk plan");
                 batch_hd.clear();
                 batch_hd.resize(batch_prev.len(), 0.0);
-                plan.evaluate_batch(&batch_inputs, &mut batch_hd, &mut flc_scratch)
+                fis.evaluate_batch(batch_inputs, batch_hd, flc_scratch)
                     .expect("the paper FLC fires on every input");
             }
 
@@ -835,7 +1460,7 @@ impl FleetSimulation {
                 let outcome =
                     ue.finish_step(cfg, &reports[j], decision, points[j], policies[i].as_mut());
                 load.record_index(outcome.serving_after_idx);
-                if traces.is_some() {
+                if tracing {
                     let cell = outcome.serving_after_idx as u32;
                     if trace_bufs[i].last().map_or(true, |&(_, c)| c != cell) {
                         trace_bufs[i].push((trace_steps[i], cell));
@@ -848,32 +1473,43 @@ impl FleetSimulation {
                 }
                 travelled[i] = points[j].cum_km;
             }
+            step += 1;
         }
     }
 }
 
-/// Reduce a finished UE's state into its outcome.
+/// Assemble a [`FleetResult`] from id-sorted outcomes: the summary is
+/// folded in UE-id order (the `f64` determinism contract), traffic is
+/// left for [`FleetSimulation::apply_traffic`].
+fn assemble(outcomes: Vec<UeOutcome>, cell_load: CellLoadHistogram) -> FleetResult {
+    let mut summary = FleetSummary::default();
+    for o in &outcomes {
+        summary.absorb(&o.summary());
+    }
+    FleetResult { outcomes, cell_load, summary, traffic: None }
+}
+
+/// Reduce a finished UE's state into its outcome (borrowing the state,
+/// so the caller can recycle its allocations afterwards).
 fn finish_ue(
     cfg: &SimConfig,
     ue_id: u64,
-    state: UeState,
+    state: &UeState,
     hd_sum: f64,
     hd_count: u64,
     travelled_km: f64,
 ) -> UeOutcome {
-    let final_serving = state.serving_cell(cfg);
-    let steps = state.step_count() as u64;
-    let log = state.into_log();
+    let log = state.log();
     UeOutcome {
         ue_id,
-        steps,
+        steps: state.step_count() as u64,
         handovers: log.handover_count() as u64,
         ping_pongs: log.ping_pong_report(cfg.pingpong_window_steps).ping_pongs as u64,
         outage_steps: log.outage_step_count() as u64,
         hd_sum,
         hd_count,
         travelled_km,
-        final_serving,
+        final_serving: state.serving_cell(cfg),
     }
 }
 
@@ -897,6 +1533,16 @@ mod tests {
             policy: PolicyKind::Fuzzy,
             trajectory_seed,
             cell_radius_km: 2.0,
+        }
+    }
+
+    fn demo_traffic() -> TrafficConfig {
+        TrafficConfig {
+            channels_per_cell: 4,
+            guard_channels: 1,
+            mean_idle_steps: 6.0,
+            mean_holding_steps: 4.0,
+            load_feedback: false,
         }
     }
 
@@ -1148,16 +1794,6 @@ mod tests {
         assert_eq!(result, back);
     }
 
-    fn demo_traffic() -> TrafficConfig {
-        TrafficConfig {
-            channels_per_cell: 4,
-            guard_channels: 1,
-            mean_idle_steps: 6.0,
-            mean_holding_steps: 4.0,
-            load_feedback: false,
-        }
-    }
-
     #[test]
     fn passive_traffic_plane_never_perturbs_the_fleet() {
         // The traffic plane is observational: with load_feedback off,
@@ -1297,5 +1933,264 @@ mod tests {
             assert_eq!(result.outcomes.len(), 8, "{}", mobility.label());
             assert!(result.summary.steps > 0, "{}", mobility.label());
         }
+    }
+
+    struct PanickingPolicy;
+    impl HandoverPolicy for PanickingPolicy {
+        fn decide(&mut self, _report: &MeasurementReport) -> Decision {
+            panic!("policy exploded on purpose");
+        }
+        fn notify_handover(&mut self, _new_serving: Axial) {}
+        fn name(&self) -> &'static str {
+            "panicking"
+        }
+    }
+
+    fn panicking_spec() -> impl UeSpec {
+        SingleUe {
+            trajectory: RandomWalk::paper_default(4).generate(&mut StdRng::seed_from_u64(3)),
+            make_policy: || Box::new(PanickingPolicy) as Box<dyn HandoverPolicy + Send>,
+        }
+    }
+
+    #[test]
+    fn worker_panics_surface_as_fleet_errors() {
+        let err = FleetSimulation::new(noisy_config())
+            .with_workers(2)
+            .try_run(&panicking_spec(), 4, 1)
+            .unwrap_err();
+        let FleetError::WorkerPanic(msg) = err;
+        assert!(msg.contains("on purpose"), "original panic message is preserved: {msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "on purpose")]
+    fn run_panics_on_worker_panic() {
+        let _ = FleetSimulation::new(noisy_config()).run(&panicking_spec(), 2, 1);
+    }
+
+    #[test]
+    fn try_run_matches_run() {
+        let spec = fuzzy_walk_spec(5);
+        let fleet = FleetSimulation::new(noisy_config()).with_workers(2);
+        assert_eq!(fleet.try_run(&spec, 12, 3).unwrap(), fleet.run(&spec, 12, 3));
+    }
+
+    #[test]
+    fn compact_precision_is_deterministic_and_close_to_full() {
+        let spec = fuzzy_walk_spec(5);
+        let full = FleetSimulation::new(noisy_config()).run(&spec, 40, 9);
+        let compact = FleetSimulation::new(noisy_config())
+            .with_precision(FleetPrecision::Compact)
+            .run(&spec, 40, 9);
+        // Same walks, so identical step counts; the f32 mean rounding may
+        // flip a handful of near-threshold decisions, nothing more.
+        assert_eq!(full.summary.steps, compact.summary.steps);
+        let per_ue_gap = (full.summary.handovers as f64 - compact.summary.handovers as f64)
+            .abs()
+            / full.summary.ues as f64;
+        assert!(
+            per_ue_gap < 0.5,
+            "compact drifted: {} vs {} handovers",
+            full.summary.handovers,
+            compact.summary.handovers
+        );
+        // The compact path keeps the full invariance contract.
+        for (workers, chunk) in [(3, 7), (8, 1)] {
+            let again = FleetSimulation::new(noisy_config())
+                .with_precision(FleetPrecision::Compact)
+                .with_workers(workers)
+                .with_chunk_size(chunk)
+                .run(&spec, 40, 9);
+            assert_eq!(compact, again, "workers={workers} chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn edge_set_with_infinite_margin_matches_nearest_bit_for_bit() {
+        // Every UE classifies as edge ⇒ identical candidate subsets,
+        // identical RNG draw allocation, identical everything.
+        let spec = fuzzy_walk_spec(7);
+        let nearest = FleetSimulation::new(noisy_config())
+            .with_candidate_mode(CandidateMode::Nearest(9))
+            .run(&spec, 30, 4);
+        let edge = FleetSimulation::new(noisy_config())
+            .with_candidate_mode(CandidateMode::EdgeSet { k: 9, margin_db: f64::INFINITY })
+            .run(&spec, 30, 4);
+        assert_eq!(nearest, edge);
+    }
+
+    #[test]
+    fn edge_set_interior_fast_path_is_deterministic_and_sane() {
+        let spec = fuzzy_walk_spec(7);
+        let mode = CandidateMode::EdgeSet { k: 9, margin_db: 6.0 };
+        let reference =
+            FleetSimulation::new(noisy_config()).with_candidate_mode(mode).run(&spec, 30, 4);
+        for (workers, chunk) in [(2, 5), (4, 64)] {
+            let got = FleetSimulation::new(noisy_config())
+                .with_candidate_mode(mode)
+                .with_workers(workers)
+                .with_chunk_size(chunk)
+                .run(&spec, 30, 4);
+            assert_eq!(reference, got, "workers={workers} chunk={chunk}");
+        }
+        let dense = FleetSimulation::new(noisy_config()).run(&spec, 30, 4);
+        assert_eq!(reference.summary.steps, dense.summary.steps, "same walks, same steps");
+        assert!(reference.summary.handovers > 0, "edge UEs still hand over");
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_the_uninterrupted_run() {
+        let spec = fuzzy_walk_spec(11);
+        let fleet = FleetSimulation::new(noisy_config()).with_workers(2).with_chunk_size(5);
+        let ids: Vec<u64> = (0..20).collect();
+        let full = fleet.run_ids(&spec, &ids, 6);
+        // Bounds before, inside and past every walk (10_000 ⇒ the
+        // snapshot holds only finished UEs).
+        for k in [0, 1, 5, 13, 10_000] {
+            let cp = fleet.run_partial(&spec, &ids, 6, k).unwrap();
+            assert_eq!(cp.ue_count(), ids.len(), "snapshot at step {k} covers the fleet");
+            let resumed = fleet.resume(&spec, &cp).unwrap();
+            assert_eq!(full, resumed, "snapshot at step {k}");
+            for (a, b) in full.outcomes.iter().zip(&resumed.outcomes) {
+                assert_eq!(
+                    a.hd_sum.to_bits(),
+                    b.hd_sum.to_bits(),
+                    "step {k} UE {} HD stream drifted",
+                    a.ue_id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_is_worker_and_chunk_invariant() {
+        let spec = fuzzy_walk_spec(3);
+        let ids: Vec<u64> = (0..15).collect();
+        let reference =
+            FleetSimulation::new(noisy_config()).run_partial(&spec, &ids, 2, 4).unwrap();
+        for (workers, chunk) in [(2, 1), (3, 7), (8, 64)] {
+            let cp = FleetSimulation::new(noisy_config())
+                .with_workers(workers)
+                .with_chunk_size(chunk)
+                .run_partial(&spec, &ids, 2, 4)
+                .unwrap();
+            assert_eq!(reference, cp, "workers={workers} chunk={chunk}");
+        }
+        // And the resume side is free to use a different pool shape.
+        let full = FleetSimulation::new(noisy_config()).run_ids(&spec, &ids, 2);
+        let resumed = FleetSimulation::new(noisy_config())
+            .with_workers(5)
+            .with_chunk_size(3)
+            .resume(&spec, &reference)
+            .unwrap();
+        assert_eq!(full, resumed);
+    }
+
+    #[test]
+    fn traffic_checkpoint_resumes_bit_identically() {
+        let spec = fuzzy_walk_spec(21);
+        let mk = || FleetSimulation::new(noisy_config()).with_workers(3).with_traffic(demo_traffic());
+        let ids: Vec<u64> = (0..30).collect();
+        let full = mk().run_ids(&spec, &ids, 7);
+        let cp = mk().run_partial(&spec, &ids, 7, 6).unwrap();
+        assert!(cp.tracing, "traffic engines checkpoint their traces");
+        let resumed = mk().resume(&spec, &cp).unwrap();
+        assert_eq!(full, resumed);
+        assert!(resumed.traffic.is_some(), "the replay runs at resume time");
+    }
+
+    #[test]
+    fn feedback_traffic_checkpoint_resumes_bit_identically() {
+        let congested = TrafficConfig {
+            channels_per_cell: 2,
+            guard_channels: 0,
+            mean_idle_steps: 3.0,
+            mean_holding_steps: 9.0,
+            load_feedback: true,
+        };
+        let spec = HomogeneousFleet {
+            policy: PolicyKind::LoadHysteresis { margin_db: 4.0, load_bias_db: 12.0 },
+            ..fuzzy_walk_spec(12)
+        };
+        let mk = || FleetSimulation::new(noisy_config()).with_traffic(congested);
+        let ids: Vec<u64> = (0..30).collect();
+        let full = mk().run_ids(&spec, &ids, 5);
+        // The checkpoint freezes the first (load-blind) pass; resume
+        // finishes it, replays traffic and reruns the fed pass — landing
+        // on the uninterrupted result exactly.
+        let cp = mk().run_partial(&spec, &ids, 5, 8).unwrap();
+        let resumed = mk().with_workers(4).resume(&spec, &cp).unwrap();
+        assert_eq!(full, resumed);
+    }
+
+    #[test]
+    fn pruned_mode_checkpoints_too() {
+        // The pruned modes carry extra lazy-shadowing state
+        // (last_advanced_km) through the snapshot.
+        let spec = fuzzy_walk_spec(9);
+        let ids: Vec<u64> = (0..16).collect();
+        for mode in
+            [CandidateMode::Nearest(7), CandidateMode::EdgeSet { k: 7, margin_db: 4.0 }]
+        {
+            let mk = || FleetSimulation::new(noisy_config()).with_candidate_mode(mode);
+            let full = mk().run_ids(&spec, &ids, 8);
+            let cp = mk().run_partial(&spec, &ids, 8, 5).unwrap();
+            let resumed = mk().with_workers(3).resume(&spec, &cp).unwrap();
+            assert_eq!(full, resumed, "{}", mode.label());
+        }
+    }
+
+    #[test]
+    fn checkpoint_serde_round_trips() {
+        let spec = fuzzy_walk_spec(2);
+        let ids: Vec<u64> = (0..8).collect();
+        let fleet = FleetSimulation::new(noisy_config());
+        let cp = fleet.run_partial(&spec, &ids, 3, 4).unwrap();
+        assert!(!cp.live.is_empty(), "mid-run snapshots carry live UEs");
+        let back: FleetCheckpoint =
+            serde_json::from_str(&serde_json::to_string(&cp).unwrap()).unwrap();
+        assert_eq!(cp, back);
+        assert_eq!(fleet.resume(&spec, &cp).unwrap(), fleet.resume(&spec, &back).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "tracing")]
+    fn resume_rejects_mismatched_traffic_plane() {
+        let spec = fuzzy_walk_spec(1);
+        let ids: Vec<u64> = (0..4).collect();
+        let cp = FleetSimulation::new(noisy_config()).run_partial(&spec, &ids, 2, 3).unwrap();
+        let _ = FleetSimulation::new(noisy_config())
+            .with_traffic(demo_traffic())
+            .resume(&spec, &cp);
+    }
+
+    #[test]
+    fn streamed_summary_matches_dense_bit_for_bit() {
+        let spec = fuzzy_walk_spec(5);
+        let dense = FleetSimulation::new(noisy_config()).run(&spec, 40, 9);
+        for workers in [1, 3] {
+            let streamed = FleetSimulation::new(noisy_config())
+                .with_workers(workers)
+                .with_chunk_size(7)
+                .run_streamed(&spec, 40, 9)
+                .unwrap();
+            assert_eq!(dense.summary, streamed.summary, "workers={workers}");
+            assert_eq!(
+                dense.summary.hd_sum.to_bits(),
+                streamed.summary.hd_sum.to_bits(),
+                "the streamed HD fold keeps UE-id order"
+            );
+            assert_eq!(dense.cell_load, streamed.cell_load);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no traffic plane")]
+    fn streamed_rejects_traffic_plane() {
+        let spec = fuzzy_walk_spec(1);
+        let _ = FleetSimulation::new(noisy_config())
+            .with_traffic(demo_traffic())
+            .run_streamed(&spec, 4, 1);
     }
 }

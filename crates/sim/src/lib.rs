@@ -22,6 +22,9 @@
 //!   blocking vs. handover-call dropping, guard channels), and the
 //!   deterministic replay producing [`handover_core::TrafficReport`]s
 //!   and the occupancy feedback field.
+//! * [`checkpoint`] — compact fleet snapshots: freeze a mid-run fleet
+//!   pass ([`fleet::FleetSimulation::run_partial`]) and resume it
+//!   bit-identically ([`fleet::FleetSimulation::resume`]).
 //! * [`experiments`] — one module per paper table/figure; the `repro`
 //!   binary prints them all.
 //! * [`table`] / [`series`] — plain-text renderers for tables and plots.
@@ -29,6 +32,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod checkpoint;
 pub mod engine;
 pub mod experiments;
 pub mod fleet;
@@ -40,10 +44,11 @@ pub mod series;
 pub mod table;
 pub mod traffic;
 
+pub use checkpoint::{FleetCheckpoint, UeCheckpoint, CHECKPOINT_VERSION};
 pub use engine::{SimConfig, SimResult, Simulation, StepRecord};
 pub use fleet::{
-    ue_seed, FleetMobility, FleetResult, FleetSimulation, HomogeneousFleet, PolicyKind, UeOutcome,
-    UeSpec,
+    ue_seed, FleetError, FleetMobility, FleetPrecision, FleetResult, FleetSimulation,
+    FleetStreamSummary, HomogeneousFleet, PolicyKind, UeOutcome, UeSpec,
 };
 pub use matrix::{MatrixCellResult, MatrixMetric, MatrixResult, ScenarioMatrix};
 pub use params::PaperParams;

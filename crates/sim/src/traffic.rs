@@ -204,23 +204,25 @@ pub fn generate_sessions(cfg: &TrafficConfig, seed: u64, horizon_steps: usize) -
 /// O(UEs + handovers) memory instead of O(UEs × steps). A pure
 /// function of the UE id and the fleet spec/seed, which is what lets
 /// the sequential replay be worker-count invariant.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UeTrace {
     /// The UE id.
     pub ue_id: u64,
     /// Measurement steps the UE took (the trace covers instants
-    /// `0..steps`).
-    pub steps: u32,
+    /// `0..steps`). `u64`: production-scale runs overflow a `u32` step
+    /// counter (4.3 G steps), and a silent wrap would corrupt the
+    /// replay's timeline.
+    pub steps: u64,
     /// `(step, serving cell layout index)` change points, strictly
     /// ascending by step; the first entry sits at step 0 whenever
     /// `steps > 0`.
-    pub changes: Vec<(u32, u32)>,
+    pub changes: Vec<(u64, u32)>,
 }
 
 impl UeTrace {
     /// A UE pinned to one cell for its whole run — the M/M/c test and
     /// bench workhorse.
-    pub fn pinned(ue_id: u64, steps: u32, cell: u32) -> Self {
+    pub fn pinned(ue_id: u64, steps: u64, cell: u32) -> Self {
         let changes = if steps == 0 { Vec::new() } else { vec![(0, cell)] };
         UeTrace { ue_id, steps, changes }
     }
@@ -230,14 +232,14 @@ impl UeTrace {
         let mut changes = Vec::new();
         for (s, &cell) in serving.iter().enumerate() {
             if changes.last().map_or(true, |&(_, c)| c != cell) {
-                changes.push((s as u32, cell));
+                changes.push((s as u64, cell));
             }
         }
-        UeTrace { ue_id, steps: serving.len() as u32, changes }
+        UeTrace { ue_id, steps: serving.len() as u64, changes }
     }
 
     /// The serving cell at `step` (must be `< steps`).
-    pub fn cell_at(&self, step: u32) -> u32 {
+    pub fn cell_at(&self, step: u64) -> u32 {
         assert!(step < self.steps, "step {step} outside the trace");
         match self.changes.binary_search_by_key(&step, |&(s, _)| s) {
             Ok(k) => self.changes[k].1,
@@ -250,12 +252,45 @@ impl UeTrace {
 /// replay cursor (`(next change index, current cell)`). Queries must be
 /// monotone in `s` per UE — exactly what the timeline walk guarantees —
 /// so each change point is consumed once, O(1) amortised.
-fn current_cell(trace: &UeTrace, cursor: &mut (usize, u32), s: u32) -> u32 {
+fn current_cell(trace: &UeTrace, cursor: &mut (usize, u32), s: u64) -> u32 {
     while cursor.0 < trace.changes.len() && trace.changes[cursor.0].0 <= s {
         cursor.1 = trace.changes[cursor.0].1;
         cursor.0 += 1;
     }
     cursor.1
+}
+
+/// The timeline window a session occupies over a `steps`-instant run:
+/// `Some((start_step, last_step, natural_end))` when the call contends
+/// for a channel at one or more sample instants, `None` otherwise.
+///
+/// * `start_step = ⌈start⌉` — the first sampled instant at or after the
+///   dial time.
+/// * `last_step = min(⌈start + duration⌉ − 1, steps − 1)` — the last
+///   sampled instant inside the holding time, clipped to the UE's
+///   lifetime. The subtraction is `checked`: a zero-duration session
+///   dialled at an integer instant has `⌈end⌉ == start_step` (or even
+///   `⌈end⌉ == 0` at `t = 0`), and the old saturating arithmetic turned
+///   that last case into an inverted-then-"valid" `[0, 0]` window that
+///   wrongly seized a channel for a call of zero length.
+/// * `natural_end` — whether `last_step` is the call's own end rather
+///   than the run's.
+///
+/// All arithmetic stays in `u64`: holding times drawn from heavy-tailed
+/// exponentials can exceed `2³²` steps, and a `u32` truncation silently
+/// wrapped the window bounds.
+fn call_window(session: &OfferedSession, steps: u64) -> Option<(u64, u64, bool)> {
+    let start_step = session.start.ceil() as u64;
+    if start_step >= steps {
+        // Dialled after the UE's last sample.
+        return None;
+    }
+    let natural_last = ((session.start + session.duration).ceil() as u64).checked_sub(1)?;
+    if natural_last < start_step {
+        // Over entirely between two samples: never contends.
+        return None;
+    }
+    Some((start_step, natural_last.min(steps - 1), natural_last < steps))
 }
 
 /// One admission-visible call waiting to be offered (the replay's
@@ -265,10 +300,10 @@ struct PendingCall {
     /// Index into the trace list (not the UE id).
     ue: u32,
     /// Admission instant (`ceil` of the dial time).
-    step: u32,
+    step: u64,
     /// Last timeline instant the call is sampled at (inclusive, clipped
     /// to the UE's lifetime).
-    last_step: u32,
+    last_step: u64,
     /// Whether `last_step` is the call's natural end (vs. the UE's run
     /// ending first).
     natural_end: bool,
@@ -282,7 +317,7 @@ struct ActiveCall {
     /// Cell (layout index) currently carrying the call.
     cell: u32,
     /// Last timeline instant the call is sampled at (inclusive).
-    last_step: u32,
+    last_step: u64,
     /// Whether `last_step` is the call's natural end (vs. the UE's run
     /// ending first).
     natural_end: bool,
@@ -420,21 +455,11 @@ pub fn replay_traffic(
             steps as usize,
         );
         for session in &sessions {
-            let start_step = session.start.ceil() as u32;
-            let natural_last =
-                ((session.start + session.duration).ceil() as u64).saturating_sub(1) as u32;
-            if start_step >= steps || natural_last < start_step {
-                // Dialled after the UE's last sample, or over entirely
-                // between two samples: never contends for a channel.
+            let Some((start_step, last_step, natural_end)) = call_window(session, steps) else {
                 continue;
-            }
+            };
             offered_call_time += (session.start + session.duration).min(steps as f64) - session.start;
-            arrivals.push(PendingCall {
-                ue: ue as u32,
-                step: start_step,
-                last_step: natural_last.min(steps - 1),
-                natural_end: natural_last < steps,
-            });
+            arrivals.push(PendingCall { ue: ue as u32, step: start_step, last_step, natural_end });
         }
     }
     arrivals.sort_by_key(|a| a.step);
@@ -605,7 +630,7 @@ mod tests {
     }
 
     /// A trace pinning `n` UEs to cell 0 for `steps` steps.
-    fn pinned_traces(n: u64, steps: u32) -> Vec<UeTrace> {
+    fn pinned_traces(n: u64, steps: u64) -> Vec<UeTrace> {
         (0..n).map(|ue_id| UeTrace::pinned(ue_id, steps, 0)).collect()
     }
 
@@ -616,7 +641,7 @@ mod tests {
         assert_eq!(t.steps, 8);
         assert_eq!(t.changes, vec![(0, 0), (2, 1), (5, 0), (6, 2)]);
         for (s, &cell) in serving.iter().enumerate() {
-            assert_eq!(t.cell_at(s as u32), cell, "step {s}");
+            assert_eq!(t.cell_at(s as u64), cell, "step {s}");
         }
         let p = UeTrace::pinned(1, 4, 3);
         assert_eq!(p.changes, vec![(0, 3)]);
@@ -769,14 +794,12 @@ mod tests {
         let base_seed = 7u64;
         let stream = ue_seed(base_seed ^ TRAFFIC_STREAM, 0);
         let first = generate_sessions(&cfg, stream, 1_000_000)[0];
-        let len = (first.start + first.duration).ceil() as u32; // natural_last + 1
+        let len = (first.start + first.duration).ceil() as u64; // natural_last + 1
         let expected: u64 = generate_sessions(&cfg, stream, len as usize)
             .iter()
-            .filter(|s| {
-                let s0 = s.start.ceil() as u32;
-                let nl = ((s.start + s.duration).ceil() as u32).saturating_sub(1);
-                s0 < len && s0 <= nl && nl < len // visible, ends inside the run
-            })
+            // Visible and ending inside the run: exactly a natural-end
+            // call window.
+            .filter(|s| matches!(call_window(s, len), Some((_, _, true))))
             .count() as u64;
         assert!(expected >= 1, "the first session ends exactly on the final step");
         let (report, _) = replay_traffic(&cfg, &two_cells(), &pinned_traces(1, len), base_seed);
@@ -784,6 +807,61 @@ mod tests {
             report.completed_calls, expected,
             "final-step natural ends must be drained into the completed count"
         );
+    }
+
+    #[test]
+    fn call_window_bounds_are_consistent() {
+        // A zero-duration session dialled exactly at t = 0 must not
+        // contend: the old `saturating_sub(1)` arithmetic turned its
+        // `⌈end⌉ = 0` into a bogus [0, 0] window that seized a channel.
+        assert_eq!(call_window(&OfferedSession { start: 0.0, duration: 0.0 }, 10), None);
+        // Zero duration at a later integer instant: over between samples.
+        assert_eq!(call_window(&OfferedSession { start: 3.0, duration: 0.0 }, 10), None);
+        // Sub-step duration straddling a sample instant does contend.
+        assert_eq!(
+            call_window(&OfferedSession { start: 2.9, duration: 0.2 }, 10),
+            Some((3, 3, true))
+        );
+        // Sub-step duration strictly between samples never does.
+        assert_eq!(call_window(&OfferedSession { start: 2.1, duration: 0.2 }, 10), None);
+        // Dialled after the last sample.
+        assert_eq!(call_window(&OfferedSession { start: 10.0, duration: 5.0 }, 10), None);
+        // A holding time past 2³² steps must clip, not wrap: the old
+        // `as u32` truncation folded the end bound modulo 2³².
+        assert_eq!(
+            call_window(&OfferedSession { start: 1.0, duration: 1.0e10 }, 100),
+            Some((1, 99, false))
+        );
+        // Every produced window is well-ordered.
+        for k in 0..200 {
+            let s = OfferedSession { start: 0.37 * k as f64, duration: 0.11 * k as f64 };
+            if let Some((start, last, _)) = call_window(&s, 50) {
+                assert!(start <= last && last < 50, "window {start}..={last} for {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn near_zero_holding_times_never_invert_the_window() {
+        // Practically-zero holding times: nearly every session is over
+        // between two samples. The replay must stay consistent (no
+        // inverted windows, offered = carried + blocked) instead of
+        // seizing channels for zero-length calls.
+        let c = TrafficConfig {
+            channels_per_cell: 2,
+            guard_channels: 0,
+            mean_idle_steps: 0.5,
+            mean_holding_steps: 1e-12,
+            load_feedback: false,
+        };
+        let traces = pinned_traces(50, 200);
+        let (report, _) = replay_traffic(&c, &two_cells(), &traces, 21);
+        assert_eq!(report.offered_calls, report.carried_calls + report.blocked_calls);
+        assert_eq!(report.blocked_calls, 0, "nothing holds a channel long enough to block");
+        assert!(report.carried_erlangs < 1e-6, "{}", report.carried_erlangs);
+        // Each admitted call must still satisfy start ≤ last by
+        // construction — replay would panic on an inverted retain window.
+        assert!(report.completed_calls <= report.carried_calls);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Memory-bounded fleet scaling driver: run an arbitrarily large
+//! homogeneous fleet through the streaming aggregator — no UEs×cells
+//! matrix, no per-UE outcome vector — and report throughput. This is
+//! the binary behind the 1M-UE acceptance run in `BENCH_fleet.json`:
+//!
+//! ```text
+//! cargo run --release --example fleet_scale -- --ues 1000000 --walks 1000 \
+//!     --candidate edge --precision compact
+//! ```
+//!
+//! Flags (all optional): `--ues N` (default 100 000), `--walks N`
+//! (random-walk segments ≈ measurement steps per UE, default 1 000),
+//! `--workers N` (default 4), `--mode streamed|dense`, `--candidate
+//! all|nearest|edge`, `--precision full|compact`, `--seed N`.
+
+use fuzzy_handover::radio::{MeasurementNoise, ShadowingConfig};
+use fuzzy_handover::sim::fleet::{
+    CandidateMode, FleetMobility, FleetPrecision, FleetSimulation, HomogeneousFleet, PolicyKind,
+};
+use fuzzy_handover::sim::SimConfig;
+use std::time::Instant;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{name} needs a value"))
+            .clone()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_ues: u64 = flag(&args, "--ues").map_or(100_000, |v| v.parse().expect("--ues"));
+    let walks: usize = flag(&args, "--walks").map_or(1_000, |v| v.parse().expect("--walks"));
+    let workers: usize = flag(&args, "--workers").map_or(4, |v| v.parse().expect("--workers"));
+    let seed: u64 = flag(&args, "--seed").map_or(7, |v| v.parse().expect("--seed"));
+    let mode = flag(&args, "--mode").unwrap_or_else(|| "streamed".into());
+    let candidate = match flag(&args, "--candidate").as_deref() {
+        None | Some("edge") => CandidateMode::EdgeSet { k: 7, margin_db: 6.0 },
+        Some("nearest") => CandidateMode::Nearest(7),
+        Some("all") => CandidateMode::All,
+        Some(other) => panic!("unknown --candidate {other}"),
+    };
+    let precision = match flag(&args, "--precision").as_deref() {
+        None | Some("compact") => FleetPrecision::Compact,
+        Some("full") => FleetPrecision::Full,
+        Some(other) => panic!("unknown --precision {other}"),
+    };
+
+    let mut cfg = SimConfig::paper_default();
+    cfg.shadowing = ShadowingConfig::moderate();
+    cfg.noise = MeasurementNoise::new(1.0);
+    let fleet = FleetSimulation::new(cfg)
+        .with_workers(workers)
+        .with_candidate_mode(candidate)
+        .with_precision(precision);
+    let spec = HomogeneousFleet {
+        mobility: FleetMobility::RandomWalk(
+            fuzzy_handover::mobility::RandomWalk::paper_default(walks),
+        ),
+        policy: PolicyKind::Fuzzy,
+        trajectory_seed: seed ^ 0x5CA1E,
+        cell_radius_km: 2.0,
+    };
+
+    println!(
+        "fleet_scale: {n_ues} UEs × {walks} walk segments (~{} steps/UE), {workers} workers, \
+         {candidate:?}, {precision:?}, mode={mode}",
+        (walks as f64 * 1.5) as u64
+    );
+    let t0 = Instant::now();
+    let (summary, load_total) = match mode.as_str() {
+        "streamed" => {
+            let out = fleet.run_streamed(&spec, n_ues, seed).expect("streamed run");
+            let total = out.cell_load.total();
+            (out.summary, total)
+        }
+        "dense" => {
+            let out = fleet.run(&spec, n_ues, seed);
+            let total = out.cell_load.total();
+            (out.summary, total)
+        }
+        other => panic!("unknown --mode {other}"),
+    };
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    assert_eq!(summary.ues, n_ues);
+    assert_eq!(load_total, summary.steps);
+    println!(
+        "ues={} steps={} handovers={} ping_pongs={} outage_steps={} mean_hd={:.6}",
+        summary.ues,
+        summary.steps,
+        summary.handovers,
+        summary.ping_pongs,
+        summary.outage_steps,
+        summary.mean_hd().unwrap_or(f64::NAN)
+    );
+    println!(
+        "elapsed {elapsed:.2} s, {:.3} M UE-steps/s",
+        summary.steps as f64 / elapsed / 1e6
+    );
+    if let Some(kb) = peak_rss_kb() {
+        println!("peak RSS {:.1} MiB", kb as f64 / 1024.0);
+    }
+}
+
+/// Peak resident set size of this process in KiB (Linux; `None`
+/// elsewhere or when `/proc` is unavailable).
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}

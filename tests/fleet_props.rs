@@ -8,7 +8,14 @@
 //!    bit-identical to the dense mode, and below that bound it is itself
 //!    invariant under worker count and chunk size;
 //! 5. the scenario matrix reports identical cells, in identical sweep
-//!    order, for every `matrix_workers` value.
+//!    order, for every `matrix_workers` value;
+//! 6. a `run_partial` snapshot at an arbitrary step, taken and resumed
+//!    under arbitrary worker/chunk shapes, reproduces the uninterrupted
+//!    run bit for bit;
+//! 7. the streaming aggregation path reproduces the dense run's summary
+//!    and load histogram bit for bit;
+//! 8. `EdgeSet` with an infinite margin is bit-identical to `Nearest`
+//!    with the same `k`, and finite margins stay shard-invariant.
 
 use fuzzy_handover::core::HandoverPolicy;
 use fuzzy_handover::mobility::{MobilityModel, RandomWalk};
@@ -219,5 +226,116 @@ proptest! {
         prop_assert!(labels[0].contains("random-walk"));
         prop_assert!(labels[0].contains("fuzzy"));
         prop_assert!(labels[1].contains("hysteresis"));
+    }
+
+    /// Contract 6: freeze at an arbitrary step under one worker/chunk
+    /// shape, resume under another — the reassembled result is
+    /// bit-identical to the uninterrupted run.
+    #[test]
+    fn snapshot_resume_is_bit_identical(
+        seed in 0u64..u64::MAX,
+        n_ues in 1u64..20,
+        snap_step in 0u64..48,
+        workers_a in 1usize..6,
+        chunk_a in 1usize..33,
+        workers_b in 1usize..6,
+        chunk_b in 1usize..33,
+        policy in policy_strategy(),
+    ) {
+        let cfg = config(4.0, 1.0, 0.3, 0.0);
+        let spec = HomogeneousFleet {
+            mobility: FleetMobility::RandomWalk(RandomWalk::paper_default(5)),
+            policy,
+            trajectory_seed: seed ^ 0xCAFE,
+            cell_radius_km: 2.0,
+        };
+        let ids: Vec<u64> = (0..n_ues).collect();
+        let full = FleetSimulation::new(cfg.clone()).run_ids(&spec, &ids, seed);
+        let cp = FleetSimulation::new(cfg.clone())
+            .with_workers(workers_a)
+            .with_chunk_size(chunk_a)
+            .run_partial(&spec, &ids, seed, snap_step)
+            .unwrap();
+        let resumed = FleetSimulation::new(cfg)
+            .with_workers(workers_b)
+            .with_chunk_size(chunk_b)
+            .resume(&spec, &cp)
+            .unwrap();
+        prop_assert_eq!(&full, &resumed);
+        for (a, b) in full.outcomes.iter().zip(&resumed.outcomes) {
+            prop_assert_eq!(a.hd_sum.to_bits(), b.hd_sum.to_bits());
+            prop_assert_eq!(a.travelled_km.to_bits(), b.travelled_km.to_bits());
+        }
+    }
+
+    /// Contract 7: the streaming aggregator — which never materialises
+    /// the per-UE outcome vector — reproduces the dense run's summary
+    /// and serving-load histogram bit for bit under any sharding.
+    #[test]
+    fn streamed_summary_equals_dense_run(
+        seed in 0u64..u64::MAX,
+        n_ues in 1u64..32,
+        workers in 1usize..6,
+        chunk in 1usize..33,
+        policy in policy_strategy(),
+    ) {
+        let cfg = config(3.0, 1.0, 0.3, 0.0);
+        let spec = HomogeneousFleet {
+            mobility: FleetMobility::RandomWalk(RandomWalk::paper_default(5)),
+            policy,
+            trajectory_seed: seed ^ 0xF00D,
+            cell_radius_km: 2.0,
+        };
+        let dense = FleetSimulation::new(cfg.clone()).run(&spec, n_ues, seed);
+        let streamed = FleetSimulation::new(cfg)
+            .with_workers(workers)
+            .with_chunk_size(chunk)
+            .run_streamed(&spec, n_ues, seed)
+            .unwrap();
+        prop_assert_eq!(&dense.summary, &streamed.summary);
+        prop_assert_eq!(
+            dense.summary.hd_sum.to_bits(),
+            streamed.summary.hd_sum.to_bits()
+        );
+        prop_assert_eq!(&dense.cell_load, &streamed.cell_load);
+    }
+
+    /// Contract 8: an infinite edge margin disables the interior fast
+    /// path, so `EdgeSet { k, ∞ }` equals `Nearest(k)` bit for bit; a
+    /// finite margin remains invariant under sharding.
+    #[test]
+    fn edge_set_refines_nearest(
+        seed in 0u64..u64::MAX,
+        n_ues in 1u64..16,
+        k in 7usize..12,
+        margin_db in 1.0f64..10.0,
+        workers in 1usize..6,
+        chunk in 1usize..33,
+        policy in policy_strategy(),
+    ) {
+        let cfg = config(4.0, 1.0, 0.3, 0.0);
+        let spec = HomogeneousFleet {
+            mobility: FleetMobility::RandomWalk(RandomWalk::paper_default(5)),
+            policy,
+            trajectory_seed: seed ^ 0xED6E,
+            cell_radius_km: 2.0,
+        };
+        let nearest = FleetSimulation::new(cfg.clone())
+            .with_candidate_mode(CandidateMode::Nearest(k))
+            .run(&spec, n_ues, seed);
+        let unbounded = FleetSimulation::new(cfg.clone())
+            .with_candidate_mode(CandidateMode::EdgeSet { k, margin_db: f64::INFINITY })
+            .run(&spec, n_ues, seed);
+        prop_assert_eq!(&nearest, &unbounded);
+        let finite_ref = FleetSimulation::new(cfg.clone())
+            .with_candidate_mode(CandidateMode::EdgeSet { k, margin_db })
+            .run(&spec, n_ues, seed);
+        let finite_sharded = FleetSimulation::new(cfg)
+            .with_candidate_mode(CandidateMode::EdgeSet { k, margin_db })
+            .with_workers(workers)
+            .with_chunk_size(chunk)
+            .run(&spec, n_ues, seed);
+        prop_assert_eq!(&finite_ref, &finite_sharded);
+        prop_assert_eq!(finite_ref.summary.steps, nearest.summary.steps);
     }
 }

@@ -1,0 +1,104 @@
+//! Golden-file regression harness for the fleet checkpoint format.
+//!
+//! The checkpoint is an on-disk artifact: a snapshot written by one
+//! build must resume under a later build (or fail loudly via the
+//! version tag). This suite pins the serialized [`FleetCheckpoint`]
+//! bytes of a small mid-run snapshot — RNG block positions, shadowing
+//! lanes, smoother filters, policy state, traces and tallies — and
+//! additionally proves the *pinned* bytes still resume bit-identically
+//! to the uninterrupted run. Refresh after an *intentional* format
+//! change (and a `CHECKPOINT_VERSION` bump) with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_fleet
+//! ```
+
+use fuzzy_handover::mobility::RandomWalk;
+use fuzzy_handover::radio::{MeasurementNoise, ShadowingConfig};
+use fuzzy_handover::sim::fleet::{FleetMobility, FleetSimulation, HomogeneousFleet, PolicyKind};
+use fuzzy_handover::sim::{FleetCheckpoint, SimConfig, TrafficConfig};
+use std::path::{Path, PathBuf};
+
+fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden_fleet")
+        .join("checkpoint.json")
+}
+
+fn engine() -> FleetSimulation {
+    let mut cfg = SimConfig::paper_default();
+    cfg.shadowing = ShadowingConfig::moderate();
+    cfg.noise = MeasurementNoise::new(1.0);
+    FleetSimulation::new(cfg)
+        .with_workers(3)
+        .with_chunk_size(4)
+        .with_traffic(TrafficConfig {
+            channels_per_cell: 3,
+            guard_channels: 1,
+            mean_idle_steps: 5.0,
+            mean_holding_steps: 4.0,
+            load_feedback: false,
+        })
+}
+
+fn spec() -> HomogeneousFleet {
+    HomogeneousFleet {
+        mobility: FleetMobility::RandomWalk(RandomWalk::paper_default(6)),
+        policy: PolicyKind::Fuzzy,
+        trajectory_seed: 0x601D,
+        cell_radius_km: 2.0,
+    }
+}
+
+const BASE_SEED: u64 = 0xC4EC_4101;
+const SNAP_STEP: u64 = 7;
+const N_UES: u64 = 12;
+
+#[test]
+fn checkpoint_format_matches_golden_and_resumes() {
+    let engine = engine();
+    let spec = spec();
+    let ids: Vec<u64> = (0..N_UES).collect();
+    let cp = engine
+        .run_partial(&spec, &ids, BASE_SEED, SNAP_STEP)
+        .expect("partial run");
+    let fresh = serde_json::to_string(&cp).expect("serialize checkpoint") + "\n";
+
+    let path = golden_path();
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create dir");
+        std::fs::write(&path, &fresh).expect("write golden");
+        println!("refreshed {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|err| {
+        panic!(
+            "missing golden file {} ({err}); generate with UPDATE_GOLDEN=1 cargo test --test golden_fleet",
+            path.display()
+        )
+    });
+    if golden != fresh {
+        let at = golden
+            .bytes()
+            .zip(fresh.bytes())
+            .position(|(g, f)| g != f)
+            .unwrap_or_else(|| golden.len().min(fresh.len()));
+        let lo = at.saturating_sub(60);
+        panic!(
+            "checkpoint format drifted at byte {at}:\n  golden: …{}…\n  fresh : …{}…\n\
+             An on-disk snapshot from an older build would no longer restore these\n\
+             bytes. If the change is intended, bump CHECKPOINT_VERSION and refresh\n\
+             with UPDATE_GOLDEN=1 cargo test --test golden_fleet",
+            &golden[lo..(at + 60).min(golden.len())],
+            &fresh[lo..(at + 60).min(fresh.len())],
+        );
+    }
+
+    // The pinned bytes are not just stable — they still resume into the
+    // exact uninterrupted result.
+    let parsed: FleetCheckpoint = serde_json::from_str(&golden).expect("parse golden");
+    let resumed = engine.resume(&spec, &parsed).expect("resume golden");
+    let full = engine.run_ids(&spec, &ids, BASE_SEED);
+    assert_eq!(full, resumed, "golden checkpoint no longer resumes bit-identically");
+}

@@ -102,7 +102,7 @@ fn empirical_session_statistics_match_the_configuration() {
 
 /// A trace set pinning `n_ues` stationary UEs to cell 0 for `steps`
 /// steps — the M/M/c single-cell configuration.
-fn pinned_traces(n_ues: u64, steps: u32) -> Vec<UeTrace> {
+fn pinned_traces(n_ues: u64, steps: u64) -> Vec<UeTrace> {
     (0..n_ues).map(|ue_id| UeTrace::pinned(ue_id, steps, 0)).collect()
 }
 
@@ -120,7 +120,7 @@ fn erlang_cell() -> Vec<Axial> {
 #[test]
 fn single_cell_blocking_matches_erlang_b_at_10k_ues() {
     let n_ues = 10_000u64;
-    let steps = 6_000u32;
+    let steps = 6_000u64;
     let channels = 20u32;
     let offered_erlangs = 15.0f64;
     let holding = 20.0f64;
@@ -161,7 +161,7 @@ fn single_cell_blocking_matches_erlang_b_at_10k_ues() {
 #[test]
 fn single_cell_blocking_tracks_erlang_b_at_1k_ues() {
     let n_ues = 1_000u64;
-    let steps = 3_000u32;
+    let steps = 3_000u64;
     let channels = 10u32;
     let offered_erlangs = 7.0f64;
     let cfg = TrafficConfig::erlang(channels, 0, offered_erlangs / n_ues as f64, 15.0);
