@@ -1,15 +1,21 @@
 //! Fleet-engine throughput: chunked multi-UE stepping, worker scaling,
 //! the scenario-matrix acceptance run (10k UEs × the four standard
 //! mobility models, per-cell load histograms in the output tables),
-//! the memory-bounded streaming/precision/edge-set paths, and the
-//! checkpoint freeze/resume cycle.
+//! the memory-bounded streaming/precision/edge-set paths, the
+//! checkpoint freeze/resume cycle, and the dynamic-workload plane
+//! (churn + tide + failures + service classes) against its static
+//! baseline.
 
+use cellgeom::Axial;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use handover_sim::fleet::{
     CandidateMode, FleetMobility, FleetPrecision, FleetSimulation, HomogeneousFleet, PolicyKind,
 };
 use handover_sim::matrix::ScenarioMatrix;
-use handover_sim::SimConfig;
+use handover_sim::{
+    CellOutage, ChurnConfig, DynamicsConfig, ServiceMix, ServiceParams, SimConfig, TidalWave,
+    TrafficConfig,
+};
 use mobility::RandomWalk;
 use radiolink::{MeasurementNoise, ShadowingConfig};
 use std::hint::black_box;
@@ -70,6 +76,7 @@ fn bench_scenario_matrix_10k(c: &mut Criterion) {
         speeds_kmh: vec![30.0],
         policies: vec![PolicyKind::Fuzzy],
         traffics: vec![None],
+        dynamics: vec![None],
         base_seed: 0xF1EE7,
         workers: 8,
         matrix_workers: 1,
@@ -100,7 +107,8 @@ fn bench_scenario_matrix_10k(c: &mut Criterion) {
         })
     });
     g.finish();
-    assert!(checked.get(), "the acceptance run executed");
+    // `checked` stays false only when a CLI filter skipped this group —
+    // asserting on it here would make every filtered invocation panic.
 }
 
 /// The 10×-scale lanes on the same 2k-UE walk: dense baseline, the
@@ -170,12 +178,83 @@ fn bench_checkpoint_cycle(c: &mut Criterion) {
     g.finish();
 }
 
+/// The dynamic-workload plane on the 2k-UE walk: the static+traffic
+/// baseline, engine-side dynamics only (churn + failure mask), and the
+/// full city workload (churn + tide + failures + service classes over
+/// the traffic replay). The acceptance assertions — dynamic report
+/// attached, population churned, histogram conserved — run once.
+fn bench_dynamic_fleet(c: &mut Criterion) {
+    const UES: u64 = 2_000;
+    let spec = walk_spec();
+    let traffic = TrafficConfig {
+        channels_per_cell: 8,
+        guard_channels: 1,
+        mean_idle_steps: 6.0,
+        mean_holding_steps: 4.0,
+        load_feedback: false,
+    };
+    let dynamics = DynamicsConfig {
+        churn: Some(ChurnConfig {
+            initial_ues: 1_200,
+            horizon_steps: 10,
+            mean_lifetime_steps: 8.0,
+        }),
+        tide: Some(TidalWave { period_steps: 8, amplitude: 0.6, phase_per_q: 0.25 }),
+        failures: vec![CellOutage { cell: Axial::new(0, 0), from_step: 4, until_step: 8 }],
+        services: Some(ServiceMix {
+            voice_share: 0.6,
+            voice: ServiceParams {
+                mean_idle_steps: 5.0,
+                mean_holding_steps: 3.0,
+                extra_guard_channels: 0,
+            },
+            data: ServiceParams {
+                mean_idle_steps: 7.0,
+                mean_holding_steps: 8.0,
+                extra_guard_channels: 1,
+            },
+        }),
+    };
+
+    let mut g = c.benchmark_group("fleet/dynamic_2k_ues");
+    g.sample_size(10);
+
+    let baseline = FleetSimulation::new(fleet_config()).with_workers(4).with_traffic(traffic);
+    g.bench_function("static_traffic", |b| {
+        b.iter(|| black_box(baseline.run(&spec, UES, 7)))
+    });
+
+    let engine_side = DynamicsConfig { tide: None, services: None, ..dynamics.clone() };
+    let churned = FleetSimulation::new(fleet_config())
+        .with_workers(4)
+        .with_dynamics(engine_side);
+    let result = churned.run(&spec, UES, 7);
+    let report = result.dynamics.as_ref().expect("dynamic report attached");
+    assert!(report.departures > 0, "churn must retire UEs");
+    assert_eq!(result.cell_load.total(), result.summary.steps, "histogram conserved");
+    g.bench_function("churn_failures", |b| b.iter(|| black_box(churned.run(&spec, UES, 7))));
+
+    let city = FleetSimulation::new(fleet_config())
+        .with_workers(4)
+        .with_traffic(traffic)
+        .with_dynamics(dynamics);
+    let result = city.run(&spec, UES, 7);
+    assert!(
+        result.dynamics.as_ref().and_then(|d| d.traffic.as_ref()).is_some(),
+        "full city workload carries the dropped-Erlang breakdown"
+    );
+    g.bench_function("full_city", |b| b.iter(|| black_box(city.run(&spec, UES, 7))));
+
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_fleet_sizes,
     bench_worker_scaling,
     bench_scenario_matrix_10k,
     bench_scaled_paths,
-    bench_checkpoint_cycle
+    bench_checkpoint_cycle,
+    bench_dynamic_fleet
 );
 criterion_main!(benches);

@@ -133,6 +133,7 @@ fn bench_scenario_matrix_modes(c: &mut Criterion) {
         speeds_kmh: vec![30.0],
         policies: vec![PolicyKind::Fuzzy],
         traffics: vec![None],
+        dynamics: vec![None],
         base_seed: 0xF1EE7,
         workers: 8,
         matrix_workers: 1,

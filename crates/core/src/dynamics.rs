@@ -1,0 +1,279 @@
+//! Dynamic-workload reporting: the metrics a city-scale run adds on top
+//! of the static fleet/traffic accounting.
+//!
+//! The simulator's dynamic-workload plane (UE churn, tidal offered
+//! load, BS failure events, service-class sessions) produces results
+//! the static [`TrafficReport`](crate::TrafficReport) has no columns
+//! for: how the population itself evolved, how fairly the serving load
+//! spread across cells, how long UEs dwelt between handovers, and how
+//! much carried traffic was lost to each distinct cause. This module
+//! holds those report types plus the [`jain_index`] fairness metric;
+//! the simulator fills them in deterministically, so — like every other
+//! report in this crate — they are bit-identical for any worker count,
+//! chunk size, or submission order.
+
+use serde::{Deserialize, Serialize};
+
+/// Service class of a call session. Classes differ in their holding
+/// distributions and in their admission priority (extra guard channels
+/// can be reserved against the lower-priority class), per the
+/// service-aware fuzzy-handover literature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceClass {
+    /// Delay-sensitive voice: short holding times, admission priority.
+    Voice,
+    /// Elastic data: longer holding times, lower admission priority.
+    Data,
+}
+
+impl ServiceClass {
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServiceClass::Voice => "voice",
+            ServiceClass::Data => "data",
+        }
+    }
+}
+
+/// Per-service-class admission accounting of a dynamic traffic replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassTraffic {
+    /// The service class these counters describe.
+    pub class: ServiceClass,
+    /// New calls of this class offered fleet-wide.
+    pub offered_calls: u64,
+    /// New calls of this class blocked at admission.
+    pub blocked_calls: u64,
+    /// New calls of this class admitted.
+    pub carried_calls: u64,
+    /// Handover attempts of active carried calls of this class.
+    pub handover_attempts: u64,
+    /// Handover attempts refused by the target cell (the call is lost).
+    pub dropped_calls: u64,
+    /// Carried calls that ran to their natural end inside the run.
+    pub completed_calls: u64,
+    /// Offered call-time of this class divided by the timeline length.
+    pub offered_erlangs: f64,
+}
+
+impl ClassTraffic {
+    /// Zeroed accounting for one class.
+    pub fn new(class: ServiceClass) -> Self {
+        ClassTraffic {
+            class,
+            offered_calls: 0,
+            blocked_calls: 0,
+            carried_calls: 0,
+            handover_attempts: 0,
+            dropped_calls: 0,
+            completed_calls: 0,
+            offered_erlangs: 0.0,
+        }
+    }
+
+    /// New-call blocking probability of this class (0 when nothing was
+    /// offered).
+    pub fn blocking_probability(&self) -> f64 {
+        if self.offered_calls == 0 {
+            0.0
+        } else {
+            self.blocked_calls as f64 / self.offered_calls as f64
+        }
+    }
+
+    /// Handover dropping probability of this class (0 when no handover
+    /// was attempted).
+    pub fn dropping_probability(&self) -> f64 {
+        if self.handover_attempts == 0 {
+            0.0
+        } else {
+            self.dropped_calls as f64 / self.handover_attempts as f64
+        }
+    }
+}
+
+/// Nearest-rank percentile summary of a distribution of step counts
+/// (e.g. the dwell time preceding each executed handover).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyPercentiles {
+    /// Number of samples the percentiles summarize.
+    pub samples: u64,
+    /// 50th percentile (median), in steps.
+    pub p50: u64,
+    /// 90th percentile, in steps.
+    pub p90: u64,
+    /// 99th percentile, in steps.
+    pub p99: u64,
+}
+
+impl LatencyPercentiles {
+    /// Summarize an **ascending-sorted** sample slice with the
+    /// nearest-rank method (`⌈p·n⌉`-th smallest value). An empty slice
+    /// yields all-zero percentiles with `samples == 0`.
+    pub fn from_sorted(sorted: &[u64]) -> Self {
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "samples must be sorted");
+        let rank = |p: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let k = (p * sorted.len() as f64).ceil() as usize;
+            sorted[k.clamp(1, sorted.len()) - 1]
+        };
+        LatencyPercentiles {
+            samples: sorted.len() as u64,
+            p50: rank(0.50),
+            p90: rank(0.90),
+            p99: rank(0.99),
+        }
+    }
+}
+
+/// Where carried traffic went: the dropped-Erlang breakdown by cause
+/// plus per-class accounting, produced by a dynamic traffic replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicTrafficStats {
+    /// Handover attempts forced by a serving-cell failure (the UE's
+    /// call had to relocate because its cell shut down).
+    pub failure_evicted_calls: u64,
+    /// Calls lost to a cell failure: forced relocations the target
+    /// refused, plus calls stranded on a failed cell with nowhere to go.
+    pub failure_dropped_calls: u64,
+    /// Call-time lost to new-call blocking, divided by the timeline
+    /// length (Erlangs).
+    pub blocked_erlangs: f64,
+    /// Remaining call-time lost to ordinary handover drops, divided by
+    /// the timeline length (Erlangs).
+    pub dropped_erlangs: f64,
+    /// Remaining call-time lost to cell failures, divided by the
+    /// timeline length (Erlangs).
+    pub failure_erlangs: f64,
+    /// Per-class accounting: one entry per [`ServiceClass`] when a
+    /// service mix was configured, empty otherwise (the base
+    /// [`TrafficReport`](crate::TrafficReport) already covers the
+    /// undifferentiated single-class case).
+    pub per_class: Vec<ClassTraffic>,
+}
+
+/// The dynamic-workload report a city-scale fleet run attaches to its
+/// [`FleetResult`](../handover_sim/fleet/struct.FleetResult.html):
+/// population churn statistics, serving-load fairness, handover dwell
+/// percentiles, and (when a traffic plane ran) the dropped-Erlang
+/// breakdown by cause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicReport {
+    /// Global timeline length in steps (the latest step any UE took,
+    /// plus one).
+    pub timeline_steps: u64,
+    /// UEs that churned in after step 0.
+    pub arrivals: u64,
+    /// UEs that departed before the end of the timeline.
+    pub departures: u64,
+    /// Mean concurrent population over the timeline.
+    pub mean_population: f64,
+    /// Peak concurrent population.
+    pub peak_population: u64,
+    /// Jain fairness index of the per-cell serving load (1 = perfectly
+    /// even, 1/n = all load on one of n cells).
+    pub jain_cell_load: f64,
+    /// Dwell time preceding each executed handover, in steps: for every
+    /// serving-cell change, the steps since that UE's previous change
+    /// (or since its arrival for its first handover). Low percentiles
+    /// signal ping-pong pressure.
+    pub ho_dwell: LatencyPercentiles,
+    /// Traffic-plane breakdown (`None` when the run carried no traffic
+    /// plane).
+    pub traffic: Option<DynamicTrafficStats>,
+}
+
+/// The Jain fairness index `(Σx)² / (n·Σx²)` of a non-negative
+/// allocation: 1 when every share is equal, `1/n` when a single share
+/// holds everything, and 1 (by convention) for empty or all-zero
+/// allocations.
+pub fn jain_index(shares: &[f64]) -> f64 {
+    let n = shares.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = shares.iter().sum();
+    let sq_sum: f64 = shares.iter().map(|&x| x * x).sum();
+    if sq_sum == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (n as f64 * sq_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_index_bounds_and_known_values() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert_eq!(jain_index(&[5.0, 5.0, 5.0]), 1.0);
+        // All load on one of four cells: 1/4.
+        assert!((jain_index(&[8.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // Classic example: (1, 2, 3) → 36 / (3·14).
+        assert!((jain_index(&[1.0, 2.0, 3.0]) - 36.0 / 42.0).abs() < 1e-12);
+        // Fairness is scale-invariant.
+        let a = jain_index(&[1.0, 4.0, 2.0]);
+        let b = jain_index(&[10.0, 40.0, 20.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let p = LatencyPercentiles::from_sorted(&[]);
+        assert_eq!((p.samples, p.p50, p.p90, p.p99), (0, 0, 0, 0));
+        let p = LatencyPercentiles::from_sorted(&[7]);
+        assert_eq!((p.samples, p.p50, p.p90, p.p99), (1, 7, 7, 7));
+        // 1..=100: nearest-rank pXX is exactly XX.
+        let v: Vec<u64> = (1..=100).collect();
+        let p = LatencyPercentiles::from_sorted(&v);
+        assert_eq!((p.p50, p.p90, p.p99), (50, 90, 99));
+        let p = LatencyPercentiles::from_sorted(&[2, 4, 6, 8]);
+        assert_eq!(p.p50, 4);
+        assert_eq!(p.p90, 8);
+    }
+
+    #[test]
+    fn class_traffic_probabilities_never_divide_by_zero() {
+        let c = ClassTraffic::new(ServiceClass::Voice);
+        assert_eq!(c.blocking_probability(), 0.0);
+        assert_eq!(c.dropping_probability(), 0.0);
+        assert_eq!(c.class.label(), "voice");
+        assert_eq!(ServiceClass::Data.label(), "data");
+        let mut c = ClassTraffic::new(ServiceClass::Data);
+        c.offered_calls = 8;
+        c.blocked_calls = 2;
+        c.handover_attempts = 4;
+        c.dropped_calls = 1;
+        assert!((c.blocking_probability() - 0.25).abs() < 1e-12);
+        assert!((c.dropping_probability() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_serde_round_trip() {
+        let r = DynamicReport {
+            timeline_steps: 100,
+            arrivals: 7,
+            departures: 3,
+            mean_population: 12.5,
+            peak_population: 15,
+            jain_cell_load: 0.9,
+            ho_dwell: LatencyPercentiles::from_sorted(&[3, 5, 9]),
+            traffic: Some(DynamicTrafficStats {
+                failure_evicted_calls: 2,
+                failure_dropped_calls: 1,
+                blocked_erlangs: 0.4,
+                dropped_erlangs: 0.1,
+                failure_erlangs: 0.05,
+                per_class: vec![ClassTraffic::new(ServiceClass::Voice)],
+            }),
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: DynamicReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -49,6 +49,7 @@
 pub mod adaptive;
 pub mod baselines;
 pub mod controller;
+pub mod dynamics;
 pub mod flc;
 pub mod inputs;
 pub mod metrics;
@@ -56,6 +57,9 @@ pub mod system;
 pub mod traffic;
 
 pub use adaptive::SpeedAdaptiveController;
+pub use dynamics::{
+    jain_index, ClassTraffic, DynamicReport, DynamicTrafficStats, LatencyPercentiles, ServiceClass,
+};
 pub use controller::{
     ControllerConfig, Decision, FlcStage, FuzzyHandoverController, MeasurementReport, StayReason,
 };

@@ -458,6 +458,45 @@ impl UeState {
         }
     }
 
+    /// Rebuild the current step's report with the neighbour restricted
+    /// to *live* cells: the strongest measured, speed-penalised
+    /// candidate with `!down[k]` (the serving reading is reported
+    /// as-is, down or not — a failed BS radiates nothing the UE can
+    /// decide on, but the report shape stays intact). `None` when every
+    /// measured candidate of the serving cell is down, in which case
+    /// the caller forces a Stay: no handover target exists this step.
+    /// Must be called after [`UeState::begin_step`] /
+    /// [`UeState::begin_step_pruned`] populated `measured` for this
+    /// step. Used only by the fleet engine's BS-failure plane — the
+    /// static path never reaches it.
+    pub(crate) fn report_excluding(
+        &self,
+        cfg: &SimConfig,
+        candidates: &CandidateTable,
+        point: TracePoint,
+        down: &[bool],
+    ) -> Option<MeasurementReport> {
+        let cells = cfg.layout.cells();
+        let serving = cells[self.serving_idx];
+        let serving_rss = self.measured[self.serving_idx];
+        let penalty = speed_penalty_db(cfg.speed_kmh);
+        let (neighbor_idx, neighbor_rss) = candidates
+            .of(self.serving_idx)
+            .iter()
+            .filter(|&&k| !down[k] && self.measured[k] != f64::NEG_INFINITY)
+            .map(|&k| (k, self.measured[k] - penalty))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("RSS is finite"))?;
+        let neighbor = cells[neighbor_idx];
+        Some(MeasurementReport {
+            serving,
+            serving_rss_dbm: serving_rss,
+            neighbor,
+            neighbor_rss_dbm: neighbor_rss,
+            distance_to_serving_km: cfg.layout.distance_to_bs(serving, point.pos),
+            distance_to_neighbor_km: cfg.layout.distance_to_bs(neighbor, point.pos),
+        })
+    }
+
     /// The commit half of a step: record/execute the decision made on a
     /// [`UeState::begin_step`] report, notify the policy of an executed
     /// handover, and account the step.

@@ -54,16 +54,18 @@
 //! [`CellLayout`]: cellgeom::CellLayout
 
 use crate::checkpoint::{FleetCheckpoint, UeCheckpoint, CHECKPOINT_VERSION};
+use crate::dynamics::DynamicsConfig;
 use crate::engine::{SimConfig, Simulation, UeState};
-use crate::traffic::{replay_traffic, TrafficConfig, UeTrace};
+use crate::traffic::{replay_traffic, replay_traffic_dynamic, TrafficConfig, UeTrace};
 use cellgeom::Axial;
 use fuzzylogic::{CompiledFis, EvalScratch};
 use handover_core::baselines::{
     HysteresisPolicy, HysteresisThresholdPolicy, LoadAwareHysteresisPolicy, ThresholdPolicy,
 };
 use handover_core::{
-    paper_flc_lut, CellLoadHistogram, ControllerConfig, Decision, FleetSummary, FlcStage,
-    FuzzyHandoverController, HandoverPolicy, LoadField, MeasurementReport, TrafficReport,
+    jain_index, paper_flc_lut, CellLoadHistogram, ControllerConfig, Decision, DynamicReport,
+    DynamicTrafficStats, FleetSummary, FlcStage, FuzzyHandoverController, HandoverPolicy,
+    LatencyPercentiles, LoadField, MeasurementReport, StayReason, TrafficReport,
 };
 use mobility::{
     GaussMarkov, ManhattanGrid, MobilityModel, RandomWalk, RandomWaypoint, Trajectory,
@@ -522,6 +524,11 @@ pub struct FleetResult {
     /// [`FleetSimulation::with_traffic`]). Invariant to worker count,
     /// chunk size and UE submission order, like everything else here.
     pub traffic: Option<TrafficReport>,
+    /// Dynamic-workload report (`None` unless the fleet ran with
+    /// [`FleetSimulation::with_dynamics`]): population churn, serving
+    /// fairness, handover dwell percentiles and — with a traffic plane —
+    /// the dropped-Erlang breakdown by cause. Invariant like the rest.
+    pub dynamics: Option<DynamicReport>,
 }
 
 /// The memory-bounded aggregate of [`FleetSimulation::run_streamed`]:
@@ -617,6 +624,7 @@ pub struct FleetSimulation {
     candidate_mode: CandidateMode,
     precision: FleetPrecision,
     traffic: Option<TrafficConfig>,
+    dynamics: Option<DynamicsConfig>,
 }
 
 impl FleetSimulation {
@@ -633,6 +641,7 @@ impl FleetSimulation {
             candidate_mode: CandidateMode::All,
             precision: FleetPrecision::Full,
             traffic: None,
+            dynamics: None,
         }
     }
 
@@ -704,6 +713,37 @@ impl FleetSimulation {
         self.traffic.as_ref()
     }
 
+    /// Attach the dynamic-workload plane (see [`crate::dynamics`]): UE
+    /// churn, tidal offered load, scheduled BS outages, and/or a
+    /// voice/data service mix. The configuration is validated, every
+    /// outage cell is checked against the layout, and an entirely inert
+    /// configuration (everything off, or only a zero-amplitude tide)
+    /// normalizes back to `None` — so "feature off" runs the exact
+    /// byte-pinned static path. With any feature live the run records
+    /// serving-cell traces (like the traffic plane does) and fills
+    /// [`FleetResult::dynamics`]; tide and service classes only shape
+    /// the *traffic* replay, so they additionally need
+    /// [`FleetSimulation::with_traffic`] to have any observable effect.
+    #[must_use]
+    pub fn with_dynamics(mut self, dynamics: DynamicsConfig) -> Self {
+        dynamics.validate();
+        for outage in &dynamics.failures {
+            assert!(
+                self.sim.config().layout.cells().contains(&outage.cell),
+                "outage cell {:?} is not in the layout",
+                outage.cell
+            );
+        }
+        self.dynamics = dynamics.normalized();
+        self
+    }
+
+    /// The attached dynamic-workload plane, if any (`None` also when an
+    /// inert configuration was normalized away).
+    pub fn dynamics(&self) -> Option<&DynamicsConfig> {
+        self.dynamics.as_ref()
+    }
+
     /// The configuration.
     pub fn config(&self) -> &SimConfig {
         self.sim.config()
@@ -751,7 +791,7 @@ impl FleetSimulation {
         ids: &[u64],
         base_seed: u64,
     ) -> Result<FleetResult, FleetError> {
-        let record = self.traffic.is_some();
+        let record = self.traffic.is_some() || self.dynamics.is_some();
         let pass = self.pass(spec, PassSource::Fresh(ids), base_seed, record, None, None)?;
         debug_assert!(pass.live.is_empty(), "unbounded passes run every UE to completion");
         let result = assemble(pass.outcomes, pass.cell_load);
@@ -778,7 +818,7 @@ impl FleetSimulation {
         base_seed: u64,
         max_steps: u64,
     ) -> Result<FleetCheckpoint, FleetError> {
-        let tracing = self.traffic.is_some();
+        let tracing = self.traffic.is_some() || self.dynamics.is_some();
         let out =
             self.pass(spec, PassSource::Fresh(ids), base_seed, tracing, None, Some(max_steps))?;
         Ok(FleetCheckpoint {
@@ -807,8 +847,8 @@ impl FleetSimulation {
         cp.validate();
         assert_eq!(
             cp.tracing,
-            self.traffic.is_some(),
-            "checkpoint tracing mode must match the engine's traffic plane"
+            self.traffic.is_some() || self.dynamics.is_some(),
+            "checkpoint tracing mode must match the engine's traffic/dynamics planes"
         );
         let out = self.pass(
             spec,
@@ -847,7 +887,12 @@ impl FleetSimulation {
     ///
     /// Panics if a traffic plane is attached: traces would rematerialize
     /// per-UE state, defeating the point — use [`FleetSimulation::run`]
-    /// for traffic studies.
+    /// for traffic studies. A dynamic-workload plane is allowed: churn
+    /// and BS failures act inside the engine loop and the streamed
+    /// `summary`/`cell_load` stay bit-identical to [`FleetSimulation::run`]
+    /// with the same dynamics, but no [`DynamicReport`] is produced (it
+    /// is derived from traces) and tide/service classes — traffic-replay
+    /// features — are inert here.
     pub fn run_streamed(
         &self,
         spec: &dyn UeSpec,
@@ -945,9 +990,10 @@ impl FleetSimulation {
         Ok(FleetStreamSummary { summary, cell_load })
     }
 
-    /// The traffic half of a run: replay the traces against the channel
-    /// capacities and, with load feedback on, rerun the fleet with the
-    /// occupancy field injected. No-op without a traffic plane.
+    /// The replay half of a run: derive the dynamic-workload report from
+    /// the traces, replay them against the channel capacities, and, with
+    /// load feedback on, rerun the fleet with the occupancy field
+    /// injected. No-op without a traffic or dynamics plane.
     fn apply_traffic(
         &self,
         spec: &dyn UeSpec,
@@ -956,21 +1002,48 @@ impl FleetSimulation {
         mut result: FleetResult,
         traces: Vec<UeTrace>,
     ) -> Result<FleetResult, FleetError> {
+        if self.dynamics.is_some() {
+            result.dynamics = Some(dynamic_report(&traces, &result.cell_load, None));
+        }
         let Some(traffic) = &self.traffic else {
             return Ok(result);
         };
         let cells = self.config().layout.cells();
-        let (report, field) = replay_traffic(traffic, cells, &traces, base_seed);
-        if !traffic.load_feedback {
-            result.traffic = Some(report);
-            return Ok(result);
+        match &self.dynamics {
+            None => {
+                let (report, field) = replay_traffic(traffic, cells, &traces, base_seed);
+                if !traffic.load_feedback {
+                    result.traffic = Some(report);
+                    return Ok(result);
+                }
+                let field = Arc::new(field);
+                let fed =
+                    self.pass(spec, PassSource::Fresh(ids), base_seed, true, Some(&field), None)?;
+                let (fed_report, _) = replay_traffic(traffic, cells, &fed.traces, base_seed);
+                let mut fed_result = assemble(fed.outcomes, fed.cell_load);
+                fed_result.traffic = Some(fed_report);
+                Ok(fed_result)
+            }
+            Some(dynamics) => {
+                let (report, field, stats) =
+                    replay_traffic_dynamic(traffic, cells, &traces, base_seed, dynamics);
+                if !traffic.load_feedback {
+                    result.traffic = Some(report);
+                    result.dynamics = Some(dynamic_report(&traces, &result.cell_load, Some(stats)));
+                    return Ok(result);
+                }
+                let field = Arc::new(field);
+                let fed =
+                    self.pass(spec, PassSource::Fresh(ids), base_seed, true, Some(&field), None)?;
+                let (fed_report, _, fed_stats) =
+                    replay_traffic_dynamic(traffic, cells, &fed.traces, base_seed, dynamics);
+                let mut fed_result = assemble(fed.outcomes, fed.cell_load);
+                fed_result.traffic = Some(fed_report);
+                fed_result.dynamics =
+                    Some(dynamic_report(&fed.traces, &fed_result.cell_load, Some(fed_stats)));
+                Ok(fed_result)
+            }
         }
-        let field = Arc::new(field);
-        let fed = self.pass(spec, PassSource::Fresh(ids), base_seed, true, Some(&field), None)?;
-        let (fed_report, _) = replay_traffic(traffic, cells, &fed.traces, base_seed);
-        let mut fed_result = assemble(fed.outcomes, fed.cell_load);
-        fed_result.traffic = Some(fed_report);
-        Ok(fed_result)
     }
 
     /// One fleet pass: the sharded parallel stepping, optionally
@@ -1149,6 +1222,35 @@ impl FleetSimulation {
         };
         let n = ids.len();
 
+        // Dynamic-workload plane: per-UE churn presence windows and the
+        // scheduled-outage timeline, both pure functions of the config
+        // and seed (recomputed identically by a resumed checkpoint).
+        // `None`/empty on the static path — the hot loop below then
+        // takes exactly its pre-dynamics branches.
+        let churn_windows: Option<Vec<(u64, u64)>> = self
+            .dynamics
+            .as_ref()
+            .and_then(|d| d.churn.as_ref())
+            .map(|churn| ids.iter().map(|&id| churn.window(base_seed, id)).collect());
+        let outages: Vec<(usize, u64, u64)> = self
+            .dynamics
+            .as_ref()
+            .map(|d| {
+                d.failures
+                    .iter()
+                    .map(|o| {
+                        let idx = cells
+                            .iter()
+                            .position(|&c| c == o.cell)
+                            .expect("outage cell must be in the layout");
+                        (idx, o.from_step, o.until_step)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut down_mask: Vec<bool> =
+            if outages.is_empty() { Vec::new() } else { vec![false; cells.len()] };
+
         // Struct-of-arrays chunk store. Trajectories hold only waypoints;
         // the resampled measurement points stream lazily per UE.
         let trajectories: Vec<Trajectory> = ids.iter().map(|&id| spec.trajectory(id)).collect();
@@ -1156,13 +1258,19 @@ impl FleetSimulation {
             .iter()
             .map(|t| t.resample_iter(cfg.sample_spacing_km))
             .collect();
-        // Restored UEs have already consumed `start_step` measurement
-        // points; fast-forward the regenerated cursors to match (a live
-        // UE's cursor yields at least that many points by construction).
-        for cursor in cursors.iter_mut() {
-            for _ in 0..start_step {
-                if cursor.next().is_none() {
-                    break;
+        // Restored UEs have already consumed as many measurement points
+        // as they took steps; fast-forward the regenerated cursors to
+        // match (a live UE's cursor yields at least that many points by
+        // construction). Without churn every live UE has taken exactly
+        // `start_step` steps; with churn a late arrival has taken fewer
+        // (and a not-yet-arrived UE none), which `cp.engine.steps`
+        // captures per UE.
+        if let ChunkUes::Restored(live) = chunk {
+            for (cursor, cp) in cursors.iter_mut().zip(live) {
+                for _ in 0..cp.engine.steps {
+                    if cursor.next().is_none() {
+                        break;
+                    }
                 }
             }
         }
@@ -1264,12 +1372,43 @@ impl FleetSimulation {
 
             // Advance every live UE's trajectory cursor; retire the ones
             // that just finished (recycling their state allocations).
+            // With churn, a UE whose arrival step is still ahead stays
+            // parked (pending), and one past its drawn lifetime departs
+            // exactly like one whose trajectory ended.
             active_idx.clear();
             positions.clear();
             points.clear();
+            let mut pending_arrivals = 0usize;
             for i in 0..n {
                 if ues[i].is_none() {
                     continue;
+                }
+                if let Some(windows) = &churn_windows {
+                    let (arrival, lifetime) = windows[i];
+                    if step < arrival {
+                        pending_arrivals += 1;
+                        continue;
+                    }
+                    if ues[i].as_ref().expect("UE is live").step_count() as u64 >= lifetime {
+                        let state = ues[i].take().expect("UE is live");
+                        out.push(finish_ue(
+                            cfg,
+                            ids[i],
+                            &state,
+                            hd_sums[i],
+                            hd_counts[i],
+                            travelled[i],
+                        ));
+                        spare.push(state);
+                        if let Some(sink) = traces.as_deref_mut() {
+                            sink.push(UeTrace {
+                                ue_id: ids[i],
+                                steps: trace_steps[i],
+                                changes: std::mem::take(&mut trace_bufs[i]),
+                            });
+                        }
+                        continue;
+                    }
                 }
                 match cursors[i].next() {
                     Some(p) => {
@@ -1300,8 +1439,30 @@ impl FleetSimulation {
             }
             let a = active_idx.len();
             if a == 0 {
-                break;
+                if pending_arrivals == 0 {
+                    break;
+                }
+                // Nothing is stepping yet but churned UEs are still due:
+                // tick the lockstep clock without any engine work.
+                step += 1;
+                continue;
             }
+
+            // Scheduled-outage mask for this step (`None` whenever no
+            // outage window covers it — the common case costs one scan
+            // of the tiny outage list).
+            let down_now: Option<&[bool]> =
+                if outages.iter().any(|&(_, from, until)| from <= step && step < until) {
+                    down_mask.iter_mut().for_each(|d| *d = false);
+                    for &(k, from, until) in &outages {
+                        if from <= step && step < until {
+                            down_mask[k] = true;
+                        }
+                    }
+                    Some(&down_mask[..])
+                } else {
+                    None
+                };
 
             // Batched mean RSS (dense mode only): one (BS × chunk) pass
             // per cell through the compiled link budget, into f64 or f32
@@ -1407,7 +1568,42 @@ impl FleetSimulation {
                         ue.begin_step_pruned(cfg, self.sim.candidates(), means, points[j], subset)
                     }
                 };
-                let step_state = match policies[i].as_fuzzy() {
+                // BS-failure plane: with the serving cell down the UE is
+                // force-evicted onto the strongest live candidate
+                // (hd 1.0, the forced-decision convention the baselines
+                // use) without consulting its policy; with any candidate
+                // down the neighbour is re-picked among live cells so no
+                // policy ever hands over to a dead BS. No live target ⇒
+                // forced stay. `down_now` is `None` on the static path,
+                // so none of this executes there.
+                let mut report = report;
+                let mut forced: Option<Decision> = None;
+                if let Some(down) = down_now {
+                    let serving_idx = ue.serving_index();
+                    let serving_down = down[serving_idx];
+                    let candidate_down =
+                        self.sim.candidates().of(serving_idx).iter().any(|&k| down[k]);
+                    if serving_down || candidate_down {
+                        match ue.report_excluding(cfg, self.sim.candidates(), points[j], down) {
+                            Some(live_report) => {
+                                report = live_report;
+                                if serving_down {
+                                    forced = Some(Decision::Handover {
+                                        target: report.neighbor,
+                                        hd: 1.0,
+                                    });
+                                }
+                            }
+                            None => {
+                                forced = Some(Decision::Stay(StayReason::ConditionNotMet));
+                            }
+                        }
+                    }
+                }
+                let step_state = if let Some(decision) = forced {
+                    StepPending::Decided(decision)
+                } else {
+                    match policies[i].as_fuzzy() {
                     Some(fuzzy) => match fuzzy.decide_pre(&report) {
                         FlcStage::Resolved(decision) => StepPending::Decided(decision),
                         FlcStage::NeedsHd { inputs, prev_serving_rss } => {
@@ -1432,6 +1628,7 @@ impl FleetSimulation {
                         }
                     },
                     None => StepPending::Decided(policies[i].decide(&report)),
+                    }
                 };
                 reports.push(report);
                 pending.push(step_state);
@@ -1461,11 +1658,16 @@ impl FleetSimulation {
                     ue.finish_step(cfg, &reports[j], decision, points[j], policies[i].as_mut());
                 load.record_index(outcome.serving_after_idx);
                 if tracing {
+                    // Change points are recorded at the *global* lockstep
+                    // step: without churn it equals the per-UE step
+                    // counter (every UE starts at step 0), with churn it
+                    // puts arrivals and handovers of different UEs on one
+                    // shared timeline for the replay.
                     let cell = outcome.serving_after_idx as u32;
                     if trace_bufs[i].last().map_or(true, |&(_, c)| c != cell) {
-                        trace_bufs[i].push((trace_steps[i], cell));
+                        trace_bufs[i].push((step, cell));
                     }
-                    trace_steps[i] += 1;
+                    trace_steps[i] = step + 1;
                 }
                 if let Some(hd) = outcome.hd {
                     hd_sums[i] += hd;
@@ -1486,7 +1688,62 @@ fn assemble(outcomes: Vec<UeOutcome>, cell_load: CellLoadHistogram) -> FleetResu
     for o in &outcomes {
         summary.absorb(&o.summary());
     }
-    FleetResult { outcomes, cell_load, summary, traffic: None }
+    FleetResult { outcomes, cell_load, summary, traffic: None, dynamics: None }
+}
+
+/// Derive the [`DynamicReport`] of a run from its id-sorted traces and
+/// serving-load histogram: the concurrent-population timeline (a
+/// difference array over `[arrival, departure)` presence windows), the
+/// Jain fairness of the per-cell serving load, and the dwell-time
+/// percentiles between consecutive serving-cell changes. Everything is
+/// a fold over sorted traces, so the report inherits the fleet's
+/// worker/chunk/submission-order invariance.
+fn dynamic_report(
+    traces: &[UeTrace],
+    cell_load: &CellLoadHistogram,
+    traffic: Option<DynamicTrafficStats>,
+) -> DynamicReport {
+    let timeline = traces.iter().map(|t| t.steps).max().unwrap_or(0);
+    let mut arrivals = 0u64;
+    let mut departures = 0u64;
+    let mut diff = vec![0i64; timeline as usize + 1];
+    let mut dwells: Vec<u64> = Vec::new();
+    for trace in traces {
+        let Some(&(arrival, _)) = trace.changes.first() else {
+            continue;
+        };
+        if arrival > 0 {
+            arrivals += 1;
+        }
+        if trace.steps < timeline {
+            departures += 1;
+        }
+        diff[arrival as usize] += 1;
+        diff[trace.steps as usize] -= 1;
+        for w in trace.changes.windows(2) {
+            dwells.push(w[1].0 - w[0].0);
+        }
+    }
+    let mut pop = 0i64;
+    let mut peak = 0u64;
+    let mut pop_steps = 0u64;
+    for &d in diff.iter().take(timeline as usize) {
+        pop += d;
+        peak = peak.max(pop as u64);
+        pop_steps += pop as u64;
+    }
+    let shares: Vec<f64> = cell_load.iter().map(|(_, n)| n as f64).collect();
+    dwells.sort_unstable();
+    DynamicReport {
+        timeline_steps: timeline,
+        arrivals,
+        departures,
+        mean_population: if timeline == 0 { 0.0 } else { pop_steps as f64 / timeline as f64 },
+        peak_population: peak,
+        jain_cell_load: jain_index(&shares),
+        ho_dwell: LatencyPercentiles::from_sorted(&dwells),
+        traffic,
+    }
 }
 
 /// Reduce a finished UE's state into its outcome (borrowing the state,

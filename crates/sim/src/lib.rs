@@ -22,6 +22,11 @@
 //!   blocking vs. handover-call dropping, guard channels), and the
 //!   deterministic replay producing [`handover_core::TrafficReport`]s
 //!   and the occupancy feedback field.
+//! * [`dynamics`] — the dynamic-workload plane: UE churn, tidal
+//!   offered-load waves, scheduled BS failure events, and voice/data
+//!   service-class mixes — every feature a pure function of
+//!   (config, seed, step) on its own domain-separated stream, so
+//!   "feature off" is bit-identical to the static engine.
 //! * [`checkpoint`] — compact fleet snapshots: freeze a mid-run fleet
 //!   pass ([`fleet::FleetSimulation::run_partial`]) and resume it
 //!   bit-identically ([`fleet::FleetSimulation::resume`]).
@@ -33,6 +38,7 @@
 #![warn(clippy::all)]
 
 pub mod checkpoint;
+pub mod dynamics;
 pub mod engine;
 pub mod experiments;
 pub mod fleet;
@@ -45,6 +51,10 @@ pub mod table;
 pub mod traffic;
 
 pub use checkpoint::{FleetCheckpoint, UeCheckpoint, CHECKPOINT_VERSION};
+pub use dynamics::{
+    CellOutage, ChurnConfig, DynamicsConfig, ServiceMix, ServiceParams, TidalWave, CHURN_STREAM,
+    SERVICE_STREAM,
+};
 pub use engine::{SimConfig, SimResult, Simulation, StepRecord};
 pub use fleet::{
     ue_seed, FleetError, FleetMobility, FleetPrecision, FleetResult, FleetSimulation,

@@ -1,16 +1,18 @@
 //! Scenario-matrix runner: sweep the fleet engine across
 //! {UE count} × {mobility model} × {speed} × {policy} × {traffic level}
-//! and aggregate the fleet-level metrics (handover rate, ping-pong rate,
-//! outage ratio, per-cell load histogram, call blocking/dropping) into
-//! the existing [`table`](crate::table) and [`series`](crate::series)
+//! × {dynamic workload} and aggregate the fleet-level metrics (handover
+//! rate, ping-pong rate, outage ratio, per-cell load histogram, call
+//! blocking/dropping, churn/fairness/failure accounting) into the
+//! existing [`table`](crate::table) and [`series`](crate::series)
 //! reporting types.
 
+use crate::dynamics::DynamicsConfig;
 use crate::engine::SimConfig;
 use crate::fleet::{CandidateMode, FleetMobility, FleetSimulation, HomogeneousFleet, PolicyKind};
 use crate::series::Series;
 use crate::table::{fmt_f, TextTable};
 use crate::traffic::TrafficConfig;
-use handover_core::{CellLoadHistogram, FleetSummary, TrafficReport};
+use handover_core::{CellLoadHistogram, DynamicReport, FleetSummary, TrafficReport};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -27,9 +29,9 @@ fn cell_seed(base_seed: u64, cell_index: u64) -> u64 {
 }
 
 /// A full sweep specification. Axes are swept in nesting order
-/// UE count → mobility → speed → policy; each combination ("matrix
-/// cell") runs one fleet with its own deterministic seed derived from
-/// `base_seed` and the cell index.
+/// UE count → mobility → speed → policy → traffic → dynamics; each
+/// combination ("matrix cell") runs one fleet with its own
+/// deterministic seed derived from `base_seed` and the cell index.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioMatrix {
     /// Base simulation configuration (`speed_kmh` is overridden per cell).
@@ -42,11 +44,18 @@ pub struct ScenarioMatrix {
     pub speeds_kmh: Vec<f64>,
     /// Handover policies to sweep.
     pub policies: Vec<PolicyKind>,
-    /// Traffic levels to sweep (the innermost axis): `None` runs the
-    /// plain, traffic-free fleet (the byte-pinned legacy behaviour),
-    /// `Some(config)` attaches the cell-load traffic plane at that
-    /// intensity. Use `vec![None]` to sweep no traffic axis at all.
+    /// Traffic levels to sweep: `None` runs the plain, traffic-free
+    /// fleet (the byte-pinned legacy behaviour), `Some(config)` attaches
+    /// the cell-load traffic plane at that intensity. Use `vec![None]`
+    /// to sweep no traffic axis at all.
     pub traffics: Vec<Option<TrafficConfig>>,
+    /// Dynamic-workload levels to sweep (the innermost axis): `None`
+    /// runs the static fleet, `Some(config)` attaches the
+    /// churn/tide/failure/service plane ([`DynamicsConfig`]). Inert
+    /// configurations normalize away inside the fleet builder, so a
+    /// `Some(DynamicsConfig::none())` cell is bit-identical to a `None`
+    /// one. Use `vec![None]` to sweep no dynamics axis at all.
+    pub dynamics: Vec<Option<DynamicsConfig>>,
     /// Master seed; every matrix cell derives its own streams from it.
     pub base_seed: u64,
     /// Crossbeam workers per fleet run (intra-cell parallelism).
@@ -82,6 +91,7 @@ impl ScenarioMatrix {
                 PolicyKind::Hysteresis { margin_db: 4.0 },
             ],
             traffics: vec![None],
+            dynamics: vec![None],
             base_seed: 0xF1EE7,
             workers: 4,
             matrix_workers: 1,
@@ -96,6 +106,7 @@ impl ScenarioMatrix {
             * self.speeds_kmh.len()
             * self.policies.len()
             * self.traffics.len()
+            * self.dynamics.len()
     }
 
     /// True when any axis is empty (the matrix sweeps nothing).
@@ -113,15 +124,18 @@ impl ScenarioMatrix {
                 for &speed_kmh in &self.speeds_kmh {
                     for &policy in &self.policies {
                         for &traffic in &self.traffics {
-                            specs.push(CellSpec {
-                                ue_count,
-                                mobility,
-                                speed_kmh,
-                                policy,
-                                traffic,
-                                seed: cell_seed(self.base_seed, cell_index),
-                            });
-                            cell_index += 1;
+                            for dynamics in &self.dynamics {
+                                specs.push(CellSpec {
+                                    ue_count,
+                                    mobility,
+                                    speed_kmh,
+                                    policy,
+                                    traffic,
+                                    dynamics: dynamics.clone(),
+                                    seed: cell_seed(self.base_seed, cell_index),
+                                });
+                                cell_index += 1;
+                            }
                         }
                     }
                 }
@@ -141,6 +155,12 @@ impl ScenarioMatrix {
         if let Some(traffic) = spec.traffic {
             fleet = fleet.with_traffic(traffic);
         }
+        if let Some(dynamics) = spec.dynamics.clone() {
+            fleet = fleet.with_dynamics(dynamics);
+        }
+        // Label from the *normalized* plane: an inert dynamics spec ran
+        // the static engine, so its cell reports as dynamics-free.
+        let dynamics_label = fleet.dynamics().map(DynamicsConfig::label);
         // HomogeneousFleet domain-separates the trajectory stream
         // itself, so the one cell seed safely feeds both.
         let ue_spec = HomogeneousFleet {
@@ -156,9 +176,11 @@ impl ScenarioMatrix {
             speed_kmh: spec.speed_kmh,
             policy: spec.policy.label().to_string(),
             traffic_label: spec.traffic.map(|t| t.label()),
+            dynamics_label,
             summary: result.summary,
             cell_load: result.cell_load,
             traffic: result.traffic,
+            dynamics: result.dynamics,
         }
     }
 
@@ -201,13 +223,14 @@ impl ScenarioMatrix {
 
 /// One matrix cell's input specification (internal; the sweep-order unit
 /// handed to workers).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct CellSpec {
     ue_count: u64,
     mobility: FleetMobility,
     speed_kmh: f64,
     policy: PolicyKind,
     traffic: Option<TrafficConfig>,
+    dynamics: Option<DynamicsConfig>,
     seed: u64,
 }
 
@@ -224,19 +247,25 @@ pub struct MatrixCellResult {
     pub policy: String,
     /// Traffic-level label (`None` for traffic-free cells).
     pub traffic_label: Option<String>,
+    /// Dynamic-workload label (`None` for static cells, including cells
+    /// whose dynamics spec normalized away as inert).
+    pub dynamics_label: Option<String>,
     /// Fleet-level aggregate metrics.
     pub summary: FleetSummary,
     /// Per-cell serving-load histogram.
     pub cell_load: CellLoadHistogram,
     /// Traffic-plane accounting (`None` for traffic-free cells).
     pub traffic: Option<TrafficReport>,
+    /// Dynamic-workload report (`None` for static cells).
+    pub dynamics: Option<DynamicReport>,
 }
 
 impl MatrixCellResult {
     /// Compact configuration label, e.g. `1000ue/random-walk/30kmh/fuzzy`
     /// — traffic-enabled cells append the traffic level
-    /// (`…/fuzzy/load0.40`), traffic-free labels are byte-identical to
-    /// the pre-traffic ones.
+    /// (`…/fuzzy/load0.40`), dynamics-enabled cells append the dynamics
+    /// label (`…/churn10i-h100-l25+tide0.40p96`); static labels are
+    /// byte-identical to the pre-traffic ones.
     pub fn label(&self) -> String {
         let mut label = format!(
             "{}ue/{}/{:.0}kmh/{}",
@@ -245,6 +274,10 @@ impl MatrixCellResult {
         if let Some(traffic) = &self.traffic_label {
             label.push('/');
             label.push_str(traffic);
+        }
+        if let Some(dynamics) = &self.dynamics_label {
+            label.push('/');
+            label.push_str(dynamics);
         }
         label
     }
@@ -272,6 +305,15 @@ pub enum MatrixMetric {
     /// Carried traffic in Erlangs, fleet-wide (`None` for traffic-free
     /// cells).
     CarriedErlangs,
+    /// Jain fairness index of the per-cell serving load (`None` for
+    /// cells without a dynamic-workload report).
+    JainFairness,
+    /// 90th-percentile handover dwell time in steps (`None` for cells
+    /// without a dynamic-workload report or without any handover).
+    HoDwellP90,
+    /// Call-time in Erlangs lost to BS failure events (`None` unless
+    /// the cell ran both a traffic plane and the dynamics plane).
+    FailureErlangs,
 }
 
 impl MatrixMetric {
@@ -285,6 +327,9 @@ impl MatrixMetric {
             MatrixMetric::BlockingProbability => "P(block)",
             MatrixMetric::DroppingProbability => "P(drop)",
             MatrixMetric::CarriedErlangs => "carried E",
+            MatrixMetric::JainFairness => "Jain",
+            MatrixMetric::HoDwellP90 => "dwell p90",
+            MatrixMetric::FailureErlangs => "failure E",
         }
     }
 
@@ -300,7 +345,10 @@ impl MatrixMetric {
             MatrixMetric::MeanHd => summary.mean_hd(),
             MatrixMetric::BlockingProbability
             | MatrixMetric::DroppingProbability
-            | MatrixMetric::CarriedErlangs => None,
+            | MatrixMetric::CarriedErlangs
+            | MatrixMetric::JainFairness
+            | MatrixMetric::HoDwellP90
+            | MatrixMetric::FailureErlangs => None,
         }
     }
 
@@ -316,6 +364,17 @@ impl MatrixMetric {
                 cell.traffic.as_ref().map(|t| t.dropping_probability())
             }
             MatrixMetric::CarriedErlangs => cell.traffic.as_ref().map(|t| t.carried_erlangs),
+            MatrixMetric::JainFairness => cell.dynamics.as_ref().map(|d| d.jain_cell_load),
+            MatrixMetric::HoDwellP90 => cell
+                .dynamics
+                .as_ref()
+                .filter(|d| d.ho_dwell.samples > 0)
+                .map(|d| d.ho_dwell.p90 as f64),
+            MatrixMetric::FailureErlangs => cell
+                .dynamics
+                .as_ref()
+                .and_then(|d| d.traffic.as_ref())
+                .map(|t| t.failure_erlangs),
             _ => self.of(&cell.summary),
         }
     }
@@ -450,6 +509,61 @@ impl MatrixResult {
         Some(t)
     }
 
+    /// The dynamic-workload table: one row per dynamics-enabled matrix
+    /// cell — population churn, load fairness, handover dwell
+    /// percentiles and the failure-loss accounting. `None` when no cell
+    /// ran the dynamics plane (so static reports don't change by a
+    /// byte).
+    pub fn dynamics_table(&self) -> Option<TextTable> {
+        if self.cells.iter().all(|c| c.dynamics.is_none()) {
+            return None;
+        }
+        let mut t = TextTable::new("Dynamic workload — churn, fairness, failures").headers([
+            "Config",
+            "Steps",
+            "Arrivals",
+            "Departures",
+            "Mean pop",
+            "Peak pop",
+            "Jain",
+            "Dwell p50",
+            "Dwell p90",
+            "Evicted",
+            "Fail-drop",
+            "Failure E",
+        ]);
+        for c in &self.cells {
+            let Some(d) = &c.dynamics else {
+                continue;
+            };
+            let (evicted, fail_dropped, fail_erlangs) = d.traffic.as_ref().map_or_else(
+                || ("-".to_string(), "-".to_string(), "-".to_string()),
+                |t| {
+                    (
+                        t.failure_evicted_calls.to_string(),
+                        t.failure_dropped_calls.to_string(),
+                        fmt_f(t.failure_erlangs, 3),
+                    )
+                },
+            );
+            t.row([
+                c.label(),
+                d.timeline_steps.to_string(),
+                d.arrivals.to_string(),
+                d.departures.to_string(),
+                fmt_f(d.mean_population, 1),
+                d.peak_population.to_string(),
+                fmt_f(d.jain_cell_load, 3),
+                d.ho_dwell.p50.to_string(),
+                d.ho_dwell.p90.to_string(),
+                evicted,
+                fail_dropped,
+                fail_erlangs,
+            ]);
+        }
+        Some(t)
+    }
+
     /// Extract `(speed, metric)` series — one per (UE count, mobility,
     /// policy) combination — for plotting a metric against MS speed.
     /// Cells without data for the metric (e.g. mean HD under a policy
@@ -465,6 +579,10 @@ impl MatrixResult {
                 key.push('/');
                 key.push_str(traffic);
             }
+            if let Some(dynamics) = &c.dynamics_label {
+                key.push('/');
+                key.push_str(dynamics);
+            }
             let series = match out.iter_mut().find(|(k, _)| *k == key) {
                 Some((_, s)) => s,
                 None => {
@@ -479,10 +597,11 @@ impl MatrixResult {
     }
 
     /// Render the full report: summary table + load histogram, plus the
-    /// traffic-plane table when any cell ran one. Traffic-free reports
-    /// are byte-identical to the pre-traffic renderer (the 18 golden
-    /// files pin this), which is also why the load histogram keeps the
-    /// marker-free legacy layout here.
+    /// traffic-plane table when any cell ran one and the
+    /// dynamic-workload table when any cell ran the dynamics plane.
+    /// Static reports are byte-identical to the pre-traffic renderer
+    /// (the 18 golden files pin this), which is also why the load
+    /// histogram keeps the marker-free legacy layout here.
     pub fn render(&self) -> String {
         let mut out = self.summary_table().render();
         out.push('\n');
@@ -490,6 +609,10 @@ impl MatrixResult {
         if let Some(traffic) = self.traffic_table() {
             out.push('\n');
             out.push_str(&traffic.render());
+        }
+        if let Some(dynamics) = self.dynamics_table() {
+            out.push('\n');
+            out.push_str(&dynamics.render());
         }
         out
     }
@@ -673,6 +796,14 @@ mod tests {
         assert_eq!(MatrixMetric::DroppingProbability.of(&s), None);
         assert_eq!(MatrixMetric::CarriedErlangs.of(&s), None);
         assert_eq!(MatrixMetric::BlockingProbability.label(), "P(block)");
+        // Dynamics metrics live on the cell's DynamicReport, never on
+        // the summary.
+        assert_eq!(MatrixMetric::JainFairness.of(&s), None);
+        assert_eq!(MatrixMetric::HoDwellP90.of(&s), None);
+        assert_eq!(MatrixMetric::FailureErlangs.of(&s), None);
+        assert_eq!(MatrixMetric::JainFairness.label(), "Jain");
+        assert_eq!(MatrixMetric::HoDwellP90.label(), "dwell p90");
+        assert_eq!(MatrixMetric::FailureErlangs.label(), "failure E");
     }
 
     fn loaded_tiny_matrix() -> ScenarioMatrix {
@@ -795,6 +926,109 @@ mod tests {
         assert_eq!(ho.len(), 2, "one per mobility model");
         // And the rendered table shows "-" for the missing mean HD.
         assert!(r.summary_table().render().contains('-'));
+    }
+
+    fn city_level() -> DynamicsConfig {
+        use crate::dynamics::{CellOutage, ChurnConfig, ServiceMix, ServiceParams, TidalWave};
+        use cellgeom::Axial;
+        DynamicsConfig {
+            churn: Some(ChurnConfig {
+                initial_ues: 3,
+                horizon_steps: 6,
+                mean_lifetime_steps: 8.0,
+            }),
+            tide: Some(TidalWave { period_steps: 4, amplitude: 0.5, phase_per_q: 0.25 }),
+            failures: vec![CellOutage { cell: Axial::new(1, 0), from_step: 2, until_step: 5 }],
+            services: Some(ServiceMix {
+                voice_share: 0.6,
+                voice: ServiceParams {
+                    mean_idle_steps: 4.0,
+                    mean_holding_steps: 3.0,
+                    extra_guard_channels: 0,
+                },
+                data: ServiceParams {
+                    mean_idle_steps: 5.0,
+                    mean_holding_steps: 8.0,
+                    extra_guard_channels: 1,
+                },
+            }),
+        }
+    }
+
+    fn dynamic_tiny_matrix() -> ScenarioMatrix {
+        let mut m = loaded_tiny_matrix();
+        m.traffics.remove(0); // keep only the traffic-enabled level
+        m.dynamics = vec![None, Some(city_level())];
+        m
+    }
+
+    #[test]
+    fn dynamics_axis_sweeps_and_reports() {
+        let m = dynamic_tiny_matrix();
+        assert_eq!(m.len(), 4, "2 policies × 1 traffic × 2 dynamics levels");
+        let r = m.run();
+        assert_eq!(r.cells.len(), 4);
+        // Innermost axis: the dynamics level alternates fastest.
+        assert_eq!(r.cells[0].dynamics, None);
+        assert_eq!(r.cells[0].dynamics_label, None);
+        let dynamic = &r.cells[1];
+        assert!(dynamic.dynamics.is_some(), "{}", dynamic.label());
+        let label = dynamic.dynamics_label.as_deref().unwrap();
+        assert!(label.starts_with("churn3i-"), "{label}");
+        assert!(label.contains("tide0.50p4"), "{label}");
+        assert!(label.contains("fail1"), "{label}");
+        assert!(label.contains("svc0.60v"), "{label}");
+        assert!(dynamic.label().ends_with(label), "{}", dynamic.label());
+        let report = dynamic.dynamics.as_ref().unwrap();
+        assert!(report.timeline_steps > 0);
+        assert!(report.jain_cell_load > 0.0 && report.jain_cell_load <= 1.0);
+        assert!(report.traffic.is_some(), "traffic plane ran, so the breakdown exists");
+        // Metrics resolve per cell: dynamics metrics only where the plane ran.
+        assert_eq!(MatrixMetric::JainFairness.of_cell(&r.cells[0]), None);
+        assert!(MatrixMetric::JainFairness.of_cell(dynamic).is_some());
+        assert!(MatrixMetric::FailureErlangs.of_cell(dynamic).is_some());
+        // The render gains the dynamics table.
+        let full = r.render();
+        assert!(full.contains("Dynamic workload — churn, fairness, failures"));
+        let table = r.dynamics_table().unwrap();
+        assert_eq!(table.row_count(), 2, "one row per dynamics-enabled cell");
+        // Static sweeps never grow the table.
+        assert!(tiny_matrix().run().dynamics_table().is_none());
+    }
+
+    #[test]
+    fn inert_dynamics_level_is_identical_to_a_static_cell() {
+        // Some(DynamicsConfig::none()) normalizes away inside the fleet
+        // builder: the whole matrix result — labels included — must be
+        // bit-identical to the None sweep (cell seeds match because both
+        // keep a single-level dynamics axis).
+        let mut bare = tiny_matrix();
+        bare.mobilities.truncate(1);
+        bare.speeds_kmh = vec![30.0];
+        let mut inert = bare.clone();
+        inert.dynamics = vec![Some(DynamicsConfig::none())];
+        assert_eq!(bare.run(), inert.run());
+    }
+
+    #[test]
+    fn dynamics_matrix_is_deterministic_across_matrix_workers() {
+        let mut m = dynamic_tiny_matrix();
+        let reference = m.run();
+        for matrix_workers in [2, 4] {
+            m.matrix_workers = matrix_workers;
+            assert_eq!(reference, m.run(), "matrix_workers={matrix_workers}");
+        }
+    }
+
+    #[test]
+    fn dynamics_series_split_by_level() {
+        let r = dynamic_tiny_matrix().run();
+        // HO/UE exists everywhere: one series per (policy, dynamics level).
+        let ho = r.series_over_speed(MatrixMetric::HandoversPerUe);
+        assert_eq!(ho.len(), 4);
+        // Jain only where the dynamics plane ran.
+        let jain = r.series_over_speed(MatrixMetric::JainFairness);
+        assert_eq!(jain.len(), 2, "one per dynamics-enabled policy");
     }
 
     #[test]

@@ -47,9 +47,12 @@
 //! semantics of real RRM, and the only feedback shape that preserves the
 //! determinism contract.
 
+use crate::dynamics::{DynamicsConfig, TidalWave};
 use crate::fleet::ue_seed;
 use cellgeom::Axial;
-use handover_core::{CellTraffic, LoadField, TrafficReport};
+use handover_core::{
+    CellTraffic, ClassTraffic, DynamicTrafficStats, LoadField, ServiceClass, TrafficReport,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -166,8 +169,9 @@ pub struct OfferedSession {
 
 /// Draw an exponential variate with the given mean by inversion.
 /// `gen::<f64>()` yields `u ∈ [0, 1)`, so `1 − u ∈ (0, 1]` keeps the
-/// logarithm finite.
-fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
+/// logarithm finite. Crate-visible: the dynamics plane draws churn
+/// lifetimes from the same primitive.
+pub(crate) fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
     -mean * (1.0 - rng.gen::<f64>()).ln()
 }
 
@@ -178,19 +182,85 @@ fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
 /// time may run past the horizon (the replay clips it to the UE's
 /// lifetime).
 pub fn generate_sessions(cfg: &TrafficConfig, seed: u64, horizon_steps: usize) -> Vec<OfferedSession> {
+    generate_sessions_with(cfg.mean_idle_steps, cfg.mean_holding_steps, seed, horizon_steps)
+}
+
+/// [`generate_sessions`] with explicit idle/holding means: the dynamic
+/// replay substitutes per-service-class means while keeping the draw
+/// sequence of the base plane (so a degenerate single-class mix with
+/// the base means reproduces the static sessions bit-for-bit).
+pub(crate) fn generate_sessions_with(
+    mean_idle_steps: f64,
+    mean_holding_steps: f64,
+    seed: u64,
+    horizon_steps: usize,
+) -> Vec<OfferedSession> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sessions = Vec::new();
     let horizon = horizon_steps as f64;
     let mut t = 0.0f64;
     loop {
-        t += exp_sample(&mut rng, cfg.mean_idle_steps);
+        t += exp_sample(&mut rng, mean_idle_steps);
         if t >= horizon {
             break;
         }
-        let duration = exp_sample(&mut rng, cfg.mean_holding_steps);
+        let duration = exp_sample(&mut rng, mean_holding_steps);
         sessions.push(OfferedSession { start: t, duration });
         // The source stays busy for the full holding time whether the
         // call is admitted or not (blocked calls cleared).
+        t += duration;
+    }
+    sessions
+}
+
+/// Generate one UE's offered sessions under a [`TidalWave`]: the idle
+/// hazard `λ(t) = intensity(⌊t⌋, q(⌊t⌋)) / mean_idle` is integrated
+/// piecewise-constantly per step (the time-rescaling construction of an
+/// inhomogeneous Poisson process), where `q(s)` is the axial column of
+/// the UE's serving cell at step `s` — so the wave a UE feels travels
+/// with it across the city. Holding times stay exponential with the
+/// class mean; only the *arrival* rate breathes. A pure function of
+/// `(wave, means, seed, trace)`, like everything else in this plane.
+fn generate_sessions_tidal(
+    wave: &TidalWave,
+    mean_idle_steps: f64,
+    mean_holding_steps: f64,
+    seed: u64,
+    arrival_step: u64,
+    trace: &UeTrace,
+    cells: &[Axial],
+) -> Vec<OfferedSession> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sessions = Vec::new();
+    let steps = trace.steps;
+    let horizon = steps as f64;
+    let mut cursor = (0usize, 0u32);
+    let mut t = arrival_step as f64;
+    'sessions: loop {
+        // One unit-mean exponential, consumed against the accumulated
+        // hazard of the piecewise-constant rate.
+        let mut e = exp_sample(&mut rng, 1.0);
+        loop {
+            if t >= horizon {
+                break 'sessions;
+            }
+            let s = (t as u64).min(steps - 1);
+            let q = cells[current_cell(trace, &mut cursor, s) as usize].q;
+            let lambda = wave.intensity(s, q) / mean_idle_steps;
+            let step_end = (s + 1) as f64;
+            let hazard = (step_end - t) * lambda;
+            if lambda > 0.0 && e <= hazard {
+                t += e / lambda;
+                break;
+            }
+            e -= hazard;
+            t = step_end;
+        }
+        if t >= horizon {
+            break;
+        }
+        let duration = exp_sample(&mut rng, mean_holding_steps);
+        sessions.push(OfferedSession { start: t, duration });
         t += duration;
     }
     sessions
@@ -364,14 +434,33 @@ impl CellLoadTracker {
     /// Offer a new call to `cell_idx`: admitted (and a channel seized)
     /// only below the guard-reduced capacity.
     pub fn offer_new_call(&mut self, cell_idx: usize) -> bool {
+        self.offer_new_call_guarded(cell_idx, 0)
+    }
+
+    /// [`CellLoadTracker::offer_new_call`] with `extra_guard` additional
+    /// channels reserved against this call — the service-class admission
+    /// priority knob (a class's new calls must leave
+    /// `guard + extra_guard` channels free). Saturates at zero admission
+    /// room: a class whose extra guard exceeds the cell's new-call
+    /// capacity is always blocked.
+    pub fn offer_new_call_guarded(&mut self, cell_idx: usize, extra_guard: u32) -> bool {
         self.per_cell[cell_idx].offered_calls += 1;
-        if self.occupancy[cell_idx] < self.capacity - self.guard {
+        let room = (self.capacity - self.guard).saturating_sub(extra_guard);
+        if self.occupancy[cell_idx] < room {
             self.occupancy[cell_idx] += 1;
             true
         } else {
             self.per_cell[cell_idx].blocked_calls += 1;
             false
         }
+    }
+
+    /// Record a new call refused without consulting occupancy — the
+    /// admission outcome for a cell that is down (a failed BS offers no
+    /// channels at all).
+    pub fn refuse_new_call(&mut self, cell_idx: usize) {
+        self.per_cell[cell_idx].offered_calls += 1;
+        self.per_cell[cell_idx].blocked_calls += 1;
     }
 
     /// Relocate an active call from `from_idx` to `to_idx`: admitted
@@ -569,6 +658,284 @@ pub fn replay_traffic(
         per_cell,
     };
     (report, field)
+}
+
+/// [`replay_traffic`] under a dynamic workload: per-service-class
+/// session streams, tidal arrival rates, churn-delayed UE arrivals
+/// (read off the traces' first change points), and scheduled cell
+/// outages that refuse admission and strand or force-relocate active
+/// calls. Returns the base [`TrafficReport`] (whose counters keep the
+/// static plane's meaning — failure-caused losses are broken out into
+/// the [`DynamicTrafficStats`], not mixed into the ordinary
+/// blocking/dropping columns), the [`LoadField`] feedback timeline, and
+/// the dropped-Erlang breakdown by cause.
+///
+/// The degenerate contracts the differential suite pins:
+///
+/// * a single-class mix whose parameters equal `cfg`'s reproduces the
+///   static session draws bit-for-bit (the class draw runs on
+///   [`SERVICE_STREAM`](crate::dynamics::SERVICE_STREAM), not the
+///   session stream);
+/// * outages that never intersect the timeline change nothing;
+/// * without churn every trace starts at step 0 and the arrival shift
+///   is the identity.
+pub fn replay_traffic_dynamic(
+    cfg: &TrafficConfig,
+    cells: &[Axial],
+    traces: &[UeTrace],
+    base_seed: u64,
+    dynamics: &DynamicsConfig,
+) -> (TrafficReport, LoadField, DynamicTrafficStats) {
+    cfg.validate();
+    dynamics.validate();
+    debug_assert!(
+        traces.windows(2).all(|w| w[0].ue_id < w[1].ue_id),
+        "traces must be sorted by UE id"
+    );
+    let mut tracker = CellLoadTracker::new(cells, cfg.channels_per_cell, cfg.guard_channels);
+
+    // Per-UE class assignment (`None`: one undifferentiated class using
+    // the base config's means).
+    let classes: Option<Vec<ServiceClass>> = dynamics
+        .services
+        .as_ref()
+        .map(|mix| traces.iter().map(|t| mix.class_of(base_seed, t.ue_id)).collect());
+    let class_params = |ue: usize| -> (f64, f64, u32) {
+        match (&dynamics.services, &classes) {
+            (Some(mix), Some(cls)) => {
+                let p = mix.params(cls[ue]);
+                (p.mean_idle_steps, p.mean_holding_steps, p.extra_guard_channels)
+            }
+            _ => (cfg.mean_idle_steps, cfg.mean_holding_steps, 0),
+        }
+    };
+    let cls = |ue: usize| -> Option<usize> {
+        classes.as_ref().map(|c| match c[ue] {
+            ServiceClass::Voice => 0,
+            ServiceClass::Data => 1,
+        })
+    };
+    let mut per_class: Vec<ClassTraffic> = if classes.is_some() {
+        vec![ClassTraffic::new(ServiceClass::Voice), ClassTraffic::new(ServiceClass::Data)]
+    } else {
+        Vec::new()
+    };
+    let mut class_time = [0.0f64; 2];
+
+    // Scheduled outages, resolved to layout indices once.
+    let outages: Vec<(u32, u64, u64)> = dynamics
+        .failures
+        .iter()
+        .map(|o| {
+            let idx = cells
+                .iter()
+                .position(|&c| c == o.cell)
+                .expect("outage cell must be in the layout");
+            (idx as u32, o.from_step, o.until_step)
+        })
+        .collect();
+    let down = |cell: u32, s: u64| outages.iter().any(|&(k, f, u)| k == cell && f <= s && s < u);
+
+    // Offered sessions per UE, windowed to the UE's presence `[arrival,
+    // steps)` read off its trace — churned-in UEs dial their first call
+    // after they arrive, and a departed UE's tail sessions never reach
+    // admission (`call_window` clips against `trace.steps`).
+    let mut arrivals: Vec<PendingCall> = Vec::new();
+    let mut offered_call_time = 0.0f64;
+    for (ue, trace) in traces.iter().enumerate() {
+        let steps = trace.steps;
+        let Some(&(arrival, _)) = trace.changes.first() else {
+            continue;
+        };
+        let (idle, holding, _) = class_params(ue);
+        let seed = ue_seed(base_seed ^ TRAFFIC_STREAM, trace.ue_id);
+        let sessions: Vec<OfferedSession> = match &dynamics.tide {
+            Some(wave) => {
+                generate_sessions_tidal(wave, idle, holding, seed, arrival, trace, cells)
+            }
+            None => generate_sessions_with(idle, holding, seed, (steps - arrival) as usize)
+                .into_iter()
+                .map(|s| OfferedSession { start: s.start + arrival as f64, ..s })
+                .collect(),
+        };
+        for session in &sessions {
+            let Some((start_step, last_step, natural_end)) = call_window(session, steps) else {
+                continue;
+            };
+            let time = (session.start + session.duration).min(steps as f64) - session.start;
+            offered_call_time += time;
+            if let Some(k) = cls(ue) {
+                class_time[k] += time;
+            }
+            arrivals.push(PendingCall { ue: ue as u32, step: start_step, last_step, natural_end });
+        }
+    }
+    arrivals.sort_by_key(|a| a.step);
+
+    let mut cursors: Vec<(usize, u32)> = vec![(0, 0); traces.len()];
+    let timeline = traces.iter().map(|t| t.steps).max().unwrap_or(0);
+    let mut active: Vec<ActiveCall> = Vec::new();
+    let mut next_arrival = 0usize;
+    let mut offered = 0u64;
+    let mut blocked = 0u64;
+    let mut carried = 0u64;
+    let mut ho_attempts = 0u64;
+    let mut dropped = 0u64;
+    let mut completed = 0u64;
+    let mut failure_evicted = 0u64;
+    let mut failure_dropped = 0u64;
+    let mut blocked_time = 0.0f64;
+    let mut dropped_time = 0.0f64;
+    let mut failure_time = 0.0f64;
+
+    for s in 0..timeline {
+        // 1 — releases (identical to the static replay).
+        active.retain(|call| {
+            if call.last_step < s {
+                tracker.release(call.cell as usize);
+                if call.natural_end {
+                    completed += 1;
+                    if let Some(k) = cls(call.ue as usize) {
+                        per_class[k].completed_calls += 1;
+                    }
+                }
+                false
+            } else {
+                true
+            }
+        });
+
+        // 2 — relocations and failure evictions. A call whose UE stayed
+        // put on a cell that is down this step is stranded (the engine
+        // found it no live target) and lost to the failure; a call whose
+        // UE moved off a down cell was force-evicted by the engine and
+        // relocates outside the ordinary handover accounting.
+        active.retain_mut(|call| {
+            let ue = call.ue as usize;
+            let now = current_cell(&traces[ue], &mut cursors[ue], s);
+            if now == call.cell {
+                if down(call.cell, s) {
+                    tracker.release(call.cell as usize);
+                    failure_dropped += 1;
+                    failure_time += (call.last_step - s + 1) as f64;
+                    return false;
+                }
+                return true;
+            }
+            let forced = down(call.cell, s);
+            if forced {
+                failure_evicted += 1;
+            } else {
+                ho_attempts += 1;
+                if let Some(k) = cls(ue) {
+                    per_class[k].handover_attempts += 1;
+                }
+            }
+            if tracker.offer_handover(call.cell as usize, now as usize) {
+                call.cell = now;
+                true
+            } else {
+                let lost = (call.last_step - s + 1) as f64;
+                if forced {
+                    failure_dropped += 1;
+                    failure_time += lost;
+                } else {
+                    dropped += 1;
+                    dropped_time += lost;
+                    if let Some(k) = cls(ue) {
+                        per_class[k].dropped_calls += 1;
+                    }
+                }
+                false
+            }
+        });
+
+        // 3 — new-call arrivals, in UE-id order. A down cell offers no
+        // channels: the call is blocked and its holding time charged to
+        // the failure cause.
+        while let Some(arrival) = arrivals.get(next_arrival) {
+            if arrival.step > s {
+                break;
+            }
+            next_arrival += 1;
+            let ue = arrival.ue as usize;
+            let cell = current_cell(&traces[ue], &mut cursors[ue], s);
+            offered += 1;
+            if let Some(k) = cls(ue) {
+                per_class[k].offered_calls += 1;
+            }
+            let window = (arrival.last_step - s + 1) as f64;
+            if down(cell, s) {
+                tracker.refuse_new_call(cell as usize);
+                blocked += 1;
+                failure_time += window;
+                if let Some(k) = cls(ue) {
+                    per_class[k].blocked_calls += 1;
+                }
+            } else {
+                let (_, _, extra_guard) = class_params(ue);
+                if tracker.offer_new_call_guarded(cell as usize, extra_guard) {
+                    carried += 1;
+                    if let Some(k) = cls(ue) {
+                        per_class[k].carried_calls += 1;
+                    }
+                    active.push(ActiveCall {
+                        ue: arrival.ue,
+                        cell,
+                        last_step: arrival.last_step,
+                        natural_end: arrival.natural_end,
+                    });
+                } else {
+                    blocked += 1;
+                    blocked_time += window;
+                    if let Some(k) = cls(ue) {
+                        per_class[k].blocked_calls += 1;
+                    }
+                }
+            }
+        }
+
+        // 4 — close the step.
+        tracker.record_step();
+    }
+
+    for call in &active {
+        if call.natural_end {
+            completed += 1;
+            if let Some(k) = cls(call.ue as usize) {
+                per_class[k].completed_calls += 1;
+            }
+        }
+    }
+
+    let (per_cell, steps, busy_channel_steps, field) = tracker.finish();
+    let over = |t: f64| if steps == 0 { 0.0 } else { t / steps as f64 };
+    for (k, class) in per_class.iter_mut().enumerate() {
+        class.offered_erlangs = over(class_time[k]);
+    }
+    let stats = DynamicTrafficStats {
+        failure_evicted_calls: failure_evicted,
+        failure_dropped_calls: failure_dropped,
+        blocked_erlangs: over(blocked_time),
+        dropped_erlangs: over(dropped_time),
+        failure_erlangs: over(failure_time),
+        per_class,
+    };
+    let report = TrafficReport {
+        channels_per_cell: cfg.channels_per_cell,
+        guard_channels: cfg.guard_channels,
+        steps,
+        offered_calls: offered,
+        blocked_calls: blocked,
+        carried_calls: carried,
+        handover_attempts: ho_attempts,
+        dropped_calls: dropped,
+        completed_calls: completed,
+        offered_erlangs: over(offered_call_time),
+        carried_erlangs: over(busy_channel_steps as f64),
+        per_cell,
+    };
+    (report, field, stats)
 }
 
 #[cfg(test)]

@@ -110,6 +110,7 @@ fn main() {
             PolicyKind::Hysteresis { margin_db: 4.0 },
         ],
         traffics: vec![None],
+        dynamics: vec![None],
         base_seed: 0xF1EE7,
         workers: 4,
         matrix_workers: 2,

@@ -213,6 +213,7 @@ proptest! {
             speeds_kmh: vec![0.0, 40.0],
             policies: vec![PolicyKind::Fuzzy, PolicyKind::Hysteresis { margin_db: 4.0 }],
             traffics: vec![None],
+            dynamics: vec![None],
             base_seed: seed,
             workers: 1,
             matrix_workers: 1,

@@ -35,6 +35,7 @@ fn pruned_matrix() -> ScenarioMatrix {
         speeds_kmh: vec![0.0, 30.0],
         policies: vec![PolicyKind::Fuzzy, PolicyKind::Hysteresis { margin_db: 4.0 }],
         traffics: vec![None],
+        dynamics: vec![None],
         base_seed: 0xF1EE7,
         workers: 3,
         matrix_workers: 2,

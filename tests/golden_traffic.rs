@@ -57,6 +57,7 @@ fn loaded_matrix() -> ScenarioMatrix {
                 load_feedback: true,
             }),
         ],
+        dynamics: vec![None],
         base_seed: 0x10AD,
         workers: 3,
         matrix_workers: 2,
