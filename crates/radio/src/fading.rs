@@ -29,6 +29,48 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
+/// Tile width of the batched gaussian kernels: draws are pulled from the
+/// RNG in stack tiles of this many output values (2× as many uniforms),
+/// sized so one tile's uniforms cover two full eight-block groups of the
+/// AVX2 ChaCha12 kernel through [`rand::RngCore::fill_u64_slice`] while
+/// staying comfortably on the stack. Purely an internal blocking factor
+/// — it never changes which draws happen in which order, so it is
+/// invisible to bit-identity and to checkpointing.
+const NORMAL_TILE: usize = 64;
+
+/// Fill `dest` with standard-normal draws — the batched form of
+/// [`standard_normal`], bit-identical to calling it once per slot in
+/// order. The uniforms come from the RNG's bulk block generator
+/// ([`rand::RngCore::fill_standard_uniform`], whole ChaCha12 blocks at a
+/// time) and each output evaluates the exact Box–Muller expression of the
+/// scalar sampler on its `(u1, u2)` pair, so draw order and
+/// floating-point math are unchanged. Allocation-free (stack tiles).
+pub fn standard_normal_fill<R: Rng + ?Sized>(dest: &mut [f64], rng: &mut R) {
+    let mut uniforms = [0.0f64; 2 * NORMAL_TILE];
+    let mut cosines = [0.0f64; NORMAL_TILE];
+    for chunk in dest.chunks_mut(NORMAL_TILE) {
+        let pairs = &mut uniforms[..2 * chunk.len()];
+        rng.fill_standard_uniform(pairs);
+        // Pass 1 — the libm calls (can't vectorize): squared radius
+        // −2·ln(1 − u1) into the output slots, cos(τ·u2) into a tile.
+        let angles = &mut cosines[..chunk.len()];
+        for ((slot, angle), uv) in chunk.iter_mut().zip(angles.iter_mut()).zip(pairs.chunks_exact(2))
+        {
+            let u1 = 1.0 - uv[0];
+            let u2 = uv[1];
+            *slot = -2.0 * u1.ln();
+            *angle = (std::f64::consts::TAU * u2).cos();
+        }
+        // Pass 2 — branch-free √r²·cos over contiguous tiles, which the
+        // compiler turns into packed sqrt/mul. The expression tree per
+        // sample is exactly the scalar sampler's, so the split changes
+        // nothing bit-wise.
+        for (slot, &angle) in chunk.iter_mut().zip(angles.iter()) {
+            *slot = slot.sqrt() * angle;
+        }
+    }
+}
+
 /// Configuration of a log-normal shadowing process.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ShadowingConfig {
@@ -176,7 +218,9 @@ impl ShadowingLane {
     /// Advance **every** slot by the same `delta_km`, drawing one
     /// innovation per slot in slot order. Bit-identical to calling
     /// [`ShadowingProcess::advance`] on a vector of processes with the
-    /// same RNG.
+    /// same RNG: the innovations come from [`standard_normal_fill`]
+    /// (same draws, same order, bulk-generated) and the AR(1) update is
+    /// the same expression per slot.
     pub fn advance_all<R: Rng + ?Sized>(&mut self, delta_km: f64, rng: &mut R) {
         let sigma = self.config.sigma_db;
         if sigma == 0.0 {
@@ -189,9 +233,67 @@ impl ShadowingLane {
         }
         let rho = (-delta_km.max(0.0) / self.config.decorrelation_km).exp();
         let gain = sigma * (1.0 - rho * rho).sqrt();
+        let mut innovations = [0.0f64; NORMAL_TILE];
         if self.any_fresh {
-            for (value, fresh) in self.values.iter_mut().zip(&mut self.fresh) {
-                let innovation = standard_normal(rng);
+            for (values, fresh_slots) in self
+                .values
+                .chunks_mut(NORMAL_TILE)
+                .zip(self.fresh.chunks_mut(NORMAL_TILE))
+            {
+                let tile = &mut innovations[..values.len()];
+                standard_normal_fill(tile, rng);
+                for ((value, fresh), &innovation) in
+                    values.iter_mut().zip(fresh_slots.iter_mut()).zip(tile.iter())
+                {
+                    if *fresh {
+                        *fresh = false;
+                        *value = sigma * innovation;
+                    } else {
+                        *value = rho * *value + gain * innovation;
+                    }
+                }
+            }
+            self.any_fresh = false;
+        } else {
+            for values in self.values.chunks_mut(NORMAL_TILE) {
+                let tile = &mut innovations[..values.len()];
+                standard_normal_fill(tile, rng);
+                // No branches, no calls: one fused multiply-add lane.
+                for (value, &innovation) in values.iter_mut().zip(tile.iter()) {
+                    *value = rho * *value + gain * innovation;
+                }
+            }
+        }
+    }
+
+    /// [`ShadowingLane::advance_all`] with the innovations already drawn
+    /// by the caller (one per slot, slot order) — the fused fleet kernel
+    /// pulls one bulk gaussian fill per UE step and feeds the shadowing
+    /// share through here. Slot-for-slot the same update expression as
+    /// `advance_all`; passing draws from [`standard_normal_fill`] on the
+    /// UE's RNG is therefore bit-identical to `advance_all` on that RNG.
+    ///
+    /// With σ = 0 the lane zeroes itself and `innovations` must be empty
+    /// (the σ = 0 paths never consume randomness); otherwise it must hold
+    /// exactly one draw per slot.
+    pub fn advance_all_with(&mut self, delta_km: f64, innovations: &[f64]) {
+        let sigma = self.config.sigma_db;
+        if sigma == 0.0 {
+            assert!(innovations.is_empty(), "σ = 0 advance consumes no draws");
+            if self.any_fresh {
+                self.fresh.fill(false);
+                self.any_fresh = false;
+            }
+            self.values.fill(0.0);
+            return;
+        }
+        assert_eq!(innovations.len(), self.values.len(), "one innovation per slot");
+        let rho = (-delta_km.max(0.0) / self.config.decorrelation_km).exp();
+        let gain = sigma * (1.0 - rho * rho).sqrt();
+        if self.any_fresh {
+            for ((value, fresh), &innovation) in
+                self.values.iter_mut().zip(&mut self.fresh).zip(innovations)
+            {
                 if *fresh {
                     *fresh = false;
                     *value = sigma * innovation;
@@ -201,8 +303,8 @@ impl ShadowingLane {
             }
             self.any_fresh = false;
         } else {
-            for value in &mut self.values {
-                *value = rho * *value + gain * standard_normal(rng);
+            for (value, &innovation) in self.values.iter_mut().zip(innovations) {
+                *value = rho * *value + gain * innovation;
             }
         }
     }
@@ -240,22 +342,30 @@ impl ShadowingLane {
         let mut memo_delta = f64::NAN;
         let mut memo_rho = 0.0;
         let mut memo_gain = 0.0;
-        for &slot in slots {
-            let k = slot as usize;
-            let innovation = standard_normal(rng);
-            if self.fresh[k] {
-                self.fresh[k] = false;
-                self.values[k] = sigma * innovation;
-            } else {
-                let delta_km = now_km - last_km[k];
-                if delta_km != memo_delta {
-                    memo_delta = delta_km;
-                    memo_rho = (-delta_km.max(0.0) / self.config.decorrelation_km).exp();
-                    memo_gain = sigma * (1.0 - memo_rho * memo_rho).sqrt();
+        // Innovations are bulk-drawn per tile (the memo survives tile
+        // boundaries); drawing a tile up front instead of one draw per
+        // slot reorders nothing — the computation between draws consumes
+        // no randomness.
+        let mut innovations = [0.0f64; NORMAL_TILE];
+        for slot_tile in slots.chunks(NORMAL_TILE) {
+            let tile = &mut innovations[..slot_tile.len()];
+            standard_normal_fill(tile, rng);
+            for (&slot, &innovation) in slot_tile.iter().zip(tile.iter()) {
+                let k = slot as usize;
+                if self.fresh[k] {
+                    self.fresh[k] = false;
+                    self.values[k] = sigma * innovation;
+                } else {
+                    let delta_km = now_km - last_km[k];
+                    if delta_km != memo_delta {
+                        memo_delta = delta_km;
+                        memo_rho = (-delta_km.max(0.0) / self.config.decorrelation_km).exp();
+                        memo_gain = sigma * (1.0 - memo_rho * memo_rho).sqrt();
+                    }
+                    self.values[k] = memo_rho * self.values[k] + memo_gain * innovation;
                 }
-                self.values[k] = memo_rho * self.values[k] + memo_gain * innovation;
+                last_km[k] = now_km;
             }
-            last_km[k] = now_km;
         }
     }
 
@@ -354,6 +464,22 @@ impl RayleighFading {
         let power = 0.5 * (x * x + y * y);
         power_ratio_to_db_floored(power)
     }
+
+    /// Fill `out` with independent fades — bit-identical to calling
+    /// [`RayleighFading::sample_db`] once per slot in order (the two
+    /// quadrature gaussians per fade come from [`standard_normal_fill`]
+    /// in the same x-then-y sequence). Allocation-free.
+    pub fn sample_db_fill<R: Rng + ?Sized>(&self, out: &mut [f64], rng: &mut R) {
+        let mut normals = [0.0f64; 2 * NORMAL_TILE];
+        for chunk in out.chunks_mut(NORMAL_TILE) {
+            let pairs = &mut normals[..2 * chunk.len()];
+            standard_normal_fill(pairs, rng);
+            for (slot, xy) in chunk.iter_mut().zip(pairs.chunks_exact(2)) {
+                let power = 0.5 * (xy[0] * xy[0] + xy[1] * xy[1]);
+                *slot = power_ratio_to_db_floored(power);
+            }
+        }
+    }
 }
 
 /// Rician fading: a dominant line-of-sight component of power
@@ -383,6 +509,28 @@ impl RicianFading {
         let y: f64 = sigma * standard_normal(rng);
         let power = x * x + y * y;
         power_ratio_to_db_floored(power)
+    }
+
+    /// Fill `out` with independent fades — bit-identical to calling
+    /// [`RicianFading::sample_db`] once per slot in order, with the LOS
+    /// and scatter constants hoisted out of the loop (they are
+    /// position-independent sub-expressions, computed once instead of
+    /// per fade) and the gaussians bulk-drawn. Allocation-free.
+    pub fn sample_db_fill<R: Rng + ?Sized>(&self, out: &mut [f64], rng: &mut R) {
+        let k = self.k_factor;
+        let nu = (k / (k + 1.0)).sqrt();
+        let sigma = (1.0 / (2.0 * (k + 1.0))).sqrt();
+        let mut normals = [0.0f64; 2 * NORMAL_TILE];
+        for chunk in out.chunks_mut(NORMAL_TILE) {
+            let pairs = &mut normals[..2 * chunk.len()];
+            standard_normal_fill(pairs, rng);
+            for (slot, xy) in chunk.iter_mut().zip(pairs.chunks_exact(2)) {
+                let x = nu + sigma * xy[0];
+                let y = sigma * xy[1];
+                let power = x * x + y * y;
+                *slot = power_ratio_to_db_floored(power);
+            }
+        }
     }
 }
 
@@ -475,6 +623,92 @@ mod tests {
         };
         assert_eq!(run(99), run(99));
         assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    fn standard_normal_fill_matches_scalar_loop_bitwise() {
+        // Lengths straddling the tile width and starting at mid-block RNG
+        // offsets: the bulk sampler must reproduce the scalar draws.
+        for offset in [0usize, 1, 5] {
+            for len in [0usize, 1, 2, 31, 32, 33, 64, 100] {
+                let mut bulk_rng = StdRng::seed_from_u64(0xB0B5);
+                let mut scalar_rng = StdRng::seed_from_u64(0xB0B5);
+                for _ in 0..offset {
+                    bulk_rng.gen::<f64>();
+                    scalar_rng.gen::<f64>();
+                }
+                let mut batch = vec![0.0f64; len];
+                standard_normal_fill(&mut batch, &mut bulk_rng);
+                for (i, &b) in batch.iter().enumerate() {
+                    let s = standard_normal(&mut scalar_rng);
+                    assert_eq!(b.to_bits(), s.to_bits(), "offset {offset} len {len} slot {i}");
+                }
+                // Streams stay in lockstep afterwards.
+                assert_eq!(bulk_rng.gen::<u64>(), scalar_rng.gen::<u64>());
+            }
+        }
+    }
+
+    #[test]
+    fn lane_advance_all_with_matches_advance_all_bitwise() {
+        let cfg = ShadowingConfig { sigma_db: 4.5, decorrelation_km: 0.06 };
+        let n = 19;
+        let mut reference = ShadowingLane::new(cfg, n);
+        let mut fused = ShadowingLane::new(cfg, n);
+        let mut ref_rng = StdRng::seed_from_u64(0xFADE);
+        let mut fused_rng = StdRng::seed_from_u64(0xFADE);
+        let mut innovations = vec![0.0f64; n];
+        for step in 0..25 {
+            let delta = 0.02 * (step % 5) as f64;
+            reference.advance_all(delta, &mut ref_rng);
+            standard_normal_fill(&mut innovations, &mut fused_rng);
+            fused.advance_all_with(delta, &innovations);
+            for k in 0..n {
+                assert_eq!(
+                    reference.values()[k].to_bits(),
+                    fused.values()[k].to_bits(),
+                    "slot {k} step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_advance_all_with_zero_sigma_is_silent() {
+        let mut lane = ShadowingLane::new(ShadowingConfig::none(), 3);
+        lane.advance_all_with(0.5, &[]);
+        assert!(lane.values().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one innovation per slot")]
+    fn lane_advance_all_with_wrong_length_rejected() {
+        let mut lane = ShadowingLane::new(ShadowingConfig::moderate(), 4);
+        lane.advance_all_with(0.1, &[0.0; 3]);
+    }
+
+    #[test]
+    fn rayleigh_fill_matches_scalar_loop_bitwise() {
+        let fading = RayleighFading;
+        let mut batch = vec![0.0f64; 77];
+        fading.sample_db_fill(&mut batch, &mut StdRng::seed_from_u64(0xAA));
+        let mut rng = StdRng::seed_from_u64(0xAA);
+        for (i, &b) in batch.iter().enumerate() {
+            assert_eq!(b.to_bits(), fading.sample_db(&mut rng).to_bits(), "slot {i}");
+        }
+    }
+
+    #[test]
+    fn rician_fill_matches_scalar_loop_bitwise() {
+        for k in [0.0, 3.7, 12.0] {
+            let fading = RicianFading::new(k);
+            let mut batch = vec![0.0f64; 50];
+            fading.sample_db_fill(&mut batch, &mut StdRng::seed_from_u64(0xBB));
+            let mut rng = StdRng::seed_from_u64(0xBB);
+            for (i, &b) in batch.iter().enumerate() {
+                assert_eq!(b.to_bits(), fading.sample_db(&mut rng).to_bits(), "K {k} slot {i}");
+            }
+        }
     }
 
     #[test]

@@ -56,8 +56,8 @@ pub mod pathloss;
 
 pub use antenna::DipoleAntenna;
 pub use fading::{
-    speed_penalty_db, standard_normal, RayleighFading, RicianFading, ShadowingConfig,
-    ShadowingLane, ShadowingLaneState, ShadowingProcess,
+    speed_penalty_db, standard_normal, standard_normal_fill, RayleighFading, RicianFading,
+    ShadowingConfig, ShadowingLane, ShadowingLaneState, ShadowingProcess,
 };
 pub use link::{BsRadio, CompiledBsRadio};
 pub use measurement::{MeasurementNoise, RssiSmoother};

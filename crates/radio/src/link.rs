@@ -214,13 +214,21 @@ pub struct CompiledBsRadio {
     loss: CompiledPathLoss,
 }
 
+/// Fixed block width of the batched link-budget loops: the geometry pass
+/// (distance per position) runs over one block at a time so the
+/// subtract/multiply/add/sqrt chain autovectorizes, then the
+/// transcendental pass consumes the block. Purely a loop-blocking factor
+/// — every element still evaluates the exact scalar expression.
+const BUDGET_BLOCK: usize = 8;
+
 impl CompiledBsRadio {
-    /// Mean received power in dBm at `ms_pos` from a BS at `bs_pos` —
-    /// bit-identical to [`BsRadio::received_power_dbm`] on the source
-    /// radio.
-    #[inline]
-    pub fn received_power_dbm(&self, bs_pos: Vec2, ms_pos: Vec2) -> f64 {
-        let horizontal_km = bs_pos.distance(ms_pos);
+    /// The budget from a precomputed horizontal distance — the shared
+    /// per-sample tail of the scalar and batched entry points, so both
+    /// compute the exact same floating-point expression. `loss_db` must
+    /// be (an inlined copy of) [`CompiledPathLoss::loss_db`] on
+    /// `self.loss`.
+    #[inline(always)]
+    fn budget_from_horizontal<L: Fn(f64) -> f64>(&self, horizontal_km: f64, loss_db: &L) -> f64 {
         // Antenna: depression angle → pattern factor → clamped gain, with
         // the tilt/height constants folded.
         let alpha = self.dz_km.atan2(horizontal_km.max(0.0));
@@ -228,13 +236,87 @@ impl CompiledBsRadio {
         let gain = (self.peak_gain_dbi + 20.0 * factor.log10()).max(self.floor_gain_db);
         // Path loss at the slant range (clamped below at 1 m).
         let slant = (horizontal_km * horizontal_km + self.dz_km * self.dz_km).sqrt();
-        let loss = self.loss.loss_db(slant.max(1e-3));
+        let loss = loss_db(slant.max(1e-3));
         self.tx_dbm + gain - loss
+    }
+
+    /// Mean received power in dBm at `ms_pos` from a BS at `bs_pos` —
+    /// bit-identical to [`BsRadio::received_power_dbm`] on the source
+    /// radio.
+    #[inline]
+    pub fn received_power_dbm(&self, bs_pos: Vec2, ms_pos: Vec2) -> f64 {
+        self.budget_from_horizontal(bs_pos.distance(ms_pos), &|d| self.loss.loss_db(d))
+    }
+
+    /// The block-loop driver behind both batched entry points: per-BS
+    /// constants live in locals (registers), the interior is branch-free
+    /// (the path-loss `match` is dispatched once per batch, not per
+    /// sample), positions stream through [`BUDGET_BLOCK`]-wide blocks
+    /// with a vectorizable geometry pass, and the remainder drains
+    /// through a scalar tail loop.
+    #[inline(always)]
+    fn fill_batch_with<T, L, C>(
+        &self,
+        bs_pos: Vec2,
+        ms_positions: &[Vec2],
+        out: &mut [T],
+        loss_db: L,
+        convert: C,
+    ) where
+        T: Copy,
+        L: Fn(f64) -> f64,
+        C: Fn(f64) -> T,
+    {
+        let mut horiz = [0.0f64; BUDGET_BLOCK];
+        let mut pos_blocks = ms_positions.chunks_exact(BUDGET_BLOCK);
+        let mut out_blocks = out.chunks_exact_mut(BUDGET_BLOCK);
+        for (positions, slots) in (&mut pos_blocks).zip(&mut out_blocks) {
+            // Geometry pass: distances only — autovectorizes.
+            for (h, &ms) in horiz.iter_mut().zip(positions.iter()) {
+                *h = bs_pos.distance(ms);
+            }
+            // Budget pass: the transcendental tail of the expression.
+            for (slot, &h) in slots.iter_mut().zip(horiz.iter()) {
+                *slot = convert(self.budget_from_horizontal(h, &loss_db));
+            }
+        }
+        // Tail loop for the remainder.
+        for (slot, &ms) in out_blocks.into_remainder().iter_mut().zip(pos_blocks.remainder()) {
+            *slot = convert(self.budget_from_horizontal(bs_pos.distance(ms), &loss_db));
+        }
+    }
+
+    /// Dispatch the path-loss variant once and run the block driver with
+    /// a monomorphized (hence branch-free-interior) loss closure. Each
+    /// closure calls [`CompiledPathLoss::loss_db`] on the known variant,
+    /// so there is exactly one source of truth for the loss expression.
+    #[inline(always)]
+    fn dispatch_batch<T, C>(&self, bs_pos: Vec2, ms_positions: &[Vec2], out: &mut [T], convert: C)
+    where
+        T: Copy,
+        C: Fn(f64) -> T + Copy,
+    {
+        match self.loss {
+            loss @ CompiledPathLoss::Reference { .. } => {
+                self.fill_batch_with(bs_pos, ms_positions, out, move |d| loss.loss_db(d), convert)
+            }
+            loss @ CompiledPathLoss::FreeSpace { .. } => {
+                self.fill_batch_with(bs_pos, ms_positions, out, move |d| loss.loss_db(d), convert)
+            }
+            loss @ CompiledPathLoss::TwoRay { .. } => {
+                self.fill_batch_with(bs_pos, ms_positions, out, move |d| loss.loss_db(d), convert)
+            }
+            loss @ CompiledPathLoss::Hata { .. } => {
+                self.fill_batch_with(bs_pos, ms_positions, out, move |d| loss.loss_db(d), convert)
+            }
+        }
     }
 
     /// Batched form of [`CompiledBsRadio::received_power_dbm`]:
     /// `out[i]` receives the power at `ms_positions[i]`. Allocation-free
-    /// and bit-identical to the scalar call per position.
+    /// and bit-identical to the scalar call per position (same
+    /// per-sample expression; the block structure only reorders
+    /// independent elements' evaluation, never an element's own math).
     pub fn received_power_dbm_batch(
         &self,
         bs_pos: Vec2,
@@ -246,9 +328,7 @@ impl CompiledBsRadio {
             out.len(),
             "output buffer length must match the position count"
         );
-        for (slot, &ms_pos) in out.iter_mut().zip(ms_positions) {
-            *slot = self.received_power_dbm(bs_pos, ms_pos);
-        }
+        self.dispatch_batch(bs_pos, ms_positions, out, |v| v);
     }
 
     /// Compact-precision batch: compute each sample in full `f64` (the
@@ -269,9 +349,7 @@ impl CompiledBsRadio {
             out.len(),
             "output buffer length must match the position count"
         );
-        for (slot, &ms_pos) in out.iter_mut().zip(ms_positions) {
-            *slot = self.received_power_dbm(bs_pos, ms_pos) as f32;
-        }
+        self.dispatch_batch(bs_pos, ms_positions, out, |v| v as f32);
     }
 }
 

@@ -6,7 +6,7 @@
 //! measurement jitter (the paper averages 10 simulation runs for the same
 //! reason).
 
-use crate::fading::standard_normal;
+use crate::fading::{standard_normal, standard_normal_fill};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -44,12 +44,24 @@ impl MeasurementNoise {
     /// calling [`MeasurementNoise::apply`] once per element (the σ = 0
     /// early-out is hoisted out of the loop and, like the scalar path,
     /// consumes no randomness). Allocation-free.
+    ///
+    /// Unlike the scalar loop this is genuinely batched: the gaussians
+    /// come from [`standard_normal_fill`] (bulk ChaCha12 block
+    /// generation + tiled Box–Muller), and the add-back is a separate
+    /// branch-free slice pass. The `radio/noise_2432` bench group pins
+    /// the ≥ 1.5× throughput edge over the scalar loop so a regression
+    /// back to secretly-scalar sampling shows up in `BENCH_radio.json`.
     pub fn apply_slice<R: Rng + ?Sized>(&self, values_db: &mut [f64], rng: &mut R) {
         if self.sigma_db == 0.0 {
             return;
         }
-        for value in values_db {
-            *value += self.sigma_db * standard_normal(rng);
+        let mut normals = [0.0f64; 64];
+        for chunk in values_db.chunks_mut(normals.len()) {
+            let draws = &mut normals[..chunk.len()];
+            standard_normal_fill(draws, rng);
+            for (value, &normal) in chunk.iter_mut().zip(draws.iter()) {
+                *value += self.sigma_db * normal;
+            }
         }
     }
 }

@@ -12,8 +12,8 @@ use handover_core::{
 };
 use mobility::{TracePoint, Trajectory};
 use radiolink::{
-    speed_penalty_db, BsRadio, CompiledBsRadio, MeasurementNoise, RssiSmoother,
-    ShadowingConfig, ShadowingLane,
+    speed_penalty_db, standard_normal_fill, BsRadio, CompiledBsRadio, MeasurementNoise,
+    RssiSmoother, ShadowingConfig, ShadowingLane,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -377,6 +377,72 @@ impl UeState {
         self.report_from_measured(cfg, candidates, point)
     }
 
+    /// The fused measurement half: bit-identical to
+    /// [`UeState::begin_step`], but the whole step's gaussian budget —
+    /// one shadowing innovation per cell (σ_shadow > 0) plus one noise
+    /// draw per cell (σ_noise > 0) — is bulk-generated in a *single*
+    /// [`standard_normal_fill`] pass into the caller's scratch buffer,
+    /// and shadowing update, mean+shadow+noise combine and (optional)
+    /// smoothing then run as branch-free slice passes. The fleet engine's
+    /// dense path calls this with its per-chunk arena scratch.
+    ///
+    /// ## Bit-identity and the buffer-sizing rule
+    ///
+    /// `begin_step` draws n shadowing innovations (via
+    /// `ShadowingLane::advance_all`) and then n noise gaussians (via
+    /// `MeasurementNoise::apply_slice`), each gaussian consuming exactly
+    /// two `u64`s — so one bulk fill of `shadow_draws + noise_draws`
+    /// gaussians consumes the identical RNG stream in the identical
+    /// order, and each output value evaluates the identical expression
+    /// (`(mean + shadow) + σ·noise` is precisely `apply_slice`'s add-back
+    /// on `begin_step`'s sum). The scratch is resized to exactly that
+    /// draw count, which depends only on the `SimConfig` sigmas — never
+    /// on step number, UE, or chunk — so checkpoint/resume boundaries
+    /// cannot change how many draws any UE makes. The buffer holds only
+    /// within-step scratch; nothing in it survives the call, so it is
+    /// (correctly) absent from [`UeState::snapshot`].
+    pub(crate) fn begin_step_fused(
+        &mut self,
+        cfg: &SimConfig,
+        candidates: &CandidateTable,
+        means_dbm: &[f64],
+        point: TracePoint,
+        normals: &mut Vec<f64>,
+    ) -> MeasurementReport {
+        let cells = cfg.layout.cells();
+        let n = cells.len();
+        debug_assert_eq!(means_dbm.len(), n);
+        let delta = point.cum_km - self.prev_cum;
+        self.prev_cum = point.cum_km;
+        let shadow_draws = if cfg.shadowing.sigma_db > 0.0 { n } else { 0 };
+        let noise_draws = if cfg.noise.sigma_db > 0.0 { n } else { 0 };
+        normals.resize(shadow_draws + noise_draws, 0.0);
+        // One bulk gaussian pass covers both measurement stages.
+        standard_normal_fill(normals, &mut self.rng);
+        self.shadow.advance_all_with(delta, &normals[..shadow_draws]);
+        self.measured.clear();
+        if noise_draws == 0 {
+            self.measured
+                .extend(means_dbm.iter().zip(self.shadow.values()).map(|(&m, &s)| m + s));
+        } else {
+            let sigma = cfg.noise.sigma_db;
+            let noise = &normals[shadow_draws..];
+            self.measured.extend(
+                means_dbm
+                    .iter()
+                    .zip(self.shadow.values())
+                    .zip(noise)
+                    .map(|((&m, &s), &e)| (m + s) + sigma * e),
+            );
+        }
+        if !self.passthrough_smoothing {
+            for (value, smoother) in self.measured.iter_mut().zip(&mut self.smoothers) {
+                *value = smoother.push(*value);
+            }
+        }
+        self.report_from_measured(cfg, candidates, point)
+    }
+
     /// The neighbour-pruned measurement half: like
     /// [`UeState::begin_step`], but only the cells in `subset` (layout
     /// indices, draw order) are measured — their shadowing slots advance
@@ -410,16 +476,39 @@ impl UeState {
             &mut self.last_advanced_km,
             &mut self.rng,
         );
-        for &slot in subset {
-            let k = slot as usize;
-            let raw = cfg
-                .noise
-                .apply(means_dbm[k] + self.shadow.values()[k], &mut self.rng);
-            self.measured[k] = if self.passthrough_smoothing {
-                raw
-            } else {
-                self.smoothers[k].push(raw)
-            };
+        if cfg.noise.sigma_db == 0.0 {
+            // `MeasurementNoise::apply` with σ = 0 passes the reading
+            // through and consumes no randomness.
+            for &slot in subset {
+                let k = slot as usize;
+                let raw = means_dbm[k] + self.shadow.values()[k];
+                self.measured[k] = if self.passthrough_smoothing {
+                    raw
+                } else {
+                    self.smoothers[k].push(raw)
+                };
+            }
+        } else {
+            // Batched noise: draw the subset's gaussians in one bulk tile
+            // pass, then combine. Same draws in the same subset order as
+            // per-slot `apply` calls (the combine consumes no
+            // randomness), and `clean + σ·normal` is `apply`'s exact
+            // expression.
+            let sigma = cfg.noise.sigma_db;
+            let mut draws = [0.0f64; 64];
+            for slot_tile in subset.chunks(draws.len()) {
+                let tile = &mut draws[..slot_tile.len()];
+                standard_normal_fill(tile, &mut self.rng);
+                for (&slot, &normal) in slot_tile.iter().zip(tile.iter()) {
+                    let k = slot as usize;
+                    let raw = means_dbm[k] + self.shadow.values()[k] + sigma * normal;
+                    self.measured[k] = if self.passthrough_smoothing {
+                        raw
+                    } else {
+                        self.smoothers[k].push(raw)
+                    };
+                }
+            }
         }
         self.report_from_measured(cfg, candidates, point)
     }

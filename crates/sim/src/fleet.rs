@@ -584,6 +584,16 @@ struct ChunkArena {
     rss_matrix_f32: Vec<f32>,
     /// Per-cell means of the UE currently being measured.
     means: Vec<f64>,
+    /// Gaussian scratch for the fused begin-step measurement kernel.
+    ///
+    /// Sized once for the worst case (shadowing + noise both active:
+    /// `2 × n_cells` draws per UE-step) so the per-step resize inside
+    /// [`UeState::begin_step_fused`] never reallocates. The *used*
+    /// length depends only on the [`SimConfig`] sigmas — never on the
+    /// step index, UE id, or chunk layout — so a run resumed from a
+    /// checkpoint consumes exactly the same RNG draws as an unbroken
+    /// run and stays bit-identical.
+    rng_scratch: Vec<f64>,
     subset: Vec<u32>,
     reports: Vec<MeasurementReport>,
     pending: Vec<StepPending>,
@@ -603,6 +613,7 @@ impl ChunkArena {
             rss_matrix: Vec::new(),
             rss_matrix_f32: Vec::new(),
             means: vec![0.0; n_cells],
+            rng_scratch: Vec::with_capacity(2 * n_cells),
             subset: Vec::with_capacity(n_cells),
             reports: Vec::new(),
             pending: Vec::new(),
@@ -1195,6 +1206,7 @@ impl FleetSimulation {
             rss_matrix,
             rss_matrix_f32,
             means,
+            rng_scratch,
             subset,
             reports,
             pending,
@@ -1511,7 +1523,13 @@ impl FleetSimulation {
                                 *slot = rss_matrix[k * a + j];
                             }
                         }
-                        ue.begin_step(cfg, self.sim.candidates(), means, points[j])
+                        ue.begin_step_fused(
+                            cfg,
+                            self.sim.candidates(),
+                            means,
+                            points[j],
+                            rng_scratch,
+                        )
                     }
                     PrunePlan::Pruned { k, edge_margin_db } => {
                         let pos = positions[j];

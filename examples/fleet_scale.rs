@@ -86,6 +86,16 @@ fn main() {
 
     assert_eq!(summary.ues, n_ues);
     assert_eq!(load_total, summary.steps);
+    // Fail loudly rather than print an all-zero record: a BENCH_fleet
+    // acceptance row with steps_total / elapsed_s / throughput at 0.0
+    // means the run never happened, and must never look like a result.
+    assert!(summary.steps > 0, "acceptance run produced zero UE-steps");
+    assert!(elapsed > 0.0, "elapsed time is zero — timer did not run");
+    let rate_mps = summary.steps as f64 / elapsed / 1e6;
+    assert!(
+        rate_mps.is_finite() && rate_mps > 0.0,
+        "throughput {rate_mps} M UE-steps/s is not a positive finite number"
+    );
     println!(
         "ues={} steps={} handovers={} ping_pongs={} outage_steps={} mean_hd={:.6}",
         summary.ues,
@@ -95,12 +105,13 @@ fn main() {
         summary.outage_steps,
         summary.mean_hd().unwrap_or(f64::NAN)
     );
-    println!(
-        "elapsed {elapsed:.2} s, {:.3} M UE-steps/s",
-        summary.steps as f64 / elapsed / 1e6
-    );
-    if let Some(kb) = peak_rss_kb() {
-        println!("peak RSS {:.1} MiB", kb as f64 / 1024.0);
+    println!("elapsed {elapsed:.2} s, {rate_mps:.3} M UE-steps/s");
+    match peak_rss_kb() {
+        Some(kb) => {
+            assert!(kb > 0, "peak RSS reads zero — /proc/self/status is lying");
+            println!("peak RSS {:.1} MiB", kb as f64 / 1024.0);
+        }
+        None => println!("peak RSS unavailable on this platform"),
     }
 }
 

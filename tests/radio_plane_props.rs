@@ -10,11 +10,17 @@
 //! 3. `MeasurementNoise::apply_slice` is bit-identical to the scalar
 //!    `apply` loop;
 //! 4. `BsRadio::compiled()` reproduces the scalar link budget bit for
-//!    bit over every path-loss model family.
+//!    bit over every path-loss model family;
+//! 5. the block-loop batch kernels `received_power_dbm_batch` /
+//!    `received_power_dbm_batch_f32` equal the scalar budget per
+//!    element (the f32 lane through a single `as f32` rounding);
+//! 6. the batched Rayleigh/Rician samplers (`sample_db_fill`) are the
+//!    scalar sampler loops, draw for draw.
 
 use fuzzy_handover::geometry::Vec2;
 use fuzzy_handover::radio::{
-    BsRadio, MeasurementNoise, PathLoss, ShadowingConfig, ShadowingLane, ShadowingProcess,
+    BsRadio, MeasurementNoise, PathLoss, RayleighFading, RicianFading, ShadowingConfig,
+    ShadowingLane, ShadowingProcess,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -174,6 +180,57 @@ proptest! {
                 "at {:?}",
                 ms
             );
+        }
+    }
+
+    /// Contract 5: the fixed-width block loops (interior blocks + tail)
+    /// are the scalar budget per element, across block-boundary lengths.
+    #[test]
+    fn batch_budget_is_bit_identical_to_scalar(
+        path_loss in pathloss_strategy(),
+        tx_power_w in 0.5f64..50.0,
+        point_seed in 0u64..u64::MAX,
+        n_points in 1usize..40,
+    ) {
+        let radio = BsRadio { tx_power_w, path_loss, ..BsRadio::paper_default() };
+        let compiled = radio.compiled();
+        let bs_pos = Vec2::new(0.4, -0.9);
+        let mut rng = StdRng::seed_from_u64(point_seed);
+        let positions: Vec<Vec2> = (0..n_points)
+            .map(|_| Vec2::new(-9.0 + 18.0 * rng.gen::<f64>(), -9.0 + 18.0 * rng.gen::<f64>()))
+            .collect();
+        let mut batch = vec![0.0f64; n_points];
+        compiled.received_power_dbm_batch(bs_pos, &positions, &mut batch);
+        let mut batch_f32 = vec![0.0f32; n_points];
+        compiled.received_power_dbm_batch_f32(bs_pos, &positions, &mut batch_f32);
+        for (k, &ms) in positions.iter().enumerate() {
+            let scalar = compiled.received_power_dbm(bs_pos, ms);
+            prop_assert_eq!(batch[k].to_bits(), scalar.to_bits(), "slot {}", k);
+            prop_assert_eq!(batch_f32[k].to_bits(), (scalar as f32).to_bits(), "slot {}", k);
+        }
+    }
+
+    /// Contract 6: the batched fading samplers are the scalar loops.
+    #[test]
+    fn fading_fills_are_bit_identical_to_scalar_loops(
+        seed in 0u64..u64::MAX,
+        k_factor in 0.1f64..20.0,
+        len in 0usize..70,
+    ) {
+        let rayleigh = RayleighFading;
+        let mut batch = vec![0.0f64; len];
+        rayleigh.sample_db_fill(&mut batch, &mut StdRng::seed_from_u64(seed));
+        let mut rng = StdRng::seed_from_u64(seed);
+        for (k, &v) in batch.iter().enumerate() {
+            prop_assert_eq!(v.to_bits(), rayleigh.sample_db(&mut rng).to_bits(), "slot {}", k);
+        }
+
+        let rician = RicianFading::new(k_factor);
+        let mut batch = vec![0.0f64; len];
+        rician.sample_db_fill(&mut batch, &mut StdRng::seed_from_u64(seed));
+        let mut rng = StdRng::seed_from_u64(seed);
+        for (k, &v) in batch.iter().enumerate() {
+            prop_assert_eq!(v.to_bits(), rician.sample_db(&mut rng).to_bits(), "slot {}", k);
         }
     }
 }

@@ -1,0 +1,139 @@
+//! Property tests pinning the bulk-RNG kernels' bit-identity contracts
+//! (the vectorized-kernel analogue of `tests/radio_plane_props.rs`):
+//!
+//! 1. `RngCore::fill_u64_slice` on `StdRng` — the wide ChaCha12 block
+//!    kernel — emits exactly the word stream of repeated `next_u64`
+//!    calls, for arbitrary draw prefixes and fill lengths, and leaves
+//!    the generator in the *same serialized state* (`StdRng::state`),
+//!    so checkpoints taken after bulk fills are byte-identical to
+//!    checkpoints taken after scalar draws;
+//! 2. a checkpoint captured mid-sequence restores (`StdRng::from_state`)
+//!    into a generator whose bulk fills continue the scalar stream
+//!    bit-for-bit — the property the fleet's `FleetCheckpoint` resume
+//!    path depends on;
+//! 3. `fill_standard_uniform` is the `gen::<f64>()` loop;
+//! 4. `standard_normal_fill` — the batched Box–Muller lane feeding the
+//!    shadowing/noise/fading kernels — is the scalar `standard_normal`
+//!    loop, for arbitrary lengths and draw offsets.
+
+use fuzzy_handover::radio::{standard_normal, standard_normal_fill};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Contract 1: bulk fill = repeated `next_u64`, words and state.
+    #[test]
+    fn fill_u64_slice_is_next_u64_with_identical_state(
+        seed in 0u64..u64::MAX,
+        prefix in 0usize..20,
+        len in 0usize..200,
+        tail in 1usize..16,
+    ) {
+        let mut bulk = StdRng::seed_from_u64(seed);
+        let mut scalar = StdRng::seed_from_u64(seed);
+        // An arbitrary draw prefix puts the buffer at every possible
+        // index (including the odd index-15 pair-straddling spill).
+        for _ in 0..prefix {
+            prop_assert_eq!(bulk.next_u64(), scalar.next_u64());
+        }
+        let mut words = vec![0u64; len];
+        bulk.fill_u64_slice(&mut words);
+        for (k, &w) in words.iter().enumerate() {
+            prop_assert_eq!(w, scalar.next_u64(), "word {}", k);
+        }
+        // The serialized states must match byte for byte — the fleet
+        // checkpoints `buf`/`index`/`counter` verbatim.
+        prop_assert_eq!(bulk.state(), scalar.state());
+        // And both generators continue in lockstep.
+        for _ in 0..tail {
+            prop_assert_eq!(bulk.next_u64(), scalar.next_u64());
+        }
+    }
+
+    /// Contract 2: a mid-sequence checkpoint restores into bulk fills
+    /// that continue the scalar stream exactly.
+    #[test]
+    fn checkpoint_resume_continues_bulk_fill_bit_identically(
+        seed in 0u64..u64::MAX,
+        prefix in 0usize..40,
+        len_a in 0usize..120,
+        len_b in 0usize..120,
+    ) {
+        let mut reference = StdRng::seed_from_u64(seed);
+        for _ in 0..prefix {
+            reference.next_u64();
+        }
+        let checkpoint = reference.state();
+
+        // Unbroken run: two bulk fills straight through.
+        let mut expected = vec![0u64; len_a + len_b];
+        reference.fill_u64_slice(&mut expected);
+
+        // Resumed run: restore, fill, checkpoint again mid-way, restore
+        // again, fill the rest.
+        let mut resumed = StdRng::from_state(checkpoint);
+        let mut got = vec![0u64; len_a];
+        resumed.fill_u64_slice(&mut got);
+        let mid = resumed.state();
+        let mut second = StdRng::from_state(mid);
+        let mut rest = vec![0u64; len_b];
+        second.fill_u64_slice(&mut rest);
+        got.extend_from_slice(&rest);
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(second.state(), reference.state());
+    }
+
+    /// Contract 3: the bulk uniform lane is the `gen::<f64>()` loop.
+    #[test]
+    fn fill_standard_uniform_is_gen_f64_loop(
+        seed in 0u64..u64::MAX,
+        prefix in 0usize..10,
+        len in 0usize..150,
+    ) {
+        let mut bulk = StdRng::seed_from_u64(seed);
+        let mut scalar = StdRng::seed_from_u64(seed);
+        for _ in 0..prefix {
+            prop_assert_eq!(bulk.gen::<f64>().to_bits(), scalar.gen::<f64>().to_bits());
+        }
+        let mut uniforms = vec![0.0f64; len];
+        bulk.fill_standard_uniform(&mut uniforms);
+        for (k, &u) in uniforms.iter().enumerate() {
+            prop_assert_eq!(u.to_bits(), scalar.gen::<f64>().to_bits(), "slot {}", k);
+        }
+    }
+
+    /// Contract 4: the batched Box–Muller lane is the scalar sampler.
+    #[test]
+    fn standard_normal_fill_is_scalar_loop(
+        seed in 0u64..u64::MAX,
+        prefix in 0usize..10,
+        len in 0usize..150,
+    ) {
+        let mut bulk = StdRng::seed_from_u64(seed);
+        let mut scalar = StdRng::seed_from_u64(seed);
+        // Offset both streams by some scalar draws first so the fill
+        // starts at arbitrary buffer alignments.
+        for _ in 0..prefix {
+            prop_assert_eq!(
+                standard_normal(&mut bulk).to_bits(),
+                standard_normal(&mut scalar).to_bits()
+            );
+        }
+        let mut normals = vec![0.0f64; len];
+        standard_normal_fill(&mut normals, &mut bulk);
+        for (k, &z) in normals.iter().enumerate() {
+            prop_assert_eq!(
+                z.to_bits(),
+                standard_normal(&mut scalar).to_bits(),
+                "slot {}",
+                k
+            );
+        }
+        // Tail draws stay in lockstep: the fill consumed exactly
+        // `2 × len` u64s, no more, no fewer.
+        prop_assert_eq!(bulk.next_u64(), scalar.next_u64());
+    }
+}

@@ -14,9 +14,12 @@
 //! sound because interference only ever adds allocations.
 
 use fuzzy_handover::geometry::{CellLayout, NeighborIndex, Vec2};
-use fuzzy_handover::radio::{BsRadio, MeasurementNoise, ShadowingConfig, ShadowingLane};
+use fuzzy_handover::radio::{
+    standard_normal_fill, BsRadio, MeasurementNoise, RayleighFading, RicianFading,
+    ShadowingConfig, ShadowingLane,
+};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -69,10 +72,18 @@ fn measurement_plane_allocation_budget() {
     let positions: Vec<Vec2> =
         (0..CHUNK).map(|k| Vec2::from_polar(0.1 + 0.03 * k as f64, 0.7 * k as f64)).collect();
     let mut rss_matrix = vec![0.0f64; n * CHUNK];
+    let mut rss_matrix_f32 = vec![0.0f32; n * CHUNK];
     let mut measured = vec![0.0f64; n];
     let mut last_km = vec![0.0f64; n];
     let mut subset = vec![0u32; 0];
     subset.reserve(n);
+    // Scratch for the bulk-RNG kernels: pre-sized once, like the fleet
+    // arena's `rng_scratch` (the fused kernel's sizing rule).
+    let mut words = vec![0u64; 2 * n];
+    let mut normals = vec![0.0f64; 2 * n];
+    let mut fading_db = vec![0.0f64; n];
+    let rayleigh = RayleighFading;
+    let rician = RicianFading::new(6.0);
 
     // Warm-up step (first lane advance flips the fresh flags; nothing
     // else in the plane is lazily sized).
@@ -100,6 +111,17 @@ fn measurement_plane_allocation_budget() {
             subset.clear();
             subset.extend_from_slice(near);
             lane.advance_subset(&subset, 0.05 * step as f64, &mut last_km, &mut rng);
+            // Bulk-RNG kernels: wide ChaCha12 fill, batched Box–Muller,
+            // f32 budget lane, batched Rayleigh/Rician fading.
+            rng.fill_u64_slice(&mut words);
+            standard_normal_fill(&mut normals, &mut rng);
+            compiled.received_power_dbm_batch_f32(
+                bs_positions[0],
+                &positions[..n],
+                &mut rss_matrix_f32[..n],
+            );
+            rayleigh.sample_db_fill(&mut fading_db, &mut rng);
+            rician.sample_db_fill(&mut fading_db, &mut rng);
         }
         fewest = fewest.min(allocations() - before);
         if fewest == 0 {

@@ -32,6 +32,15 @@ use std::ops::{Range, RangeInclusive};
 
 pub mod rngs;
 
+/// Map one raw `u64` onto the 53-bit `Standard` f64 in `[0, 1)` — the
+/// exact expression of `gen::<f64>()` (rand 0.8's `Standard`), shared by
+/// the scalar [`StandardSample`] impl and the bulk
+/// [`RngCore::fill_standard_uniform`] so the two can never drift apart.
+#[inline(always)]
+pub fn standard_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 /// The core of a random number generator: a source of uniform bits.
 pub trait RngCore {
     /// Return the next random `u32`.
@@ -42,6 +51,28 @@ pub trait RngCore {
 
     /// Fill `dest` with random bytes.
     fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fill `dest` with the next `dest.len()` values of the `u64`
+    /// stream. The default is the definition itself — one
+    /// [`RngCore::next_u64`] per slot — so every implementation is
+    /// bit-identical to repeated scalar draws by construction; block
+    /// generators override it to emit whole blocks at a time
+    /// ([`rngs::StdRng`] writes whole ChaCha12 blocks into `dest`).
+    fn fill_u64_slice(&mut self, dest: &mut [u64]) {
+        for slot in dest {
+            *slot = self.next_u64();
+        }
+    }
+
+    /// Fill `dest` with the next `dest.len()` draws of the 53-bit
+    /// `Standard` f64 distribution — bit-identical to a loop of
+    /// `gen::<f64>()` (both routes go through [`standard_f64`] on the
+    /// same `u64` stream).
+    fn fill_standard_uniform(&mut self, dest: &mut [f64]) {
+        for slot in dest {
+            *slot = standard_f64(self.next_u64());
+        }
+    }
 }
 
 impl<R: RngCore + ?Sized> RngCore for &mut R {
@@ -54,6 +85,12 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
     fn fill_bytes(&mut self, dest: &mut [u8]) {
         (**self).fill_bytes(dest)
     }
+    fn fill_u64_slice(&mut self, dest: &mut [u64]) {
+        (**self).fill_u64_slice(dest)
+    }
+    fn fill_standard_uniform(&mut self, dest: &mut [f64]) {
+        (**self).fill_standard_uniform(dest)
+    }
 }
 
 impl RngCore for Box<dyn RngCore> {
@@ -65,6 +102,12 @@ impl RngCore for Box<dyn RngCore> {
     }
     fn fill_bytes(&mut self, dest: &mut [u8]) {
         (**self).fill_bytes(dest)
+    }
+    fn fill_u64_slice(&mut self, dest: &mut [u64]) {
+        (**self).fill_u64_slice(dest)
+    }
+    fn fill_standard_uniform(&mut self, dest: &mut [f64]) {
+        (**self).fill_standard_uniform(dest)
     }
 }
 
@@ -104,7 +147,7 @@ pub trait StandardSample {
 impl StandardSample for f64 {
     fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
         // 53 random mantissa bits in [0, 1) — rand 0.8's Standard for f64.
-        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        standard_f64(rng.next_u64())
     }
 }
 

@@ -73,6 +73,123 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
     state[b] = (state[b] ^ state[c]).rotate_left(7);
 }
 
+/// Lanes of the wide block kernel: four consecutive counter values are
+/// hashed together, with every ChaCha word held as a `[u32; 4]` so the
+/// quarter-round arithmetic below is plain element-wise integer math the
+/// compiler autovectorizes (one 128-bit lane per op on SSE2, wider when
+/// unrolled). All operations are exact integer ops, so each lane's output
+/// block is identical to the scalar `refill` at the same counter.
+/// Lane width of the portable wide kernel: four blocks, sized for
+/// SSE2-class (128-bit) vector registers.
+const WIDE: usize = 4;
+
+/// Lane width of the AVX2 kernel: eight blocks, so one ChaCha state row
+/// fills one 256-bit YMM register and the sixteen rows fill the
+/// register file exactly. Selected at runtime by CPU feature detection.
+#[cfg(target_arch = "x86_64")]
+const WIDE_AVX2: usize = 8;
+
+#[inline(always)]
+fn add_w<const W: usize>(a: &mut [u32; W], b: &[u32; W]) {
+    for l in 0..W {
+        a[l] = a[l].wrapping_add(b[l]);
+    }
+}
+
+#[inline(always)]
+fn xor_rotl_w<const W: usize>(x: &mut [u32; W], y: &[u32; W], r: u32) {
+    for l in 0..W {
+        x[l] = (x[l] ^ y[l]).rotate_left(r);
+    }
+}
+
+#[inline(always)]
+fn quarter_round_wide<const W: usize>(
+    state: &mut [[u32; W]; 16],
+    a: usize,
+    b: usize,
+    c: usize,
+    d: usize,
+) {
+    // Work on register copies; a `[u32; W]` is one vector register, so
+    // the loads/stores fold away after inlining.
+    let (mut sa, mut sb, mut sc, mut sd) = (state[a], state[b], state[c], state[d]);
+    add_w(&mut sa, &sb);
+    xor_rotl_w(&mut sd, &sa, 16);
+    add_w(&mut sc, &sd);
+    xor_rotl_w(&mut sb, &sc, 12);
+    add_w(&mut sa, &sb);
+    xor_rotl_w(&mut sd, &sa, 8);
+    add_w(&mut sc, &sd);
+    xor_rotl_w(&mut sb, &sc, 7);
+    state[a] = sa;
+    state[b] = sb;
+    state[c] = sc;
+    state[d] = sd;
+}
+
+/// Generate the `W` ChaCha12 output blocks at counters
+/// `counter .. counter + W` (wrapping) into `out` (length `W * 16`),
+/// block-major: `out[l * 16 + w]` is word `w` of block `l`. Exactly the
+/// scalar `refill` word stream — the per-lane arithmetic is the same
+/// exact integer expression, only evaluated `W` counters at a time.
+#[inline(always)]
+fn chacha12_wide_core<const W: usize>(key: &[u32; 8], counter: u64, out: &mut [u32]) {
+    debug_assert_eq!(out.len(), W * 16);
+    let mut state = [[0u32; W]; 16];
+    for (w, &sigma) in SIGMA.iter().enumerate() {
+        state[w] = [sigma; W];
+    }
+    for (w, &k) in key.iter().enumerate() {
+        state[4 + w] = [k; W];
+    }
+    // Rows 12/13 are the split 64-bit counter, one lane per block.
+    #[allow(clippy::needless_range_loop)]
+    for l in 0..W {
+        let c = counter.wrapping_add(l as u64);
+        state[12][l] = c as u32;
+        state[13][l] = (c >> 32) as u32;
+    }
+    // Words 14/15 stay zero (stream id), as in the scalar refill.
+    let initial = state;
+    for _ in 0..CHACHA_ROUNDS / 2 {
+        // Column round.
+        quarter_round_wide(&mut state, 0, 4, 8, 12);
+        quarter_round_wide(&mut state, 1, 5, 9, 13);
+        quarter_round_wide(&mut state, 2, 6, 10, 14);
+        quarter_round_wide(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round_wide(&mut state, 0, 5, 10, 15);
+        quarter_round_wide(&mut state, 1, 6, 11, 12);
+        quarter_round_wide(&mut state, 2, 7, 8, 13);
+        quarter_round_wide(&mut state, 3, 4, 9, 14);
+    }
+    for w in 0..16 {
+        for l in 0..W {
+            out[l * 16 + w] = state[w][l].wrapping_add(initial[w][l]);
+        }
+    }
+}
+
+/// The portable four-lane kernel (autovectorizes on baseline SSE2).
+fn chacha12_wide_blocks(key: &[u32; 8], counter: u64, out: &mut [u32; WIDE * 16]) {
+    chacha12_wide_core::<WIDE>(key, counter, out);
+}
+
+/// The same integer arithmetic compiled with AVX2 codegen enabled, eight
+/// lanes wide. Bit-identical to the scalar refill by construction —
+/// wrapping adds, xors and rotates are exact on every instruction set.
+///
+/// # Safety
+///
+/// The caller must have verified at runtime that the CPU supports AVX2
+/// (`is_x86_feature_detected!("avx2")`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn chacha12_wide_blocks_avx2(key: &[u32; 8], counter: u64, out: &mut [u32; WIDE_AVX2 * 16]) {
+    chacha12_wide_core::<WIDE_AVX2>(key, counter, out);
+}
+
 impl StdRng {
     fn refill(&mut self) {
         let mut state: [u32; 16] = [0; 16];
@@ -152,6 +269,93 @@ impl RngCore for StdRng {
             chunk.copy_from_slice(&word[..chunk.len()]);
         }
     }
+
+    /// Bulk block generation: emit the next `dest.len()` values of the
+    /// `u64` stream by hashing whole ChaCha12 blocks straight into the
+    /// caller's buffer (four counters at a time through the wide kernel),
+    /// instead of one buffered word pair per call.
+    ///
+    /// **Bit-identity:** the `u64` stream is, by [`RngCore::next_u64`]'s
+    /// `BlockRng` rule, consecutive word pairs of the concatenated block
+    /// stream — including the index-15 spill, which is just the pair
+    /// straddling a block boundary. This method consumes the very same
+    /// word pairs: the partially consumed block drains through
+    /// [`RngCore::next_u64`] itself, whole blocks are generated by the
+    /// same integer arithmetic as `refill`, and the tail draws scalar
+    /// again. The generator's `(counter, buf, index)` afterwards is
+    /// exactly what the equivalent scalar draw sequence leaves behind, so
+    /// [`StdRng::state`] checkpoints taken after (or between) bulk fills
+    /// are byte-identical to scalar-path checkpoints.
+    ///
+    /// A stream left word-misaligned by `next_u32`/`fill_bytes` never
+    /// reaches `index == 16` through `next_u64` (the 15-spill lands on
+    /// index 1), so such streams simply drain entirely through the scalar
+    /// path — still bit-identical, just not accelerated.
+    fn fill_u64_slice(&mut self, dest: &mut [u64]) {
+        let mut filled = 0;
+        // Drain the partially consumed block through the scalar path.
+        while filled < dest.len() && self.index != 16 {
+            dest[filled] = self.next_u64();
+            filled += 1;
+        }
+        let mut rest = &mut dest[filled..];
+        // Whole blocks, several counters at a time through the widest
+        // kernel the CPU supports. Keeping the last block in `self.buf`
+        // (exhausted) reproduces the exact scalar post-state for mid-run
+        // `state()` checkpoints.
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            while rest.len() >= WIDE_AVX2 * 8 {
+                let mut words = [0u32; WIDE_AVX2 * 16];
+                // SAFETY: AVX2 support was verified just above.
+                unsafe { chacha12_wide_blocks_avx2(&self.key, self.counter, &mut words) };
+                self.counter = self.counter.wrapping_add(WIDE_AVX2 as u64);
+                for (slot, pair) in rest[..WIDE_AVX2 * 8].iter_mut().zip(words.chunks_exact(2)) {
+                    *slot = ((pair[1] as u64) << 32) | pair[0] as u64;
+                }
+                self.buf.copy_from_slice(&words[(WIDE_AVX2 - 1) * 16..]);
+                self.index = 16;
+                rest = &mut rest[WIDE_AVX2 * 8..];
+            }
+        }
+        while rest.len() >= WIDE * 8 {
+            let mut words = [0u32; WIDE * 16];
+            chacha12_wide_blocks(&self.key, self.counter, &mut words);
+            self.counter = self.counter.wrapping_add(WIDE as u64);
+            for (slot, pair) in rest[..WIDE * 8].iter_mut().zip(words.chunks_exact(2)) {
+                *slot = ((pair[1] as u64) << 32) | pair[0] as u64;
+            }
+            self.buf.copy_from_slice(&words[(WIDE - 1) * 16..]);
+            self.index = 16;
+            rest = &mut rest[WIDE * 8..];
+        }
+        // Whole single blocks through the scalar refill.
+        while rest.len() >= 8 {
+            self.refill();
+            for (slot, pair) in rest[..8].iter_mut().zip(self.buf.chunks_exact(2)) {
+                *slot = ((pair[1] as u64) << 32) | pair[0] as u64;
+            }
+            self.index = 16;
+            rest = &mut rest[8..];
+        }
+        // Tail inside a fresh block.
+        for slot in rest {
+            *slot = self.next_u64();
+        }
+    }
+
+    /// Bulk 53-bit `Standard` f64 draws over [`StdRng::fill_u64_slice`]
+    /// — bit-identical to a loop of `gen::<f64>()`.
+    fn fill_standard_uniform(&mut self, dest: &mut [f64]) {
+        let mut words = [0u64; 64];
+        for chunk in dest.chunks_mut(words.len()) {
+            let tile = &mut words[..chunk.len()];
+            self.fill_u64_slice(tile);
+            for (slot, &w) in chunk.iter_mut().zip(tile.iter()) {
+                *slot = crate::standard_f64(w);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -228,5 +432,116 @@ mod tests {
         }
         let mut fork = rng.clone();
         assert_eq!(rng.next_u64(), fork.next_u64());
+    }
+
+    #[test]
+    fn fill_u64_slice_matches_scalar_draws_and_state() {
+        // Every (prefix, length) combination around the block boundaries:
+        // bulk fill ≡ repeated next_u64, including the exact post-state.
+        for prefix in 0..10usize {
+            for len in [0, 1, 3, 7, 8, 9, 31, 32, 33, 64, 100, 129] {
+                let mut bulk = StdRng::seed_from_u64(0xB10C);
+                let mut scalar = StdRng::seed_from_u64(0xB10C);
+                for _ in 0..prefix {
+                    bulk.next_u64();
+                    scalar.next_u64();
+                }
+                let mut dest = vec![0u64; len];
+                bulk.fill_u64_slice(&mut dest);
+                for (i, &word) in dest.iter().enumerate() {
+                    assert_eq!(word, scalar.next_u64(), "prefix {prefix} len {len} slot {i}");
+                }
+                assert_eq!(bulk.state(), scalar.state(), "prefix {prefix} len {len}");
+                // The streams stay in lockstep afterwards.
+                assert_eq!(bulk.next_u64(), scalar.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn fill_u64_slice_word_misaligned_stream_matches() {
+        // A next_u32 leaves the word stream odd-aligned; the bulk path
+        // must still reproduce the scalar pair-with-spill sequence.
+        let mut bulk = StdRng::seed_from_u64(5);
+        let mut scalar = StdRng::seed_from_u64(5);
+        bulk.next_u32();
+        scalar.next_u32();
+        let mut dest = [0u64; 40];
+        bulk.fill_u64_slice(&mut dest);
+        for &word in &dest {
+            assert_eq!(word, scalar.next_u64());
+        }
+        assert_eq!(bulk.state(), scalar.state());
+    }
+
+    #[test]
+    fn fill_standard_uniform_matches_gen_f64() {
+        use crate::Rng;
+        let mut bulk = StdRng::seed_from_u64(0xF64);
+        let mut scalar = StdRng::seed_from_u64(0xF64);
+        bulk.next_u64();
+        scalar.next_u64();
+        let mut dest = [0.0f64; 97];
+        bulk.fill_standard_uniform(&mut dest);
+        for (i, &u) in dest.iter().enumerate() {
+            let reference: f64 = scalar.gen();
+            assert_eq!(u.to_bits(), reference.to_bits(), "slot {i}");
+        }
+        assert_eq!(bulk.state(), scalar.state());
+    }
+
+    #[test]
+    fn wide_kernel_blocks_match_scalar_refill() {
+        // The wide kernels must emit the exact words of scalar refills
+        // at consecutive counters, including near counter wrap.
+        for counter in [0u64, 1, 17, u64::MAX - 2] {
+            let key = [0x0123_4567u32, 0x89ab_cdef, 3, 5, 7, 11, 13, 17];
+            let mut wide = [0u32; WIDE * 16];
+            chacha12_wide_blocks(&key, counter, &mut wide);
+            for l in 0..WIDE {
+                let mut rng = StdRng {
+                    key,
+                    counter: counter.wrapping_add(l as u64),
+                    buf: [0; 16],
+                    index: 16,
+                };
+                rng.refill();
+                assert_eq!(&wide[l * 16..(l + 1) * 16], &rng.buf, "lane {l} counter {counter}");
+            }
+            #[cfg(target_arch = "x86_64")]
+            if std::arch::is_x86_feature_detected!("avx2") {
+                let mut wide = [0u32; WIDE_AVX2 * 16];
+                // SAFETY: AVX2 support was verified just above.
+                unsafe { chacha12_wide_blocks_avx2(&key, counter, &mut wide) };
+                for l in 0..WIDE_AVX2 {
+                    let mut rng = StdRng {
+                        key,
+                        counter: counter.wrapping_add(l as u64),
+                        buf: [0; 16],
+                        index: 16,
+                    };
+                    rng.refill();
+                    assert_eq!(
+                        &wide[l * 16..(l + 1) * 16],
+                        &rng.buf,
+                        "avx2 lane {l} counter {counter}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_mid_bulk_fill_continues_bit_identically() {
+        // state() after a bulk fill restores onto the scalar stream.
+        let mut rng = StdRng::seed_from_u64(0xC0DE);
+        let mut dest = [0u64; 45];
+        rng.fill_u64_slice(&mut dest);
+        let mut restored = StdRng::from_state(rng.state());
+        let mut more_bulk = [0u64; 23];
+        rng.fill_u64_slice(&mut more_bulk);
+        for &word in &more_bulk {
+            assert_eq!(word, restored.next_u64());
+        }
     }
 }
