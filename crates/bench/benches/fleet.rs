@@ -178,6 +178,40 @@ fn bench_checkpoint_cycle(c: &mut Criterion) {
     g.finish();
 }
 
+/// Supervision overhead: the same 2k-UE fleet through `run_supervised`
+/// with no faults attached — once at the default checkpoint cadence
+/// (seal + write-verify every 16 steps) and once with the cadence
+/// pushed past the run horizon (no snapshot ever taken), against the
+/// plain `run_ids` baseline. The bit-identity acceptance assertion runs
+/// once.
+fn bench_supervised_overhead(c: &mut Criterion) {
+    use handover_sim::resilience::RetryPolicy;
+    const UES: u64 = 2_000;
+    let spec = walk_spec();
+    let fleet = FleetSimulation::new(fleet_config()).with_workers(4);
+    let ids: Vec<u64> = (0..UES).collect();
+
+    let clean = fleet.run_ids(&spec, &ids, 7);
+    let cadence_on = RetryPolicy { checkpoint_cadence: 4, ..RetryPolicy::default() };
+    let cadence_off = RetryPolicy { checkpoint_cadence: 1_000_000, ..RetryPolicy::default() };
+    let supervised = fleet.run_supervised(&spec, &ids, 7, &cadence_on).expect("supervised");
+    assert_eq!(clean, supervised.result, "supervised ≡ clean, bit for bit");
+    assert!(supervised.report.snapshots_taken > 0, "cadence 4 must snapshot");
+
+    let mut g = c.benchmark_group("fleet/supervised_2k_ues");
+    g.sample_size(10);
+    g.bench_function("unsupervised", |b| {
+        b.iter(|| black_box(fleet.run_ids(&spec, &ids, 7)))
+    });
+    g.bench_function("supervised_cadence4", |b| {
+        b.iter(|| black_box(fleet.run_supervised(&spec, &ids, 7, &cadence_on).expect("ok")))
+    });
+    g.bench_function("supervised_no_snapshots", |b| {
+        b.iter(|| black_box(fleet.run_supervised(&spec, &ids, 7, &cadence_off).expect("ok")))
+    });
+    g.finish();
+}
+
 /// The dynamic-workload plane on the 2k-UE walk: the static+traffic
 /// baseline, engine-side dynamics only (churn + failure mask), and the
 /// full city workload (churn + tide + failures + service classes over
@@ -255,6 +289,7 @@ criterion_group!(
     bench_scenario_matrix_10k,
     bench_scaled_paths,
     bench_checkpoint_cycle,
+    bench_supervised_overhead,
     bench_dynamic_fleet
 );
 criterion_main!(benches);

@@ -69,11 +69,23 @@ impl ChurnConfig {
     /// Validate the configuration, panicking with a descriptive message
     /// on nonsense values.
     pub fn validate(&self) {
-        assert!(self.horizon_steps >= 1, "churn horizon must be at least one step");
-        assert!(
-            self.mean_lifetime_steps.is_finite() && self.mean_lifetime_steps > 0.0,
-            "mean lifetime must be positive and finite"
-        );
+        if let Err(err) = self.validated() {
+            panic!("{err}");
+        }
+    }
+
+    /// Typed form of [`ChurnConfig::validate`].
+    pub fn validated(&self) -> Result<(), crate::resilience::ConfigError> {
+        use crate::resilience::{require_positive, ConfigError};
+        if self.horizon_steps < 1 {
+            return Err(ConfigError::TooSmall {
+                field: "churn horizon (steps)",
+                minimum: 1,
+                got: self.horizon_steps,
+            });
+        }
+        require_positive("mean lifetime", self.mean_lifetime_steps)?;
+        Ok(())
     }
 
     /// The presence window of one UE: `(arrival_step, lifetime_steps)`.
@@ -130,12 +142,24 @@ pub struct TidalWave {
 impl TidalWave {
     /// Validate the configuration.
     pub fn validate(&self) {
-        assert!(self.period_steps >= 1, "tidal period must be at least one step");
-        assert!(
-            (0.0..=1.0).contains(&self.amplitude),
-            "tidal amplitude must lie in [0, 1]"
-        );
-        assert!(self.phase_per_q.is_finite(), "phase shift must be finite");
+        if let Err(err) = self.validated() {
+            panic!("{err}");
+        }
+    }
+
+    /// Typed form of [`TidalWave::validate`].
+    pub fn validated(&self) -> Result<(), crate::resilience::ConfigError> {
+        use crate::resilience::{require_finite, require_in_range, ConfigError};
+        if self.period_steps < 1 {
+            return Err(ConfigError::TooSmall {
+                field: "tidal period (steps)",
+                minimum: 1,
+                got: self.period_steps,
+            });
+        }
+        require_in_range("tidal amplitude", self.amplitude, 0.0, 1.0)?;
+        require_finite("phase shift", self.phase_per_q)?;
+        Ok(())
     }
 
     /// True for a zero-amplitude (inert) wave.
@@ -173,7 +197,21 @@ pub struct CellOutage {
 impl CellOutage {
     /// Validate the outage window.
     pub fn validate(&self) {
-        assert!(self.from_step < self.until_step, "outage window must be non-empty");
+        if let Err(err) = self.validated() {
+            panic!("{err}");
+        }
+    }
+
+    /// Typed form of [`CellOutage::validate`].
+    pub fn validated(&self) -> Result<(), crate::resilience::ConfigError> {
+        if self.from_step >= self.until_step {
+            return Err(crate::resilience::ConfigError::InvertedWindow {
+                field: "outage",
+                from: self.from_step,
+                until: self.until_step,
+            });
+        }
+        Ok(())
     }
 
     /// True while the cell is down at `step`.
@@ -198,14 +236,17 @@ pub struct ServiceParams {
 impl ServiceParams {
     /// Validate the parameters.
     pub fn validate(&self) {
-        assert!(
-            self.mean_idle_steps.is_finite() && self.mean_idle_steps > 0.0,
-            "mean idle time must be positive and finite"
-        );
-        assert!(
-            self.mean_holding_steps.is_finite() && self.mean_holding_steps > 0.0,
-            "mean holding time must be positive and finite"
-        );
+        if let Err(err) = self.validated() {
+            panic!("{err}");
+        }
+    }
+
+    /// Typed form of [`ServiceParams::validate`].
+    pub fn validated(&self) -> Result<(), crate::resilience::ConfigError> {
+        use crate::resilience::require_positive;
+        require_positive("mean idle time", self.mean_idle_steps)?;
+        require_positive("mean holding time", self.mean_holding_steps)?;
+        Ok(())
     }
 }
 
@@ -227,12 +268,17 @@ pub struct ServiceMix {
 impl ServiceMix {
     /// Validate the mix.
     pub fn validate(&self) {
-        assert!(
-            (0.0..=1.0).contains(&self.voice_share),
-            "voice share must lie in [0, 1]"
-        );
-        self.voice.validate();
-        self.data.validate();
+        if let Err(err) = self.validated() {
+            panic!("{err}");
+        }
+    }
+
+    /// Typed form of [`ServiceMix::validate`].
+    pub fn validated(&self) -> Result<(), crate::resilience::ConfigError> {
+        crate::resilience::require_in_range("voice share", self.voice_share, 0.0, 1.0)?;
+        self.voice.validated()?;
+        self.data.validated()?;
+        Ok(())
     }
 
     /// The class of one UE: a pure function of `(self, base_seed,
@@ -288,18 +334,27 @@ impl DynamicsConfig {
 
     /// Validate every configured feature.
     pub fn validate(&self) {
+        if let Err(err) = self.validated() {
+            panic!("{err}");
+        }
+    }
+
+    /// Typed form of [`DynamicsConfig::validate`]: the first defect of
+    /// any configured feature, as a value.
+    pub fn validated(&self) -> Result<(), crate::resilience::ConfigError> {
         if let Some(churn) = &self.churn {
-            churn.validate();
+            churn.validated()?;
         }
         if let Some(tide) = &self.tide {
-            tide.validate();
+            tide.validated()?;
         }
         for outage in &self.failures {
-            outage.validate();
+            outage.validated()?;
         }
         if let Some(services) = &self.services {
-            services.validate();
+            services.validated()?;
         }
+        Ok(())
     }
 
     /// Normalize: drop a zero-amplitude tide, then return `None` if

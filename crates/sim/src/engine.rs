@@ -65,6 +65,32 @@ impl SimConfig {
             pingpong_window_steps: 6,
         }
     }
+
+    /// Typed validation of the measurement-plane configuration: the
+    /// sample spacing must be positive and finite, the speed
+    /// non-negative and finite, the shadowing and noise sigmas
+    /// non-negative and finite (NaN sigmas used to propagate silently
+    /// through every RSS sample), the shadowing decorrelation distance
+    /// positive whenever shadowing is active, and the outage threshold
+    /// never NaN (`-inf` legitimately disables outage accounting).
+    pub fn validated(&self) -> Result<(), crate::resilience::ConfigError> {
+        use crate::resilience::{require_non_negative, require_positive, ConfigError};
+        require_positive("sample spacing", self.sample_spacing_km)?;
+        require_non_negative("speed", self.speed_kmh)?;
+        require_non_negative("shadowing sigma", self.shadowing.sigma_db)?;
+        if self.shadowing.sigma_db > 0.0 {
+            require_positive("shadowing decorrelation distance", self.shadowing.decorrelation_km)?;
+        }
+        require_non_negative("measurement noise sigma", self.noise.sigma_db)?;
+        if self.outage_threshold_dbm.is_nan() {
+            return Err(ConfigError::NotFinite {
+                field: "outage threshold",
+                value: self.outage_threshold_dbm,
+            });
+        }
+        require_positive("transmission power", self.radio.tx_power_w)?;
+        Ok(())
+    }
 }
 
 /// One measurement step of a simulation run.
@@ -655,8 +681,11 @@ pub struct Simulation {
 impl Simulation {
     /// Build an engine for the given configuration.
     pub fn new(config: SimConfig) -> Self {
-        assert!(config.sample_spacing_km > 0.0, "sample spacing must be positive");
-        assert!(config.speed_kmh >= 0.0, "speed must be non-negative");
+        // Route through the typed validation so a bad config panics
+        // with the same message the fallible fleet paths report.
+        if let Err(err) = config.validated() {
+            panic!("{err}");
+        }
         let candidates = CandidateTable::new(&config.layout);
         let compiled_radio = config.radio.compiled();
         let bs_positions =

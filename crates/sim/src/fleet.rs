@@ -53,9 +53,10 @@
 //!
 //! [`CellLayout`]: cellgeom::CellLayout
 
-use crate::checkpoint::{FleetCheckpoint, UeCheckpoint, CHECKPOINT_VERSION};
+use crate::checkpoint::{CheckpointError, FleetCheckpoint, UeCheckpoint, CHECKPOINT_VERSION};
 use crate::dynamics::DynamicsConfig;
 use crate::engine::{SimConfig, Simulation, UeState};
+use crate::resilience::{ConfigError, FaultInjector};
 use crate::traffic::{replay_traffic, replay_traffic_dynamic, TrafficConfig, UeTrace};
 use cellgeom::Axial;
 use fuzzylogic::{CompiledFis, EvalScratch};
@@ -83,28 +84,92 @@ use std::sync::Arc;
 type WorkerPart = (Vec<UeOutcome>, CellLoadHistogram, Vec<UeTrace>, Vec<UeCheckpoint>);
 
 /// Errors surfaced by the fallible fleet entry points
-/// ([`FleetSimulation::try_run`] and friends).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// ([`FleetSimulation::try_run`] and friends) and the supervised runner
+/// ([`FleetSimulation::run_supervised`]).
+#[derive(Debug, Clone, PartialEq)]
 pub enum FleetError {
     /// A worker thread panicked while stepping its shard. The payload's
     /// panic message is preserved; the other workers' partial results are
     /// discarded.
     WorkerPanic(String),
+    /// The engine's configuration (simulation, traffic or dynamics
+    /// plane) failed typed validation.
+    InvalidConfig(ConfigError),
+    /// A checkpoint could not be validated or unsealed — wrong version,
+    /// bit-rot, truncation, or a plane mismatch with this engine.
+    CorruptCheckpoint(CheckpointError),
+    /// The virtual watchdog saw more stall delay in one supervised
+    /// segment than the policy's deadline allows.
+    WorkerStalled {
+        /// Virtual stall delay the segment accumulated, in steps.
+        stalled_steps: u64,
+        /// The watchdog deadline it exceeded.
+        deadline_steps: u64,
+    },
+    /// The supervised runner exhausted its retry budget; `last` is the
+    /// error of the final failed attempt.
+    RetriesExhausted {
+        /// Failed attempts consumed (one more than the budget).
+        attempts: u32,
+        /// The last attempt's error.
+        last: Box<FleetError>,
+    },
+}
+
+impl FleetError {
+    /// Whether [`FleetSimulation::run_supervised`] may retry after this
+    /// error. Panics, stalls and corrupt snapshots are transient (the
+    /// segment replays from the last good snapshot); a bad
+    /// configuration or an exhausted budget is permanent.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            FleetError::WorkerPanic(_)
+                | FleetError::WorkerStalled { .. }
+                | FleetError::CorruptCheckpoint(_)
+        )
+    }
 }
 
 impl fmt::Display for FleetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FleetError::WorkerPanic(msg) => write!(f, "fleet worker panicked: {msg}"),
+            FleetError::InvalidConfig(err) => write!(f, "invalid configuration: {err}"),
+            FleetError::CorruptCheckpoint(err) => {
+                write!(f, "corrupt or unrestorable checkpoint: {err}")
+            }
+            FleetError::WorkerStalled { stalled_steps, deadline_steps } => write!(
+                f,
+                "fleet worker stalled: {stalled_steps} virtual steps of delay exceeded \
+                 the {deadline_steps}-step watchdog deadline"
+            ),
+            FleetError::RetriesExhausted { attempts, last } => write!(
+                f,
+                "supervision retries exhausted after {attempts} failed attempts; \
+                 last error: {last}"
+            ),
         }
     }
 }
 
 impl std::error::Error for FleetError {}
 
+impl From<ConfigError> for FleetError {
+    fn from(err: ConfigError) -> Self {
+        FleetError::InvalidConfig(err)
+    }
+}
+
+impl From<CheckpointError> for FleetError {
+    fn from(err: CheckpointError) -> Self {
+        FleetError::CorruptCheckpoint(err)
+    }
+}
+
 /// Best-effort extraction of a panic payload's message (the two shapes
 /// `panic!` produces, then a fallback).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -636,6 +701,10 @@ pub struct FleetSimulation {
     precision: FleetPrecision,
     traffic: Option<TrafficConfig>,
     dynamics: Option<DynamicsConfig>,
+    /// Armed chaos harness (testing only; `None` in production). The
+    /// `Arc` is shared by clones, so a supervisor's degraded re-clones
+    /// see the same one-shot fired flags.
+    fault: Option<Arc<FaultInjector>>,
 }
 
 impl FleetSimulation {
@@ -653,7 +722,30 @@ impl FleetSimulation {
             precision: FleetPrecision::Full,
             traffic: None,
             dynamics: None,
+            fault: None,
         }
+    }
+
+    /// The crossbeam worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Attach an armed [`FaultInjector`] (see
+    /// [`crate::resilience::FaultPlan`]): the engine's step loop and
+    /// arena grow path consult it, firing each scripted fault exactly
+    /// once. Chaos-testing hook — results under injection are only
+    /// meaningful through [`FleetSimulation::run_supervised`], which
+    /// recovers to the bit-identical clean answer.
+    #[must_use]
+    pub fn with_fault_injection(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.fault = Some(injector);
+        self
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.fault.as_ref()
     }
 
     /// Set the crossbeam worker count (clamped to ≥ 1). Results are
@@ -760,6 +852,29 @@ impl FleetSimulation {
         self.sim.config()
     }
 
+    /// Typed validation of every attached plane: the [`SimConfig`]
+    /// (NaN/negative sigmas, non-positive spacing), the traffic plane
+    /// (zero capacities, exhausted guard channels), the dynamics plane
+    /// (inverted windows, out-of-range shares) and every outage cell's
+    /// layout membership. The fallible entry points run this before
+    /// touching any worker, surfacing [`FleetError::InvalidConfig`]
+    /// instead of a mid-run panic or a silent NaN propagation.
+    pub(crate) fn validate_planes(&self) -> Result<(), ConfigError> {
+        self.sim.config().validated()?;
+        if let Some(traffic) = &self.traffic {
+            traffic.validated()?;
+        }
+        if let Some(dynamics) = &self.dynamics {
+            dynamics.validated()?;
+            for outage in &dynamics.failures {
+                if !self.sim.config().layout.cells().contains(&outage.cell) {
+                    return Err(ConfigError::UnknownCell { what: "outage", cell: outage.cell });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Run UEs `0..n_ues`. Panics if a worker panics; see
     /// [`FleetSimulation::try_run`] for the fallible form.
     pub fn run(&self, spec: &dyn UeSpec, n_ues: u64, base_seed: u64) -> FleetResult {
@@ -802,6 +917,7 @@ impl FleetSimulation {
         ids: &[u64],
         base_seed: u64,
     ) -> Result<FleetResult, FleetError> {
+        self.validate_planes()?;
         let record = self.traffic.is_some() || self.dynamics.is_some();
         let pass = self.pass(spec, PassSource::Fresh(ids), base_seed, record, None, None)?;
         debug_assert!(pass.live.is_empty(), "unbounded passes run every UE to completion");
@@ -829,6 +945,7 @@ impl FleetSimulation {
         base_seed: u64,
         max_steps: u64,
     ) -> Result<FleetCheckpoint, FleetError> {
+        self.validate_planes()?;
         let tracing = self.traffic.is_some() || self.dynamics.is_some();
         let out =
             self.pass(spec, PassSource::Fresh(ids), base_seed, tracing, None, Some(max_steps))?;
@@ -855,12 +972,44 @@ impl FleetSimulation {
         spec: &dyn UeSpec,
         cp: &FleetCheckpoint,
     ) -> Result<FleetResult, FleetError> {
-        cp.validate();
-        assert_eq!(
-            cp.tracing,
-            self.traffic.is_some() || self.dynamics.is_some(),
-            "checkpoint tracing mode must match the engine's traffic/dynamics planes"
-        );
+        if let Err(err) = self.check_checkpoint(cp) {
+            panic!("{err}");
+        }
+        self.resume_inner(spec, cp)
+    }
+
+    /// Fully fallible form of [`FleetSimulation::resume`]: an
+    /// incompatible or invalid snapshot surfaces as
+    /// [`FleetError::CorruptCheckpoint`] instead of a panic.
+    pub fn try_resume(
+        &self,
+        spec: &dyn UeSpec,
+        cp: &FleetCheckpoint,
+    ) -> Result<FleetResult, FleetError> {
+        self.validate_planes()?;
+        self.check_checkpoint(cp)?;
+        self.resume_inner(spec, cp)
+    }
+
+    /// Snapshot-vs-engine compatibility: version + shape invariants
+    /// ([`FleetCheckpoint::try_validate`]) and the tracing plane.
+    fn check_checkpoint(&self, cp: &FleetCheckpoint) -> Result<(), CheckpointError> {
+        cp.try_validate()?;
+        let engine_tracing = self.traffic.is_some() || self.dynamics.is_some();
+        if cp.tracing != engine_tracing {
+            return Err(CheckpointError::PlaneMismatch {
+                checkpoint_tracing: cp.tracing,
+                engine_tracing,
+            });
+        }
+        Ok(())
+    }
+
+    fn resume_inner(
+        &self,
+        spec: &dyn UeSpec,
+        cp: &FleetCheckpoint,
+    ) -> Result<FleetResult, FleetError> {
         let out = self.pass(
             spec,
             PassSource::Restored(&cp.live, cp.step),
@@ -881,6 +1030,54 @@ impl FleetSimulation {
         let ids: Vec<u64> = outcomes.iter().map(|o| o.ue_id).collect();
         let result = assemble(outcomes, cell_load);
         self.apply_traffic(spec, &ids, cp.base_seed, result, traces)
+    }
+
+    /// Continue a snapshot up to a *later* step bound, producing the
+    /// checkpoint [`FleetSimulation::run_partial`] would have produced
+    /// at that bound directly — the segment primitive of
+    /// [`FleetSimulation::run_supervised`]. Chaining
+    /// `run_partial(c) → resume_partial(2c) → … → resume` is
+    /// bit-identical to the uninterrupted run for any cadence and any
+    /// worker/chunk shape on every segment (pinned by
+    /// `tests/resilience_props.rs`). A bound at or before the
+    /// snapshot's step returns the snapshot unchanged.
+    pub fn resume_partial(
+        &self,
+        spec: &dyn UeSpec,
+        cp: &FleetCheckpoint,
+        max_steps: u64,
+    ) -> Result<FleetCheckpoint, FleetError> {
+        self.validate_planes()?;
+        self.check_checkpoint(cp)?;
+        if max_steps <= cp.step {
+            return Ok(cp.clone());
+        }
+        let out = self.pass(
+            spec,
+            PassSource::Restored(&cp.live, cp.step),
+            cp.base_seed,
+            cp.tracing,
+            None,
+            Some(max_steps),
+        )?;
+        let mut finished = cp.finished.clone();
+        finished.extend(out.outcomes);
+        finished.sort_by_key(|o| o.ue_id);
+        let mut finished_traces = cp.finished_traces.clone();
+        finished_traces.extend(out.traces);
+        finished_traces.sort_by_key(|t| t.ue_id);
+        let mut cell_load = cp.cell_load.clone();
+        cell_load.merge(&out.cell_load);
+        Ok(FleetCheckpoint {
+            version: CHECKPOINT_VERSION,
+            step: max_steps,
+            base_seed: cp.base_seed,
+            finished,
+            finished_traces,
+            live: out.live,
+            cell_load,
+            tracing: cp.tracing,
+        })
     }
 
     /// Run UEs `0..n_ues` and fold every chunk's outcomes into a running
@@ -915,6 +1112,7 @@ impl FleetSimulation {
             "the streaming path has no traffic plane (serving-cell traces would \
              materialize per-UE state); use run/run_ids for traffic studies"
         );
+        self.validate_planes()?;
         let workers = (self.workers.max(1) as u64).min(n_ues.max(1)) as usize;
         type StreamPart = (FleetSummary, CellLoadHistogram, Vec<(u64, f64)>);
         let collected: Mutex<Vec<Result<StreamPart, String>>> =
@@ -978,6 +1176,8 @@ impl FleetSimulation {
                 });
             }
         })
+        // invariant: worker closures wrap their bodies in catch_unwind,
+        // so the scope's join cannot observe a panicked thread.
         .expect("fleet worker panics are caught inside the workers");
 
         let mut cell_load = CellLoadHistogram::new(self.config().layout.cells().iter().copied());
@@ -1141,6 +1341,8 @@ impl FleetSimulation {
                 });
             }
         })
+        // invariant: worker closures wrap their bodies in catch_unwind,
+        // so the scope's join cannot observe a panicked thread.
         .expect("fleet worker panics are caught inside the workers");
 
         let mut cell_load = CellLoadHistogram::new(self.config().layout.cells().iter().copied());
@@ -1254,6 +1456,9 @@ impl FleetSimulation {
                         let idx = cells
                             .iter()
                             .position(|&c| c == o.cell)
+                            // invariant: with_dynamics and
+                            // validate_planes both check outage cells
+                            // against the layout before any pass runs.
                             .expect("outage cell must be in the layout");
                         (idx, o.from_step, o.until_step)
                     })
@@ -1354,6 +1559,13 @@ impl FleetSimulation {
 
         let mut step = start_step;
         loop {
+            // Chaos harness: fire any scripted stall/panic scheduled at
+            // this lockstep step (one-shot, first worker wins; see
+            // crate::resilience). `None` in production — no cost.
+            if let Some(injector) = &self.fault {
+                injector.check_step(step);
+            }
+
             // Checkpoint bound: freeze every still-live UE (state +
             // policy + tallies) and stop the chunk.
             if let Some(bound) = max_steps {
@@ -1482,6 +1694,12 @@ impl FleetSimulation {
             // resized when the active count changes — every slot is
             // overwritten below, so no zero-fill churn.
             if matches!(prune_plan, PrunePlan::Dense) {
+                // Chaos harness: a scripted allocation failure in the
+                // arena grow path fires here, where the dense matrix is
+                // about to be (re)sized.
+                if let Some(injector) = &self.fault {
+                    injector.check_arena_grow(step);
+                }
                 if compact {
                     rss_matrix_f32.resize(cells.len() * a, 0.0);
                     for (k, &bs_pos) in bs_positions.iter().enumerate() {
@@ -1511,6 +1729,8 @@ impl FleetSimulation {
             batch_inputs.clear();
             batch_prev.clear();
             for (j, &i) in active_idx.iter().enumerate() {
+                // invariant: active_idx only holds indices whose state
+                // survived the retire scan above.
                 let ue = ues[i].as_mut().expect("UE is live");
                 let report = match prune_plan {
                     PrunePlan::Dense => {
@@ -1654,10 +1874,15 @@ impl FleetSimulation {
 
             // Phase 2 — one batched FLC evaluation for the whole chunk.
             if !batch_prev.is_empty() {
+                // invariant: AwaitHd entries are only queued when the
+                // policy's shared plan pointer-equals chunk_plan above.
                 let fis = chunk_plan.as_ref().expect("batched entries imply a chunk plan");
                 batch_hd.clear();
                 batch_hd.resize(batch_prev.len(), 0.0);
                 fis.evaluate_batch(batch_inputs, batch_hd, flc_scratch)
+                    // invariant: the paper rule base covers the whole
+                    // input space, so batched evaluation cannot fail on
+                    // in-range inputs.
                     .expect("the paper FLC fires on every input");
             }
 
@@ -1671,6 +1896,8 @@ impl FleetSimulation {
                         fuzzy.decide_with_hd(&reports[j], batch_hd[k], batch_prev[k])
                     }
                 };
+                // invariant: same active_idx liveness as Phase 1; no
+                // retire happens between the phases.
                 let ue = ues[i].as_mut().expect("UE is live");
                 let outcome =
                     ue.finish_step(cfg, &reports[j], decision, points[j], policies[i].as_mut());
@@ -2234,8 +2461,12 @@ mod tests {
             .with_workers(2)
             .try_run(&panicking_spec(), 4, 1)
             .unwrap_err();
-        let FleetError::WorkerPanic(msg) = err;
-        assert!(msg.contains("on purpose"), "original panic message is preserved: {msg}");
+        match err {
+            FleetError::WorkerPanic(msg) => {
+                assert!(msg.contains("on purpose"), "original panic message is preserved: {msg}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
     }
 
     #[test]

@@ -29,7 +29,14 @@
 //!   "feature off" is bit-identical to the static engine.
 //! * [`checkpoint`] — compact fleet snapshots: freeze a mid-run fleet
 //!   pass ([`fleet::FleetSimulation::run_partial`]) and resume it
-//!   bit-identically ([`fleet::FleetSimulation::resume`]).
+//!   bit-identically ([`fleet::FleetSimulation::resume`]), plus the
+//!   checksummed sealed container ([`checkpoint::FleetCheckpoint::seal`])
+//!   that detects bit-rot and truncation on restore.
+//! * [`resilience`] — the fault-tolerance plane: the typed
+//!   configuration/checkpoint error taxonomy, the deterministic
+//!   fault-injection harness ([`resilience::FaultPlan`]) and the
+//!   supervised runner ([`fleet::FleetSimulation::run_supervised`])
+//!   that checkpoints, detects failures and recovers bit-identically.
 //! * [`experiments`] — one module per paper table/figure; the `repro`
 //!   binary prints them all.
 //! * [`table`] / [`series`] — plain-text renderers for tables and plots.
@@ -45,12 +52,16 @@ pub mod fleet;
 pub mod matrix;
 pub mod monte_carlo;
 pub mod params;
+pub mod resilience;
 pub mod scenario;
 pub mod series;
 pub mod table;
 pub mod traffic;
 
-pub use checkpoint::{FleetCheckpoint, UeCheckpoint, CHECKPOINT_VERSION};
+pub use checkpoint::{
+    CheckpointError, FleetCheckpoint, UeCheckpoint, CHECKPOINT_VERSION, SEALED_FORMAT_VERSION,
+    SEALED_HEADER_LEN, SEALED_MAGIC,
+};
 pub use dynamics::{
     CellOutage, ChurnConfig, DynamicsConfig, ServiceMix, ServiceParams, TidalWave, CHURN_STREAM,
     SERVICE_STREAM,
@@ -62,5 +73,9 @@ pub use fleet::{
 };
 pub use matrix::{MatrixCellResult, MatrixMetric, MatrixResult, ScenarioMatrix};
 pub use params::PaperParams;
+pub use resilience::{
+    ConfigError, Fault, FaultInjector, FaultPlan, RetryPolicy, SupervisedRun, SupervisorReport,
+    FAULT_STREAM,
+};
 pub use scenario::{Scenario, SCENARIO_A_SEED, SCENARIO_B_SEED};
 pub use traffic::{TrafficConfig, TRAFFIC_STREAM};

@@ -8,7 +8,9 @@
 
 use crate::dynamics::DynamicsConfig;
 use crate::engine::SimConfig;
-use crate::fleet::{CandidateMode, FleetMobility, FleetSimulation, HomogeneousFleet, PolicyKind};
+use crate::fleet::{
+    CandidateMode, FleetError, FleetMobility, FleetSimulation, HomogeneousFleet, PolicyKind,
+};
 use crate::series::Series;
 use crate::table::{fmt_f, TextTable};
 use crate::traffic::TrafficConfig;
@@ -144,10 +146,28 @@ impl ScenarioMatrix {
         specs
     }
 
-    /// Run one matrix cell.
-    fn run_cell(&self, spec: &CellSpec) -> MatrixCellResult {
+    /// Run one matrix cell, surfacing fleet failures as values.
+    fn try_run_cell(&self, spec: &CellSpec) -> Result<MatrixCellResult, FleetError> {
         let mut cfg = self.base.clone();
         cfg.speed_kmh = spec.speed_kmh;
+        // Typed rejection up front: the fleet builders below panic on
+        // invalid planes, so a fallible sweep must check first.
+        cfg.validated()?;
+        if let Some(traffic) = &spec.traffic {
+            traffic.validated()?;
+        }
+        if let Some(dynamics) = &spec.dynamics {
+            dynamics.validated()?;
+            for outage in &dynamics.failures {
+                if !cfg.layout.cells().contains(&outage.cell) {
+                    return Err(crate::resilience::ConfigError::UnknownCell {
+                        what: "outage",
+                        cell: outage.cell,
+                    }
+                    .into());
+                }
+            }
+        }
         let cell_radius_km = cfg.layout.cell_radius_km();
         let mut fleet = FleetSimulation::new(cfg)
             .with_workers(self.workers.max(1))
@@ -169,8 +189,8 @@ impl ScenarioMatrix {
             trajectory_seed: spec.seed,
             cell_radius_km,
         };
-        let result = fleet.run(&ue_spec, spec.ue_count, spec.seed);
-        MatrixCellResult {
+        let result = fleet.try_run(&ue_spec, spec.ue_count, spec.seed)?;
+        Ok(MatrixCellResult {
             ue_count: spec.ue_count,
             mobility: spec.mobility.label().to_string(),
             speed_kmh: spec.speed_kmh,
@@ -181,23 +201,37 @@ impl ScenarioMatrix {
             cell_load: result.cell_load,
             traffic: result.traffic,
             dynamics: result.dynamics,
-        }
+        })
     }
 
     /// Run every matrix cell. With `matrix_workers > 1` the cells run
     /// concurrently (round-robin sharded over crossbeam workers, like the
     /// fleet engine's UE sharding); the report is merged back into sweep
-    /// order, so the result is identical for every worker count.
+    /// order, so the result is identical for every worker count. Panics
+    /// on a fleet failure; see [`ScenarioMatrix::try_run`] for the
+    /// fallible form.
     pub fn run(&self) -> MatrixResult {
+        self.try_run().unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible form of [`ScenarioMatrix::run`]: an invalid
+    /// configuration or a panicking fleet worker surfaces as the
+    /// [`FleetError`] of the *first failing cell in sweep order* — the
+    /// same error for every `matrix_workers` value, because each cell's
+    /// outcome is a pure function of its own spec and seed.
+    pub fn try_run(&self) -> Result<MatrixResult, FleetError> {
         let specs = self.cell_specs();
         let matrix_workers = self.matrix_workers.clamp(1, specs.len().max(1));
         if matrix_workers == 1 {
-            return MatrixResult {
-                cells: specs.iter().map(|s| self.run_cell(s)).collect(),
-            };
+            return Ok(MatrixResult {
+                cells: specs
+                    .iter()
+                    .map(|s| self.try_run_cell(s))
+                    .collect::<Result<Vec<_>, _>>()?,
+            });
         }
 
-        let collected: Mutex<Vec<(usize, MatrixCellResult)>> =
+        let collected: Mutex<Vec<(usize, Result<MatrixCellResult, FleetError>)>> =
             Mutex::new(Vec::with_capacity(specs.len()));
         crossbeam::scope(|scope| {
             for w in 0..matrix_workers {
@@ -207,17 +241,23 @@ impl ScenarioMatrix {
                     for (index, spec) in
                         specs.iter().enumerate().skip(w).step_by(matrix_workers)
                     {
-                        let cell = self.run_cell(spec);
+                        let cell = self.try_run_cell(spec);
                         collected.lock().push((index, cell));
                     }
                 });
             }
         })
+        // invariant: cell panics are converted to FleetError values by
+        // try_run_cell before they can unwind a matrix worker.
         .expect("matrix workers do not panic");
 
         let mut indexed = collected.into_inner();
         indexed.sort_by_key(|(index, _)| *index);
-        MatrixResult { cells: indexed.into_iter().map(|(_, cell)| cell).collect() }
+        let mut cells = Vec::with_capacity(indexed.len());
+        for (_, cell) in indexed {
+            cells.push(cell?);
+        }
+        Ok(MatrixResult { cells })
     }
 }
 
@@ -1029,6 +1069,49 @@ mod tests {
         // Jain only where the dynamics plane ran.
         let jain = r.series_over_speed(MatrixMetric::JainFairness);
         assert_eq!(jain.len(), 2, "one per dynamics-enabled policy");
+    }
+
+    #[test]
+    fn invalid_sweeps_surface_the_first_cells_typed_error() {
+        use crate::resilience::ConfigError;
+
+        let mut m = tiny_matrix();
+        m.base.shadowing.sigma_db = f64::NAN;
+        let err = m.try_run().expect_err("NaN sigma must not sweep");
+        assert!(
+            matches!(
+                &err,
+                FleetError::InvalidConfig(ConfigError::Negative { field, .. })
+                    if *field == "shadowing sigma"
+            ),
+            "{err:?}"
+        );
+        // The same first-in-sweep-order error for every matrix worker
+        // count.
+        for matrix_workers in [2, 8] {
+            m.matrix_workers = matrix_workers;
+            // Debug-compare: the NaN payload makes the error non-equal to
+            // itself under PartialEq.
+            let again = m.try_run().expect_err("still invalid");
+            assert_eq!(format!("{again:?}"), format!("{err:?}"));
+        }
+
+        // An out-of-layout outage cell is rejected before any fleet is
+        // built.
+        let mut m = tiny_matrix();
+        m.dynamics = vec![Some(DynamicsConfig {
+            failures: vec![crate::dynamics::CellOutage {
+                cell: cellgeom::Axial::new(99, 99),
+                from_step: 0,
+                until_step: 5,
+            }],
+            ..DynamicsConfig::none()
+        })];
+        let err = m.try_run().expect_err("unknown outage cell must not sweep");
+        assert!(
+            matches!(&err, FleetError::InvalidConfig(ConfigError::UnknownCell { .. })),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -12,10 +12,13 @@
 //! [`FuzzyHandoverController::new`]: handover_core::FuzzyHandoverController::new
 
 use crate::engine::{SimResult, Simulation};
+use crate::fleet::{panic_message, FleetError};
+use crate::resilience::ConfigError;
 use handover_core::HandoverPolicy;
 use mobility::Trajectory;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Aggregate statistics over a batch of runs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -68,8 +71,29 @@ pub fn run_repetitions_parallel(
     threads: usize,
 ) -> Vec<SimResult> {
     assert!(reps >= 1, "need at least one repetition");
+    try_run_repetitions_parallel(sim, trajectory, make_policy, base_seed, reps, threads)
+        .unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// Fallible form of [`run_repetitions_parallel`]: a panicking policy or
+/// engine surfaces as the [`FleetError::WorkerPanic`] of the *first
+/// failing repetition* (lowest repetition index — the same error for
+/// every thread count), and `reps == 0` comes back as
+/// [`FleetError::InvalidConfig`] instead of an assert.
+pub fn try_run_repetitions_parallel(
+    sim: &Simulation,
+    trajectory: &Trajectory,
+    make_policy: impl Fn() -> Box<dyn HandoverPolicy + Send> + Sync,
+    base_seed: u64,
+    reps: usize,
+    threads: usize,
+) -> Result<Vec<SimResult>, FleetError> {
+    if reps < 1 {
+        return Err(ConfigError::TooSmall { field: "repetitions", minimum: 1, got: 0 }.into());
+    }
     let threads = threads.clamp(1, reps);
-    let results: Mutex<Vec<(usize, SimResult)>> = Mutex::new(Vec::with_capacity(reps));
+    let results: Mutex<Vec<(usize, Result<SimResult, FleetError>)>> =
+        Mutex::new(Vec::with_capacity(reps));
     crossbeam::scope(|scope| {
         for t in 0..threads {
             let results = &results;
@@ -79,18 +103,27 @@ pub fn run_repetitions_parallel(
                 // of thread scheduling.
                 let mut k = t;
                 while k < reps {
-                    let mut policy = make_policy();
-                    let r = sim.run(trajectory, policy.as_mut(), base_seed + k as u64);
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        let mut policy = make_policy();
+                        sim.run(trajectory, policy.as_mut(), base_seed + k as u64)
+                    }))
+                    .map_err(|payload| FleetError::WorkerPanic(panic_message(payload.as_ref())));
                     results.lock().push((k, r));
                     k += threads;
                 }
             });
         }
     })
+    // invariant: repetition panics are caught by the catch_unwind above,
+    // so a worker thread itself can never unwind.
     .expect("monte-carlo workers do not panic");
     let mut out = results.into_inner();
     out.sort_by_key(|(k, _)| *k);
-    out.into_iter().map(|(_, r)| r).collect()
+    let mut runs = Vec::with_capacity(out.len());
+    for (_, r) in out {
+        runs.push(r?);
+    }
+    Ok(runs)
 }
 
 /// Aggregate a batch of runs.
@@ -215,6 +248,41 @@ mod tests {
         let s = summarize(&run_repetitions(&sim, &t, fuzzy, 9, 3), 12);
         let back: McSummary = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn fallible_parallel_agrees_and_surfaces_typed_errors() {
+        let sim = noisy_sim();
+        let t = crossing_walk();
+        // Clean runs: identical to the panicking form.
+        let ok = try_run_repetitions_parallel(&sim, &t, fuzzy, 77, 6, 3)
+            .expect("clean repetitions succeed");
+        assert_eq!(ok, run_repetitions(&sim, &t, fuzzy, 77, 6));
+
+        // Zero repetitions: a typed config error, not an assert.
+        let err = try_run_repetitions_parallel(&sim, &t, fuzzy, 77, 0, 3)
+            .expect_err("zero reps rejected");
+        assert!(matches!(err, FleetError::InvalidConfig(_)), "{err:?}");
+
+        // A panicking policy factory: the panic is caught and reported,
+        // identically for every thread count.
+        let exploding = || -> Box<dyn HandoverPolicy + Send> {
+            panic!("policy factory exploded on purpose");
+        };
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err_a = try_run_repetitions_parallel(&sim, &t, exploding, 77, 4, 1)
+            .expect_err("exploding factory fails");
+        let err_b = try_run_repetitions_parallel(&sim, &t, exploding, 77, 4, 4)
+            .expect_err("exploding factory fails");
+        std::panic::set_hook(prev_hook);
+        match &err_a {
+            FleetError::WorkerPanic(msg) => {
+                assert!(msg.contains("exploded on purpose"), "{msg}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        assert_eq!(err_a, err_b, "first-repetition error is thread-count invariant");
     }
 
     #[test]

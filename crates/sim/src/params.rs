@@ -68,6 +68,53 @@ impl PaperParams {
     pub fn paper() -> Self {
         Self::default()
     }
+
+    /// Reject parameter records that no downstream plane could accept:
+    /// non-finite or non-positive physical quantities, out-of-range
+    /// fractions, or empty experiment plans.
+    pub fn validated(&self) -> Result<(), crate::resilience::ConfigError> {
+        use crate::resilience::{require_finite, require_in_range, require_positive, ConfigError};
+        if self.n_walks_a < 1 {
+            return Err(ConfigError::TooSmall {
+                field: "scenario A walk count",
+                minimum: 1,
+                got: self.n_walks_a as u64,
+            });
+        }
+        if self.n_walks_b < 1 {
+            return Err(ConfigError::TooSmall {
+                field: "scenario B walk count",
+                minimum: 1,
+                got: self.n_walks_b as u64,
+            });
+        }
+        if self.repetitions < 1 {
+            return Err(ConfigError::TooSmall {
+                field: "repetitions",
+                minimum: 1,
+                got: self.repetitions as u64,
+            });
+        }
+        require_positive("cell radius", self.cell_radius_km)?;
+        require_positive("transmission power", self.tx_power_w)?;
+        require_positive("carrier frequency", self.frequency_mhz)?;
+        require_finite("beam tilt", self.beam_tilt_deg)?;
+        require_positive("transmission antenna height", self.tx_antenna_height_m)?;
+        require_positive("receiving antenna height", self.rx_antenna_height_m)?;
+        require_positive("average walk length", self.avg_walk_km)?;
+        require_positive("field exponent", self.field_exponent_n)?;
+        require_in_range("handover threshold", self.hd_threshold, 0.0, 1.0)?;
+        require_finite("degradation per 10 km/h", self.db_per_10kmh)?;
+        for speed in self.speeds_kmh {
+            if !(speed.is_finite() && speed >= 0.0) {
+                return Err(ConfigError::Negative {
+                    field: "evaluated speed",
+                    value: speed,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +139,33 @@ mod tests {
         assert_eq!(p.db_per_10kmh, 2.0);
         assert_eq!(p.repetitions, 10);
         assert_eq!(p.speeds_kmh, [0.0, 10.0, 20.0, 30.0, 40.0, 50.0]);
+    }
+
+    #[test]
+    fn validated_accepts_paper_and_rejects_nonsense() {
+        assert!(PaperParams::paper().validated().is_ok());
+
+        let mut p = PaperParams::paper();
+        p.repetitions = 0;
+        assert!(matches!(
+            p.validated(),
+            Err(crate::resilience::ConfigError::TooSmall { field: "repetitions", .. })
+        ));
+
+        let mut p = PaperParams::paper();
+        p.cell_radius_km = f64::NAN;
+        assert!(p.validated().is_err());
+
+        let mut p = PaperParams::paper();
+        p.hd_threshold = 1.5;
+        assert!(matches!(
+            p.validated(),
+            Err(crate::resilience::ConfigError::OutOfRange { field: "handover threshold", .. })
+        ));
+
+        let mut p = PaperParams::paper();
+        p.speeds_kmh[3] = -1.0;
+        assert!(p.validated().is_err());
     }
 
     #[test]

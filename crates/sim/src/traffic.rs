@@ -113,13 +113,33 @@ impl TrafficConfig {
 
     /// Panic on invalid parameters (constructors and engines call this).
     pub fn validate(&self) {
-        assert!(self.channels_per_cell >= 1, "a cell needs at least one channel");
-        assert!(
-            self.guard_channels < self.channels_per_cell,
-            "guard channels must leave room for new calls"
-        );
-        assert!(self.mean_idle_steps > 0.0, "mean idle time must be positive");
-        assert!(self.mean_holding_steps > 0.0, "mean holding time must be positive");
+        if let Err(err) = self.validated() {
+            panic!("{err}");
+        }
+    }
+
+    /// Typed form of [`TrafficConfig::validate`]: at least one channel
+    /// per cell, guard channels strictly below capacity, and finite
+    /// positive idle/holding means (NaN used to slip through the
+    /// panicking asserts).
+    pub fn validated(&self) -> Result<(), crate::resilience::ConfigError> {
+        use crate::resilience::{require_positive, ConfigError};
+        if self.channels_per_cell < 1 {
+            return Err(ConfigError::TooSmall {
+                field: "channels per cell (a cell needs at least one channel)",
+                minimum: 1,
+                got: u64::from(self.channels_per_cell),
+            });
+        }
+        if self.guard_channels >= self.channels_per_cell {
+            return Err(ConfigError::GuardChannelsExhaustCapacity {
+                guard: self.guard_channels,
+                channels: self.channels_per_cell,
+            });
+        }
+        require_positive("mean idle time", self.mean_idle_steps)?;
+        require_positive("mean holding time", self.mean_holding_steps)?;
+        Ok(())
     }
 
     /// The long-run offered load of one UE, in Erlangs:

@@ -17,7 +17,7 @@ pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
 
 /// Deserialize a value from JSON text.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser { text: s, bytes: s.as_bytes(), pos: 0 };
     p.skip_ws();
     let v = p.parse_value()?;
     p.skip_ws();
@@ -97,6 +97,10 @@ fn write_string(s: &str, out: &mut String) {
 // ---------------------------------------------------------------------------
 
 struct Parser<'a> {
+    // The same input twice: `text` (guaranteed valid UTF-8 by the
+    // `from_str` signature) for O(1) char decoding inside strings,
+    // `bytes` for position arithmetic everywhere else.
+    text: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -247,11 +251,23 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    // ASCII fast path: bulk-copy the run of plain bytes up
+                    // to the next quote, escape or non-ASCII character.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b >= 0x80 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(&self.text[start..self.pos]);
+                }
                 Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
-                    let c = rest.chars().next().expect("non-empty rest");
+                    // Consume one multi-byte UTF-8 character. `text` is
+                    // valid UTF-8 and `pos` sits on a char boundary, so
+                    // slicing cannot panic and decoding is O(1).
+                    let c = self.text[self.pos..].chars().next().expect("non-empty rest");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
