@@ -55,6 +55,7 @@ pub mod inputs;
 pub mod metrics;
 pub mod system;
 pub mod traffic;
+pub mod twin;
 
 pub use adaptive::SpeedAdaptiveController;
 pub use dynamics::{
@@ -68,6 +69,7 @@ pub use inputs::FlcInputs;
 pub use metrics::{CellLoadHistogram, EventLog, FleetSummary, HandoverEvent, PingPongReport};
 pub use system::{NodeB, Rnc};
 pub use traffic::{erlang_b, CellTraffic, LoadField, TrafficReport};
+pub use twin::{CellLoadReport, SessionStatus, UePhase, UeTwinReport};
 
 use cellgeom::Axial;
 use serde::{Deserialize, Serialize};

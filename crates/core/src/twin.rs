@@ -1,0 +1,140 @@
+//! Digital-twin query DTOs: the per-UE, per-cell and per-session
+//! reports the `handover-server` crate answers queries with.
+//!
+//! These are *views* over engine state, not engine state itself: the
+//! server derives them from a frozen
+//! [`FleetCheckpoint`](../handover_sim/checkpoint/struct.FleetCheckpoint.html)
+//! (live sessions) or the final `FleetResult` (completed ones), so a
+//! query never perturbs the simulation's RNG streams or its
+//! bit-identical replay contract. All three serialize with serde and
+//! travel over the server's length-prefixed wire codec.
+
+use crate::metrics::PingPongReport;
+use cellgeom::Axial;
+use serde::{Deserialize, Serialize};
+
+/// Where a UE is in its lifecycle at the queried step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UePhase {
+    /// Still stepping: the report reflects state *at* the session's
+    /// current step and will keep evolving.
+    Live,
+    /// The UE's walk ended; the report is final.
+    Finished,
+}
+
+/// Per-UE state of a twin session at its current step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UeTwinReport {
+    /// The UE id.
+    pub ue_id: u64,
+    /// Live or finished.
+    pub phase: UePhase,
+    /// Measurement steps taken so far.
+    pub steps: u64,
+    /// The serving cell at the queried step (the final serving cell for
+    /// a finished UE).
+    pub serving_cell: Axial,
+    /// Handovers so far.
+    pub handovers: u64,
+    /// Ping-pong handovers so far (returns to the immediately previous
+    /// cell within the configured detection window).
+    pub ping_pongs: u64,
+    /// Steps spent below the outage threshold.
+    pub outage_steps: u64,
+    /// FLC output observations so far.
+    pub hd_count: u64,
+    /// Sum of FLC outputs so far (the bit-identity witness: equality of
+    /// this `f64` across two runs pins the whole decision stream).
+    pub hd_sum: f64,
+    /// Path length travelled, km.
+    pub travelled_km: f64,
+}
+
+impl UeTwinReport {
+    /// The ping-pong summary in the shared report form.
+    pub fn ping_pong_report(&self) -> PingPongReport {
+        PingPongReport {
+            handovers: self.handovers as usize,
+            ping_pongs: self.ping_pongs as usize,
+        }
+    }
+}
+
+/// Per-cell load of a twin session at its current step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellLoadReport {
+    /// The cell.
+    pub cell: Axial,
+    /// Cumulative UE-steps served by this cell since step 0.
+    pub served_ue_steps: u64,
+    /// Live UEs currently served by this cell (0 once the session
+    /// completes — nobody is live any more).
+    pub live_ues: u64,
+}
+
+/// Compact status of one twin session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionStatus {
+    /// The session's current lockstep step.
+    pub step: u64,
+    /// UEs in the scenario.
+    pub total_ues: u64,
+    /// UEs still live at the current step.
+    pub live_ues: u64,
+    /// UEs whose walks already ended.
+    pub finished_ues: u64,
+    /// Whether the session ran to completion (its `FleetResult` is
+    /// available and further `advance_to` calls are no-ops).
+    pub complete: bool,
+    /// Policy hot-swaps recorded in the session log.
+    pub policy_swaps: u64,
+    /// Supervised segments completed across the session's lifetime.
+    pub segments: u64,
+    /// Failed segment attempts recovered from.
+    pub retries: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twin_reports_round_trip_through_serde() {
+        let ue = UeTwinReport {
+            ue_id: 7,
+            phase: UePhase::Live,
+            steps: 42,
+            serving_cell: Axial::new(1, -1),
+            handovers: 3,
+            ping_pongs: 1,
+            outage_steps: 0,
+            hd_count: 40,
+            hd_sum: 17.25,
+            travelled_km: 2.5,
+        };
+        let back: UeTwinReport =
+            serde_json::from_str(&serde_json::to_string(&ue).unwrap()).unwrap();
+        assert_eq!(ue, back);
+        assert_eq!(ue.ping_pong_report().ping_pongs, 1);
+
+        let cell = CellLoadReport { cell: Axial::ORIGIN, served_ue_steps: 100, live_ues: 4 };
+        let back: CellLoadReport =
+            serde_json::from_str(&serde_json::to_string(&cell).unwrap()).unwrap();
+        assert_eq!(cell, back);
+
+        let status = SessionStatus {
+            step: 64,
+            total_ues: 10,
+            live_ues: 6,
+            finished_ues: 4,
+            complete: false,
+            policy_swaps: 1,
+            segments: 4,
+            retries: 0,
+        };
+        let back: SessionStatus =
+            serde_json::from_str(&serde_json::to_string(&status).unwrap()).unwrap();
+        assert_eq!(status, back);
+    }
+}

@@ -143,6 +143,89 @@ pub fn content_checksum(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Read a little-endian `u32` at `offset` without any panicking slice
+/// conversion; `None` when the bytes run out.
+fn le_u32(bytes: &[u8], offset: usize) -> Option<u32> {
+    let s = bytes.get(offset..offset.checked_add(4)?)?;
+    let mut v = 0u32;
+    for (i, &b) in s.iter().enumerate() {
+        v |= u32::from(b) << (8 * i);
+    }
+    Some(v)
+}
+
+/// Read a little-endian `u64` at `offset`; `None` when the bytes run out.
+fn le_u64(bytes: &[u8], offset: usize) -> Option<u64> {
+    let s = bytes.get(offset..offset.checked_add(8)?)?;
+    let mut v = 0u64;
+    for (i, &b) in s.iter().enumerate() {
+        v |= u64::from(b) << (8 * i);
+    }
+    Some(v)
+}
+
+/// Wrap an arbitrary payload in the sealed container format:
+/// [`SEALED_MAGIC`] + container version + payload length + FNV-1a
+/// payload checksum + the payload bytes. [`FleetCheckpoint::seal`] and
+/// the server's session snapshots both write this envelope, so one
+/// verifier ([`unseal_payload`]) guards every persistence path.
+pub fn seal_payload(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SEALED_HEADER_LEN + payload.len());
+    out.extend_from_slice(&SEALED_MAGIC);
+    out.extend_from_slice(&SEALED_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&content_checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Verify a sealed container's magic, version, declared length and
+/// payload checksum, returning the payload slice. Total function: every
+/// byte string — empty, truncated mid-header, bit-flipped, foreign —
+/// maps to `Ok` or a typed [`CheckpointError`]; the header fields are
+/// read with bounds-checked accessors, so no input can panic
+/// (fuzz-pinned by `tests/checkpoint_fuzz.rs`).
+pub fn unseal_payload(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
+    if bytes.first() == Some(&b'{') {
+        // The v1 format: bare JSON, no header, no checksum.
+        return Err(CheckpointError::UnsupportedVersion {
+            found: 1,
+            supported: SEALED_FORMAT_VERSION,
+        });
+    }
+    if bytes.len() < SEALED_HEADER_LEN {
+        return Err(CheckpointError::Truncated {
+            needed: SEALED_HEADER_LEN as u64,
+            got: bytes.len() as u64,
+        });
+    }
+    if bytes.get(..8) != Some(&SEALED_MAGIC[..]) {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = le_u32(bytes, 8).ok_or(CheckpointError::BadMagic)?;
+    if version != SEALED_FORMAT_VERSION {
+        return Err(CheckpointError::UnsupportedVersion {
+            found: version,
+            supported: SEALED_FORMAT_VERSION,
+        });
+    }
+    let payload_len = le_u64(bytes, 12).ok_or(CheckpointError::BadMagic)?;
+    let expected_total = (SEALED_HEADER_LEN as u64).saturating_add(payload_len);
+    if bytes.len() as u64 != expected_total {
+        return Err(CheckpointError::Truncated {
+            needed: expected_total,
+            got: bytes.len() as u64,
+        });
+    }
+    let expected = le_u64(bytes, 20).ok_or(CheckpointError::BadMagic)?;
+    let payload = bytes.get(SEALED_HEADER_LEN..).unwrap_or(&[]);
+    let actual = content_checksum(payload);
+    if expected != actual {
+        return Err(CheckpointError::ChecksumMismatch { expected, actual });
+    }
+    Ok(payload)
+}
+
 /// The exact state of one UE's ChaCha12 measurement RNG, including the
 /// position inside the current output block — restoring mid-block
 /// continues the stream on the very next word.
@@ -334,65 +417,59 @@ impl FleetCheckpoint {
         // serde_json (the v1 golden pins exactly these bytes).
         let payload =
             serde_json::to_string(self).expect("fleet checkpoints serialize to JSON").into_bytes();
-        let mut out = Vec::with_capacity(SEALED_HEADER_LEN + payload.len());
-        out.extend_from_slice(&SEALED_MAGIC);
-        out.extend_from_slice(&SEALED_FORMAT_VERSION.to_le_bytes());
-        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        out.extend_from_slice(&content_checksum(&payload).to_le_bytes());
-        out.extend_from_slice(&payload);
-        out
+        seal_payload(&payload)
     }
 
     /// Open a sealed container: verify magic, container version,
-    /// declared length and payload checksum, then deserialize and
-    /// [`FleetCheckpoint::try_validate`] the snapshot. Historical v1
-    /// (headerless bare-JSON) bytes are recognised and rejected with a
-    /// typed [`CheckpointError::UnsupportedVersion`] — never a
-    /// deserialization panic.
+    /// declared length and payload checksum (via [`unseal_payload`]),
+    /// then deserialize and [`FleetCheckpoint::try_validate`] the
+    /// snapshot. Historical v1 (headerless bare-JSON) bytes are
+    /// recognised and rejected with a typed
+    /// [`CheckpointError::UnsupportedVersion`]. Total on arbitrary
+    /// input: never panics, for any byte string.
     pub fn try_unseal(bytes: &[u8]) -> Result<FleetCheckpoint, CheckpointError> {
-        if bytes.first() == Some(&b'{') {
-            // The v1 format: bare JSON, no header, no checksum.
-            return Err(CheckpointError::UnsupportedVersion {
-                found: 1,
-                supported: SEALED_FORMAT_VERSION,
-            });
-        }
-        if bytes.len() < SEALED_HEADER_LEN {
-            return Err(CheckpointError::Truncated {
-                needed: SEALED_HEADER_LEN as u64,
-                got: bytes.len() as u64,
-            });
-        }
-        if bytes[..8] != SEALED_MAGIC {
-            return Err(CheckpointError::BadMagic);
-        }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
-        if version != SEALED_FORMAT_VERSION {
-            return Err(CheckpointError::UnsupportedVersion {
-                found: version,
-                supported: SEALED_FORMAT_VERSION,
-            });
-        }
-        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8-byte slice"));
-        let expected_total = SEALED_HEADER_LEN as u64 + payload_len;
-        if bytes.len() as u64 != expected_total {
-            return Err(CheckpointError::Truncated {
-                needed: expected_total,
-                got: bytes.len() as u64,
-            });
-        }
-        let expected = u64::from_le_bytes(bytes[20..28].try_into().expect("8-byte slice"));
-        let payload = &bytes[SEALED_HEADER_LEN..];
-        let actual = content_checksum(payload);
-        if expected != actual {
-            return Err(CheckpointError::ChecksumMismatch { expected, actual });
-        }
+        let payload = unseal_payload(bytes)?;
         let text = std::str::from_utf8(payload)
             .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
         let cp: FleetCheckpoint =
             serde_json::from_str(text).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
         cp.try_validate()?;
         Ok(cp)
+    }
+
+    /// The still-live UE with id `ue_id`, if any (both halves are
+    /// sorted, so this is a binary search).
+    pub fn find_live(&self, ue_id: u64) -> Option<&UeCheckpoint> {
+        self.live.binary_search_by_key(&ue_id, |ue| ue.ue_id).ok().map(|k| &self.live[k])
+    }
+
+    /// The finished outcome for UE `ue_id`, if it completed before the
+    /// snapshot's step bound.
+    pub fn find_finished(&self, ue_id: u64) -> Option<&UeOutcome> {
+        self.finished.binary_search_by_key(&ue_id, |o| o.ue_id).ok().map(|k| &self.finished[k])
+    }
+
+    /// The serving-cell trace of a finished UE (tracing runs only).
+    pub fn find_finished_trace(&self, ue_id: u64) -> Option<&UeTrace> {
+        self.finished_traces
+            .binary_search_by_key(&ue_id, |t| t.ue_id)
+            .ok()
+            .map(|k| &self.finished_traces[k])
+    }
+
+    /// Instantaneous per-cell load: how many live UEs are currently
+    /// served by each of the `n_cells` layout cells (layout order).
+    /// Out-of-range serving indices (possible only in a hand-built
+    /// snapshot that skipped [`FleetCheckpoint::try_validate`]) are
+    /// skipped rather than panicking.
+    pub fn live_serving_counts(&self, n_cells: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; n_cells];
+        for ue in &self.live {
+            if let Some(slot) = counts.get_mut(ue.engine.serving_idx as usize) {
+                *slot += 1;
+            }
+        }
+        counts
     }
 }
 

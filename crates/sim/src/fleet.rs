@@ -993,7 +993,7 @@ impl FleetSimulation {
 
     /// Snapshot-vs-engine compatibility: version + shape invariants
     /// ([`FleetCheckpoint::try_validate`]) and the tracing plane.
-    fn check_checkpoint(&self, cp: &FleetCheckpoint) -> Result<(), CheckpointError> {
+    pub(crate) fn check_checkpoint(&self, cp: &FleetCheckpoint) -> Result<(), CheckpointError> {
         cp.try_validate()?;
         let engine_tracing = self.traffic.is_some() || self.dynamics.is_some();
         if cp.tracing != engine_tracing {
@@ -1078,6 +1078,28 @@ impl FleetSimulation {
             cell_load,
             tracing: cp.tracing,
         })
+    }
+
+    /// One incremental slice of a fleet run: start fresh (`from` is
+    /// `None` ⇒ [`FleetSimulation::run_partial`]) or continue an
+    /// existing snapshot (`Some` ⇒ [`FleetSimulation::resume_partial`];
+    /// `ids` and `base_seed` are then taken from the snapshot) up to
+    /// `target_step`. This is the session primitive of the
+    /// `handover-server` crate: a run driven by *any* sequence of
+    /// `advance` bounds is bit-identical to the uninterrupted batch run
+    /// — the PR 6 chaining contract, re-stated as one entry point.
+    pub fn advance(
+        &self,
+        spec: &dyn UeSpec,
+        from: Option<&FleetCheckpoint>,
+        ids: &[u64],
+        base_seed: u64,
+        target_step: u64,
+    ) -> Result<FleetCheckpoint, FleetError> {
+        match from {
+            None => self.run_partial(spec, ids, base_seed, target_step),
+            Some(cp) => self.resume_partial(spec, cp, target_step),
+        }
     }
 
     /// Run UEs `0..n_ues` and fold every chunk's outcomes into a running
@@ -1778,12 +1800,12 @@ impl FleetSimulation {
                             subset.extend_from_slice(
                                 self.sim.neighbor_index().nearest(pos, k),
                             );
-                            let serving32 = serving as u32;
+                            let serving32 = cell_index_u32(serving);
                             if !subset.contains(&serving32) {
                                 subset.push(serving32);
                             }
                             for &cand in cands {
-                                let cand32 = cand as u32;
+                                let cand32 = cell_index_u32(cand);
                                 if !subset.contains(&cand32) {
                                     subset.push(cand32);
                                 }
@@ -1795,9 +1817,9 @@ impl FleetSimulation {
                                 }
                             }
                         } else {
-                            subset.push(serving as u32);
+                            subset.push(cell_index_u32(serving));
                             for &cand in cands {
-                                let cand32 = cand as u32;
+                                let cand32 = cell_index_u32(cand);
                                 if !subset.contains(&cand32) {
                                     subset.push(cand32);
                                 }
@@ -1908,7 +1930,7 @@ impl FleetSimulation {
                     // counter (every UE starts at step 0), with churn it
                     // puts arrivals and handovers of different UEs on one
                     // shared timeline for the replay.
-                    let cell = outcome.serving_after_idx as u32;
+                    let cell = cell_index_u32(outcome.serving_after_idx);
                     if trace_bufs[i].last().map_or(true, |&(_, c)| c != cell) {
                         trace_bufs[i].push((step, cell));
                     }
@@ -1923,6 +1945,18 @@ impl FleetSimulation {
             step += 1;
         }
     }
+}
+
+/// Narrow a layout cell index to the `u32` the pruned-subset buffers
+/// and trace change points store. Upstream invariant: cell indices come
+/// from `CellLayout`, whose construction is quadratic in the ring
+/// radius and exhausts memory long before `u32::MAX` cells — so the
+/// cast can never truncate for an engine-built layout. A violated
+/// invariant fails loudly here instead of silently wrapping.
+#[inline]
+fn cell_index_u32(idx: usize) -> u32 {
+    debug_assert!(u32::try_from(idx).is_ok(), "cell index {idx} exceeds u32 range");
+    idx as u32
 }
 
 /// Assemble a [`FleetResult`] from id-sorted outcomes: the summary is
@@ -1963,8 +1997,24 @@ fn dynamic_report(
         if trace.steps < timeline {
             departures += 1;
         }
-        diff[arrival as usize] += 1;
-        diff[trace.steps as usize] -= 1;
+        // invariant: engine-built traces record change points strictly
+        // below `trace.steps`, and `timeline` is the max of all
+        // `trace.steps` — both indices land inside `diff`
+        // (len `timeline + 1`). A malformed (hand-built or foreign)
+        // trace fails loudly in debug and is skipped in release rather
+        // than panicking or silently corrupting the timeline.
+        let a = arrival as usize;
+        let e = trace.steps as usize;
+        debug_assert!(
+            arrival < trace.steps && trace.steps <= timeline,
+            "malformed UeTrace: change at step {arrival} of {} steps (timeline {timeline})",
+            trace.steps
+        );
+        if a >= diff.len() || e >= diff.len() || a > e {
+            continue;
+        }
+        diff[a] += 1;
+        diff[e] -= 1;
         for w in trace.changes.windows(2) {
             dwells.push(w[1].0 - w[0].0);
         }

@@ -59,8 +59,8 @@ pub mod table;
 pub mod traffic;
 
 pub use checkpoint::{
-    CheckpointError, FleetCheckpoint, UeCheckpoint, CHECKPOINT_VERSION, SEALED_FORMAT_VERSION,
-    SEALED_HEADER_LEN, SEALED_MAGIC,
+    seal_payload, unseal_payload, CheckpointError, FleetCheckpoint, UeCheckpoint,
+    CHECKPOINT_VERSION, SEALED_FORMAT_VERSION, SEALED_HEADER_LEN, SEALED_MAGIC,
 };
 pub use dynamics::{
     CellOutage, ChurnConfig, DynamicsConfig, ServiceMix, ServiceParams, TidalWave, CHURN_STREAM,
@@ -74,8 +74,8 @@ pub use fleet::{
 pub use matrix::{MatrixCellResult, MatrixMetric, MatrixResult, ScenarioMatrix};
 pub use params::PaperParams;
 pub use resilience::{
-    ConfigError, Fault, FaultInjector, FaultPlan, RetryPolicy, SupervisedRun, SupervisorReport,
-    FAULT_STREAM,
+    ConfigError, Fault, FaultInjector, FaultPlan, RetryPolicy, SupervisedRun, Supervisor,
+    SupervisorReport, FAULT_STREAM,
 };
 pub use scenario::{Scenario, SCENARIO_A_SEED, SCENARIO_B_SEED};
 pub use traffic::{TrafficConfig, TRAFFIC_STREAM};

@@ -513,10 +513,276 @@ pub struct SupervisedRun {
     pub report: SupervisorReport,
 }
 
-/// One supervised segment attempt's outcome.
-enum Segment {
-    Snapshot(FleetCheckpoint),
-    Done(Box<FleetResult>),
+impl SupervisorReport {
+    /// Fold another report's counters into this one (a session
+    /// accumulating per-`advance` supervision audit trails keeps one
+    /// running total). `final_workers` takes the other report's value —
+    /// it is a point-in-time reading, not a counter.
+    pub fn absorb(&mut self, other: &SupervisorReport) {
+        self.segments += other.segments;
+        self.snapshots_taken += other.snapshots_taken;
+        self.retries += other.retries;
+        self.worker_panics += other.worker_panics;
+        self.stalls += other.stalls;
+        self.corrupt_snapshots_detected += other.corrupt_snapshots_detected;
+        self.restores += other.restores;
+        self.degradations += other.degradations;
+        self.virtual_backoff_steps += other.virtual_backoff_steps;
+        self.final_workers = other.final_workers;
+    }
+}
+
+/// The reusable single-tenant supervisor behind
+/// [`FleetSimulation::run_supervised`], factored out so a long-lived
+/// session can drive a fleet *incrementally*: advance to an arbitrary
+/// step bound, inspect the current snapshot, then advance again — with
+/// the same cadence checkpointing, sealed write-then-verify snapshots,
+/// watchdog, bounded retries, virtual backoff and worker degradation
+/// on every segment.
+///
+/// Determinism contract (inherited from the PR 6 resume chain and
+/// pinned by `tests/resilience_props.rs` / `tests/server_session.rs`):
+/// for any sequence of `advance_to` bounds and any recoverable fault
+/// schedule, [`Supervisor::finish`] returns a result bit-identical to
+/// the fault-free batch [`FleetSimulation::run_ids`].
+#[derive(Debug)]
+pub struct Supervisor {
+    engine: FleetSimulation,
+    policy: RetryPolicy,
+    report: SupervisorReport,
+    /// Recent sealed good snapshots, oldest first.
+    history: VecDeque<(u64, Vec<u8>)>,
+    current: Option<FleetCheckpoint>,
+    consecutive_failures: u32,
+    stall_strikes: u32,
+}
+
+impl Supervisor {
+    /// A supervisor for a fresh (not-yet-started) run. Validates the
+    /// retry policy and the engine's configuration planes up front.
+    pub fn new(engine: FleetSimulation, policy: RetryPolicy) -> Result<Self, FleetError> {
+        policy.validated().map_err(FleetError::InvalidConfig)?;
+        engine.validate_planes().map_err(FleetError::InvalidConfig)?;
+        Ok(Supervisor {
+            engine,
+            policy,
+            report: SupervisorReport::default(),
+            history: VecDeque::new(),
+            current: None,
+            consecutive_failures: 0,
+            stall_strikes: 0,
+        })
+    }
+
+    /// A supervisor resuming from an existing snapshot (a hydrated
+    /// session). The snapshot is validated against the engine's planes;
+    /// an incompatible one surfaces as
+    /// [`FleetError::CorruptCheckpoint`].
+    pub fn from_checkpoint(
+        engine: FleetSimulation,
+        policy: RetryPolicy,
+        cp: FleetCheckpoint,
+    ) -> Result<Self, FleetError> {
+        let mut sup = Supervisor::new(engine, policy)?;
+        sup.engine.check_checkpoint(&cp).map_err(FleetError::CorruptCheckpoint)?;
+        sup.current = Some(cp);
+        Ok(sup)
+    }
+
+    /// The current snapshot (`None` until the first segment completes).
+    pub fn checkpoint(&self) -> Option<&FleetCheckpoint> {
+        self.current.as_ref()
+    }
+
+    /// The supervision audit trail so far.
+    pub fn report(&self) -> &SupervisorReport {
+        &self.report
+    }
+
+    /// The lockstep step of the current snapshot (0 before the first
+    /// segment).
+    pub fn step(&self) -> u64 {
+        self.current.as_ref().map_or(0, |cp| cp.step)
+    }
+
+    /// Whether every UE has finished (the run is ready for
+    /// [`Supervisor::finish`]'s final assembly without further
+    /// stepping).
+    pub fn all_finished(&self) -> bool {
+        self.current.as_ref().is_some_and(|cp| cp.live.is_empty())
+    }
+
+    /// Current worker count (after any degradations).
+    pub fn workers(&self) -> usize {
+        self.engine.workers()
+    }
+
+    /// Tear down into the current snapshot and the audit trail.
+    pub fn into_parts(self) -> (Option<FleetCheckpoint>, SupervisorReport) {
+        (self.current, self.report)
+    }
+
+    /// Virtual watchdog: a segment that accumulated more stall delay
+    /// than the deadline is treated as failed even if it technically
+    /// produced output — a real supervisor would have killed it
+    /// mid-flight.
+    fn watchdog<T>(&self, attempt: Result<T, FleetError>) -> Result<T, FleetError> {
+        let stalled = self.engine.fault_injector().map_or(0, |f| f.take_stall_steps());
+        if stalled > self.policy.stall_deadline_steps {
+            Err(FleetError::WorkerStalled {
+                stalled_steps: stalled,
+                deadline_steps: self.policy.stall_deadline_steps,
+            })
+        } else {
+            attempt
+        }
+    }
+
+    /// Accept a completed segment's snapshot: seal, expose to scripted
+    /// bit-rot, then write-verify — a corrupted seal is detected here
+    /// and quarantined (the older good snapshot stays).
+    fn accept_snapshot(&mut self, cp: FleetCheckpoint) {
+        self.report.segments += 1;
+        self.consecutive_failures = 0;
+        let mut sealed = cp.seal();
+        let snapshot_index = self.report.snapshots_taken;
+        self.report.snapshots_taken += 1;
+        if let Some(injector) = self.engine.fault_injector() {
+            injector.corrupt_snapshot(snapshot_index, &mut sealed);
+        }
+        match FleetCheckpoint::try_unseal(&sealed) {
+            Ok(_) => {
+                self.history.push_back((cp.step, sealed));
+                while self.history.len() > self.policy.keep_snapshots {
+                    self.history.pop_front();
+                }
+            }
+            Err(_) => self.report.corrupt_snapshots_detected += 1,
+        }
+        self.current = Some(cp);
+    }
+
+    /// Account a failed segment attempt: retry budget, deterministic
+    /// virtual backoff, worker degradation after repeated stalls, and
+    /// restore from the newest snapshot that still verifies
+    /// (quarantining any that rotted in memory). Non-recoverable errors
+    /// pass straight through.
+    fn handle_failure(&mut self, err: FleetError) -> Result<(), FleetError> {
+        if !err.is_recoverable() {
+            return Err(err);
+        }
+        self.report.retries += 1;
+        match &err {
+            FleetError::WorkerPanic(_) => self.report.worker_panics += 1,
+            FleetError::WorkerStalled { .. } => {
+                self.report.stalls += 1;
+                self.stall_strikes += 1;
+            }
+            _ => {}
+        }
+        if self.report.retries > self.policy.max_retries {
+            return Err(FleetError::RetriesExhausted {
+                attempts: self.report.retries,
+                last: Box::new(err),
+            });
+        }
+        // Deterministic virtual-time backoff: no wall clock, just an
+        // exponentially growing charge in the report.
+        self.consecutive_failures += 1;
+        self.report.virtual_backoff_steps += self.policy.backoff_initial_steps.saturating_mul(
+            self.policy
+                .backoff_multiplier
+                .saturating_pow(self.consecutive_failures.saturating_sub(1)),
+        );
+        // Graceful degradation: repeated stalls halve the worker count
+        // (results are worker-invariant).
+        if self.stall_strikes >= self.policy.degrade_after_stalls && self.engine.workers() > 1 {
+            let halved = self.engine.workers() / 2;
+            self.engine = self.engine.clone().with_workers(halved);
+            self.report.degradations += 1;
+            self.stall_strikes = 0;
+        }
+        self.current = loop {
+            match self.history.back() {
+                None => break None,
+                Some((_, sealed)) => match FleetCheckpoint::try_unseal(sealed) {
+                    Ok(cp) => {
+                        self.report.restores += 1;
+                        break Some(cp);
+                    }
+                    Err(_) => {
+                        self.report.corrupt_snapshots_detected += 1;
+                        self.history.pop_back();
+                    }
+                },
+            }
+        };
+        Ok(())
+    }
+
+    /// Advance the run in cadence-sized supervised segments until the
+    /// current snapshot reaches `target_step` or every UE has finished,
+    /// whichever comes first. Returns the snapshot at the stopping
+    /// point. On a fresh supervisor `ids`/`base_seed` start the run;
+    /// on later calls (and after [`Supervisor::from_checkpoint`]) the
+    /// population and seed come from the snapshot itself.
+    pub fn advance_to(
+        &mut self,
+        spec: &dyn UeSpec,
+        ids: &[u64],
+        base_seed: u64,
+        target_step: u64,
+    ) -> Result<&FleetCheckpoint, FleetError> {
+        loop {
+            if let Some(cp) = &self.current {
+                if cp.live.is_empty() || cp.step >= target_step {
+                    break;
+                }
+            }
+            let bound = match &self.current {
+                Some(cp) => {
+                    cp.step.saturating_add(self.policy.checkpoint_cadence).min(target_step)
+                }
+                None => self.policy.checkpoint_cadence.min(target_step),
+            };
+            let attempt = match &self.current {
+                Some(cp) => self.engine.resume_partial(spec, cp, bound),
+                None => self.engine.run_partial(spec, ids, base_seed, bound),
+            };
+            match self.watchdog(attempt) {
+                Ok(cp) => self.accept_snapshot(cp),
+                Err(err) => self.handle_failure(err)?,
+            }
+        }
+        // invariant: the loop only breaks once a snapshot is in place.
+        Ok(self.current.as_ref().expect("advance_to leaves a checkpoint"))
+    }
+
+    /// Drive the remaining steps (supervised, cadence-segmented) and
+    /// assemble the final [`FleetResult`] through the resume path —
+    /// bit-identical to the uninterrupted batch run. The final assembly
+    /// (traffic replay + merge) retries under the same policy as any
+    /// other segment.
+    pub fn finish(
+        &mut self,
+        spec: &dyn UeSpec,
+        ids: &[u64],
+        base_seed: u64,
+    ) -> Result<FleetResult, FleetError> {
+        loop {
+            self.advance_to(spec, ids, base_seed, u64::MAX)?;
+            let cp = self.current.as_ref().expect("advance_to leaves a checkpoint");
+            let attempt = self.engine.try_resume(spec, cp).map(Box::new);
+            match self.watchdog(attempt) {
+                Ok(result) => {
+                    self.report.segments += 1;
+                    self.report.final_workers = self.engine.workers();
+                    return Ok(*result);
+                }
+                Err(err) => self.handle_failure(err)?,
+            }
+        }
+    }
 }
 
 impl FleetSimulation {
@@ -544,132 +810,10 @@ impl FleetSimulation {
         base_seed: u64,
         policy: &RetryPolicy,
     ) -> Result<SupervisedRun, FleetError> {
-        policy.validated().map_err(FleetError::InvalidConfig)?;
-        self.validate_planes().map_err(FleetError::InvalidConfig)?;
-
-        let mut engine = self.clone();
-        let mut report = SupervisorReport::default();
-        let mut history: VecDeque<(u64, Vec<u8>)> = VecDeque::new();
-        let mut current: Option<FleetCheckpoint> = None;
-        let mut consecutive_failures: u32 = 0;
-        let mut stall_strikes: u32 = 0;
-
-        loop {
-            // One segment attempt: either the next cadence window, or —
-            // once every UE has finished — the final assembly (traffic
-            // replay + merge) through the resume path.
-            let attempt: Result<Segment, FleetError> = match &current {
-                Some(cp) if cp.live.is_empty() => {
-                    engine.try_resume(spec, cp).map(|r| Segment::Done(Box::new(r)))
-                }
-                Some(cp) => engine
-                    .resume_partial(spec, cp, cp.step + policy.checkpoint_cadence)
-                    .map(Segment::Snapshot),
-                None => engine
-                    .run_partial(spec, ids, base_seed, policy.checkpoint_cadence)
-                    .map(Segment::Snapshot),
-            };
-
-            // Virtual watchdog: a segment that accumulated more stall
-            // delay than the deadline is treated as failed even if it
-            // technically produced output — a real supervisor would
-            // have killed it mid-flight.
-            let stalled = engine.fault_injector().map_or(0, |f| f.take_stall_steps());
-            let attempt = if stalled > policy.stall_deadline_steps {
-                Err(FleetError::WorkerStalled {
-                    stalled_steps: stalled,
-                    deadline_steps: policy.stall_deadline_steps,
-                })
-            } else {
-                attempt
-            };
-
-            match attempt {
-                Ok(Segment::Done(result)) => {
-                    report.segments += 1;
-                    report.final_workers = engine.workers();
-                    return Ok(SupervisedRun { result: *result, report });
-                }
-                Ok(Segment::Snapshot(cp)) => {
-                    report.segments += 1;
-                    consecutive_failures = 0;
-                    // Seal, expose to scripted bit-rot, then
-                    // write-verify: a corrupted seal is detected here
-                    // and quarantined (the older good snapshot stays).
-                    let mut sealed = cp.seal();
-                    let snapshot_index = report.snapshots_taken;
-                    report.snapshots_taken += 1;
-                    if let Some(injector) = engine.fault_injector() {
-                        injector.corrupt_snapshot(snapshot_index, &mut sealed);
-                    }
-                    match FleetCheckpoint::try_unseal(&sealed) {
-                        Ok(_) => {
-                            history.push_back((cp.step, sealed));
-                            while history.len() > policy.keep_snapshots {
-                                history.pop_front();
-                            }
-                        }
-                        Err(_) => report.corrupt_snapshots_detected += 1,
-                    }
-                    current = Some(cp);
-                }
-                Err(err) if err.is_recoverable() => {
-                    report.retries += 1;
-                    match &err {
-                        FleetError::WorkerPanic(_) => report.worker_panics += 1,
-                        FleetError::WorkerStalled { .. } => {
-                            report.stalls += 1;
-                            stall_strikes += 1;
-                        }
-                        FleetError::CorruptCheckpoint(_) => {}
-                        _ => {}
-                    }
-                    if report.retries > policy.max_retries {
-                        return Err(FleetError::RetriesExhausted {
-                            attempts: report.retries,
-                            last: Box::new(err),
-                        });
-                    }
-                    // Deterministic virtual-time backoff: no wall
-                    // clock, just an exponentially growing charge in
-                    // the report.
-                    consecutive_failures += 1;
-                    report.virtual_backoff_steps += policy
-                        .backoff_initial_steps
-                        .saturating_mul(
-                            policy
-                                .backoff_multiplier
-                                .saturating_pow(consecutive_failures.saturating_sub(1)),
-                        );
-                    // Graceful degradation: repeated stalls halve the
-                    // worker count (results are worker-invariant).
-                    if stall_strikes >= policy.degrade_after_stalls && engine.workers() > 1 {
-                        let halved = engine.workers() / 2;
-                        engine = engine.with_workers(halved);
-                        report.degradations += 1;
-                        stall_strikes = 0;
-                    }
-                    // Restore from the newest snapshot that still
-                    // verifies; quarantine any that rotted in memory.
-                    current = loop {
-                        match history.back() {
-                            None => break None,
-                            Some((_, sealed)) => match FleetCheckpoint::try_unseal(sealed) {
-                                Ok(cp) => {
-                                    report.restores += 1;
-                                    break Some(cp);
-                                }
-                                Err(_) => {
-                                    report.corrupt_snapshots_detected += 1;
-                                    history.pop_back();
-                                }
-                            },
-                        }
-                    };
-                }
-                Err(err) => return Err(err),
-            }
-        }
+        let mut supervisor = Supervisor::new(self.clone(), *policy)?;
+        let result = supervisor.finish(spec, ids, base_seed)?;
+        let (_, report) = supervisor.into_parts();
+        Ok(SupervisedRun { result, report })
     }
 }
 

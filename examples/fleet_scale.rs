@@ -12,40 +12,63 @@
 //! (random-walk segments ≈ measurement steps per UE, default 1 000),
 //! `--workers N` (default 4), `--mode streamed|dense`, `--candidate
 //! all|nearest|edge`, `--precision full|compact`, `--seed N`.
+//!
+//! Malformed input never panics: a bad flag prints the typed error plus
+//! the usage line and exits with status 2.
 
 use fuzzy_handover::radio::{MeasurementNoise, ShadowingConfig};
+use fuzzy_handover::server::cli::{choice_flag, parse_flag, ArgError};
 use fuzzy_handover::sim::fleet::{
     CandidateMode, FleetMobility, FleetPrecision, FleetSimulation, HomogeneousFleet, PolicyKind,
 };
 use fuzzy_handover::sim::SimConfig;
 use std::time::Instant;
 
-fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).map(|i| {
-        args.get(i + 1)
-            .unwrap_or_else(|| panic!("{name} needs a value"))
-            .clone()
-    })
+const USAGE: &str = "usage: fleet_scale [--ues N] [--walks N] [--workers N] [--seed N] \
+[--mode streamed|dense] [--candidate all|nearest|edge] [--precision full|compact]";
+
+#[derive(Clone, Copy)]
+enum RunMode {
+    Streamed,
+    Dense,
 }
 
 fn main() {
+    if let Err(err) = run() {
+        eprintln!("fleet_scale: {err}");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), ArgError> {
     let args: Vec<String> = std::env::args().collect();
-    let n_ues: u64 = flag(&args, "--ues").map_or(100_000, |v| v.parse().expect("--ues"));
-    let walks: usize = flag(&args, "--walks").map_or(1_000, |v| v.parse().expect("--walks"));
-    let workers: usize = flag(&args, "--workers").map_or(4, |v| v.parse().expect("--workers"));
-    let seed: u64 = flag(&args, "--seed").map_or(7, |v| v.parse().expect("--seed"));
-    let mode = flag(&args, "--mode").unwrap_or_else(|| "streamed".into());
-    let candidate = match flag(&args, "--candidate").as_deref() {
-        None | Some("edge") => CandidateMode::EdgeSet { k: 7, margin_db: 6.0 },
-        Some("nearest") => CandidateMode::Nearest(7),
-        Some("all") => CandidateMode::All,
-        Some(other) => panic!("unknown --candidate {other}"),
-    };
-    let precision = match flag(&args, "--precision").as_deref() {
-        None | Some("compact") => FleetPrecision::Compact,
-        Some("full") => FleetPrecision::Full,
-        Some(other) => panic!("unknown --precision {other}"),
-    };
+    let n_ues: u64 = parse_flag(&args, "--ues", 100_000)?;
+    let walks: usize = parse_flag(&args, "--walks", 1_000)?;
+    let workers: usize = parse_flag(&args, "--workers", 4)?;
+    let seed: u64 = parse_flag(&args, "--seed", 7)?;
+    let mode = choice_flag(
+        &args,
+        "--mode",
+        &[("streamed", RunMode::Streamed), ("dense", RunMode::Dense)],
+        RunMode::Streamed,
+    )?;
+    let candidate = choice_flag(
+        &args,
+        "--candidate",
+        &[
+            ("edge", CandidateMode::EdgeSet { k: 7, margin_db: 6.0 }),
+            ("nearest", CandidateMode::Nearest(7)),
+            ("all", CandidateMode::All),
+        ],
+        CandidateMode::EdgeSet { k: 7, margin_db: 6.0 },
+    )?;
+    let precision = choice_flag(
+        &args,
+        "--precision",
+        &[("compact", FleetPrecision::Compact), ("full", FleetPrecision::Full)],
+        FleetPrecision::Compact,
+    )?;
 
     let mut cfg = SimConfig::paper_default();
     cfg.shadowing = ShadowingConfig::moderate();
@@ -63,24 +86,27 @@ fn main() {
         cell_radius_km: 2.0,
     };
 
+    let mode_name = match mode {
+        RunMode::Streamed => "streamed",
+        RunMode::Dense => "dense",
+    };
     println!(
         "fleet_scale: {n_ues} UEs × {walks} walk segments (~{} steps/UE), {workers} workers, \
-         {candidate:?}, {precision:?}, mode={mode}",
+         {candidate:?}, {precision:?}, mode={mode_name}",
         (walks as f64 * 1.5) as u64
     );
     let t0 = Instant::now();
-    let (summary, load_total) = match mode.as_str() {
-        "streamed" => {
+    let (summary, load_total) = match mode {
+        RunMode::Streamed => {
             let out = fleet.run_streamed(&spec, n_ues, seed).expect("streamed run");
             let total = out.cell_load.total();
             (out.summary, total)
         }
-        "dense" => {
+        RunMode::Dense => {
             let out = fleet.run(&spec, n_ues, seed);
             let total = out.cell_load.total();
             (out.summary, total)
         }
-        other => panic!("unknown --mode {other}"),
     };
     let elapsed = t0.elapsed().as_secs_f64();
 
@@ -113,6 +139,7 @@ fn main() {
         }
         None => println!("peak RSS unavailable on this platform"),
     }
+    Ok(())
 }
 
 /// Peak resident set size of this process in KiB (Linux; `None`

@@ -16,6 +16,9 @@
 //!   POTLC → FLC → PRTLC handover pipeline, plus baseline algorithms.
 //! * [`sim`] — the simulation engine, the multi-UE fleet engine with its
 //!   scenario-matrix runner, and every table/figure experiment.
+//! * [`server`] — the digital-twin service: long-running tenant
+//!   sessions over the fleet engine, with incremental advance,
+//!   live queries, policy hot-swap, and sealed persistence.
 //!
 //! ## Quickstart
 //!
@@ -71,4 +74,10 @@ pub mod mobility {
 /// Simulation engine and paper experiments.
 pub mod sim {
     pub use handover_sim::*;
+}
+
+/// Digital-twin simulation service: sessions, multi-tenant server, wire
+/// codec.
+pub mod server {
+    pub use handover_server::*;
 }
